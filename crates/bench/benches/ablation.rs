@@ -1,0 +1,82 @@
+//! Criterion bench for ablation A1/A2: runtime of the three solvers —
+//! LP + randomized rounding (symmetric and full forms), greedy local
+//! search, and the exact branch-and-bound — on the same detectability
+//! table.
+
+use ced_core::exact::exact_minimum_cover;
+use ced_core::greedy::{greedy_cover, GreedyOptions};
+use ced_core::pipeline::{fault_list, synthesize_circuit, PipelineOptions};
+use ced_core::relax::LpForm;
+use ced_core::search::{minimize_parity_functions, CedOptions};
+use ced_fsm::suite::paper_table1_scaled;
+use ced_sim::detect::{DetectOptions, DetectabilityTable};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let options = PipelineOptions::paper_defaults();
+    let spec = paper_table1_scaled()
+        .into_iter()
+        .find(|s| s.name == "s27")
+        .expect("suite circuit");
+    let fsm = spec.build();
+    let circuit = synthesize_circuit(&fsm, &options).expect("synthesizable");
+    let faults = fault_list(&circuit, &options);
+    let (table, _) = DetectabilityTable::build(
+        &circuit,
+        &faults,
+        &DetectOptions {
+            latency: 2,
+            ..DetectOptions::default()
+        },
+    )
+    .expect("within cap");
+
+    let mut group = c.benchmark_group("solvers");
+    group.sample_size(10);
+
+    group.bench_function("lp_rr_symmetric", |b| {
+        b.iter(|| {
+            black_box(
+                minimize_parity_functions(
+                    &table,
+                    &CedOptions {
+                        iterations: 200,
+                        ..CedOptions::default()
+                    },
+                )
+                .q,
+            )
+        })
+    });
+
+    group.bench_function("lp_rr_full", |b| {
+        b.iter(|| {
+            black_box(
+                minimize_parity_functions(
+                    &table,
+                    &CedOptions {
+                        iterations: 200,
+                        form: LpForm::Full,
+                        ..CedOptions::default()
+                    },
+                )
+                .q,
+            )
+        })
+    });
+
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(greedy_cover(&table, &GreedyOptions::default()).len()))
+    });
+
+    if table.num_bits() <= 12 {
+        group.bench_function("exact", |b| {
+            b.iter(|| black_box(exact_minimum_cover(&table).map(|c| c.len())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench of the fault-simulation substrate: transition-table
+//! extraction (64-way bit-parallel) and detectability-table
+//! construction at several latency bounds.
+
+use ced_core::pipeline::{fault_list, synthesize_circuit, PipelineOptions};
+use ced_fsm::suite::paper_table1_scaled;
+use ced_sim::detect::{DetectOptions, DetectabilityTable};
+use ced_sim::tables::TransitionTables;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_faultsim(c: &mut Criterion) {
+    let options = PipelineOptions::paper_defaults();
+    let spec = paper_table1_scaled()
+        .into_iter()
+        .find(|s| s.name == "s386")
+        .expect("suite circuit");
+    let fsm = spec.build();
+    let circuit = synthesize_circuit(&fsm, &options).expect("synthesizable");
+    let faults = fault_list(&circuit, &options);
+
+    let mut group = c.benchmark_group("faultsim");
+    group.sample_size(10);
+
+    group.bench_function("good_tables", |b| {
+        b.iter(|| black_box(TransitionTables::good(&circuit)))
+    });
+
+    group.bench_function("faulty_tables_x16", |b| {
+        b.iter(|| {
+            for &f in faults.iter().take(16) {
+                black_box(TransitionTables::faulty(&circuit, f));
+            }
+        })
+    });
+
+    for p in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("detectability", p), &p, |b, &p| {
+            b.iter(|| {
+                let (t, _) = DetectabilityTable::build(
+                    &circuit,
+                    &faults,
+                    &DetectOptions {
+                        latency: p,
+                        ..DetectOptions::default()
+                    },
+                )
+                .expect("within row cap");
+                black_box(t.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_faultsim);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench of the from-scratch Simplex solver on the LP
+//! relaxations produced by the CED pipeline (Statement 5, symmetric and
+//! full forms) across problem sizes.
+
+use ced_core::relax::{build_relaxation, LpForm};
+use ced_lp::solve;
+use ced_sim::detect::{DetectabilityTable, EcRow};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Deterministic synthetic detectability table.
+fn synth_table(num_bits: usize, latency: usize, rows: usize, seed: u64) -> DetectabilityTable {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    let mask = (1u64 << num_bits) - 1;
+    let ec_rows: Vec<EcRow> = (0..rows)
+        .map(|_| {
+            let mut steps = Vec::with_capacity(latency);
+            // Nonzero first step, sparse later steps.
+            let mut first = next() & mask;
+            if first == 0 {
+                first = 1;
+            }
+            steps.push(first);
+            for _ in 1..latency {
+                steps.push(next() & mask & next());
+            }
+            EcRow { steps }
+        })
+        .collect();
+    DetectabilityTable::from_rows(num_bits, latency, ec_rows)
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_relaxation");
+    group.sample_size(10);
+    for &m in &[32usize, 64, 128] {
+        let table = synth_table(12, 2, m, 0xABCD);
+        let rows: Vec<usize> = (0..table.len()).collect();
+        group.bench_with_input(BenchmarkId::new("symmetric", m), &m, |b, _| {
+            b.iter(|| {
+                let relax = build_relaxation(&table, 4, LpForm::Symmetric, &rows);
+                black_box(solve(&relax.lp).expect("feasible").objective)
+            })
+        });
+    }
+    // Full Statement-5 form is q× larger; bench one size for the ratio.
+    let table = synth_table(12, 2, 32, 0xABCD);
+    let rows: Vec<usize> = (0..table.len()).collect();
+    group.bench_function("full_q4_m32", |b| {
+        b.iter(|| {
+            let relax = build_relaxation(&table, 4, LpForm::Full, &rows);
+            black_box(solve(&relax.lp).expect("feasible").objective)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench of pipeline scaling with FSM size: end-to-end time
+//! as the state count grows at fixed interface width, plus the
+//! logic-synthesis substrate alone (the SIS-substitute cost).
+
+use ced_core::pipeline::{run_circuit, synthesize_circuit, PipelineOptions};
+use ced_fsm::generator::{generate, GeneratorConfig};
+use ced_logic::gate::CellLibrary;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn machine(states: usize) -> ced_fsm::Fsm {
+    generate(&GeneratorConfig {
+        name: format!("scale{states}"),
+        num_inputs: 3,
+        num_states: states,
+        num_outputs: 3,
+        cubes_per_state: 5,
+        self_loop_bias: 0.2,
+        output_dc_prob: 0.05,
+        output_pool: 4,
+        seed: 0x5CA1E,
+    })
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let lib = CellLibrary::new();
+    let mut options = PipelineOptions::paper_defaults();
+    options.ced.iterations = 100;
+
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for &states in &[4usize, 8, 16] {
+        let fsm = machine(states);
+        group.bench_with_input(BenchmarkId::new("synthesis", states), &states, |b, _| {
+            b.iter(|| black_box(synthesize_circuit(&fsm, &options).expect("ok").gate_count()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("end_to_end_p2", states),
+            &states,
+            |b, _| {
+                b.iter(|| {
+                    let r = run_circuit(&fsm, &[1, 2], &options, &lib).expect("ok");
+                    black_box(r.latencies.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for experiment E1: the end-to-end Table-1 pipeline
+//! (synthesis → fault simulation → detectability → Algorithm 1 →
+//! checker costing) on representative circuits of the capped suite.
+
+use ced_bench::bench_options;
+use ced_core::pipeline::run_circuit;
+use ced_fsm::suite::paper_table1_scaled;
+use ced_logic::gate::CellLibrary;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let lib = CellLibrary::new();
+    let options = bench_options();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for name in ["s27", "tav", "donfile"] {
+        let spec = paper_table1_scaled()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("suite circuit");
+        let fsm = spec.build();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report =
+                    run_circuit(black_box(&fsm), &[1, 2, 3], &options, &lib).expect("pipeline");
+                black_box(report.latencies.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

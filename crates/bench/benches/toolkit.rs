@@ -1,0 +1,57 @@
+//! Criterion bench of the FSM-toolkit extensions: state minimization,
+//! sequential equivalence checking, the register-upset error model and
+//! fault-dictionary construction.
+
+use ced_core::pipeline::{fault_list, synthesize_circuit, PipelineOptions};
+use ced_fsm::generator::{generate, GeneratorConfig};
+use ced_fsm::minimize::minimize_states;
+use ced_sim::diagnose::FaultDictionary;
+use ced_sim::equiv::check_equivalence;
+use ced_sim::models::register_upset_table;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn machine(states: usize, seed: u64) -> ced_fsm::Fsm {
+    generate(&GeneratorConfig {
+        name: format!("toolkit{states}"),
+        num_inputs: 2,
+        num_states: states,
+        num_outputs: 3,
+        cubes_per_state: 4,
+        self_loop_bias: 0.2,
+        output_dc_prob: 0.0,
+        output_pool: 3,
+        seed,
+    })
+}
+
+fn bench_toolkit(c: &mut Criterion) {
+    let options = PipelineOptions::paper_defaults();
+    let fsm = machine(12, 5);
+    let circuit = synthesize_circuit(&fsm, &options).expect("ok");
+    let faults = fault_list(&circuit, &options);
+    let masks: Vec<u64> = (0..circuit.total_bits()).map(|b| 1 << b).collect();
+
+    let mut group = c.benchmark_group("toolkit");
+    group.sample_size(10);
+
+    group.bench_function("minimize_states_12", |b| {
+        b.iter(|| black_box(minimize_states(&fsm).expect("complete").num_states()))
+    });
+
+    group.bench_function("equivalence_self", |b| {
+        b.iter(|| black_box(check_equivalence(&circuit, &circuit).is_equivalent()))
+    });
+
+    group.bench_function("register_upset_table_p2", |b| {
+        b.iter(|| black_box(register_upset_table(&circuit, 2).len()))
+    });
+
+    group.bench_function("fault_dictionary_build", |b| {
+        b.iter(|| black_box(FaultDictionary::build(&circuit, &faults, &masks).num_faults()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_toolkit);
+criterion_main!(benches);

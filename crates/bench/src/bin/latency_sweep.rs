@@ -1,0 +1,72 @@
+//! Experiment E3: the latency-saturation study of the paper's §2/§5.
+//!
+//! Sweeps p = 1..5 per circuit, reports the parity-function count at
+//! each bound next to the machine's self-loop density and the exact
+//! maximum useful latency from the shortest faulty-machine loop
+//! (`ced_sim::loops::max_useful_latency`). Expected shape: self-loop
+//! heavy machines (donfile, s27, s386 analogues) saturate immediately;
+//! loop-light ones (pma, s298, s1488 analogues) keep improving longer.
+//!
+//! `cargo run -p ced-bench --release --bin latency_sweep -- --quick`
+
+use ced_bench::HarnessArgs;
+use ced_core::pipeline::{fault_list, run_circuit, synthesize_circuit, PipelineOptions};
+use ced_logic::gate::CellLibrary;
+use ced_sim::loops::max_useful_latency;
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    if args.latencies == vec![1, 2, 3] {
+        args.latencies = vec![1, 2, 3, 4, 5];
+    }
+    let specs = args.specs();
+    let options = PipelineOptions::paper_defaults();
+    let lib = CellLibrary::new();
+
+    println!(
+        "{:<10} {:>9} {:>5} | {}",
+        "circuit",
+        "selfloop%",
+        "p*",
+        args.latencies
+            .iter()
+            .map(|p| format!("q(p={p})"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+
+    for spec in specs {
+        let fsm = spec.build();
+        let circuit = match synthesize_circuit(&fsm, &options) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{}: {e}", spec.name);
+                continue;
+            }
+        };
+        let faults = fault_list(&circuit, &options);
+        let p_star = max_useful_latency(&circuit, &faults);
+        match run_circuit(&fsm, &args.latencies, &options, &lib) {
+            Ok(report) => {
+                let qs: Vec<String> = report
+                    .latencies
+                    .iter()
+                    .map(|l| format!("{:>6}", l.cover.len()))
+                    .collect();
+                println!(
+                    "{:<10} {:>8.0}% {:>5} | {}",
+                    spec.name,
+                    fsm.self_loop_fraction() * 100.0,
+                    p_star,
+                    qs.join("  ")
+                );
+            }
+            Err(e) => eprintln!("{}: {e}", spec.name),
+        }
+    }
+    println!(
+        "\np* = exact maximum useful latency (max over faults of the \
+         shortest faulty-machine loop). q should be non-increasing in p \
+         and flat beyond p*."
+    );
+}

@@ -1,0 +1,38 @@
+//! Quick A/B of the LP objective variants on suite circuits.
+//!
+//! `cargo run -p ced-bench --release --bin objective_probe -- --quick`
+
+use ced_bench::HarnessArgs;
+use ced_core::pipeline::{build_input_model, fault_list, prepare_machine, PipelineOptions};
+use ced_core::relax::LpObjective;
+use ced_core::search::{minimize_parity_functions, CedOptions};
+use ced_sim::detect::{DetectOptions, DetectabilityTable};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let options = PipelineOptions::paper_defaults();
+    println!("{:<10} {:>3} | {:>10} {:>12} {:>7}", "circuit", "p", "sparse-β", "max-coverage", "greedy");
+    for spec in args.specs() {
+        let fsm = spec.build();
+        let Ok((encoded, circuit)) = prepare_machine(&fsm, &options) else { continue };
+        let model = build_input_model(encoded.fsm(), encoded.encoding(), options.input_granularity);
+        let faults = fault_list(&circuit, &options);
+        for p in [1usize, 2] {
+            let Ok((table, _)) = DetectabilityTable::build(
+                &circuit,
+                &faults,
+                &DetectOptions { latency: p, input_model: model.clone(), ..DetectOptions::default() },
+            ) else { continue };
+            let sparse = minimize_parity_functions(&table, &CedOptions::default());
+            let spread = minimize_parity_functions(
+                &table,
+                &CedOptions { objective: LpObjective::MaxCoverage, ..CedOptions::default() },
+            );
+            let greedy = ced_core::greedy::greedy_cover(&table, &ced_core::greedy::GreedyOptions::default());
+            println!(
+                "{:<10} {:>3} | {:>10} {:>12} {:>7}",
+                spec.name, p, sparse.q, spread.q, greedy.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates the paper's **Table 1**: per MCNC-analogue circuit, the
+//! original synthesis cost and — for each latency bound p — the number
+//! of parity trees, the CED gate count and the CED hardware cost.
+//!
+//! ```text
+//! cargo run -p ced-bench --release --bin table1             # full dims
+//! cargo run -p ced-bench --release --bin table1 -- --quick  # capped dims
+//! cargo run -p ced-bench --release --bin table1 -- --circuit s27
+//! ```
+//!
+//! Absolute values differ from the paper (synthetic analogue machines,
+//! generic cell library — DESIGN.md substitutions (a)/(b)); the shape —
+//! monotone reduction with p, diminishing returns, self-loop saturation
+//! — is the reproduced quantity. See EXPERIMENTS.md.
+
+use ced_bench::HarnessArgs;
+use ced_core::pipeline::PipelineOptions;
+use ced_core::report::{summarize, table1_header, table1_row};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let specs = args.specs();
+    eprintln!(
+        "running {} circuits at latencies {:?}…",
+        specs.len(),
+        args.latencies
+    );
+    let options = PipelineOptions::paper_defaults();
+    let reports = ced_bench::run_suite(&specs, &args.latencies, &options);
+
+    println!("{}", table1_header(&args.latencies));
+    for r in &reports {
+        println!("{}", table1_row(r));
+    }
+    if !reports.is_empty() {
+        println!(
+            "\n--- §5 summary (averages over {} circuits) ---",
+            reports.len()
+        );
+        print!("{}", summarize(&reports));
+    }
+}

@@ -1,0 +1,134 @@
+//! Shared helpers for the experiment harnesses and Criterion benches.
+
+use ced_core::pipeline::{run_circuit, CircuitReport, PipelineOptions};
+use ced_fsm::suite::{paper_table1, paper_table1_scaled, CircuitSpec};
+use ced_logic::gate::CellLibrary;
+use std::time::Instant;
+
+/// Which suite to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// The full Table-1 interface dimensions (slow; minutes per run).
+    Full,
+    /// Dimension-capped analogues (seconds; same qualitative shape).
+    Quick,
+}
+
+impl Suite {
+    /// The circuit specs of this suite.
+    pub fn specs(self) -> Vec<CircuitSpec> {
+        match self {
+            Suite::Full => paper_table1(),
+            Suite::Quick => paper_table1_scaled(),
+        }
+    }
+}
+
+/// Parses harness CLI arguments of the form
+/// `[--quick] [--circuit NAME] [--latencies 1,2,3]`.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// The selected suite.
+    pub suite: Suite,
+    /// Restrict to one circuit by name.
+    pub circuit: Option<String>,
+    /// Latency bounds to evaluate.
+    pub latencies: Vec<usize>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, exiting with usage help on error.
+    pub fn parse() -> HarnessArgs {
+        let mut out = HarnessArgs {
+            suite: Suite::Full,
+            circuit: None,
+            latencies: vec![1, 2, 3],
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => out.suite = Suite::Quick,
+                "--circuit" => out.circuit = args.next(),
+                "--latencies" => {
+                    let list = args.next().unwrap_or_default();
+                    out.latencies = list
+                        .split(',')
+                        .filter_map(|t| t.trim().parse().ok())
+                        .collect();
+                    if out.latencies.is_empty() {
+                        eprintln!("--latencies expects a comma list like 1,2,3");
+                        std::process::exit(2);
+                    }
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "usage: [--quick] [--circuit NAME] [--latencies 1,2,3]\n\
+                         --quick    run the dimension-capped suite (seconds)\n\
+                         --circuit  run a single Table-1 circuit by name\n\
+                         --latencies  latency bounds (default 1,2,3)"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown argument {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// The circuit specs selected by these arguments.
+    pub fn specs(&self) -> Vec<CircuitSpec> {
+        let mut specs = self.suite.specs();
+        if let Some(name) = &self.circuit {
+            specs.retain(|s| s.name == name.as_str());
+            if specs.is_empty() {
+                eprintln!("no Table-1 circuit named {name}");
+                std::process::exit(2);
+            }
+        }
+        specs
+    }
+}
+
+/// Runs the pipeline for every spec, printing progress to stderr.
+pub fn run_suite(
+    specs: &[CircuitSpec],
+    latencies: &[usize],
+    options: &PipelineOptions,
+) -> Vec<CircuitReport> {
+    let lib = CellLibrary::new();
+    let mut reports = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let start = Instant::now();
+        let fsm = spec.build();
+        match run_circuit(&fsm, latencies, options, &lib) {
+            Ok(report) => {
+                eprintln!(
+                    "  {:<10} done in {:.1?} ({} erroneous cases at p_max)",
+                    spec.name,
+                    start.elapsed(),
+                    report
+                        .latencies
+                        .last()
+                        .map(|l| l.erroneous_cases)
+                        .unwrap_or(0)
+                );
+                reports.push(report);
+            }
+            Err(e) => {
+                eprintln!("  {:<10} FAILED: {e}", spec.name);
+            }
+        }
+    }
+    reports
+}
+
+/// A small deterministic pipeline configuration for benches (modest
+/// rounding budget so Criterion iterations stay fast).
+pub fn bench_options() -> PipelineOptions {
+    let mut options = PipelineOptions::paper_defaults();
+    options.ced.iterations = 200;
+    options
+}

@@ -1,0 +1,122 @@
+//! Shared CLI option parsing.
+
+use ced_core::pipeline::{InputGranularity, PipelineOptions};
+use ced_fsm::encoding::EncodingStrategy;
+use ced_fsm::machine::Fsm;
+use ced_sim::detect::Semantics;
+
+/// Parsed common options plus the machine they apply to.
+pub struct Parsed {
+    /// The machine loaded from the positional KISS2 path.
+    pub fsm: Fsm,
+    /// Pipeline configuration assembled from the flags.
+    pub options: PipelineOptions,
+    /// `--latency` (default 1).
+    pub latency: usize,
+    /// `--latencies` (default `[1, 2, 3]`).
+    pub latencies: Vec<usize>,
+    /// `--seed` (default 0).
+    pub seed: u64,
+    /// `--format` (default "blif").
+    pub format: String,
+}
+
+/// Parses `<file> [flags…]`.
+///
+/// # Errors
+///
+/// Reports unknown flags, missing values, bad numbers and file/parse
+/// failures with user-facing messages.
+pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
+    let mut file: Option<String> = None;
+    let mut options = PipelineOptions::paper_defaults();
+    let mut latency = 1usize;
+    let mut latencies = vec![1usize, 2, 3];
+    let mut seed = 0u64;
+    let mut format = String::from("blif");
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--encoding" => {
+                let v = it.next().ok_or("--encoding needs a value")?;
+                options.encoding = match v.as_str() {
+                    "natural" => EncodingStrategy::Natural,
+                    "gray" => EncodingStrategy::Gray,
+                    "onehot" => EncodingStrategy::OneHot,
+                    "adjacency" => EncodingStrategy::Adjacency,
+                    other => return Err(format!("unknown encoding `{other}`").into()),
+                };
+            }
+            "--latency" => {
+                latency = it
+                    .next()
+                    .ok_or("--latency needs a number")?
+                    .parse()
+                    .map_err(|_| "--latency needs a number")?;
+                if latency == 0 {
+                    return Err("latency bound must be at least 1".into());
+                }
+            }
+            "--latencies" => {
+                let list = it.next().ok_or("--latencies needs a comma list")?;
+                latencies = list
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| "--latencies needs numbers like 1,2,3")?;
+                if latencies.is_empty() || latencies.contains(&0) {
+                    return Err("--latencies needs positive bounds".into());
+                }
+            }
+            "--semantics" => {
+                let v = it.next().ok_or("--semantics needs a value")?;
+                options.semantics = match v.as_str() {
+                    "lockstep" | "paper" => Semantics::Lockstep,
+                    "hardware" | "faulty-trajectory" => Semantics::FaultyTrajectory,
+                    other => return Err(format!("unknown semantics `{other}`").into()),
+                };
+            }
+            "--exhaustive-inputs" => {
+                options.input_granularity = InputGranularity::Exhaustive;
+            }
+            "--isolate-cones" => {
+                options.isolate_output_logic = true;
+            }
+            "--format" => {
+                format = it.next().ok_or("--format needs a value")?.clone();
+                if !matches!(format.as_str(), "blif" | "verilog") {
+                    return Err(format!("unknown format `{format}`").into());
+                }
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|_| "--seed needs a number")?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`").into());
+            }
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    return Err("more than one machine file given".into());
+                }
+            }
+        }
+    }
+    options.ced.seed = seed;
+
+    let path = file.ok_or("no machine file given (expected a .kiss2 path)")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let fsm = ced_fsm::kiss::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(Parsed {
+        fsm,
+        options,
+        latency,
+        latencies,
+        seed,
+        format,
+    })
+}

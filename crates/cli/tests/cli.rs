@@ -1,0 +1,234 @@
+//! End-to-end tests of the `ced` binary via `CARGO_BIN_EXE`.
+
+use std::io::Write;
+use std::process::Command;
+
+const MACHINE: &str = "\
+.i 1
+.o 3
+.s 3
+.r G
+0 G G 100
+1 G Y 100
+- Y R 010
+- R G 001
+.e
+";
+
+fn write_machine() -> tempfile::TempPath {
+    let mut f = tempfile::NamedTempFile::new().expect("temp file");
+    f.write_all(MACHINE.as_bytes()).expect("write");
+    f.into_temp_path()
+}
+
+fn ced(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_ced"))
+        .args(args)
+        .output()
+        .expect("spawn ced")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = ced(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("usage: ced"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = ced(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = ced(&["stats", "/nonexistent/machine.kiss2"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn stats_reports_structure() {
+    let path = write_machine();
+    let out = ced(&["stats", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 states"));
+    assert!(text.contains("self-loops"));
+}
+
+#[test]
+fn synth_reports_gates() {
+    let path = write_machine();
+    let out = ced(&["synth", path.to_str().unwrap(), "--encoding", "gray"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("gates"));
+    assert!(text.contains("sequential cost"));
+}
+
+#[test]
+fn check_prints_cover() {
+    let path = write_machine();
+    let out = ced(&["check", path.to_str().unwrap(), "--latency", "2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Algorithm 1"));
+    assert!(text.contains("tree 1:"));
+    assert!(text.contains("checker:"));
+}
+
+#[test]
+fn table_prints_row() {
+    let path = write_machine();
+    let out = ced(&["table", path.to_str().unwrap(), "--latencies", "1,2"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("p=1"));
+    assert!(text.contains("p=2"));
+    assert!(text.contains("duplication baseline"));
+}
+
+#[test]
+fn inject_succeeds_with_matching_semantics() {
+    let path = write_machine();
+    let out = ced(&[
+        "inject",
+        path.to_str().unwrap(),
+        "--latency",
+        "2",
+        "--semantics",
+        "hardware",
+        "--exhaustive-inputs",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("guarantee held"));
+    assert!(text.contains("missed: 0"));
+}
+
+#[test]
+fn export_emits_blif_and_verilog() {
+    let path = write_machine();
+    let blif = ced(&["export", path.to_str().unwrap()]);
+    assert!(blif.status.success());
+    let text = String::from_utf8_lossy(&blif.stdout);
+    assert!(text.contains(".latch"));
+    assert!(text.contains(".names"));
+    let verilog = ced(&["export", path.to_str().unwrap(), "--format", "verilog"]);
+    assert!(verilog.status.success());
+    let text = String::from_utf8_lossy(&verilog.stdout);
+    assert!(text.contains("module"));
+    assert!(text.contains("posedge clk"));
+}
+
+#[test]
+fn minimize_emits_kiss() {
+    let path = write_machine();
+    let out = ced(&["minimize", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains(".i 1"));
+    assert!(text.contains(".e"));
+}
+
+#[test]
+fn equiv_detects_equal_and_different() {
+    let a = write_machine();
+    let b = write_machine();
+    let same = ced(&["equiv", a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert!(same.status.success(), "{}", String::from_utf8_lossy(&same.stderr));
+    assert!(String::from_utf8_lossy(&same.stdout).contains("equivalent"));
+    // Against a machine with inverted outputs.
+    let mut f = tempfile::NamedTempFile::new().unwrap();
+    std::io::Write::write_all(
+        &mut f,
+        b".i 1\n.o 3\n.s 3\n.r G\n0 G G 000\n1 G Y 100\n- Y R 010\n- R G 001\n.e\n",
+    )
+    .unwrap();
+    let c = f.into_temp_path();
+    let diff = ced(&["equiv", a.to_str().unwrap(), c.to_str().unwrap()]);
+    assert!(!diff.status.success());
+    assert!(String::from_utf8_lossy(&diff.stdout).contains("NOT equivalent"));
+}
+
+#[test]
+fn bad_flags_rejected() {
+    let path = write_machine();
+    for args in [
+        vec!["check", path.to_str().unwrap(), "--latency", "0"],
+        vec!["check", path.to_str().unwrap(), "--encoding", "quantum"],
+        vec!["check", path.to_str().unwrap(), "--bogus"],
+        vec!["table", path.to_str().unwrap(), "--latencies", "a,b"],
+        vec!["export", path.to_str().unwrap(), "--format", "vhdl"],
+    ] {
+        let out = ced(&args);
+        assert!(!out.status.success(), "args {args:?} should fail");
+    }
+}
+
+/// Minimal stand-in for the `tempfile` crate (not in the allowed
+/// dependency set): unique path in the target tmp dir, deleted on drop.
+mod tempfile {
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct NamedTempFile {
+        file: std::fs::File,
+        path: PathBuf,
+    }
+
+    pub struct TempPath(PathBuf);
+
+    impl NamedTempFile {
+        pub fn new() -> std::io::Result<NamedTempFile> {
+            let mut path = std::env::temp_dir();
+            let unique = format!(
+                "ced-cli-test-{}-{}.kiss2",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            );
+            path.push(unique);
+            let file = std::fs::File::create(&path)?;
+            Ok(NamedTempFile { file, path })
+        }
+
+        pub fn into_temp_path(self) -> TempPath {
+            TempPath(self.path)
+        }
+    }
+
+    impl std::io::Write for NamedTempFile {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            std::io::Write::write(&mut self.file, buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            std::io::Write::flush(&mut self.file)
+        }
+    }
+
+    impl TempPath {
+        pub fn to_str(&self) -> Option<&str> {
+            self.0.to_str()
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}

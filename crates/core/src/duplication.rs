@@ -1,0 +1,63 @@
+//! The duplication baseline.
+//!
+//! Classic duplication-with-comparison CED: replicate the whole FSM
+//! (combinational core and state register), compare all `n` next-state/
+//! output bits every cycle through the same hold-register discipline as
+//! the parity checker. The paper's §5 reports the parity method's `q`
+//! and cost as percentages of this baseline ("… smaller than the number
+//! of functions (hardware cost) necessary for duplicating the
+//! circuit").
+
+use crate::hardware::CedCost;
+use ced_fsm::encoded::FsmCircuit;
+use ced_logic::gate::CellLibrary;
+
+/// Costs the duplication baseline for a circuit.
+///
+/// Components: a full copy of the combinational core, a duplicate
+/// `s`-bit state register, an `n`-bit comparator (XOR per bit + OR
+/// tree) and `2n` hold registers.
+pub fn duplication_cost(circuit: &FsmCircuit, library: &CellLibrary) -> CedCost {
+    let n = circuit.total_bits();
+    let s = circuit.state_bits();
+    let copy_gates = circuit.gate_count();
+    let comparator_gates = n + n.saturating_sub(1);
+    let gates = copy_gates + comparator_gates;
+    let area = circuit.combinational_area(library)
+        + n as f64 * library.xor2
+        + n.saturating_sub(1) as f64 * library.or2
+        + (s + 2 * n) as f64 * library.dff;
+    CedCost {
+        parity_functions: n,
+        gates,
+        area,
+        flip_flops: s + 2 * n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ced_fsm::encoded::EncodedFsm;
+    use ced_fsm::encoding::{assign, EncodingStrategy};
+    use ced_fsm::suite;
+    use ced_logic::MinimizeOptions;
+
+    #[test]
+    fn duplication_costs_more_than_original() {
+        let fsm = suite::sequence_detector();
+        let enc = assign(&fsm, EncodingStrategy::Natural);
+        let circuit = EncodedFsm::new(fsm, enc)
+            .unwrap()
+            .synthesize(&MinimizeOptions::default());
+        let lib = CellLibrary::new();
+        let dup = duplication_cost(&circuit, &lib);
+        assert_eq!(dup.parity_functions, circuit.total_bits());
+        assert!(dup.gates > circuit.gate_count());
+        assert!(dup.area > circuit.sequential_area(&lib));
+        assert_eq!(
+            dup.flip_flops,
+            circuit.state_bits() + 2 * circuit.total_bits()
+        );
+    }
+}

@@ -1,0 +1,247 @@
+//! Exact minimum-parity-cover solver for small instances.
+//!
+//! Enumerates all `2^n − 1` candidate parity masks, reduces them to
+//! distinct coverage sets, and finds a minimum cover by iterative-
+//! deepening depth-first search with branch-and-bound. Exponential in
+//! `n` — intended for `n ≤ 14` — and used to certify the quality of the
+//! LP + randomized-rounding heuristic in tests and the A1 ablation.
+
+use crate::ip::ParityCover;
+use ced_sim::detect::DetectabilityTable;
+use std::collections::HashMap;
+
+/// Upper limit on monitored bits for the exact solver.
+pub const MAX_EXACT_BITS: usize = 16;
+
+/// Default branch-and-bound node budget for [`exact_minimum_cover`].
+pub const DEFAULT_NODE_BUDGET: usize = 2_000_000;
+
+/// Computes a provably minimum parity cover, or `None` if
+/// `table.num_bits() > MAX_EXACT_BITS` (the enumeration would explode)
+/// or the search exceeds [`DEFAULT_NODE_BUDGET`] nodes.
+pub fn exact_minimum_cover(table: &DetectabilityTable) -> Option<ParityCover> {
+    exact_minimum_cover_with_budget(table, DEFAULT_NODE_BUDGET)
+}
+
+/// [`exact_minimum_cover`] with an explicit node budget: `None` means
+/// "could not certify within budget", never "no cover exists" (a cover
+/// always exists for built tables).
+pub fn exact_minimum_cover_with_budget(
+    table: &DetectabilityTable,
+    node_budget: usize,
+) -> Option<ParityCover> {
+    let n = table.num_bits();
+    if n > MAX_EXACT_BITS {
+        return None;
+    }
+    let m = table.len();
+    if m == 0 {
+        return Some(ParityCover::new(Vec::new()));
+    }
+    let words = m.div_ceil(64);
+
+    // Coverage bitset of each candidate mask, deduplicated; for equal
+    // coverage keep the mask with fewest taps (cheapest XOR tree).
+    let mut by_coverage: HashMap<Vec<u64>, u64> = HashMap::new();
+    for mask in 1..(1u64 << n) {
+        let mut cov = vec![0u64; words];
+        let mut any = false;
+        for (i, row) in table.rows().iter().enumerate() {
+            if row.detected_by(mask) {
+                cov[i / 64] |= 1 << (i % 64);
+                any = true;
+            }
+        }
+        if !any {
+            continue;
+        }
+        by_coverage
+            .entry(cov)
+            .and_modify(|best| {
+                if mask.count_ones() < best.count_ones() {
+                    *best = mask;
+                }
+            })
+            .or_insert(mask);
+    }
+
+    // Drop dominated candidates (coverage ⊆ another's coverage).
+    let mut candidates: Vec<(Vec<u64>, u64)> = by_coverage.into_iter().collect();
+    candidates
+        .sort_by_key(|(cov, _)| std::cmp::Reverse(cov.iter().map(|w| w.count_ones()).sum::<u32>()));
+    let mut kept: Vec<(Vec<u64>, u64)> = Vec::new();
+    'outer: for (cov, mask) in candidates {
+        for (kc, _) in &kept {
+            if cov.iter().zip(kc.iter()).all(|(a, b)| a & !b == 0) {
+                continue 'outer; // dominated
+            }
+        }
+        kept.push((cov, mask));
+    }
+
+    let full: Vec<u64> = {
+        let mut f = vec![u64::MAX; words];
+        let extra = words * 64 - m;
+        if extra > 0 {
+            f[words - 1] >>= extra;
+        }
+        f
+    };
+    // Feasibility: union of all candidates must be full (it is, since
+    // every row has a detecting singleton).
+    let mut union = vec![0u64; words];
+    for (cov, _) in &kept {
+        for (u, c) in union.iter_mut().zip(cov) {
+            *u |= c;
+        }
+    }
+    if union != full {
+        return None; // defensive; cannot happen for built tables
+    }
+
+    // Iterative deepening with a global node budget.
+    let mut budget = node_budget;
+    for depth in 1..=kept.len() {
+        let mut chosen = Vec::new();
+        match search(&kept, &full, &vec![0u64; words], depth, &mut chosen, m, &mut budget) {
+            SearchResult::Found => return Some(ParityCover::new(chosen)),
+            SearchResult::Exhausted => {}
+            SearchResult::OutOfBudget => return None,
+        }
+    }
+    None
+}
+
+enum SearchResult {
+    Found,
+    Exhausted,
+    OutOfBudget,
+}
+
+/// DFS: pick candidates covering the first uncovered row.
+#[allow(clippy::too_many_arguments)]
+fn search(
+    candidates: &[(Vec<u64>, u64)],
+    full: &[u64],
+    covered: &[u64],
+    depth: usize,
+    chosen: &mut Vec<u64>,
+    m: usize,
+    budget: &mut usize,
+) -> SearchResult {
+    if *budget == 0 {
+        return SearchResult::OutOfBudget;
+    }
+    *budget -= 1;
+    if covered == full {
+        return SearchResult::Found;
+    }
+    if depth == 0 {
+        return SearchResult::Exhausted;
+    }
+    // First uncovered row.
+    let mut first = None;
+    for i in 0..m {
+        if (covered[i / 64] >> (i % 64)) & 1 == 0 {
+            first = Some(i);
+            break;
+        }
+    }
+    let Some(row) = first else {
+        return SearchResult::Found;
+    };
+    for (cov, mask) in candidates {
+        if (cov[row / 64] >> (row % 64)) & 1 == 1 {
+            let next: Vec<u64> = covered.iter().zip(cov).map(|(a, b)| a | b).collect();
+            chosen.push(*mask);
+            match search(candidates, full, &next, depth - 1, chosen, m, budget) {
+                SearchResult::Found => return SearchResult::Found,
+                SearchResult::OutOfBudget => return SearchResult::OutOfBudget,
+                SearchResult::Exhausted => {}
+            }
+            chosen.pop();
+        }
+    }
+    SearchResult::Exhausted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{minimize_parity_functions, CedOptions};
+    use ced_sim::detect::EcRow;
+
+    fn table(num_bits: usize, rows: Vec<Vec<u64>>) -> DetectabilityTable {
+        let p = rows.first().map_or(1, |r| r.len());
+        DetectabilityTable::from_rows(
+            num_bits,
+            p,
+            rows.into_iter().map(|steps| EcRow { steps }).collect(),
+        )
+    }
+
+    #[test]
+    fn trivial_single_row() {
+        let t = table(3, vec![vec![0b101]]);
+        let c = exact_minimum_cover(&t).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(t.all_covered(&c.masks));
+    }
+
+    #[test]
+    fn known_two_mask_instance() {
+        let t = table(2, vec![vec![0b01], vec![0b10], vec![0b11]]);
+        let c = exact_minimum_cover(&t).unwrap();
+        assert_eq!(c.len(), 2);
+        assert!(t.all_covered(&c.masks));
+    }
+
+    #[test]
+    fn exact_never_beaten_by_heuristic() {
+        // LP+RR and greedy can match but never beat the exact optimum.
+        let cases = vec![
+            table(
+                4,
+                vec![vec![0b0001], vec![0b0110], vec![0b1011], vec![0b1111]],
+            ),
+            table(
+                3,
+                vec![vec![0b001, 0b010], vec![0b011, 0b000], vec![0b111, 0b100]],
+            ),
+            table(5, (1..=20u64).map(|i| vec![i % 31 + 1]).collect()),
+        ];
+        for t in cases {
+            let exact = exact_minimum_cover(&t).unwrap();
+            let heur = minimize_parity_functions(&t, &CedOptions::default());
+            assert!(t.all_covered(&exact.masks));
+            assert!(
+                exact.len() <= heur.q,
+                "exact {} > heuristic {}",
+                exact.len(),
+                heur.q
+            );
+        }
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = table(4, vec![]);
+        let c = exact_minimum_cover(&t).unwrap();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn too_many_bits_declined() {
+        let t = DetectabilityTable::from_rows(17, 1, vec![EcRow { steps: vec![1] }]);
+        assert!(exact_minimum_cover(&t).is_none());
+    }
+
+    #[test]
+    fn prefers_cheap_masks_among_equal_coverage() {
+        // Bits 1 and 2 never discriminate: mask {0} and {0,1,2} cover the
+        // same rows; the solver should report the singleton.
+        let t = table(3, vec![vec![0b001]]);
+        let c = exact_minimum_cover(&t).unwrap();
+        assert_eq!(c.masks, vec![0b001]);
+    }
+}

@@ -1,0 +1,174 @@
+//! The integer program of Statements 1–4 and its exact feasibility check.
+//!
+//! A candidate solution is a set of `q` parity masks `β(1)..β(q)` over
+//! the `n` monitored bits. The paper's Statement 2 requires, for every
+//! erroneous case `i`, some `l` and latency step `k ≤ p` with
+//!
+//! ```text
+//!   Σ_{j : β(l)_j = 1} V(i, j, k)  ≡ 1  (mod 2)
+//! ```
+//!
+//! i.e. the XOR tree over the bits of `β(l)` sees an odd number of
+//! discrepant bits at step `k`. The `w`/`r` variables of Statement 4
+//! only serve to express the `mod 2` linearly; for integral points the
+//! condition above is checked directly on bitmasks.
+
+use ced_sim::detect::DetectabilityTable;
+
+/// A candidate parity-CED solution: `q = masks.len()` parity trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityCover {
+    /// One bitmask per parity tree over the monitored bits `b_1..b_n`
+    /// (bit `j` set ⇔ `b_{j+1}` feeds tree `l`).
+    pub masks: Vec<u64>,
+}
+
+impl ParityCover {
+    /// Creates a cover from masks, dropping empty and duplicate masks
+    /// (an empty XOR tree detects nothing; duplicates add no coverage).
+    pub fn new(masks: Vec<u64>) -> ParityCover {
+        let mut out: Vec<u64> = Vec::with_capacity(masks.len());
+        for m in masks {
+            if m != 0 && !out.contains(&m) {
+                out.push(m);
+            }
+        }
+        ParityCover { masks: out }
+    }
+
+    /// The `n` singleton masks — the always-feasible `q = n` fallback
+    /// (every erroneous case is caught at its activation step by the
+    /// monitor on any discrepant bit).
+    pub fn singletons(num_bits: usize) -> ParityCover {
+        ParityCover {
+            masks: (0..num_bits).map(|b| 1u64 << b).collect(),
+        }
+    }
+
+    /// Number of parity functions `q`.
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// True iff there are no parity functions.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Total XOR-tree leaf count (Σ popcount) — a proxy for tree size.
+    pub fn total_taps(&self) -> usize {
+        self.masks.iter().map(|m| m.count_ones() as usize).sum()
+    }
+}
+
+/// Verifies Statement 2 exactly: returns `Ok(())` when every erroneous
+/// case is detected, otherwise the uncovered row indices.
+///
+/// # Errors
+///
+/// The `Err` payload lists every uncovered row (never empty).
+pub fn verify_cover(table: &DetectabilityTable, cover: &ParityCover) -> Result<(), Vec<usize>> {
+    let uncovered = table.uncovered_rows(&cover.masks);
+    if uncovered.is_empty() {
+        Ok(())
+    } else {
+        Err(uncovered)
+    }
+}
+
+/// Per-row detection profile of a cover: for each row, the smallest
+/// latency step (1-based) at which some mask detects it, or `None`.
+/// Used by the reports to show how much of the latency budget is
+/// actually exercised.
+pub fn detection_latencies(table: &DetectabilityTable, cover: &ParityCover) -> Vec<Option<usize>> {
+    table
+        .rows()
+        .iter()
+        .map(|row| {
+            for (k, &d) in row.steps.iter().enumerate() {
+                if cover.masks.iter().any(|&m| (m & d).count_ones() & 1 == 1) {
+                    return Some(k + 1);
+                }
+            }
+            None
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ced_sim::detect::EcRow;
+
+    fn table(rows: Vec<Vec<u64>>) -> DetectabilityTable {
+        let p = rows[0].len();
+        DetectabilityTable::from_rows(
+            8,
+            p,
+            rows.into_iter().map(|steps| EcRow { steps }).collect(),
+        )
+    }
+
+    #[test]
+    fn new_drops_empty_and_duplicate_masks() {
+        let c = ParityCover::new(vec![0b01, 0, 0b01, 0b10]);
+        assert_eq!(c.masks, vec![0b01, 0b10]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.total_taps(), 2);
+    }
+
+    #[test]
+    fn singletons_cover_any_table() {
+        let t = table(vec![vec![0b0001, 0], vec![0b1000, 0b0110]]);
+        let c = ParityCover::singletons(8);
+        assert!(verify_cover(&t, &c).is_ok());
+    }
+
+    #[test]
+    fn parity_cancellation_is_respected() {
+        // Row with two discrepant bits at the only step: a mask covering
+        // both sees even parity → undetected.
+        let t = table(vec![vec![0b11]]);
+        let both = ParityCover::new(vec![0b11]);
+        assert_eq!(verify_cover(&t, &both), Err(vec![0]));
+        let one = ParityCover::new(vec![0b01]);
+        assert!(verify_cover(&t, &one).is_ok());
+    }
+
+    #[test]
+    fn later_steps_can_provide_coverage() {
+        // Step 1 has an even overlap, step 2 an odd one.
+        let t = table(vec![vec![0b11, 0b01]]);
+        let c = ParityCover::new(vec![0b11]);
+        // step2: 0b11 & 0b01 = 1 bit → odd → covered.
+        assert!(verify_cover(&t, &c).is_ok());
+        assert_eq!(detection_latencies(&t, &c), vec![Some(2)]);
+    }
+
+    #[test]
+    fn singleton_taps_count() {
+        let c = ParityCover::singletons(7);
+        assert_eq!(c.len(), 7);
+        assert_eq!(c.total_taps(), 7);
+        assert!(!c.is_empty());
+        assert!(ParityCover::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn detection_latency_profile() {
+        let t = table(vec![
+            vec![0b001, 0b000],
+            vec![0b110, 0b010],
+            vec![0b110, 0b110],
+        ]);
+        let c = ParityCover::new(vec![0b001, 0b010]);
+        let lat = detection_latencies(&t, &c);
+        assert_eq!(lat[0], Some(1)); // bit0 at step 1
+        assert_eq!(lat[1], Some(1)); // bit1 ∈ 0b110 odd at step 1
+        assert_eq!(lat[2], Some(1));
+        // An uncoverable row under this cover:
+        let t2 = table(vec![vec![0b100, 0b100]]);
+        assert_eq!(detection_latencies(&t2, &c), vec![None]);
+        assert!(verify_cover(&t2, &c).is_err());
+    }
+}

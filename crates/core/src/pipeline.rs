@@ -1,0 +1,428 @@
+//! End-to-end pipeline: symbolic FSM → encoded circuit → fault
+//! simulation → detectability table → Algorithm 1 → CED hardware →
+//! per-latency report. This is the programmatic equivalent of the
+//! paper's experimental flow (§5) and the engine behind the Table-1
+//! harness.
+
+use crate::duplication::duplication_cost;
+use crate::hardware::{synthesize_ced, CedCost};
+use crate::ip::ParityCover;
+use crate::search::CedOptions;
+use ced_fsm::encoded::{EncodedFsm, FsmCircuit};
+use ced_fsm::encoding::StateEncoding;
+use ced_fsm::encoding::{assign, EncodingStrategy};
+use ced_fsm::machine::{Fsm, FsmError};
+use ced_logic::cube::Literal;
+use ced_logic::gate::CellLibrary;
+use ced_logic::MinimizeOptions;
+use ced_sim::detect::{
+    DetectError, DetectOptions, DetectStats, DetectabilityTable, InputModel, Semantics,
+};
+use ced_sim::fault::{all_faults, collapsed_faults, Fault};
+use std::fmt;
+
+/// Input-space granularity of the erroneous-case enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InputGranularity {
+    /// One representative input per STG transition cube — the paper's
+    /// "for every transition in the FSM" granularity (default; keeps
+    /// wide-input machines tractable).
+    #[default]
+    TransitionCubes,
+    /// All `2^r` input minterms at every state — exact, and required
+    /// for the operational guarantee over arbitrary input streams.
+    Exhaustive,
+}
+
+/// Configuration of the whole pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineOptions {
+    /// State-assignment strategy.
+    pub encoding: EncodingStrategy,
+    /// Two-level minimization knobs (synthesis and CED predictor).
+    pub minimize: MinimizeOptions,
+    /// Algorithm-1 knobs.
+    pub ced: CedOptions,
+    /// Use structurally collapsed faults (default) or the full list.
+    pub full_fault_list: bool,
+    /// Hard cap on detectability rows (guards pathological machines).
+    pub max_rows: usize,
+    /// Step-difference semantics (lockstep = the paper's construction;
+    /// faulty-trajectory = the Fig. 3 hardware's observable condition).
+    pub semantics: Semantics,
+    /// Input-space granularity of the enumeration.
+    pub input_granularity: InputGranularity,
+    /// Share logic across output cones during synthesis (default).
+    /// `false` synthesizes PLA-per-output cones: single gate faults
+    /// then perturb one cone only (input and state-register faults
+    /// still straddle cones), at an area cost — kept as an ablation
+    /// knob for the fault-effect-locality study.
+    pub isolate_output_logic: bool,
+}
+
+impl PipelineOptions {
+    /// Defaults matching the paper's setup.
+    pub fn paper_defaults() -> PipelineOptions {
+        PipelineOptions {
+            max_rows: 2_000_000,
+            ..PipelineOptions::default()
+        }
+    }
+}
+
+/// Per-latency experiment record (one group of Table-1 columns).
+#[derive(Debug, Clone)]
+pub struct LatencyResult {
+    /// The latency bound `p`.
+    pub latency: usize,
+    /// Rows in the (truncated) detectability table.
+    pub erroneous_cases: usize,
+    /// The verified parity cover.
+    pub cover: ParityCover,
+    /// CED checker cost.
+    pub cost: CedCost,
+    /// LP solves used by the search.
+    pub lp_solves: usize,
+    /// Rounding attempts used by the search.
+    pub rounding_attempts: usize,
+}
+
+/// Full per-circuit experiment record (one Table-1 row).
+#[derive(Debug, Clone)]
+pub struct CircuitReport {
+    /// Circuit name.
+    pub name: String,
+    /// Input bits `r`.
+    pub inputs: usize,
+    /// State bits `s`.
+    pub state_bits: usize,
+    /// Output bits.
+    pub outputs: usize,
+    /// Original circuit gate count.
+    pub original_gates: usize,
+    /// Original circuit cost (area incl. state register).
+    pub original_cost: f64,
+    /// Fault statistics from table construction at `p_max`.
+    pub detect_stats: DetectStats,
+    /// Duplication baseline cost.
+    pub duplication: CedCost,
+    /// One record per requested latency bound (ascending).
+    pub latencies: Vec<LatencyResult>,
+}
+
+/// Pipeline failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The machine is not complete/deterministic or encoding failed.
+    Fsm(FsmError),
+    /// Detectability construction overflowed.
+    Detect(DetectError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Fsm(e) => write!(f, "fsm error: {e}"),
+            PipelineError::Detect(e) => write!(f, "detectability error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<FsmError> for PipelineError {
+    fn from(e: FsmError) -> PipelineError {
+        PipelineError::Fsm(e)
+    }
+}
+
+impl From<DetectError> for PipelineError {
+    fn from(e: DetectError) -> PipelineError {
+        PipelineError::Detect(e)
+    }
+}
+
+/// Synthesizes a symbolic machine with the pipeline's settings.
+///
+/// Incomplete machines are completed with don't-care self-loops first
+/// (the usual convention for partially specified MCNC benchmarks).
+///
+/// # Errors
+///
+/// Propagates FSM validation failures.
+pub fn synthesize_circuit(
+    fsm: &Fsm,
+    options: &PipelineOptions,
+) -> Result<FsmCircuit, PipelineError> {
+    Ok(prepare_machine(fsm, options)?.1)
+}
+
+/// Completes, encodes and synthesizes a machine, returning both the
+/// encoded symbolic form (needed e.g. for the transition-cube input
+/// model) and the gate-level circuit.
+///
+/// # Errors
+///
+/// Propagates FSM validation failures.
+pub fn prepare_machine(
+    fsm: &Fsm,
+    options: &PipelineOptions,
+) -> Result<(EncodedFsm, FsmCircuit), PipelineError> {
+    let mut fsm = fsm.clone();
+    if fsm.check_complete().is_err() {
+        fsm.complete_with_self_loops();
+    }
+    let enc = assign(&fsm, options.encoding);
+    let encoded = EncodedFsm::new(fsm, enc)?;
+    let circuit = encoded.synthesize_with_sharing(&options.minimize, !options.isolate_output_logic);
+    Ok((encoded, circuit))
+}
+
+/// Builds the [`InputModel`] for a machine under the chosen granularity.
+///
+/// For [`InputGranularity::TransitionCubes`], each state contributes
+/// one representative minterm per transition cube (the cube's smallest
+/// covered input); codes without a symbolic state fall back to the
+/// union of all representatives.
+pub fn build_input_model(
+    fsm: &Fsm,
+    encoding: &StateEncoding,
+    granularity: InputGranularity,
+) -> InputModel {
+    match granularity {
+        InputGranularity::Exhaustive => InputModel::Exhaustive,
+        InputGranularity::TransitionCubes => {
+            let s = encoding.bits();
+            let mut by_state: Vec<Vec<u64>> = vec![Vec::new(); 1 << s];
+            let mut fallback: Vec<u64> = Vec::new();
+            for t in fsm.transitions() {
+                let mut rep = 0u64;
+                for v in 0..t.input.width() {
+                    if t.input.literal(v) == Literal::Positive {
+                        rep |= 1 << v;
+                    }
+                }
+                let code = encoding.code(t.from) as usize;
+                by_state[code].push(rep);
+                fallback.push(rep);
+            }
+            for v in by_state.iter_mut() {
+                v.sort_unstable();
+                v.dedup();
+            }
+            fallback.sort_unstable();
+            fallback.dedup();
+            if fallback.is_empty() {
+                fallback.push(0);
+            }
+            InputModel::Restricted { by_state, fallback }
+        }
+    }
+}
+
+/// The circuit's fault list under the pipeline's settings.
+pub fn fault_list(circuit: &FsmCircuit, options: &PipelineOptions) -> Vec<Fault> {
+    if options.full_fault_list {
+        all_faults(circuit.netlist())
+    } else {
+        collapsed_faults(circuit.netlist())
+    }
+}
+
+/// Runs the complete experiment for one machine over several latency
+/// bounds (ascending order recommended; the detectability table is
+/// built once at the maximum and truncated for the rest).
+///
+/// # Errors
+///
+/// Propagates FSM validation and table-construction failures.
+pub fn run_circuit(
+    fsm: &Fsm,
+    latencies: &[usize],
+    options: &PipelineOptions,
+    library: &CellLibrary,
+) -> Result<CircuitReport, PipelineError> {
+    let (encoded, circuit) = prepare_machine(fsm, options)?;
+    let input_model =
+        build_input_model(encoded.fsm(), encoded.encoding(), options.input_granularity);
+    let faults = fault_list(&circuit, options);
+    let p_max = latencies.iter().copied().max().unwrap_or(1);
+
+    // One dominance-reduced table per latency bound (reduction depends
+    // on the bound, so the p_max table cannot be reused by truncation).
+    let max_rows = if options.max_rows == 0 {
+        2_000_000
+    } else {
+        options.max_rows
+    };
+    let mut stats = DetectStats::default();
+    let mut latency_results = Vec::with_capacity(latencies.len());
+    let mut incumbent: Option<ParityCover> = None;
+    // One shared enumeration pass for all bounds: the per-fault table
+    // extraction dominates on large circuits.
+    let built = DetectabilityTable::build_many(
+        &circuit,
+        &faults,
+        &DetectOptions {
+            latency: p_max,
+            max_rows,
+            semantics: options.semantics,
+            input_model,
+            reduce: true,
+        },
+        latencies,
+    )?;
+    for (&p, (table, p_stats)) in latencies.iter().zip(built) {
+        if p == p_max {
+            stats = p_stats;
+        }
+        let outcome =
+            crate::search::minimize_with_incumbent(&table, &options.ced, incumbent.as_ref());
+        incumbent = Some(outcome.cover.clone());
+        debug_assert!(table.all_covered(&outcome.cover.masks));
+        let ced = synthesize_ced(&circuit, &outcome.cover, p, &options.minimize);
+        latency_results.push(LatencyResult {
+            latency: p,
+            erroneous_cases: table.len(),
+            cover: outcome.cover,
+            cost: ced.cost(library),
+            lp_solves: outcome.lp_solves,
+            rounding_attempts: outcome.rounding_attempts,
+        });
+    }
+
+    Ok(CircuitReport {
+        name: circuit.name().to_string(),
+        inputs: circuit.num_inputs(),
+        state_bits: circuit.state_bits(),
+        outputs: circuit.num_outputs(),
+        original_gates: circuit.gate_count(),
+        original_cost: circuit.sequential_area(library),
+        detect_stats: stats,
+        duplication: duplication_cost(&circuit, library),
+        latencies: latency_results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ced_fsm::suite;
+
+    #[test]
+    fn full_pipeline_on_small_machine() {
+        let fsm = suite::sequence_detector();
+        let report = run_circuit(
+            &fsm,
+            &[1, 2],
+            &PipelineOptions::paper_defaults(),
+            &CellLibrary::new(),
+        )
+        .unwrap();
+        assert_eq!(report.latencies.len(), 2);
+        assert!(report.original_gates > 0);
+        assert!(report.original_cost > 0.0);
+        let p1 = &report.latencies[0];
+        let p2 = &report.latencies[1];
+        assert!(!p1.cover.is_empty());
+        // Latency can only help (or tie) the parity-function count.
+        assert!(p2.cover.len() <= p1.cover.len());
+        // And the parity method uses at most as many functions as
+        // duplication.
+        assert!(p1.cover.len() <= report.duplication.parity_functions);
+    }
+
+    #[test]
+    fn incomplete_machines_are_completed() {
+        let mut fsm = ced_fsm::Fsm::new("partial", 1, 1);
+        let a = fsm.add_state("a");
+        let b = fsm.add_state("b");
+        fsm.add_transition("1".parse().unwrap(), a, b, vec![ced_fsm::OutputValue::One])
+            .unwrap();
+        fsm.add_transition("1".parse().unwrap(), b, a, vec![ced_fsm::OutputValue::Zero])
+            .unwrap();
+        let report = run_circuit(
+            &fsm,
+            &[1],
+            &PipelineOptions::paper_defaults(),
+            &CellLibrary::new(),
+        )
+        .unwrap();
+        assert_eq!(report.inputs, 1);
+    }
+
+    #[test]
+    fn transition_cube_input_model_has_per_state_representatives() {
+        let fsm = suite::worked_example();
+        let options = PipelineOptions::paper_defaults();
+        let (encoded, _) = prepare_machine(&fsm, &options).unwrap();
+        let model = build_input_model(
+            encoded.fsm(),
+            encoded.encoding(),
+            InputGranularity::TransitionCubes,
+        );
+        match model {
+            InputModel::Restricted { by_state, fallback } => {
+                // Every symbolic state code has representatives; the
+                // worked example has 2 transitions per state.
+                for state in 0..encoded.fsm().num_states() {
+                    let code = encoded.encoding().code(ced_fsm::StateId(state as u32));
+                    assert_eq!(by_state[code as usize].len(), 2, "state {state}");
+                }
+                assert!(!fallback.is_empty());
+            }
+            InputModel::Exhaustive => panic!("expected restricted model"),
+        }
+    }
+
+    #[test]
+    fn exhaustive_granularity_produces_exhaustive_model() {
+        let fsm = suite::serial_adder();
+        let options = PipelineOptions::paper_defaults();
+        let (encoded, _) = prepare_machine(&fsm, &options).unwrap();
+        let model = build_input_model(
+            encoded.fsm(),
+            encoded.encoding(),
+            InputGranularity::Exhaustive,
+        );
+        assert!(matches!(model, InputModel::Exhaustive));
+    }
+
+    #[test]
+    fn q_is_monotone_in_latency_thanks_to_incumbents() {
+        // Even with a tiny rounding budget (weak oracle), the incumbent
+        // threading guarantees non-increasing q.
+        let fsm = suite::worked_example();
+        let mut opts = PipelineOptions::paper_defaults();
+        opts.ced.iterations = 5;
+        let report = run_circuit(&fsm, &[1, 2, 3], &opts, &CellLibrary::new()).unwrap();
+        let q: Vec<usize> = report.latencies.iter().map(|l| l.cover.len()).collect();
+        assert!(q.windows(2).all(|w| w[1] <= w[0]), "q not monotone: {q:?}");
+    }
+
+    #[test]
+    fn isolated_cones_cost_at_least_as_much() {
+        let fsm = suite::sequence_detector();
+        let shared = PipelineOptions::paper_defaults();
+        let mut isolated = PipelineOptions::paper_defaults();
+        isolated.isolate_output_logic = true;
+        let a = synthesize_circuit(&fsm, &shared).unwrap();
+        let b = synthesize_circuit(&fsm, &isolated).unwrap();
+        assert!(b.gate_count() >= a.gate_count());
+        // Functionally identical.
+        for state in 0..(1u64 << a.state_bits()) {
+            for input in 0..(1u64 << a.num_inputs()) {
+                assert_eq!(a.step(state, input), b.step(state, input));
+            }
+        }
+    }
+
+    #[test]
+    fn row_cap_surfaces_as_error() {
+        let fsm = suite::worked_example();
+        let mut opts = PipelineOptions::paper_defaults();
+        opts.max_rows = 1;
+        let err = run_circuit(&fsm, &[2], &opts, &CellLibrary::new()).unwrap_err();
+        assert!(matches!(err, PipelineError::Detect(_)));
+    }
+}

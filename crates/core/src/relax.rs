@@ -1,0 +1,272 @@
+//! The LP relaxation of Statement 5, in two equivalent forms.
+//!
+//! **Full form** (the paper's Statement 5, with the parity-slack
+//! variables `w` eliminated analytically): for each of the `q` blocks
+//! `l`, variables `β(l) ∈ [0,1]^n` and `r(l,k) ∈ [0,1]^m` with
+//!
+//! ```text
+//!   r(l,k)_i ≤ Σ_j V(i,j,k) β(l)_j      ∀ l, k, i
+//!   Σ_{l,k} r(l,k)_i ≥ 1                ∀ i
+//! ```
+//!
+//! (The equality `V β = 2w + r` with `w ∈ [0, ⌊n/2⌋]` free is exactly
+//! `0 ≤ Vβ − r` and `Vβ − r` even-capped — after relaxing integrality,
+//! `w` absorbs any slack, leaving the inequality above.)
+//!
+//! **Symmetric form**: the `q` blocks are interchangeable, and
+//! `x ↦ min(1, x)` is concave, so averaging the blocks of any feasible
+//! point yields a feasible point with all blocks equal (Jensen). The LP
+//! over a single `β ∈ [0,1]^n` and `t(k) ∈ [0,1]^m` with
+//!
+//! ```text
+//!   t(k)_i ≤ Σ_j V(i,j,k) β_j           ∀ k, i
+//!   Σ_k t(k)_i ≥ 1/q                    ∀ i
+//! ```
+//!
+//! is feasible **iff** the full form is, at a `q`-fold smaller tableau.
+//! Randomized rounding then draws the `q` masks i.i.d. from `β`.
+//!
+//! Both forms minimize `Σ β` — among feasible points, prefer sparse
+//! fractional masks, which round to small parity trees.
+
+use ced_lp::problem::{ConstraintOp, LinearProgram, Sense, VarId};
+use ced_sim::detect::DetectabilityTable;
+
+/// Which LP formulation to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpForm {
+    /// One shared `β`; `q` enters the row constraints (recommended).
+    #[default]
+    Symmetric,
+    /// The literal Statement 5 with `q` independent blocks.
+    Full,
+}
+
+/// Which objective guides the choice among feasible LP points (the
+/// paper's Statement 5 is a pure feasibility problem; the objective is
+/// an implementation degree of freedom that shapes the rounding
+/// probabilities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpObjective {
+    /// Minimize `Σ β` — sparse fractional masks, small XOR trees.
+    #[default]
+    SparseBeta,
+    /// Maximize `Σ t − ε Σ β` — spread coverage mass across rows and
+    /// steps, improving the odds that independent rounds cover the
+    /// stubborn rows of dense tables.
+    MaxCoverage,
+}
+
+/// A built relaxation, remembering where the `β` variables live.
+#[derive(Debug, Clone)]
+pub struct Relaxation {
+    /// The LP, ready for [`ced_lp::solve`].
+    pub lp: LinearProgram,
+    /// `beta_vars[l][j]` = the LP variable of `β(l)_j`. The symmetric
+    /// form has a single block (`l = 0`).
+    pub beta_vars: Vec<Vec<VarId>>,
+    /// Number of parity functions the relaxation was built for.
+    pub q: usize,
+    /// Row indices of `table` included in the LP (lazy subsets possible).
+    pub row_indices: Vec<usize>,
+}
+
+impl Relaxation {
+    /// Extracts the fractional `β` block(s) from a solved point.
+    pub fn fractional_betas(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        self.beta_vars
+            .iter()
+            .map(|block| block.iter().map(|v| x[v.0]).collect())
+            .collect()
+    }
+}
+
+/// Builds the relaxation for the given rows of the table (`row_indices`;
+/// pass `0..m` for all rows).
+///
+/// # Panics
+///
+/// Panics if `q == 0` or any row index is out of range.
+pub fn build_relaxation(
+    table: &DetectabilityTable,
+    q: usize,
+    form: LpForm,
+    row_indices: &[usize],
+) -> Relaxation {
+    build_relaxation_with_objective(table, q, form, row_indices, LpObjective::default())
+}
+
+/// [`build_relaxation`] with an explicit objective (see [`LpObjective`]).
+///
+/// # Panics
+///
+/// Panics if `q == 0` or any row index is out of range.
+pub fn build_relaxation_with_objective(
+    table: &DetectabilityTable,
+    q: usize,
+    form: LpForm,
+    row_indices: &[usize],
+    objective: LpObjective,
+) -> Relaxation {
+    assert!(q >= 1, "need at least one parity function");
+    let n = table.num_bits();
+    let p = table.latency();
+    let blocks = match form {
+        LpForm::Symmetric => 1,
+        LpForm::Full => q,
+    };
+    let mut lp = LinearProgram::new(Sense::Minimize);
+    let (beta_cost, t_cost) = match objective {
+        LpObjective::SparseBeta => (1.0, 0.0),
+        LpObjective::MaxCoverage => (0.05, -1.0), // minimize ε·Σβ − Σt
+    };
+
+    // β variables.
+    let beta_vars: Vec<Vec<VarId>> = (0..blocks)
+        .map(|_| (0..n).map(|_| lp.add_variable(0.0, 1.0, beta_cost)).collect())
+        .collect();
+
+    // Coverage variables.
+    // t[l][i_local][k]
+    let t_vars: Vec<Vec<Vec<VarId>>> = (0..blocks)
+        .map(|_| {
+            row_indices
+                .iter()
+                .map(|_| (0..p).map(|_| lp.add_variable(0.0, 1.0, t_cost)).collect())
+                .collect()
+        })
+        .collect();
+
+    // t(l,k)_i ≤ Σ_j V(i,j,k) β(l)_j.
+    for (l, block) in beta_vars.iter().enumerate() {
+        for (i_local, &i) in row_indices.iter().enumerate() {
+            let row = &table.rows()[i];
+            for k in 0..p {
+                let d = row.steps[k];
+                let mut terms: Vec<(VarId, f64)> = vec![(t_vars[l][i_local][k], 1.0)];
+                for j in 0..n {
+                    if (d >> j) & 1 == 1 {
+                        terms.push((block[j], -1.0));
+                    }
+                }
+                lp.add_constraint(terms, ConstraintOp::Le, 0.0);
+            }
+        }
+    }
+
+    // Coverage demand per row.
+    let demand = match form {
+        LpForm::Symmetric => 1.0 / q as f64,
+        LpForm::Full => 1.0,
+    };
+    for (i_local, _) in row_indices.iter().enumerate() {
+        let mut terms = Vec::with_capacity(blocks * p);
+        for block_t in &t_vars {
+            for k in 0..p {
+                terms.push((block_t[i_local][k], 1.0));
+            }
+        }
+        lp.add_constraint(terms, ConstraintOp::Ge, demand);
+    }
+
+    Relaxation {
+        lp,
+        beta_vars,
+        q,
+        row_indices: row_indices.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ced_lp::solve;
+    use ced_sim::detect::EcRow;
+
+    fn table(rows: Vec<Vec<u64>>) -> DetectabilityTable {
+        let p = rows[0].len();
+        DetectabilityTable::from_rows(
+            6,
+            p,
+            rows.into_iter().map(|steps| EcRow { steps }).collect(),
+        )
+    }
+
+    fn all_rows(t: &DetectabilityTable) -> Vec<usize> {
+        (0..t.len()).collect()
+    }
+
+    #[test]
+    fn symmetric_relaxation_feasible_for_simple_table() {
+        let t = table(vec![vec![0b000001], vec![0b000010]]);
+        let relax = build_relaxation(&t, 2, LpForm::Symmetric, &all_rows(&t));
+        let sol = solve(&relax.lp).expect("feasible");
+        let betas = relax.fractional_betas(&sol.x);
+        assert_eq!(betas.len(), 1);
+        assert_eq!(betas[0].len(), 6);
+        // Coverage demands force some β mass on bits 0 and 1.
+        assert!(betas[0][0] > 0.2);
+        assert!(betas[0][1] > 0.2);
+    }
+
+    #[test]
+    fn full_relaxation_matches_symmetric_feasibility() {
+        let t = table(vec![vec![0b01, 0b10], vec![0b10, 0b00], vec![0b11, 0b01]]);
+        for q in 1..=3 {
+            let sym = build_relaxation(&t, q, LpForm::Symmetric, &all_rows(&t));
+            let full = build_relaxation(&t, q, LpForm::Full, &all_rows(&t));
+            let sym_ok = solve(&sym.lp).is_ok();
+            let full_ok = solve(&full.lp).is_ok();
+            assert_eq!(sym_ok, full_ok, "q={q}: forms disagree on feasibility");
+        }
+    }
+
+    #[test]
+    fn relaxation_objective_prefers_sparse_beta() {
+        // Single row detectable by bit 3 only: β should concentrate there.
+        let t = table(vec![vec![0b001000]]);
+        let relax = build_relaxation(&t, 1, LpForm::Symmetric, &all_rows(&t));
+        let sol = solve(&relax.lp).unwrap();
+        let beta = &relax.fractional_betas(&sol.x)[0];
+        assert!(beta[3] > 0.99, "beta = {beta:?}");
+        let total: f64 = beta.iter().sum();
+        assert!(total < 1.01, "objective failed to sparsify: {beta:?}");
+    }
+
+    #[test]
+    fn lp_always_feasible_with_enough_q() {
+        // Every row has some detecting bit; q = n with singleton-capable
+        // β must be LP-feasible.
+        let t = table(vec![
+            vec![0b000011, 0],
+            vec![0b000110, 0b000001],
+            vec![0b110000, 0b110000],
+        ]);
+        let relax = build_relaxation(&t, 6, LpForm::Symmetric, &all_rows(&t));
+        assert!(solve(&relax.lp).is_ok());
+    }
+
+    #[test]
+    fn lazy_row_subset_builds() {
+        let t = table(vec![vec![0b01], vec![0b10], vec![0b11]]);
+        let relax = build_relaxation(&t, 2, LpForm::Symmetric, &[0, 2]);
+        assert_eq!(relax.row_indices, vec![0, 2]);
+        assert!(solve(&relax.lp).is_ok());
+    }
+
+    #[test]
+    fn full_form_has_q_blocks() {
+        let t = table(vec![vec![0b01]]);
+        let relax = build_relaxation(&t, 3, LpForm::Full, &all_rows(&t));
+        assert_eq!(relax.beta_vars.len(), 3);
+        let sol = solve(&relax.lp).unwrap();
+        assert_eq!(relax.fractional_betas(&sol.x).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one parity function")]
+    fn zero_q_rejected() {
+        let t = table(vec![vec![0b1]]);
+        let _ = build_relaxation(&t, 0, LpForm::Symmetric, &[0]);
+    }
+}

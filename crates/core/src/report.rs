@@ -1,0 +1,212 @@
+//! Report formatting: Table-1 rows and the §5 summary statistics.
+
+use crate::pipeline::CircuitReport;
+
+/// Renders the header of the paper's Table 1 for the given latency
+/// bounds.
+pub fn table1_header(latencies: &[usize]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{:<10} {:>3} {:>5} {:>3} | {:>6} {:>9}",
+        "Circuit", "In", "State", "Out", "Gates", "Cost"
+    );
+    for &p in latencies {
+        let _ = write!(out, " | p={p}: {:>5} {:>6} {:>9}", "Trees", "Gates", "Cost");
+    }
+    out
+}
+
+/// Renders one Table-1 row.
+pub fn table1_row(report: &CircuitReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{:<10} {:>3} {:>5} {:>3} | {:>6} {:>9.1}",
+        report.name,
+        report.inputs,
+        report.state_bits,
+        report.outputs,
+        report.original_gates,
+        report.original_cost
+    );
+    for lr in &report.latencies {
+        let _ = write!(
+            out,
+            " |      {:>5} {:>6} {:>9.1}",
+            lr.cover.len(),
+            lr.cost.gates,
+            lr.cost.area
+        );
+    }
+    out
+}
+
+/// The §5 aggregate statistics over a set of circuit reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Latency bounds the reports cover (ascending).
+    pub latencies: Vec<usize>,
+    /// Average % by which p=1 parity-function counts undercut
+    /// duplication (`n` functions). Paper: 53.00%.
+    pub trees_vs_duplication_pct: f64,
+    /// Average % by which p=1 CED cost undercuts duplication cost.
+    /// Paper: 22.40%.
+    pub cost_vs_duplication_pct: f64,
+    /// Average % reduction in parity functions from each latency bound
+    /// to the next (`reduction[i]` = p(i) → p(i+1)). Paper: 17.0% then
+    /// 7.23%.
+    pub tree_reduction_pct: Vec<f64>,
+    /// Average % reduction in CED cost from each latency bound to the
+    /// next. Paper: 7.8% then 7.08%.
+    pub cost_reduction_pct: Vec<f64>,
+}
+
+/// Computes the summary over per-circuit reports (all must share the
+/// same latency list).
+///
+/// # Panics
+///
+/// Panics if `reports` is empty or the latency lists differ.
+pub fn summarize(reports: &[CircuitReport]) -> Summary {
+    assert!(!reports.is_empty(), "no reports to summarize");
+    let latencies: Vec<usize> = reports[0].latencies.iter().map(|l| l.latency).collect();
+    for r in reports {
+        let ls: Vec<usize> = r.latencies.iter().map(|l| l.latency).collect();
+        assert_eq!(ls, latencies, "reports cover different latency sets");
+    }
+
+    let pct = |reduced: f64, base: f64| -> f64 {
+        if base <= 0.0 {
+            0.0
+        } else {
+            100.0 * (base - reduced) / base
+        }
+    };
+
+    let mut trees_vs_dup = 0.0;
+    let mut cost_vs_dup = 0.0;
+    for r in reports {
+        let p1 = &r.latencies[0];
+        trees_vs_dup += pct(p1.cover.len() as f64, r.duplication.parity_functions as f64);
+        cost_vs_dup += pct(p1.cost.area, r.duplication.area);
+    }
+    trees_vs_dup /= reports.len() as f64;
+    cost_vs_dup /= reports.len() as f64;
+
+    let steps = latencies.len().saturating_sub(1);
+    let mut tree_red = vec![0.0; steps];
+    let mut cost_red = vec![0.0; steps];
+    for r in reports {
+        for i in 0..steps {
+            let a = &r.latencies[i];
+            let b = &r.latencies[i + 1];
+            tree_red[i] += pct(b.cover.len() as f64, a.cover.len() as f64);
+            cost_red[i] += pct(b.cost.area, a.cost.area);
+        }
+    }
+    for v in tree_red.iter_mut().chain(cost_red.iter_mut()) {
+        *v /= reports.len() as f64;
+    }
+
+    Summary {
+        latencies,
+        trees_vs_duplication_pct: trees_vs_dup,
+        cost_vs_duplication_pct: cost_vs_dup,
+        tree_reduction_pct: tree_red,
+        cost_reduction_pct: cost_red,
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "p={}: parity functions {:.2}% fewer than duplication; cost {:.2}% lower",
+            self.latencies.first().copied().unwrap_or(1),
+            self.trees_vs_duplication_pct,
+            self.cost_vs_duplication_pct
+        )?;
+        for (i, (t, c)) in self
+            .tree_reduction_pct
+            .iter()
+            .zip(&self.cost_reduction_pct)
+            .enumerate()
+        {
+            writeln!(
+                f,
+                "p={} → p={}: parity functions −{:.2}%, cost −{:.2}%",
+                self.latencies[i],
+                self.latencies[i + 1],
+                t,
+                c
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_circuit, PipelineOptions};
+    use ced_fsm::suite;
+    use ced_logic::gate::CellLibrary;
+
+    fn reports() -> Vec<CircuitReport> {
+        let lib = CellLibrary::new();
+        let opts = PipelineOptions::paper_defaults();
+        vec![
+            run_circuit(&suite::sequence_detector(), &[1, 2], &opts, &lib).unwrap(),
+            run_circuit(&suite::serial_adder(), &[1, 2], &opts, &lib).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn rows_and_header_align() {
+        let rs = reports();
+        let header = table1_header(&[1, 2]);
+        assert!(header.contains("p=1"));
+        assert!(header.contains("p=2"));
+        for r in &rs {
+            let row = table1_row(r);
+            assert!(row.contains(&r.name));
+        }
+    }
+
+    #[test]
+    fn summary_is_sane() {
+        let rs = reports();
+        let s = summarize(&rs);
+        assert_eq!(s.latencies, vec![1, 2]);
+        // Parity CED never needs more trees than duplication.
+        assert!(s.trees_vs_duplication_pct >= 0.0);
+        // Latency can only reduce (or hold) the tree count.
+        assert!(s.tree_reduction_pct[0] >= 0.0);
+        let text = s.to_string();
+        assert!(text.contains("duplication"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no reports")]
+    fn empty_summary_panics() {
+        let _ = summarize(&[]);
+    }
+
+    #[test]
+    fn header_width_tracks_latency_count() {
+        let short = table1_header(&[1]);
+        let long = table1_header(&[1, 2, 3, 4]);
+        assert!(long.len() > short.len());
+        assert_eq!(long.matches("p=").count(), 4);
+    }
+
+    #[test]
+    fn summary_display_mentions_every_step() {
+        let rs = reports();
+        let text = summarize(&rs).to_string();
+        assert!(text.contains("p=1 → p=2"));
+    }
+}

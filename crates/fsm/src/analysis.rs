@@ -1,0 +1,92 @@
+//! Structural statistics of symbolic machines.
+//!
+//! Aggregates the quantities the paper's §5 discussion correlates with
+//! latency benefit: size, self-loop density, reachability and cycle
+//! structure.
+
+use crate::machine::Fsm;
+use crate::reach::{girth, max_useful_latency_estimate, reachable_states};
+
+/// A summary of an FSM's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsmStats {
+    /// Machine name.
+    pub name: String,
+    /// Input bits.
+    pub inputs: usize,
+    /// Output bits.
+    pub outputs: usize,
+    /// Symbolic states.
+    pub states: usize,
+    /// Transition lines.
+    pub transitions: usize,
+    /// States reachable from reset.
+    pub reachable: usize,
+    /// Fraction of (state, input) pairs that self-loop.
+    pub self_loop_fraction: f64,
+    /// Shortest cycle length anywhere (None if acyclic).
+    pub girth: Option<usize>,
+    /// A-priori maximum useful latency bound (paper §2).
+    pub max_useful_latency: usize,
+}
+
+impl FsmStats {
+    /// Computes all statistics for a machine.
+    pub fn of(fsm: &Fsm) -> FsmStats {
+        FsmStats {
+            name: fsm.name().to_string(),
+            inputs: fsm.num_inputs(),
+            outputs: fsm.num_outputs(),
+            states: fsm.num_states(),
+            transitions: fsm.transitions().len(),
+            reachable: reachable_states(fsm).len(),
+            self_loop_fraction: fsm.self_loop_fraction(),
+            girth: girth(fsm),
+            max_useful_latency: max_useful_latency_estimate(fsm),
+        }
+    }
+}
+
+impl std::fmt::Display for FsmStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} in / {} states ({} reachable) / {} out, {} lines, {:.0}% self-loops, girth {:?}, max useful latency {}",
+            self.name,
+            self.inputs,
+            self.states,
+            self.reachable,
+            self.outputs,
+            self.transitions,
+            self.self_loop_fraction * 100.0,
+            self.girth,
+            self.max_useful_latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    #[test]
+    fn stats_of_sequence_detector() {
+        let fsm = suite::sequence_detector();
+        let stats = FsmStats::of(&fsm);
+        assert_eq!(stats.states, 4);
+        assert_eq!(stats.reachable, 4);
+        assert_eq!(stats.inputs, 1);
+        assert_eq!(stats.girth, Some(1)); // e self-loops on 0
+        assert!(stats.self_loop_fraction > 0.0);
+        assert!(stats.max_useful_latency >= 1);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = FsmStats::of(&suite::traffic_light());
+        let text = s.to_string();
+        assert!(text.contains("traffic") || text.contains("kiss"));
+        assert!(text.contains("states"));
+    }
+}

@@ -1,0 +1,647 @@
+//! Encoded FSMs and their synthesized gate-level circuits.
+//!
+//! After state assignment, the machine of Fig. 1 of the paper has
+//! `r` primary inputs, `s` state bits and `n − s` outputs; its next-state
+//! and output functions are Boolean functions of `r + s` variables. This
+//! module builds those functions as (ON, DC) covers — exploiting both
+//! unspecified outputs and invalid state codes as don't-cares — and maps
+//! them to a [`Netlist`] via the Espresso substrate, yielding the
+//! [`FsmCircuit`] that fault simulation and costing operate on.
+//!
+//! Variable order of the combinational block: variables `0..r` are the
+//! primary inputs, variables `r..r+s` are the present-state bits.
+//! Output order: next-state bits `0..s`, then primary outputs `s..s+o`
+//! (matching the paper's `b_1..b_s, b_{s+1}..b_n`).
+
+use crate::encoding::StateEncoding;
+use crate::machine::{Fsm, FsmError, OutputValue, StateId};
+use ced_logic::cover::Cover;
+use ced_logic::cube::{Cube, Literal};
+use ced_logic::decompose::MultiOutputSpec;
+use ced_logic::gate::CellLibrary;
+use ced_logic::netlist::Netlist;
+use ced_logic::MinimizeOptions;
+
+/// A symbolic machine paired with a state assignment.
+#[derive(Debug, Clone)]
+pub struct EncodedFsm {
+    fsm: Fsm,
+    encoding: StateEncoding,
+}
+
+impl EncodedFsm {
+    /// Pairs a machine with an encoding.
+    ///
+    /// The machine must be complete (call
+    /// [`Fsm::complete_with_self_loops`] first if needed) and
+    /// deterministic, and the encoding must cover every state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FsmError`] from the validity checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoding's state count differs from the machine's.
+    pub fn new(fsm: Fsm, encoding: StateEncoding) -> Result<EncodedFsm, FsmError> {
+        assert_eq!(
+            encoding.num_states(),
+            fsm.num_states(),
+            "encoding covers {} states, machine has {}",
+            encoding.num_states(),
+            fsm.num_states()
+        );
+        fsm.check_deterministic()?;
+        fsm.check_complete()?;
+        Ok(EncodedFsm { fsm, encoding })
+    }
+
+    /// The underlying symbolic machine.
+    pub fn fsm(&self) -> &Fsm {
+        &self.fsm
+    }
+
+    /// The state assignment.
+    pub fn encoding(&self) -> &StateEncoding {
+        &self.encoding
+    }
+
+    /// `r`: number of primary input bits.
+    pub fn num_inputs(&self) -> usize {
+        self.fsm.num_inputs()
+    }
+
+    /// `s`: number of state bits.
+    pub fn state_bits(&self) -> usize {
+        self.encoding.bits()
+    }
+
+    /// Number of primary output bits (`n − s`).
+    pub fn num_outputs(&self) -> usize {
+        self.fsm.num_outputs()
+    }
+
+    /// `n = s + outputs`: total monitored next-state/output bits.
+    pub fn total_bits(&self) -> usize {
+        self.state_bits() + self.num_outputs()
+    }
+
+    /// The reset state's code.
+    pub fn reset_code(&self) -> u64 {
+        self.encoding.code(self.fsm.reset_state())
+    }
+
+    /// Widens an `r`-bit input cube and a present state into an
+    /// `(r+s)`-variable cube.
+    fn transition_cube(&self, input: &Cube, from: StateId) -> Cube {
+        let r = self.num_inputs();
+        let s = self.state_bits();
+        let mut cube = Cube::full(r + s);
+        for v in 0..r {
+            cube.set(v, input.literal(v));
+        }
+        let code = self.encoding.code(from);
+        for b in 0..s {
+            let lit = if (code >> b) & 1 == 1 {
+                Literal::Positive
+            } else {
+                Literal::Negative
+            };
+            cube.set(r + b, lit);
+        }
+        cube
+    }
+
+    /// The don't-care cover arising from invalid (unused) state codes,
+    /// over the `r+s` input space.
+    pub fn invalid_code_dc(&self) -> Cover {
+        let r = self.num_inputs();
+        let s = self.state_bits();
+        // Valid codes as an s-variable cover, complemented.
+        let valid: Cover = Cover::from_cubes(
+            s,
+            self.encoding
+                .codes()
+                .iter()
+                .map(|&c| Cube::minterm(s, c))
+                .collect(),
+        );
+        let invalid = valid.complement();
+        // Widen to r+s variables (inputs all don't-care).
+        let mut out = Cover::empty(r + s);
+        for c in invalid.cubes() {
+            let mut wide = Cube::full(r + s);
+            for v in 0..s {
+                wide.set(r + v, c.literal(v));
+            }
+            out.push(wide);
+        }
+        out
+    }
+
+    /// Builds the multi-output (ON, DC) specification of the combined
+    /// next-state/output logic: outputs `0..s` are next-state bits,
+    /// outputs `s..s+o` the primary outputs.
+    pub fn synthesis_spec(&self) -> MultiOutputSpec {
+        let r = self.num_inputs();
+        let s = self.state_bits();
+        let o = self.num_outputs();
+        let width = r + s;
+        let code_dc = self.invalid_code_dc();
+
+        let mut on = vec![Cover::empty(width); s + o];
+        let mut dc = vec![code_dc; s + o];
+
+        for t in self.fsm.transitions() {
+            let cube = self.transition_cube(&t.input, t.from);
+            let to_code = self.encoding.code(t.to);
+            for b in 0..s {
+                if (to_code >> b) & 1 == 1 {
+                    on[b].push(cube.clone());
+                }
+            }
+            for (j, v) in t.output.iter().enumerate() {
+                match v {
+                    OutputValue::One => on[s + j].push(cube.clone()),
+                    OutputValue::DontCare => dc[s + j].push(cube.clone()),
+                    OutputValue::Zero => {}
+                }
+            }
+        }
+
+        let mut spec = MultiOutputSpec::new(width);
+        for (on_i, dc_i) in on.into_iter().zip(dc) {
+            // DC must not contradict ON: drop the overlap from DC.
+            // (Overlap arises when an earlier, higher-priority line pins a
+            // value that a later overlapping line leaves unspecified.)
+            let dc_i = dc_i.sharp(&on_i);
+            spec.add_output(on_i, dc_i);
+        }
+        spec
+    }
+
+    /// Synthesizes the gate-level circuit via Espresso + decomposition.
+    pub fn synthesize(&self, options: &MinimizeOptions) -> FsmCircuit {
+        self.synthesize_with_sharing(options, true)
+    }
+
+    /// [`EncodedFsm::synthesize`] with control over cross-output
+    /// structural sharing. `share = false` gives PLA-per-output cones:
+    /// larger, but each fault perturbs one cone only — the implementation
+    /// style classic FSM-CED analyses (and this paper's lineage) assume.
+    pub fn synthesize_with_sharing(&self, options: &MinimizeOptions, share: bool) -> FsmCircuit {
+        let mut spec = self.synthesis_spec();
+        spec.set_isolate_outputs(!share);
+        let netlist = spec.synthesize(options);
+        FsmCircuit {
+            netlist,
+            num_inputs: self.num_inputs(),
+            state_bits: self.state_bits(),
+            num_outputs: self.num_outputs(),
+            reset_code: self.reset_code(),
+            name: self.fsm.name().to_string(),
+        }
+    }
+}
+
+/// A synthesized FSM: combinational next-state/output netlist plus the
+/// implied state register.
+///
+/// The netlist has `r + s` inputs (primary inputs then present-state
+/// bits) and `s + o` outputs (next-state bits then primary outputs).
+#[derive(Debug, Clone)]
+pub struct FsmCircuit {
+    netlist: Netlist,
+    num_inputs: usize,
+    state_bits: usize,
+    num_outputs: usize,
+    reset_code: u64,
+    name: String,
+}
+
+impl FsmCircuit {
+    /// Builds a circuit directly from parts (used by tests and by fault
+    /// injection wrappers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist interface does not match the declared
+    /// dimensions.
+    pub fn from_parts(
+        netlist: Netlist,
+        num_inputs: usize,
+        state_bits: usize,
+        num_outputs: usize,
+        reset_code: u64,
+        name: impl Into<String>,
+    ) -> FsmCircuit {
+        assert_eq!(netlist.num_inputs(), num_inputs + state_bits);
+        assert_eq!(netlist.num_outputs(), state_bits + num_outputs);
+        assert!(reset_code < (1u64 << state_bits));
+        FsmCircuit {
+            netlist,
+            num_inputs,
+            state_bits,
+            num_outputs,
+            reset_code,
+            name: name.into(),
+        }
+    }
+
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The combinational core.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// `r`: primary input bits.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// `s`: state bits.
+    pub fn state_bits(&self) -> usize {
+        self.state_bits
+    }
+
+    /// Primary output bits.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// `n = s + o` monitored bits per transition.
+    pub fn total_bits(&self) -> usize {
+        self.state_bits + self.num_outputs
+    }
+
+    /// The power-on state code.
+    pub fn reset_code(&self) -> u64 {
+        self.reset_code
+    }
+
+    /// One synchronous step: returns `(next_state_code, output_bits)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `input` exceed their bit widths.
+    pub fn step(&self, state: u64, input: u64) -> (u64, u64) {
+        assert!(state < (1u64 << self.state_bits), "state out of range");
+        assert!(
+            self.num_inputs == 64 || input < (1u64 << self.num_inputs),
+            "input out of range"
+        );
+        let mut in_bits = Vec::with_capacity(self.num_inputs + self.state_bits);
+        for i in 0..self.num_inputs {
+            in_bits.push((input >> i) & 1 == 1);
+        }
+        for b in 0..self.state_bits {
+            in_bits.push((state >> b) & 1 == 1);
+        }
+        let out = self.netlist.eval_single(&in_bits);
+        let mut next = 0u64;
+        for b in 0..self.state_bits {
+            if out[b] {
+                next |= 1 << b;
+            }
+        }
+        let mut pout = 0u64;
+        for j in 0..self.num_outputs {
+            if out[self.state_bits + j] {
+                pout |= 1 << j;
+            }
+        }
+        (next, pout)
+    }
+
+    /// Runs an input sequence from reset, returning the visited
+    /// `(state_before, output, state_after)` triples.
+    pub fn run<I: IntoIterator<Item = u64>>(&self, inputs: I) -> Vec<(u64, u64, u64)> {
+        let mut state = self.reset_code;
+        let mut trace = Vec::new();
+        for input in inputs {
+            let (next, out) = self.step(state, input);
+            trace.push((state, out, next));
+            state = next;
+        }
+        trace
+    }
+
+    /// Port names of the combinational core: `in*`, `ps*` (present
+    /// state), then `ns*` (next state) and `out*`.
+    pub fn port_names(&self) -> ced_logic::export::PortNames {
+        let mut inputs = Vec::with_capacity(self.num_inputs + self.state_bits);
+        inputs.extend((0..self.num_inputs).map(|i| format!("in{i}")));
+        inputs.extend((0..self.state_bits).map(|b| format!("ps{b}")));
+        let mut outputs = Vec::with_capacity(self.state_bits + self.num_outputs);
+        outputs.extend((0..self.state_bits).map(|b| format!("ns{b}")));
+        outputs.extend((0..self.num_outputs).map(|o| format!("out{o}")));
+        ced_logic::export::PortNames { inputs, outputs }
+    }
+
+    /// Exports the sequential machine as BLIF: the combinational core as
+    /// `.names` tables plus one `.latch` per state bit (reset value from
+    /// the reset code) — directly consumable by SIS-lineage tools.
+    pub fn to_blif(&self) -> String {
+        use std::fmt::Write as _;
+        let ports = self.port_names();
+        let comb = ced_logic::export::to_blif(self.netlist(), self.name(), &ports);
+        // Rewrite the header: primary inputs only, latches for state.
+        let mut out = String::new();
+        let _ = writeln!(out, ".model {}", self.name());
+        let _ = writeln!(
+            out,
+            ".inputs {}",
+            (0..self.num_inputs)
+                .map(|i| format!("in{i}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let _ = writeln!(
+            out,
+            ".outputs {}",
+            (0..self.num_outputs)
+                .map(|o| format!("out{o}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        for b in 0..self.state_bits {
+            let reset_bit = (self.reset_code >> b) & 1;
+            let _ = writeln!(out, ".latch ns{b} ps{b} re clk {reset_bit}");
+        }
+        // Body: everything between the original header and .end.
+        for line in comb.lines() {
+            if line.starts_with(".model")
+                || line.starts_with(".inputs")
+                || line.starts_with(".outputs")
+                || line == ".end"
+            {
+                continue;
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str(".end\n");
+        out
+    }
+
+    /// Exports the sequential machine as synthesizable Verilog: the
+    /// combinational core plus a clocked state register with
+    /// asynchronous reset to the reset code.
+    pub fn to_verilog(&self) -> String {
+        use std::fmt::Write as _;
+        let ports = self.port_names();
+        let comb =
+            ced_logic::export::to_verilog(self.netlist(), &format!("{}_comb", self.name()), &ports);
+        let mut out = comb;
+        let _ = writeln!(out);
+        let ins: Vec<String> = (0..self.num_inputs).map(|i| format!("in{i}")).collect();
+        let outs: Vec<String> = (0..self.num_outputs).map(|o| format!("out{o}")).collect();
+        let _ = writeln!(
+            out,
+            "module {}(clk, rst_n, {});",
+            self.name(),
+            ins.iter()
+                .chain(outs.iter())
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(out, "  input clk, rst_n;");
+        for i in &ins {
+            let _ = writeln!(out, "  input {i};");
+        }
+        for o in &outs {
+            let _ = writeln!(out, "  output {o};");
+        }
+        let _ = writeln!(out, "  reg [{}:0] state;", self.state_bits.max(1) - 1);
+        let _ = writeln!(out, "  wire [{}:0] next_state;", self.state_bits.max(1) - 1);
+        let mut conns: Vec<String> = Vec::new();
+        for (i, name) in ins.iter().enumerate() {
+            conns.push(format!(".in{i}({name})"));
+        }
+        for b in 0..self.state_bits {
+            conns.push(format!(".ps{b}(state[{b}])"));
+            conns.push(format!(".ns{b}(next_state[{b}])"));
+        }
+        for (o, name) in outs.iter().enumerate() {
+            conns.push(format!(".out{o}({name})"));
+        }
+        let _ = writeln!(out, "  {}_comb u_comb({});", self.name(), conns.join(", "));
+        let _ = writeln!(out, "  always @(posedge clk or negedge rst_n)");
+        let _ = writeln!(
+            out,
+            "    if (!rst_n) state <= {}'d{};",
+            self.state_bits.max(1),
+            self.reset_code
+        );
+        let _ = writeln!(out, "    else state <= next_state;");
+        out.push_str("endmodule\n");
+        out
+    }
+
+    /// Mapped gate count of the combinational core (the paper's `Gates`).
+    pub fn gate_count(&self) -> usize {
+        self.netlist.gate_count()
+    }
+
+    /// Combinational area under a cell library.
+    pub fn combinational_area(&self, library: &CellLibrary) -> f64 {
+        self.netlist.area(library)
+    }
+
+    /// Total area including the `s` state flip-flops (the paper's `Cost`).
+    pub fn sequential_area(&self, library: &CellLibrary) -> f64 {
+        self.combinational_area(library) + self.state_bits as f64 * library.dff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{assign, EncodingStrategy};
+
+    /// A 2-bit up counter with enable: out = carry.
+    fn counter() -> Fsm {
+        let mut fsm = Fsm::new("ctr", 1, 1);
+        let s: Vec<StateId> = (0..4).map(|i| fsm.add_state(format!("c{i}"))).collect();
+        for i in 0..4usize {
+            // enable=1: advance; carry on wrap.
+            let carry = if i == 3 {
+                OutputValue::One
+            } else {
+                OutputValue::Zero
+            };
+            fsm.add_transition("1".parse().unwrap(), s[i], s[(i + 1) % 4], vec![carry])
+                .unwrap();
+            // enable=0: hold.
+            fsm.add_transition("0".parse().unwrap(), s[i], s[i], vec![OutputValue::Zero])
+                .unwrap();
+        }
+        fsm
+    }
+
+    fn encoded(strategy: EncodingStrategy) -> EncodedFsm {
+        let fsm = counter();
+        let enc = assign(&fsm, strategy);
+        EncodedFsm::new(fsm, enc).unwrap()
+    }
+
+    #[test]
+    fn dimensions() {
+        let e = encoded(EncodingStrategy::Natural);
+        assert_eq!(e.num_inputs(), 1);
+        assert_eq!(e.state_bits(), 2);
+        assert_eq!(e.num_outputs(), 1);
+        assert_eq!(e.total_bits(), 3);
+        assert_eq!(e.reset_code(), 0);
+    }
+
+    #[test]
+    fn synthesized_circuit_matches_symbolic_semantics() {
+        for strategy in [
+            EncodingStrategy::Natural,
+            EncodingStrategy::Gray,
+            EncodingStrategy::Adjacency,
+        ] {
+            let e = encoded(strategy);
+            let circuit = e.synthesize(&MinimizeOptions::default());
+            for (i, st) in e.fsm().state_names().iter().enumerate() {
+                let sid = e.fsm().state_by_name(st).unwrap();
+                let code = e.encoding().code(sid);
+                for input in 0..2u64 {
+                    let t = e.fsm().transition_on(StateId(i as u32), input).unwrap();
+                    let (next, out) = circuit.step(code, input);
+                    assert_eq!(
+                        next,
+                        e.encoding().code(t.to),
+                        "{strategy:?}: wrong next state from {st} on {input}"
+                    );
+                    match t.output[0] {
+                        OutputValue::One => assert_eq!(out, 1),
+                        OutputValue::Zero => assert_eq!(out, 0),
+                        OutputValue::DontCare => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_traces_the_counter() {
+        let e = encoded(EncodingStrategy::Natural);
+        let circuit = e.synthesize(&MinimizeOptions::default());
+        let trace = circuit.run([1, 1, 1, 1, 0]);
+        let states: Vec<u64> = trace.iter().map(|(s, _, _)| *s).collect();
+        assert_eq!(states, vec![0, 1, 2, 3, 0]);
+        // Carry fires on the 3→0 wrap.
+        assert_eq!(trace[3].1, 1);
+        assert_eq!(trace[4].1, 0);
+        // Hold on enable=0.
+        assert_eq!(trace[4].2, 0);
+    }
+
+    #[test]
+    fn invalid_code_dc_covers_unused_codes() {
+        // 3 states in 2 bits: one invalid code.
+        let mut fsm = Fsm::new("three", 1, 1);
+        let s: Vec<StateId> = (0..3).map(|i| fsm.add_state(format!("s{i}"))).collect();
+        for i in 0..3usize {
+            fsm.add_transition(
+                "-".parse().unwrap(),
+                s[i],
+                s[(i + 1) % 3],
+                vec![OutputValue::Zero],
+            )
+            .unwrap();
+        }
+        let enc = assign(&fsm, EncodingStrategy::Natural);
+        let e = EncodedFsm::new(fsm, enc).unwrap();
+        let dc = e.invalid_code_dc();
+        // Code 3 (state bits 11) is invalid: minterm input=*, state=11.
+        assert!(dc.covers_minterm(0b110 | 0b110)); // any pattern with vars 1,2 set
+        assert!(dc.covers_minterm(0b110));
+        assert!(!dc.covers_minterm(0b010));
+    }
+
+    #[test]
+    fn incomplete_machine_rejected() {
+        let mut fsm = Fsm::new("inc", 1, 1);
+        let s0 = fsm.add_state("s0");
+        fsm.add_transition("1".parse().unwrap(), s0, s0, vec![OutputValue::One])
+            .unwrap();
+        let enc = assign(&fsm, EncodingStrategy::Natural);
+        assert!(matches!(
+            EncodedFsm::new(fsm, enc),
+            Err(FsmError::Incomplete { .. })
+        ));
+    }
+
+    #[test]
+    fn gate_count_and_area_positive() {
+        let e = encoded(EncodingStrategy::Natural);
+        let c = e.synthesize(&MinimizeOptions::default());
+        assert!(c.gate_count() > 0);
+        let lib = CellLibrary::new();
+        assert!(c.combinational_area(&lib) > 0.0);
+        assert!(c.sequential_area(&lib) > c.combinational_area(&lib));
+    }
+
+    #[test]
+    fn blif_export_has_latches_and_tables() {
+        let e = encoded(EncodingStrategy::Natural);
+        let c = e.synthesize(&MinimizeOptions::default());
+        let blif = c.to_blif();
+        assert!(blif.starts_with(".model ctr\n"));
+        assert!(blif.contains(".latch ns0 ps0 re clk 0"));
+        assert!(blif.contains(".latch ns1 ps1 re clk 0"));
+        assert!(blif.contains(".inputs in0"));
+        assert!(blif.contains(".outputs out0"));
+        assert!(blif.contains(".names"));
+        assert!(blif.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn verilog_export_has_register_and_instance() {
+        let e = encoded(EncodingStrategy::Natural);
+        let c = e.synthesize(&MinimizeOptions::default());
+        let v = c.to_verilog();
+        assert!(v.contains("module ctr_comb("));
+        assert!(v.contains("module ctr(clk, rst_n, in0, out0);"));
+        assert!(v.contains("reg [1:0] state;"));
+        assert!(v.contains("u_comb"));
+        assert!(v.contains("if (!rst_n) state <= 2'd0;"));
+    }
+
+    #[test]
+    fn dont_care_outputs_reduce_logic() {
+        // Same machine; one variant pins the output on hold transitions,
+        // the other leaves it unspecified. DC version must not be larger.
+        let build = |dc: bool| {
+            let mut fsm = Fsm::new("m", 1, 1);
+            let a = fsm.add_state("a");
+            let b = fsm.add_state("b");
+            let hold = if dc {
+                OutputValue::DontCare
+            } else {
+                OutputValue::One
+            };
+            fsm.add_transition("1".parse().unwrap(), a, b, vec![OutputValue::One])
+                .unwrap();
+            fsm.add_transition("0".parse().unwrap(), a, a, vec![hold])
+                .unwrap();
+            fsm.add_transition("1".parse().unwrap(), b, a, vec![OutputValue::Zero])
+                .unwrap();
+            fsm.add_transition("0".parse().unwrap(), b, b, vec![hold])
+                .unwrap();
+            let enc = assign(&fsm, EncodingStrategy::Natural);
+            EncodedFsm::new(fsm, enc)
+                .unwrap()
+                .synthesize(&MinimizeOptions::default())
+        };
+        assert!(build(true).gate_count() <= build(false).gate_count());
+    }
+}

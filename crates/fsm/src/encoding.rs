@@ -1,0 +1,312 @@
+//! State assignment: mapping symbolic states to binary codes.
+//!
+//! The paper performs state assignment before synthesis (with SIS). We
+//! provide the common strategies plus a light-weight adjacency heuristic
+//! in the spirit of MUSTANG: states that frequently transition to each
+//! other receive codes at small Hamming distance, which tends to shrink
+//! the next-state logic.
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_fsm::machine::Fsm;
+//! use ced_fsm::encoding::{assign, EncodingStrategy};
+//! # use ced_fsm::machine::OutputValue;
+//!
+//! let mut fsm = Fsm::new("m", 1, 1);
+//! let a = fsm.add_state("a");
+//! let b = fsm.add_state("b");
+//! fsm.add_transition("-".parse()?, a, b, vec![OutputValue::One])?;
+//! fsm.add_transition("-".parse()?, b, a, vec![OutputValue::Zero])?;
+//! let enc = assign(&fsm, EncodingStrategy::Natural);
+//! assert_eq!(enc.bits(), 1);
+//! assert_ne!(enc.code(a), enc.code(b));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::machine::{Fsm, StateId};
+
+/// Available state-assignment strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EncodingStrategy {
+    /// Binary codes in state-id order (0, 1, 2, …).
+    #[default]
+    Natural,
+    /// Gray-code order: consecutive ids differ in one bit.
+    Gray,
+    /// One bit per state (code = 1 << id). Expensive in flip-flops but
+    /// cheap in next-state logic; included for completeness and ablation.
+    OneHot,
+    /// Greedy adjacency embedding (MUSTANG-like): heavily connected state
+    /// pairs get Hamming-close codes.
+    Adjacency,
+}
+
+/// A state assignment: `bits` flip-flops, one code per state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateEncoding {
+    bits: usize,
+    codes: Vec<u64>,
+}
+
+impl StateEncoding {
+    /// Builds an encoding from explicit codes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if codes are not unique or exceed the bit width.
+    pub fn from_codes(bits: usize, codes: Vec<u64>) -> StateEncoding {
+        assert!(bits <= 63, "too many state bits");
+        let mut seen = std::collections::HashSet::new();
+        for &c in &codes {
+            assert!(c < (1u64 << bits), "code {c:#b} exceeds {bits} bits");
+            assert!(seen.insert(c), "duplicate state code {c:#b}");
+        }
+        StateEncoding { bits, codes }
+    }
+
+    /// Number of state bits (`s` in the paper).
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The code assigned to a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state id is out of range.
+    pub fn code(&self, state: StateId) -> u64 {
+        self.codes[state.index()]
+    }
+
+    /// All codes in state-id order.
+    pub fn codes(&self) -> &[u64] {
+        &self.codes
+    }
+
+    /// Reverse lookup: the state with the given code, if any.
+    pub fn state_of_code(&self, code: u64) -> Option<StateId> {
+        self.codes
+            .iter()
+            .position(|&c| c == code)
+            .map(|i| StateId(i as u32))
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.codes.len()
+    }
+}
+
+/// Minimum number of bits to encode `n` states densely.
+pub fn min_bits(n: usize) -> usize {
+    if n <= 1 {
+        1
+    } else {
+        usize::BITS as usize - (n - 1).leading_zeros() as usize
+    }
+}
+
+fn gray(i: u64) -> u64 {
+    i ^ (i >> 1)
+}
+
+/// Assigns codes to the states of `fsm` using the given strategy.
+///
+/// The reset state always receives code 0 (Natural/Gray assign it id
+/// order; Adjacency pins it explicitly) so that power-on state is
+/// all-zero flip-flops, matching hardware convention.
+///
+/// # Panics
+///
+/// Panics if the machine has no states or needs more than 63 state bits.
+pub fn assign(fsm: &Fsm, strategy: EncodingStrategy) -> StateEncoding {
+    let n = fsm.num_states();
+    assert!(n > 0, "cannot encode a machine with no states");
+    match strategy {
+        EncodingStrategy::Natural => {
+            let bits = min_bits(n);
+            StateEncoding::from_codes(bits, (0..n as u64).collect())
+        }
+        EncodingStrategy::Gray => {
+            let bits = min_bits(n);
+            StateEncoding::from_codes(bits, (0..n as u64).map(gray).collect())
+        }
+        EncodingStrategy::OneHot => {
+            assert!(n <= 63, "one-hot limited to 63 states");
+            StateEncoding::from_codes(n, (0..n).map(|i| 1u64 << i).collect())
+        }
+        EncodingStrategy::Adjacency => adjacency_assign(fsm),
+    }
+}
+
+/// Greedy adjacency embedding. Builds a weighted state graph (weight =
+/// number of transition lines between the pair, both directions, plus a
+/// bonus for sharing a predecessor), then places states one at a time —
+/// highest total weight first — choosing for each the free code with the
+/// smallest weighted Hamming distance to already-placed neighbours.
+fn adjacency_assign(fsm: &Fsm) -> StateEncoding {
+    let n = fsm.num_states();
+    let bits = min_bits(n);
+    let mut weight = vec![vec![0u32; n]; n];
+    for t in fsm.transitions() {
+        let (a, b) = (t.from.index(), t.to.index());
+        if a != b {
+            weight[a][b] += 2;
+            weight[b][a] += 2;
+        }
+    }
+    // Fan-out bonus: states reached from the same predecessor benefit from
+    // close codes (shared next-state logic).
+    for s in 0..n {
+        let succ: Vec<usize> = fsm
+            .transitions()
+            .iter()
+            .filter(|t| t.from.index() == s)
+            .map(|t| t.to.index())
+            .collect();
+        for i in 0..succ.len() {
+            for j in (i + 1)..succ.len() {
+                if succ[i] != succ[j] {
+                    weight[succ[i]][succ[j]] += 1;
+                    weight[succ[j]][succ[i]] += 1;
+                }
+            }
+        }
+    }
+
+    let mut codes = vec![u64::MAX; n];
+    let mut code_used = vec![false; 1 << bits];
+    // Pin the reset state to code 0.
+    let reset = fsm.reset_state().index();
+    codes[reset] = 0;
+    code_used[0] = true;
+
+    // Place remaining states by decreasing total adjacency weight.
+    let mut order: Vec<usize> = (0..n).filter(|&s| s != reset).collect();
+    order.sort_by_key(|&s| std::cmp::Reverse(weight[s].iter().sum::<u32>()));
+
+    for s in order {
+        let mut best_code = 0u64;
+        let mut best_cost = u64::MAX;
+        for c in 0..(1u64 << bits) {
+            if code_used[c as usize] {
+                continue;
+            }
+            let mut cost = 0u64;
+            for other in 0..n {
+                if codes[other] != u64::MAX && weight[s][other] > 0 {
+                    let d = (c ^ codes[other]).count_ones() as u64;
+                    cost += d * weight[s][other] as u64;
+                }
+            }
+            if cost < best_cost {
+                best_cost = cost;
+                best_code = c;
+            }
+        }
+        codes[s] = best_code;
+        code_used[best_code as usize] = true;
+    }
+    StateEncoding::from_codes(bits, codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::OutputValue;
+
+    fn chain(n: usize) -> Fsm {
+        let mut fsm = Fsm::new("chain", 1, 1);
+        let ids: Vec<StateId> = (0..n).map(|i| fsm.add_state(format!("s{i}"))).collect();
+        for i in 0..n {
+            fsm.add_transition(
+                "-".parse().unwrap(),
+                ids[i],
+                ids[(i + 1) % n],
+                vec![OutputValue::Zero],
+            )
+            .unwrap();
+        }
+        fsm
+    }
+
+    #[test]
+    fn min_bits_values() {
+        assert_eq!(min_bits(1), 1);
+        assert_eq!(min_bits(2), 1);
+        assert_eq!(min_bits(3), 2);
+        assert_eq!(min_bits(4), 2);
+        assert_eq!(min_bits(5), 3);
+        assert_eq!(min_bits(16), 4);
+        assert_eq!(min_bits(17), 5);
+    }
+
+    #[test]
+    fn natural_codes_are_sequential() {
+        let enc = assign(&chain(5), EncodingStrategy::Natural);
+        assert_eq!(enc.bits(), 3);
+        assert_eq!(enc.codes(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn gray_codes_adjacent_differ_by_one_bit() {
+        let enc = assign(&chain(8), EncodingStrategy::Gray);
+        for i in 0..7 {
+            let d = (enc.codes()[i] ^ enc.codes()[i + 1]).count_ones();
+            assert_eq!(d, 1, "gray codes {i},{} differ by {d}", i + 1);
+        }
+    }
+
+    #[test]
+    fn one_hot_codes() {
+        let enc = assign(&chain(4), EncodingStrategy::OneHot);
+        assert_eq!(enc.bits(), 4);
+        assert_eq!(enc.codes(), &[1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn adjacency_keeps_reset_at_zero_and_codes_unique() {
+        let fsm = chain(6);
+        let enc = assign(&fsm, EncodingStrategy::Adjacency);
+        assert_eq!(enc.code(fsm.reset_state()), 0);
+        let mut codes = enc.codes().to_vec();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 6);
+    }
+
+    #[test]
+    fn adjacency_places_neighbours_close_on_a_chain() {
+        // In a cycle, total adjacent Hamming distance under the heuristic
+        // should not exceed the natural encoding's.
+        let fsm = chain(8);
+        let adj = assign(&fsm, EncodingStrategy::Adjacency);
+        let nat = assign(&fsm, EncodingStrategy::Natural);
+        let dist = |e: &StateEncoding| -> u32 {
+            (0..8)
+                .map(|i| (e.codes()[i] ^ e.codes()[(i + 1) % 8]).count_ones())
+                .sum()
+        };
+        assert!(dist(&adj) <= dist(&nat));
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let enc = assign(&chain(3), EncodingStrategy::Natural);
+        assert_eq!(enc.state_of_code(2), Some(StateId(2)));
+        assert_eq!(enc.state_of_code(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate state code")]
+    fn from_codes_rejects_duplicates() {
+        let _ = StateEncoding::from_codes(2, vec![0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn from_codes_rejects_overflow() {
+        let _ = StateEncoding::from_codes(1, vec![0, 2]);
+    }
+}

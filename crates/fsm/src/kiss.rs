@@ -1,0 +1,350 @@
+//! KISS2 parsing and printing.
+//!
+//! KISS2 is the MCNC benchmark interchange format for symbolic FSMs:
+//!
+//! ```text
+//! .i 2          # input bits
+//! .o 1          # output bits
+//! .p 4          # number of transition lines (optional)
+//! .s 2          # number of states (optional)
+//! .r s0         # reset state (optional; defaults to first mentioned)
+//! 0- s0 s0 0
+//! 1- s0 s1 1
+//! -1 s1 s0 0
+//! -0 s1 s1 1
+//! .e
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_fsm::kiss;
+//!
+//! let text = ".i 1\n.o 1\n.s 2\n.r a\n0 a a 0\n1 a b 1\n- b a 0\n.e\n";
+//! let fsm = kiss::parse(text)?;
+//! assert_eq!(fsm.num_states(), 2);
+//! let round = kiss::to_string(&fsm);
+//! assert_eq!(kiss::parse(&round)?, fsm);
+//! # Ok::<(), ced_fsm::kiss::ParseKissError>(())
+//! ```
+
+use crate::machine::{Fsm, OutputValue};
+use ced_logic::cube::Cube;
+use std::fmt;
+
+/// Error produced when a KISS2 document cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseKissError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseKissError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kiss2 parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseKissError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseKissError {
+    ParseKissError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a KISS2 document into an [`Fsm`].
+///
+/// The machine name is taken from a `.model` line if present, otherwise
+/// `"kiss"`. Comments start with `#`. `.p`/`.s` counts are checked when
+/// present.
+///
+/// # Errors
+///
+/// Returns [`ParseKissError`] with a line number for malformed headers,
+/// cubes, output vectors, or count mismatches.
+pub fn parse(text: &str) -> Result<Fsm, ParseKissError> {
+    let mut num_inputs: Option<usize> = None;
+    let mut num_outputs: Option<usize> = None;
+    let mut declared_products: Option<usize> = None;
+    let mut declared_states: Option<usize> = None;
+    let mut reset_name: Option<String> = None;
+    let mut name = String::from("kiss");
+    let mut body: Vec<(usize, Vec<String>)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+        match tokens[0].as_str() {
+            ".i" => {
+                num_inputs = Some(parse_count(&tokens, lineno, ".i")?);
+            }
+            ".o" => {
+                num_outputs = Some(parse_count(&tokens, lineno, ".o")?);
+            }
+            ".p" => {
+                declared_products = Some(parse_count(&tokens, lineno, ".p")?);
+            }
+            ".s" => {
+                declared_states = Some(parse_count(&tokens, lineno, ".s")?);
+            }
+            ".r" => {
+                let state = tokens
+                    .get(1)
+                    .ok_or_else(|| err(lineno, ".r needs a state name"))?;
+                reset_name = Some(state.clone());
+            }
+            ".model" => {
+                if let Some(n) = tokens.get(1) {
+                    name = n.clone();
+                }
+            }
+            ".e" | ".end" => break,
+            ".start_kiss" | ".end_kiss" | ".latch" | ".ilb" | ".ob" => {
+                // Tolerated BLIF-embedding directives; ignored.
+            }
+            t if t.starts_with('.') => {
+                return Err(err(lineno, format!("unknown directive {t}")));
+            }
+            _ => body.push((lineno, tokens)),
+        }
+    }
+
+    let ni = num_inputs.ok_or_else(|| err(0, "missing .i header"))?;
+    let no = num_outputs.ok_or_else(|| err(0, "missing .o header"))?;
+    let mut fsm = Fsm::new(name, ni, no);
+
+    // First pass: collect states in order of first mention so that ids are
+    // stable and the reset default matches convention.
+    if let Some(r) = &reset_name {
+        fsm.add_state(r.clone());
+    }
+    // With zero outputs the output field is empty and lines have three
+    // tokens; otherwise four.
+    let expected_fields = if no == 0 { 3 } else { 4 };
+    for (lineno, tokens) in &body {
+        if tokens.len() != expected_fields {
+            return Err(err(
+                *lineno,
+                format!(
+                    "expected `input from to{}`, got {} fields",
+                    if no == 0 { "" } else { " output" },
+                    tokens.len()
+                ),
+            ));
+        }
+        fsm.add_state(tokens[1].clone());
+        fsm.add_state(tokens[2].clone());
+    }
+
+    for (lineno, tokens) in &body {
+        let input: Cube = tokens[0]
+            .parse()
+            .map_err(|e| err(*lineno, format!("bad input cube: {e}")))?;
+        if input.width() != ni {
+            return Err(err(
+                *lineno,
+                format!("input cube has {} bits, expected {ni}", input.width()),
+            ));
+        }
+        let from = fsm.state_by_name(&tokens[1]).expect("state interned");
+        let to = fsm.state_by_name(&tokens[2]).expect("state interned");
+        let mut output = Vec::with_capacity(no);
+        let out_field = tokens.get(3).map(String::as_str).unwrap_or("");
+        for (i, ch) in out_field.chars().enumerate() {
+            let v = OutputValue::from_char(ch)
+                .ok_or_else(|| err(*lineno, format!("bad output character at {i}")))?;
+            output.push(v);
+        }
+        if output.len() != no {
+            return Err(err(
+                *lineno,
+                format!("output has {} bits, expected {no}", output.len()),
+            ));
+        }
+        fsm.add_transition(input, from, to, output)
+            .map_err(|e| err(*lineno, e.to_string()))?;
+    }
+
+    if let Some(r) = reset_name {
+        let id = fsm
+            .state_by_name(&r)
+            .ok_or_else(|| err(0, format!("reset state {r} never used")))?;
+        fsm.set_reset_state(id).expect("state exists");
+    }
+    if let Some(p) = declared_products {
+        if p != fsm.transitions().len() {
+            return Err(err(
+                0,
+                format!(
+                    ".p declares {p} products, found {}",
+                    fsm.transitions().len()
+                ),
+            ));
+        }
+    }
+    if let Some(s) = declared_states {
+        if s != fsm.num_states() {
+            return Err(err(
+                0,
+                format!(".s declares {s} states, found {}", fsm.num_states()),
+            ));
+        }
+    }
+    Ok(fsm)
+}
+
+fn parse_count(tokens: &[String], lineno: usize, what: &str) -> Result<usize, ParseKissError> {
+    tokens
+        .get(1)
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| err(lineno, format!("{what} needs a number")))
+}
+
+/// Serializes an [`Fsm`] to KISS2 text.
+pub fn to_string(fsm: &Fsm) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, ".i {}", fsm.num_inputs());
+    let _ = writeln!(out, ".o {}", fsm.num_outputs());
+    let _ = writeln!(out, ".p {}", fsm.transitions().len());
+    let _ = writeln!(out, ".s {}", fsm.num_states());
+    if fsm.num_states() > 0 {
+        let _ = writeln!(out, ".r {}", fsm.state_name(fsm.reset_state()));
+    }
+    for t in fsm.transitions() {
+        let outputs: String = t.output.iter().map(|v| v.to_char()).collect();
+        if outputs.is_empty() {
+            let _ = writeln!(
+                out,
+                "{} {} {}",
+                t.input,
+                fsm.state_name(t.from),
+                fsm.state_name(t.to)
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{} {} {} {}",
+                t.input,
+                fsm.state_name(t.from),
+                fsm.state_name(t.to),
+                outputs
+            );
+        }
+    }
+    out.push_str(".e\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::StateId;
+
+    const TOGGLE: &str = "\
+# a 1-input toggle machine
+.i 1
+.o 1
+.p 3
+.s 2
+.r a
+0 a a 0
+1 a b 1
+- b a 0
+.e
+";
+
+    #[test]
+    fn parse_basic() {
+        let fsm = parse(TOGGLE).unwrap();
+        assert_eq!(fsm.num_inputs(), 1);
+        assert_eq!(fsm.num_outputs(), 1);
+        assert_eq!(fsm.num_states(), 2);
+        assert_eq!(fsm.state_name(fsm.reset_state()), "a");
+        assert_eq!(fsm.transitions().len(), 3);
+    }
+
+    #[test]
+    fn round_trip() {
+        let fsm = parse(TOGGLE).unwrap();
+        let text = to_string(&fsm);
+        let again = parse(&text).unwrap();
+        assert_eq!(fsm, again);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# hi\n.i 1\n\n.o 1\n0 x x 1  # trailing\n1 x x 0\n.e\n";
+        let fsm = parse(text).unwrap();
+        assert_eq!(fsm.num_states(), 1);
+        assert_eq!(fsm.transitions().len(), 2);
+    }
+
+    #[test]
+    fn reset_defaults_to_first_mentioned() {
+        let text = ".i 1\n.o 1\n- b a 0\n- a b 1\n.e\n";
+        let fsm = parse(text).unwrap();
+        assert_eq!(fsm.state_name(fsm.reset_state()), "b");
+    }
+
+    #[test]
+    fn explicit_reset_wins() {
+        let text = ".i 1\n.o 1\n.r a\n- b a 0\n- a b 1\n.e\n";
+        let fsm = parse(text).unwrap();
+        assert_eq!(fsm.state_name(fsm.reset_state()), "a");
+        // And the reset state gets id 0 for stable downstream encoding.
+        assert_eq!(fsm.reset_state(), StateId(0));
+    }
+
+    #[test]
+    fn missing_headers_rejected() {
+        assert!(parse("0 a a 0\n").is_err());
+        assert!(parse(".i 1\n0 a a 0\n").is_err());
+    }
+
+    #[test]
+    fn bad_cube_reported_with_line() {
+        let text = ".i 2\n.o 1\n0z a a 1\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn width_mismatches_rejected() {
+        assert!(parse(".i 2\n.o 1\n0 a a 1\n").is_err());
+        assert!(parse(".i 1\n.o 2\n0 a a 1\n").is_err());
+    }
+
+    #[test]
+    fn count_mismatches_rejected() {
+        assert!(parse(".i 1\n.o 1\n.p 5\n0 a a 1\n.e\n").is_err());
+        assert!(parse(".i 1\n.o 1\n.s 3\n0 a a 1\n.e\n").is_err());
+    }
+
+    #[test]
+    fn dont_care_outputs() {
+        let text = ".i 1\n.o 3\n- a a 1-0\n.e\n";
+        let fsm = parse(text).unwrap();
+        assert_eq!(
+            fsm.transitions()[0].output,
+            vec![OutputValue::One, OutputValue::DontCare, OutputValue::Zero]
+        );
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        assert!(parse(".i 1\n.o 1\n.bogus 3\n.e\n").is_err());
+    }
+}

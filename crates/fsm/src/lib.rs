@@ -1,0 +1,41 @@
+//! # ced-fsm — FSM toolkit for bounded-latency CED
+//!
+//! Symbolic finite state machines (KISS2), state assignment, gate-level
+//! synthesis via the [`ced_logic`] substrate, reachability analysis and
+//! a deterministic synthetic benchmark suite mirroring the MCNC circuits
+//! evaluated by *"On Concurrent Error Detection with Bounded Latency in
+//! FSMs"* (DATE 2004).
+//!
+//! Typical flow:
+//!
+//! ```
+//! use ced_fsm::{kiss, encoding, encoded::EncodedFsm};
+//! use ced_logic::MinimizeOptions;
+//!
+//! let fsm = ced_fsm::suite::sequence_detector();
+//! let enc = encoding::assign(&fsm, encoding::EncodingStrategy::Natural);
+//! let machine = EncodedFsm::new(fsm, enc)?;
+//! let circuit = machine.synthesize(&MinimizeOptions::default());
+//! assert!(circuit.gate_count() > 0);
+//! # Ok::<(), ced_fsm::machine::FsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+// Indexed loops over bit positions are the clearest form for this
+// bit-twiddling code; the iterator rewrites clippy suggests obscure it.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod analysis;
+pub mod encoded;
+pub mod encoding;
+pub mod generator;
+pub mod kiss;
+pub mod machine;
+pub mod minimize;
+pub mod reach;
+pub mod suite;
+
+pub use encoded::{EncodedFsm, FsmCircuit};
+pub use encoding::{assign, EncodingStrategy, StateEncoding};
+pub use machine::{Fsm, FsmError, OutputValue, StateId, Transition};

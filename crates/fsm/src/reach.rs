@@ -1,0 +1,170 @@
+//! Reachability and cycle analysis on symbolic machines.
+//!
+//! The paper's §2 ties the maximum useful latency bound to the length of
+//! the shortest loop in the (faulty) machine: once every path of length
+//! `p` wraps around a loop, extra latency buys no new detection
+//! opportunities. The symbolic-level analogues here (shortest cycle
+//! through each state, girth) provide the a-priori estimates; the exact
+//! product-machine computation lives in `ced-sim`.
+
+use crate::machine::{Fsm, StateId};
+use std::collections::VecDeque;
+
+/// States reachable from the reset state, in BFS order.
+///
+/// Exploration follows every transition line (not just concrete input
+/// minterms), which is exact for deterministic machines.
+pub fn reachable_states(fsm: &Fsm) -> Vec<StateId> {
+    if fsm.num_states() == 0 {
+        return Vec::new();
+    }
+    let mut seen = vec![false; fsm.num_states()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    let reset = fsm.reset_state();
+    seen[reset.index()] = true;
+    queue.push_back(reset);
+    while let Some(s) = queue.pop_front() {
+        order.push(s);
+        for t in fsm.transitions() {
+            if t.from == s && !seen[t.to.index()] {
+                seen[t.to.index()] = true;
+                queue.push_back(t.to);
+            }
+        }
+    }
+    order
+}
+
+/// Length of the shortest cycle through `state` (1 for a self-loop), or
+/// `None` if no cycle passes through it.
+pub fn shortest_cycle_through(fsm: &Fsm, state: StateId) -> Option<usize> {
+    // Self-loop?
+    if fsm
+        .transitions()
+        .iter()
+        .any(|t| t.from == state && t.to == state)
+    {
+        return Some(1);
+    }
+    // BFS from the successors of `state` back to `state`.
+    let mut dist = vec![usize::MAX; fsm.num_states()];
+    let mut queue = VecDeque::new();
+    for t in fsm.transitions() {
+        if t.from == state && dist[t.to.index()] == usize::MAX {
+            dist[t.to.index()] = 1;
+            queue.push_back(t.to);
+        }
+    }
+    while let Some(s) = queue.pop_front() {
+        for t in fsm.transitions() {
+            if t.from != s {
+                continue;
+            }
+            if t.to == state {
+                return Some(dist[s.index()] + 1);
+            }
+            if dist[t.to.index()] == usize::MAX {
+                dist[t.to.index()] = dist[s.index()] + 1;
+                queue.push_back(t.to);
+            }
+        }
+    }
+    None
+}
+
+/// The girth: length of the shortest cycle anywhere in the machine, or
+/// `None` for an acyclic transition graph (impossible for complete
+/// machines, which always cycle).
+pub fn girth(fsm: &Fsm) -> Option<usize> {
+    (0..fsm.num_states())
+        .filter_map(|i| shortest_cycle_through(fsm, StateId(i as u32)))
+        .min()
+}
+
+/// A-priori estimate of the largest latency bound worth exploring for
+/// this machine (paper §2): the longest, over reachable states, of the
+/// shortest cycle through that state. Beyond this bound every
+/// enumeration path has wrapped a loop.
+pub fn max_useful_latency_estimate(fsm: &Fsm) -> usize {
+    reachable_states(fsm)
+        .into_iter()
+        .filter_map(|s| shortest_cycle_through(fsm, s))
+        .max()
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::OutputValue;
+
+    fn ring(n: usize, with_self_loop: bool) -> Fsm {
+        let mut fsm = Fsm::new("ring", 1, 1);
+        let s: Vec<StateId> = (0..n).map(|i| fsm.add_state(format!("s{i}"))).collect();
+        for i in 0..n {
+            fsm.add_transition(
+                "1".parse().unwrap(),
+                s[i],
+                s[(i + 1) % n],
+                vec![OutputValue::Zero],
+            )
+            .unwrap();
+            let hold_to = if with_self_loop { s[i] } else { s[(i + 1) % n] };
+            fsm.add_transition("0".parse().unwrap(), s[i], hold_to, vec![OutputValue::Zero])
+                .unwrap();
+        }
+        fsm
+    }
+
+    #[test]
+    fn all_ring_states_reachable() {
+        let fsm = ring(5, false);
+        assert_eq!(reachable_states(&fsm).len(), 5);
+    }
+
+    #[test]
+    fn unreachable_state_excluded() {
+        let mut fsm = ring(3, false);
+        fsm.add_state("island");
+        assert_eq!(reachable_states(&fsm).len(), 3);
+    }
+
+    #[test]
+    fn self_loop_gives_cycle_one() {
+        let fsm = ring(4, true);
+        assert_eq!(shortest_cycle_through(&fsm, StateId(0)), Some(1));
+        assert_eq!(girth(&fsm), Some(1));
+        assert_eq!(max_useful_latency_estimate(&fsm), 1);
+    }
+
+    #[test]
+    fn pure_ring_cycle_length() {
+        let fsm = ring(4, false);
+        assert_eq!(shortest_cycle_through(&fsm, StateId(0)), Some(4));
+        assert_eq!(girth(&fsm), Some(4));
+        assert_eq!(max_useful_latency_estimate(&fsm), 4);
+    }
+
+    #[test]
+    fn acyclic_state_has_no_cycle() {
+        let mut fsm = Fsm::new("dag", 1, 1);
+        let a = fsm.add_state("a");
+        let b = fsm.add_state("b");
+        fsm.add_transition("-".parse().unwrap(), a, b, vec![OutputValue::Zero])
+            .unwrap();
+        fsm.add_transition("-".parse().unwrap(), b, b, vec![OutputValue::Zero])
+            .unwrap();
+        assert_eq!(shortest_cycle_through(&fsm, a), None);
+        assert_eq!(shortest_cycle_through(&fsm, b), Some(1));
+        assert_eq!(girth(&fsm), Some(1));
+    }
+
+    #[test]
+    fn empty_machine() {
+        let fsm = Fsm::new("none", 1, 0);
+        assert!(reachable_states(&fsm).is_empty());
+        assert_eq!(girth(&fsm), None);
+        assert_eq!(max_useful_latency_estimate(&fsm), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the FSM toolkit: KISS2 round-trips, the
+//! synthetic generator's structural guarantees, encodings, and the
+//! synthesized circuit's fidelity to the symbolic machine.
+
+use ced_fsm::encoded::EncodedFsm;
+use ced_fsm::encoding::{assign, EncodingStrategy};
+use ced_fsm::generator::{generate, GeneratorConfig};
+use ced_fsm::kiss;
+use ced_fsm::machine::OutputValue;
+use ced_fsm::reach::reachable_states;
+use ced_logic::MinimizeOptions;
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        1usize..=4,  // inputs
+        1usize..=10, // states
+        0usize..=4,  // outputs
+        1usize..=6,  // cubes per state
+        0.0..0.9f64, // self-loop bias
+        0.0..0.3f64, // output dc prob
+        0usize..=4,  // output pool (0 = independent)
+        any::<u64>(),
+    )
+        .prop_map(
+            |(inputs, states, outputs, cubes, bias, dc, pool, seed)| GeneratorConfig {
+                name: "prop".into(),
+                num_inputs: inputs,
+                num_states: states,
+                num_outputs: outputs,
+                cubes_per_state: cubes,
+                self_loop_bias: bias,
+                output_dc_prob: dc,
+                output_pool: pool,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_machines_are_well_formed(cfg in config_strategy()) {
+        let fsm = generate(&cfg);
+        prop_assert!(fsm.check_complete().is_ok());
+        prop_assert!(fsm.check_deterministic().is_ok());
+        prop_assert_eq!(fsm.num_states(), cfg.num_states);
+        prop_assert_eq!(reachable_states(&fsm).len(), cfg.num_states);
+    }
+
+    #[test]
+    fn kiss_round_trip_is_identity(cfg in config_strategy()) {
+        let fsm = generate(&cfg);
+        let text = kiss::to_string(&fsm);
+        let again = kiss::parse(&text).expect("own output parses");
+        // Name differs ("prop" vs default); compare structure.
+        prop_assert_eq!(fsm.num_inputs(), again.num_inputs());
+        prop_assert_eq!(fsm.num_outputs(), again.num_outputs());
+        prop_assert_eq!(fsm.num_states(), again.num_states());
+        prop_assert_eq!(fsm.transitions().len(), again.transitions().len());
+        // State ids may be renumbered (first-mention order); compare by
+        // name, which is the KISS2-level identity.
+        for (a, b) in fsm.transitions().iter().zip(again.transitions()) {
+            prop_assert_eq!(&a.input, &b.input);
+            prop_assert_eq!(fsm.state_name(a.from), again.state_name(b.from));
+            prop_assert_eq!(fsm.state_name(a.to), again.state_name(b.to));
+            prop_assert_eq!(&a.output, &b.output);
+        }
+        prop_assert_eq!(
+            fsm.state_name(fsm.reset_state()),
+            again.state_name(again.reset_state())
+        );
+    }
+
+    #[test]
+    fn encodings_are_injective_and_reset_is_zero(
+        cfg in config_strategy(),
+        strategy_idx in 0usize..4,
+    ) {
+        let fsm = generate(&cfg);
+        let strategy = [
+            EncodingStrategy::Natural,
+            EncodingStrategy::Gray,
+            EncodingStrategy::OneHot,
+            EncodingStrategy::Adjacency,
+        ][strategy_idx];
+        let enc = assign(&fsm, strategy);
+        let mut codes = enc.codes().to_vec();
+        codes.sort_unstable();
+        codes.dedup();
+        prop_assert_eq!(codes.len(), fsm.num_states(), "{:?} codes collide", strategy);
+        if matches!(strategy, EncodingStrategy::Natural | EncodingStrategy::Adjacency) {
+            prop_assert_eq!(enc.code(fsm.reset_state()), 0);
+        }
+    }
+
+    #[test]
+    fn circuit_implements_symbolic_machine(cfg in config_strategy()) {
+        // Keep synthesis cheap.
+        prop_assume!(cfg.num_states <= 8 && cfg.num_inputs <= 3);
+        let fsm = generate(&cfg);
+        let enc = assign(&fsm, EncodingStrategy::Natural);
+        let encoded = EncodedFsm::new(fsm.clone(), enc.clone()).expect("well-formed");
+        let circuit = encoded.synthesize(&MinimizeOptions::default());
+        for (si, _) in fsm.state_names().iter().enumerate() {
+            let state = ced_fsm::StateId(si as u32);
+            let code = enc.code(state);
+            for input in 0..(1u64 << cfg.num_inputs) {
+                let t = fsm.transition_on(state, input).expect("complete");
+                let (next, out) = circuit.step(code, input);
+                prop_assert_eq!(next, enc.code(t.to), "wrong next state");
+                for (j, v) in t.output.iter().enumerate() {
+                    match v {
+                        OutputValue::One => prop_assert_eq!((out >> j) & 1, 1),
+                        OutputValue::Zero => prop_assert_eq!((out >> j) & 1, 0),
+                        OutputValue::DontCare => {}
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_loop_fraction_in_unit_interval(cfg in config_strategy()) {
+        let f = generate(&cfg).self_loop_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+}

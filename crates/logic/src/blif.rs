@@ -1,0 +1,411 @@
+//! BLIF import — the other half of the SIS interchange.
+//!
+//! Parses the Berkeley Logic Interchange Format subset that SIS-lineage
+//! tools emit: `.model`, `.inputs`, `.outputs`, multi-row `.names`
+//! tables (arbitrary fanin, `1`/`0`/`-` input plane, single-output
+//! cover in either ON or OFF polarity) and `.latch` declarations.
+//! Together with [`crate::export`], circuits can round-trip through
+//! external synthesis flows.
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_logic::blif::parse;
+//!
+//! let text = "\
+//! .model xor2
+//! .inputs a b
+//! .outputs y
+//! .names a b y
+//! 10 1
+//! 01 1
+//! .end
+//! ";
+//! let model = parse(text)?;
+//! assert_eq!(model.name, "xor2");
+//! assert_eq!(model.netlist.eval_single(&[true, false]), vec![true]);
+//! assert_eq!(model.netlist.eval_single(&[true, true]), vec![false]);
+//! # Ok::<(), ced_logic::blif::ParseBlifError>(())
+//! ```
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::decompose::sop_to_net;
+use crate::netlist::{NetId, Netlist, NetlistBuilder};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed BLIF model.
+#[derive(Debug, Clone)]
+pub struct BlifModel {
+    /// The `.model` name.
+    pub name: String,
+    /// Primary input names, in declaration order. Latch outputs
+    /// (present-state signals) are appended after the declared inputs.
+    pub input_names: Vec<String>,
+    /// Primary output names, in declaration order. Latch inputs
+    /// (next-state signals) are appended after the declared outputs.
+    pub output_names: Vec<String>,
+    /// `(next_state_signal, present_state_signal, initial_value)` per
+    /// latch, in declaration order.
+    pub latches: Vec<(String, String, u8)>,
+    /// The combinational netlist: inputs = declared inputs then latch
+    /// present-state signals; outputs = declared outputs then latch
+    /// next-state signals.
+    pub netlist: Netlist,
+}
+
+/// Error from BLIF parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBlifError {
+    /// 1-based line of the problem (0 for document-level issues).
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blif parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBlifError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseBlifError {
+    ParseBlifError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// One raw `.names` table before elaboration.
+struct NamesTable {
+    line: usize,
+    signals: Vec<String>, // fanins then the output signal
+    rows: Vec<(String, char)>,
+}
+
+/// Parses a single-model BLIF document.
+///
+/// Logic is elaborated in dependency order, so tables may appear in any
+/// order. Unknown dot-directives are rejected (conservative; extend as
+/// needed). Signals used but never defined are reported.
+///
+/// # Errors
+///
+/// Returns [`ParseBlifError`] with a line number for malformed syntax,
+/// undefined or cyclically-defined signals, and inconsistent tables.
+pub fn parse(text: &str) -> Result<BlifModel, ParseBlifError> {
+    let mut name = String::from("blif");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut latches: Vec<(String, String, u8)> = Vec::new();
+    let mut tables: Vec<NamesTable> = Vec::new();
+
+    // Join continuation lines (trailing backslash).
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split('#').next().unwrap_or("").trim_end();
+        let (cont, body) = match line.strip_suffix('\\') {
+            Some(b) => (true, b.trim_end().to_string()),
+            None => (false, line.to_string()),
+        };
+        match pending.take() {
+            Some((l0, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(body.trim_start());
+                if cont {
+                    pending = Some((l0, acc));
+                } else {
+                    logical.push((l0, acc));
+                }
+            }
+            None => {
+                if cont {
+                    pending = Some((lineno, body));
+                } else {
+                    logical.push((lineno, body));
+                }
+            }
+        }
+    }
+    if let Some((l, _)) = pending {
+        return Err(err(l, "dangling line continuation"));
+    }
+
+    let mut idx = 0usize;
+    while idx < logical.len() {
+        let (lineno, line) = &logical[idx];
+        let lineno = *lineno;
+        let line = line.trim();
+        idx += 1;
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            ".model" => {
+                if let Some(n) = tokens.get(1) {
+                    name = (*n).to_string();
+                }
+            }
+            ".inputs" => inputs.extend(tokens[1..].iter().map(|s| s.to_string())),
+            ".outputs" => outputs.extend(tokens[1..].iter().map(|s| s.to_string())),
+            ".latch" => {
+                // .latch <next> <present> [<type> <clk>] [<init>]
+                let (next, present) = match (tokens.get(1), tokens.get(2)) {
+                    (Some(n), Some(p)) => ((*n).to_string(), (*p).to_string()),
+                    _ => return Err(err(lineno, ".latch needs input and output signals")),
+                };
+                let init = tokens
+                    .last()
+                    .and_then(|t| t.parse::<u8>().ok())
+                    .filter(|v| *v <= 1)
+                    .unwrap_or(0);
+                latches.push((next, present, init));
+            }
+            ".names" => {
+                let signals: Vec<String> = tokens[1..].iter().map(|s| s.to_string()).collect();
+                if signals.is_empty() {
+                    return Err(err(lineno, ".names needs at least an output signal"));
+                }
+                let mut rows = Vec::new();
+                while idx < logical.len() {
+                    let (rl, rline) = &logical[idx];
+                    let rline = rline.trim();
+                    if rline.is_empty() || rline.starts_with('.') {
+                        break;
+                    }
+                    let parts: Vec<&str> = rline.split_whitespace().collect();
+                    let (plane, value) = match (signals.len() - 1, parts.len()) {
+                        (0, 1) => (String::new(), parts[0]),
+                        (_, 2) => (parts[0].to_string(), parts[1]),
+                        _ => return Err(err(*rl, "malformed .names row")),
+                    };
+                    let v = match value {
+                        "1" => '1',
+                        "0" => '0',
+                        _ => return Err(err(*rl, "output column must be 0 or 1")),
+                    };
+                    if plane.len() != signals.len() - 1 {
+                        return Err(err(*rl, "input plane width mismatch"));
+                    }
+                    if !plane.chars().all(|c| matches!(c, '0' | '1' | '-')) {
+                        return Err(err(*rl, "input plane characters must be 0, 1 or -"));
+                    }
+                    rows.push((plane, v));
+                    idx += 1;
+                }
+                tables.push(NamesTable {
+                    line: lineno,
+                    signals,
+                    rows,
+                });
+            }
+            ".end" => break,
+            ".exdc" | ".subckt" | ".gate" | ".mlatch" | ".clock" => {
+                return Err(err(lineno, format!("unsupported directive {}", tokens[0])));
+            }
+            other if other.starts_with('.') => {
+                return Err(err(lineno, format!("unknown directive {other}")));
+            }
+            _ => return Err(err(lineno, "logic row outside a .names table")),
+        }
+    }
+
+    // Combinational interface: inputs ∪ latch present-state signals.
+    let mut comb_inputs = inputs.clone();
+    for (_, present, _) in &latches {
+        comb_inputs.push(present.clone());
+    }
+    let mut comb_outputs = outputs.clone();
+    for (next, _, _) in &latches {
+        comb_outputs.push(next.clone());
+    }
+
+    let mut builder = NetlistBuilder::new(comb_inputs.len());
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+    for (i, n) in comb_inputs.iter().enumerate() {
+        if nets.insert(n.clone(), builder.input(i)).is_some() {
+            return Err(err(0, format!("signal {n} declared twice")));
+        }
+    }
+
+    // Elaborate tables in dependency order (repeat until fixpoint).
+    let mut remaining: Vec<&NamesTable> = tables.iter().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|t| {
+            let (fanins, output) = t.signals.split_at(t.signals.len() - 1);
+            let ready = fanins.iter().all(|s| nets.contains_key(s));
+            if !ready {
+                return true; // keep for a later pass
+            }
+            let fanin_nets: Vec<NetId> = fanins.iter().map(|s| nets[s]).collect();
+            let width = fanin_nets.len();
+            let cubes: Vec<Cube> = t
+                .rows
+                .iter()
+                .map(|(plane, _)| plane.parse::<Cube>().expect("plane validated at read time"))
+                .collect();
+            // Polarity: all rows must share the output value (standard
+            // single-output BLIF covers do).
+            let on_value = t.rows.first().map(|(_, v)| *v).unwrap_or('1');
+            let cover = Cover::from_cubes(width, cubes);
+            let mut net = sop_to_net(&mut builder, &cover, &fanin_nets);
+            if on_value == '0' {
+                net = builder.not(net);
+            }
+            nets.insert(output[0].clone(), net);
+            false
+        });
+        if remaining.len() == before {
+            let t = remaining[0];
+            return Err(err(
+                t.line,
+                "undefined or cyclic signal in .names fanins".to_string(),
+            ));
+        }
+    }
+
+    for out in &comb_outputs {
+        let net = nets
+            .get(out)
+            .copied()
+            .ok_or_else(|| err(0, format!("output signal {out} never defined")))?;
+        builder.mark_output(net);
+    }
+
+    Ok(BlifModel {
+        name,
+        input_names: comb_inputs,
+        output_names: comb_outputs,
+        latches,
+        netlist: builder.finish(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multilevel_logic_any_order() {
+        // y defined before its fanin t.
+        let text = "\
+.model ooo
+.inputs a b c
+.outputs y
+.names t c y
+11 1
+.names a b t
+11 1
+.end
+";
+        let m = parse(text).unwrap();
+        assert_eq!(m.name, "ooo");
+        assert_eq!(m.netlist.eval_single(&[true, true, true]), vec![true]);
+        assert_eq!(m.netlist.eval_single(&[true, false, true]), vec![false]);
+    }
+
+    #[test]
+    fn off_polarity_tables() {
+        let text = ".model inv\n.inputs a\n.outputs y\n.names a y\n1 0\n.end\n";
+        let m = parse(text).unwrap();
+        assert_eq!(m.netlist.eval_single(&[true]), vec![false]);
+        assert_eq!(m.netlist.eval_single(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn constants() {
+        let text = "\
+.model consts
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+.end
+";
+        let m = parse(text).unwrap();
+        assert_eq!(m.netlist.eval_single(&[false]), vec![true, false]);
+    }
+
+    #[test]
+    fn latches_extend_the_interface() {
+        let text = "\
+.model seq
+.inputs x
+.outputs y
+.latch ns ps re clk 1
+.names x ps ns
+11 1
+.names ps y
+1 1
+.end
+";
+        let m = parse(text).unwrap();
+        assert_eq!(m.latches, vec![("ns".into(), "ps".into(), 1)]);
+        assert_eq!(m.input_names, vec!["x", "ps"]);
+        assert_eq!(m.output_names, vec!["y", "ns"]);
+        // comb: y = ps, ns = x & ps.
+        assert_eq!(m.netlist.eval_single(&[true, true]), vec![true, true]);
+        assert_eq!(m.netlist.eval_single(&[false, true]), vec![true, false]);
+    }
+
+    #[test]
+    fn export_import_round_trip_is_equivalent() {
+        use crate::export::{to_blif, PortNames};
+        let mut b = NetlistBuilder::new(3);
+        let x = b.input(0);
+        let y = b.input(1);
+        let z = b.input(2);
+        let t = b.xor(x, y);
+        let u = b.nand(t, z);
+        let v = b.nor(x, z);
+        b.mark_output(u);
+        b.mark_output(v);
+        let original = b.finish();
+        let ports = PortNames::numbered(3, 2);
+        let text = to_blif(&original, "round", &ports);
+        let back = parse(&text).unwrap();
+        for m in 0..8u64 {
+            let bits: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(
+                original.eval_single(&bits),
+                back.netlist.eval_single(&bits),
+                "mismatch at {m:03b}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_reported_with_lines() {
+        assert!(parse(".model x\n.inputs a\n.outputs y\nbogus row\n").is_err());
+        assert!(parse(".model x\n.inputs a\n.outputs y\n.names a y\n2 1\n.end\n").is_err());
+        let cyclic = ".model c\n.inputs a\n.outputs y\n.names y y\n1 1\n.end\n";
+        let e = parse(cyclic).unwrap_err();
+        assert!(e.message.contains("cyclic"));
+        let undef = ".model u\n.inputs a\n.outputs y\n.end\n";
+        let e = parse(undef).unwrap_err();
+        assert!(e.message.contains("never defined"));
+    }
+
+    #[test]
+    fn continuation_lines_joined() {
+        let text = ".model c\n.inputs a b \\\nc\n.outputs y\n.names a b c y\n111 1\n.end\n";
+        let m = parse(text).unwrap();
+        assert_eq!(m.input_names, vec!["a", "b", "c"]);
+        assert_eq!(m.netlist.eval_single(&[true, true, true]), vec![true]);
+    }
+
+    #[test]
+    fn unsupported_directives_rejected() {
+        let text = ".model s\n.inputs a\n.outputs y\n.subckt foo a=a y=y\n.end\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("unsupported"));
+    }
+}

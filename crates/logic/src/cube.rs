@@ -1,0 +1,619 @@
+//! Ternary cubes — the basic unit of two-level (sum-of-products) logic.
+//!
+//! A cube is a product term over `n` Boolean variables. Each variable takes
+//! one of three literal states: positive (`1`), negative (`0`), or absent
+//! (`-`, don't-care). Following the classic PLA/Espresso encoding, every
+//! variable is stored as a 2-bit field:
+//!
+//! | field | meaning                 |
+//! |-------|-------------------------|
+//! | `01`  | negative literal (v=0)  |
+//! | `10`  | positive literal (v=1)  |
+//! | `11`  | no literal (don't care) |
+//! | `00`  | empty (contradiction)   |
+//!
+//! With this encoding, cube intersection is a bitwise AND, and a cube is
+//! empty iff any field is `00`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_logic::cube::Cube;
+//!
+//! let a: Cube = "1-0".parse()?;
+//! let b: Cube = "110".parse()?;
+//! assert!(a.contains(&b));
+//! assert_eq!(a.intersection(&b), Some(b.clone()));
+//! # Ok::<(), ced_logic::cube::ParseCubeError>(())
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of variables packed into one `u64` word (2 bits per variable).
+const VARS_PER_WORD: usize = 32;
+
+/// The state of one variable inside a [`Cube`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Literal {
+    /// The variable appears complemented (`0` in PLA notation).
+    Negative,
+    /// The variable appears uncomplemented (`1` in PLA notation).
+    Positive,
+    /// The variable does not appear (`-` in PLA notation).
+    DontCare,
+}
+
+impl Literal {
+    /// The 2-bit field encoding of this literal.
+    fn bits(self) -> u64 {
+        match self {
+            Literal::Negative => 0b01,
+            Literal::Positive => 0b10,
+            Literal::DontCare => 0b11,
+        }
+    }
+
+    /// Decodes a 2-bit field. Returns `None` for the empty field `00`.
+    fn from_bits(bits: u64) -> Option<Literal> {
+        match bits & 0b11 {
+            0b01 => Some(Literal::Negative),
+            0b10 => Some(Literal::Positive),
+            0b11 => Some(Literal::DontCare),
+            _ => None,
+        }
+    }
+
+    /// The PLA character for this literal.
+    pub fn to_char(self) -> char {
+        match self {
+            Literal::Negative => '0',
+            Literal::Positive => '1',
+            Literal::DontCare => '-',
+        }
+    }
+}
+
+/// A product term (cube) over a fixed number of Boolean variables.
+///
+/// Cubes are value types: cheap to clone for the variable counts used in
+/// FSM synthesis (tens of variables). All binary operations panic if the
+/// operands have different widths; widths are established at construction.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cube {
+    /// Number of variables.
+    width: usize,
+    /// 2-bit fields, variable `i` in word `i / 32`, bits `2*(i%32)..`.
+    words: Vec<u64>,
+}
+
+/// Error returned when parsing a PLA cube string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCubeError {
+    /// Byte offset of the offending character, if any.
+    pub position: Option<usize>,
+}
+
+impl fmt::Display for ParseCubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.position {
+            Some(p) => write!(f, "invalid cube character at position {p}"),
+            None => write!(f, "invalid cube string"),
+        }
+    }
+}
+
+impl std::error::Error for ParseCubeError {}
+
+impl Cube {
+    /// Creates the full cube (all variables don't-care) of the given width.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ced_logic::cube::Cube;
+    /// let c = Cube::full(4);
+    /// assert_eq!(c.to_string(), "----");
+    /// ```
+    pub fn full(width: usize) -> Cube {
+        let nwords = width.div_ceil(VARS_PER_WORD).max(1);
+        let mut words = vec![u64::MAX; nwords];
+        Self::mask_tail(width, &mut words);
+        Cube { width, words }
+    }
+
+    /// Creates a minterm cube from variable assignments.
+    ///
+    /// Bit `i` of `assignment` gives the value of variable `i`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ced_logic::cube::Cube;
+    /// let c = Cube::minterm(3, 0b101);
+    /// assert_eq!(c.to_string(), "101");
+    /// ```
+    pub fn minterm(width: usize, assignment: u64) -> Cube {
+        let mut cube = Cube::full(width);
+        for v in 0..width {
+            let lit = if (assignment >> v) & 1 == 1 {
+                Literal::Positive
+            } else {
+                Literal::Negative
+            };
+            cube.set(v, lit);
+        }
+        cube
+    }
+
+    /// Creates a cube from an iterator of literals.
+    pub fn from_literals<I: IntoIterator<Item = Literal>>(lits: I) -> Cube {
+        let lits: Vec<Literal> = lits.into_iter().collect();
+        let mut cube = Cube::full(lits.len());
+        for (v, lit) in lits.iter().enumerate() {
+            cube.set(v, *lit);
+        }
+        cube
+    }
+
+    /// Zeroes the unused 2-bit fields above `width`.
+    fn mask_tail(width: usize, words: &mut [u64]) {
+        let used = width % VARS_PER_WORD;
+        if used != 0 {
+            let last = words.len() - 1;
+            words[last] &= (1u64 << (2 * used)) - 1;
+        }
+        if width == 0 {
+            for w in words.iter_mut() {
+                *w = 0;
+            }
+        }
+    }
+
+    /// Number of variables in this cube.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Returns the literal state of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.width()`.
+    pub fn literal(&self, v: usize) -> Literal {
+        assert!(
+            v < self.width,
+            "variable {v} out of range 0..{}",
+            self.width
+        );
+        let bits = self.words[v / VARS_PER_WORD] >> (2 * (v % VARS_PER_WORD));
+        Literal::from_bits(bits).expect("cube invariant: no empty fields")
+    }
+
+    /// Sets the literal state of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.width()`.
+    pub fn set(&mut self, v: usize, lit: Literal) {
+        assert!(
+            v < self.width,
+            "variable {v} out of range 0..{}",
+            self.width
+        );
+        let shift = 2 * (v % VARS_PER_WORD);
+        let word = &mut self.words[v / VARS_PER_WORD];
+        *word = (*word & !(0b11 << shift)) | (lit.bits() << shift);
+    }
+
+    /// Returns a copy of this cube with variable `v` set to `lit`.
+    pub fn with(&self, v: usize, lit: Literal) -> Cube {
+        let mut c = self.clone();
+        c.set(v, lit);
+        c
+    }
+
+    /// Number of literals (non-don't-care variables) in the cube.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ced_logic::cube::Cube;
+    /// let c: Cube = "1-0-".parse().unwrap();
+    /// assert_eq!(c.literal_count(), 2);
+    /// ```
+    pub fn literal_count(&self) -> usize {
+        // A don't-care field is `11`; a literal field has exactly one bit set.
+        // Count fields whose two bits differ.
+        let mut count = 0;
+        for &w in &self.words {
+            let lo = w & 0x5555_5555_5555_5555;
+            let hi = (w >> 1) & 0x5555_5555_5555_5555;
+            count += (lo ^ hi).count_ones() as usize;
+        }
+        count
+    }
+
+    /// Iterates over the literal states of all variables.
+    pub fn literals(&self) -> impl Iterator<Item = Literal> + '_ {
+        (0..self.width).map(move |v| self.literal(v))
+    }
+
+    /// Tests whether this cube contains (covers) `other`: every minterm of
+    /// `other` is a minterm of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn contains(&self, other: &Cube) -> bool {
+        self.check_width(other);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Computes the intersection of two cubes, or `None` if they are
+    /// disjoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn intersection(&self, other: &Cube) -> Option<Cube> {
+        self.check_width(other);
+        let mut words = Vec::with_capacity(self.words.len());
+        for (a, b) in self.words.iter().zip(&other.words) {
+            let w = a & b;
+            // Empty field `00` detection: a field is 00 iff both bits clear.
+            let lo = w & 0x5555_5555_5555_5555;
+            let hi = (w >> 1) & 0x5555_5555_5555_5555;
+            if (lo | hi) != Self::full_lo_mask(self.width, words.len()) {
+                return None;
+            }
+            words.push(w);
+        }
+        Some(Cube {
+            width: self.width,
+            words,
+        })
+    }
+
+    /// Fast disjointness test: true iff the cubes share no minterm.
+    pub fn disjoint(&self, other: &Cube) -> bool {
+        self.distance(other) > 0
+    }
+
+    /// The mask of low field bits that must be non-empty in word `word_idx`.
+    fn full_lo_mask(width: usize, word_idx: usize) -> u64 {
+        let base = 0x5555_5555_5555_5555u64;
+        let start = word_idx * VARS_PER_WORD;
+        if start + VARS_PER_WORD <= width {
+            base
+        } else if start >= width {
+            0
+        } else {
+            base & ((1u64 << (2 * (width - start))) - 1)
+        }
+    }
+
+    /// Hamming distance between cubes: the number of variables in which the
+    /// two cubes have opposite literals. Distance 0 means the cubes
+    /// intersect; distance 1 means consensus exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn distance(&self, other: &Cube) -> usize {
+        self.check_width(other);
+        let mut d = 0;
+        for (idx, (a, b)) in self.words.iter().zip(&other.words).enumerate() {
+            let w = a & b;
+            let lo = w & 0x5555_5555_5555_5555;
+            let hi = (w >> 1) & 0x5555_5555_5555_5555;
+            let nonempty = lo | hi;
+            d += (Self::full_lo_mask(self.width, idx) & !nonempty).count_ones() as usize;
+        }
+        d
+    }
+
+    /// The consensus (resolvent) of two cubes at distance exactly 1: the
+    /// largest cube contained in their union that spans both. Returns
+    /// `None` when the distance is not 1.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ced_logic::cube::Cube;
+    /// let a: Cube = "10-".parse().unwrap();
+    /// let b: Cube = "11-".parse().unwrap();
+    /// assert_eq!(a.consensus(&b).unwrap().to_string(), "1--");
+    /// ```
+    pub fn consensus(&self, other: &Cube) -> Option<Cube> {
+        if self.distance(other) != 1 {
+            return None;
+        }
+        let mut out = Cube::full(self.width);
+        for v in 0..self.width {
+            let (a, b) = (self.literal(v), other.literal(v));
+            let lit = match (a, b) {
+                (Literal::Positive, Literal::Negative) | (Literal::Negative, Literal::Positive) => {
+                    Literal::DontCare
+                }
+                (Literal::DontCare, x) | (x, Literal::DontCare) => x,
+                (x, y) if x == y => x,
+                _ => unreachable!("distance-1 cubes conflict in one variable"),
+            };
+            out.set(v, lit);
+        }
+        Some(out)
+    }
+
+    /// The supercube: the smallest cube containing both operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        self.check_width(other);
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        Cube {
+            width: self.width,
+            words,
+        }
+    }
+
+    /// The positive cofactor of the cube with respect to another cube, as
+    /// used by the unate recursive paradigm: `None` if disjoint, otherwise
+    /// the cube with the literals of `wrt` raised to don't-care.
+    pub fn cofactor(&self, wrt: &Cube) -> Option<Cube> {
+        if self.distance(wrt) > 0 {
+            return None;
+        }
+        let mut out = self.clone();
+        for v in 0..self.width {
+            if wrt.literal(v) != Literal::DontCare {
+                out.set(v, Literal::DontCare);
+            }
+        }
+        Some(out)
+    }
+
+    /// The cofactor with respect to a single literal `(var, value)`.
+    ///
+    /// Returns `None` if the cube requires the opposite literal.
+    pub fn cofactor_var(&self, var: usize, value: bool) -> Option<Cube> {
+        let lit = self.literal(var);
+        match (lit, value) {
+            (Literal::Positive, false) | (Literal::Negative, true) => None,
+            _ => Some(self.with(var, Literal::DontCare)),
+        }
+    }
+
+    /// Number of minterms covered by this cube (2^(don't-cares)).
+    ///
+    /// Saturates at `u64::MAX` for very wide cubes.
+    pub fn minterm_count(&self) -> u64 {
+        let dc = self.width - self.literal_count();
+        if dc >= 64 {
+            u64::MAX
+        } else {
+            1u64 << dc
+        }
+    }
+
+    /// Tests whether `assignment` (bit `i` = variable `i`) is covered.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ced_logic::cube::Cube;
+    /// let c: Cube = "1-0".parse().unwrap();
+    /// assert!(c.covers_minterm(0b001));
+    /// assert!(c.covers_minterm(0b011));
+    /// assert!(!c.covers_minterm(0b100));
+    /// ```
+    pub fn covers_minterm(&self, assignment: u64) -> bool {
+        for v in 0..self.width {
+            let bit = (assignment >> v) & 1 == 1;
+            match self.literal(v) {
+                Literal::Positive if !bit => return false,
+                Literal::Negative if bit => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// True iff the cube is the full cube (tautology of one term).
+    pub fn is_full(&self) -> bool {
+        self.literal_count() == 0
+    }
+
+    /// Variables on which the cube depends (has a literal).
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.width)
+            .filter(|&v| self.literal(v) != Literal::DontCare)
+            .collect()
+    }
+
+    fn check_width(&self, other: &Cube) {
+        assert_eq!(
+            self.width, other.width,
+            "cube width mismatch: {} vs {}",
+            self.width, other.width
+        );
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for lit in self.literals() {
+            write!(f, "{}", lit.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cube(\"{self}\")")
+    }
+}
+
+impl FromStr for Cube {
+    type Err = ParseCubeError;
+
+    fn from_str(s: &str) -> Result<Cube, ParseCubeError> {
+        let mut lits = Vec::with_capacity(s.len());
+        for (i, ch) in s.chars().enumerate() {
+            let lit = match ch {
+                '0' => Literal::Negative,
+                '1' => Literal::Positive,
+                '-' | '2' | 'x' | 'X' => Literal::DontCare,
+                _ => return Err(ParseCubeError { position: Some(i) }),
+            };
+            lits.push(lit);
+        }
+        Ok(Cube::from_literals(lits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cube_is_all_dont_care() {
+        let c = Cube::full(5);
+        assert_eq!(c.to_string(), "-----");
+        assert_eq!(c.literal_count(), 0);
+        assert!(c.is_full());
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["", "1", "0", "-", "10-1", "0---1", "1010101010"] {
+            let c: Cube = s.parse().unwrap();
+            assert_eq!(c.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_chars() {
+        let err = "1a0".parse::<Cube>().unwrap_err();
+        assert_eq!(err.position, Some(1));
+    }
+
+    #[test]
+    fn wide_cube_crosses_word_boundary() {
+        let mut c = Cube::full(70);
+        c.set(0, Literal::Positive);
+        c.set(33, Literal::Negative);
+        c.set(69, Literal::Positive);
+        assert_eq!(c.literal(0), Literal::Positive);
+        assert_eq!(c.literal(33), Literal::Negative);
+        assert_eq!(c.literal(69), Literal::Positive);
+        assert_eq!(c.literal_count(), 3);
+    }
+
+    #[test]
+    fn containment() {
+        let big: Cube = "1--".parse().unwrap();
+        let small: Cube = "1-0".parse().unwrap();
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert!(big.contains(&big));
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a: Cube = "1--".parse().unwrap();
+        let b: Cube = "-0-".parse().unwrap();
+        assert_eq!(a.intersection(&b).unwrap().to_string(), "10-");
+        let c: Cube = "0--".parse().unwrap();
+        assert!(a.intersection(&c).is_none());
+        assert!(a.disjoint(&c));
+    }
+
+    #[test]
+    fn distance_counts_conflicts() {
+        let a: Cube = "10-1".parse().unwrap();
+        let b: Cube = "01-1".parse().unwrap();
+        assert_eq!(a.distance(&b), 2);
+        let c: Cube = "1--1".parse().unwrap();
+        assert_eq!(a.distance(&c), 0);
+    }
+
+    #[test]
+    fn consensus_merges_adjacent() {
+        let a: Cube = "10".parse().unwrap();
+        let b: Cube = "11".parse().unwrap();
+        assert_eq!(a.consensus(&b).unwrap().to_string(), "1-");
+        // Distance 2 has no consensus.
+        let c: Cube = "01".parse().unwrap();
+        assert!(a.consensus(&c).is_none());
+    }
+
+    #[test]
+    fn supercube_is_smallest_containing() {
+        let a: Cube = "101".parse().unwrap();
+        let b: Cube = "100".parse().unwrap();
+        assert_eq!(a.supercube(&b).to_string(), "10-");
+    }
+
+    #[test]
+    fn cofactor_by_cube() {
+        let a: Cube = "1-0".parse().unwrap();
+        let wrt: Cube = "1--".parse().unwrap();
+        assert_eq!(a.cofactor(&wrt).unwrap().to_string(), "--0");
+        let opp: Cube = "0--".parse().unwrap();
+        assert!(a.cofactor(&opp).is_none());
+    }
+
+    #[test]
+    fn cofactor_by_var() {
+        let a: Cube = "1-0".parse().unwrap();
+        assert_eq!(a.cofactor_var(0, true).unwrap().to_string(), "--0");
+        assert!(a.cofactor_var(0, false).is_none());
+        assert_eq!(a.cofactor_var(1, false).unwrap().to_string(), "1-0");
+    }
+
+    #[test]
+    fn minterm_membership_matches_enumeration() {
+        let c: Cube = "1-0-".parse().unwrap();
+        let covered: Vec<u64> = (0..16).filter(|&m| c.covers_minterm(m)).collect();
+        assert_eq!(covered.len() as u64, c.minterm_count());
+        for m in &covered {
+            assert_eq!(m & 1, 1, "var0 must be 1 in {m:04b}");
+            assert_eq!((m >> 2) & 1, 0, "var2 must be 0 in {m:04b}");
+        }
+    }
+
+    #[test]
+    fn minterm_constructor() {
+        let c = Cube::minterm(4, 0b0110);
+        assert_eq!(c.to_string(), "0110");
+        assert!(c.covers_minterm(0b0110));
+        assert_eq!(c.minterm_count(), 1);
+    }
+
+    #[test]
+    fn support_lists_bound_variables() {
+        let c: Cube = "-1-0".parse().unwrap();
+        assert_eq!(c.support(), vec![1, 3]);
+    }
+
+    #[test]
+    fn zero_width_cube() {
+        let c = Cube::full(0);
+        assert_eq!(c.to_string(), "");
+        assert_eq!(c.literal_count(), 0);
+        assert!(c.covers_minterm(0));
+        assert_eq!(c.intersection(&Cube::full(0)), Some(Cube::full(0)));
+    }
+}

@@ -1,0 +1,321 @@
+//! Decomposition of two-level covers into gate netlists.
+//!
+//! Bridges the two-level minimizer ([`crate::espresso`]) and the mapped
+//! netlist: each cube becomes a balanced AND tree over (possibly
+//! inverted) input nets, and the cover becomes an OR tree over the cube
+//! nets. Structural hashing in [`crate::netlist::NetlistBuilder`] shares
+//! identical subtrees across cubes and across outputs, approximating the
+//! sharing a multi-level synthesis system would extract.
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_logic::cover::Cover;
+//! use ced_logic::netlist::NetlistBuilder;
+//! use ced_logic::decompose::sop_to_net;
+//!
+//! let f = Cover::parse(2, &["01", "10"])?; // XOR as SOP
+//! let mut b = NetlistBuilder::new(2);
+//! let ins = [b.input(0), b.input(1)];
+//! let out = sop_to_net(&mut b, &f, &ins);
+//! b.mark_output(out);
+//! let n = b.finish();
+//! assert_eq!(n.eval_single(&[true, false]), vec![true]);
+//! # Ok::<(), ced_logic::cube::ParseCubeError>(())
+//! ```
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Literal};
+use crate::espresso::{minimize, MinimizeOptions};
+use crate::netlist::{NetId, NetlistBuilder};
+use crate::truth::Truth;
+
+/// Builds the net computing one cube (product term) over `inputs`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != cube.width()`.
+pub fn cube_to_net(builder: &mut NetlistBuilder, cube: &Cube, inputs: &[NetId]) -> NetId {
+    assert_eq!(inputs.len(), cube.width(), "input arity mismatch");
+    let mut terms = Vec::new();
+    for (v, net) in inputs.iter().enumerate() {
+        match cube.literal(v) {
+            Literal::Positive => terms.push(*net),
+            Literal::Negative => {
+                let n = builder.not(*net);
+                terms.push(n);
+            }
+            Literal::DontCare => {}
+        }
+    }
+    builder.and_tree(&terms)
+}
+
+/// Builds the net computing a cover (sum of products) over `inputs`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != cover.width()`.
+pub fn sop_to_net(builder: &mut NetlistBuilder, cover: &Cover, inputs: &[NetId]) -> NetId {
+    assert_eq!(inputs.len(), cover.width(), "input arity mismatch");
+    let cubes: Vec<NetId> = cover
+        .cubes()
+        .iter()
+        .map(|c| cube_to_net(builder, c, inputs))
+        .collect();
+    builder.or_tree(&cubes)
+}
+
+/// A multi-output combinational specification: one (ON, DC) pair per
+/// output over a shared input space.
+#[derive(Debug, Clone, Default)]
+pub struct MultiOutputSpec {
+    width: usize,
+    outputs: Vec<(Cover, Cover)>,
+    isolate_outputs: bool,
+    factoring: bool,
+}
+
+impl MultiOutputSpec {
+    /// Creates an empty specification over `width` input variables.
+    pub fn new(width: usize) -> MultiOutputSpec {
+        MultiOutputSpec {
+            width,
+            outputs: Vec::new(),
+            isolate_outputs: false,
+            factoring: false,
+        }
+    }
+
+    /// Decompose each minimized cover through algebraic quick factoring
+    /// ([`crate::factor`]) before gate mapping — a multi-level step that
+    /// can reduce gate count on covers with shared literals.
+    pub fn set_factoring(&mut self, factoring: bool) {
+        self.factoring = factoring;
+    }
+
+    /// Synthesize each output as an independent logic cone (no
+    /// cross-output structural sharing). Costs area but localizes each
+    /// fault's effect to one output cone, as in PLA-per-output
+    /// implementations.
+    pub fn set_isolate_outputs(&mut self, isolate: bool) {
+        self.isolate_outputs = isolate;
+    }
+
+    /// Number of input variables.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of outputs added so far.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Adds an output with explicit ON and DC sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ from the spec width.
+    pub fn add_output(&mut self, on: Cover, dc: Cover) {
+        assert_eq!(on.width(), self.width, "ON width mismatch");
+        assert_eq!(dc.width(), self.width, "DC width mismatch");
+        self.outputs.push((on, dc));
+    }
+
+    /// Adds an output with no don't-cares.
+    pub fn add_exact_output(&mut self, on: Cover) {
+        let dc = Cover::empty(self.width);
+        self.add_output(on, dc);
+    }
+
+    /// The (ON, DC) covers of output `i`.
+    pub fn output(&self, i: usize) -> &(Cover, Cover) {
+        &self.outputs[i]
+    }
+
+    /// Minimizes every output and synthesizes a shared netlist.
+    ///
+    /// Each output is minimized independently; gate-level sharing comes
+    /// from structural hashing. Up to [`TRUTH_SYNTH_MAX_VARS`] input
+    /// variables the minimizer is the Minato–Morreale interval ISOP on
+    /// bit-packed truth tables (fast and robust for wide, DC-heavy FSM
+    /// specifications); beyond that it falls back to cube-level
+    /// Espresso, whose OFF-set complement stays tractable only for
+    /// narrow functions anyway.
+    pub fn synthesize(&self, options: &MinimizeOptions) -> crate::netlist::Netlist {
+        let mut builder = NetlistBuilder::new(self.width);
+        let inputs: Vec<NetId> = (0..self.width).map(|i| builder.input(i)).collect();
+        for (on, dc) in &self.outputs {
+            if self.isolate_outputs {
+                builder.clear_strash();
+            }
+            let min = minimize_output(on, dc, self.width, options);
+            let net = if self.factoring {
+                crate::factor::quick_factor(&min).to_net(&mut builder, &inputs)
+            } else {
+                sop_to_net(&mut builder, &min, &inputs)
+            };
+            builder.mark_output(net);
+        }
+        builder.finish()
+    }
+}
+
+/// Variable-count threshold below which [`MultiOutputSpec::synthesize`]
+/// minimizes through truth tables (interval ISOP) instead of cube-level
+/// Espresso.
+pub const TRUTH_SYNTH_MAX_VARS: usize = 18;
+
+/// Minimizes one (ON, DC) output with the strategy described on
+/// [`MultiOutputSpec::synthesize`].
+pub fn minimize_output(on: &Cover, dc: &Cover, width: usize, options: &MinimizeOptions) -> Cover {
+    if width <= TRUTH_SYNTH_MAX_VARS {
+        let lower = Truth::from_cover(on);
+        let upper = lower.or(&Truth::from_cover(dc));
+        crate::isop::isop(&lower, &upper)
+    } else {
+        minimize(on, dc, options)
+    }
+}
+
+/// Synthesizes a netlist computing the given truth tables (one output per
+/// table), minimizing each via ISOP + Espresso first.
+///
+/// # Panics
+///
+/// Panics if the tables have differing arities.
+pub fn synthesize_truth_tables(
+    tables: &[Truth],
+    options: &MinimizeOptions,
+) -> crate::netlist::Netlist {
+    let width = tables.first().map_or(0, Truth::vars);
+    let mut spec = MultiOutputSpec::new(width);
+    for t in tables {
+        assert_eq!(t.vars(), width, "truth table arity mismatch");
+        let cover = crate::isop::isop_exact(t);
+        spec.add_exact_output(cover);
+    }
+    spec.synthesize(options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(width: usize, cubes: &[&str]) -> Cover {
+        Cover::parse(width, cubes).unwrap()
+    }
+
+    fn check_net_matches_cover(c: &Cover) {
+        let mut b = NetlistBuilder::new(c.width());
+        let ins: Vec<NetId> = (0..c.width()).map(|i| b.input(i)).collect();
+        let out = sop_to_net(&mut b, c, &ins);
+        b.mark_output(out);
+        let n = b.finish();
+        for m in 0..(1u64 << c.width()) {
+            let bits: Vec<bool> = (0..c.width()).map(|v| (m >> v) & 1 == 1).collect();
+            assert_eq!(
+                n.eval_single(&bits)[0],
+                c.covers_minterm(m),
+                "mismatch at {m:b} for {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn cube_with_mixed_literals() {
+        let c: Cube = "1-0".parse().unwrap();
+        let mut b = NetlistBuilder::new(3);
+        let ins: Vec<NetId> = (0..3).map(|i| b.input(i)).collect();
+        let net = cube_to_net(&mut b, &c, &ins);
+        b.mark_output(net);
+        let n = b.finish();
+        assert_eq!(n.eval_single(&[true, true, false]), vec![true]);
+        assert_eq!(n.eval_single(&[true, true, true]), vec![false]);
+        assert_eq!(n.eval_single(&[false, true, false]), vec![false]);
+    }
+
+    #[test]
+    fn full_cube_is_constant_one() {
+        let c: Cube = "---".parse().unwrap();
+        let mut b = NetlistBuilder::new(3);
+        let ins: Vec<NetId> = (0..3).map(|i| b.input(i)).collect();
+        let net = cube_to_net(&mut b, &c, &ins);
+        b.mark_output(net);
+        let n = b.finish();
+        assert_eq!(n.eval_single(&[false, false, false]), vec![true]);
+    }
+
+    #[test]
+    fn sop_of_various_covers() {
+        check_net_matches_cover(&cover(3, &["1--", "-1-", "--1"]));
+        check_net_matches_cover(&cover(3, &["101", "010"]));
+        check_net_matches_cover(&Cover::empty(2));
+        check_net_matches_cover(&Cover::tautology(2));
+        check_net_matches_cover(&cover(4, &["1--0", "-01-", "11-1"]));
+    }
+
+    #[test]
+    fn sharing_across_outputs() {
+        // Two outputs with a common cube: the AND gate must be shared.
+        let f = cover(3, &["11-"]);
+        let g = cover(3, &["11-", "--1"]);
+        let mut spec = MultiOutputSpec::new(3);
+        spec.add_exact_output(f);
+        spec.add_exact_output(g);
+        let n = spec.synthesize(&MinimizeOptions::default());
+        // Gates: one AND (shared) + one OR. Inverters: none.
+        assert!(
+            n.gate_count() <= 2,
+            "expected sharing, got {}",
+            n.gate_count()
+        );
+    }
+
+    #[test]
+    fn synthesize_truth_tables_round_trip() {
+        let f = Truth::var(3, 0)
+            .xor(&Truth::var(3, 1))
+            .and(&Truth::var(3, 2));
+        let g = Truth::var(3, 2).not();
+        let n = synthesize_truth_tables(&[f.clone(), g.clone()], &MinimizeOptions::default());
+        assert_eq!(n.num_outputs(), 2);
+        for m in 0..8u64 {
+            let bits: Vec<bool> = (0..3).map(|v| (m >> v) & 1 == 1).collect();
+            let out = n.eval_single(&bits);
+            assert_eq!(out[0], f.value(m));
+            assert_eq!(out[1], g.value(m));
+        }
+    }
+
+    #[test]
+    fn factoring_preserves_function_and_never_hurts_much() {
+        let f = cover(4, &["11--", "1-1-", "1--1"]);
+        let g = cover(4, &["-11-", "-1-1"]);
+        let mut flat = MultiOutputSpec::new(4);
+        flat.add_exact_output(f.clone());
+        flat.add_exact_output(g.clone());
+        let mut factored = flat.clone();
+        factored.set_factoring(true);
+        let n1 = flat.synthesize(&MinimizeOptions::default());
+        let n2 = factored.synthesize(&MinimizeOptions::default());
+        for m in 0..16u64 {
+            let bits: Vec<bool> = (0..4).map(|v| (m >> v) & 1 == 1).collect();
+            assert_eq!(n1.eval_single(&bits), n2.eval_single(&bits), "minterm {m}");
+        }
+        // On these literal-sharing covers factoring must not be larger.
+        assert!(n2.gate_count() <= n1.gate_count());
+    }
+
+    #[test]
+    fn multi_output_spec_with_dont_cares() {
+        let mut spec = MultiOutputSpec::new(2);
+        spec.add_output(cover(2, &["00"]), cover(2, &["01", "10", "11"]));
+        let n = spec.synthesize(&MinimizeOptions::default());
+        // With full don't-care freedom, the output should be constant 1:
+        // zero logic gates.
+        assert_eq!(n.gate_count(), 0);
+        assert_eq!(n.eval_single(&[false, false]), vec![true]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Netlist export: BLIF and structural Verilog.
+//!
+//! BLIF is the interchange format of SIS — the paper's synthesis tool —
+//! so circuits produced here can be fed back into classical EDA flows;
+//! the Verilog writer emits a flat structural module accepted by any
+//! simulator or synthesis tool.
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_logic::netlist::NetlistBuilder;
+//! use ced_logic::export::{to_blif, to_verilog, PortNames};
+//!
+//! let mut b = NetlistBuilder::new(2);
+//! let x = b.input(0);
+//! let y = b.input(1);
+//! let f = b.xor(x, y);
+//! b.mark_output(f);
+//! let n = b.finish();
+//! let ports = PortNames::numbered(2, 1);
+//! assert!(to_blif(&n, "xor2", &ports).contains(".names"));
+//! assert!(to_verilog(&n, "xor2", &ports).contains("module xor2"));
+//! ```
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+use std::fmt::Write as _;
+
+/// Port naming for exports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortNames {
+    /// One name per primary input.
+    pub inputs: Vec<String>,
+    /// One name per primary output.
+    pub outputs: Vec<String>,
+}
+
+impl PortNames {
+    /// Generic names `i0..i{n}` / `o0..o{m}`.
+    pub fn numbered(inputs: usize, outputs: usize) -> PortNames {
+        PortNames {
+            inputs: (0..inputs).map(|i| format!("i{i}")).collect(),
+            outputs: (0..outputs).map(|o| format!("o{o}")).collect(),
+        }
+    }
+
+    fn check(&self, netlist: &Netlist) {
+        assert_eq!(
+            self.inputs.len(),
+            netlist.num_inputs(),
+            "input name count mismatch"
+        );
+        assert_eq!(
+            self.outputs.len(),
+            netlist.num_outputs(),
+            "output name mismatch"
+        );
+    }
+}
+
+/// Net naming: inputs keep their port names, internal nets are `n{idx}`.
+fn net_name(netlist: &Netlist, ports: &PortNames, idx: usize) -> String {
+    if idx < netlist.num_inputs() {
+        ports.inputs[idx].clone()
+    } else {
+        format!("n{idx}")
+    }
+}
+
+/// Serializes a combinational netlist as BLIF (`.model`/`.names`).
+///
+/// # Panics
+///
+/// Panics if the port name counts do not match the netlist interface.
+pub fn to_blif(netlist: &Netlist, model: &str, ports: &PortNames) -> String {
+    ports.check(netlist);
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {model}");
+    let _ = writeln!(out, ".inputs {}", ports.inputs.join(" "));
+    let _ = writeln!(out, ".outputs {}", ports.outputs.join(" "));
+
+    for (i, g) in netlist.gates().iter().enumerate() {
+        let name = net_name(netlist, ports, i);
+        let a = || net_name(netlist, ports, g.fanin[0].index());
+        let b = || net_name(netlist, ports, g.fanin[1].index());
+        match g.kind {
+            GateKind::Input => {}
+            GateKind::Const0 => {
+                let _ = writeln!(out, ".names {name}");
+            }
+            GateKind::Const1 => {
+                let _ = writeln!(out, ".names {name}\n1");
+            }
+            GateKind::Buf => {
+                let _ = writeln!(out, ".names {} {name}\n1 1", a());
+            }
+            GateKind::Not => {
+                let _ = writeln!(out, ".names {} {name}\n0 1", a());
+            }
+            GateKind::And => {
+                let _ = writeln!(out, ".names {} {} {name}\n11 1", a(), b());
+            }
+            GateKind::Or => {
+                let _ = writeln!(out, ".names {} {} {name}\n1- 1\n-1 1", a(), b());
+            }
+            GateKind::Nand => {
+                let _ = writeln!(out, ".names {} {} {name}\n0- 1\n-0 1", a(), b());
+            }
+            GateKind::Nor => {
+                let _ = writeln!(out, ".names {} {} {name}\n00 1", a(), b());
+            }
+            GateKind::Xor => {
+                let _ = writeln!(out, ".names {} {} {name}\n10 1\n01 1", a(), b());
+            }
+            GateKind::Xnor => {
+                let _ = writeln!(out, ".names {} {} {name}\n11 1\n00 1", a(), b());
+            }
+        }
+    }
+    // Output aliases.
+    for (o, net) in netlist.outputs().iter().enumerate() {
+        let src = net_name(netlist, ports, net.index());
+        let dst = &ports.outputs[o];
+        if &src != dst {
+            let _ = writeln!(out, ".names {src} {dst}\n1 1");
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Serializes a combinational netlist as flat structural Verilog
+/// (`assign` statements over `wire`s).
+///
+/// # Panics
+///
+/// Panics if the port name counts do not match the netlist interface.
+pub fn to_verilog(netlist: &Netlist, module: &str, ports: &PortNames) -> String {
+    ports.check(netlist);
+    let mut out = String::new();
+    let all_ports: Vec<String> = ports
+        .inputs
+        .iter()
+        .chain(ports.outputs.iter())
+        .cloned()
+        .collect();
+    let _ = writeln!(out, "module {module}({});", all_ports.join(", "));
+    for i in &ports.inputs {
+        let _ = writeln!(out, "  input {i};");
+    }
+    for o in &ports.outputs {
+        let _ = writeln!(out, "  output {o};");
+    }
+    for (i, g) in netlist.gates().iter().enumerate() {
+        if !matches!(g.kind, GateKind::Input) {
+            let _ = writeln!(out, "  wire n{i};");
+        }
+    }
+    for (i, g) in netlist.gates().iter().enumerate() {
+        let a = || net_name(netlist, ports, g.fanin[0].index());
+        let b = || net_name(netlist, ports, g.fanin[1].index());
+        let expr = match g.kind {
+            GateKind::Input => continue,
+            GateKind::Const0 => "1'b0".to_string(),
+            GateKind::Const1 => "1'b1".to_string(),
+            GateKind::Buf => a(),
+            GateKind::Not => format!("~{}", a()),
+            GateKind::And => format!("{} & {}", a(), b()),
+            GateKind::Or => format!("{} | {}", a(), b()),
+            GateKind::Nand => format!("~({} & {})", a(), b()),
+            GateKind::Nor => format!("~({} | {})", a(), b()),
+            GateKind::Xor => format!("{} ^ {}", a(), b()),
+            GateKind::Xnor => format!("~({} ^ {})", a(), b()),
+        };
+        let _ = writeln!(out, "  assign n{i} = {expr};");
+    }
+    for (o, net) in netlist.outputs().iter().enumerate() {
+        let src = net_name(netlist, ports, net.index());
+        let _ = writeln!(out, "  assign {} = {src};", ports.outputs[o]);
+    }
+    out.push_str("endmodule\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::NetlistBuilder;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let g = b.and(x, y);
+        let h = b.not(g);
+        let k = b.xor(h, y);
+        b.mark_output(k);
+        b.mark_output(x); // direct input-to-output alias
+        b.finish()
+    }
+
+    #[test]
+    fn blif_structure() {
+        let n = sample();
+        let ports = PortNames::numbered(2, 2);
+        let text = to_blif(&n, "sample", &ports);
+        assert!(text.starts_with(".model sample\n"));
+        assert!(text.contains(".inputs i0 i1"));
+        assert!(text.contains(".outputs o0 o1"));
+        assert!(text.ends_with(".end\n"));
+        // AND, NOT, XOR tables present.
+        assert!(text.contains("11 1"));
+        assert!(text.contains("0 1"));
+        assert!(text.contains("10 1\n01 1"));
+        // Input alias to output.
+        assert!(text.contains(".names i0 o1"));
+    }
+
+    #[test]
+    fn verilog_structure() {
+        let n = sample();
+        let ports = PortNames::numbered(2, 2);
+        let text = to_verilog(&n, "sample", &ports);
+        assert!(text.starts_with("module sample(i0, i1, o0, o1);"));
+        assert!(text.contains("input i0;"));
+        assert!(text.contains("output o1;"));
+        assert!(text.contains("&"));
+        assert!(text.contains("^"));
+        assert!(text.contains("assign o1 = i0;"));
+        assert!(text.ends_with("endmodule\n"));
+    }
+
+    #[test]
+    fn constants_exported() {
+        let mut b = NetlistBuilder::new(1);
+        let c1 = b.const1();
+        let c0 = b.const0();
+        b.mark_output(c1);
+        b.mark_output(c0);
+        let n = b.finish();
+        let ports = PortNames::numbered(1, 2);
+        let blif = to_blif(&n, "consts", &ports);
+        // Constant-1 has a "1" line; constant-0 a bare .names.
+        assert!(blif.contains("1\n"));
+        let verilog = to_verilog(&n, "consts", &ports);
+        assert!(verilog.contains("1'b1"));
+        assert!(verilog.contains("1'b0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "input name count mismatch")]
+    fn port_count_validated() {
+        let n = sample();
+        let ports = PortNames::numbered(1, 2);
+        let _ = to_blif(&n, "bad", &ports);
+    }
+
+    #[test]
+    fn blif_names_are_unique() {
+        let n = sample();
+        let ports = PortNames::numbered(2, 2);
+        let text = to_blif(&n, "sample", &ports);
+        let mut defined = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix(".names ") {
+                let target = rest.split_whitespace().last().unwrap();
+                assert!(
+                    defined.insert(target.to_string()),
+                    "double-defined {target}"
+                );
+            }
+        }
+    }
+}

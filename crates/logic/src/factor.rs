@@ -1,0 +1,519 @@
+//! Algebraic factoring — the multi-level step of the SIS substitute.
+//!
+//! Two-level covers often hide shared structure: `ab + ac + ad` is one
+//! AND per cube flat, but factors to `a(b + c + d)`. This module
+//! implements the classical algebraic machinery — single-cube division,
+//! kernel/co-kernel extraction, and *quick factoring* (most-frequent-
+//! literal division, recursively) — plus decomposition of the factored
+//! form into gates.
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_logic::cover::Cover;
+//! use ced_logic::factor::{quick_factor, FactorTree};
+//!
+//! let f = Cover::parse(4, &["11--", "1-1-", "1--1"])?; // a(b+c+d)
+//! let tree = quick_factor(&f);
+//! assert!(tree.literal_count() < f.literal_count());
+//! # Ok::<(), ced_logic::cube::ParseCubeError>(())
+//! ```
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Literal};
+use crate::netlist::{NetId, NetlistBuilder};
+use std::fmt;
+
+/// A factored Boolean expression over positive/negative literals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactorTree {
+    /// Constant 0 (empty cover).
+    Zero,
+    /// Constant 1 (tautologous cube).
+    One,
+    /// A single literal: variable index and phase (`true` = positive).
+    Literal(usize, bool),
+    /// Conjunction of factors.
+    And(Vec<FactorTree>),
+    /// Disjunction of factors.
+    Or(Vec<FactorTree>),
+}
+
+impl FactorTree {
+    /// Number of literal leaves — the classical factored-form cost.
+    pub fn literal_count(&self) -> usize {
+        match self {
+            FactorTree::Zero | FactorTree::One => 0,
+            FactorTree::Literal(..) => 1,
+            FactorTree::And(xs) | FactorTree::Or(xs) => {
+                xs.iter().map(FactorTree::literal_count).sum()
+            }
+        }
+    }
+
+    /// Evaluates the tree on a minterm (bit `i` = variable `i`).
+    pub fn evaluate(&self, assignment: u64) -> bool {
+        match self {
+            FactorTree::Zero => false,
+            FactorTree::One => true,
+            FactorTree::Literal(v, phase) => ((assignment >> v) & 1 == 1) == *phase,
+            FactorTree::And(xs) => xs.iter().all(|x| x.evaluate(assignment)),
+            FactorTree::Or(xs) => xs.iter().any(|x| x.evaluate(assignment)),
+        }
+    }
+
+    /// Builds the net computing this tree over `inputs`.
+    pub fn to_net(&self, builder: &mut NetlistBuilder, inputs: &[NetId]) -> NetId {
+        match self {
+            FactorTree::Zero => builder.const0(),
+            FactorTree::One => builder.const1(),
+            FactorTree::Literal(v, phase) => {
+                let net = inputs[*v];
+                if *phase {
+                    net
+                } else {
+                    builder.not(net)
+                }
+            }
+            FactorTree::And(xs) => {
+                let nets: Vec<NetId> = xs.iter().map(|x| x.to_net(builder, inputs)).collect();
+                builder.and_tree(&nets)
+            }
+            FactorTree::Or(xs) => {
+                let nets: Vec<NetId> = xs.iter().map(|x| x.to_net(builder, inputs)).collect();
+                builder.or_tree(&nets)
+            }
+        }
+    }
+}
+
+impl fmt::Display for FactorTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactorTree::Zero => write!(f, "0"),
+            FactorTree::One => write!(f, "1"),
+            FactorTree::Literal(v, true) => write!(f, "x{v}"),
+            FactorTree::Literal(v, false) => write!(f, "x{v}'"),
+            FactorTree::And(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "·")?;
+                    }
+                    if matches!(x, FactorTree::Or(_)) {
+                        write!(f, "({x})")?;
+                    } else {
+                        write!(f, "{x}")?;
+                    }
+                }
+                Ok(())
+            }
+            FactorTree::Or(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " + ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Algebraic division of a cover by a single literal: returns
+/// `(quotient, remainder)` with `F = lit·Q + R` and no cube of `R`
+/// containing the literal.
+pub fn divide_by_literal(f: &Cover, var: usize, phase: bool) -> (Cover, Cover) {
+    let lit = if phase {
+        Literal::Positive
+    } else {
+        Literal::Negative
+    };
+    let mut q = Cover::empty(f.width());
+    let mut r = Cover::empty(f.width());
+    for cube in f.cubes() {
+        if cube.literal(var) == lit {
+            q.push(cube.with(var, Literal::DontCare));
+        } else {
+            r.push(cube.clone());
+        }
+    }
+    (q, r)
+}
+
+/// Algebraic division by a cube divisor: `(quotient, remainder)` with
+/// `F = D·Q + R` (algebraic, i.e. cube-wise containment of D's
+/// literals).
+pub fn divide_by_cube(f: &Cover, divisor: &Cube) -> (Cover, Cover) {
+    let mut q = Cover::empty(f.width());
+    let mut r = Cover::empty(f.width());
+    'cubes: for cube in f.cubes() {
+        let mut quotient_cube = cube.clone();
+        for v in 0..f.width() {
+            match divisor.literal(v) {
+                Literal::DontCare => {}
+                lit => {
+                    if cube.literal(v) != lit {
+                        r.push(cube.clone());
+                        continue 'cubes;
+                    }
+                    quotient_cube.set(v, Literal::DontCare);
+                }
+            }
+        }
+        q.push(quotient_cube);
+    }
+    (q, r)
+}
+
+/// The literal (variable, phase) appearing in the most cubes, among
+/// literals appearing at least twice; `None` when every literal is
+/// unique (the cover is its own best form).
+pub fn most_frequent_literal(f: &Cover) -> Option<(usize, bool)> {
+    let w = f.width();
+    let mut pos = vec![0usize; w];
+    let mut neg = vec![0usize; w];
+    for cube in f.cubes() {
+        for v in 0..w {
+            match cube.literal(v) {
+                Literal::Positive => pos[v] += 1,
+                Literal::Negative => neg[v] += 1,
+                Literal::DontCare => {}
+            }
+        }
+    }
+    let mut best: Option<(usize, bool, usize)> = None;
+    for v in 0..w {
+        for (phase, count) in [(true, pos[v]), (false, neg[v])] {
+            if count >= 2 && best.is_none_or(|(_, _, c)| count > c) {
+                best = Some((v, phase, count));
+            }
+        }
+    }
+    best.map(|(v, p, _)| (v, p))
+}
+
+/// Quick factoring: recursively divide by the most frequent literal.
+///
+/// Produces an algebraically factored form computing exactly the same
+/// function (every cube of the input is reproduced); no Boolean
+/// (don't-care) transformations are applied.
+pub fn quick_factor(f: &Cover) -> FactorTree {
+    if f.is_empty() {
+        return FactorTree::Zero;
+    }
+    if f.cubes().iter().any(Cube::is_full) {
+        return FactorTree::One;
+    }
+    if f.len() == 1 {
+        return cube_tree(&f.cubes()[0]);
+    }
+    match most_frequent_literal(f) {
+        None => {
+            // No shared literal: flat OR of cube ANDs.
+            FactorTree::Or(f.cubes().iter().map(cube_tree).collect())
+        }
+        Some((v, phase)) => {
+            let (q, r) = divide_by_literal(f, v, phase);
+            let mut and_parts = vec![FactorTree::Literal(v, phase)];
+            match quick_factor(&q) {
+                FactorTree::One => {}
+                FactorTree::And(xs) => and_parts.extend(xs),
+                t => and_parts.push(t),
+            }
+            let left = if and_parts.len() == 1 {
+                and_parts.pop().expect("non-empty")
+            } else {
+                FactorTree::And(and_parts)
+            };
+            if r.is_empty() {
+                left
+            } else {
+                let mut or_parts = vec![left];
+                match quick_factor(&r) {
+                    FactorTree::Or(xs) => or_parts.extend(xs),
+                    FactorTree::Zero => {}
+                    t => or_parts.push(t),
+                }
+                FactorTree::Or(or_parts)
+            }
+        }
+    }
+}
+
+fn cube_tree(cube: &Cube) -> FactorTree {
+    let lits: Vec<FactorTree> = (0..cube.width())
+        .filter_map(|v| match cube.literal(v) {
+            Literal::Positive => Some(FactorTree::Literal(v, true)),
+            Literal::Negative => Some(FactorTree::Literal(v, false)),
+            Literal::DontCare => None,
+        })
+        .collect();
+    match lits.len() {
+        0 => FactorTree::One,
+        1 => lits.into_iter().next().expect("one literal"),
+        _ => FactorTree::And(lits),
+    }
+}
+
+/// One kernel of a cover: the co-kernel cube and the kernel cover
+/// (cube-free quotient).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    /// The co-kernel (the cube divisor).
+    pub co_kernel: Cube,
+    /// The kernel (quotient; cube-free, ≥ 2 cubes).
+    pub kernel: Cover,
+}
+
+/// The largest cube dividing every cube of the cover (its "common
+/// cube"), or the full cube if the cover is empty.
+pub fn common_cube(f: &Cover) -> Cube {
+    let width = f.width();
+    let mut acc: Option<Cube> = None;
+    for cube in f.cubes() {
+        acc = Some(match acc {
+            None => cube.clone(),
+            Some(a) => {
+                let mut out = Cube::full(width);
+                for v in 0..width {
+                    if a.literal(v) != Literal::DontCare && a.literal(v) == cube.literal(v) {
+                        out.set(v, a.literal(v));
+                    }
+                }
+                out
+            }
+        });
+    }
+    acc.unwrap_or_else(|| Cube::full(width))
+}
+
+/// True iff no single literal divides every cube (the cover is
+/// "cube-free").
+pub fn is_cube_free(f: &Cover) -> bool {
+    common_cube(f).is_full()
+}
+
+/// Enumerates all kernels and co-kernels of a cover (the classical
+/// recursive algorithm; exponential in the worst case, fine for the
+/// cover sizes FSM synthesis produces).
+pub fn kernels(f: &Cover) -> Vec<Kernel> {
+    let mut out = Vec::new();
+    let cc = common_cube(f);
+    let (base, _) = divide_by_cube(f, &cc);
+    kernels_rec(&base, &cc, 0, &mut out);
+    // The cover itself (made cube-free) is the level-0 kernel.
+    if base.len() >= 2 && !out.iter().any(|k| k.kernel == base) {
+        out.push(Kernel {
+            co_kernel: cc,
+            kernel: base,
+        });
+    }
+    out
+}
+
+fn kernels_rec(f: &Cover, co: &Cube, start_var: usize, out: &mut Vec<Kernel>) {
+    let w = f.width();
+    for v in start_var..w {
+        for phase in [true, false] {
+            let lit = if phase {
+                Literal::Positive
+            } else {
+                Literal::Negative
+            };
+            // Count cubes containing this literal.
+            let count = f.cubes().iter().filter(|c| c.literal(v) == lit).count();
+            if count < 2 {
+                continue;
+            }
+            let (q, _) = divide_by_literal(f, v, phase);
+            let cc = common_cube(&q);
+            let (kernel, _) = divide_by_cube(&q, &cc);
+            if kernel.len() < 2 {
+                continue;
+            }
+            let mut co_kernel = co.intersection(&cc).unwrap_or_else(|| co.clone());
+            co_kernel.set(v, lit);
+            if !out
+                .iter()
+                .any(|k| k.kernel == kernel && k.co_kernel == co_kernel)
+            {
+                out.push(Kernel {
+                    co_kernel: co_kernel.clone(),
+                    kernel: kernel.clone(),
+                });
+                kernels_rec(&kernel, &co_kernel, v + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover(width: usize, cubes: &[&str]) -> Cover {
+        Cover::parse(width, cubes).unwrap()
+    }
+
+    fn check_tree_equals_cover(tree: &FactorTree, f: &Cover) {
+        for m in 0..(1u64 << f.width()) {
+            assert_eq!(
+                tree.evaluate(m),
+                f.covers_minterm(m),
+                "mismatch at {m:b}: {tree} vs {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn divide_by_literal_splits() {
+        let f = cover(3, &["11-", "1-1", "0--"]);
+        let (q, r) = divide_by_literal(&f, 0, true);
+        assert_eq!(q.len(), 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(q.cubes()[0].to_string(), "-1-");
+    }
+
+    #[test]
+    fn divide_by_cube_requires_all_literals() {
+        let f = cover(4, &["11--", "11-1", "1---"]);
+        let d: Cube = "11--".parse().unwrap();
+        let (q, r) = divide_by_cube(&f, &d);
+        assert_eq!(q.len(), 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn quick_factor_shares_literal() {
+        // ab + ac + ad = a(b + c + d): 6 literals flat, 4 factored.
+        let f = cover(4, &["11--", "1-1-", "1--1"]);
+        let tree = quick_factor(&f);
+        check_tree_equals_cover(&tree, &f);
+        assert_eq!(f.literal_count(), 6);
+        assert_eq!(tree.literal_count(), 4);
+    }
+
+    #[test]
+    fn quick_factor_handles_constants() {
+        assert_eq!(quick_factor(&Cover::empty(3)), FactorTree::Zero);
+        assert_eq!(quick_factor(&Cover::tautology(3)), FactorTree::One);
+    }
+
+    #[test]
+    fn quick_factor_on_xor_stays_flat() {
+        // XOR has no algebraic divisor: literal count unchanged.
+        let f = cover(2, &["01", "10"]);
+        let tree = quick_factor(&f);
+        check_tree_equals_cover(&tree, &f);
+        assert_eq!(tree.literal_count(), 4);
+    }
+
+    #[test]
+    fn quick_factor_preserves_random_functions() {
+        let mut seed = 77u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seed >> 33
+        };
+        for _ in 0..40 {
+            let width = 3 + (next() % 3) as usize;
+            let ncubes = 1 + (next() % 6) as usize;
+            let mut cubes = Vec::new();
+            for _ in 0..ncubes {
+                let mut c = Cube::full(width);
+                for v in 0..width {
+                    match next() % 3 {
+                        0 => c.set(v, Literal::Negative),
+                        1 => c.set(v, Literal::Positive),
+                        _ => {}
+                    }
+                }
+                cubes.push(c);
+            }
+            let f = Cover::from_cubes(width, cubes);
+            let tree = quick_factor(&f);
+            check_tree_equals_cover(&tree, &f);
+            assert!(tree.literal_count() <= f.literal_count());
+        }
+    }
+
+    #[test]
+    fn factored_netlist_computes_function() {
+        let f = cover(4, &["11--", "1-1-", "1--1", "0001"]);
+        let tree = quick_factor(&f);
+        let mut b = NetlistBuilder::new(4);
+        let ins: Vec<NetId> = (0..4).map(|i| b.input(i)).collect();
+        let out = tree.to_net(&mut b, &ins);
+        b.mark_output(out);
+        let n = b.finish();
+        for m in 0..16u64 {
+            let bits: Vec<bool> = (0..4).map(|v| (m >> v) & 1 == 1).collect();
+            assert_eq!(n.eval_single(&bits)[0], f.covers_minterm(m));
+        }
+    }
+
+    #[test]
+    fn common_cube_and_cube_free() {
+        let f = cover(3, &["11-", "1-1"]);
+        assert_eq!(common_cube(&f).to_string(), "1--");
+        assert!(!is_cube_free(&f));
+        let g = cover(3, &["1--", "-1-"]);
+        assert!(is_cube_free(&g));
+    }
+
+    #[test]
+    fn kernels_of_textbook_example() {
+        // F = ace + bce + de + g (DeMicheli): kernels include
+        // {a+b} (co-kernel ce), {ac+bc+d} (co-kernel e), F itself.
+        // Variables: a=0 b=1 c=2 d=3 e=4 g=5.
+        let f = cover(
+            6,
+            &[
+                "1-1-1-", // ace
+                "-11-1-", // bce
+                "---11-", // de
+                "-----1", // g
+            ],
+        );
+        let ks = kernels(&f);
+        let kernel_strings: Vec<String> = ks.iter().map(|k| k.kernel.to_string()).collect();
+        // a + b as a kernel (cubes "1-----" and "-1----").
+        assert!(
+            kernel_strings
+                .iter()
+                .any(|s| s.contains("1-----") && s.contains("-1----")),
+            "missing kernel a+b in {kernel_strings:?}"
+        );
+        // All kernels are cube-free and have ≥ 2 cubes.
+        for k in &ks {
+            assert!(k.kernel.len() >= 2);
+            assert!(is_cube_free(&k.kernel), "kernel {} not cube-free", k.kernel);
+        }
+    }
+
+    #[test]
+    fn kernel_identity_holds() {
+        // For every kernel: co_kernel · kernel ⊆ F (algebraically).
+        let f = cover(4, &["11--", "1-1-", "-11-", "---1"]);
+        for k in kernels(&f) {
+            for cube in k.kernel.cubes() {
+                let product = cube.intersection(&k.co_kernel);
+                let product = product.expect("co-kernel and kernel cube are disjoint-support");
+                assert!(
+                    f.cubes().iter().any(|c| c == &product),
+                    "product {product} not a cube of {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn display_formats_factored_form() {
+        let f = cover(3, &["11-", "1-1"]);
+        let tree = quick_factor(&f);
+        let text = tree.to_string();
+        assert!(text.contains("x0"), "{text}");
+        assert!(text.contains('('), "{text}");
+    }
+}

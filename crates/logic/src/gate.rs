@@ -1,0 +1,214 @@
+//! Gate primitives and the standard-cell library used for costing.
+//!
+//! The paper reports `Gates` (mapped cell count) and `Cost` (area from
+//! SIS's standard-cell library). We substitute a compact generic library
+//! with fixed per-cell areas; absolute numbers differ from `lib2.genlib`
+//! but ratios — the quantity the paper's conclusions rest on — are
+//! preserved (see DESIGN.md substitution note (b)).
+
+use std::fmt;
+
+/// The kind of a netlist node.
+///
+/// All logic gates are at most 2-input; wider functions are decomposed
+/// into balanced trees by [`crate::decompose`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// A primary input (no fanin).
+    Input,
+    /// Constant 0 (no fanin).
+    Const0,
+    /// Constant 1 (no fanin).
+    Const1,
+    /// Buffer (1 fanin). Produced only at output stitching; free to map.
+    Buf,
+    /// Inverter (1 fanin).
+    Not,
+    /// 2-input AND.
+    And,
+    /// 2-input OR.
+    Or,
+    /// 2-input NAND.
+    Nand,
+    /// 2-input NOR.
+    Nor,
+    /// 2-input XOR.
+    Xor,
+    /// 2-input XNOR.
+    Xnor,
+}
+
+impl GateKind {
+    /// Number of fanins this kind requires.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Buf | GateKind::Not => 1,
+            _ => 2,
+        }
+    }
+
+    /// True for kinds whose two fanins commute.
+    pub fn is_commutative(self) -> bool {
+        self.arity() == 2
+    }
+
+    /// Evaluates the gate on word-parallel operand(s).
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            GateKind::Input => unreachable!("inputs are not evaluated"),
+            GateKind::Const0 => 0,
+            GateKind::Const1 => u64::MAX,
+            GateKind::Buf => a,
+            GateKind::Not => !a,
+            GateKind::And => a & b,
+            GateKind::Or => a | b,
+            GateKind::Nand => !(a & b),
+            GateKind::Nor => !(a | b),
+            GateKind::Xor => a ^ b,
+            GateKind::Xnor => !(a ^ b),
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Input => "IN",
+            GateKind::Const0 => "C0",
+            GateKind::Const1 => "C1",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "INV",
+            GateKind::And => "AND2",
+            GateKind::Or => "OR2",
+            GateKind::Nand => "NAND2",
+            GateKind::Nor => "NOR2",
+            GateKind::Xor => "XOR2",
+            GateKind::Xnor => "XNOR2",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Per-cell areas of the generic standard-cell library.
+///
+/// Units are abstract area units; the defaults roughly track the relative
+/// sizes of a typical CMOS library (inverter smallest, XOR largest,
+/// flip-flop dominant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellLibrary {
+    /// Inverter area.
+    pub inv: f64,
+    /// Buffer area.
+    pub buf: f64,
+    /// 2-input AND area.
+    pub and2: f64,
+    /// 2-input OR area.
+    pub or2: f64,
+    /// 2-input NAND area.
+    pub nand2: f64,
+    /// 2-input NOR area.
+    pub nor2: f64,
+    /// 2-input XOR area.
+    pub xor2: f64,
+    /// 2-input XNOR area.
+    pub xnor2: f64,
+    /// D flip-flop area (used by sequential costing).
+    pub dff: f64,
+}
+
+impl Default for CellLibrary {
+    fn default() -> CellLibrary {
+        CellLibrary {
+            inv: 1.0,
+            buf: 2.0,
+            and2: 3.0,
+            or2: 3.0,
+            nand2: 2.0,
+            nor2: 2.0,
+            xor2: 5.0,
+            xnor2: 5.0,
+            dff: 8.0,
+        }
+    }
+}
+
+impl CellLibrary {
+    /// A fresh library with the default areas.
+    pub fn new() -> CellLibrary {
+        CellLibrary::default()
+    }
+
+    /// Area of one gate of the given kind; inputs and constants are free.
+    pub fn area(&self, kind: GateKind) -> f64 {
+        match kind {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
+            GateKind::Buf => self.buf,
+            GateKind::Not => self.inv,
+            GateKind::And => self.and2,
+            GateKind::Or => self.or2,
+            GateKind::Nand => self.nand2,
+            GateKind::Nor => self.nor2,
+            GateKind::Xor => self.xor2,
+            GateKind::Xnor => self.xnor2,
+        }
+    }
+
+    /// True if the kind counts as a gate in the `Gates` column.
+    pub fn counts_as_gate(&self, kind: GateKind) -> bool {
+        !matches!(kind, GateKind::Input | GateKind::Const0 | GateKind::Const1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(GateKind::Input.arity(), 0);
+        assert_eq!(GateKind::Not.arity(), 1);
+        assert_eq!(GateKind::Xor.arity(), 2);
+    }
+
+    #[test]
+    fn eval_semantics() {
+        let a = 0b1100u64;
+        let b = 0b1010u64;
+        assert_eq!(GateKind::And.eval(a, b) & 0xF, 0b1000);
+        assert_eq!(GateKind::Or.eval(a, b) & 0xF, 0b1110);
+        assert_eq!(GateKind::Xor.eval(a, b) & 0xF, 0b0110);
+        assert_eq!(GateKind::Nand.eval(a, b) & 0xF, 0b0111);
+        assert_eq!(GateKind::Nor.eval(a, b) & 0xF, 0b0001);
+        assert_eq!(GateKind::Xnor.eval(a, b) & 0xF, 0b1001);
+        assert_eq!(GateKind::Not.eval(a, 0) & 0xF, 0b0011);
+        assert_eq!(GateKind::Buf.eval(a, 0), a);
+        assert_eq!(GateKind::Const1.eval(0, 0), u64::MAX);
+    }
+
+    #[test]
+    fn library_area_positive_for_gates() {
+        let lib = CellLibrary::new();
+        for kind in [
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Buf,
+        ] {
+            assert!(lib.area(kind) > 0.0);
+            assert!(lib.counts_as_gate(kind));
+        }
+        assert_eq!(lib.area(GateKind::Input), 0.0);
+        assert!(!lib.counts_as_gate(GateKind::Const0));
+    }
+
+    #[test]
+    fn xor_costs_more_than_nand() {
+        let lib = CellLibrary::new();
+        assert!(lib.area(GateKind::Xor) > lib.area(GateKind::Nand));
+    }
+}

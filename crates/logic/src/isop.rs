@@ -1,0 +1,245 @@
+//! Irredundant sum-of-products extraction from truth tables
+//! (Minato–Morreale algorithm).
+//!
+//! Given an interval `L ⊆ f ⊆ U` (lower bound = required ON-set, upper
+//! bound = allowed ON-set, so `U \ L` is the don't-care set), [`isop`]
+//! produces an irredundant cover of some function inside the interval.
+//! This is how CED predictor functions — which arise as truth tables,
+//! not cube lists — re-enter the two-level minimizer.
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_logic::truth::Truth;
+//! use ced_logic::isop::isop_exact;
+//!
+//! let f = Truth::var(3, 0).xor(&Truth::var(3, 1));
+//! let cover = isop_exact(&f);
+//! assert!(Truth::from_cover(&cover) == f);
+//! assert_eq!(cover.len(), 2);
+//! ```
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Literal};
+use crate::truth::Truth;
+
+/// Computes an irredundant SOP cover of a function `f` with
+/// `lower ⊆ f ⊆ upper`.
+///
+/// # Panics
+///
+/// Panics if the arities differ or `lower ⊄ upper` (i.e. some minterm is
+/// required but not allowed).
+pub fn isop(lower: &Truth, upper: &Truth) -> Cover {
+    assert_eq!(lower.vars(), upper.vars(), "ISOP bound arity mismatch");
+    assert!(
+        lower.and(&upper.not()).is_zero(),
+        "ISOP lower bound exceeds upper bound"
+    );
+    let mut cover = Cover::empty(lower.vars());
+    isop_rec(
+        lower,
+        upper,
+        lower.vars(),
+        &mut cover,
+        &Cube::full(lower.vars()),
+    );
+    cover
+}
+
+/// [`isop`] with `lower == upper` (no don't-cares).
+pub fn isop_exact(f: &Truth) -> Cover {
+    isop(f, f)
+}
+
+/// Recursive core. `context` carries the literals fixed so far; `top` is
+/// the number of variables still eligible for splitting (we always split
+/// on the highest remaining variable, giving a canonical recursion).
+///
+/// Returns the truth table of the sub-cover produced (in the full space),
+/// needed by the caller to compute the residual lower bound.
+fn isop_rec(lower: &Truth, upper: &Truth, top: usize, cover: &mut Cover, context: &Cube) -> Truth {
+    if lower.is_zero() {
+        return Truth::zero(lower.vars());
+    }
+    if upper.is_one() {
+        cover.push(context.clone());
+        return Truth::one(lower.vars());
+    }
+    // Find the highest variable below `top` that either bound depends on.
+    let mut split = None;
+    for v in (0..top).rev() {
+        if lower.depends_on(v) || upper.depends_on(v) {
+            split = Some(v);
+            break;
+        }
+    }
+    let Some(v) = split else {
+        // Both bounds constant on the remaining space: lower is non-zero
+        // everywhere it matters, upper is not one — pick lower's value.
+        // Since neither depends on anything below `top` and lower ⊆ upper,
+        // lower non-zero ⇒ upper non-zero on the same region; emit context.
+        cover.push(context.clone());
+        return Truth::one(lower.vars());
+    };
+
+    let l0 = lower.cofactor(v, false);
+    let l1 = lower.cofactor(v, true);
+    let u0 = upper.cofactor(v, false);
+    let u1 = upper.cofactor(v, true);
+
+    // Minterms that must be covered by cubes containing the literal v'
+    // (cannot be covered by v-free cubes because u1 forbids them).
+    let f0 = isop_rec(
+        &l0.and(&u1.not()),
+        &u0,
+        v,
+        cover,
+        &context.with(v, Literal::Negative),
+    );
+    let f1 = isop_rec(
+        &l1.and(&u0.not()),
+        &u1,
+        v,
+        cover,
+        &context.with(v, Literal::Positive),
+    );
+
+    // Residual: minterms not yet covered, coverable by v-free cubes.
+    let l_new = l0.and(&f0.not()).or(&l1.and(&f1.not()));
+    let u_new = u0.and(&u1);
+    let fd = isop_rec(&l_new, &u_new, v, cover, context);
+
+    // Truth of everything emitted at this level, in the full space.
+    let xv = Truth::var(lower.vars(), v);
+    xv.not().and(&f0).or(&xv.and(&f1)).or(&fd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_interval(cover: &Cover, lower: &Truth, upper: &Truth) {
+        let t = Truth::from_cover(cover);
+        assert!(
+            lower.and(&t.not()).is_zero(),
+            "cover misses required minterms"
+        );
+        assert!(
+            t.and(&upper.not()).is_zero(),
+            "cover spills outside allowed minterms"
+        );
+    }
+
+    #[test]
+    fn exact_xor() {
+        let f = Truth::var(2, 0).xor(&Truth::var(2, 1));
+        let c = isop_exact(&f);
+        check_interval(&c, &f, &f);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn exact_constants() {
+        let z = Truth::zero(3);
+        assert!(isop_exact(&z).is_empty());
+        let o = Truth::one(3);
+        let c = isop_exact(&o);
+        assert_eq!(c.len(), 1);
+        assert!(c.cubes()[0].is_full());
+    }
+
+    #[test]
+    fn exact_single_var() {
+        let f = Truth::var(4, 2);
+        let c = isop_exact(&f);
+        check_interval(&c, &f, &f);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.literal_count(), 1);
+    }
+
+    #[test]
+    fn dont_cares_shrink_cover() {
+        // f required on {000}, allowed anywhere: one full cube suffices.
+        let mut lower = Truth::zero(3);
+        lower.set(0, true);
+        let upper = Truth::one(3);
+        let c = isop(&lower, &upper);
+        check_interval(&c, &lower, &upper);
+        assert_eq!(c.len(), 1);
+        assert!(c.cubes()[0].is_full());
+    }
+
+    #[test]
+    fn dont_cares_partial() {
+        // Required: minterms where a=1,b=1. Allowed additionally: a=1,b=0.
+        let a = Truth::var(3, 0);
+        let b = Truth::var(3, 1);
+        let lower = a.and(&b);
+        let upper = a.clone();
+        let c = isop(&lower, &upper);
+        check_interval(&c, &lower, &upper);
+        // "a" alone is inside the interval and should be found.
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.literal_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds")]
+    fn rejects_inverted_interval() {
+        let lower = Truth::one(2);
+        let upper = Truth::zero(2);
+        let _ = isop(&lower, &upper);
+    }
+
+    #[test]
+    fn random_functions_round_trip() {
+        let mut seed = 0x9e37_79b9_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seed
+        };
+        for vars in 1..=7 {
+            for _ in 0..20 {
+                let f = Truth::from_fn(vars, |_| next() & 1 == 1);
+                let c = isop_exact(&f);
+                assert_eq!(Truth::from_cover(&c), f, "round trip failed, {vars} vars");
+            }
+        }
+    }
+
+    #[test]
+    fn isop_is_irredundant_on_samples() {
+        let mut seed = 0xdead_beef_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(99);
+            seed
+        };
+        for _ in 0..10 {
+            let f = Truth::from_fn(5, |_| next() % 3 == 0);
+            let c = isop_exact(&f);
+            // Removing any single cube must lose some required minterm.
+            for skip in 0..c.len() {
+                let rest: Cover = c
+                    .cubes()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, cube)| cube.clone())
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .collect();
+                let rest = if rest.is_empty() {
+                    Cover::empty(5)
+                } else {
+                    rest
+                };
+                assert_ne!(
+                    Truth::from_cover(&rest),
+                    f,
+                    "cube {skip} is redundant in ISOP output"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # ced-logic — logic synthesis substrate for bounded-latency CED
+//!
+//! A compact, self-contained logic-synthesis library standing in for the
+//! SIS flow used by *"On Concurrent Error Detection with Bounded Latency
+//! in FSMs"* (DATE 2004): two-level minimization, truth-table
+//! manipulation, gate-level netlists and standard-cell area costing.
+//!
+//! The layers, bottom-up:
+//!
+//! * [`cube`] / [`cover`] — ternary cubes and SOP covers with the unate
+//!   recursive paradigm (tautology, containment, complement, sharp);
+//! * [`espresso`] — the EXPAND/IRREDUNDANT/REDUCE heuristic minimizer;
+//! * [`truth`] / [`isop`] — bit-packed truth tables and Minato–Morreale
+//!   irredundant SOP extraction;
+//! * [`factor`] — algebraic division, kernels and quick factoring
+//!   (the multi-level step);
+//! * [`gate`] / [`netlist`] / [`decompose`] — 2-input gate netlists with
+//!   structural hashing, balanced tree decomposition, and a generic
+//!   standard-cell library for `Gates`/`Cost` reporting.
+//!
+//! # Examples
+//!
+//! Minimize a function and map it to gates:
+//!
+//! ```
+//! use ced_logic::cover::Cover;
+//! use ced_logic::espresso::{minimize, MinimizeOptions};
+//! use ced_logic::decompose::MultiOutputSpec;
+//! use ced_logic::gate::CellLibrary;
+//!
+//! let on = Cover::parse(3, &["000", "100", "001", "101"])?;
+//! let min = minimize(&on, &Cover::empty(3), &MinimizeOptions::default());
+//! assert_eq!(min.len(), 1); // b'
+//!
+//! let mut spec = MultiOutputSpec::new(3);
+//! spec.add_exact_output(on);
+//! let netlist = spec.synthesize(&MinimizeOptions::default());
+//! let area = netlist.area(&CellLibrary::new());
+//! assert!(area > 0.0);
+//! # Ok::<(), ced_logic::cube::ParseCubeError>(())
+//! ```
+
+#![warn(missing_docs)]
+// Indexed loops over bit positions are the clearest form for this
+// bit-twiddling code; the iterator rewrites clippy suggests obscure it.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod blif;
+pub mod cover;
+pub mod cube;
+pub mod decompose;
+pub mod espresso;
+pub mod export;
+pub mod factor;
+pub mod gate;
+pub mod isop;
+pub mod netlist;
+pub mod truth;
+
+pub use cover::Cover;
+pub use cube::{Cube, Literal};
+pub use espresso::{minimize, MinimizeOptions};
+pub use gate::{CellLibrary, GateKind};
+pub use netlist::{NetId, Netlist, NetlistBuilder};
+pub use truth::Truth;

@@ -1,0 +1,454 @@
+//! Bit-packed truth tables for complete Boolean functions.
+//!
+//! A [`Truth`] stores the value of a function on all `2^n` minterms, one
+//! bit per minterm (minterm `m`'s value is bit `m % 64` of word `m / 64`).
+//! Truth tables are the exchange format between the two-level world
+//! ([`crate::cover::Cover`]) and gate-level structures: the CED predictor
+//! functions are built by XOR-ing next-state/output truth tables and then
+//! re-covered via [`crate::isop`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_logic::truth::Truth;
+//!
+//! let a = Truth::var(3, 0);
+//! let b = Truth::var(3, 1);
+//! let f = a.xor(&b);
+//! assert!(f.value(0b001));
+//! assert!(!f.value(0b011));
+//! ```
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use std::fmt;
+
+/// Maximum supported variable count (keeps tables ≤ 32 MiB).
+pub const MAX_VARS: usize = 28;
+
+/// A complete truth table over `n ≤ 28` variables.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Truth {
+    vars: usize,
+    words: Vec<u64>,
+}
+
+impl Truth {
+    fn word_count(vars: usize) -> usize {
+        if vars >= 6 {
+            1 << (vars - 6)
+        } else {
+            1
+        }
+    }
+
+    fn tail_mask(vars: usize) -> u64 {
+        if vars >= 6 {
+            u64::MAX
+        } else {
+            (1u64 << (1 << vars)) - 1
+        }
+    }
+
+    /// The constant-0 function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars > MAX_VARS`.
+    pub fn zero(vars: usize) -> Truth {
+        assert!(vars <= MAX_VARS, "too many variables: {vars}");
+        Truth {
+            vars,
+            words: vec![0; Self::word_count(vars)],
+        }
+    }
+
+    /// The constant-1 function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars > MAX_VARS`.
+    pub fn one(vars: usize) -> Truth {
+        assert!(vars <= MAX_VARS, "too many variables: {vars}");
+        let mut words = vec![u64::MAX; Self::word_count(vars)];
+        let last = words.len() - 1;
+        words[last] &= Self::tail_mask(vars);
+        Truth { vars, words }
+    }
+
+    /// The projection function of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= vars` or `vars > MAX_VARS`.
+    pub fn var(vars: usize, v: usize) -> Truth {
+        assert!(v < vars, "variable {v} out of range 0..{vars}");
+        let mut t = Truth::zero(vars);
+        if v >= 6 {
+            // Whole words alternate in blocks of 2^(v-6).
+            let block = 1usize << (v - 6);
+            for (i, w) in t.words.iter_mut().enumerate() {
+                if (i / block) % 2 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        } else {
+            // Pattern repeats inside each word.
+            const PATTERNS: [u64; 6] = [
+                0xAAAA_AAAA_AAAA_AAAA,
+                0xCCCC_CCCC_CCCC_CCCC,
+                0xF0F0_F0F0_F0F0_F0F0,
+                0xFF00_FF00_FF00_FF00,
+                0xFFFF_0000_FFFF_0000,
+                0xFFFF_FFFF_0000_0000,
+            ];
+            for w in t.words.iter_mut() {
+                *w = PATTERNS[v];
+            }
+        }
+        let last = t.words.len() - 1;
+        t.words[last] &= Self::tail_mask(vars);
+        t
+    }
+
+    /// Builds a truth table from a cover (ON-set).
+    pub fn from_cover(cover: &Cover) -> Truth {
+        let vars = cover.width();
+        assert!(vars <= MAX_VARS, "too many variables: {vars}");
+        let mut t = Truth::zero(vars);
+        for cube in cover.cubes() {
+            t.or_cube_in_place(cube);
+        }
+        t
+    }
+
+    /// Builds a truth table from a closure over minterms.
+    pub fn from_fn<F: FnMut(u64) -> bool>(vars: usize, mut f: F) -> Truth {
+        let mut t = Truth::zero(vars);
+        for m in 0..(1u64 << vars) {
+            if f(m) {
+                t.set(m, true);
+            }
+        }
+        t
+    }
+
+    /// ORs a single cube into the table.
+    fn or_cube_in_place(&mut self, cube: &Cube) {
+        assert_eq!(cube.width(), self.vars, "cube width mismatch");
+        // Enumerate the cube's minterms by iterating free variables.
+        let support = cube.support();
+        let free: Vec<usize> = (0..self.vars).filter(|v| !support.contains(v)).collect();
+        let mut base = 0u64;
+        for v in &support {
+            if cube.literal(*v) == crate::cube::Literal::Positive {
+                base |= 1 << v;
+            }
+        }
+        let n_free = free.len();
+        for k in 0..(1u64 << n_free) {
+            let mut m = base;
+            for (i, v) in free.iter().enumerate() {
+                if (k >> i) & 1 == 1 {
+                    m |= 1 << v;
+                }
+            }
+            self.set(m, true);
+        }
+    }
+
+    /// Number of variables.
+    pub fn vars(&self) -> usize {
+        self.vars
+    }
+
+    /// Number of minterms (`2^vars`).
+    pub fn size(&self) -> u64 {
+        1u64 << self.vars
+    }
+
+    /// The value on minterm `m` (bit `i` of `m` = variable `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^vars`.
+    pub fn value(&self, m: u64) -> bool {
+        assert!(m < self.size(), "minterm {m} out of range");
+        (self.words[(m / 64) as usize] >> (m % 64)) & 1 == 1
+    }
+
+    /// Sets the value on minterm `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^vars`.
+    pub fn set(&mut self, m: u64, value: bool) {
+        assert!(m < self.size(), "minterm {m} out of range");
+        let w = &mut self.words[(m / 64) as usize];
+        if value {
+            *w |= 1 << (m % 64);
+        } else {
+            *w &= !(1 << (m % 64));
+        }
+    }
+
+    /// Number of ON minterms.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    /// True iff the function is constant 0.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True iff the function is constant 1.
+    pub fn is_one(&self) -> bool {
+        self.count_ones() == self.size()
+    }
+
+    fn zip(&self, other: &Truth, f: impl Fn(u64, u64) -> u64) -> Truth {
+        assert_eq!(self.vars, other.vars, "truth table arity mismatch");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| f(*a, *b))
+            .collect();
+        Truth {
+            vars: self.vars,
+            words,
+        }
+    }
+
+    /// Bitwise AND (conjunction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities differ.
+    pub fn and(&self, other: &Truth) -> Truth {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Bitwise OR (disjunction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities differ.
+    pub fn or(&self, other: &Truth) -> Truth {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities differ.
+    pub fn xor(&self, other: &Truth) -> Truth {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// Complement.
+    pub fn not(&self) -> Truth {
+        let mut words: Vec<u64> = self.words.iter().map(|w| !w).collect();
+        let last = words.len() - 1;
+        words[last] &= Self::tail_mask(self.vars);
+        Truth {
+            vars: self.vars,
+            words,
+        }
+    }
+
+    /// The cofactor with respect to `var = value`, keeping the arity: the
+    /// result no longer depends on `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= vars`.
+    pub fn cofactor(&self, var: usize, value: bool) -> Truth {
+        assert!(var < self.vars, "variable {var} out of range");
+        let mut out = self.clone();
+        let half = 1u64 << var;
+        // Copy the selected half over the other half.
+        for m in 0..self.size() {
+            let bit_is_one = (m >> var) & 1 == 1;
+            if bit_is_one != value {
+                let src = if value { m | half } else { m & !half };
+                out.set(m, self.value(src));
+            }
+        }
+        out
+    }
+
+    /// True iff the function depends on `var`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        self.cofactor(var, false) != self.cofactor(var, true)
+    }
+
+    /// The support: variables the function actually depends on.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.vars).filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// Converts to a cover by listing minterms (use [`crate::isop`] for a
+    /// compact cover).
+    pub fn to_minterm_cover(&self) -> Cover {
+        let mut cover = Cover::empty(self.vars);
+        for m in 0..self.size() {
+            if self.value(m) {
+                cover.push(Cube::minterm(self.vars, m));
+            }
+        }
+        cover
+    }
+
+    /// Parity (XOR) of a set of truth tables; the identity is constant 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if arities differ or `tables` is empty.
+    pub fn parity_of(tables: &[&Truth]) -> Truth {
+        assert!(!tables.is_empty(), "parity of zero tables is ambiguous");
+        let mut acc = tables[0].clone();
+        for t in &tables[1..] {
+            acc = acc.xor(t);
+        }
+        acc
+    }
+}
+
+impl fmt::Debug for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Truth({} vars, {} ones)", self.vars, self.count_ones())
+    }
+}
+
+impl fmt::Display for Truth {
+    /// Hex dump, most significant minterm first (like ABC's truth tables).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for w in self.words.iter().rev() {
+            write!(f, "{w:016x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        let z = Truth::zero(4);
+        let o = Truth::one(4);
+        assert!(z.is_zero() && !z.is_one());
+        assert!(o.is_one() && !o.is_zero());
+        assert_eq!(o.count_ones(), 16);
+    }
+
+    #[test]
+    fn small_arity_tail_masking() {
+        let o = Truth::one(2);
+        assert_eq!(o.count_ones(), 4);
+        let n = o.not();
+        assert!(n.is_zero());
+    }
+
+    #[test]
+    fn var_projection() {
+        for vars in 1..=8 {
+            for v in 0..vars {
+                let t = Truth::var(vars, v);
+                for m in 0..(1u64 << vars) {
+                    assert_eq!(t.value(m), (m >> v) & 1 == 1, "vars={vars} v={v} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn var_projection_wide() {
+        let t = Truth::var(8, 7);
+        assert_eq!(t.count_ones(), 128);
+        assert!(!t.value(0));
+        assert!(t.value(1 << 7));
+    }
+
+    #[test]
+    fn boolean_ops_match_semantics() {
+        let a = Truth::var(3, 0);
+        let b = Truth::var(3, 1);
+        let c = Truth::var(3, 2);
+        let f = a.and(&b).or(&c.not());
+        for m in 0..8u64 {
+            let (av, bv, cv) = (m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1);
+            assert_eq!(f.value(m), (av && bv) || !cv);
+        }
+    }
+
+    #[test]
+    fn xor_and_parity() {
+        let a = Truth::var(3, 0);
+        let b = Truth::var(3, 1);
+        let c = Truth::var(3, 2);
+        let p = Truth::parity_of(&[&a, &b, &c]);
+        for m in 0..8u64 {
+            assert_eq!(p.value(m), (m.count_ones() % 2) == 1);
+        }
+    }
+
+    #[test]
+    fn from_cover_matches_cover_semantics() {
+        let cover = Cover::parse(4, &["1--0", "-01-"]).unwrap();
+        let t = Truth::from_cover(&cover);
+        for m in 0..16u64 {
+            assert_eq!(t.value(m), cover.covers_minterm(m));
+        }
+    }
+
+    #[test]
+    fn cofactor_removes_dependence() {
+        let a = Truth::var(3, 0);
+        let b = Truth::var(3, 1);
+        let f = a.and(&b);
+        let f0 = f.cofactor(0, false);
+        assert!(f0.is_zero());
+        let f1 = f.cofactor(0, true);
+        for m in 0..8u64 {
+            assert_eq!(f1.value(m), (m >> 1) & 1 == 1);
+        }
+        assert!(!f1.depends_on(0));
+    }
+
+    #[test]
+    fn support_detection() {
+        let a = Truth::var(4, 0);
+        let c = Truth::var(4, 2);
+        let f = a.xor(&c);
+        assert_eq!(f.support(), vec![0, 2]);
+    }
+
+    #[test]
+    fn minterm_cover_round_trip() {
+        let f = Truth::var(3, 1).xor(&Truth::var(3, 2));
+        let cover = f.to_minterm_cover();
+        assert_eq!(Truth::from_cover(&cover), f);
+    }
+
+    #[test]
+    fn from_fn_builder() {
+        let f = Truth::from_fn(4, |m| m % 3 == 0);
+        for m in 0..16u64 {
+            assert_eq!(f.value(m), m % 3 == 0);
+        }
+    }
+
+    #[test]
+    fn seven_var_word_boundary() {
+        // 7 vars = 2 words; make sure var 6 alternates whole words.
+        let t = Truth::var(7, 6);
+        assert!(!t.value(63));
+        assert!(t.value(64));
+        assert_eq!(t.count_ones(), 64);
+    }
+}

@@ -1,0 +1,190 @@
+// Indexed bit loops intentionally kept (see crate-level note).
+#![allow(clippy::needless_range_loop)]
+
+//! Property-based tests for the logic substrate: the minimizers must
+//! preserve function semantics, the Boolean algebra must obey its laws,
+//! and netlists must compute their specifying covers.
+
+use ced_logic::cover::Cover;
+use ced_logic::cube::{Cube, Literal};
+use ced_logic::decompose::{sop_to_net, MultiOutputSpec};
+use ced_logic::espresso::{minimize, MinimizeOptions};
+use ced_logic::isop::{isop, isop_exact};
+use ced_logic::netlist::{NetId, NetlistBuilder};
+use ced_logic::truth::Truth;
+use proptest::prelude::*;
+
+/// Strategy: a random cube over `width` variables.
+fn cube_strategy(width: usize) -> impl Strategy<Value = Cube> {
+    proptest::collection::vec(0..3u8, width).prop_map(|lits| {
+        Cube::from_literals(lits.into_iter().map(|l| match l {
+            0 => Literal::Negative,
+            1 => Literal::Positive,
+            _ => Literal::DontCare,
+        }))
+    })
+}
+
+/// Strategy: a random cover with 0..=max_cubes cubes.
+fn cover_strategy(width: usize, max_cubes: usize) -> impl Strategy<Value = Cover> {
+    proptest::collection::vec(cube_strategy(width), 0..=max_cubes)
+        .prop_map(move |cubes| Cover::from_cubes(width, cubes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complement_is_involutive_and_exact(cover in cover_strategy(5, 6)) {
+        let not = cover.complement();
+        for m in 0..32u64 {
+            prop_assert_ne!(cover.covers_minterm(m), not.covers_minterm(m));
+        }
+        let back = not.complement();
+        prop_assert!(back.equivalent(&cover));
+    }
+
+    #[test]
+    fn sharp_is_set_difference(a in cover_strategy(4, 5), b in cover_strategy(4, 5)) {
+        let d = a.sharp(&b);
+        for m in 0..16u64 {
+            prop_assert_eq!(
+                d.covers_minterm(m),
+                a.covers_minterm(m) && !b.covers_minterm(m)
+            );
+        }
+    }
+
+    #[test]
+    fn tautology_agrees_with_enumeration(cover in cover_strategy(5, 7)) {
+        let all = (0..32u64).all(|m| cover.covers_minterm(m));
+        prop_assert_eq!(cover.is_tautology(), all);
+    }
+
+    #[test]
+    fn containment_agrees_with_enumeration(
+        cover in cover_strategy(4, 5),
+        cube in cube_strategy(4),
+    ) {
+        let contained = (0..16u64)
+            .filter(|&m| cube.covers_minterm(m))
+            .all(|m| cover.covers_minterm(m));
+        prop_assert_eq!(cover.contains_cube(&cube), contained);
+    }
+
+    #[test]
+    fn espresso_preserves_function(on in cover_strategy(5, 6)) {
+        let min = minimize(&on, &Cover::empty(5), &MinimizeOptions::default());
+        prop_assert!(min.equivalent(&on), "minimized {} != {}", min, on);
+        prop_assert!(min.len() <= on.len().max(1));
+    }
+
+    #[test]
+    fn espresso_stays_inside_dc_interval(
+        on in cover_strategy(4, 4),
+        dc in cover_strategy(4, 4),
+    ) {
+        let min = minimize(&on, &dc, &MinimizeOptions::default());
+        for m in 0..16u64 {
+            if on.covers_minterm(m) {
+                prop_assert!(min.covers_minterm(m), "lost ON minterm {m}");
+            }
+            if min.covers_minterm(m) {
+                prop_assert!(
+                    on.covers_minterm(m) || dc.covers_minterm(m),
+                    "minterm {m} outside ON ∪ DC"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isop_exact_round_trips(bits in proptest::collection::vec(any::<bool>(), 32)) {
+        let f = Truth::from_fn(5, |m| bits[m as usize]);
+        let cover = isop_exact(&f);
+        prop_assert_eq!(Truth::from_cover(&cover), f);
+    }
+
+    #[test]
+    fn isop_interval_respected(
+        lo_bits in proptest::collection::vec(any::<bool>(), 16),
+        up_extra in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        let lower = Truth::from_fn(4, |m| lo_bits[m as usize]);
+        let upper = Truth::from_fn(4, |m| lo_bits[m as usize] || up_extra[m as usize]);
+        let cover = isop(&lower, &upper);
+        let t = Truth::from_cover(&cover);
+        prop_assert!(lower.and(&t.not()).is_zero(), "missed required minterm");
+        prop_assert!(t.and(&upper.not()).is_zero(), "spilled outside interval");
+    }
+
+    #[test]
+    fn truth_ops_match_bitwise(a_bits in any::<u16>(), b_bits in any::<u16>()) {
+        let a = Truth::from_fn(4, |m| (a_bits >> m) & 1 == 1);
+        let b = Truth::from_fn(4, |m| (b_bits >> m) & 1 == 1);
+        for m in 0..16u64 {
+            let (av, bv) = ((a_bits >> m) & 1 == 1, (b_bits >> m) & 1 == 1);
+            prop_assert_eq!(a.and(&b).value(m), av && bv);
+            prop_assert_eq!(a.or(&b).value(m), av || bv);
+            prop_assert_eq!(a.xor(&b).value(m), av ^ bv);
+            prop_assert_eq!(a.not().value(m), !av);
+        }
+    }
+
+    #[test]
+    fn netlist_computes_cover(cover in cover_strategy(5, 6)) {
+        let mut b = NetlistBuilder::new(5);
+        let ins: Vec<NetId> = (0..5).map(|i| b.input(i)).collect();
+        let out = sop_to_net(&mut b, &cover, &ins);
+        b.mark_output(out);
+        let n = b.finish();
+        for m in 0..32u64 {
+            let bits: Vec<bool> = (0..5).map(|v| (m >> v) & 1 == 1).collect();
+            prop_assert_eq!(n.eval_single(&bits)[0], cover.covers_minterm(m));
+        }
+    }
+
+    #[test]
+    fn synthesis_with_and_without_sharing_agree_functionally(
+        f in cover_strategy(4, 4),
+        g in cover_strategy(4, 4),
+    ) {
+        let mut shared = MultiOutputSpec::new(4);
+        shared.add_exact_output(f.clone());
+        shared.add_exact_output(g.clone());
+        let mut isolated = shared.clone();
+        isolated.set_isolate_outputs(true);
+        let n1 = shared.synthesize(&MinimizeOptions::default());
+        let n2 = isolated.synthesize(&MinimizeOptions::default());
+        for m in 0..16u64 {
+            let bits: Vec<bool> = (0..4).map(|v| (m >> v) & 1 == 1).collect();
+            prop_assert_eq!(n1.eval_single(&bits), n2.eval_single(&bits));
+        }
+        prop_assert!(n2.gate_count() >= n1.gate_count());
+    }
+
+    #[test]
+    fn word_parallel_eval_matches_single(cover in cover_strategy(4, 4), patterns in any::<u16>()) {
+        let mut b = NetlistBuilder::new(4);
+        let ins: Vec<NetId> = (0..4).map(|i| b.input(i)).collect();
+        let out = sop_to_net(&mut b, &cover, &ins);
+        b.mark_output(out);
+        let n = b.finish();
+        // Pack 16 patterns derived from `patterns` into words.
+        let mut words = vec![0u64; 4];
+        let mut expect = [false; 16];
+        for t in 0..16u64 {
+            let m = (patterns as u64).wrapping_mul(t + 1) & 0xF;
+            for v in 0..4 {
+                if (m >> v) & 1 == 1 {
+                    words[v] |= 1 << t;
+                }
+            }
+            expect[t as usize] = cover.covers_minterm(m);
+        }
+        let got = n.eval_outputs_words(&words)[0];
+        for t in 0..16 {
+            prop_assert_eq!((got >> t) & 1 == 1, expect[t]);
+        }
+    }
+}

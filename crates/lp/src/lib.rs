@@ -1,0 +1,37 @@
+//! # ced-lp — linear programming and randomized rounding, from scratch
+//!
+//! A dense two-phase primal simplex solver with bounded variables, plus
+//! Raghavan–Thompson randomized rounding helpers. Built for the LP
+//! relaxation (Statement 5) of *"On Concurrent Error Detection with
+//! Bounded Latency in FSMs"* (DATE 2004); no external LP dependency is
+//! available offline (DESIGN.md substitution note (c)).
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_lp::{LinearProgram, Sense, ConstraintOp, solve};
+//!
+//! // minimize x + 2y  s.t.  x + y ≥ 1,  x, y ∈ [0, 1]
+//! let mut lp = LinearProgram::new(Sense::Minimize);
+//! let x = lp.add_variable(0.0, 1.0, 1.0);
+//! let y = lp.add_variable(0.0, 1.0, 2.0);
+//! lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.0);
+//! let sol = solve(&lp)?;
+//! assert!((sol.objective - 1.0).abs() < 1e-7);
+//! assert!((sol.x[0] - 1.0).abs() < 1e-7);
+//! # Ok::<(), ced_lp::SolveError>(())
+//! ```
+
+#![warn(missing_docs)]
+// Indexed loops over bit positions are the clearest form for this
+// bit-twiddling code; the iterator rewrites clippy suggests obscure it.
+#![allow(clippy::needless_range_loop)]
+
+
+pub mod problem;
+pub mod rounding;
+pub mod simplex;
+
+pub use problem::{Constraint, ConstraintOp, LinearProgram, Sense, VarId};
+pub use rounding::{round_binary, round_to_mask, round_until};
+pub use simplex::{solve, LpSolution, SolveError};

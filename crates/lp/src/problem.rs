@@ -1,0 +1,233 @@
+//! Linear-program model building.
+//!
+//! A [`LinearProgram`] is a set of bounded continuous variables, sparse
+//! linear constraints, and a linear objective. The paper's Statement 5
+//! (LP relaxation of the parity-selection integer program) is expressed
+//! through this interface and solved by [`crate::simplex`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_lp::problem::{LinearProgram, Sense, ConstraintOp};
+//!
+//! // maximize x + y  s.t.  x + 2y ≤ 4,  3x + y ≤ 6,  x,y ∈ [0, 10]
+//! let mut lp = LinearProgram::new(Sense::Maximize);
+//! let x = lp.add_variable(0.0, 10.0, 1.0);
+//! let y = lp.add_variable(0.0, 10.0, 1.0);
+//! lp.add_constraint(vec![(x, 1.0), (y, 2.0)], ConstraintOp::Le, 4.0);
+//! lp.add_constraint(vec![(x, 3.0), (y, 1.0)], ConstraintOp::Le, 6.0);
+//! let sol = ced_lp::simplex::solve(&lp)?;
+//! assert!((sol.objective - 2.8).abs() < 1e-6);
+//! # Ok::<(), ced_lp::simplex::SolveError>(())
+//! ```
+
+use std::fmt;
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sense {
+    /// Maximize the objective.
+    #[default]
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Relation of a constraint row to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+impl fmt::Display for ConstraintOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConstraintOp::Le => "<=",
+            ConstraintOp::Ge => ">=",
+            ConstraintOp::Eq => "=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Handle to a variable of a [`LinearProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// One sparse constraint row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// `(variable, coefficient)` terms; duplicate variables are summed.
+    pub terms: Vec<(VarId, f64)>,
+    /// The relation.
+    pub op: ConstraintOp,
+    /// The right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program with bounded variables.
+#[derive(Debug, Clone, Default)]
+pub struct LinearProgram {
+    sense: Sense,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LinearProgram {
+    /// Creates an empty program with the given sense.
+    pub fn new(sense: Sense) -> LinearProgram {
+        LinearProgram {
+            sense,
+            ..Default::default()
+        }
+    }
+
+    /// The optimization direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` and objective
+    /// coefficient `cost`. Use `f64::INFINITY` for an unbounded-above
+    /// variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper` or either bound is NaN.
+    pub fn add_variable(&mut self, lower: f64, upper: f64, cost: f64) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound");
+        assert!(lower <= upper, "lower bound {lower} exceeds upper {upper}");
+        assert!(lower.is_finite(), "lower bound must be finite");
+        let id = VarId(self.lower.len());
+        self.lower.push(lower);
+        self.upper.push(upper);
+        self.objective.push(cost);
+        id
+    }
+
+    /// Adds a constraint row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable does not exist or `rhs` is NaN.
+    pub fn add_constraint(&mut self, terms: Vec<(VarId, f64)>, op: ConstraintOp, rhs: f64) {
+        assert!(!rhs.is_nan(), "NaN right-hand side");
+        for (v, _) in &terms {
+            assert!(v.0 < self.lower.len(), "unknown variable {v:?}");
+        }
+        self.constraints.push(Constraint { terms, op, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_variables(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Lower bounds, indexed by variable.
+    pub fn lower_bounds(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bounds, indexed by variable.
+    pub fn upper_bounds(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Objective coefficients, indexed by variable.
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// The constraint rows.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluates the objective at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the variable count.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_variables(), "point arity mismatch");
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks primal feasibility of `x` within tolerance `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the variable count.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        assert_eq!(x.len(), self.num_variables(), "point arity mismatch");
+        for (i, &v) in x.iter().enumerate() {
+            if v < self.lower[i] - tol || v > self.upper[i] + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|(v, a)| a * x[v.0]).sum();
+            let ok = match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + tol,
+                ConstraintOp::Ge => lhs >= c.rhs - tol,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable(0.0, 1.0, 2.0);
+        let y = lp.add_variable(-1.0, f64::INFINITY, -1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 0.5);
+        assert_eq!(lp.num_variables(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.objective_value(&[1.0, 3.0]), -1.0);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(0.0, 1.0, 1.0);
+        lp.add_constraint(vec![(x, 2.0)], ConstraintOp::Le, 1.0);
+        assert!(lp.is_feasible(&[0.5], 1e-9));
+        assert!(!lp.is_feasible(&[0.8], 1e-9)); // violates 2x ≤ 1
+        assert!(!lp.is_feasible(&[-0.1], 1e-9)); // violates lower bound
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds upper")]
+    fn rejects_crossed_bounds() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        lp.add_variable(1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn rejects_unknown_variable() {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        lp.add_constraint(vec![(VarId(3), 1.0)], ConstraintOp::Le, 0.0);
+    }
+}

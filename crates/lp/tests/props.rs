@@ -1,0 +1,138 @@
+//! Property-based tests for the simplex solver: every reported optimum
+//! must be feasible, beat random feasible points, and behave sanely
+//! under objective scaling and constraint tightening.
+
+use ced_lp::problem::{ConstraintOp, LinearProgram, Sense};
+use ced_lp::simplex::{solve, SolveError};
+use proptest::prelude::*;
+
+/// A random small LP: bounded box, ≤ constraints with positive RHS so
+/// the origin-shifted problem is always feasible.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    costs: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+}
+
+fn random_lp(vars: usize, rows: usize) -> impl Strategy<Value = RandomLp> {
+    let coef = -5.0..5.0f64;
+    (
+        proptest::collection::vec(coef.clone(), vars),
+        proptest::collection::vec(
+            (proptest::collection::vec(coef, vars), 0.5..8.0f64),
+            0..=rows,
+        ),
+    )
+        .prop_map(|(costs, rows)| RandomLp { costs, rows })
+}
+
+fn build(lp_spec: &RandomLp, sense: Sense) -> LinearProgram {
+    let mut lp = LinearProgram::new(sense);
+    let vars: Vec<_> = lp_spec
+        .costs
+        .iter()
+        .map(|&c| lp.add_variable(0.0, 3.0, c))
+        .collect();
+    for (coefs, rhs) in &lp_spec.rows {
+        let terms: Vec<_> = vars.iter().zip(coefs).map(|(&v, &a)| (v, a)).collect();
+        lp.add_constraint(terms, ConstraintOp::Le, *rhs);
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimum_is_feasible(spec in random_lp(4, 5)) {
+        let lp = build(&spec, Sense::Maximize);
+        // Origin is feasible (rhs > 0, lower bounds 0), so never Infeasible.
+        let sol = solve(&lp).expect("origin-feasible LP must solve");
+        prop_assert!(lp.is_feasible(&sol.x, 1e-6), "optimum violates constraints");
+    }
+
+    #[test]
+    fn optimum_dominates_grid_points(spec in random_lp(3, 4)) {
+        let lp = build(&spec, Sense::Maximize);
+        let sol = solve(&lp).expect("feasible");
+        // Coarse grid over the box; optimum must not be beaten.
+        let steps = 6;
+        for i in 0..=steps {
+            for j in 0..=steps {
+                for k in 0..=steps {
+                    let x = [
+                        3.0 * i as f64 / steps as f64,
+                        3.0 * j as f64 / steps as f64,
+                        3.0 * k as f64 / steps as f64,
+                    ];
+                    if lp.is_feasible(&x, 1e-9) {
+                        let val = lp.objective_value(&x);
+                        prop_assert!(
+                            sol.objective >= val - 1e-6,
+                            "grid point {x:?} = {val} beats optimum {}",
+                            sol.objective
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_equals_negated_max(spec in random_lp(4, 4)) {
+        let max_lp = build(&spec, Sense::Maximize);
+        let mut neg = spec.clone();
+        for c in neg.costs.iter_mut() {
+            *c = -*c;
+        }
+        let min_lp = build(&neg, Sense::Minimize);
+        let a = solve(&max_lp).expect("feasible");
+        let b = solve(&min_lp).expect("feasible");
+        prop_assert!((a.objective + b.objective).abs() < 1e-5,
+            "max {} vs min {}", a.objective, b.objective);
+    }
+
+    #[test]
+    fn scaling_objective_scales_optimum(spec in random_lp(3, 4), scale in 0.5..4.0f64) {
+        let base = solve(&build(&spec, Sense::Maximize)).expect("feasible");
+        let mut scaled_spec = spec.clone();
+        for c in scaled_spec.costs.iter_mut() {
+            *c *= scale;
+        }
+        let scaled = solve(&build(&scaled_spec, Sense::Maximize)).expect("feasible");
+        prop_assert!((scaled.objective - scale * base.objective).abs() < 1e-4 * (1.0 + base.objective.abs()),
+            "scaled {} vs {} × {}", scaled.objective, scale, base.objective);
+    }
+
+    #[test]
+    fn extra_constraint_never_improves(spec in random_lp(3, 3), rhs in 0.5..4.0f64) {
+        let lp1 = build(&spec, Sense::Maximize);
+        let base = solve(&lp1).expect("feasible");
+        // Add one more ≤ row (sum of vars ≤ rhs keeps origin feasible).
+        let mut spec2 = spec.clone();
+        spec2.rows.push((vec![1.0; 3], rhs));
+        let tightened = solve(&build(&spec2, Sense::Maximize)).expect("feasible");
+        prop_assert!(tightened.objective <= base.objective + 1e-6);
+    }
+
+    #[test]
+    fn equality_rows_hold_exactly(a in 0.2..3.0f64, b in 0.2..3.0f64) {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable(0.0, 10.0, 1.0);
+        let y = lp.add_variable(0.0, 10.0, 1.0);
+        lp.add_constraint(vec![(x, a), (y, b)], ConstraintOp::Eq, a + b);
+        let sol = solve(&lp).expect("point (1,1) is feasible");
+        let lhs = a * sol.x[0] + b * sol.x[1];
+        prop_assert!((lhs - (a + b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_boxes_detected(lo in 2.0..4.0f64) {
+        // x ≤ 1 and x ≥ lo > 1 simultaneously.
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let x = lp.add_variable(0.0, 10.0, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], ConstraintOp::Ge, lo);
+        prop_assert_eq!(solve(&lp).unwrap_err(), SolveError::Infeasible);
+    }
+}

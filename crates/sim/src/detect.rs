@@ -1,0 +1,1259 @@
+//! Erroneous-case enumeration and the error-detectability table
+//! (the paper's Fig. 2 / tensor `V`).
+//!
+//! # Semantics (DESIGN.md §5)
+//!
+//! The paper leaves one point underspecified, and the two readings
+//! genuinely differ for latency `p ≥ 2`; both are implemented
+//! ([`Semantics`]):
+//!
+//! * [`Semantics::Lockstep`] — **the paper's construction.** The
+//!   difference at step `k` is `GM(A,c)ₖ ⊕ BM_f(A,c)ₖ`: the good and
+//!   faulty machines run from the common start `c` on the same input
+//!   path, each following its own trajectory — exactly what a standard
+//!   fault simulator reports, and the literal reading of the paper's
+//!   §3. Once the state diverges, differences keep manifesting, which
+//!   is where most of the latency benefit in Table 1 comes from.
+//! * [`Semantics::FaultyTrajectory`] — **what the Fig. 3 hardware
+//!   observes.** The predictor is combinational logic fed by the input
+//!   and the *actual* (`s`-bit, possibly corrupted) state register, so
+//!   detection at step `k` compares good and faulty responses **from
+//!   the same present state** along the faulty trajectory. This is the
+//!   physically realizable condition and the one the end-to-end
+//!   fault-injection checker ([`crate::coverage`]) can certify.
+//!
+//! At `p = 1` the two coincide. For `p ≥ 2` a lockstep-verified cover
+//! may miss errors on the real hardware (the reproduction surfaces
+//! this soundness gap; see EXPERIMENTS.md).
+//!
+//! For a fault `f`, an erroneous case starts at a good-reachable state
+//! `c` and an input `a₁` whose faulty response differs from the good
+//! one (`D₁ ≠ 0`; before the first error the trajectory is error-free,
+//! hence good-reachable). The row records the per-step difference masks
+//! `D₁..D_p` along every input path of length `p`. A branch terminates
+//! early when the trajectory revisits a state (pair) already on the
+//! path (paper §2's loop rule) — the remaining steps are recorded as
+//! all-zero, forcing detection within the prefix. Identical rows are
+//! merged (`F = ∪ EC`), both within and across faults.
+
+use crate::fault::Fault;
+use crate::tables::TransitionTables;
+use ced_fsm::encoded::FsmCircuit;
+use std::collections::HashSet;
+use std::fmt;
+
+/// One erroneous case: the `n`-bit difference mask at each of the `p`
+/// latency steps (`V(i, :, k)` as a bitmask per `k`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EcRow {
+    /// `steps[k]` = mask of bits that detect this case at latency `k+1`.
+    pub steps: Vec<u64>,
+}
+
+impl EcRow {
+    /// True iff a parity tree over the bits of `mask` detects this case:
+    /// some step has an odd number of discrepant bits inside the mask.
+    #[inline]
+    pub fn detected_by(&self, mask: u64) -> bool {
+        self.steps.iter().any(|&d| (d & mask).count_ones() & 1 == 1)
+    }
+
+    /// The union of discrepant bits across all steps.
+    pub fn any_step_union(&self) -> u64 {
+        self.steps.iter().fold(0, |a, &d| a | d)
+    }
+}
+
+/// The error-detectability table for one circuit, fault model and
+/// latency bound: the paper's `V ∈ {0,1}^{m×n×p}` stored as deduplicated
+/// rows of step masks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectabilityTable {
+    num_bits: usize,
+    latency: usize,
+    /// True when rows are canonical minimal step-sets (dominance
+    /// reduced) rather than temporally ordered erroneous cases.
+    reduced: bool,
+    rows: Vec<EcRow>,
+}
+
+/// Accumulates enumerated rows, optionally maintaining the dominance-
+/// reduced (minimal step-set) form online. Enumeration consults
+/// [`Collector::prefix_dominated`] to prune whole branches whose
+/// eventual rows are already implied.
+struct Collector {
+    latency: usize,
+    reduce: bool,
+    max_rows: usize,
+    /// Canonical sets (reduce) or raw ordered rows (!reduce).
+    sets: HashSet<Vec<u64>>,
+    emitted: usize,
+    cleanup_at: usize,
+    overflow: bool,
+}
+
+impl Collector {
+    fn new(latency: usize, reduce: bool, max_rows: usize) -> Collector {
+        Collector {
+            latency,
+            reduce,
+            max_rows,
+            sets: HashSet::new(),
+            emitted: 0,
+            cleanup_at: 4096,
+            overflow: false,
+        }
+    }
+
+    /// Canonical step-set of a (partial) row: nonzero, sorted, distinct.
+    fn canonical(steps: &[u64]) -> Vec<u64> {
+        let mut s: Vec<u64> = steps.iter().copied().filter(|&d| d != 0).collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// True iff some kept set is a subset of `set` (including equality):
+    /// everything containing `set` is then already implied.
+    fn dominated(&self, set: &[u64]) -> bool {
+        if !self.reduce || set.is_empty() {
+            return false;
+        }
+        let k = set.len();
+        // All non-empty subsets of a ≤p-element set (p is small).
+        for pick in 1..(1usize << k) {
+            let subset: Vec<u64> = (0..k)
+                .filter(|i| (pick >> i) & 1 == 1)
+                .map(|i| set[i])
+                .collect();
+            if self.sets.contains(&subset) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Branch pruning hook: a DFS prefix whose canonical set is already
+    /// dominated can only produce dominated rows.
+    fn prefix_dominated(&self, prefix: &[u64]) -> bool {
+        self.reduce && self.dominated(&Self::canonical(prefix))
+    }
+
+    /// Records one complete row (length = latency, zero-padded).
+    fn insert(&mut self, row: &[u64]) {
+        self.emitted += 1;
+        if self.reduce {
+            let set = Self::canonical(row);
+            if set.is_empty() || self.dominated(&set) {
+                return;
+            }
+            self.sets.insert(set);
+            if self.sets.len() >= self.cleanup_at {
+                self.cleanup();
+                self.cleanup_at = (self.sets.len() * 2).max(4096);
+            }
+        } else {
+            self.sets.insert(row.to_vec());
+        }
+        if self.sets.len() > self.max_rows {
+            if self.reduce {
+                self.cleanup();
+                self.cleanup_at = (self.sets.len() * 2).max(4096);
+            }
+            if self.sets.len() > self.max_rows {
+                self.overflow = true;
+            }
+        }
+    }
+
+    /// Removes sets that are supersets of other kept sets.
+    fn cleanup(&mut self) {
+        let mut by_len: Vec<Vec<u64>> = self.sets.drain().collect();
+        by_len.sort_by_key(|s| s.len());
+        let mut kept: HashSet<Vec<u64>> = HashSet::with_capacity(by_len.len());
+        'outer: for s in by_len {
+            let k = s.len();
+            if k > 1 {
+                for pick in 1..((1usize << k) - 1) {
+                    let subset: Vec<u64> = (0..k)
+                        .filter(|i| (pick >> i) & 1 == 1)
+                        .map(|i| s[i])
+                        .collect();
+                    if kept.contains(&subset) {
+                        continue 'outer;
+                    }
+                }
+            }
+            kept.insert(s);
+        }
+        self.sets = kept;
+    }
+
+    fn overflowed(&self) -> bool {
+        self.overflow
+    }
+
+    fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Final rows: cleaned up, canonical, sorted, zero-padded.
+    fn finish(mut self) -> Vec<EcRow> {
+        if self.reduce {
+            self.cleanup();
+        }
+        let latency = self.latency;
+        let mut rows: Vec<EcRow> = self
+            .sets
+            .into_iter()
+            .map(|mut steps| {
+                steps.resize(latency, 0);
+                EcRow { steps }
+            })
+            .collect();
+        rows.sort_by(|a, b| a.steps.cmp(&b.steps));
+        rows
+    }
+}
+
+/// Aggregate statistics from table construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DetectStats {
+    /// Faults simulated.
+    pub faults: usize,
+    /// Faults that never cause any error from a reachable state
+    /// (functionally redundant — no detection obligation).
+    pub untestable_faults: usize,
+    /// Error activations (state × input pairs with `D₁ ≠ 0`), summed
+    /// over faults.
+    pub activations: usize,
+    /// Rows emitted before global deduplication.
+    pub rows_raw: usize,
+    /// Rows in the final table.
+    pub rows: usize,
+}
+
+/// Which step-difference definition to enumerate (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Semantics {
+    /// The paper's fault-simulation view: good and faulty machines run
+    /// in lockstep from the activation state, each on its own
+    /// trajectory. Default, for Table-1 fidelity.
+    #[default]
+    Lockstep,
+    /// The Fig. 3 hardware's view: differences are taken from the same
+    /// (actual, faulty-trajectory) present state. Physically
+    /// realizable; operationally certifiable.
+    FaultyTrajectory,
+}
+
+/// Which inputs the erroneous-case enumeration explores at each state.
+#[derive(Debug, Clone, Default)]
+pub enum InputModel {
+    /// Every input minterm (`2^r` per state). Exact, and required for
+    /// the operational guarantee under arbitrary input streams, but
+    /// infeasible for wide-input machines at `p ≥ 2`.
+    #[default]
+    Exhaustive,
+    /// One representative input per STG transition cube of each state —
+    /// the paper's granularity ("… for every transition in the FSM",
+    /// §1) and what made the 2004 experiments tractable. An
+    /// under-approximation of the exhaustive table.
+    Restricted {
+        /// `by_state[code]` = representative inputs of that state
+        /// (empty entries use `fallback`).
+        by_state: Vec<Vec<u64>>,
+        /// Inputs used at codes with no symbolic state (e.g. invalid
+        /// codes a faulty machine wanders into).
+        fallback: Vec<u64>,
+    },
+}
+
+impl InputModel {
+    /// The inputs to explore from (good-trajectory) state `code`.
+    fn inputs_at(&self, code: u64, r: usize, scratch: &mut Vec<u64>) {
+        scratch.clear();
+        match self {
+            InputModel::Exhaustive => scratch.extend(0..(1u64 << r)),
+            InputModel::Restricted { by_state, fallback } => {
+                let entry = by_state.get(code as usize).filter(|v| !v.is_empty());
+                match entry {
+                    Some(v) => scratch.extend_from_slice(v),
+                    None => scratch.extend_from_slice(fallback),
+                }
+            }
+        }
+    }
+}
+
+/// Construction options.
+#[derive(Debug, Clone)]
+pub struct DetectOptions {
+    /// The latency bound `p ≥ 1`.
+    pub latency: usize,
+    /// Hard cap on deduplicated rows; construction aborts beyond it.
+    pub max_rows: usize,
+    /// Step-difference semantics.
+    pub semantics: Semantics,
+    /// Input exploration granularity.
+    pub input_model: InputModel,
+    /// Apply dominance reduction *online* (default): the built table
+    /// contains only minimal step-sets, and dominated enumeration
+    /// branches are pruned — indispensable for large circuits, and
+    /// exactly equivalent for every covering question. Disable to
+    /// obtain the literal Fig. 2 table (all deduplicated erroneous
+    /// cases, temporal step order preserved); only unreduced tables
+    /// support [`DetectabilityTable::truncated`].
+    pub reduce: bool,
+}
+
+impl Default for DetectOptions {
+    fn default() -> DetectOptions {
+        DetectOptions {
+            latency: 1,
+            max_rows: 2_000_000,
+            semantics: Semantics::default(),
+            input_model: InputModel::default(),
+            reduce: true,
+        }
+    }
+}
+
+/// Construction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectError {
+    /// More deduplicated rows than `max_rows`.
+    TooManyRows {
+        /// The configured cap that was exceeded.
+        limit: usize,
+    },
+    /// Latency must be at least 1.
+    ZeroLatency,
+}
+
+impl fmt::Display for DetectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectError::TooManyRows { limit } => {
+                write!(f, "detectability table exceeds {limit} rows")
+            }
+            DetectError::ZeroLatency => write!(f, "latency bound must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for DetectError {}
+
+impl DetectabilityTable {
+    /// Builds the table for `circuit` under `faults` with the given
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::ZeroLatency`] for `latency == 0`;
+    /// [`DetectError::TooManyRows`] if the deduplicated row count
+    /// exceeds the cap.
+    pub fn build(
+        circuit: &FsmCircuit,
+        faults: &[Fault],
+        options: &DetectOptions,
+    ) -> Result<(DetectabilityTable, DetectStats), DetectError> {
+        let mut results = Self::build_many(circuit, faults, options, &[options.latency])?;
+        Ok(results.pop().expect("one latency requested"))
+    }
+
+    /// Builds tables for several latency bounds in one pass, sharing the
+    /// expensive per-fault table extraction (the dominant cost on large
+    /// circuits). Results are identical to separate [`Self::build`]
+    /// calls with `options.latency` replaced by each bound.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::build`]; the row cap applies to each bound's table
+    /// independently.
+    pub fn build_many(
+        circuit: &FsmCircuit,
+        faults: &[Fault],
+        options: &DetectOptions,
+        latencies: &[usize],
+    ) -> Result<Vec<(DetectabilityTable, DetectStats)>, DetectError> {
+        if latencies.iter().any(|&p| p == 0) {
+            return Err(DetectError::ZeroLatency);
+        }
+        let r = circuit.num_inputs();
+        let n = circuit.total_bits();
+        let good = TransitionTables::good(circuit);
+        let activation_states = good.reachable_codes();
+
+        let mut stats: Vec<DetectStats> = latencies
+            .iter()
+            .map(|_| DetectStats {
+                faults: faults.len(),
+                ..DetectStats::default()
+            })
+            .collect();
+        let mut collectors: Vec<Collector> = latencies
+            .iter()
+            .map(|&p| Collector::new(p, options.reduce, options.max_rows))
+            .collect();
+
+        let mut inputs_scratch: Vec<u64> = Vec::new();
+        let mut seen_starts: Vec<HashSet<(u64, u64, u64, u64)>> =
+            latencies.iter().map(|_| HashSet::new()).collect();
+        for &fault in faults {
+            let bad = TransitionTables::faulty(circuit, fault);
+            let mut testable = false;
+            // Activations with identical (D₁, start, successor) enumerate
+            // identical subtrees (the start matters for the loop rule) —
+            // dedupe them per fault and latency bound.
+            for set in seen_starts.iter_mut() {
+                set.clear();
+            }
+
+            for &c in &activation_states {
+                options.input_model.inputs_at(c, r, &mut inputs_scratch);
+                let inputs_here = inputs_scratch.clone();
+                for a1 in inputs_here {
+                    let d1 = good.response(c, a1) ^ bad.response(c, a1);
+                    if d1 == 0 {
+                        continue;
+                    }
+                    testable = true;
+                    for ((pi, &p), collector) in
+                        latencies.iter().enumerate().zip(collectors.iter_mut())
+                    {
+                        stats[pi].activations += 1;
+                        match options.semantics {
+                            Semantics::FaultyTrajectory => {
+                                let s1 = bad.next(c, a1);
+                                if !seen_starts[pi].insert((d1, c, s1, 0)) {
+                                    continue;
+                                }
+                                enumerate_paths(
+                                    &good,
+                                    &bad,
+                                    &options.input_model,
+                                    r,
+                                    p,
+                                    c,
+                                    d1,
+                                    s1,
+                                    collector,
+                                );
+                            }
+                            Semantics::Lockstep => {
+                                let pair1 = (good.next(c, a1), bad.next(c, a1));
+                                if !seen_starts[pi].insert((d1, c, pair1.0, pair1.1)) {
+                                    continue;
+                                }
+                                enumerate_lockstep(
+                                    &good,
+                                    &bad,
+                                    &options.input_model,
+                                    r,
+                                    p,
+                                    (c, c),
+                                    d1,
+                                    pair1,
+                                    collector,
+                                );
+                            }
+                        }
+                        if collector.overflowed() {
+                            return Err(DetectError::TooManyRows {
+                                limit: options.max_rows,
+                            });
+                        }
+                    }
+                }
+            }
+            if !testable {
+                for s in stats.iter_mut() {
+                    s.untestable_faults += 1;
+                }
+            }
+        }
+
+        Ok(latencies
+            .iter()
+            .zip(collectors.into_iter().zip(stats))
+            .map(|(&p, (collector, mut st))| {
+                st.rows_raw = collector.emitted();
+                let rows = collector.finish();
+                st.rows = rows.len();
+                (
+                    DetectabilityTable {
+                        num_bits: n,
+                        latency: p,
+                        reduced: options.reduce,
+                        rows,
+                    },
+                    st,
+                )
+            })
+            .collect())
+    }
+
+    /// Builds a table directly from rows (tests, ablations, custom error
+    /// models prescribed as in §1 of the paper: "providing the
+    /// error-free response and all erroneous responses … for every
+    /// transition").
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's step count differs from `latency` or uses
+    /// bits above `num_bits`.
+    pub fn from_rows(num_bits: usize, latency: usize, rows: Vec<EcRow>) -> DetectabilityTable {
+        assert!(num_bits <= 64, "at most 64 monitored bits");
+        let mask = if num_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << num_bits) - 1
+        };
+        for row in &rows {
+            assert_eq!(row.steps.len(), latency, "row latency mismatch");
+            for &d in &row.steps {
+                assert_eq!(d & !mask, 0, "row uses bits above {num_bits}");
+            }
+        }
+        DetectabilityTable {
+            num_bits,
+            latency,
+            reduced: false,
+            rows,
+        }
+    }
+
+    /// Number of monitored bits `n` (next-state + output).
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// The latency bound `p` this table was enumerated for.
+    pub fn latency(&self) -> usize {
+        self.latency
+    }
+
+    /// The deduplicated erroneous cases.
+    pub fn rows(&self) -> &[EcRow] {
+        &self.rows
+    }
+
+    /// Number of erroneous cases (`m`).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no erroneous cases (nothing to detect).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// True when the rows are dominance-reduced minimal step-sets (see
+    /// [`DetectOptions::reduce`]); the paper's literal Fig. 2 table is
+    /// the unreduced form.
+    pub fn is_reduced(&self) -> bool {
+        self.reduced
+    }
+
+    /// The same table with rows ordered hardest-first (fewest detection
+    /// opportunities, i.e. smallest total set-bit count across steps).
+    /// Coverage semantics are order-independent; the ordering makes
+    /// failed cover candidates fail fast in [`Self::first_uncovered`],
+    /// which dominates the randomized-rounding inner loop on large
+    /// tables.
+    pub fn sorted_by_difficulty(&self) -> DetectabilityTable {
+        let mut rows = self.rows.clone();
+        rows.sort_by_key(|r| {
+            (
+                r.steps.iter().map(|d| d.count_ones()).sum::<u32>(),
+                r.steps.clone(),
+            )
+        });
+        DetectabilityTable {
+            num_bits: self.num_bits,
+            latency: self.latency,
+            reduced: self.reduced,
+            rows,
+        }
+    }
+
+    /// `V(i, j, k)` accessor (row, bit, latency step; all 0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn entry(&self, row: usize, bit: usize, step: usize) -> bool {
+        assert!(bit < self.num_bits && step < self.latency);
+        (self.rows[row].steps[step] >> bit) & 1 == 1
+    }
+
+    /// The rows detected by a single parity mask, as indices.
+    pub fn rows_detected_by(&self, mask: u64) -> Vec<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.detected_by(mask))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The row indices NOT detected by any of the given parity masks.
+    pub fn uncovered_rows(&self, masks: &[u64]) -> Vec<usize> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !masks.iter().any(|&m| r.detected_by(m)))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True iff every erroneous case is detected by some mask — the
+    /// feasibility condition of the paper's Statement 2.
+    pub fn all_covered(&self, masks: &[u64]) -> bool {
+        self.first_uncovered(masks).is_none()
+    }
+
+    /// The index of the first row no mask detects, or `None` when fully
+    /// covered. Early-exits, so failed candidate covers are cheap to
+    /// reject.
+    pub fn first_uncovered(&self, masks: &[u64]) -> Option<usize> {
+        self.rows
+            .iter()
+            .position(|r| !masks.iter().any(|&m| r.detected_by(m)))
+    }
+
+    /// The same table truncated to a smaller latency bound, rows
+    /// re-deduplicated. Truncating a length-`p` enumeration reproduces
+    /// the length-`p'` enumeration exactly (paths and loop cuts are
+    /// prefix-stable), so one expensive build at `p_max` serves every
+    /// smaller bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is 0 or exceeds the table's latency.
+    pub fn truncated(&self, latency: usize) -> DetectabilityTable {
+        assert!(
+            !self.reduced,
+            "truncation requires an unreduced table: reduced rows lose \
+             temporal step order, and dominance depends on the bound"
+        );
+        assert!(latency >= 1 && latency <= self.latency, "bad truncation");
+        if latency == self.latency {
+            return self.clone();
+        }
+        let mut set: HashSet<Vec<u64>> = HashSet::with_capacity(self.rows.len());
+        for row in &self.rows {
+            set.insert(row.steps[..latency].to_vec());
+        }
+        let mut rows: Vec<EcRow> = set.into_iter().map(|steps| EcRow { steps }).collect();
+        rows.sort_by(|a, b| a.steps.cmp(&b.steps));
+        DetectabilityTable {
+            num_bits: self.num_bits,
+            latency,
+            reduced: false,
+            rows,
+        }
+    }
+
+    /// Merges two tables over the same interface and latency bound —
+    /// e.g. a stuck-at table with a register-upset table
+    /// ([`crate::models`]) to cover a combined fault model. Rows are
+    /// deduplicated; if either side is dominance-reduced the result is
+    /// re-reduced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bit counts or latency bounds differ.
+    pub fn merged(&self, other: &DetectabilityTable) -> DetectabilityTable {
+        assert_eq!(self.num_bits, other.num_bits, "bit count mismatch");
+        assert_eq!(self.latency, other.latency, "latency mismatch");
+        let mut rows: Vec<EcRow> = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        rows.sort_by(|a, b| a.steps.cmp(&b.steps));
+        rows.dedup();
+        let merged = DetectabilityTable {
+            num_bits: self.num_bits,
+            latency: self.latency,
+            reduced: false,
+            rows,
+        };
+        if self.reduced || other.reduced {
+            merged.dominance_reduced()
+        } else {
+            merged
+        }
+    }
+
+    /// The dominance-reduced table the optimizer actually needs.
+    ///
+    /// Coverage of a row only depends on the *set* of nonzero step
+    /// masks (a parity tree detects it iff it overlaps some step
+    /// oddly), and a row whose step-set is a superset of another row's
+    /// is implied by it: any cover of the subset row covers the
+    /// superset row too. This keeps, per distinct minimal step-set, one
+    /// canonical row (steps sorted, zero-padded) — typically orders of
+    /// magnitude smaller than the raw table, with an identical set of
+    /// feasible parity covers.
+    pub fn dominance_reduced(&self) -> DetectabilityTable {
+        use std::collections::HashSet;
+        // Canonical step-sets: sorted, distinct, nonzero.
+        let mut sets: HashSet<Vec<u64>> = HashSet::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let mut s: Vec<u64> = row.steps.iter().copied().filter(|&d| d != 0).collect();
+            s.sort_unstable();
+            s.dedup();
+            if !s.is_empty() {
+                sets.insert(s);
+            }
+        }
+        // Remove supersets, smallest sets first.
+        let mut by_len: Vec<Vec<u64>> = sets.into_iter().collect();
+        by_len.sort_by_key(|s| (s.len(), s.clone()));
+        let mut kept: HashSet<Vec<u64>> = HashSet::new();
+        let mut kept_rows: Vec<EcRow> = Vec::new();
+        'rows: for s in by_len {
+            // Check all proper non-empty subsets (|s| ≤ p, so ≤ 2^p−2).
+            let k = s.len();
+            if k > 1 {
+                for pick in 1..((1usize << k) - 1) {
+                    let subset: Vec<u64> = (0..k)
+                        .filter(|i| (pick >> i) & 1 == 1)
+                        .map(|i| s[i])
+                        .collect();
+                    if kept.contains(&subset) {
+                        continue 'rows;
+                    }
+                }
+            }
+            let mut steps = s.clone();
+            steps.resize(self.latency, 0);
+            kept_rows.push(EcRow { steps });
+            kept.insert(s);
+        }
+        kept_rows.sort_by(|a, b| a.steps.cmp(&b.steps));
+        DetectabilityTable {
+            num_bits: self.num_bits,
+            latency: self.latency,
+            reduced: true,
+            rows: kept_rows,
+        }
+    }
+
+    /// Renders the table in the style of the paper's Fig. 2 (rows =
+    /// erroneous cases, super-columns = latency steps, columns = bits).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{:>6} |", "EC");
+        for k in 0..self.latency {
+            let _ = write!(
+                out,
+                " latency {:<width$} |",
+                k + 1,
+                width = self.num_bits.saturating_sub(8).max(1)
+            );
+        }
+        out.push('\n');
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = write!(out, "{:>6} |", i + 1);
+            for &d in &row.steps {
+                out.push(' ');
+                for b in (0..self.num_bits).rev() {
+                    out.push(if (d >> b) & 1 == 1 { '1' } else { '.' });
+                }
+                out.push_str(" |");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Depth-first enumeration of the faulty-trajectory suffixes
+/// ([`Semantics::FaultyTrajectory`]).
+///
+/// Rows (length `p`, zero-padded after loop cuts) are pushed into the
+/// collector; input symbols with identical (diff, next) effects at a
+/// node are collapsed, and branches whose prefix is already dominated
+/// are pruned.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_paths(
+    good: &TransitionTables,
+    bad: &TransitionTables,
+    input_model: &InputModel,
+    r: usize,
+    p: usize,
+    start_state: u64,
+    d1: u64,
+    s1: u64,
+    out: &mut Collector,
+) {
+    if out.prefix_dominated(&[d1]) {
+        // Every row from this activation contains d1; all dominated.
+        return;
+    }
+    // Fast path: latency 1, or immediate loop back to the start.
+    if p == 1 || s1 == start_state {
+        let mut row = vec![0u64; p];
+        row[0] = d1;
+        out.insert(&row);
+        return;
+    }
+    let mut prefix = vec![0u64; p];
+    prefix[0] = d1;
+    let mut visited = vec![start_state, s1];
+    extend(
+        good,
+        bad,
+        input_model,
+        r,
+        p,
+        1,
+        s1,
+        &mut prefix,
+        &mut visited,
+        out,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    good: &TransitionTables,
+    bad: &TransitionTables,
+    input_model: &InputModel,
+    r: usize,
+    p: usize,
+    depth: usize,
+    state: u64,
+    prefix: &mut Vec<u64>,
+    visited: &mut Vec<u64>,
+    out: &mut Collector,
+) {
+    let mut seen_effects: HashSet<(u64, u64)> = HashSet::new();
+    // Inputs explored from the *faulty-trajectory* state's vantage: it
+    // is the state the machine is actually in.
+    let mut inputs = Vec::new();
+    input_model.inputs_at(state, r, &mut inputs);
+    for input in inputs {
+        let d = good.response(state, input) ^ bad.response(state, input);
+        let nx = bad.next(state, input);
+        if !seen_effects.insert((d, nx)) {
+            continue;
+        }
+        prefix[depth] = d;
+        if out.prefix_dominated(&prefix[..=depth]) {
+            prefix[depth] = 0;
+            continue;
+        }
+        if depth + 1 == p || visited.contains(&nx) {
+            // Complete, or loop cut: remaining steps stay zero.
+            let mut row = prefix.clone();
+            for slot in row.iter_mut().skip(depth + 1) {
+                *slot = 0;
+            }
+            out.insert(&row);
+        } else {
+            visited.push(nx);
+            extend(
+                good,
+                bad,
+                input_model,
+                r,
+                p,
+                depth + 1,
+                nx,
+                prefix,
+                visited,
+                out,
+            );
+            visited.pop();
+        }
+        prefix[depth] = 0;
+    }
+}
+
+/// Depth-first enumeration of lockstep (good, faulty) pair suffixes
+/// ([`Semantics::Lockstep`]): the difference at each step compares the
+/// good machine's response from its own trajectory with the faulty
+/// machine's from its own, as a fault simulator reports.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_lockstep(
+    good: &TransitionTables,
+    bad: &TransitionTables,
+    input_model: &InputModel,
+    r: usize,
+    p: usize,
+    start_pair: (u64, u64),
+    d1: u64,
+    pair1: (u64, u64),
+    out: &mut Collector,
+) {
+    if out.prefix_dominated(&[d1]) {
+        return;
+    }
+    if p == 1 || pair1 == start_pair {
+        let mut row = vec![0u64; p];
+        row[0] = d1;
+        out.insert(&row);
+        return;
+    }
+    let mut prefix = vec![0u64; p];
+    prefix[0] = d1;
+    let mut visited = vec![start_pair, pair1];
+    extend_lockstep(
+        good,
+        bad,
+        input_model,
+        r,
+        p,
+        1,
+        pair1,
+        &mut prefix,
+        &mut visited,
+        out,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend_lockstep(
+    good: &TransitionTables,
+    bad: &TransitionTables,
+    input_model: &InputModel,
+    r: usize,
+    p: usize,
+    depth: usize,
+    pair: (u64, u64),
+    prefix: &mut Vec<u64>,
+    visited: &mut Vec<(u64, u64)>,
+    out: &mut Collector,
+) {
+    let (g, f) = pair;
+    let mut seen_effects: HashSet<(u64, (u64, u64))> = HashSet::new();
+    // Inputs explored from the good-trajectory state's vantage: the
+    // STG structure of the fault-free machine defines "transitions".
+    let mut inputs = Vec::new();
+    input_model.inputs_at(g, r, &mut inputs);
+    for input in inputs {
+        let d = good.response(g, input) ^ bad.response(f, input);
+        let nx = (good.next(g, input), bad.next(f, input));
+        if !seen_effects.insert((d, nx)) {
+            continue;
+        }
+        prefix[depth] = d;
+        if out.prefix_dominated(&prefix[..=depth]) {
+            prefix[depth] = 0;
+            continue;
+        }
+        if depth + 1 == p || visited.contains(&nx) {
+            let mut row = prefix.clone();
+            for slot in row.iter_mut().skip(depth + 1) {
+                *slot = 0;
+            }
+            out.insert(&row);
+        } else {
+            visited.push(nx);
+            extend_lockstep(
+                good,
+                bad,
+                input_model,
+                r,
+                p,
+                depth + 1,
+                nx,
+                prefix,
+                visited,
+                out,
+            );
+            visited.pop();
+        }
+        prefix[depth] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::collapsed_faults;
+    use ced_fsm::encoded::EncodedFsm;
+    use ced_fsm::encoding::{assign, EncodingStrategy};
+    use ced_fsm::suite;
+    use ced_logic::MinimizeOptions;
+
+    fn circuit() -> FsmCircuit {
+        let fsm = suite::sequence_detector();
+        let enc = assign(&fsm, EncodingStrategy::Natural);
+        EncodedFsm::new(fsm, enc)
+            .unwrap()
+            .synthesize(&MinimizeOptions::default())
+    }
+
+    fn build(p: usize) -> (DetectabilityTable, DetectStats) {
+        build_opt(p, true)
+    }
+
+    /// Unreduced build — the literal Fig. 2 table.
+    fn build_raw(p: usize) -> (DetectabilityTable, DetectStats) {
+        build_opt(p, false)
+    }
+
+    fn build_opt(p: usize, reduce: bool) -> (DetectabilityTable, DetectStats) {
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        DetectabilityTable::build(
+            &c,
+            &faults,
+            &DetectOptions {
+                latency: p,
+                reduce,
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rows_have_nonzero_first_step() {
+        let (table, stats) = build(2);
+        assert!(stats.rows > 0);
+        for row in table.rows() {
+            assert_ne!(row.steps[0], 0, "activation step must differ");
+            assert_eq!(row.steps.len(), 2);
+        }
+    }
+
+    #[test]
+    fn zero_latency_rejected() {
+        let c = circuit();
+        let err = DetectabilityTable::build(
+            &c,
+            &[],
+            &DetectOptions {
+                latency: 0,
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, DetectError::ZeroLatency);
+    }
+
+    #[test]
+    fn singleton_masks_cover_everything() {
+        // Each row has a nonzero first step, so the n singleton parity
+        // functions always cover the table (the paper's q = n fallback).
+        let (table, _) = build(3);
+        let masks: Vec<u64> = (0..table.num_bits()).map(|b| 1u64 << b).collect();
+        assert!(table.all_covered(&masks));
+    }
+
+    #[test]
+    fn truncation_matches_direct_build_on_raw_tables() {
+        let t3 = build_raw(3).0;
+        let t1_direct = build_raw(1).0;
+        let t2_direct = build_raw(2).0;
+        assert_eq!(t3.truncated(1), t1_direct);
+        assert_eq!(t3.truncated(2), t2_direct);
+        assert_eq!(t3.truncated(3), t3);
+    }
+
+    #[test]
+    fn reduced_build_matches_offline_reduction_of_raw_build() {
+        for p in 1..=3 {
+            let online = build(p).0;
+            let offline = build_raw(p).0.dominance_reduced();
+            assert_eq!(online, offline, "p={p}");
+            assert!(online.is_reduced());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unreduced table")]
+    fn truncating_reduced_table_panics() {
+        let t = build(2).0;
+        let _ = t.truncated(1);
+    }
+
+    #[test]
+    fn more_latency_never_fewer_detection_options() {
+        // Any mask covering the p=1 table also covers the p=2 table's
+        // first steps; conversely coverage can only grow with p.
+        let (t1, _) = build(1);
+        let (t2, _) = build(2);
+        // A mask covering all rows at p=1 must cover all rows at p=2
+        // (every p=2 row's first step equals some p=1 row's step).
+        let n = t1.num_bits();
+        for mask in 1..(1u64 << n.min(10)) {
+            if t1.all_covered(&[mask]) {
+                assert!(t2.all_covered(&[mask]), "mask {mask:b} lost coverage");
+            }
+        }
+    }
+
+    #[test]
+    fn detected_by_parity_semantics() {
+        let row = EcRow {
+            steps: vec![0b011, 0b111],
+        };
+        assert!(!row.detected_by(0b011)); // even overlap at step 1, odd? 2 bits → even; step 2: 2 bits → even
+        assert!(row.detected_by(0b001)); // single bit at step 1
+        assert!(row.detected_by(0b100)); // only step 2 has bit 2
+        assert!(!row.detected_by(0b000));
+        assert_eq!(row.any_step_union(), 0b111);
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        let t = DetectabilityTable::from_rows(
+            3,
+            2,
+            vec![EcRow {
+                steps: vec![0b101, 0b010],
+            }],
+        );
+        assert_eq!(t.len(), 1);
+        assert!(t.entry(0, 0, 0));
+        assert!(!t.entry(0, 1, 0));
+        assert!(t.entry(0, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "row latency mismatch")]
+    fn from_rows_rejects_bad_latency() {
+        let _ = DetectabilityTable::from_rows(3, 2, vec![EcRow { steps: vec![1] }]);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let (t, _) = build(1);
+        let text = t.render();
+        assert!(text.contains("latency 1"));
+        assert!(text.lines().count() >= t.len());
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (t, stats) = build(2);
+        assert_eq!(stats.rows, t.len());
+        assert!(stats.rows_raw >= stats.rows);
+        assert!(stats.activations > 0);
+        assert!(stats.faults > stats.untestable_faults);
+    }
+
+    #[test]
+    fn dominance_reduction_preserves_cover_semantics() {
+        let (table, _) = build(3);
+        let reduced = table.dominance_reduced();
+        assert!(reduced.len() <= table.len());
+        // Any mask set covers the reduced table iff it covers the full
+        // table — checked over all masks and a few small mask pairs.
+        let n = table.num_bits();
+        for mask in 1..(1u64 << n.min(8)) {
+            assert_eq!(
+                table.all_covered(&[mask]),
+                reduced.all_covered(&[mask]),
+                "mask {mask:b} disagrees"
+            );
+        }
+        for pair in [[0b01u64, 0b10], [0b11, 0b100], [0b101, 0b010]] {
+            assert_eq!(table.all_covered(&pair), reduced.all_covered(&pair));
+        }
+    }
+
+    #[test]
+    fn dominance_reduction_drops_supersets() {
+        let t = DetectabilityTable::from_rows(
+            4,
+            3,
+            vec![
+                EcRow {
+                    steps: vec![0b0001, 0, 0],
+                },
+                EcRow {
+                    steps: vec![0b0001, 0b0010, 0],
+                }, // superset of {1}
+                EcRow {
+                    steps: vec![0b0010, 0b0001, 0b0100],
+                }, // superset of {1}
+                EcRow {
+                    steps: vec![0b0100, 0b1000, 0],
+                }, // minimal
+            ],
+        );
+        let r = t.dominance_reduced();
+        assert_eq!(r.len(), 2);
+        // Step-sets are canonicalized (sorted, padded).
+        assert!(r.rows().iter().any(|row| row.steps == vec![0b0001, 0, 0]));
+        assert!(r
+            .rows()
+            .iter()
+            .any(|row| row.steps == vec![0b0100, 0b1000, 0]));
+    }
+
+    #[test]
+    fn dominance_reduction_is_order_insensitive() {
+        let a = DetectabilityTable::from_rows(
+            3,
+            2,
+            vec![EcRow {
+                steps: vec![0b01, 0b10],
+            }],
+        );
+        let b = DetectabilityTable::from_rows(
+            3,
+            2,
+            vec![EcRow {
+                steps: vec![0b10, 0b01],
+            }],
+        );
+        assert_eq!(a.dominance_reduced(), b.dominance_reduced());
+    }
+
+    #[test]
+    fn first_uncovered_early_exit() {
+        let t = DetectabilityTable::from_rows(
+            3,
+            1,
+            vec![EcRow { steps: vec![0b001] }, EcRow { steps: vec![0b010] }],
+        );
+        assert_eq!(t.first_uncovered(&[0b001]), Some(1));
+        assert_eq!(t.first_uncovered(&[0b001, 0b010]), None);
+    }
+
+    #[test]
+    fn build_many_matches_separate_builds() {
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        let opts = DetectOptions::default();
+        let many = DetectabilityTable::build_many(&c, &faults, &opts, &[1, 2, 3]).unwrap();
+        for (i, p) in [1usize, 2, 3].iter().enumerate() {
+            let single = DetectabilityTable::build(
+                &c,
+                &faults,
+                &DetectOptions {
+                    latency: *p,
+                    ..DetectOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(many[i].0, single.0, "table differs at p={p}");
+            assert_eq!(many[i].1, single.1, "stats differ at p={p}");
+        }
+    }
+
+    #[test]
+    fn row_cap_enforced() {
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        let err = DetectabilityTable::build(
+            &c,
+            &faults,
+            &DetectOptions {
+                latency: 2,
+                max_rows: 1,
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, DetectError::TooManyRows { limit: 1 }));
+    }
+}

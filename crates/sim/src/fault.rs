@@ -1,0 +1,177 @@
+//! The single stuck-at fault model.
+//!
+//! The paper evaluates with stuck-at faults as the error source ("the
+//! stuck-at fault model has been used as the source of errors") while
+//! noting the method accepts any restricted error model. Faults are
+//! placed on every primary input and every gate output of the mapped
+//! next-state/output network, both polarities — the classic full
+//! single-stuck-line list — with light structural collapsing for
+//! inverter/buffer chains.
+
+use ced_logic::gate::GateKind;
+use ced_logic::netlist::{NetId, Netlist};
+use std::fmt;
+
+/// A single stuck-at fault on one net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// The faulted net (primary input or gate output).
+    pub net: NetId,
+    /// Stuck value: `true` = stuck-at-1, `false` = stuck-at-0.
+    pub stuck_at: bool,
+}
+
+impl Fault {
+    /// Convenience constructor.
+    pub fn new(net: NetId, stuck_at: bool) -> Fault {
+        Fault { net, stuck_at }
+    }
+
+    /// The forced word value of the faulted net.
+    pub fn forced_word(self) -> u64 {
+        if self.stuck_at {
+            u64::MAX
+        } else {
+            0
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/sa{}", self.net, u8::from(self.stuck_at))
+    }
+}
+
+/// Enumerates the full uncollapsed fault list: stuck-at-0 and stuck-at-1
+/// on every net (primary inputs and gate outputs; constants excluded —
+/// a stuck constant is either redundant or equivalent to the opposite
+/// constant gate's fault, which is not a physical line here).
+pub fn all_faults(netlist: &Netlist) -> Vec<Fault> {
+    let mut faults = Vec::with_capacity(netlist.gates().len() * 2);
+    for (i, g) in netlist.gates().iter().enumerate() {
+        if matches!(g.kind, GateKind::Const0 | GateKind::Const1) {
+            continue;
+        }
+        let net = NetId(i as u32);
+        faults.push(Fault::new(net, false));
+        faults.push(Fault::new(net, true));
+    }
+    faults
+}
+
+/// Structurally collapsed fault list.
+///
+/// Rules applied (standard equivalence collapsing):
+///
+/// * a fault on the output of a `NOT` is equivalent to the opposite
+///   fault on its fanin when the fanin feeds only this gate — the output
+///   faults are dropped;
+/// * a fault on the output of a `BUF` is equivalent to the same fault on
+///   its single-fanout fanin — dropped likewise.
+///
+/// Deeper dominance collapsing is intentionally left out: the
+/// detectability analysis deduplicates erroneous cases anyway, so
+/// collapsing only saves simulation time.
+pub fn collapsed_faults(netlist: &Netlist) -> Vec<Fault> {
+    let gates = netlist.gates();
+    // Fanout counts.
+    let mut fanout = vec![0usize; gates.len()];
+    for g in gates {
+        for k in 0..g.kind.arity() {
+            fanout[g.fanin[k].index()] += 1;
+        }
+    }
+    for o in netlist.outputs() {
+        fanout[o.index()] += 1;
+    }
+
+    let mut faults = Vec::new();
+    for (i, g) in gates.iter().enumerate() {
+        if matches!(g.kind, GateKind::Const0 | GateKind::Const1) {
+            continue;
+        }
+        let collapsible = matches!(g.kind, GateKind::Not | GateKind::Buf)
+            && fanout[g.fanin[0].index()] == 1
+            && !matches!(
+                gates[g.fanin[0].index()].kind,
+                GateKind::Const0 | GateKind::Const1
+            );
+        if collapsible {
+            continue;
+        }
+        let net = NetId(i as u32);
+        faults.push(Fault::new(net, false));
+        faults.push(Fault::new(net, true));
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ced_logic::netlist::NetlistBuilder;
+
+    #[test]
+    fn all_faults_counts_both_polarities() {
+        let mut b = NetlistBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let f = b.and(x, y);
+        b.mark_output(f);
+        let n = b.finish();
+        let faults = all_faults(&n);
+        // 2 inputs + 1 gate = 3 nets × 2 polarities.
+        assert_eq!(faults.len(), 6);
+    }
+
+    #[test]
+    fn constants_carry_no_faults() {
+        let mut b = NetlistBuilder::new(1);
+        let c = b.const1();
+        b.mark_output(c);
+        b.mark_output(b.input(0));
+        let n = b.finish();
+        let faults = all_faults(&n);
+        // Only the primary input net is faultable.
+        assert_eq!(faults.len(), 2);
+    }
+
+    #[test]
+    fn inverter_chain_collapses() {
+        let mut b = NetlistBuilder::new(2);
+        let x = b.input(0);
+        let y = b.input(1);
+        let a = b.and(x, y);
+        // NOT fed only by the AND: its output faults are equivalent to
+        // the AND's (opposite polarity) and are dropped.
+        let inv = b.not(a);
+        b.mark_output(inv);
+        let n = b.finish();
+        let all = all_faults(&n);
+        let collapsed = collapsed_faults(&n);
+        assert_eq!(all.len(), 8);
+        assert_eq!(collapsed.len(), 6);
+    }
+
+    #[test]
+    fn inverter_with_shared_fanin_not_collapsed() {
+        let mut b = NetlistBuilder::new(1);
+        let x = b.input(0);
+        let inv = b.not(x);
+        b.mark_output(inv);
+        b.mark_output(x); // x has fanout 2 (inv + output)
+        let n = b.finish();
+        let collapsed = collapsed_faults(&n);
+        // Both x and inv keep their faults.
+        assert_eq!(collapsed.len(), 4);
+    }
+
+    #[test]
+    fn display_format() {
+        let f = Fault::new(NetId(3), true);
+        assert_eq!(f.to_string(), "n3/sa1");
+        assert_eq!(f.forced_word(), u64::MAX);
+        assert_eq!(Fault::new(NetId(3), false).forced_word(), 0);
+    }
+}

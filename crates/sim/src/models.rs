@@ -1,0 +1,214 @@
+//! Additional error models beyond gate-level stuck-at faults.
+//!
+//! The paper's method accepts *any* restricted error model prescribed
+//! per transition (§1–§2). This module builds detectability tables for
+//! the model the Fig. 3 hold registers exist for: **state-register
+//! upsets** — a flip of one flip-flop between two clock edges ("in
+//! order to also detect faults in the state register", §3, after
+//! Zeng/Saxena/McCluskey).
+//!
+//! Semantics: the prediction was computed in the previous cycle from
+//! the *pre-flip* state, the compactor hashes the *post-flip* register,
+//! so the flip itself appears as a first-step discrepancy `e` on the
+//! flipped state bit. From then on the machine runs fault-free but
+//! from the wrong state; under the lockstep reference the divergence
+//! keeps producing differences along every input path, which is where
+//! latency `p ≥ 2` earns additional coverage options.
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_fsm::{suite, encoding, encoded::EncodedFsm};
+//! use ced_logic::MinimizeOptions;
+//! use ced_sim::models::register_upset_table;
+//!
+//! let fsm = suite::serial_adder();
+//! let enc = encoding::assign(&fsm, encoding::EncodingStrategy::Natural);
+//! let circuit = EncodedFsm::new(fsm, enc)?.synthesize(&MinimizeOptions::default());
+//! let table = register_upset_table(&circuit, 2);
+//! assert!(!table.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::detect::{DetectabilityTable, EcRow};
+use crate::tables::TransitionTables;
+use ced_fsm::encoded::FsmCircuit;
+use std::collections::HashSet;
+
+/// Builds the detectability table for single state-register upsets: one
+/// erroneous case family per (reachable state `c`, flipped bit `b`),
+/// with the flip visible at step 1 on bit `b` and lockstep divergence
+/// differences on subsequent steps along every input path (loop rule as
+/// in the stuck-at enumeration; unreduced rows, temporal order kept).
+///
+/// # Panics
+///
+/// Panics if `latency == 0`.
+pub fn register_upset_table(circuit: &FsmCircuit, latency: usize) -> DetectabilityTable {
+    assert!(latency >= 1, "latency bound must be at least 1");
+    let good = TransitionTables::good(circuit);
+    let r = circuit.num_inputs();
+    let s = circuit.state_bits();
+    let n = circuit.total_bits();
+
+    let mut rows: HashSet<Vec<u64>> = HashSet::new();
+    for &c in &good.reachable_codes() {
+        for b in 0..s {
+            let flipped = c ^ (1 << b);
+            // Step 1: the register mismatch itself (prediction from the
+            // pre-flip state vs compaction of the post-flip register).
+            let d1 = 1u64 << b;
+            if latency == 1 {
+                rows.insert(vec![d1]);
+                continue;
+            }
+            // Steps 2..p: lockstep divergence from pair (c, flipped).
+            let mut prefix = vec![0u64; latency];
+            prefix[0] = d1;
+            let mut visited = vec![(c, c), (c, flipped)];
+            extend(
+                &good,
+                r,
+                latency,
+                1,
+                (c, flipped),
+                &mut prefix,
+                &mut visited,
+                &mut rows,
+            );
+        }
+    }
+    let mut rows: Vec<EcRow> = rows.into_iter().map(|steps| EcRow { steps }).collect();
+    rows.sort_by(|a, b| a.steps.cmp(&b.steps));
+    DetectabilityTable::from_rows(n, latency, rows)
+}
+
+/// Lockstep suffix DFS over a single (fault-free) machine whose two
+/// copies start in different states.
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    good: &TransitionTables,
+    r: usize,
+    p: usize,
+    depth: usize,
+    pair: (u64, u64),
+    prefix: &mut Vec<u64>,
+    visited: &mut Vec<(u64, u64)>,
+    rows: &mut HashSet<Vec<u64>>,
+) {
+    let (g, f) = pair;
+    let mut seen: HashSet<(u64, (u64, u64))> = HashSet::new();
+    for input in 0..(1u64 << r) {
+        let d = good.response(g, input) ^ good.response(f, input);
+        let next = (good.next(g, input), good.next(f, input));
+        if !seen.insert((d, next)) {
+            continue;
+        }
+        prefix[depth] = d;
+        if depth + 1 == p || visited.contains(&next) || next.0 == next.1 {
+            // Complete, loop cut, or the copies re-converged (no further
+            // differences are possible once the states agree).
+            let mut row = prefix.clone();
+            for slot in row.iter_mut().skip(depth + 1) {
+                *slot = 0;
+            }
+            rows.insert(row);
+        } else {
+            visited.push(next);
+            extend(good, r, p, depth + 1, next, prefix, visited, rows);
+            visited.pop();
+        }
+        prefix[depth] = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ced_fsm::encoded::EncodedFsm;
+    use ced_fsm::encoding::{assign, EncodingStrategy};
+    use ced_fsm::suite;
+    use ced_logic::MinimizeOptions;
+
+    fn circuit() -> FsmCircuit {
+        let fsm = suite::worked_example();
+        let enc = assign(&fsm, EncodingStrategy::Natural);
+        EncodedFsm::new(fsm, enc)
+            .unwrap()
+            .synthesize(&MinimizeOptions::default())
+    }
+
+    #[test]
+    fn every_state_bit_appears_as_a_first_step() {
+        let c = circuit();
+        let t = register_upset_table(&c, 1);
+        let firsts: HashSet<u64> = t.rows().iter().map(|r| r.steps[0]).collect();
+        for b in 0..c.state_bits() {
+            assert!(firsts.contains(&(1 << b)), "bit {b} missing");
+        }
+        // At p = 1 only the flip bit itself is visible.
+        assert_eq!(t.len(), c.state_bits());
+    }
+
+    #[test]
+    fn state_bit_singletons_cover_upsets() {
+        let c = circuit();
+        for p in 1..=3 {
+            let t = register_upset_table(&c, p);
+            let masks: Vec<u64> = (0..c.state_bits()).map(|b| 1 << b).collect();
+            assert!(t.all_covered(&masks), "p={p}");
+        }
+    }
+
+    #[test]
+    fn latency_adds_divergence_options() {
+        let c = circuit();
+        let t1 = register_upset_table(&c, 1);
+        let t2 = register_upset_table(&c, 2);
+        // Every p=2 row's first step is a p=1 row; later steps add
+        // at least one nonzero second-step option somewhere (the copies
+        // diverge observably on this machine).
+        assert!(t2.rows().iter().any(|r| r.steps[1] != 0));
+        assert!(t2.len() >= t1.len());
+    }
+
+    #[test]
+    fn merges_with_stuck_at_table() {
+        use crate::detect::{DetectOptions, DetectabilityTable};
+        use crate::fault::collapsed_faults;
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        let stuck = DetectabilityTable::build(
+            &c,
+            &faults,
+            &DetectOptions {
+                latency: 2,
+                reduce: false,
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap()
+        .0;
+        let upsets = register_upset_table(&c, 2);
+        let combined = stuck.merged(&upsets);
+        assert!(combined.len() <= stuck.len() + upsets.len());
+        // Any cover of the combined table covers both parts.
+        let masks: Vec<u64> = (0..c.total_bits()).map(|b| 1 << b).collect();
+        assert!(combined.all_covered(&masks));
+        // And a cover of combined covers the upset table in particular.
+        let cover = crate::detect::DetectabilityTable::dominance_reduced(&combined);
+        assert!(cover.all_covered(&masks));
+    }
+
+    #[test]
+    fn reconvergence_terminates_enumeration() {
+        // A machine where a flip can re-converge (both copies map to the
+        // same next state): rows must still be well-formed.
+        let c = circuit();
+        let t = register_upset_table(&c, 3);
+        for row in t.rows() {
+            assert_eq!(row.steps.len(), 3);
+            assert_ne!(row.steps[0], 0);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests for the fault-simulation layer: table
+//! extraction fidelity, detectability invariants, dominance-reduction
+//! equivalence and the analytic/operational soundness link.
+
+use ced_fsm::encoded::EncodedFsm;
+use ced_fsm::encoding::{assign, EncodingStrategy};
+use ced_fsm::generator::{generate, GeneratorConfig};
+use ced_logic::MinimizeOptions;
+use ced_sim::coverage::{simulate_fault_detection, SimOutcome};
+use ced_sim::detect::{DetectOptions, DetectabilityTable, Semantics};
+use ced_sim::fault::{all_faults, collapsed_faults};
+use ced_sim::tables::TransitionTables;
+use proptest::prelude::*;
+
+fn small_circuit_strategy() -> impl Strategy<Value = ced_fsm::FsmCircuit> {
+    (1usize..=2, 2usize..=6, 1usize..=3, any::<u64>()).prop_map(
+        |(inputs, states, outputs, seed)| {
+            let fsm = generate(&GeneratorConfig {
+                name: "sim-prop".into(),
+                num_inputs: inputs,
+                num_states: states,
+                num_outputs: outputs,
+                cubes_per_state: 3,
+                self_loop_bias: 0.3,
+                output_dc_prob: 0.1,
+                output_pool: 2,
+                seed,
+            });
+            let enc = assign(&fsm, EncodingStrategy::Natural);
+            EncodedFsm::new(fsm, enc)
+                .expect("well-formed")
+                .synthesize(&MinimizeOptions::default())
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tables_match_circuit_stepping(circuit in small_circuit_strategy()) {
+        let t = TransitionTables::good(&circuit);
+        for code in 0..(1u64 << circuit.state_bits()) {
+            for input in 0..(1u64 << circuit.num_inputs()) {
+                let (next, out) = circuit.step(code, input);
+                prop_assert_eq!(t.next(code, input), next);
+                prop_assert_eq!(t.output(code, input), out);
+            }
+        }
+    }
+
+    #[test]
+    fn collapsed_faults_are_subset_of_all(circuit in small_circuit_strategy()) {
+        let all = all_faults(circuit.netlist());
+        let collapsed = collapsed_faults(circuit.netlist());
+        prop_assert!(collapsed.len() <= all.len());
+        for f in &collapsed {
+            prop_assert!(all.contains(f));
+        }
+    }
+
+    #[test]
+    fn detectability_rows_have_nonzero_activation(
+        circuit in small_circuit_strategy(),
+        p in 1usize..=3,
+    ) {
+        let faults = collapsed_faults(circuit.netlist());
+        let (table, stats) = DetectabilityTable::build(
+            &circuit,
+            &faults,
+            &DetectOptions { latency: p, ..DetectOptions::default() },
+        ).expect("fits");
+        prop_assert_eq!(stats.rows, table.len());
+        for row in table.rows() {
+            prop_assert!(row.any_step_union() != 0, "all-zero row");
+            prop_assert_eq!(row.steps.len(), p);
+        }
+        // Singleton masks always cover.
+        let singles: Vec<u64> = (0..table.num_bits()).map(|b| 1 << b).collect();
+        prop_assert!(table.all_covered(&singles));
+    }
+
+    #[test]
+    fn online_reduction_equals_offline(
+        circuit in small_circuit_strategy(),
+        p in 1usize..=3,
+    ) {
+        let faults = collapsed_faults(circuit.netlist());
+        let online = DetectabilityTable::build(
+            &circuit,
+            &faults,
+            &DetectOptions { latency: p, reduce: true, ..DetectOptions::default() },
+        ).expect("fits").0;
+        let offline = DetectabilityTable::build(
+            &circuit,
+            &faults,
+            &DetectOptions { latency: p, reduce: false, ..DetectOptions::default() },
+        ).expect("fits").0.dominance_reduced();
+        prop_assert_eq!(online, offline);
+    }
+
+    #[test]
+    fn reduction_preserves_coverage_for_random_masks(
+        circuit in small_circuit_strategy(),
+        masks in proptest::collection::vec(1u64..64, 1..4),
+    ) {
+        let faults = collapsed_faults(circuit.netlist());
+        let raw = DetectabilityTable::build(
+            &circuit,
+            &faults,
+            &DetectOptions { latency: 2, reduce: false, ..DetectOptions::default() },
+        ).expect("fits").0;
+        let reduced = raw.dominance_reduced();
+        let n = raw.num_bits();
+        let clip = if n >= 64 { u64::MAX } else { (1 << n) - 1 };
+        let masks: Vec<u64> = masks.iter().map(|m| m & clip).filter(|&m| m != 0).collect();
+        prop_assert_eq!(raw.all_covered(&masks), reduced.all_covered(&masks));
+    }
+
+    #[test]
+    fn semantics_coincide_at_latency_one(circuit in small_circuit_strategy()) {
+        let faults = collapsed_faults(circuit.netlist());
+        let a = DetectabilityTable::build(
+            &circuit,
+            &faults,
+            &DetectOptions { latency: 1, semantics: Semantics::Lockstep, ..DetectOptions::default() },
+        ).expect("fits").0;
+        let b = DetectabilityTable::build(
+            &circuit,
+            &faults,
+            &DetectOptions { latency: 1, semantics: Semantics::FaultyTrajectory, ..DetectOptions::default() },
+        ).expect("fits").0;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn register_upsets_always_covered_by_state_singletons(
+        circuit in small_circuit_strategy(),
+        p in 1usize..=3,
+    ) {
+        let table = ced_sim::models::register_upset_table(&circuit, p);
+        let masks: Vec<u64> = (0..circuit.state_bits()).map(|b| 1 << b).collect();
+        prop_assert!(table.all_covered(&masks));
+        for row in table.rows() {
+            prop_assert!(row.steps[0].count_ones() == 1, "flip step must be a single bit");
+            prop_assert!(row.steps[0] < (1 << circuit.state_bits()));
+        }
+    }
+
+    #[test]
+    fn merged_tables_cover_both_parts(
+        circuit in small_circuit_strategy(),
+    ) {
+        let faults = collapsed_faults(circuit.netlist());
+        let stuck = DetectabilityTable::build(
+            &circuit,
+            &faults,
+            &DetectOptions { latency: 2, reduce: false, ..DetectOptions::default() },
+        ).expect("fits").0;
+        let upsets = ced_sim::models::register_upset_table(&circuit, 2);
+        let merged = stuck.merged(&upsets);
+        // A random-ish family of masks: coverage of merged implies
+        // coverage of each part.
+        for masks in [vec![0b01u64, 0b10], vec![(1 << circuit.total_bits()) - 1], vec![0b11]] {
+            if merged.all_covered(&masks) {
+                prop_assert!(stuck.all_covered(&masks));
+                prop_assert!(upsets.all_covered(&masks));
+            }
+        }
+    }
+
+    #[test]
+    fn diagnosis_never_excludes_the_true_fault(
+        circuit in small_circuit_strategy(),
+        seed in any::<u64>(),
+    ) {
+        use ced_sim::diagnose::{FaultDictionary, Observation};
+        use ced_sim::coverage::SimRng;
+        let faults = collapsed_faults(circuit.netlist());
+        let masks: Vec<u64> = (0..circuit.total_bits()).map(|b| 1 << b).collect();
+        let dict = FaultDictionary::build(&circuit, &faults, &masks);
+        let good = TransitionTables::good(&circuit);
+        for (i, &f) in faults.iter().enumerate().take(6) {
+            let bad = TransitionTables::faulty(&circuit, f);
+            let mut rng = SimRng::new(seed ^ i as u64);
+            let mut state = circuit.reset_code();
+            let mut obs = Vec::new();
+            for _ in 0..40 {
+                let input = rng.next_u64() & ((1 << circuit.num_inputs()) - 1);
+                let d = good.response(state, input) ^ bad.response(state, input);
+                let mut syndrome = 0u64;
+                for (l, &m) in masks.iter().enumerate() {
+                    if (m & d).count_ones() & 1 == 1 {
+                        syndrome |= 1 << l;
+                    }
+                }
+                obs.push(Observation { state, input, syndrome });
+                state = bad.next(state, input);
+            }
+            prop_assert!(dict.diagnose(&obs).contains(&i));
+        }
+    }
+
+    #[test]
+    fn singleton_monitors_never_miss_operationally(
+        circuit in small_circuit_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let faults = collapsed_faults(circuit.netlist());
+        let singles: Vec<u64> = (0..circuit.total_bits()).map(|b| 1 << b).collect();
+        for (i, &f) in faults.iter().enumerate().take(12) {
+            for semantics in [Semantics::FaultyTrajectory, Semantics::Lockstep] {
+                let out = simulate_fault_detection(
+                    &circuit, f, &singles, 1, 300, seed ^ i as u64, semantics,
+                );
+                let missed = matches!(out, SimOutcome::Missed { .. });
+                prop_assert!(!missed);
+            }
+        }
+    }
+}

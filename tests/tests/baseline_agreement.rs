@@ -1,0 +1,124 @@
+//! Solver cross-validation: exact optimum ≤ LP+RR ≤ n; greedy verified;
+//! symmetric and full LP forms agree; latency-1 reduces to the DATE'03
+//! special case (every row's single step).
+
+use ced_core::exact::exact_minimum_cover;
+use ced_core::greedy::{greedy_cover, GreedyOptions};
+use ced_core::pipeline::{fault_list, synthesize_circuit, PipelineOptions};
+use ced_core::relax::LpForm;
+use ced_core::search::{minimize_parity_functions, CedOptions};
+use ced_fsm::suite;
+use ced_sim::detect::{DetectOptions, DetectabilityTable};
+
+fn table_for(fsm: &ced_fsm::Fsm, p: usize) -> DetectabilityTable {
+    table_for_opt(fsm, p, true)
+}
+
+fn table_for_opt(fsm: &ced_fsm::Fsm, p: usize, reduce: bool) -> DetectabilityTable {
+    let options = PipelineOptions::paper_defaults();
+    let circuit = synthesize_circuit(fsm, &options).expect("synthesizes");
+    let faults = fault_list(&circuit, &options);
+    DetectabilityTable::build(
+        &circuit,
+        &faults,
+        &DetectOptions {
+            latency: p,
+            reduce,
+            ..DetectOptions::default()
+        },
+    )
+    .expect("fits")
+    .0
+}
+
+#[test]
+fn solver_orderings_hold() {
+    for fsm in [
+        suite::sequence_detector(),
+        suite::serial_adder(),
+        suite::traffic_light(),
+        suite::worked_example(),
+    ] {
+        for p in [1usize, 2] {
+            let table = table_for(&fsm, p);
+            let n = table.num_bits();
+            let lp_rr = minimize_parity_functions(&table, &CedOptions::default());
+            let greedy = greedy_cover(&table, &GreedyOptions::default());
+            assert!(table.all_covered(&lp_rr.cover.masks));
+            assert!(table.all_covered(&greedy.masks));
+            assert!(lp_rr.q <= n, "{} p={p}", fsm.name());
+            if let Some(exact) = exact_minimum_cover(&table) {
+                assert!(table.all_covered(&exact.masks));
+                assert!(
+                    exact.len() <= lp_rr.q,
+                    "{} p={p}: exact {} > lp+rr {}",
+                    fsm.name(),
+                    exact.len(),
+                    lp_rr.q
+                );
+                assert!(
+                    exact.len() <= greedy.len(),
+                    "{} p={p}: exact beats greedy the wrong way",
+                    fsm.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lp_forms_agree() {
+    for fsm in [suite::serial_adder(), suite::traffic_light()] {
+        let table = table_for(&fsm, 2);
+        let sym = minimize_parity_functions(&table, &CedOptions::default());
+        let full = minimize_parity_functions(
+            &table,
+            &CedOptions {
+                form: LpForm::Full,
+                ..CedOptions::default()
+            },
+        );
+        // Both stochastic oracles must return verified covers. The
+        // symmetric form is the stronger sampler (all q masks drawn
+        // from the jointly-optimal fractional β), so it should never be
+        // much worse than the literal Statement-5 form; the reverse can
+        // happen (per-block rounding is weaker), which is exactly why
+        // the symmetric reduction is the default.
+        assert!(table.all_covered(&sym.cover.masks));
+        assert!(table.all_covered(&full.cover.masks));
+        assert!(
+            sym.q <= full.q + 1,
+            "{}: symmetric {} much worse than full {}",
+            fsm.name(),
+            sym.q,
+            full.q
+        );
+    }
+}
+
+#[test]
+fn latency_one_is_the_date03_special_case() {
+    // At p = 1, rows have exactly one step; the IP degenerates to the
+    // DATE'03 parity-compaction problem. Covering must then hold using
+    // only first-step information.
+    let fsm = suite::worked_example();
+    let t1 = table_for(&fsm, 1);
+    assert_eq!(t1.latency(), 1);
+    for row in t1.rows() {
+        assert_eq!(row.steps.len(), 1);
+        assert_ne!(row.steps[0], 0);
+    }
+    let out = minimize_parity_functions(&t1, &CedOptions::default());
+    assert!(t1.all_covered(&out.cover.masks));
+}
+
+#[test]
+fn truncation_equals_direct_build_cross_crate() {
+    // Valid on unreduced tables only (reduction depends on the bound).
+    let fsm = suite::traffic_light();
+    let t3 = table_for_opt(&fsm, 3, false);
+    for p in 1..=3 {
+        let direct = table_for_opt(&fsm, p, false);
+        assert_eq!(t3.truncated(p), direct, "p={p}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Cross-crate integration: the complete pipeline on real (hand-
+//! written) and synthetic machines, exercising every crate together.
+
+use ced_core::pipeline::{run_circuit, synthesize_circuit, PipelineOptions};
+use ced_core::report::{summarize, table1_row};
+use ced_fsm::suite;
+use ced_logic::gate::CellLibrary;
+
+#[test]
+fn pipeline_on_every_pedagogical_machine() {
+    let lib = CellLibrary::new();
+    let options = PipelineOptions::paper_defaults();
+    for fsm in [
+        suite::sequence_detector(),
+        suite::serial_adder(),
+        suite::traffic_light(),
+        suite::worked_example(),
+    ] {
+        let report = run_circuit(&fsm, &[1, 2], &options, &lib)
+            .unwrap_or_else(|e| panic!("{}: {e}", fsm.name()));
+        assert!(report.original_gates > 0, "{}", fsm.name());
+        for lr in &report.latencies {
+            assert!(!lr.cover.is_empty());
+            assert!(lr.cost.gates > 0);
+            assert!(lr.cost.area > 0.0);
+        }
+        // q never exceeds n (the singleton fallback).
+        let n = report.state_bits + report.outputs;
+        assert!(report.latencies[0].cover.len() <= n);
+    }
+}
+
+#[test]
+fn latency_monotonicity_on_suite_samples() {
+    let lib = CellLibrary::new();
+    let options = PipelineOptions::paper_defaults();
+    for name in ["s27", "tav"] {
+        let spec = ced_fsm::suite::by_name(name).expect("suite circuit");
+        let fsm = spec.build();
+        let report = run_circuit(&fsm, &[1, 2, 3], &options, &lib).expect("pipeline");
+        let q: Vec<usize> = report.latencies.iter().map(|l| l.cover.len()).collect();
+        assert!(
+            q.windows(2).all(|w| w[1] <= w[0]),
+            "{name}: q not monotone: {q:?}"
+        );
+    }
+}
+
+#[test]
+fn reports_feed_reporting_helpers() {
+    let lib = CellLibrary::new();
+    let options = PipelineOptions::paper_defaults();
+    let reports: Vec<_> = [suite::serial_adder(), suite::traffic_light()]
+        .iter()
+        .map(|fsm| run_circuit(fsm, &[1, 2], &options, &lib).expect("pipeline"))
+        .collect();
+    let summary = summarize(&reports);
+    assert_eq!(summary.latencies, vec![1, 2]);
+    for r in &reports {
+        let row = table1_row(r);
+        assert!(row.contains(&r.name));
+    }
+}
+
+#[test]
+fn kiss_round_trip_preserves_pipeline_results() {
+    // Serializing and re-parsing the machine must not change anything.
+    let lib = CellLibrary::new();
+    let options = PipelineOptions::paper_defaults();
+    let fsm = suite::worked_example();
+    let text = ced_fsm::kiss::to_string(&fsm);
+    let fsm2 = ced_fsm::kiss::parse(&text).expect("round trip parses");
+    let r1 = run_circuit(&fsm, &[1, 2], &options, &lib).expect("pipeline");
+    let r2 = run_circuit(&fsm2, &[1, 2], &options, &lib).expect("pipeline");
+    assert_eq!(r1.original_gates, r2.original_gates);
+    let q1: Vec<usize> = r1.latencies.iter().map(|l| l.cover.len()).collect();
+    let q2: Vec<usize> = r2.latencies.iter().map(|l| l.cover.len()).collect();
+    assert_eq!(q1, q2);
+}
+
+#[test]
+fn encodings_affect_cost_not_correctness() {
+    use ced_fsm::encoding::EncodingStrategy;
+    let fsm = suite::sequence_detector();
+    for strategy in [
+        EncodingStrategy::Natural,
+        EncodingStrategy::Gray,
+        EncodingStrategy::Adjacency,
+    ] {
+        let options = PipelineOptions {
+            encoding: strategy,
+            ..PipelineOptions::paper_defaults()
+        };
+        let circuit = synthesize_circuit(&fsm, &options).expect("synthesizes");
+        // Behaviour check: walk 1,0,1,1 from reset; output fires at the
+        // last step regardless of encoding.
+        let trace = circuit.run([1, 0, 1, 1]);
+        assert_eq!(trace[3].1, 1, "{strategy:?}: 1011 not detected");
+        assert_eq!(trace[2].1, 0);
+    }
+}
