@@ -1,0 +1,65 @@
+//! Criterion bench of the fault-injection campaign subsystem: the
+//! checker-in-the-loop machine-fault campaign (with tensor
+//! cross-validation) and the bit-parallel checker-netlist self-audit.
+
+use ced_core::pipeline::{fault_list, synthesize_circuit, PipelineOptions};
+use ced_core::search::{minimize_parity_functions, CedOptions};
+use ced_core::synthesize_ced;
+use ced_fsm::suite;
+use ced_inject::{audit_checker, run_campaign, CampaignOptions};
+use ced_sim::detect::{DetectOptions, DetectabilityTable, InputModel, Semantics};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_inject(c: &mut Criterion) {
+    let options = PipelineOptions::paper_defaults();
+    let fsm = suite::sequence_detector();
+    let circuit = synthesize_circuit(&fsm, &options).expect("synthesizable");
+    let faults = fault_list(&circuit, &options);
+
+    let mut group = c.benchmark_group("inject");
+    group.sample_size(10);
+
+    for p in [1usize, 2] {
+        let (table, _) = DetectabilityTable::build(
+            &circuit,
+            &faults,
+            &DetectOptions {
+                latency: p,
+                semantics: Semantics::FaultyTrajectory,
+                input_model: InputModel::Exhaustive,
+                ..DetectOptions::default()
+            },
+        )
+        .expect("within row cap");
+        let outcome = minimize_parity_functions(&table, &CedOptions::default());
+        let ced = synthesize_ced(&circuit, &outcome.cover, p, &options.minimize);
+
+        group.bench_with_input(BenchmarkId::new("campaign", p), &p, |b, _| {
+            b.iter(|| {
+                let report = run_campaign(
+                    &circuit,
+                    &ced,
+                    &faults,
+                    &CampaignOptions {
+                        checker_faults: false,
+                        ..CampaignOptions::default()
+                    },
+                )
+                .expect("runs");
+                black_box(report.machine.detected_within_bound)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("checker_audit", p), &p, |b, _| {
+            b.iter(|| {
+                let audit = audit_checker(&circuit, &ced, &CampaignOptions::default());
+                black_box(audit.self_masking)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inject);
+criterion_main!(benches);

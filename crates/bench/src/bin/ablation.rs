@@ -42,11 +42,8 @@ fn main() {
                 continue;
             }
         };
-        let input_model = build_input_model(
-            encoded.fsm(),
-            encoded.encoding(),
-            options.input_granularity,
-        );
+        let input_model =
+            build_input_model(encoded.fsm(), encoded.encoding(), options.input_granularity);
         let faults = fault_list(&circuit, &options);
         for &p in &args.latencies {
             let built = DetectabilityTable::build(

@@ -16,9 +16,7 @@
 //! `cargo run -p ced-bench --release --bin conv_compare -- --quick`
 
 use ced_bench::HarnessArgs;
-use ced_core::convolutional::{
-    simulate_convolutional_detection, ConvOutcome, ConvolutionalCed,
-};
+use ced_core::convolutional::{simulate_convolutional_detection, ConvOutcome, ConvolutionalCed};
 use ced_core::pipeline::{build_input_model, fault_list, prepare_machine, PipelineOptions};
 use ced_core::search::{minimize_parity_functions, CedOptions};
 use ced_core::synthesize_ced;
@@ -78,8 +76,9 @@ fn main() {
         for (i, &fault) in faults.iter().enumerate().take(60) {
             for t in 0..trials {
                 let seed = 0xE7 ^ (i as u64) << 8 ^ t;
-                match simulate_convolutional_detection(&circuit, &conv, fault, t as usize, 1, 300, seed)
-                {
+                match simulate_convolutional_detection(
+                    &circuit, &conv, fault, t as usize, 1, 300, seed,
+                ) {
                     ConvOutcome::Detected { .. } => {
                         conv_seen += 1;
                         conv_hit += 1;

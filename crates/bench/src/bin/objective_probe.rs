@@ -11,27 +11,46 @@ use ced_sim::detect::{DetectOptions, DetectabilityTable};
 fn main() {
     let args = HarnessArgs::parse();
     let options = PipelineOptions::paper_defaults();
-    println!("{:<10} {:>3} | {:>10} {:>12} {:>7}", "circuit", "p", "sparse-β", "max-coverage", "greedy");
+    println!(
+        "{:<10} {:>3} | {:>10} {:>12} {:>7}",
+        "circuit", "p", "sparse-β", "max-coverage", "greedy"
+    );
     for spec in args.specs() {
         let fsm = spec.build();
-        let Ok((encoded, circuit)) = prepare_machine(&fsm, &options) else { continue };
+        let Ok((encoded, circuit)) = prepare_machine(&fsm, &options) else {
+            continue;
+        };
         let model = build_input_model(encoded.fsm(), encoded.encoding(), options.input_granularity);
         let faults = fault_list(&circuit, &options);
         for p in [1usize, 2] {
             let Ok((table, _)) = DetectabilityTable::build(
                 &circuit,
                 &faults,
-                &DetectOptions { latency: p, input_model: model.clone(), ..DetectOptions::default() },
-            ) else { continue };
+                &DetectOptions {
+                    latency: p,
+                    input_model: model.clone(),
+                    ..DetectOptions::default()
+                },
+            ) else {
+                continue;
+            };
             let sparse = minimize_parity_functions(&table, &CedOptions::default());
             let spread = minimize_parity_functions(
                 &table,
-                &CedOptions { objective: LpObjective::MaxCoverage, ..CedOptions::default() },
+                &CedOptions {
+                    objective: LpObjective::MaxCoverage,
+                    ..CedOptions::default()
+                },
             );
-            let greedy = ced_core::greedy::greedy_cover(&table, &ced_core::greedy::GreedyOptions::default());
+            let greedy =
+                ced_core::greedy::greedy_cover(&table, &ced_core::greedy::GreedyOptions::default());
             println!(
                 "{:<10} {:>3} | {:>10} {:>12} {:>7}",
-                spec.name, p, sparse.q, spread.q, greedy.len()
+                spec.name,
+                p,
+                sparse.q,
+                spread.q,
+                greedy.len()
             );
         }
     }

@@ -80,6 +80,12 @@ pub fn check(args: &[String]) -> CliResult {
         "Algorithm 1 (p = {}): q = {} parity trees ({} LP solves, {} rounding attempts)",
         parsed.latency, outcome.q, outcome.lp_solves, outcome.rounding_attempts
     );
+    if !outcome.degradation.is_empty() {
+        println!("solved by {} after degradation:", outcome.method);
+        for event in &outcome.degradation {
+            println!("  {event}");
+        }
+    }
     for (i, &mask) in outcome.cover.masks.iter().enumerate() {
         let taps: Vec<String> = (0..circuit.total_bits())
             .filter(|j| (mask >> j) & 1 == 1)
@@ -189,6 +195,9 @@ pub fn equiv(args: &[String]) -> CliResult {
 /// `ced inject` — operational fault-injection validation.
 pub fn inject(args: &[String]) -> CliResult {
     let parsed = parse(args)?;
+    if parsed.campaign {
+        return inject_campaign(&parsed);
+    }
     let (encoded, circuit) = prepare_machine(&parsed.fsm, &parsed.options)?;
     let input_model = build_input_model(
         encoded.fsm(),
@@ -246,5 +255,69 @@ pub fn inject(args: &[String]) -> CliResult {
              hardware semantics at p ≥ 2; see EXPERIMENTS.md E5)"
                 .into(),
         )
+    }
+}
+
+/// `ced inject --campaign` — the full cross-validating campaign: cover
+/// synthesis under hardware semantics, machine-fault injection judged
+/// by the synthesized checker netlist, tensor cross-validation, and
+/// the checker-netlist self-audit.
+fn inject_campaign(parsed: &Parsed) -> CliResult {
+    use ced_inject::{run_campaign, CampaignOptions};
+    use ced_sim::detect::{InputModel, Semantics};
+
+    let (_, circuit) = prepare_machine(&parsed.fsm, &parsed.options)?;
+    let faults = fault_list(&circuit, &parsed.options);
+    // The campaign's oracle is exact only under hardware semantics with
+    // exhaustive inputs; the cover must be verified under the same
+    // conditions or escapes would be expected, not disagreements.
+    let (table, dstats) = DetectabilityTable::build(
+        &circuit,
+        &faults,
+        &DetectOptions {
+            latency: parsed.latency,
+            semantics: Semantics::FaultyTrajectory,
+            input_model: InputModel::Exhaustive,
+            ..DetectOptions::default()
+        },
+    )?;
+    let outcome = minimize_parity_functions(&table, &parsed.options.ced);
+    if !outcome.degradation.is_empty() {
+        println!("cover solved by {} after degradation:", outcome.method);
+        for event in &outcome.degradation {
+            println!("  {event}");
+        }
+    }
+    let ced = synthesize_ced(
+        &circuit,
+        &outcome.cover,
+        parsed.latency,
+        &parsed.options.minimize,
+    );
+    println!(
+        "campaign: {} machine faults ({} untestable), q = {} trees, p = {}",
+        dstats.faults, dstats.untestable_faults, outcome.q, parsed.latency
+    );
+    let report = run_campaign(
+        &circuit,
+        &ced,
+        &faults,
+        &CampaignOptions {
+            steps: parsed.steps,
+            seed: parsed.seed ^ 0xCA3E,
+            checker_faults: parsed.checker_faults,
+            ..CampaignOptions::default()
+        },
+    )?;
+    print!("{}", report.render());
+    if report.is_clean() {
+        println!("campaign clean: hardware agrees with V(i,j,k) everywhere ✓");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} disagreement(s) between the hardware and the detectability tensor",
+            report.machine.disagreements.len()
+        )
+        .into())
     }
 }

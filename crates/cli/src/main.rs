@@ -76,6 +76,14 @@ common options:
   --semantics lockstep|hardware              step-difference semantics
   --exhaustive-inputs                        exact input enumeration
   --seed N                                   rounding seed (default 0)
-  --format blif|verilog                      export format (default blif)"
+  --format blif|verilog                      export format (default blif)
+
+inject options:
+  --campaign                                 full campaign: checker netlist in
+                                             the loop, cross-validated against
+                                             the detectability tensor, plus a
+                                             checker-netlist self-audit
+  --no-checker-faults                        skip the checker self-audit
+  --steps N                                  cycles per injected fault (2000)"
     );
 }

@@ -19,6 +19,15 @@ pub struct Parsed {
     pub seed: u64,
     /// `--format` (default "blif").
     pub format: String,
+    /// `--campaign`: run the full cross-validating fault-injection
+    /// campaign (machine + checker faults) instead of the quick
+    /// operational check.
+    pub campaign: bool,
+    /// `--no-checker-faults`: skip the checker-netlist audit inside a
+    /// campaign.
+    pub checker_faults: bool,
+    /// `--steps` (default 2000): cycles driven per injected fault.
+    pub steps: usize,
 }
 
 /// Parses `<file> [flags…]`.
@@ -34,6 +43,9 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
     let mut latencies = vec![1usize, 2, 3];
     let mut seed = 0u64;
     let mut format = String::from("blif");
+    let mut campaign = false;
+    let mut checker_faults = true;
+    let mut steps = 2000usize;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -96,6 +108,22 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
                     .parse()
                     .map_err(|_| "--seed needs a number")?;
             }
+            "--campaign" => {
+                campaign = true;
+            }
+            "--no-checker-faults" => {
+                checker_faults = false;
+            }
+            "--steps" => {
+                steps = it
+                    .next()
+                    .ok_or("--steps needs a number")?
+                    .parse()
+                    .map_err(|_| "--steps needs a number")?;
+                if steps == 0 {
+                    return Err("--steps must be at least 1".into());
+                }
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`").into());
             }
@@ -118,5 +146,8 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
         latencies,
         seed,
         format,
+        campaign,
+        checker_faults,
+        steps,
     })
 }

@@ -137,7 +137,11 @@ fn export_emits_blif_and_verilog() {
 fn minimize_emits_kiss() {
     let path = write_machine();
     let out = ced(&["minimize", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains(".i 1"));
     assert!(text.contains(".e"));
@@ -148,7 +152,11 @@ fn equiv_detects_equal_and_different() {
     let a = write_machine();
     let b = write_machine();
     let same = ced(&["equiv", a.to_str().unwrap(), b.to_str().unwrap()]);
-    assert!(same.status.success(), "{}", String::from_utf8_lossy(&same.stderr));
+    assert!(
+        same.status.success(),
+        "{}",
+        String::from_utf8_lossy(&same.stderr)
+    );
     assert!(String::from_utf8_lossy(&same.stdout).contains("equivalent"));
     // Against a machine with inverted outputs.
     let mut f = tempfile::NamedTempFile::new().unwrap();

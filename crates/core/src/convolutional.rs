@@ -267,7 +267,13 @@ mod tests {
         for (i, &f) in faults.iter().enumerate() {
             for onset in 0..8 {
                 if let ConvOutcome::Detected { latency } = simulate_convolutional_detection(
-                    &c, &conv, f, onset, 1, 400, 0x5EED ^ (i as u64) << 5 ^ onset as u64,
+                    &c,
+                    &conv,
+                    f,
+                    onset,
+                    1,
+                    400,
+                    0x5EED ^ (i as u64) << 5 ^ onset as u64,
                 ) {
                     assert!(latency <= conv.memory() + 1);
                     detected += 1;
@@ -295,10 +301,8 @@ mod tests {
         assert!(ceiling > 0.0 && ceiling <= 1.0);
         // The paper's multi-tree method reaches 1.0 by construction;
         // single-parity compaction usually cannot.
-        let q_full = crate::search::minimize_parity_functions(
-            &table,
-            &crate::search::CedOptions::default(),
-        );
+        let q_full =
+            crate::search::minimize_parity_functions(&table, &crate::search::CedOptions::default());
         assert!(table.all_covered(&q_full.cover.masks));
         if ceiling < 1.0 {
             assert!(q_full.q >= 1);

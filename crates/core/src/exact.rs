@@ -103,7 +103,15 @@ pub fn exact_minimum_cover_with_budget(
     let mut budget = node_budget;
     for depth in 1..=kept.len() {
         let mut chosen = Vec::new();
-        match search(&kept, &full, &vec![0u64; words], depth, &mut chosen, m, &mut budget) {
+        match search(
+            &kept,
+            &full,
+            &vec![0u64; words],
+            depth,
+            &mut chosen,
+            m,
+            &mut budget,
+        ) {
             SearchResult::Found => return Some(ParityCover::new(chosen)),
             SearchResult::Exhausted => {}
             SearchResult::OutOfBudget => return None,

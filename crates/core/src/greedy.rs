@@ -48,13 +48,17 @@ pub fn greedy_cover(table: &DetectabilityTable, options: &GreedyOptions) -> Pari
             // Fallback: singleton on the first detecting bit of the first
             // uncovered row's activation step.
             let row = &table.rows()[uncovered[0]];
-            let d = row
-                .steps
-                .iter()
-                .copied()
-                .find(|&d| d != 0)
-                .expect("rows always have a nonzero step");
-            1u64 << d.trailing_zeros()
+            match row.steps.iter().copied().find(|&d| d != 0) {
+                Some(d) => 1u64 << d.trailing_zeros(),
+                None => {
+                    // The row shows no discrepancy at any step: no parity
+                    // mask can ever cover it. Drop it so the loop
+                    // terminates; full-table verification downstream
+                    // (ip::verify_cover / the solver ladder) reports it.
+                    uncovered.remove(0);
+                    continue;
+                }
+            }
         } else {
             best
         };

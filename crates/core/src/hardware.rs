@@ -93,6 +93,33 @@ impl CedHardware {
     ///
     /// Panics if arguments exceed their bit widths.
     pub fn flags(&self, state: u64, input: u64, actual_bits: u64) -> bool {
+        let bits = self.pack_inputs(state, input, actual_bits);
+        self.netlist.eval_single(&bits)[0]
+    }
+
+    /// Evaluates the checker with a stuck-at `fault` injected into its
+    /// *own* netlist — the "checker of the checker": does the damaged
+    /// comparator still raise `ERROR` for this transition?
+    ///
+    /// # Panics
+    ///
+    /// Panics if arguments exceed their bit widths or the fault names a
+    /// net outside the checker netlist.
+    pub fn flags_with_fault(
+        &self,
+        state: u64,
+        input: u64,
+        actual_bits: u64,
+        fault: ced_sim::fault::Fault,
+    ) -> bool {
+        let bits = self.pack_inputs(state, input, actual_bits);
+        ced_sim::eval::eval_single_faulty(&self.netlist, &bits, fault)[0]
+    }
+
+    /// The checker's input vector layout: primary inputs in positions
+    /// `0..r`, present-state bits in `r..r+s`, monitored actual bits in
+    /// `r+s..r+s+n` (the order `synthesize_ced` wires them).
+    fn pack_inputs(&self, state: u64, input: u64, actual_bits: u64) -> Vec<bool> {
         assert!(state < (1u64 << self.state_bits));
         assert!(input < (1u64 << self.num_inputs) || self.num_inputs == 64);
         let mut bits = Vec::with_capacity(self.num_inputs + self.state_bits + self.monitored_bits);
@@ -105,7 +132,7 @@ impl CedHardware {
         for j in 0..self.monitored_bits {
             bits.push((actual_bits >> j) & 1 == 1);
         }
-        self.netlist.eval_single(&bits)[0]
+        bits
     }
 }
 
@@ -132,7 +159,7 @@ pub fn synthesize_ced(
     let bit_tables: Vec<Truth> = (0..n)
         .map(|j| {
             Truth::from_fn(vars, |m| {
-                let input = m & ((1u64 << r) - 1).min(u64::MAX);
+                let input = m & ((1u64 << r) - 1);
                 let code = m >> r;
                 (good.response(code, input) >> j) & 1 == 1
             })
@@ -305,6 +332,50 @@ mod tests {
         assert!(ced.flags(code, 0, actual ^ 0b01));
         assert!(!ced.flags(code, 0, actual ^ 0b11), "even flip flagged");
         assert!(n >= 2);
+    }
+
+    #[test]
+    fn stuck_error_output_masks_or_forces_the_flag() {
+        use ced_sim::fault::Fault;
+        let c = circuit();
+        let cover = ParityCover::singletons(c.total_bits());
+        let ced = synthesize_ced(&c, &cover, 1, &MinimizeOptions::default());
+        let good = TransitionTables::good(&c);
+        let code = c.reset_code();
+        let actual = good.response(code, 0);
+        let error_net = ced.netlist().outputs()[0];
+        // ERROR stuck-at-0: every corruption is silently swallowed.
+        for j in 0..c.total_bits() {
+            assert!(!ced.flags_with_fault(
+                code,
+                0,
+                actual ^ (1 << j),
+                Fault::new(error_net, false)
+            ));
+        }
+        // ERROR stuck-at-1: even correct operation raises the alarm.
+        assert!(ced.flags_with_fault(code, 0, actual, Fault::new(error_net, true)));
+    }
+
+    #[test]
+    fn faulty_eval_with_silent_fault_matches_clean_eval() {
+        use ced_sim::fault::Fault;
+        let c = circuit();
+        let cover = ParityCover::singletons(c.total_bits());
+        let ced = synthesize_ced(&c, &cover, 1, &MinimizeOptions::default());
+        let good = TransitionTables::good(&c);
+        let code = c.reset_code();
+        let actual = good.response(code, 0);
+        // A fault whose stuck value coincides with the net's value on
+        // this pattern cannot change the answer; check via both
+        // polarities of the error net on a flagged transition.
+        let error_net = ced.netlist().outputs()[0];
+        let corrupted = actual ^ 1;
+        assert!(ced.flags(code, 0, corrupted));
+        assert_eq!(
+            ced.flags_with_fault(code, 0, corrupted, Fault::new(error_net, true)),
+            ced.flags(code, 0, corrupted)
+        );
     }
 
     #[test]

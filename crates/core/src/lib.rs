@@ -44,7 +44,6 @@
 // bit-twiddling code; the iterator rewrites clippy suggests obscure it.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod convolutional;
 pub mod duplication;
 pub mod exact;
@@ -60,5 +59,10 @@ pub mod search;
 pub use hardware::{synthesize_ced, CedCost, CedHardware};
 pub use ip::{verify_cover, ParityCover};
 pub use pipeline::{run_circuit, CircuitReport, LatencyResult, PipelineError, PipelineOptions};
-pub use relax::{build_relaxation, build_relaxation_with_objective, LpForm, LpObjective, Relaxation};
-pub use search::{minimize_parity_functions, minimize_with_incumbent, CedOptions, SearchOutcome};
+pub use relax::{
+    build_relaxation, build_relaxation_with_objective, LpForm, LpObjective, Relaxation,
+};
+pub use search::{
+    minimize_parity_functions, minimize_with_incumbent, CedOptions, DegradationEvent,
+    DegradationReason, LadderRung, SearchOutcome,
+};

@@ -7,7 +7,7 @@
 use crate::duplication::duplication_cost;
 use crate::hardware::{synthesize_ced, CedCost};
 use crate::ip::ParityCover;
-use crate::search::CedOptions;
+use crate::search::{CedOptions, DegradationEvent, LadderRung};
 use ced_fsm::encoded::{EncodedFsm, FsmCircuit};
 use ced_fsm::encoding::StateEncoding;
 use ced_fsm::encoding::{assign, EncodingStrategy};
@@ -85,6 +85,11 @@ pub struct LatencyResult {
     pub lp_solves: usize,
     /// Rounding attempts used by the search.
     pub rounding_attempts: usize,
+    /// The solver-ladder rung that produced `cover`.
+    pub method: LadderRung,
+    /// Solver-ladder degradation trail; empty when the primary
+    /// LP + rounding method ran cleanly.
+    pub degradation: Vec<DegradationEvent>,
 }
 
 /// Full per-circuit experiment record (one Table-1 row).
@@ -288,6 +293,8 @@ pub fn run_circuit(
             cost: ced.cost(library),
             lp_solves: outcome.lp_solves,
             rounding_attempts: outcome.rounding_attempts,
+            method: outcome.method,
+            degradation: outcome.degradation,
         });
     }
 

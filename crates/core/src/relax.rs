@@ -123,7 +123,11 @@ pub fn build_relaxation_with_objective(
 
     // β variables.
     let beta_vars: Vec<Vec<VarId>> = (0..blocks)
-        .map(|_| (0..n).map(|_| lp.add_variable(0.0, 1.0, beta_cost)).collect())
+        .map(|_| {
+            (0..n)
+                .map(|_| lp.add_variable(0.0, 1.0, beta_cost))
+                .collect()
+        })
         .collect();
 
     // Coverage variables.

@@ -44,6 +44,28 @@ pub fn table1_row(report: &CircuitReport) -> String {
     out
 }
 
+/// Renders the solver-ladder degradation trail of a report, one line
+/// per latency bound that did not complete cleanly under the primary
+/// LP + rounding method. An empty result means every bound was solved
+/// by the paper's method as-is.
+pub fn degradation_notes(report: &CircuitReport) -> Vec<String> {
+    let mut notes = Vec::new();
+    for lr in &report.latencies {
+        if lr.degradation.is_empty() {
+            continue;
+        }
+        let trail: Vec<String> = lr.degradation.iter().map(|e| e.to_string()).collect();
+        notes.push(format!(
+            "{} p={}: solved by {} after degradation [{}]",
+            report.name,
+            lr.latency,
+            lr.method,
+            trail.join("; ")
+        ));
+    }
+    notes
+}
+
 /// The §5 aggregate statistics over a set of circuit reports.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
@@ -201,6 +223,28 @@ mod tests {
         let long = table1_header(&[1, 2, 3, 4]);
         assert!(long.len() > short.len());
         assert_eq!(long.matches("p=").count(), 4);
+    }
+
+    #[test]
+    fn clean_runs_have_no_degradation_notes() {
+        for r in &reports() {
+            assert!(
+                degradation_notes(r).is_empty(),
+                "{:?}",
+                degradation_notes(r)
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_runs_are_reported() {
+        let lib = CellLibrary::new();
+        let mut opts = PipelineOptions::paper_defaults();
+        opts.ced.iterations = 0; // force the ladder down to greedy
+        let r = run_circuit(&suite::sequence_detector(), &[1], &opts, &lib).unwrap();
+        let notes = degradation_notes(&r);
+        assert_eq!(notes.len(), 1, "{notes:?}");
+        assert!(notes[0].contains("greedy-cover"), "{notes:?}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Algorithm 1: binary search for the minimum number of parity
 //! functions, with LP relaxation + randomized rounding as the
-//! feasibility oracle.
+//! feasibility oracle — wrapped in a graceful-degradation solver
+//! ladder.
 //!
 //! Two engineering refinements over the paper's pseudocode, both
 //! documented in DESIGN.md:
@@ -14,12 +15,46 @@
 //!   feasible (every erroneous case differs in some bit at its
 //!   activation step), so the search never returns empty-handed even if
 //!   rounding is unlucky near the top of the range.
+//!
+//! # The solver ladder
+//!
+//! The stochastic oracle can fail for reasons that have nothing to do
+//! with true infeasibility: rounding exhausts its `ITER` budget,
+//! simplex hits numerical trouble, or the caller's wall-clock budget
+//! runs out. Instead of silently reporting a weak bound, the search
+//! escalates through a ladder of increasingly robust (and increasingly
+//! conservative) methods, recording each step as a
+//! [`DegradationEvent`]:
+//!
+//! 1. [`LadderRung::LpRounding`] — the paper's LP + randomized
+//!    rounding, as-is.
+//! 2. [`LadderRung::ReseededRetry`] — the same oracle, reseeded, with
+//!    an `ITER` budget several times larger, restarted above the
+//!    largest `q` the LP *proved* infeasible.
+//! 3. [`LadderRung::GreedyCover`] — the deterministic greedy baseline
+//!    ([`crate::greedy`]), which always terminates with a cover when
+//!    one exists.
+//! 4. [`LadderRung::Duplication`] — the singleton cover (one monitor
+//!    per bit), the structural equivalent of duplication-with-compare;
+//!    never fails on well-formed tables.
+//!
+//! A clean run (no soft failures) produces an empty degradation trail,
+//! so downstream reports can distinguish "optimal under the paper's
+//! method" from "best effort under degradation".
 
+use crate::greedy::{greedy_cover, GreedyOptions};
 use crate::ip::ParityCover;
 use crate::relax::{build_relaxation_with_objective, LpForm, LpObjective};
 use crate::round::{round_cover, RoundingOptions};
 use ced_lp::simplex::{solve, SolveError};
 use ced_sim::detect::DetectabilityTable;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// `ITER` multiplier applied by the reseeded-retry rung.
+const RETRY_ITER_FACTOR: usize = 8;
+/// Seed rotation applied by the reseeded-retry rung.
+const RETRY_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Configuration of the parity-minimization search.
 #[derive(Debug, Clone)]
@@ -37,6 +72,14 @@ pub struct CedOptions {
     pub refinement_rounds: usize,
     /// Objective steering the LP among feasible points.
     pub objective: LpObjective,
+    /// Wall-clock budget for one minimization call. On breach the
+    /// search stops issuing feasibility queries and degrades to the
+    /// greedy rung. `None` = unbounded.
+    pub time_budget: Option<Duration>,
+    /// Cap on LP solves per minimization call (an effort/allocation
+    /// budget: each solve allocates a dense tableau). `None` =
+    /// unbounded.
+    pub max_lp_solves: Option<usize>,
 }
 
 impl Default for CedOptions {
@@ -48,7 +91,115 @@ impl Default for CedOptions {
             lp_row_cap: 256,
             refinement_rounds: 3,
             objective: LpObjective::default(),
+            time_budget: None,
+            max_lp_solves: None,
         }
+    }
+}
+
+/// A rung of the solver ladder (see the module docs). Ordered from the
+/// preferred method to the unconditional fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderRung {
+    /// LP relaxation + randomized rounding (the paper's method).
+    LpRounding,
+    /// LP + rounding retried with a reseeded RNG and a larger `ITER`.
+    ReseededRetry,
+    /// Deterministic greedy set cover.
+    GreedyCover,
+    /// Singleton masks — structurally equivalent to duplication.
+    Duplication,
+    /// A cover inherited from a previous (smaller-latency) search.
+    Incumbent,
+}
+
+impl fmt::Display for LadderRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LadderRung::LpRounding => "lp-rounding",
+            LadderRung::ReseededRetry => "reseeded-retry",
+            LadderRung::GreedyCover => "greedy-cover",
+            LadderRung::Duplication => "duplication",
+            LadderRung::Incumbent => "incumbent",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why the ladder stepped down a rung.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradationReason {
+    /// Randomized rounding exhausted `ITER` on queries the LP did not
+    /// prove infeasible.
+    RoundingExhausted {
+        /// Feasibility queries lost to exhaustion on this rung.
+        queries: usize,
+    },
+    /// The simplex solver reported unboundedness or hit its iteration
+    /// limit — numerical trouble, not a feasibility verdict.
+    LpNumericalFailure {
+        /// Feasibility queries lost to numerical failure on this rung.
+        queries: usize,
+    },
+    /// The wall-clock or LP-solve budget ran out mid-search.
+    BudgetExceeded,
+    /// Rounding was disabled outright (`ITER = 0`), so the stochastic
+    /// rungs cannot certify anything.
+    RoundingDisabled,
+    /// The rung produced a cover that failed full-table verification
+    /// (possible only on tables with undetectable rows).
+    CoverUnverified {
+        /// Rows no parity mask can ever cover.
+        uncovered_rows: usize,
+    },
+}
+
+impl fmt::Display for DegradationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationReason::RoundingExhausted { queries } => {
+                write!(
+                    f,
+                    "rounding exhausted ITER on {queries} feasibility queries"
+                )
+            }
+            DegradationReason::LpNumericalFailure { queries } => {
+                write!(
+                    f,
+                    "simplex numerical failure on {queries} feasibility queries"
+                )
+            }
+            DegradationReason::BudgetExceeded => write!(f, "search budget exceeded"),
+            DegradationReason::RoundingDisabled => write!(f, "rounding disabled (ITER = 0)"),
+            DegradationReason::CoverUnverified { uncovered_rows } => {
+                write!(f, "cover left {uncovered_rows} rows uncovered")
+            }
+        }
+    }
+}
+
+/// One step down the solver ladder, kept in the outcome (and threaded
+/// into [`crate::pipeline::CircuitReport`]) so results stay honest
+/// about how they were obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// The rung that failed.
+    pub from: LadderRung,
+    /// The rung escalated to.
+    pub to: LadderRung,
+    /// Why the step was taken.
+    pub reason: DegradationReason,
+    /// Human-readable context (query counts, budgets, cover sizes).
+    pub detail: String,
+}
+
+impl fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {}: {}", self.from, self.to, self.reason)?;
+        if !self.detail.is_empty() {
+            write!(f, " ({})", self.detail)?;
+        }
+        Ok(())
     }
 }
 
@@ -65,13 +216,19 @@ pub struct SearchOutcome {
     pub rounding_attempts: usize,
     /// `(q, feasible)` pairs in query order, for reporting.
     pub feasibility_trace: Vec<(usize, bool)>,
+    /// The ladder rung that produced `cover`.
+    pub method: LadderRung,
+    /// Ladder steps taken; empty when the primary method ran cleanly.
+    pub degradation: Vec<DegradationEvent>,
 }
 
 /// Runs Algorithm 1 on a detectability table.
 ///
 /// Returns the minimal `q` the LP + randomized-rounding oracle could
 /// certify, together with the verified masks. An empty table yields an
-/// empty cover (`q = 0`).
+/// empty cover (`q = 0`). On oracle failure the solver ladder (module
+/// docs) guarantees a verified cover is still returned, with the
+/// degradation trail recorded in the outcome.
 pub fn minimize_parity_functions(
     table: &DetectabilityTable,
     options: &CedOptions,
@@ -92,6 +249,17 @@ pub fn minimize_with_incumbent(
     options: &CedOptions,
     incumbent: Option<&ParityCover>,
 ) -> SearchOutcome {
+    // Rows with no detecting (bit, step) anywhere are invisible to
+    // every parity mask — and silently dropped by dominance reduction.
+    // Check for them on the unreduced input so the outcome can honestly
+    // report that parity CED cannot meet the bound (built tables never
+    // contain such rows; hand-built ones may).
+    let undetectable = table
+        .rows()
+        .iter()
+        .filter(|r| r.steps.iter().all(|&d| d == 0))
+        .count();
+
     // Work on the dominance-reduced table (same feasible covers,
     // typically orders of magnitude fewer rows), hardest rows first so
     // that failed rounding attempts are rejected quickly.
@@ -103,34 +271,271 @@ pub fn minimize_with_incumbent(
         lp_solves: 0,
         rounding_attempts: 0,
         feasibility_trace: Vec::new(),
+        method: LadderRung::Duplication,
+        degradation: Vec::new(),
     };
+    if undetectable > 0 {
+        outcome.degradation.push(DegradationEvent {
+            from: LadderRung::LpRounding,
+            to: LadderRung::Duplication,
+            reason: DegradationReason::CoverUnverified {
+                uncovered_rows: undetectable,
+            },
+            detail: "erroneous cases with no detecting (bit, step): parity CED cannot meet \
+                     the bound; monitoring every bit is the best available protection"
+                .to_string(),
+        });
+        return outcome;
+    }
     if table.is_empty() {
         outcome.cover = ParityCover::new(Vec::new());
         outcome.q = 0;
+        outcome.method = LadderRung::LpRounding;
         return outcome;
     }
-    debug_assert!(
-        table.all_covered(&outcome.cover.masks),
-        "singleton fallback must cover (activation steps are nonzero)"
-    );
     if let Some(seed_cover) = incumbent {
         if seed_cover.len() < outcome.q && table.all_covered(&seed_cover.masks) {
             outcome.cover = seed_cover.clone();
             outcome.q = seed_cover.len();
+            outcome.method = LadderRung::Incumbent;
         }
     }
 
-    let mut lo = 1usize;
-    let mut hi = outcome.q;
+    let budget = Budget::new(options);
+    let mut proved_lo = 1usize;
     let mut query = 0u64;
+
+    // Rung 1: the paper's method.
+    let s0 = run_binary_search(
+        table,
+        options,
+        LadderRung::LpRounding,
+        &mut outcome,
+        &budget,
+        &mut proved_lo,
+        &mut query,
+    );
+    // Escalation policy: rounding exhaustion at individual `q` values
+    // is the paper's normal negative oracle answer (the integrality
+    // gap makes LP-feasible-but-unroundable points expected), so it
+    // does NOT by itself trigger the ladder. The ladder steps down
+    // when the whole rung failed to certify anything beyond the
+    // unconditional fallback (`stuck`), when rounding is disabled
+    // outright, or when the budget ran out.
+    //
+    // Events are staged in `pending` and committed only if degradation
+    // actually mattered: a lower rung changed the outcome, rounding was
+    // disabled, or the budget cut the search short. Otherwise the soft
+    // failures were just the oracle's way of saying "infeasible" and
+    // the trail stays empty (the paper's own behavior).
+    let rounding_disabled = options.iterations == 0;
+    let s0_stuck =
+        s0.soft_failures() > 0 && (outcome.method == LadderRung::Duplication || rounding_disabled);
+    if !s0.budget_hit && !s0_stuck {
+        return outcome;
+    }
+
+    let mut pending: Vec<DegradationEvent> = Vec::new();
+    let mut forced = false; // commit the trail regardless of improvement
+    if s0.budget_hit {
+        forced = true;
+        pending.push(DegradationEvent {
+            from: LadderRung::LpRounding,
+            to: LadderRung::GreedyCover,
+            reason: DegradationReason::BudgetExceeded,
+            detail: format!(
+                "stopped after {} lp solves / {} rounding attempts; skipping reseeded retry",
+                outcome.lp_solves, outcome.rounding_attempts
+            ),
+        });
+    } else if rounding_disabled {
+        forced = true;
+        pending.push(DegradationEvent {
+            from: LadderRung::LpRounding,
+            to: LadderRung::GreedyCover,
+            reason: DegradationReason::RoundingDisabled,
+            detail: "stochastic rungs cannot certify with ITER = 0".to_string(),
+        });
+    } else {
+        // Rung 2: reseeded retry with a larger ITER, above the proved
+        // infeasibility floor.
+        pending.push(DegradationEvent {
+            from: LadderRung::LpRounding,
+            to: LadderRung::ReseededRetry,
+            reason: s0.reason(),
+            detail: format!(
+                "retrying q ∈ [{proved_lo}, {}) with ITER × {RETRY_ITER_FACTOR}",
+                outcome.q
+            ),
+        });
+        let boosted = CedOptions {
+            iterations: options.iterations.saturating_mul(RETRY_ITER_FACTOR),
+            seed: options.seed ^ RETRY_SEED_SALT,
+            ..options.clone()
+        };
+        let s1 = run_binary_search(
+            table,
+            &boosted,
+            LadderRung::ReseededRetry,
+            &mut outcome,
+            &budget,
+            &mut proved_lo,
+            &mut query,
+        );
+        if outcome.method == LadderRung::ReseededRetry {
+            // The retry certified a cover the primary rung could not:
+            // real recovery, worth recording.
+            outcome.degradation.append(&mut pending);
+            return outcome;
+        }
+        let s1_stuck = s1.soft_failures() > 0 && outcome.method == LadderRung::Duplication;
+        if !s1.budget_hit && !s1_stuck {
+            // Retry resolved the remaining range by proofs — the
+            // primary method's verdict stands; nothing degraded.
+            return outcome;
+        }
+        if s1.budget_hit {
+            forced = true;
+        }
+        pending.push(DegradationEvent {
+            from: LadderRung::ReseededRetry,
+            to: LadderRung::GreedyCover,
+            reason: if s1.budget_hit {
+                DegradationReason::BudgetExceeded
+            } else {
+                s1.reason()
+            },
+            detail: String::new(),
+        });
+    }
+
+    // Rung 3: deterministic greedy cover. Always terminates; verified
+    // against the full table before adoption.
+    let greedy = greedy_cover(
+        table,
+        &GreedyOptions {
+            seed: options.seed,
+            ..GreedyOptions::default()
+        },
+    );
+    let verified = table.all_covered(&greedy.masks);
+    debug_assert!(verified, "reduced tables have no undetectable rows");
+    if verified && greedy.len() < outcome.q {
+        outcome.q = greedy.len().max(1);
+        outcome.cover = greedy;
+        outcome.method = LadderRung::GreedyCover;
+        outcome.degradation.append(&mut pending);
+        return outcome;
+    }
+    if forced {
+        // Nothing improved, but the run was genuinely cut short
+        // (budget) or crippled (ITER = 0): keep the trail so the
+        // result is honest about its provenance.
+        outcome.degradation.append(&mut pending);
+    }
+    // Otherwise: soft failures were the oracle's infeasibility verdict
+    // and the greedy cross-check agreed with the fallback — report the
+    // run as a clean conclusion of the primary method.
+    if outcome.degradation.is_empty() && outcome.method == LadderRung::Duplication {
+        outcome.method = LadderRung::LpRounding;
+    }
+    outcome
+}
+
+/// Search budgets, shared across ladder rungs (the ladder as a whole
+/// honors one budget; degraded rungs do not get fresh allowances).
+struct Budget {
+    deadline: Option<Instant>,
+    max_lp_solves: Option<usize>,
+}
+
+impl Budget {
+    fn new(options: &CedOptions) -> Budget {
+        Budget {
+            deadline: options
+                .time_budget
+                .and_then(|d| Instant::now().checked_add(d)),
+            max_lp_solves: options.max_lp_solves,
+        }
+    }
+
+    fn exhausted(&self, lp_solves: usize) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.max_lp_solves.is_some_and(|cap| lp_solves >= cap)
+    }
+}
+
+/// Soft-failure tally of one binary-search rung.
+#[derive(Debug, Default)]
+struct RungStats {
+    rounding_exhausted: usize,
+    numeric_failures: usize,
+    budget_hit: bool,
+}
+
+impl RungStats {
+    fn soft_failures(&self) -> usize {
+        self.rounding_exhausted + self.numeric_failures
+    }
+
+    fn reason(&self) -> DegradationReason {
+        if self.budget_hit {
+            DegradationReason::BudgetExceeded
+        } else if self.rounding_exhausted >= self.numeric_failures {
+            DegradationReason::RoundingExhausted {
+                queries: self.rounding_exhausted,
+            }
+        } else {
+            DegradationReason::LpNumericalFailure {
+                queries: self.numeric_failures,
+            }
+        }
+    }
+}
+
+/// Verdict of one feasibility query, distinguishing proofs from
+/// soft failures (the pre-ladder code conflated all of these).
+enum QueryVerdict {
+    /// A verified cover at the queried `q`.
+    Feasible(ParityCover),
+    /// The LP itself is infeasible — a sound proof for the full table.
+    ProvedInfeasible,
+    /// The LP is feasible but rounding never produced a verified cover.
+    RoundingExhausted,
+    /// Simplex reported unboundedness or an iteration limit.
+    NumericalFailure,
+    /// The shared search budget ran out mid-query.
+    BudgetExceeded,
+}
+
+/// One rung's binary search over `q`. Adopts improving covers into
+/// `outcome` (tagging them with `rung`), advances the proved-infeasible
+/// floor, and tallies soft failures.
+fn run_binary_search(
+    table: &DetectabilityTable,
+    options: &CedOptions,
+    rung: LadderRung,
+    outcome: &mut SearchOutcome,
+    budget: &Budget,
+    proved_lo: &mut usize,
+    query: &mut u64,
+) -> RungStats {
+    let mut stats = RungStats::default();
+    let mut lo = *proved_lo;
+    let mut hi = outcome.q;
     while lo < hi {
+        if budget.exhausted(outcome.lp_solves) {
+            stats.budget_hit = true;
+            break;
+        }
         let mid = lo + (hi - lo) / 2;
-        query += 1;
-        match try_feasible(table, mid, options, query, &mut outcome) {
-            Some(cover) => {
+        *query += 1;
+        match try_feasible(table, mid, options, *query, budget, outcome) {
+            QueryVerdict::Feasible(cover) => {
                 let found_q = cover.len().max(1);
                 outcome.cover = cover;
                 outcome.q = found_q;
+                outcome.method = rung;
                 outcome.feasibility_trace.push((mid, true));
                 hi = found_q.min(mid);
                 // `hi` is known-feasible; keep searching strictly below.
@@ -138,13 +543,28 @@ pub fn minimize_with_incumbent(
                     break;
                 }
             }
-            None => {
+            QueryVerdict::ProvedInfeasible => {
+                outcome.feasibility_trace.push((mid, false));
+                lo = mid + 1;
+                *proved_lo = lo;
+            }
+            QueryVerdict::RoundingExhausted => {
+                stats.rounding_exhausted += 1;
                 outcome.feasibility_trace.push((mid, false));
                 lo = mid + 1;
             }
+            QueryVerdict::NumericalFailure => {
+                stats.numeric_failures += 1;
+                outcome.feasibility_trace.push((mid, false));
+                lo = mid + 1;
+            }
+            QueryVerdict::BudgetExceeded => {
+                stats.budget_hit = true;
+                break;
+            }
         }
     }
-    outcome
+    stats
 }
 
 /// One feasibility query: LP (with lazy rows) + randomized rounding.
@@ -153,8 +573,9 @@ fn try_feasible(
     q: usize,
     options: &CedOptions,
     query: u64,
+    budget: &Budget,
     outcome: &mut SearchOutcome,
-) -> Option<ParityCover> {
+) -> QueryVerdict {
     let m = table.len();
     let mut rows: Vec<usize> = if m <= options.lp_row_cap {
         (0..m).collect()
@@ -162,14 +583,23 @@ fn try_feasible(
         hardest_rows(table, options.lp_row_cap)
     };
 
+    let mut last_failure = QueryVerdict::RoundingExhausted;
     for round in 0..=options.refinement_rounds {
+        if budget.exhausted(outcome.lp_solves) {
+            return QueryVerdict::BudgetExceeded;
+        }
         let relax =
             build_relaxation_with_objective(table, q, options.form, &rows, options.objective);
         outcome.lp_solves += 1;
         let sol = match solve(&relax.lp) {
             Ok(sol) => sol,
-            Err(SolveError::Infeasible) => return None, // subset infeasible ⇒ full infeasible
-            Err(_) => return None, // numerical trouble: treat as infeasible (search stays sound)
+            // Subset infeasible ⇒ full infeasible: a sound proof.
+            Err(SolveError::Infeasible) => return QueryVerdict::ProvedInfeasible,
+            // Unbounded/iteration-limit: numerical trouble, NOT a
+            // feasibility verdict — surfaced so the ladder can react.
+            Err(SolveError::Unbounded) | Err(SolveError::IterationLimit) => {
+                return QueryVerdict::NumericalFailure
+            }
         };
         let betas = relax.fractional_betas(&sol.x);
         let ropts = RoundingOptions {
@@ -182,16 +612,17 @@ fn try_feasible(
         match round_cover(table, q, &betas, &ropts) {
             Ok(r) => {
                 outcome.rounding_attempts += r.attempts;
-                return Some(r.cover);
+                return QueryVerdict::Feasible(r.cover);
             }
             Err(failure) => {
                 outcome.rounding_attempts += options.iterations;
+                last_failure = QueryVerdict::RoundingExhausted;
                 if rows.len() >= m || failure.best_uncovered.is_empty() {
-                    return None;
+                    return last_failure;
                 }
                 // Row generation: feed the stubborn rows into the LP.
-                let budget = options.lp_row_cap.max(16);
-                for &i in failure.best_uncovered.iter().take(budget) {
+                let budget_rows = options.lp_row_cap.max(16);
+                for &i in failure.best_uncovered.iter().take(budget_rows) {
                     if !rows.contains(&i) {
                         rows.push(i);
                     }
@@ -199,7 +630,7 @@ fn try_feasible(
             }
         }
     }
-    None
+    last_failure
 }
 
 /// Picks the `cap` rows hardest to cover: fewest detecting `(bit, step)`
@@ -241,6 +672,8 @@ mod tests {
         let out = minimize_parity_functions(&t, &CedOptions::default());
         assert_eq!(out.q, 1, "trace: {:?}", out.feasibility_trace);
         assert!(t.all_covered(&out.cover.masks));
+        assert!(out.degradation.is_empty(), "clean run must not degrade");
+        assert_eq!(out.method, LadderRung::LpRounding);
     }
 
     #[test]
@@ -262,6 +695,7 @@ mod tests {
         let out = minimize_parity_functions(&t, &CedOptions::default());
         assert_eq!(out.q, 0);
         assert!(out.cover.is_empty());
+        assert!(out.degradation.is_empty());
     }
 
     #[test]
@@ -340,5 +774,103 @@ mod tests {
         let b = minimize_parity_functions(&t, &CedOptions::default());
         assert_eq!(a.cover, b.cover);
         assert_eq!(a.q, b.q);
+        assert_eq!(a.degradation, b.degradation);
+    }
+
+    #[test]
+    fn disabled_rounding_degrades_to_greedy() {
+        // All rows detectable by bit 0 (q_opt = 1 < n = 4), so the
+        // greedy rung improves on the singleton fallback.
+        let t = table(4, vec![vec![0b0001], vec![0b0011], vec![0b0101]]);
+        let out = minimize_parity_functions(
+            &t,
+            &CedOptions {
+                iterations: 0,
+                ..CedOptions::default()
+            },
+        );
+        assert!(t.all_covered(&out.cover.masks), "ladder must still cover");
+        assert_eq!(out.method, LadderRung::GreedyCover);
+        assert!(
+            out.degradation
+                .iter()
+                .any(|e| e.to == LadderRung::GreedyCover
+                    && e.reason == DegradationReason::RoundingDisabled),
+            "trail: {:?}",
+            out.degradation
+        );
+    }
+
+    #[test]
+    fn zero_lp_budget_degrades_to_greedy() {
+        let t = table(3, vec![vec![0b001], vec![0b011], vec![0b101]]);
+        let out = minimize_parity_functions(
+            &t,
+            &CedOptions {
+                max_lp_solves: Some(0),
+                ..CedOptions::default()
+            },
+        );
+        assert!(t.all_covered(&out.cover.masks));
+        assert_eq!(out.lp_solves, 0, "budget of zero must forbid LP solves");
+        assert_eq!(out.method, LadderRung::GreedyCover);
+        assert!(out
+            .degradation
+            .iter()
+            .any(|e| e.reason == DegradationReason::BudgetExceeded));
+    }
+
+    #[test]
+    fn zero_time_budget_degrades_to_greedy() {
+        let t = table(3, vec![vec![0b001], vec![0b011], vec![0b101]]);
+        let out = minimize_parity_functions(
+            &t,
+            &CedOptions {
+                time_budget: Some(Duration::ZERO),
+                ..CedOptions::default()
+            },
+        );
+        assert!(t.all_covered(&out.cover.masks));
+        assert_eq!(out.method, LadderRung::GreedyCover);
+    }
+
+    #[test]
+    fn undetectable_rows_fall_to_duplication_rung() {
+        // Second row has no detecting (bit, step) at all — nothing can
+        // cover it (dominance reduction would silently drop it). The
+        // ladder must terminate with the singleton fallback and record
+        // the step down to the duplication rung.
+        let t = table(2, vec![vec![0b01, 0b00], vec![0b00, 0b00]]);
+        let out = minimize_parity_functions(&t, &CedOptions::default());
+        assert_eq!(out.method, LadderRung::Duplication);
+        assert!(out
+            .degradation
+            .iter()
+            .any(|e| matches!(e.reason, DegradationReason::CoverUnverified { .. })));
+    }
+
+    #[test]
+    fn incumbent_is_kept_when_optimal() {
+        let t = table(2, vec![vec![0b01], vec![0b10], vec![0b11]]);
+        // Feed the known optimum as incumbent; the search should keep
+        // (or re-derive) a q=2 cover.
+        let inc = ParityCover::new(vec![0b01, 0b10]);
+        let out = minimize_with_incumbent(&t, &CedOptions::default(), Some(&inc));
+        assert_eq!(out.q, 2);
+        assert!(t.all_covered(&out.cover.masks));
+    }
+
+    #[test]
+    fn degradation_events_render() {
+        let e = DegradationEvent {
+            from: LadderRung::LpRounding,
+            to: LadderRung::ReseededRetry,
+            reason: DegradationReason::RoundingExhausted { queries: 3 },
+            detail: "retrying".to_string(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("lp-rounding"));
+        assert!(text.contains("reseeded-retry"));
+        assert!(text.contains("3 feasibility queries"));
     }
 }

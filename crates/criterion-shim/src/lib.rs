@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace
+//! vendors the small slice of criterion's API its benches use:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], and the `criterion_group!`/`criterion_main!`
+//! macros. Instead of criterion's statistical engine, each benchmark
+//! runs a short warm-up followed by a fixed number of timed samples
+//! and prints median/min per-iteration wall-clock times. `--bench`
+//! and benchmark-name filter arguments are accepted and the filter is
+//! honored, so `cargo bench <name>` behaves as expected.
+
+use std::time::{Duration, Instant};
+
+/// Measures one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive so the optimizer
+    /// cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        std::hint::black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Identifies a parameterized benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.full
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// Top-level harness state, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // cargo bench passes `--bench` plus an optional name filter;
+        // honor the filter, ignore harness tuning flags.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_benchmark(self, id.to_string(), 10, f);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named group of benchmarks with shared sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's cost is governed by
+    /// `sample_size` alone.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into_name());
+        run_benchmark(self.criterion, full, self.sample_count, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut f = f;
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report output already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    name: String,
+    sample_count: usize,
+    mut f: F,
+) {
+    if !criterion.matches(&name) {
+        return;
+    }
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_count,
+    };
+    f(&mut bencher);
+    let mut sorted = bencher.samples.clone();
+    sorted.sort();
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+    let min = sorted.first().copied().unwrap_or_default();
+    println!("bench {name:<48} median {median:>12.3?}  min {min:>12.3?}");
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_squares(c: &mut Criterion) {
+        let mut group = c.benchmark_group("squares");
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0u64..100).map(|x| x * x).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("upto", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).map(|x| x * x).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_squares);
+
+    #[test]
+    fn harness_runs_group() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("a", 3).into_name(), "a/3");
+        assert_eq!(BenchmarkId::from_parameter("x").into_name(), "x");
+    }
+}

@@ -35,19 +35,28 @@ use std::fmt;
 /// Error produced when a KISS2 document cannot be parsed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseKissError {
-    /// 1-based line number of the offending line.
+    /// 1-based line number of the offending line; 0 for document-level
+    /// problems (missing headers, count mismatches) with no single line
+    /// to blame.
     pub line: usize,
+    /// 1-based column (in characters) of the offending token; 0 when
+    /// the whole line or document is at fault.
+    pub column: usize,
     /// Description of the problem.
     pub message: String,
 }
 
 impl fmt::Display for ParseKissError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "kiss2 parse error at line {}: {}",
-            self.line, self.message
-        )
+        match (self.line, self.column) {
+            (0, _) => write!(f, "kiss2 parse error: {}", self.message),
+            (l, 0) => write!(f, "kiss2 parse error at line {l}: {}", self.message),
+            (l, c) => write!(
+                f,
+                "kiss2 parse error at line {l}, column {c}: {}",
+                self.message
+            ),
+        }
     }
 }
 
@@ -56,8 +65,39 @@ impl std::error::Error for ParseKissError {}
 fn err(line: usize, message: impl Into<String>) -> ParseKissError {
     ParseKissError {
         line,
+        column: 0,
         message: message.into(),
     }
+}
+
+fn err_at(line: usize, column: usize, message: impl Into<String>) -> ParseKissError {
+    ParseKissError {
+        line,
+        column,
+        message: message.into(),
+    }
+}
+
+/// A token with the 1-based character column where it starts on its
+/// source line, so errors can point into the original document.
+type Token = (usize, String);
+
+fn tokenize(raw: &str) -> Vec<Token> {
+    let code = raw.split('#').next().unwrap_or("");
+    let mut tokens = Vec::new();
+    let mut current: Option<Token> = None;
+    for (i, ch) in code.chars().enumerate() {
+        if ch.is_whitespace() {
+            tokens.extend(current.take());
+        } else {
+            match &mut current {
+                Some((_, text)) => text.push(ch),
+                None => current = Some((i + 1, String::from(ch))),
+            }
+        }
+    }
+    tokens.extend(current);
+    tokens
 }
 
 /// Parses a KISS2 document into an [`Fsm`].
@@ -68,8 +108,8 @@ fn err(line: usize, message: impl Into<String>) -> ParseKissError {
 ///
 /// # Errors
 ///
-/// Returns [`ParseKissError`] with a line number for malformed headers,
-/// cubes, output vectors, or count mismatches.
+/// Returns [`ParseKissError`] with line and column context for
+/// malformed headers, cubes, output vectors, or count mismatches.
 pub fn parse(text: &str) -> Result<Fsm, ParseKissError> {
     let mut num_inputs: Option<usize> = None;
     let mut num_outputs: Option<usize> = None;
@@ -77,16 +117,17 @@ pub fn parse(text: &str) -> Result<Fsm, ParseKissError> {
     let mut declared_states: Option<usize> = None;
     let mut reset_name: Option<String> = None;
     let mut name = String::from("kiss");
-    let mut body: Vec<(usize, Vec<String>)> = Vec::new();
+    let mut body: Vec<(usize, Vec<Token>)> = Vec::new();
+    let mut saw_content = false;
 
     for (lineno, raw) in text.lines().enumerate() {
         let lineno = lineno + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
+        let tokens = tokenize(raw);
+        if tokens.is_empty() {
             continue;
         }
-        let tokens: Vec<String> = line.split_whitespace().map(str::to_string).collect();
-        match tokens[0].as_str() {
+        saw_content = true;
+        match tokens[0].1.as_str() {
             ".i" => {
                 num_inputs = Some(parse_count(&tokens, lineno, ".i")?);
             }
@@ -100,13 +141,13 @@ pub fn parse(text: &str) -> Result<Fsm, ParseKissError> {
                 declared_states = Some(parse_count(&tokens, lineno, ".s")?);
             }
             ".r" => {
-                let state = tokens
+                let (_, state) = tokens
                     .get(1)
-                    .ok_or_else(|| err(lineno, ".r needs a state name"))?;
+                    .ok_or_else(|| err_at(lineno, tokens[0].0, ".r needs a state name"))?;
                 reset_name = Some(state.clone());
             }
             ".model" => {
-                if let Some(n) = tokens.get(1) {
+                if let Some((_, n)) = tokens.get(1) {
                     name = n.clone();
                 }
             }
@@ -115,12 +156,22 @@ pub fn parse(text: &str) -> Result<Fsm, ParseKissError> {
                 // Tolerated BLIF-embedding directives; ignored.
             }
             t if t.starts_with('.') => {
-                return Err(err(lineno, format!("unknown directive {t}")));
+                return Err(err_at(
+                    lineno,
+                    tokens[0].0,
+                    format!("unknown directive {t}"),
+                ));
             }
             _ => body.push((lineno, tokens)),
         }
     }
 
+    if !saw_content {
+        return Err(err(
+            0,
+            "empty kiss2 document (no directives or transitions)",
+        ));
+    }
     let ni = num_inputs.ok_or_else(|| err(0, "missing .i header"))?;
     let no = num_outputs.ok_or_else(|| err(0, "missing .o header"))?;
     let mut fsm = Fsm::new(name, ni, no);
@@ -135,46 +186,54 @@ pub fn parse(text: &str) -> Result<Fsm, ParseKissError> {
     let expected_fields = if no == 0 { 3 } else { 4 };
     for (lineno, tokens) in &body {
         if tokens.len() != expected_fields {
-            return Err(err(
+            return Err(err_at(
                 *lineno,
+                tokens[0].0,
                 format!(
-                    "expected `input from to{}`, got {} fields",
+                    "expected `input from to{}`, got {} fields (truncated line?)",
                     if no == 0 { "" } else { " output" },
                     tokens.len()
                 ),
             ));
         }
-        fsm.add_state(tokens[1].clone());
-        fsm.add_state(tokens[2].clone());
+        fsm.add_state(tokens[1].1.clone());
+        fsm.add_state(tokens[2].1.clone());
     }
 
     for (lineno, tokens) in &body {
-        let input: Cube = tokens[0]
+        let (in_col, in_text) = &tokens[0];
+        let input: Cube = in_text
             .parse()
-            .map_err(|e| err(*lineno, format!("bad input cube: {e}")))?;
+            .map_err(|e| err_at(*lineno, *in_col, format!("bad input cube: {e}")))?;
         if input.width() != ni {
-            return Err(err(
+            return Err(err_at(
                 *lineno,
+                *in_col,
                 format!("input cube has {} bits, expected {ni}", input.width()),
             ));
         }
-        let from = fsm.state_by_name(&tokens[1]).expect("state interned");
-        let to = fsm.state_by_name(&tokens[2]).expect("state interned");
+        let from = fsm.state_by_name(&tokens[1].1).expect("state interned");
+        let to = fsm.state_by_name(&tokens[2].1).expect("state interned");
         let mut output = Vec::with_capacity(no);
-        let out_field = tokens.get(3).map(String::as_str).unwrap_or("");
+        let (out_col, out_field) = tokens
+            .get(3)
+            .map(|(c, t)| (*c, t.as_str()))
+            .unwrap_or((0, ""));
         for (i, ch) in out_field.chars().enumerate() {
-            let v = OutputValue::from_char(ch)
-                .ok_or_else(|| err(*lineno, format!("bad output character at {i}")))?;
+            let v = OutputValue::from_char(ch).ok_or_else(|| {
+                err_at(*lineno, out_col + i, format!("bad output character `{ch}`"))
+            })?;
             output.push(v);
         }
         if output.len() != no {
-            return Err(err(
+            return Err(err_at(
                 *lineno,
+                out_col,
                 format!("output has {} bits, expected {no}", output.len()),
             ));
         }
         fsm.add_transition(input, from, to, output)
-            .map_err(|e| err(*lineno, e.to_string()))?;
+            .map_err(|e| err_at(*lineno, *in_col, e.to_string()))?;
     }
 
     if let Some(r) = reset_name {
@@ -205,11 +264,17 @@ pub fn parse(text: &str) -> Result<Fsm, ParseKissError> {
     Ok(fsm)
 }
 
-fn parse_count(tokens: &[String], lineno: usize, what: &str) -> Result<usize, ParseKissError> {
-    tokens
-        .get(1)
-        .and_then(|t| t.parse().ok())
-        .ok_or_else(|| err(lineno, format!("{what} needs a number")))
+fn parse_count(tokens: &[Token], lineno: usize, what: &str) -> Result<usize, ParseKissError> {
+    match tokens.get(1) {
+        Some((col, t)) => t
+            .parse()
+            .map_err(|_| err_at(lineno, *col, format!("{what} needs a number, got `{t}`"))),
+        None => Err(err_at(
+            lineno,
+            tokens[0].0,
+            format!("{what} needs a number"),
+        )),
+    }
 }
 
 /// Serializes an [`Fsm`] to KISS2 text.
@@ -345,6 +410,68 @@ mod tests {
 
     #[test]
     fn unknown_directive_rejected() {
-        assert!(parse(".i 1\n.o 1\n.bogus 3\n.e\n").is_err());
+        let e = parse(".i 1\n.o 1\n  .bogus 3\n.e\n").unwrap_err();
+        assert_eq!((e.line, e.column), (3, 3));
+        assert!(e.message.contains(".bogus"));
+    }
+
+    #[test]
+    fn empty_documents_rejected() {
+        for text in ["", "\n\n\n", "# only a comment\n  # another\n"] {
+            let e = parse(text).unwrap_err();
+            assert!(e.message.contains("empty"), "{text:?}: {e}");
+            assert_eq!(e.line, 0);
+        }
+    }
+
+    #[test]
+    fn truncated_transition_line_points_at_it() {
+        // File cut off mid-transition: the last line lacks fields.
+        let e = parse(".i 1\n.o 1\n0 a a 0\n1 a").unwrap_err();
+        assert_eq!((e.line, e.column), (4, 1));
+        assert!(e.message.contains("truncated"), "{e}");
+    }
+
+    #[test]
+    fn garbage_input_is_a_parse_error_not_a_panic() {
+        for text in [
+            "garbage\u{0}\u{1}\u{2}",
+            "<html><body>404</body></html>",
+            ".i one\n.o 1\n",
+            ".i 1\n.o 1\n\u{fffd}\u{fffd} a a 1\n",
+            ".i 1\n.o 1\n.r\n",
+        ] {
+            assert!(parse(text).is_err(), "{text:?} parsed");
+        }
+    }
+
+    #[test]
+    fn bad_count_argument_has_column() {
+        let e = parse(".i banana\n.o 1\n.e\n").unwrap_err();
+        assert_eq!((e.line, e.column), (1, 4));
+        assert!(e.message.contains("banana"));
+    }
+
+    #[test]
+    fn bad_output_character_column_points_inside_the_token() {
+        let text = ".i 1\n.o 3\n0 a a 1z0\n.e\n";
+        let e = parse(text).unwrap_err();
+        // The `z` is the 2nd char of the output token starting at column 7.
+        assert_eq!((e.line, e.column), (3, 8));
+        assert!(e.message.contains('z'));
+    }
+
+    #[test]
+    fn bad_cube_column_points_at_the_cube() {
+        let e = parse(".i 2\n.o 1\n   0z a a 1\n").unwrap_err();
+        assert_eq!((e.line, e.column), (3, 4));
+    }
+
+    #[test]
+    fn display_formats_line_and_column() {
+        let e = parse(".i 2\n.o 1\n0z a a 1\n").unwrap_err();
+        let s = e.to_string();
+        assert!(s.contains("line 3"), "{s}");
+        assert!(s.contains("column 1"), "{s}");
     }
 }

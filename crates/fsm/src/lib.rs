@@ -25,7 +25,6 @@
 // bit-twiddling code; the iterator rewrites clippy suggests obscure it.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod analysis;
 pub mod encoded;
 pub mod encoding;

@@ -212,9 +212,12 @@ mod tests {
         let c = fsm.add_state("c");
         let d = fsm.add_state("d"); // emits differently
         let z = vec![OutputValue::Zero];
-        fsm.add_transition("-".parse().unwrap(), a, c, z.clone()).unwrap();
-        fsm.add_transition("-".parse().unwrap(), b, d, z.clone()).unwrap();
-        fsm.add_transition("-".parse().unwrap(), c, c, z.clone()).unwrap();
+        fsm.add_transition("-".parse().unwrap(), a, c, z.clone())
+            .unwrap();
+        fsm.add_transition("-".parse().unwrap(), b, d, z.clone())
+            .unwrap();
+        fsm.add_transition("-".parse().unwrap(), c, c, z.clone())
+            .unwrap();
         fsm.add_transition("-".parse().unwrap(), d, d, vec![OutputValue::One])
             .unwrap();
         let min = minimize_states(&fsm).unwrap();

@@ -1,0 +1,416 @@
+//! Stuck-at fault-injection campaigns on the protected FSM, judged by
+//! the synthesized checker netlist and cross-validated against the
+//! detectability tensor `V(i,j,k)`.
+//!
+//! For every injected fault the campaign holds two verdicts against
+//! each other:
+//!
+//! * **analytic** — the fault's own erroneous cases, enumerated
+//!   exhaustively under the hardware ([`Semantics::FaultyTrajectory`])
+//!   semantics: is every case covered by the checker's parity masks?
+//! * **operational** — a random-input run of the faulty machine with
+//!   the *actual checker netlist* in the loop: when does `ERROR` rise
+//!   relative to the first error activation?
+//!
+//! Analytic coverage must imply operational detection within the bound;
+//! anything else is a [`Disagreement`]. Additionally, on every cycle
+//! whose present state is fault-free-reachable the checker netlist's
+//! answer must equal the parity model's (the predictor is exact there —
+//! don't-cares only cover unreachable codes); a divergence is a
+//! [`Disagreement::CheckerModelMismatch`].
+
+use crate::checker::audit_checker;
+use crate::report::{CampaignReport, Disagreement, MachineCampaign};
+use ced_core::hardware::CedHardware;
+use ced_fsm::encoded::FsmCircuit;
+use ced_sim::coverage::SimRng;
+use ced_sim::detect::{DetectError, DetectOptions, DetectabilityTable, InputModel, Semantics};
+use ced_sim::fault::Fault;
+use ced_sim::tables::TransitionTables;
+
+/// Campaign configuration. The latency bound is taken from the checker
+/// under test ([`CedHardware::latency`]), not duplicated here.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Cycles driven per injected machine fault.
+    pub steps: usize,
+    /// Base seed of the per-fault input streams.
+    pub seed: u64,
+    /// Extra cycles past the detection deadline the run keeps going, to
+    /// distinguish a late detection (latency violation) from a fault
+    /// that is never caught at all.
+    pub grace: usize,
+    /// Also audit the checker's own netlist (see [`crate::checker`]).
+    pub checker_faults: bool,
+    /// Cap on machine faults injected (`None` = all).
+    pub max_faults: Option<usize>,
+    /// Cap on probe inputs per state in the checker audit; states with
+    /// more inputs are sampled deterministically.
+    pub probe_input_cap: usize,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> CampaignOptions {
+        CampaignOptions {
+            steps: 2000,
+            seed: 0xCED_CA3E,
+            grace: 8,
+            checker_faults: true,
+            max_faults: None,
+            probe_input_cap: 64,
+        }
+    }
+}
+
+/// Per-fault operational outcome, already reconciled with the analytic
+/// verdict (disagreements are recorded separately in the report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineFaultOutcome {
+    /// Analytically covered and caught within the bound.
+    DetectedInBound {
+        /// Observed detection latency (1 = activation cycle).
+        latency: usize,
+    },
+    /// Analytically *uncovered* yet caught within the bound — no
+    /// guarantee was owed; the run got lucky.
+    WindfallDetection {
+        /// Observed detection latency.
+        latency: usize,
+    },
+    /// Analytically uncovered and indeed escaped — the expected outcome
+    /// for faults outside the cover's obligation.
+    ExpectedEscape,
+    /// No error ever activated during the driven run.
+    Quiet,
+    /// Analytically covered but never flagged (disagreement).
+    Undetected {
+        /// Cycle of the escaped activation.
+        at_cycle: usize,
+    },
+    /// Analytically covered, flagged only after the deadline
+    /// (disagreement).
+    LatencyViolation {
+        /// Observed (too-late) latency.
+        observed: usize,
+    },
+}
+
+/// Raw result of one checker-in-the-loop drive.
+enum RawOutcome {
+    Quiet,
+    Detected { latency: usize },
+    Late { observed: usize },
+    Missed { at_cycle: usize },
+}
+
+/// Analytic verdict for one fault against the tensor.
+enum Analytic {
+    Untestable,
+    Covered,
+    Uncovered,
+}
+
+/// Runs the full campaign: every fault in `faults` is injected into
+/// `circuit` and judged by `ced` (whose [`CedHardware::latency`] is the
+/// bound), then cross-validated against a per-fault exhaustive
+/// detectability table; optionally the checker netlist itself is
+/// audited.
+///
+/// # Errors
+///
+/// Propagates [`DetectError`] from the per-fault tensor construction
+/// (row caps; never zero latency — the checker carries `p ≥ 1`).
+///
+/// # Panics
+///
+/// Panics if the checker was synthesized for a different circuit
+/// interface than `circuit`.
+pub fn run_campaign(
+    circuit: &FsmCircuit,
+    ced: &CedHardware,
+    faults: &[Fault],
+    options: &CampaignOptions,
+) -> Result<CampaignReport, DetectError> {
+    let p = ced.latency();
+    assert_eq!(
+        ced.masks().iter().fold(0, |a, &m| a | m) >> circuit.total_bits(),
+        0,
+        "checker monitors bits outside the circuit interface"
+    );
+    let good = TransitionTables::good(circuit);
+    let valid = valid_states(&good);
+    let injected: Vec<Fault> = match options.max_faults {
+        Some(cap) => faults.iter().copied().take(cap).collect(),
+        None => faults.to_vec(),
+    };
+
+    let mut machine = MachineCampaign {
+        injected: injected.len(),
+        detectable: 0,
+        detected_within_bound: 0,
+        latency_histogram: vec![0; p + 1],
+        windfall_detections: 0,
+        expected_escapes: 0,
+        quiet: 0,
+        outcomes: Vec::with_capacity(injected.len()),
+        disagreements: Vec::new(),
+    };
+
+    for (i, &fault) in injected.iter().enumerate() {
+        let analytic = analytic_verdict(circuit, fault, ced.masks(), p)?;
+        let bad = TransitionTables::faulty(circuit, fault);
+        let seed = options.seed ^ splitmix_scramble(i as u64);
+        let (raw, mismatch) =
+            drive_with_checker(circuit, ced, &good, &bad, &valid, p, options, seed);
+        if let Some(cycle) = mismatch {
+            machine
+                .disagreements
+                .push(Disagreement::CheckerModelMismatch { fault, cycle });
+        }
+        let outcome = match (&analytic, raw) {
+            (Analytic::Covered, RawOutcome::Detected { latency }) => {
+                machine.detectable += 1;
+                machine.detected_within_bound += 1;
+                machine.latency_histogram[latency] += 1;
+                MachineFaultOutcome::DetectedInBound { latency }
+            }
+            (Analytic::Covered, RawOutcome::Late { observed }) => {
+                machine.detectable += 1;
+                machine.disagreements.push(Disagreement::LatencyViolation {
+                    fault,
+                    observed,
+                    bound: p,
+                });
+                MachineFaultOutcome::LatencyViolation { observed }
+            }
+            (Analytic::Covered, RawOutcome::Missed { at_cycle }) => {
+                machine.detectable += 1;
+                machine
+                    .disagreements
+                    .push(Disagreement::UndetectedFault { fault, at_cycle });
+                MachineFaultOutcome::Undetected { at_cycle }
+            }
+            (Analytic::Uncovered, RawOutcome::Detected { latency }) => {
+                machine.windfall_detections += 1;
+                MachineFaultOutcome::WindfallDetection { latency }
+            }
+            (Analytic::Uncovered, RawOutcome::Late { .. } | RawOutcome::Missed { .. }) => {
+                machine.expected_escapes += 1;
+                MachineFaultOutcome::ExpectedEscape
+            }
+            (Analytic::Untestable, RawOutcome::Quiet) | (_, RawOutcome::Quiet) => {
+                machine.quiet += 1;
+                MachineFaultOutcome::Quiet
+            }
+            (Analytic::Untestable, _) => {
+                machine
+                    .disagreements
+                    .push(Disagreement::PhantomActivation { fault });
+                machine.quiet += 1;
+                MachineFaultOutcome::Quiet
+            }
+        };
+        machine.outcomes.push((fault, outcome));
+    }
+
+    let checker = if options.checker_faults {
+        Some(audit_checker(circuit, ced, options))
+    } else {
+        None
+    };
+
+    Ok(CampaignReport {
+        bound: p,
+        machine,
+        checker,
+    })
+}
+
+/// The analytic verdict: enumerate this fault's erroneous cases
+/// exhaustively under the hardware semantics and test the masks.
+fn analytic_verdict(
+    circuit: &FsmCircuit,
+    fault: Fault,
+    masks: &[u64],
+    latency: usize,
+) -> Result<Analytic, DetectError> {
+    let (table, stats) = DetectabilityTable::build(
+        circuit,
+        &[fault],
+        &DetectOptions {
+            latency,
+            semantics: Semantics::FaultyTrajectory,
+            input_model: InputModel::Exhaustive,
+            ..DetectOptions::default()
+        },
+    )?;
+    Ok(if stats.untestable_faults == 1 {
+        Analytic::Untestable
+    } else if table.all_covered(masks) {
+        Analytic::Covered
+    } else {
+        Analytic::Uncovered
+    })
+}
+
+/// One checker-in-the-loop run: the faulty machine advances on random
+/// inputs while the synthesized checker watches (present state, input,
+/// actual monitored bits). Returns the raw detection outcome and the
+/// first cycle (if any) where the netlist's flag disagreed with the
+/// parity model on a fault-free-reachable present state.
+#[allow(clippy::too_many_arguments)] // campaign internals; one call site
+fn drive_with_checker(
+    circuit: &FsmCircuit,
+    ced: &CedHardware,
+    good: &TransitionTables,
+    bad: &TransitionTables,
+    valid: &[bool],
+    p: usize,
+    options: &CampaignOptions,
+    seed: u64,
+) -> (RawOutcome, Option<usize>) {
+    let r = circuit.num_inputs();
+    let input_mask = if r >= 64 { u64::MAX } else { (1u64 << r) - 1 };
+    let mut rng = SimRng::new(seed);
+    let mut state = circuit.reset_code();
+    let mut window: Option<usize> = None;
+    let mut mismatch: Option<usize> = None;
+
+    for cycle in 0..options.steps {
+        let input = rng.next_u64() & input_mask;
+        let actual = bad.response(state, input);
+        let d = good.response(state, input) ^ actual;
+        let flagged = ced.flags(state, input, actual);
+        let model = ced.masks().iter().any(|&m| (m & d).count_ones() & 1 == 1);
+        if flagged != model && valid[state as usize] && mismatch.is_none() {
+            mismatch = Some(cycle);
+        }
+        if d != 0 && window.is_none() {
+            window = Some(cycle);
+        }
+        if let Some(start) = window {
+            if flagged {
+                let observed = cycle - start + 1;
+                let raw = if observed <= p {
+                    RawOutcome::Detected { latency: observed }
+                } else {
+                    RawOutcome::Late { observed }
+                };
+                return (raw, mismatch);
+            }
+            if cycle >= start + p - 1 + options.grace {
+                return (RawOutcome::Missed { at_cycle: start }, mismatch);
+            }
+        }
+        state = bad.next(state, input);
+    }
+    // No activation, or a window still open at the end of the run with
+    // neither verdict reached: no observation either way.
+    (RawOutcome::Quiet, mismatch)
+}
+
+/// Fault-free-reachable state codes as a dense lookup (the codes where
+/// the predictor logic is exact rather than don't-care).
+fn valid_states(good: &TransitionTables) -> Vec<bool> {
+    let mut valid = vec![false; 1 << good.state_bits()];
+    for c in good.reachable_codes() {
+        valid[c as usize] = true;
+    }
+    valid
+}
+
+/// Decorrelates per-fault seeds (SplitMix64 finalizer).
+fn splitmix_scramble(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ced_core::ip::ParityCover;
+    use ced_core::synthesize_ced;
+    use ced_fsm::encoded::EncodedFsm;
+    use ced_fsm::encoding::{assign, EncodingStrategy};
+    use ced_fsm::suite;
+    use ced_logic::MinimizeOptions;
+    use ced_sim::fault::collapsed_faults;
+
+    fn circuit() -> FsmCircuit {
+        let fsm = suite::sequence_detector();
+        let enc = assign(&fsm, EncodingStrategy::Natural);
+        EncodedFsm::new(fsm, enc)
+            .unwrap()
+            .synthesize(&MinimizeOptions::default())
+    }
+
+    #[test]
+    fn singleton_checker_yields_clean_campaign() {
+        let c = circuit();
+        let cover = ParityCover::singletons(c.total_bits());
+        let ced = synthesize_ced(&c, &cover, 1, &MinimizeOptions::default());
+        let faults = collapsed_faults(c.netlist());
+        let report = run_campaign(&c, &ced, &faults, &CampaignOptions::default()).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.machine.injected, faults.len());
+        assert_eq!(
+            report.machine.detected_within_bound,
+            report.machine.detectable
+        );
+        assert!(report.machine.detectable > 0);
+        // Singleton masks cover every erroneous case, so nothing is
+        // "uncovered": no escapes, no windfalls.
+        assert_eq!(report.machine.expected_escapes, 0);
+        assert_eq!(report.machine.windfall_detections, 0);
+    }
+
+    #[test]
+    fn empty_cover_reports_expected_escapes_not_disagreements() {
+        let c = circuit();
+        // A deliberately useless checker: one mask monitoring nothing
+        // cannot be synthesized, so use a single even-cancelling mask.
+        let cover = ParityCover::new(vec![0b11]);
+        let ced = synthesize_ced(&c, &cover, 1, &MinimizeOptions::default());
+        let faults = collapsed_faults(c.netlist());
+        let report = run_campaign(&c, &ced, &faults, &CampaignOptions::default()).unwrap();
+        // Whatever the masks miss is an *expected* escape, never a
+        // disagreement: analytic and operational verdicts must agree.
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.machine.expected_escapes > 0);
+    }
+
+    #[test]
+    fn max_faults_caps_the_campaign() {
+        let c = circuit();
+        let cover = ParityCover::singletons(c.total_bits());
+        let ced = synthesize_ced(&c, &cover, 1, &MinimizeOptions::default());
+        let faults = collapsed_faults(c.netlist());
+        let report = run_campaign(
+            &c,
+            &ced,
+            &faults,
+            &CampaignOptions {
+                max_faults: Some(3),
+                checker_faults: false,
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.machine.injected, 3);
+        assert!(report.checker.is_none());
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let c = circuit();
+        let cover = ParityCover::singletons(c.total_bits());
+        let ced = synthesize_ced(&c, &cover, 1, &MinimizeOptions::default());
+        let faults = collapsed_faults(c.netlist());
+        let a = run_campaign(&c, &ced, &faults, &CampaignOptions::default()).unwrap();
+        let b = run_campaign(&c, &ced, &faults, &CampaignOptions::default()).unwrap();
+        assert_eq!(a.machine.outcomes, b.machine.outcomes);
+        assert_eq!(a.render(), b.render());
+    }
+}

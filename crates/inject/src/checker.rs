@@ -1,0 +1,265 @@
+//! Fault-injection audit of the checker's own netlist.
+//!
+//! The Fig. 3 hardware is itself silicon; a stuck-at fault inside the
+//! predictor, the parity trees, the comparator or the `ERROR` OR-tree
+//! changes *what the alarm means*. This module injects every collapsed
+//! stuck-at fault into the checker netlist and classifies it against a
+//! deterministic probe set:
+//!
+//! * [`CheckerFaultClass::FalseAlarm`] — the damaged checker raises
+//!   `ERROR` on some fault-free transition. Fail-safe: the fault is
+//!   detectable online the moment that transition occurs.
+//! * [`CheckerFaultClass::SelfMasking`] — the damaged checker stays
+//!   silent on some corruption the healthy checker flags, and never
+//!   false-alarms. The dangerous, dormant class (e.g. `ERROR`
+//!   stuck-at-0): the system believes it is protected while it is not.
+//! * [`CheckerFaultClass::Benign`] — indistinguishable from the healthy
+//!   checker on every probe (typically redundant logic).
+//!
+//! Probes are evaluated 64 per word with the bit-parallel fault
+//! simulator ([`ced_sim::eval::eval_outputs_faulty`]), so the audit
+//! costs ~`⌈probes/64⌉` netlist passes per fault.
+
+use crate::campaign::CampaignOptions;
+use ced_core::hardware::CedHardware;
+use ced_fsm::encoded::FsmCircuit;
+use ced_sim::coverage::SimRng;
+use ced_sim::eval::eval_outputs_faulty;
+use ced_sim::fault::{collapsed_faults, Fault};
+use ced_sim::tables::TransitionTables;
+
+/// Classification of one checker-internal stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckerFaultClass {
+    /// Raises `ERROR` on a fault-free transition: detectable online.
+    FalseAlarm,
+    /// Silently swallows a corruption the healthy checker flags, and
+    /// never false-alarms: dormant and dangerous.
+    SelfMasking,
+    /// No behavioural difference on any probe.
+    Benign,
+}
+
+/// Aggregate result of the checker-netlist audit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckerCampaign {
+    /// Checker-internal faults injected.
+    pub injected: usize,
+    /// Faults classified [`CheckerFaultClass::FalseAlarm`].
+    pub false_alarms: usize,
+    /// Faults classified [`CheckerFaultClass::SelfMasking`].
+    pub self_masking: usize,
+    /// Faults classified [`CheckerFaultClass::Benign`].
+    pub benign: usize,
+    /// The dormant dangerous faults (the self-masking set), for
+    /// reporting and for targeting a periodic self-test.
+    pub masking_faults: Vec<Fault>,
+    /// Per-fault classification, in fault-list order.
+    pub classes: Vec<(Fault, CheckerFaultClass)>,
+}
+
+/// A packed batch of up to 64 probe vectors for the checker netlist.
+struct ProbeBatch {
+    /// One word per checker input (`r + s + n`).
+    words: Vec<u64>,
+    /// Lanes actually populated.
+    lanes: u64,
+    /// Lanes that are fault-free transitions (`ERROR` must stay low).
+    clean: u64,
+    /// Healthy checker's `ERROR` per lane.
+    pristine: u64,
+}
+
+/// Audits every collapsed stuck-at fault of the checker netlist against
+/// a deterministic probe set: all fault-free-reachable states, up to
+/// [`CampaignOptions::probe_input_cap`] inputs per state (sampled
+/// deterministically beyond the cap), each with the clean response and
+/// every single-bit corruption inside the monitored mask union.
+pub fn audit_checker(
+    circuit: &FsmCircuit,
+    ced: &CedHardware,
+    options: &CampaignOptions,
+) -> CheckerCampaign {
+    let batches = build_probes(circuit, ced, options);
+    let faults = collapsed_faults(ced.netlist());
+    let mut campaign = CheckerCampaign {
+        injected: faults.len(),
+        false_alarms: 0,
+        self_masking: 0,
+        benign: 0,
+        masking_faults: Vec::new(),
+        classes: Vec::with_capacity(faults.len()),
+    };
+
+    for &fault in &faults {
+        let mut alarms = false;
+        let mut masks_somewhere = false;
+        for batch in &batches {
+            let faulty = eval_outputs_faulty(ced.netlist(), &batch.words, fault)[0] & batch.lanes;
+            // ERROR raised on a fault-free transition.
+            if faulty & batch.clean != 0 {
+                alarms = true;
+            }
+            // Healthy checker flags, damaged one stays silent.
+            if batch.pristine & !faulty != 0 {
+                masks_somewhere = true;
+            }
+            if alarms && masks_somewhere {
+                break;
+            }
+        }
+        let class = if alarms {
+            campaign.false_alarms += 1;
+            CheckerFaultClass::FalseAlarm
+        } else if masks_somewhere {
+            campaign.self_masking += 1;
+            campaign.masking_faults.push(fault);
+            CheckerFaultClass::SelfMasking
+        } else {
+            campaign.benign += 1;
+            CheckerFaultClass::Benign
+        };
+        campaign.classes.push((fault, class));
+    }
+    campaign
+}
+
+/// Builds the packed probe batches, precomputing the healthy checker's
+/// responses word-parallel.
+fn build_probes(
+    circuit: &FsmCircuit,
+    ced: &CedHardware,
+    options: &CampaignOptions,
+) -> Vec<ProbeBatch> {
+    let r = circuit.num_inputs();
+    let s = circuit.state_bits();
+    let n = circuit.total_bits();
+    let union: u64 = ced.masks().iter().fold(0, |a, &m| a | m);
+    let good = TransitionTables::good(circuit);
+    let mut rng = SimRng::new(options.seed ^ 0x0C4E_C4E2);
+
+    // Probe vectors: (state, input, actual, clean?).
+    let mut probes: Vec<(u64, u64, u64, bool)> = Vec::new();
+    for c in good.reachable_codes() {
+        let total_inputs = 1u64 << r;
+        let sampled: Vec<u64> = if total_inputs as usize <= options.probe_input_cap {
+            (0..total_inputs).collect()
+        } else {
+            (0..options.probe_input_cap)
+                .map(|_| rng.next_u64() & (total_inputs - 1))
+                .collect()
+        };
+        for input in sampled {
+            let actual = good.response(c, input);
+            probes.push((c, input, actual, true));
+            for j in 0..n {
+                if (union >> j) & 1 == 1 {
+                    probes.push((c, input, actual ^ (1 << j), false));
+                }
+            }
+        }
+    }
+
+    let mut batches = Vec::with_capacity(probes.len().div_ceil(64));
+    for chunk in probes.chunks(64) {
+        let mut words = vec![0u64; r + s + n];
+        let mut lanes = 0u64;
+        let mut clean = 0u64;
+        for (lane, &(state, input, actual, is_clean)) in chunk.iter().enumerate() {
+            lanes |= 1 << lane;
+            if is_clean {
+                clean |= 1 << lane;
+            }
+            // Packed layout mirrors CedHardware: inputs, then state,
+            // then the monitored next-state bits.
+            let fields = [(input, 0, r), (state, r, s), (actual, r + s, n)];
+            for (value, base, width) in fields {
+                for (bit, word) in words[base..base + width].iter_mut().enumerate() {
+                    if (value >> bit) & 1 == 1 {
+                        *word |= 1 << lane;
+                    }
+                }
+            }
+        }
+        let pristine = ced.netlist().eval_outputs_words(&words)[0] & lanes;
+        debug_assert_eq!(
+            pristine & clean,
+            0,
+            "healthy checker false-alarms on a fault-free probe"
+        );
+        batches.push(ProbeBatch {
+            words,
+            lanes,
+            clean,
+            pristine,
+        });
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ced_core::ip::ParityCover;
+    use ced_core::synthesize_ced;
+    use ced_fsm::encoded::EncodedFsm;
+    use ced_fsm::encoding::{assign, EncodingStrategy};
+    use ced_fsm::suite;
+    use ced_logic::MinimizeOptions;
+
+    fn setup() -> (FsmCircuit, CedHardware) {
+        let fsm = suite::sequence_detector();
+        let enc = assign(&fsm, EncodingStrategy::Natural);
+        let circuit = EncodedFsm::new(fsm, enc)
+            .unwrap()
+            .synthesize(&MinimizeOptions::default());
+        let cover = ParityCover::singletons(circuit.total_bits());
+        let ced = synthesize_ced(&circuit, &cover, 1, &MinimizeOptions::default());
+        (circuit, ced)
+    }
+
+    #[test]
+    fn every_fault_is_classified_once() {
+        let (c, ced) = setup();
+        let audit = audit_checker(&c, &ced, &CampaignOptions::default());
+        assert_eq!(
+            audit.injected,
+            audit.false_alarms + audit.self_masking + audit.benign
+        );
+        assert_eq!(audit.classes.len(), audit.injected);
+        assert_eq!(audit.masking_faults.len(), audit.self_masking);
+    }
+
+    #[test]
+    fn error_output_polarities_land_in_the_right_classes() {
+        let (c, ced) = setup();
+        let audit = audit_checker(&c, &ced, &CampaignOptions::default());
+        let error_net = ced.netlist().outputs()[0];
+        let class_of = |f: Fault| {
+            audit
+                .classes
+                .iter()
+                .find(|(g, _)| *g == f)
+                .map(|(_, cl)| *cl)
+        };
+        // ERROR stuck-at-1 rings on every fault-free transition.
+        assert_eq!(
+            class_of(Fault::new(error_net, true)),
+            Some(CheckerFaultClass::FalseAlarm)
+        );
+        // ERROR stuck-at-0 silently swallows every corruption: the
+        // canonical dormant fault.
+        assert_eq!(
+            class_of(Fault::new(error_net, false)),
+            Some(CheckerFaultClass::SelfMasking)
+        );
+    }
+
+    #[test]
+    fn audit_is_deterministic() {
+        let (c, ced) = setup();
+        let a = audit_checker(&c, &ced, &CampaignOptions::default());
+        let b = audit_checker(&c, &ced, &CampaignOptions::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,242 @@
+//! Structured campaign results: aggregates, per-fault outcomes and the
+//! disagreement taxonomy.
+
+use crate::campaign::MachineFaultOutcome;
+use crate::checker::CheckerCampaign;
+use ced_sim::fault::Fault;
+use std::fmt;
+
+/// A divergence between the detectability tensor's verdict and the
+/// synthesized hardware's observed behaviour. An implementation that
+/// matches the paper must produce none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disagreement {
+    /// `V` says every erroneous case of this fault is covered, yet an
+    /// activation escaped the checker for the whole window (plus grace).
+    UndetectedFault {
+        /// The injected machine fault.
+        fault: Fault,
+        /// Cycle of the escaped activation.
+        at_cycle: usize,
+    },
+    /// The checker did fire, but later than the proven bound.
+    LatencyViolation {
+        /// The injected machine fault.
+        fault: Fault,
+        /// Observed detection latency.
+        observed: usize,
+        /// The bound the cover was verified for.
+        bound: usize,
+    },
+    /// The tensor enumerated *no* erroneous case (untestable fault),
+    /// yet the simulation observed an error activation.
+    PhantomActivation {
+        /// The injected machine fault.
+        fault: Fault,
+    },
+    /// On a fault-free-reachable present state — where the predictor is
+    /// exact, not don't-care — the checker netlist's flag differed from
+    /// the parity model over the masks.
+    CheckerModelMismatch {
+        /// The injected machine fault during whose run the divergence
+        /// appeared.
+        fault: Fault,
+        /// First cycle of divergence.
+        cycle: usize,
+    },
+}
+
+impl fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Disagreement::UndetectedFault { fault, at_cycle } => write!(
+                f,
+                "{fault}: covered by V but escaped (activation at cycle {at_cycle})"
+            ),
+            Disagreement::LatencyViolation {
+                fault,
+                observed,
+                bound,
+            } => write!(
+                f,
+                "{fault}: detected in {observed} cycles, bound is {bound}"
+            ),
+            Disagreement::PhantomActivation { fault } => write!(
+                f,
+                "{fault}: V says untestable but an error activated in simulation"
+            ),
+            Disagreement::CheckerModelMismatch { fault, cycle } => write!(
+                f,
+                "{fault}: checker netlist diverged from the parity model at cycle {cycle}"
+            ),
+        }
+    }
+}
+
+/// Aggregates over the machine-fault half of a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineCampaign {
+    /// Machine faults injected.
+    pub injected: usize,
+    /// Faults analytically covered by the tensor whose error activated
+    /// during the run (the faults a guarantee was owed for).
+    pub detectable: usize,
+    /// Of the detectable faults, those caught within the bound.
+    pub detected_within_bound: usize,
+    /// `latency_histogram[l]` = detections observed at latency `l`
+    /// (index 0 unused).
+    pub latency_histogram: Vec<usize>,
+    /// Uncovered faults that were nonetheless caught in bound (no
+    /// obligation existed; not a disagreement).
+    pub windfall_detections: usize,
+    /// Uncovered faults that escaped, as the tensor predicts.
+    pub expected_escapes: usize,
+    /// Faults whose error never activated during the driven run.
+    pub quiet: usize,
+    /// Per-fault outcomes, in injection order.
+    pub outcomes: Vec<(Fault, MachineFaultOutcome)>,
+    /// Every divergence between tensor and hardware.
+    pub disagreements: Vec<Disagreement>,
+}
+
+/// The full result of one fault-injection campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// The latency bound of the checker under test.
+    pub bound: usize,
+    /// The machine-fault half.
+    pub machine: MachineCampaign,
+    /// The checker-netlist audit, when requested.
+    pub checker: Option<CheckerCampaign>,
+}
+
+impl CampaignReport {
+    /// True iff the campaign produced no disagreement with the tensor —
+    /// the cross-validation the paper's guarantee demands.
+    pub fn is_clean(&self) -> bool {
+        self.machine.disagreements.is_empty()
+    }
+
+    /// Fraction of detectable (covered and activated) faults caught
+    /// within the bound; `1.0` when nothing was detectable.
+    pub fn detection_rate(&self) -> f64 {
+        if self.machine.detectable == 0 {
+            1.0
+        } else {
+            self.machine.detected_within_bound as f64 / self.machine.detectable as f64
+        }
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let m = &self.machine;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "machine faults: {} injected, {} detectable, {} caught within p = {} ({:.1}%)",
+            m.injected,
+            m.detectable,
+            m.detected_within_bound,
+            self.bound,
+            100.0 * self.detection_rate()
+        );
+        for (l, &count) in m.latency_histogram.iter().enumerate().skip(1) {
+            if count > 0 {
+                let _ = writeln!(out, "  detected in {l} cycle(s): {count}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  windfall detections: {}, expected escapes: {}, quiet: {}",
+            m.windfall_detections, m.expected_escapes, m.quiet
+        );
+        if m.disagreements.is_empty() {
+            let _ = writeln!(out, "  disagreements vs V(i,j,k): none");
+        } else {
+            let _ = writeln!(
+                out,
+                "  DISAGREEMENTS vs V(i,j,k): {}",
+                m.disagreements.len()
+            );
+            for d in &m.disagreements {
+                let _ = writeln!(out, "    {d}");
+            }
+        }
+        if let Some(checker) = &self.checker {
+            let _ = writeln!(
+                out,
+                "checker faults: {} injected — {} false-alarm (fail-safe), {} self-masking (dormant), {} benign",
+                checker.injected, checker.false_alarms, checker.self_masking, checker.benign
+            );
+            for f in &checker.masking_faults {
+                let _ = writeln!(out, "  dormant: {f}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ced_logic::netlist::NetId;
+
+    fn empty_machine() -> MachineCampaign {
+        MachineCampaign {
+            injected: 0,
+            detectable: 0,
+            detected_within_bound: 0,
+            latency_histogram: vec![0, 0],
+            windfall_detections: 0,
+            expected_escapes: 0,
+            quiet: 0,
+            outcomes: Vec::new(),
+            disagreements: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_campaign_is_clean_with_full_rate() {
+        let report = CampaignReport {
+            bound: 1,
+            machine: empty_machine(),
+            checker: None,
+        };
+        assert!(report.is_clean());
+        assert_eq!(report.detection_rate(), 1.0);
+        assert!(report.render().contains("none"));
+    }
+
+    #[test]
+    fn disagreements_render_and_dirty_the_report() {
+        let mut machine = empty_machine();
+        let fault = Fault::new(NetId(4), false);
+        machine.disagreements.push(Disagreement::UndetectedFault {
+            fault,
+            at_cycle: 17,
+        });
+        machine.disagreements.push(Disagreement::LatencyViolation {
+            fault,
+            observed: 3,
+            bound: 1,
+        });
+        machine
+            .disagreements
+            .push(Disagreement::PhantomActivation { fault });
+        machine
+            .disagreements
+            .push(Disagreement::CheckerModelMismatch { fault, cycle: 2 });
+        let report = CampaignReport {
+            bound: 1,
+            machine,
+            checker: None,
+        };
+        assert!(!report.is_clean());
+        let text = report.render();
+        assert!(text.contains("escaped"));
+        assert!(text.contains("bound is 1"));
+        assert!(text.contains("untestable"));
+        assert!(text.contains("diverged"));
+    }
+}

@@ -66,7 +66,11 @@ pub struct ParseBlifError {
 
 impl fmt::Display for ParseBlifError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "blif parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "blif parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

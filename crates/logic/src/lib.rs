@@ -45,7 +45,6 @@
 // bit-twiddling code; the iterator rewrites clippy suggests obscure it.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod blif;
 pub mod cover;
 pub mod cube;

@@ -27,7 +27,6 @@
 // bit-twiddling code; the iterator rewrites clippy suggests obscure it.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod problem;
 pub mod rounding;
 pub mod simplex;

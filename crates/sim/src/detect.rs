@@ -329,6 +329,17 @@ pub enum DetectError {
     },
     /// Latency must be at least 1.
     ZeroLatency,
+    /// The tensor volume `i·j·k` (`max_rows · bits · latency`) does not
+    /// fit in `usize`: the enumeration would abort on allocation long
+    /// before filling it, so it is rejected up front as a typed error.
+    TensorTooLarge {
+        /// The row cap `i` (`m ≤ max_rows`).
+        rows: usize,
+        /// Monitored bits `j` (`n`).
+        bits: usize,
+        /// The latency bound `k` (`p`).
+        latency: usize,
+    },
 }
 
 impl fmt::Display for DetectError {
@@ -338,6 +349,15 @@ impl fmt::Display for DetectError {
                 write!(f, "detectability table exceeds {limit} rows")
             }
             DetectError::ZeroLatency => write!(f, "latency bound must be at least 1"),
+            DetectError::TensorTooLarge {
+                rows,
+                bits,
+                latency,
+            } => write!(
+                f,
+                "detectability tensor volume {rows}·{bits}·{latency} overflows \
+                 the address space"
+            ),
         }
     }
 }
@@ -377,11 +397,28 @@ impl DetectabilityTable {
         options: &DetectOptions,
         latencies: &[usize],
     ) -> Result<Vec<(DetectabilityTable, DetectStats)>, DetectError> {
-        if latencies.iter().any(|&p| p == 0) {
+        if latencies.contains(&0) {
             return Err(DetectError::ZeroLatency);
         }
         let r = circuit.num_inputs();
         let n = circuit.total_bits();
+        // Checked i·j·k dims: a pathological latency bound (or row cap)
+        // whose tensor volume overflows usize must fail as a typed
+        // error, not abort inside an allocator call partway through the
+        // enumeration (each row alone is `p` words).
+        for &p in latencies {
+            options
+                .max_rows
+                .max(1)
+                .checked_mul(n.max(1))
+                .and_then(|v| v.checked_mul(p))
+                .and_then(|v| v.checked_mul(std::mem::size_of::<u64>()))
+                .ok_or(DetectError::TensorTooLarge {
+                    rows: options.max_rows,
+                    bits: n,
+                    latency: p,
+                })?;
+        }
         let good = TransitionTables::good(circuit);
         let activation_states = good.reachable_codes();
 
@@ -1238,6 +1275,45 @@ mod tests {
             assert_eq!(many[i].0, single.0, "table differs at p={p}");
             assert_eq!(many[i].1, single.1, "stats differ at p={p}");
         }
+    }
+
+    #[test]
+    fn overflowing_tensor_volume_is_a_typed_error() {
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        // A latency bound so large that m·n·p overflows usize: must be
+        // rejected before any enumeration or allocation is attempted.
+        let err = DetectabilityTable::build(
+            &c,
+            &faults,
+            &DetectOptions {
+                latency: usize::MAX / 2,
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, DetectError::TensorTooLarge { latency, .. } if latency == usize::MAX / 2),
+            "{err}"
+        );
+        assert!(err.to_string().contains("overflows"));
+    }
+
+    #[test]
+    fn near_limit_tensor_volume_is_accepted() {
+        // Dims whose product still fits must not trip the guard.
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        let ok = DetectabilityTable::build(
+            &c,
+            &faults,
+            &DetectOptions {
+                latency: 2,
+                max_rows: usize::MAX >> 8,
+                ..DetectOptions::default()
+            },
+        );
+        assert!(ok.is_ok());
     }
 
     #[test]

@@ -161,7 +161,13 @@ mod tests {
     }
 
     /// Simulates `fault` for `steps` cycles, recording observations.
-    fn observe(c: &FsmCircuit, fault: Fault, masks: &[u64], steps: usize, seed: u64) -> Vec<Observation> {
+    fn observe(
+        c: &FsmCircuit,
+        fault: Fault,
+        masks: &[u64],
+        steps: usize,
+        seed: u64,
+    ) -> Vec<Observation> {
         let good = TransitionTables::good(c);
         let bad = TransitionTables::faulty(c, fault);
         let r = c.num_inputs();
@@ -232,8 +238,7 @@ mod tests {
         let c = circuit();
         let faults = collapsed_faults(c.netlist());
         let fine = FaultDictionary::build(&c, &faults, &singleton_masks(&c));
-        let coarse =
-            FaultDictionary::build(&c, &faults, &[(1 << c.total_bits()) - 1]);
+        let coarse = FaultDictionary::build(&c, &faults, &[(1 << c.total_bits()) - 1]);
         assert!(fine.resolution() <= coarse.resolution());
     }
 

@@ -156,12 +156,7 @@ mod tests {
         let mut quiet = ced_fsm::Fsm::new("quiet", 1, 1);
         let s = quiet.add_state("s");
         quiet
-            .add_transition(
-                "-".parse().unwrap(),
-                s,
-                s,
-                vec![ced_fsm::OutputValue::Zero],
-            )
+            .add_transition("-".parse().unwrap(), s, s, vec![ced_fsm::OutputValue::Zero])
             .unwrap();
         let b = synthesize(&quiet, EncodingStrategy::Natural);
         match check_equivalence(&a, &b) {
@@ -184,7 +179,10 @@ mod tests {
     fn interface_mismatch_detected() {
         let a = synthesize(&suite::sequence_detector(), EncodingStrategy::Natural);
         let b = synthesize(&suite::serial_adder(), EncodingStrategy::Natural);
-        assert_eq!(check_equivalence(&a, &b), EquivalenceResult::InterfaceMismatch);
+        assert_eq!(
+            check_equivalence(&a, &b),
+            EquivalenceResult::InterfaceMismatch
+        );
     }
 
     #[test]

@@ -50,6 +50,23 @@ pub fn eval_outputs_faulty(netlist: &Netlist, inputs: &[u64], fault: Fault) -> V
         .collect()
 }
 
+/// For 64 patterns at once, the word-mask of patterns on which the
+/// faulty netlist's outputs differ from the fault-free ones — the
+/// bit-parallel primitive behind fault-injection campaigns on the
+/// checker hardware itself (a fault is behaviourally silent on a
+/// pattern iff its bit is clear).
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the netlist's input count.
+pub fn faulty_output_divergence(netlist: &Netlist, inputs: &[u64], fault: Fault) -> u64 {
+    let good = netlist.eval_outputs_words(inputs);
+    let bad = eval_outputs_faulty(netlist, inputs, fault);
+    good.iter()
+        .zip(&bad)
+        .fold(0u64, |acc, (g, b)| acc | (g ^ b))
+}
+
 /// Single-pattern faulty evaluation (tests and examples).
 ///
 /// # Panics
@@ -108,6 +125,25 @@ mod tests {
         assert_eq!(
             eval_single_faulty(&n, &[true, false], Fault::new(f, false)),
             good
+        );
+    }
+
+    #[test]
+    fn divergence_word_marks_exactly_the_differing_patterns() {
+        let (n, x, _, f) = and_netlist();
+        // All four input patterns in one word: pattern m has x = bit 0
+        // of m, y = bit 1 of m.
+        let inputs = vec![0b1010, 0b1100];
+        // x stuck-at-1: output becomes y, differing only where x=0, y=1
+        // (pattern 2).
+        assert_eq!(
+            faulty_output_divergence(&n, &inputs, Fault::new(x, true)),
+            0b0100
+        );
+        // Output stuck-at-0: differs only where the AND is 1 (pattern 3).
+        assert_eq!(
+            faulty_output_divergence(&n, &inputs, Fault::new(f, false)),
+            0b1000
         );
     }
 

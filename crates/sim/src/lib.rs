@@ -33,7 +33,6 @@
 // bit-twiddling code; the iterator rewrites clippy suggests obscure it.
 #![allow(clippy::needless_range_loop)]
 
-
 pub mod coverage;
 pub mod detect;
 pub mod diagnose;

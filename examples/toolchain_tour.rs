@@ -51,8 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Encode and synthesize both; prove them equivalent at gate level.
     let synth = |m: &ced_fsm::Fsm| {
         let enc = assign(m, EncodingStrategy::Gray);
-        EncodedFsm::new(m.clone(), enc)
-            .map(|e| e.synthesize(&MinimizeOptions::default()))
+        EncodedFsm::new(m.clone(), enc).map(|e| e.synthesize(&MinimizeOptions::default()))
     };
     let big = synth(&fsm)?;
     let small = synth(&min)?;

@@ -49,8 +49,8 @@ fn blif_round_trip_preserves_sequential_behaviour() {
                 }
                 let eval = model.netlist.eval_single(&bits);
                 let mut got_out = 0u64;
-                for j in 0..o {
-                    if eval[j] {
+                for (j, &bit) in eval.iter().enumerate().take(o) {
+                    if bit {
                         got_out |= 1 << j;
                     }
                 }
@@ -84,9 +84,7 @@ fn verilog_export_is_structurally_complete() {
         .filter(|w| !w.contains('['))
         .collect();
     for w in wires {
-        let assigns = v
-            .matches(&format!("assign {w} ="))
-            .count();
+        let assigns = v.matches(&format!("assign {w} =")).count();
         assert_eq!(assigns, 1, "wire {w} assigned {assigns} times");
     }
     // Both modules close.

@@ -23,10 +23,7 @@ fn machine(seed: u64) -> ced_fsm::Fsm {
     })
 }
 
-fn tables_for(
-    fsm: &ced_fsm::Fsm,
-    p: usize,
-) -> (DetectabilityTable, DetectabilityTable) {
+fn tables_for(fsm: &ced_fsm::Fsm, p: usize) -> (DetectabilityTable, DetectabilityTable) {
     let options = PipelineOptions::paper_defaults();
     let circuit = synthesize_circuit(fsm, &options).expect("synthesizes");
     let faults = fault_list(&circuit, &options);
@@ -43,7 +40,10 @@ fn tables_for(
         .expect("fits")
         .0
     };
-    (build(Semantics::Lockstep), build(Semantics::FaultyTrajectory))
+    (
+        build(Semantics::Lockstep),
+        build(Semantics::FaultyTrajectory),
+    )
 }
 
 #[test]
@@ -53,7 +53,10 @@ fn lockstep_cover_can_miss_hardware_cases_at_p2() {
         let fsm = machine(seed);
         let (lockstep, hardware) = tables_for(&fsm, 2);
         let cover = minimize_parity_functions(&lockstep, &CedOptions::default()).cover;
-        assert!(lockstep.all_covered(&cover.masks), "seed {seed}: invalid cover");
+        assert!(
+            lockstep.all_covered(&cover.masks),
+            "seed {seed}: invalid cover"
+        );
         if !hardware.all_covered(&cover.masks) {
             witness = Some((seed, hardware.uncovered_rows(&cover.masks).len()));
             break;
