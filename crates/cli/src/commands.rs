@@ -1,16 +1,65 @@
 //! The `ced` subcommands.
 
-use crate::options::{parse, Parsed};
-use ced_core::pipeline::{build_input_model, fault_list, prepare_machine, run_circuit};
-use ced_core::report::{table1_header, table1_row};
+use crate::options::{parse, parse_suite, Parsed};
+use ced_core::pipeline::{
+    build_input_model, fault_list, prepare_machine, run_circuit_controlled, PipelineControl,
+    PipelineError, TableCheckpoint, TABLE_CHECKPOINT_KIND,
+};
+use ced_core::report::{degradation_notes, table1_header, table1_row};
 use ced_core::search::minimize_parity_functions;
+use ced_core::suite::{SuiteCheckpoint, SuiteControl, SuiteError, SUITE_CHECKPOINT_KIND};
 use ced_core::synthesize_ced;
 use ced_fsm::analysis::FsmStats;
 use ced_logic::gate::CellLibrary;
+use ced_runtime::{load_checkpoint, save_checkpoint, Budget, Heartbeat};
 use ced_sim::coverage::{simulate_fault_detection, SimOutcome};
 use ced_sim::detect::{DetectOptions, DetectabilityTable};
+use std::path::Path;
+use std::sync::Arc;
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Loads a resume checkpoint, decoding `kind` and parsing with `parse`.
+/// Corruption is *reported*, not fatal: the run falls back to a fresh
+/// computation.
+fn load_resume<T>(
+    path: &str,
+    kind: u16,
+    parse: impl FnOnce(&[u8]) -> Result<T, ced_runtime::CheckpointError>,
+) -> Option<T> {
+    match load_checkpoint(Path::new(path), kind).and_then(|payload| parse(&payload)) {
+        Ok(ckpt) => {
+            eprintln!("[ced] resuming from checkpoint {path}");
+            Some(ckpt)
+        }
+        Err(e) => {
+            eprintln!("[ced] warning: checkpoint {path}: {e}; recomputing from scratch");
+            None
+        }
+    }
+}
+
+/// Saves a checkpoint payload, downgrading failures to warnings (a
+/// checkpoint that cannot be written must not kill the run it exists
+/// to protect).
+fn save_or_warn(path: &str, kind: u16, payload: &[u8]) {
+    if let Err(e) = save_checkpoint(Path::new(path), kind, payload) {
+        eprintln!("[ced] warning: cannot write checkpoint {path}: {e}");
+    }
+}
+
+/// Assembles the run budget from `--deadline-ms`/`--ticks` plus a
+/// heartbeat observer.
+fn run_budget(deadline_ms: Option<u64>, ticks: Option<u64>, heartbeat: Arc<Heartbeat>) -> Budget {
+    let mut budget = Budget::new().with_observer(1024, move |done, _bytes| heartbeat.observe(done));
+    if let Some(ms) = deadline_ms {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(t) = ticks {
+        budget = budget.with_tick_cap(t);
+    }
+    budget
+}
 
 /// `ced stats` — structural statistics of the machine.
 pub fn stats(args: &[String]) -> CliResult {
@@ -107,17 +156,144 @@ pub fn check(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// `ced table` — one Table-1 row across several latency bounds.
+/// `ced table` — one Table-1 row across several latency bounds, under
+/// an optional budget with heartbeat progress, checkpointing and
+/// resume.
 pub fn table(args: &[String]) -> CliResult {
     let parsed = parse(args)?;
     let lib = CellLibrary::new();
-    let report = run_circuit(&parsed.fsm, &parsed.latencies, &parsed.options, &lib)?;
+
+    let heartbeat = Arc::new(
+        Heartbeat::new(&format!("table {}", parsed.fsm.name()), "work units").quiet(parsed.quiet),
+    );
+    let budget = run_budget(parsed.deadline_ms, parsed.ticks, heartbeat.clone());
+
+    let resume = parsed
+        .resume
+        .as_deref()
+        .and_then(|path| load_resume(path, TABLE_CHECKPOINT_KIND, TableCheckpoint::from_bytes));
+    let ckpt_path = parsed.checkpoint.clone();
+    let mut sink = |c: &TableCheckpoint| {
+        if let Some(path) = &ckpt_path {
+            save_or_warn(path, TABLE_CHECKPOINT_KIND, &c.to_bytes());
+        }
+    };
+    let mut control = PipelineControl::new(&budget);
+    control.resume = resume;
+    control.checkpoint_every = 4096;
+    if parsed.checkpoint.is_some() {
+        control.on_checkpoint = Some(&mut sink);
+    }
+
+    let report = match run_circuit_controlled(
+        &parsed.fsm,
+        &parsed.latencies,
+        &parsed.options,
+        &lib,
+        control,
+    ) {
+        Ok(report) => report,
+        Err(PipelineError::Interrupted(i)) => match (&parsed.checkpoint, &i.checkpoint) {
+            (Some(path), Some(ckpt)) => {
+                save_or_warn(path, TABLE_CHECKPOINT_KIND, &ckpt.to_bytes());
+                return Err(format!(
+                    "table run {}; checkpoint saved, resume with --resume {path}",
+                    i.interrupted
+                )
+                .into());
+            }
+            _ => return Err(format!("table run {}", i.interrupted).into()),
+        },
+        Err(e) => return Err(e.into()),
+    };
+    heartbeat.finish(budget.ticks());
+
     println!("{}", table1_header(&parsed.latencies));
     println!("{}", table1_row(&report));
     println!(
         "duplication baseline: {} functions, {} gates, cost {:.1}",
         report.duplication.parity_functions, report.duplication.gates, report.duplication.area
     );
+    for note in degradation_notes(&report) {
+        println!("note: {note}");
+    }
+    if let Some(out) = &parsed.out {
+        std::fs::write(out, ced_core::report_to_json(&report).render())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// `ced suite` — a survivable campaign over the built-in benchmark
+/// machines: per-machine isolation and budgets, degraded retries,
+/// quarantine, checkpoint/resume and a deterministic JSON report.
+pub fn suite(args: &[String]) -> CliResult {
+    let parsed = parse_suite(args)?;
+    let lib = CellLibrary::new();
+    let total = parsed.machines.len() as u64;
+
+    let heartbeat = Arc::new(
+        Heartbeat::new("suite", "machines")
+            .with_total(total)
+            .quiet(parsed.quiet),
+    );
+
+    let resume = parsed
+        .resume
+        .as_deref()
+        .and_then(|path| load_resume(path, SUITE_CHECKPOINT_KIND, SuiteCheckpoint::from_bytes));
+    let ckpt_path = parsed.checkpoint.clone();
+    let mut sink = |c: &SuiteCheckpoint| {
+        if let Some(path) = &ckpt_path {
+            save_or_warn(path, SUITE_CHECKPOINT_KIND, &c.to_bytes());
+        }
+    };
+    let hb = heartbeat.clone();
+    let quiet = parsed.quiet;
+    let mut progress = move |done: usize, total: usize, rec: &ced_core::MachineRecord| {
+        if !quiet {
+            eprintln!("[ced] suite: {} {} ({done}/{total})", rec.name, rec.status);
+        }
+        hb.observe(done as u64);
+    };
+    let mut control = SuiteControl::new();
+    control.resume = resume;
+    if parsed.checkpoint.is_some() {
+        control.on_checkpoint = Some(&mut sink);
+    }
+    control.on_progress = Some(&mut progress);
+
+    let report = match ced_core::run_suite(&parsed.machines, &parsed.options, &lib, control) {
+        Ok(report) => report,
+        Err(SuiteError::Interrupted(i)) => {
+            if let Some(path) = &parsed.checkpoint {
+                save_or_warn(path, SUITE_CHECKPOINT_KIND, &i.checkpoint.to_bytes());
+                return Err(format!(
+                    "suite {}; checkpoint saved, resume with --resume {path}",
+                    i.interrupted
+                )
+                .into());
+            }
+            return Err(format!("suite {}", i.interrupted).into());
+        }
+        Err(e) => return Err(e.into()),
+    };
+    heartbeat.finish(report.records.len() as u64);
+
+    let json = report.to_json();
+    match &parsed.out {
+        Some(out) => std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?,
+        None => println!("{json}"),
+    }
+    eprintln!(
+        "[ced] suite: {} completed, {} degraded, {} quarantined",
+        report.completed(),
+        report.degraded(),
+        report.quarantined()
+    );
+    if report.quarantined() > 0 {
+        return Err(format!("{} machine(s) quarantined", report.quarantined()).into());
+    }
     Ok(())
 }
 

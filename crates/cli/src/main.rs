@@ -7,6 +7,8 @@
 //! ced check  <machine.kiss2> [--latency P]    run Algorithm 1, print the
 //!                                             parity cover & checker cost
 //! ced table  <machine.kiss2> [--latencies L]  one Table-1 style row
+//! ced suite  [--machines A,B] [--scaled]      survivable campaign over the
+//!                                             built-in benchmark machines
 //! ced inject <machine.kiss2> [--latency P]    fault-injection validation
 //! ced export <machine.kiss2> --format blif|verilog
 //! ced minimize <machine.kiss2>                emit the state-minimized KISS2
@@ -39,6 +41,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "synth" => commands::synth(&args[1..]),
         "check" => commands::check(&args[1..]),
         "table" => commands::table(&args[1..]),
+        "suite" => commands::suite(&args[1..]),
         "inject" => commands::inject(&args[1..]),
         "export" => commands::export(&args[1..]),
         "minimize" => commands::minimize(&args[1..]),
@@ -64,6 +67,8 @@ commands:
   synth   synthesize to gates; print gate count, area, depth
   check   run Algorithm 1; print the parity cover and checker cost
   table   one Table-1 style row across several latency bounds
+  suite   survivable campaign over the built-in benchmark machines:
+          per-machine budgets, degraded retries, quarantine, JSON report
   inject  operational validation: inject every fault, report latencies
   export  write the synthesized machine as BLIF or structural Verilog
   minimize  merge equivalent states; print the minimized KISS2
@@ -77,6 +82,26 @@ common options:
   --exhaustive-inputs                        exact input enumeration
   --seed N                                   rounding seed (default 0)
   --format blif|verilog                      export format (default blif)
+
+survivability options (table, suite):
+  --deadline-ms N                            wall-clock budget (per machine
+                                             for `suite`, whole run for `table`)
+  --ticks N                                  work-tick budget (same scopes)
+  --checkpoint FILE                          write checkpoints as the run
+                                             progresses
+  --resume FILE                              resume from a checkpoint (corrupt
+                                             checkpoints are reported and the
+                                             run recomputes from scratch)
+  --quiet                                    suppress heartbeat progress lines
+  --out FILE                                 write the JSON report to FILE
+
+suite options:
+  --machines A,B,C                           subset of the benchmark suite
+                                             (default: all Table-1 machines)
+  --scaled                                   use the scaled-down analogues
+  --no-retry                                 quarantine immediately instead of
+                                             retrying once with degraded
+                                             options
 
 inject options:
   --campaign                                 full campaign: checker netlist in

@@ -28,6 +28,20 @@ pub struct Parsed {
     pub checker_faults: bool,
     /// `--steps` (default 2000): cycles driven per injected fault.
     pub steps: usize,
+    /// `--quiet`: suppress heartbeat progress lines on stderr.
+    pub quiet: bool,
+    /// `--resume <path>`: resume from a checkpoint file.
+    pub resume: Option<String>,
+    /// `--checkpoint <path>`: write checkpoints to this file as the
+    /// run progresses.
+    pub checkpoint: Option<String>,
+    /// `--deadline-ms N`: wall-clock budget for the run.
+    pub deadline_ms: Option<u64>,
+    /// `--ticks N`: work-tick budget for the run.
+    pub ticks: Option<u64>,
+    /// `--out <path>`: write the structured report here instead of
+    /// stdout.
+    pub out: Option<String>,
 }
 
 /// Parses `<file> [flags…]`.
@@ -46,6 +60,12 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
     let mut campaign = false;
     let mut checker_faults = true;
     let mut steps = 2000usize;
+    let mut quiet = false;
+    let mut resume = None;
+    let mut checkpoint = None;
+    let mut deadline_ms = None;
+    let mut ticks = None;
+    let mut out = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -124,6 +144,34 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
                     return Err("--steps must be at least 1".into());
                 }
             }
+            "--quiet" => {
+                quiet = true;
+            }
+            "--resume" => {
+                resume = Some(it.next().ok_or("--resume needs a file path")?.clone());
+            }
+            "--checkpoint" => {
+                checkpoint = Some(it.next().ok_or("--checkpoint needs a file path")?.clone());
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    it.next()
+                        .ok_or("--deadline-ms needs a number")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms needs a number")?,
+                );
+            }
+            "--ticks" => {
+                ticks = Some(
+                    it.next()
+                        .ok_or("--ticks needs a number")?
+                        .parse()
+                        .map_err(|_| "--ticks needs a number")?,
+                );
+            }
+            "--out" => {
+                out = Some(it.next().ok_or("--out needs a file path")?.clone());
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`").into());
             }
@@ -149,5 +197,152 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
         campaign,
         checker_faults,
         steps,
+        quiet,
+        resume,
+        checkpoint,
+        deadline_ms,
+        ticks,
+        out,
+    })
+}
+
+/// Parsed `ced suite` arguments (no positional machine file; machines
+/// come from the built-in benchmark suite by name).
+pub struct SuiteArgs {
+    /// Machines to run, as `(name, fsm)` pairs in request order.
+    pub machines: Vec<(String, Fsm)>,
+    /// Suite configuration assembled from the flags.
+    pub options: ced_core::SuiteOptions,
+    /// `--quiet`.
+    pub quiet: bool,
+    /// `--resume <path>`.
+    pub resume: Option<String>,
+    /// `--checkpoint <path>`.
+    pub checkpoint: Option<String>,
+    /// `--out <path>` for the JSON report (default stdout).
+    pub out: Option<String>,
+}
+
+/// Parses `ced suite` flags.
+///
+/// # Errors
+///
+/// Reports unknown flags, unknown machine names and bad numbers.
+pub fn parse_suite(args: &[String]) -> Result<SuiteArgs, Box<dyn std::error::Error>> {
+    use ced_fsm::suite as bench;
+
+    let mut names: Vec<String> = Vec::new();
+    let mut scaled = false;
+    let mut options = ced_core::SuiteOptions {
+        latencies: vec![1, 2],
+        ..ced_core::SuiteOptions::default()
+    };
+    let mut seed = 0u64;
+    let mut quiet = false;
+    let mut resume = None;
+    let mut checkpoint = None;
+    let mut out = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--machines" => {
+                let list = it.next().ok_or("--machines needs a comma list of names")?;
+                names = list.split(',').map(|t| t.trim().to_string()).collect();
+            }
+            "--scaled" => {
+                scaled = true;
+            }
+            "--latencies" => {
+                let list = it.next().ok_or("--latencies needs a comma list")?;
+                options.latencies = list
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| "--latencies needs numbers like 1,2")?;
+                if options.latencies.is_empty() || options.latencies.contains(&0) {
+                    return Err("--latencies needs positive bounds".into());
+                }
+            }
+            "--deadline-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--deadline-ms needs a number")?
+                    .parse()
+                    .map_err(|_| "--deadline-ms needs a number")?;
+                options.machine_deadline = Some(std::time::Duration::from_millis(ms));
+            }
+            "--ticks" => {
+                options.machine_ticks = Some(
+                    it.next()
+                        .ok_or("--ticks needs a number")?
+                        .parse()
+                        .map_err(|_| "--ticks needs a number")?,
+                );
+            }
+            "--no-retry" => {
+                options.retry_degraded = false;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|_| "--seed needs a number")?;
+            }
+            "--quiet" => {
+                quiet = true;
+            }
+            "--resume" => {
+                resume = Some(it.next().ok_or("--resume needs a file path")?.clone());
+            }
+            "--checkpoint" => {
+                checkpoint = Some(it.next().ok_or("--checkpoint needs a file path")?.clone());
+            }
+            "--out" => {
+                out = Some(it.next().ok_or("--out needs a file path")?.clone());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`").into());
+            }
+            other => {
+                return Err(format!(
+                    "unexpected argument `{other}` (suite machines are named via --machines)"
+                )
+                .into());
+            }
+        }
+    }
+    options.pipeline.ced.seed = seed;
+
+    let specs = if scaled {
+        bench::paper_table1_scaled()
+    } else {
+        bench::paper_table1()
+    };
+    let machines: Vec<(String, Fsm)> = if names.is_empty() {
+        specs
+            .iter()
+            .map(|s| (s.name.to_string(), s.build()))
+            .collect()
+    } else {
+        let mut picked = Vec::with_capacity(names.len());
+        for name in &names {
+            let spec = specs
+                .iter()
+                .find(|s| s.name == *name)
+                .ok_or_else(|| format!("unknown suite machine `{name}`"))?;
+            picked.push((spec.name.to_string(), spec.build()));
+        }
+        picked
+    };
+
+    Ok(SuiteArgs {
+        machines,
+        options,
+        quiet,
+        resume,
+        checkpoint,
+        out,
     })
 }

@@ -186,6 +186,163 @@ fn bad_flags_rejected() {
     }
 }
 
+#[test]
+fn suite_runs_and_reports_json() {
+    let out = ced(&[
+        "suite",
+        "--scaled",
+        "--machines",
+        "s27",
+        "--latencies",
+        "1",
+        "--quiet",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"schema\":\"ced-suite-report/1\""));
+    assert!(text.contains("\"quarantined\":0"));
+}
+
+#[test]
+fn suite_quarantines_under_impossible_budget() {
+    let out = ced(&[
+        "suite",
+        "--scaled",
+        "--machines",
+        "s27",
+        "--latencies",
+        "1",
+        "--ticks",
+        "1",
+        "--no-retry",
+        "--quiet",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("quarantined"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"quarantined\":1"));
+}
+
+#[test]
+fn suite_unknown_machine_rejected() {
+    let out = ced(&["suite", "--machines", "no-such-machine", "--quiet"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown suite machine"));
+}
+
+#[test]
+fn suite_resume_from_complete_checkpoint_matches() {
+    let ckpt = tempfile::NamedTempFile::new().unwrap().into_temp_path();
+    let first = tempfile::NamedTempFile::new().unwrap().into_temp_path();
+    let second = tempfile::NamedTempFile::new().unwrap().into_temp_path();
+    let base = [
+        "suite",
+        "--scaled",
+        "--machines",
+        "s27,tav",
+        "--latencies",
+        "1",
+        "--quiet",
+    ];
+    let mut clean: Vec<&str> = base.to_vec();
+    clean.extend([
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--out",
+        first.to_str().unwrap(),
+    ]);
+    let out = ced(&clean);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut resumed: Vec<&str> = base.to_vec();
+    resumed.extend([
+        "--resume",
+        ckpt.to_str().unwrap(),
+        "--out",
+        second.to_str().unwrap(),
+    ]);
+    let out = ced(&resumed);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("resuming from checkpoint"));
+    let a = std::fs::read(first.to_str().unwrap()).expect("first report");
+    let b = std::fs::read(second.to_str().unwrap()).expect("second report");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "resumed report must be byte-identical");
+}
+
+#[test]
+fn table_interrupt_saves_checkpoint_and_resumes() {
+    let machine = write_machine();
+    let ckpt = tempfile::NamedTempFile::new().unwrap().into_temp_path();
+    // A 10-tick budget trips during tensor construction, which defers
+    // to a fault boundary and leaves a resumable checkpoint behind.
+    let out = ced(&[
+        "table",
+        machine.to_str().unwrap(),
+        "--latencies",
+        "1",
+        "--ticks",
+        "10",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("checkpoint saved"), "stderr: {err}");
+    let out = ced(&[
+        "table",
+        machine.to_str().unwrap(),
+        "--latencies",
+        "1",
+        "--resume",
+        ckpt.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("resuming from checkpoint"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("p=1"));
+}
+
+#[test]
+fn corrupt_resume_checkpoint_recomputes_with_warning() {
+    let machine = write_machine();
+    let mut f = tempfile::NamedTempFile::new().unwrap();
+    f.write_all(b"not a checkpoint at all").unwrap();
+    let garbage = f.into_temp_path();
+    let out = ced(&[
+        "table",
+        machine.to_str().unwrap(),
+        "--latencies",
+        "1",
+        "--resume",
+        garbage.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("warning: checkpoint"), "stderr: {err}");
+    assert!(err.contains("recomputing from scratch"), "stderr: {err}");
+}
+
 /// Minimal stand-in for the `tempfile` crate (not in the allowed
 /// dependency set): unique path in the target tmp dir, deleted on drop.
 mod tempfile {

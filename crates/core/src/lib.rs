@@ -55,14 +55,23 @@ pub mod relax;
 pub mod report;
 pub mod round;
 pub mod search;
+pub mod suite;
 
 pub use hardware::{synthesize_ced, CedCost, CedHardware};
 pub use ip::{verify_cover, ParityCover};
-pub use pipeline::{run_circuit, CircuitReport, LatencyResult, PipelineError, PipelineOptions};
+pub use pipeline::{
+    run_circuit, run_circuit_controlled, CircuitReport, LatencyResult, PipelineControl,
+    PipelineError, PipelineInterrupted, PipelineOptions, TableCheckpoint,
+};
 pub use relax::{
     build_relaxation, build_relaxation_with_objective, LpForm, LpObjective, Relaxation,
 };
+pub use report::report_to_json;
 pub use search::{
-    minimize_parity_functions, minimize_with_incumbent, CedOptions, DegradationEvent,
-    DegradationReason, LadderRung, SearchOutcome,
+    minimize_interruptible, minimize_parity_functions, minimize_with_incumbent, CedOptions,
+    DegradationEvent, DegradationReason, LadderRung, SearchOutcome,
+};
+pub use suite::{
+    run_suite, MachineRecord, MachineStatus, SuiteCheckpoint, SuiteControl, SuiteError,
+    SuiteInterrupted, SuiteOptions, SuiteReport, SUITE_CHECKPOINT_KIND,
 };

@@ -7,7 +7,7 @@
 use crate::duplication::duplication_cost;
 use crate::hardware::{synthesize_ced, CedCost};
 use crate::ip::ParityCover;
-use crate::search::{CedOptions, DegradationEvent, LadderRung};
+use crate::search::{CedOptions, DegradationEvent, DegradationReason, LadderRung};
 use ced_fsm::encoded::{EncodedFsm, FsmCircuit};
 use ced_fsm::encoding::StateEncoding;
 use ced_fsm::encoding::{assign, EncodingStrategy};
@@ -15,8 +15,10 @@ use ced_fsm::machine::{Fsm, FsmError};
 use ced_logic::cube::Literal;
 use ced_logic::gate::CellLibrary;
 use ced_logic::MinimizeOptions;
+use ced_runtime::{fnv1a64, Budget, ByteReader, ByteWriter, CheckpointError, Interrupted};
 use ced_sim::detect::{
-    DetectError, DetectOptions, DetectStats, DetectabilityTable, InputModel, Semantics,
+    BuildCheckpoint, BuildControl, DetectError, DetectOptions, DetectStats, DetectabilityTable,
+    InputModel, Semantics,
 };
 use ced_sim::fault::{all_faults, collapsed_faults, Fault};
 use std::fmt;
@@ -122,6 +124,12 @@ pub enum PipelineError {
     Fsm(FsmError),
     /// Detectability construction overflowed.
     Detect(DetectError),
+    /// The run's [`Budget`] interrupted the pipeline; the payload says
+    /// where, and carries a resume checkpoint when one exists.
+    Interrupted(Box<PipelineInterrupted>),
+    /// A resume checkpoint was built from a different machine, fault
+    /// list, option set or latency list.
+    CheckpointMismatch,
 }
 
 impl fmt::Display for PipelineError {
@@ -129,8 +137,30 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Fsm(e) => write!(f, "fsm error: {e}"),
             PipelineError::Detect(e) => write!(f, "detectability error: {e}"),
+            PipelineError::Interrupted(i) => {
+                write!(f, "pipeline {}", i.interrupted)?;
+                if i.checkpoint.is_some() {
+                    write!(f, " (resume checkpoint available)")?;
+                }
+                Ok(())
+            }
+            PipelineError::CheckpointMismatch => write!(
+                f,
+                "resume checkpoint does not match this machine/options/latency list"
+            ),
         }
     }
+}
+
+/// Payload of [`PipelineError::Interrupted`].
+#[derive(Debug)]
+pub struct PipelineInterrupted {
+    /// The budget interruption that stopped the pipeline.
+    pub interrupted: Interrupted,
+    /// Resume state, when the pipeline stopped at a clean boundary
+    /// (fault boundary during the build, latency boundary during the
+    /// search). `None` when the interrupt landed mid-fault.
+    pub checkpoint: Option<TableCheckpoint>,
 }
 
 impl std::error::Error for PipelineError {}
@@ -144,6 +174,276 @@ impl From<FsmError> for PipelineError {
 impl From<DetectError> for PipelineError {
     fn from(e: DetectError) -> PipelineError {
         PipelineError::Detect(e)
+    }
+}
+
+/// Checkpoint-container kind tag for pipeline/table checkpoints (see
+/// [`ced_runtime::encode_checkpoint`]).
+pub const TABLE_CHECKPOINT_KIND: u16 = 1;
+
+/// Resumable state of an interrupted [`run_circuit_controlled`] call.
+///
+/// Captures whichever phase boundary the run reached: a mid-build
+/// fault-boundary checkpoint (`build`), the finished detectability
+/// tables (`tables`), and the per-latency search results completed so
+/// far (`completed`, with the incumbent cover threaded between
+/// bounds). Resuming replays only the remaining work; because every
+/// stage is deterministic given its inputs and the serialized state is
+/// bit-exact, a resumed run's report equals an uninterrupted one's.
+#[derive(Debug, Clone)]
+pub struct TableCheckpoint {
+    /// Fingerprint of (machine, options, fault list, latencies).
+    fingerprint: u64,
+    /// Mid-build checkpoint; `None` once the build finished.
+    build: Option<BuildCheckpoint>,
+    /// Finished tables + stats, one per latency (empty during build).
+    tables: Vec<(DetectabilityTable, DetectStats)>,
+    /// Per-latency results already searched/synthesized.
+    completed: Vec<LatencyResult>,
+    /// Best cover threaded into the next latency's search.
+    incumbent: Option<ParityCover>,
+}
+
+impl TableCheckpoint {
+    /// The input fingerprint this checkpoint binds to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Latency bounds already fully processed.
+    pub fn completed_latencies(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Faults already simulated by an unfinished build (`None` when
+    /// the build phase is complete).
+    pub fn build_progress(&self) -> Option<usize> {
+        self.build.as_ref().map(|b| b.next_fault())
+    }
+
+    /// Serializes to a checkpoint payload (wrap with
+    /// [`ced_runtime::encode_checkpoint`] using
+    /// [`TABLE_CHECKPOINT_KIND`] before writing to disk).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.fingerprint);
+        match &self.build {
+            Some(b) => {
+                w.bool(true);
+                b.write(&mut w);
+            }
+            None => w.bool(false),
+        }
+        w.usize(self.tables.len());
+        for (t, s) in &self.tables {
+            t.write(&mut w);
+            s.write(&mut w);
+        }
+        w.usize(self.completed.len());
+        for l in &self.completed {
+            write_latency_result(l, &mut w);
+        }
+        match &self.incumbent {
+            Some(c) => {
+                w.bool(true);
+                w.u64_slice(&c.masks);
+            }
+            None => w.bool(false),
+        }
+        w.finish()
+    }
+
+    /// Deserializes a payload produced by [`TableCheckpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on truncated or structurally invalid bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TableCheckpoint, CheckpointError> {
+        let mut r = ByteReader::new(bytes);
+        let fingerprint = r.u64()?;
+        let build = if r.bool()? {
+            Some(BuildCheckpoint::read(&mut r)?)
+        } else {
+            None
+        };
+        let n_tables = r.usize()?;
+        if n_tables > 4096 {
+            return Err(CheckpointError::Corrupt("implausible table count".into()));
+        }
+        let mut tables = Vec::with_capacity(n_tables);
+        for _ in 0..n_tables {
+            let t = DetectabilityTable::read(&mut r)?;
+            let s = DetectStats::read(&mut r)?;
+            tables.push((t, s));
+        }
+        let n_completed = r.usize()?;
+        if n_completed > 4096 {
+            return Err(CheckpointError::Corrupt("implausible result count".into()));
+        }
+        let mut completed = Vec::with_capacity(n_completed);
+        for _ in 0..n_completed {
+            completed.push(read_latency_result(&mut r)?);
+        }
+        let incumbent = if r.bool()? {
+            Some(ParityCover::new(r.u64_slice()?))
+        } else {
+            None
+        };
+        r.expect_end()?;
+        Ok(TableCheckpoint {
+            fingerprint,
+            build,
+            tables,
+            completed,
+            incumbent,
+        })
+    }
+}
+
+fn write_latency_result(l: &LatencyResult, w: &mut ByteWriter) {
+    w.usize(l.latency);
+    w.usize(l.erroneous_cases);
+    w.u64_slice(&l.cover.masks);
+    w.usize(l.cost.parity_functions);
+    w.usize(l.cost.gates);
+    w.f64(l.cost.area);
+    w.usize(l.cost.flip_flops);
+    w.usize(l.lp_solves);
+    w.usize(l.rounding_attempts);
+    w.u8(rung_tag(l.method));
+    w.usize(l.degradation.len());
+    for e in &l.degradation {
+        w.u8(rung_tag(e.from));
+        w.u8(rung_tag(e.to));
+        match &e.reason {
+            DegradationReason::RoundingExhausted { queries } => {
+                w.u8(0);
+                w.usize(*queries);
+            }
+            DegradationReason::LpNumericalFailure { queries } => {
+                w.u8(1);
+                w.usize(*queries);
+            }
+            DegradationReason::BudgetExceeded => w.u8(2),
+            DegradationReason::RoundingDisabled => w.u8(3),
+            DegradationReason::CoverUnverified { uncovered_rows } => {
+                w.u8(4);
+                w.usize(*uncovered_rows);
+            }
+        }
+        w.str(&e.detail);
+    }
+}
+
+fn read_latency_result(r: &mut ByteReader<'_>) -> Result<LatencyResult, CheckpointError> {
+    let latency = r.usize()?;
+    let erroneous_cases = r.usize()?;
+    let cover = ParityCover::new(r.u64_slice()?);
+    let cost = CedCost {
+        parity_functions: r.usize()?,
+        gates: r.usize()?,
+        area: r.f64()?,
+        flip_flops: r.usize()?,
+    };
+    let lp_solves = r.usize()?;
+    let rounding_attempts = r.usize()?;
+    let method = rung_from_tag(r.u8()?)?;
+    let n_events = r.usize()?;
+    if n_events > 65_536 {
+        return Err(CheckpointError::Corrupt("implausible event count".into()));
+    }
+    let mut degradation = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let from = rung_from_tag(r.u8()?)?;
+        let to = rung_from_tag(r.u8()?)?;
+        let reason = match r.u8()? {
+            0 => DegradationReason::RoundingExhausted {
+                queries: r.usize()?,
+            },
+            1 => DegradationReason::LpNumericalFailure {
+                queries: r.usize()?,
+            },
+            2 => DegradationReason::BudgetExceeded,
+            3 => DegradationReason::RoundingDisabled,
+            4 => DegradationReason::CoverUnverified {
+                uncovered_rows: r.usize()?,
+            },
+            t => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "unknown degradation reason tag {t}"
+                )))
+            }
+        };
+        let detail = r.str()?.to_string();
+        degradation.push(DegradationEvent {
+            from,
+            to,
+            reason,
+            detail,
+        });
+    }
+    Ok(LatencyResult {
+        latency,
+        erroneous_cases,
+        cover,
+        cost,
+        lp_solves,
+        rounding_attempts,
+        method,
+        degradation,
+    })
+}
+
+fn rung_tag(r: LadderRung) -> u8 {
+    match r {
+        LadderRung::LpRounding => 0,
+        LadderRung::ReseededRetry => 1,
+        LadderRung::GreedyCover => 2,
+        LadderRung::Duplication => 3,
+        LadderRung::Incumbent => 4,
+    }
+}
+
+fn rung_from_tag(tag: u8) -> Result<LadderRung, CheckpointError> {
+    Ok(match tag {
+        0 => LadderRung::LpRounding,
+        1 => LadderRung::ReseededRetry,
+        2 => LadderRung::GreedyCover,
+        3 => LadderRung::Duplication,
+        4 => LadderRung::Incumbent,
+        t => {
+            return Err(CheckpointError::Corrupt(format!(
+                "unknown ladder rung tag {t}"
+            )))
+        }
+    })
+}
+
+/// Budget, resume state and checkpoint hooks for a controlled pipeline
+/// run (the pipeline-level analogue of
+/// [`ced_sim::detect::BuildControl`]).
+pub struct PipelineControl<'a> {
+    /// The budget charged across the build and every search.
+    pub budget: &'a Budget,
+    /// Resume from a previous run's checkpoint.
+    pub resume: Option<TableCheckpoint>,
+    /// Emit a checkpoint every this many completed faults during the
+    /// build phase (0 = only at phase boundaries).
+    pub checkpoint_every: usize,
+    /// Checkpoint sink (e.g. write-to-disk); also invoked at each
+    /// phase boundary (build finished, each latency finished).
+    pub on_checkpoint: Option<&'a mut dyn FnMut(&TableCheckpoint)>,
+}
+
+impl<'a> PipelineControl<'a> {
+    /// A control with the given budget and no resume/checkpoint hooks.
+    pub fn new(budget: &'a Budget) -> PipelineControl<'a> {
+        PipelineControl {
+            budget,
+            resume: None,
+            checkpoint_every: 0,
+            on_checkpoint: None,
+        }
     }
 }
 
@@ -247,48 +547,183 @@ pub fn run_circuit(
     options: &PipelineOptions,
     library: &CellLibrary,
 ) -> Result<CircuitReport, PipelineError> {
+    let budget = Budget::unlimited();
+    run_circuit_controlled(
+        fsm,
+        latencies,
+        options,
+        library,
+        PipelineControl::new(&budget),
+    )
+}
+
+/// [`run_circuit`] under a [`Budget`], with optional resume from and
+/// emission of [`TableCheckpoint`]s.
+///
+/// Checkpoints are emitted at every phase boundary (build finished,
+/// each latency's search finished) and — when
+/// [`PipelineControl::checkpoint_every`] is nonzero — every that many
+/// faults during the build. A resumed run replays only the remaining
+/// faults and latency bounds; every stage is deterministic given its
+/// inputs, so the final report is bit-identical to an uninterrupted
+/// run with the same options and seed.
+///
+/// # Errors
+///
+/// As [`run_circuit`], plus [`PipelineError::Interrupted`] (budget
+/// exhausted or token cancelled; carries a resume checkpoint when the
+/// interrupt landed on a clean boundary) and
+/// [`PipelineError::CheckpointMismatch`] (resume checkpoint built from
+/// different inputs).
+pub fn run_circuit_controlled(
+    fsm: &Fsm,
+    latencies: &[usize],
+    options: &PipelineOptions,
+    library: &CellLibrary,
+    mut control: PipelineControl<'_>,
+) -> Result<CircuitReport, PipelineError> {
     let (encoded, circuit) = prepare_machine(fsm, options)?;
     let input_model =
         build_input_model(encoded.fsm(), encoded.encoding(), options.input_granularity);
     let faults = fault_list(&circuit, options);
     let p_max = latencies.iter().copied().max().unwrap_or(1);
-
-    // One dominance-reduced table per latency bound (reduction depends
-    // on the bound, so the p_max table cannot be reused by truncation).
     let max_rows = if options.max_rows == 0 {
         2_000_000
     } else {
         options.max_rows
     };
-    let mut stats = DetectStats::default();
-    let mut latency_results = Vec::with_capacity(latencies.len());
+    let fingerprint = pipeline_fingerprint(&circuit, &faults, options, latencies);
+
+    let mut resume_build: Option<BuildCheckpoint> = None;
+    let mut tables: Vec<(DetectabilityTable, DetectStats)> = Vec::new();
+    let mut completed: Vec<LatencyResult> = Vec::new();
     let mut incumbent: Option<ParityCover> = None;
-    // One shared enumeration pass for all bounds: the per-fault table
-    // extraction dominates on large circuits.
-    let built = DetectabilityTable::build_many(
-        &circuit,
-        &faults,
-        &DetectOptions {
-            latency: p_max,
-            max_rows,
-            semantics: options.semantics,
-            input_model,
-            reduce: true,
-        },
-        latencies,
-    )?;
-    for (&p, (table, p_stats)) in latencies.iter().zip(built) {
-        if p == p_max {
-            stats = p_stats;
+    if let Some(ckpt) = control.resume.take() {
+        let prefix_ok = ckpt
+            .completed
+            .iter()
+            .zip(latencies)
+            .all(|(l, &p)| l.latency == p);
+        if ckpt.fingerprint != fingerprint
+            || (!ckpt.tables.is_empty() && ckpt.tables.len() != latencies.len())
+            || ckpt.completed.len() > latencies.len()
+            || !prefix_ok
+            || (ckpt.tables.is_empty() && !ckpt.completed.is_empty())
+        {
+            return Err(PipelineError::CheckpointMismatch);
         }
-        let outcome =
-            crate::search::minimize_with_incumbent(&table, &options.ced, incumbent.as_ref());
+        resume_build = ckpt.build;
+        tables = ckpt.tables;
+        completed = ckpt.completed;
+        incumbent = ckpt.incumbent;
+    }
+
+    // Phase 1: one shared enumeration pass for all bounds (the
+    // per-fault table extraction dominates on large circuits; one
+    // dominance-reduced table per bound, since reduction depends on
+    // the bound).
+    if tables.is_empty() && !latencies.is_empty() {
+        let build_result = {
+            let sink = &mut control.on_checkpoint;
+            let mut wrap = |b: &BuildCheckpoint| {
+                if let Some(cb) = sink.as_mut() {
+                    cb(&TableCheckpoint {
+                        fingerprint,
+                        build: Some(b.clone()),
+                        tables: Vec::new(),
+                        completed: Vec::new(),
+                        incumbent: None,
+                    });
+                }
+            };
+            DetectabilityTable::build_many_controlled(
+                &circuit,
+                &faults,
+                &DetectOptions {
+                    latency: p_max,
+                    max_rows,
+                    semantics: options.semantics,
+                    input_model,
+                    reduce: true,
+                },
+                latencies,
+                BuildControl {
+                    budget: control.budget,
+                    resume: resume_build.take(),
+                    checkpoint_every: control.checkpoint_every,
+                    on_checkpoint: Some(&mut wrap),
+                },
+            )
+        };
+        match build_result {
+            Ok(built) => tables = built,
+            Err(DetectError::Interrupted {
+                interrupted,
+                checkpoint,
+            }) => {
+                return Err(PipelineError::Interrupted(Box::new(PipelineInterrupted {
+                    interrupted,
+                    checkpoint: checkpoint.map(|b| TableCheckpoint {
+                        fingerprint,
+                        build: Some(*b),
+                        tables: Vec::new(),
+                        completed: Vec::new(),
+                        incumbent: None,
+                    }),
+                })));
+            }
+            Err(DetectError::CheckpointMismatch) => return Err(PipelineError::CheckpointMismatch),
+            Err(e) => return Err(PipelineError::Detect(e)),
+        }
+        if let Some(cb) = control.on_checkpoint.as_mut() {
+            cb(&TableCheckpoint {
+                fingerprint,
+                build: None,
+                tables: tables.clone(),
+                completed: completed.clone(),
+                incumbent: incumbent.clone(),
+            });
+        }
+    }
+
+    // Phase 2: Algorithm 1 + hardware synthesis per latency bound,
+    // skipping bounds a resumed checkpoint already finished.
+    let mut stats = DetectStats::default();
+    let mut latency_results = completed;
+    for i in 0..latencies.len().min(tables.len()) {
+        let p = latencies[i];
+        if p == p_max {
+            stats = tables[i].1;
+        }
+        if i < latency_results.len() {
+            continue;
+        }
+        let outcome = match crate::search::minimize_interruptible(
+            &tables[i].0,
+            &options.ced,
+            incumbent.as_ref(),
+            control.budget,
+        ) {
+            Ok(o) => o,
+            Err(interrupted) => {
+                return Err(PipelineError::Interrupted(Box::new(PipelineInterrupted {
+                    interrupted,
+                    checkpoint: Some(TableCheckpoint {
+                        fingerprint,
+                        build: None,
+                        tables,
+                        completed: latency_results,
+                        incumbent,
+                    }),
+                })));
+            }
+        };
         incumbent = Some(outcome.cover.clone());
-        debug_assert!(table.all_covered(&outcome.cover.masks));
+        debug_assert!(tables[i].0.all_covered(&outcome.cover.masks));
         let ced = synthesize_ced(&circuit, &outcome.cover, p, &options.minimize);
         latency_results.push(LatencyResult {
             latency: p,
-            erroneous_cases: table.len(),
+            erroneous_cases: tables[i].0.len(),
             cover: outcome.cover,
             cost: ced.cost(library),
             lp_solves: outcome.lp_solves,
@@ -296,6 +731,15 @@ pub fn run_circuit(
             method: outcome.method,
             degradation: outcome.degradation,
         });
+        if let Some(cb) = control.on_checkpoint.as_mut() {
+            cb(&TableCheckpoint {
+                fingerprint,
+                build: None,
+                tables: tables.clone(),
+                completed: latency_results.clone(),
+                incumbent: incumbent.clone(),
+            });
+        }
     }
 
     Ok(CircuitReport {
@@ -309,6 +753,67 @@ pub fn run_circuit(
         duplication: duplication_cost(&circuit, library),
         latencies: latency_results,
     })
+}
+
+/// Fingerprint of everything that determines a pipeline run's results:
+/// the synthesized circuit (structure, not just name), the fault list,
+/// the deterministic option knobs and the latency list. Wall-clock
+/// budgets are deliberately excluded — they change when a run resumes
+/// without changing what any completed stage produced.
+fn pipeline_fingerprint(
+    circuit: &FsmCircuit,
+    faults: &[Fault],
+    options: &PipelineOptions,
+    latencies: &[usize],
+) -> u64 {
+    let mut w = ByteWriter::new();
+    w.str(circuit.name());
+    w.usize(circuit.num_inputs());
+    w.usize(circuit.state_bits());
+    w.usize(circuit.num_outputs());
+    let netlist = circuit.netlist();
+    let gates = netlist.gates();
+    w.usize(gates.len());
+    for g in gates {
+        w.str(&format!("{:?}", g.kind));
+        for k in 0..g.kind.arity() {
+            w.usize(g.fanin[k].index());
+        }
+    }
+    for o in netlist.outputs() {
+        w.usize(o.index());
+    }
+    w.usize(faults.len());
+    for f in faults {
+        w.usize(f.net.index());
+        w.bool(f.stuck_at);
+    }
+    w.bool(options.full_fault_list);
+    w.usize(options.max_rows);
+    w.bool(options.isolate_output_logic);
+    w.str(&format!("{:?}", options.semantics));
+    w.str(&format!("{:?}", options.input_granularity));
+    w.str(&format!("{:?}", options.encoding));
+    w.str(&format!("{:?}", options.minimize));
+    let ced = &options.ced;
+    w.usize(ced.iterations);
+    w.str(&format!("{:?}", ced.form));
+    w.u64(ced.seed);
+    w.usize(ced.lp_row_cap);
+    w.usize(ced.refinement_rounds);
+    w.str(&format!("{:?}", ced.objective));
+    match ced.max_lp_solves {
+        Some(v) => {
+            w.bool(true);
+            w.usize(v);
+        }
+        None => w.bool(false),
+    }
+    w.usize(latencies.len());
+    for &p in latencies {
+        w.usize(p);
+    }
+    fnv1a64(&w.finish())
 }
 
 #[cfg(test)]
@@ -431,5 +936,121 @@ mod tests {
         opts.max_rows = 1;
         let err = run_circuit(&fsm, &[2], &opts, &CellLibrary::new()).unwrap_err();
         assert!(matches!(err, PipelineError::Detect(_)));
+    }
+
+    fn reports_equal(a: &CircuitReport, b: &CircuitReport) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.original_gates, b.original_gates);
+        assert_eq!(a.detect_stats, b.detect_stats);
+        assert_eq!(a.latencies.len(), b.latencies.len());
+        for (x, y) in a.latencies.iter().zip(&b.latencies) {
+            assert_eq!(x.latency, y.latency);
+            assert_eq!(x.erroneous_cases, y.erroneous_cases);
+            assert_eq!(x.cover.masks, y.cover.masks);
+            assert_eq!(x.cost, y.cost);
+            assert_eq!(x.lp_solves, y.lp_solves);
+            assert_eq!(x.rounding_attempts, y.rounding_attempts);
+            assert_eq!(x.method, y.method);
+        }
+    }
+
+    #[test]
+    fn cancelled_pipeline_is_a_typed_interrupt() {
+        let fsm = suite::sequence_detector();
+        let budget = Budget::new();
+        budget.cancel_token().cancel();
+        let err = run_circuit_controlled(
+            &fsm,
+            &[1],
+            &PipelineOptions::paper_defaults(),
+            &CellLibrary::new(),
+            PipelineControl::new(&budget),
+        )
+        .unwrap_err();
+        match err {
+            PipelineError::Interrupted(i) => {
+                assert_eq!(i.interrupted.kind, ced_runtime::InterruptKind::Cancelled);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// Interrupts a run during the build phase (a tiny tick cap trips
+    /// before the build can finish; the quantity cap defers to the
+    /// next fault boundary, so the interrupt carries a checkpoint).
+    fn build_phase_checkpoint(fsm: &Fsm, latencies: &[usize]) -> TableCheckpoint {
+        let opts = PipelineOptions::paper_defaults();
+        let lib = CellLibrary::new();
+        let budget = Budget::new().with_tick_cap(10);
+        let err =
+            run_circuit_controlled(fsm, latencies, &opts, &lib, PipelineControl::new(&budget))
+                .unwrap_err();
+        let PipelineError::Interrupted(i) = err else {
+            panic!("expected interrupt, got {err:?}");
+        };
+        assert!(i.interrupted.resumable);
+        i.checkpoint
+            .expect("fault-boundary interrupts carry checkpoints")
+    }
+
+    #[test]
+    fn table_checkpoint_round_trips_bit_exactly() {
+        let ckpt = build_phase_checkpoint(&suite::sequence_detector(), &[1, 2]);
+        assert!(ckpt.build_progress().is_some());
+        let bytes = ckpt.to_bytes();
+        let back = TableCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back.fingerprint(), ckpt.fingerprint());
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn resumed_pipeline_matches_uninterrupted_run() {
+        let fsm = suite::worked_example();
+        let opts = PipelineOptions::paper_defaults();
+        let lib = CellLibrary::new();
+        let latencies = [1, 2];
+
+        let clean = run_circuit(&fsm, &latencies, &opts, &lib).unwrap();
+
+        // Interrupt mid-build, then resume without a cap: the resumed
+        // run replays only the remaining faults and bounds yet must
+        // reproduce the uninterrupted report exactly.
+        let ckpt = build_phase_checkpoint(&fsm, &latencies);
+        let unlimited = Budget::unlimited();
+        let mut control = PipelineControl::new(&unlimited);
+        control.resume = Some(ckpt);
+        let report = run_circuit_controlled(&fsm, &latencies, &opts, &lib, control).unwrap();
+        reports_equal(&report, &clean);
+    }
+
+    #[test]
+    fn foreign_checkpoint_is_rejected() {
+        let opts = PipelineOptions::paper_defaults();
+        let lib = CellLibrary::new();
+        let ckpt = build_phase_checkpoint(&suite::sequence_detector(), &[1, 2]);
+        // Same options, different machine.
+        let unlimited = Budget::unlimited();
+        let mut control = PipelineControl::new(&unlimited);
+        control.resume = Some(ckpt);
+        let err = run_circuit_controlled(&suite::serial_adder(), &[1, 2], &opts, &lib, control)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::CheckpointMismatch));
+    }
+
+    #[test]
+    fn checkpoint_sink_sees_monotone_progress() {
+        let fsm = suite::sequence_detector();
+        let opts = PipelineOptions::paper_defaults();
+        let lib = CellLibrary::new();
+        let budget = Budget::unlimited();
+        let mut completed = Vec::new();
+        let mut sink = |c: &TableCheckpoint| completed.push(c.completed_latencies());
+        let mut control = PipelineControl::new(&budget);
+        control.checkpoint_every = 1;
+        control.on_checkpoint = Some(&mut sink);
+        run_circuit_controlled(&fsm, &[1, 2], &opts, &lib, control).unwrap();
+        assert!(!completed.is_empty());
+        assert!(completed.windows(2).all(|w| w[0] <= w[1]), "{completed:?}");
+        assert_eq!(*completed.last().unwrap(), 2);
     }
 }

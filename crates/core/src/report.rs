@@ -1,6 +1,9 @@
-//! Report formatting: Table-1 rows and the §5 summary statistics.
+//! Report formatting: Table-1 rows, the §5 summary statistics, and a
+//! deterministic JSON rendering for campaign reports.
 
-use crate::pipeline::CircuitReport;
+use crate::hardware::CedCost;
+use crate::pipeline::{CircuitReport, LatencyResult};
+use ced_runtime::Json;
 
 /// Renders the header of the paper's Table 1 for the given latency
 /// bounds.
@@ -64,6 +67,93 @@ pub fn degradation_notes(report: &CircuitReport) -> Vec<String> {
         ));
     }
     notes
+}
+
+fn cost_json(c: &CedCost) -> Json {
+    Json::Object(vec![
+        (
+            "parity_functions".into(),
+            Json::UInt(c.parity_functions as u64),
+        ),
+        ("gates".into(), Json::UInt(c.gates as u64)),
+        ("area".into(), Json::Float(c.area)),
+        ("flip_flops".into(), Json::UInt(c.flip_flops as u64)),
+    ])
+}
+
+fn latency_json(l: &LatencyResult) -> Json {
+    let degradation = l
+        .degradation
+        .iter()
+        .map(|e| {
+            Json::Object(vec![
+                ("from".into(), Json::Str(e.from.to_string())),
+                ("to".into(), Json::Str(e.to.to_string())),
+                ("reason".into(), Json::Str(e.reason.to_string())),
+                ("detail".into(), Json::str(&e.detail)),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        ("latency".into(), Json::UInt(l.latency as u64)),
+        (
+            "erroneous_cases".into(),
+            Json::UInt(l.erroneous_cases as u64),
+        ),
+        (
+            "masks".into(),
+            Json::Array(l.cover.masks.iter().map(|&m| Json::UInt(m)).collect()),
+        ),
+        ("cost".into(), cost_json(&l.cost)),
+        ("lp_solves".into(), Json::UInt(l.lp_solves as u64)),
+        (
+            "rounding_attempts".into(),
+            Json::UInt(l.rounding_attempts as u64),
+        ),
+        ("method".into(), Json::Str(l.method.to_string())),
+        ("degradation".into(), Json::Array(degradation)),
+    ])
+}
+
+/// Renders a [`CircuitReport`] as a deterministic JSON value.
+///
+/// Only run-invariant data is included (no wall-clock timings), so the
+/// rendering of a deterministic pipeline run is byte-identical across
+/// repeats — the property the suite runner's checkpoint-resume
+/// guarantee rests on.
+pub fn report_to_json(r: &CircuitReport) -> Json {
+    Json::Object(vec![
+        ("name".into(), Json::str(&r.name)),
+        ("inputs".into(), Json::UInt(r.inputs as u64)),
+        ("state_bits".into(), Json::UInt(r.state_bits as u64)),
+        ("outputs".into(), Json::UInt(r.outputs as u64)),
+        ("original_gates".into(), Json::UInt(r.original_gates as u64)),
+        ("original_cost".into(), Json::Float(r.original_cost)),
+        (
+            "detect_stats".into(),
+            Json::Object(vec![
+                ("faults".into(), Json::UInt(r.detect_stats.faults as u64)),
+                (
+                    "untestable_faults".into(),
+                    Json::UInt(r.detect_stats.untestable_faults as u64),
+                ),
+                (
+                    "activations".into(),
+                    Json::UInt(r.detect_stats.activations as u64),
+                ),
+                (
+                    "rows_raw".into(),
+                    Json::UInt(r.detect_stats.rows_raw as u64),
+                ),
+                ("rows".into(), Json::UInt(r.detect_stats.rows as u64)),
+            ]),
+        ),
+        ("duplication".into(), cost_json(&r.duplication)),
+        (
+            "latencies".into(),
+            Json::Array(r.latencies.iter().map(latency_json).collect()),
+        ),
+    ])
 }
 
 /// The §5 aggregate statistics over a set of circuit reports.
@@ -245,6 +335,32 @@ mod tests {
         let notes = degradation_notes(&r);
         assert_eq!(notes.len(), 1, "{notes:?}");
         assert!(notes[0].contains("greedy-cover"), "{notes:?}");
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic_and_complete() {
+        let rs = reports();
+        for r in &rs {
+            let a = report_to_json(r).render();
+            let b = report_to_json(&r.clone()).render();
+            assert_eq!(a, b);
+            assert!(a.contains(&format!("\"name\":\"{}\"", r.name)));
+            assert!(a.contains("\"latencies\":["));
+            assert!(a.contains("\"method\":"));
+            // No wall-clock data sneaks into the report.
+            assert!(!a.contains("seconds") && !a.contains("elapsed"));
+        }
+    }
+
+    #[test]
+    fn json_rendering_includes_degradation_trail() {
+        let lib = CellLibrary::new();
+        let mut opts = PipelineOptions::paper_defaults();
+        opts.ced.iterations = 0;
+        let r = run_circuit(&suite::sequence_detector(), &[1], &opts, &lib).unwrap();
+        let text = report_to_json(&r).render();
+        assert!(text.contains("\"degradation\":[{"), "{text}");
+        assert!(text.contains("greedy-cover"), "{text}");
     }
 
     #[test]

@@ -46,7 +46,8 @@ use crate::greedy::{greedy_cover, GreedyOptions};
 use crate::ip::ParityCover;
 use crate::relax::{build_relaxation_with_objective, LpForm, LpObjective};
 use crate::round::{round_cover, RoundingOptions};
-use ced_lp::simplex::{solve, SolveError};
+use ced_lp::simplex::{solve_budgeted, SolveError};
+use ced_runtime::{Budget as RtBudget, InterruptKind, Interrupted};
 use ced_sim::detect::DetectabilityTable;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -249,6 +250,40 @@ pub fn minimize_with_incumbent(
     options: &CedOptions,
     incumbent: Option<&ParityCover>,
 ) -> SearchOutcome {
+    match minimize_interruptible(table, options, incumbent, &RtBudget::unlimited()) {
+        Ok(outcome) => outcome,
+        Err(_) => unreachable!("an unlimited budget cannot interrupt"),
+    }
+}
+
+/// [`minimize_with_incumbent`] under a runtime [`RtBudget`].
+///
+/// The two budget families compose rather than compete:
+///
+/// * the runtime budget's **deadline and quantity caps** behave exactly
+///   like [`CedOptions::time_budget`]: the search stops issuing
+///   feasibility queries and steps down the ladder (PR 1's
+///   `BudgetExceeded` path), so an over-deadline machine still returns
+///   a verified cover with an honest degradation trail;
+/// * the runtime budget's **cancellation token** is a hard stop: the
+///   search returns `Err(`[`Interrupted`]`)` promptly without running
+///   the fallback rungs, because a cancelled campaign does not want any
+///   more work done on this machine.
+///
+/// One work unit is charged per feasibility query, plus the simplex
+/// solver's per-pivot charges (the budget is threaded into every LP
+/// solve).
+///
+/// # Errors
+///
+/// [`Interrupted`] with [`InterruptKind::Cancelled`] only; every other
+/// bound degrades instead of erroring.
+pub fn minimize_interruptible(
+    table: &DetectabilityTable,
+    options: &CedOptions,
+    incumbent: Option<&ParityCover>,
+    runtime: &RtBudget,
+) -> Result<SearchOutcome, Interrupted> {
     // Rows with no detecting (bit, step) anywhere are invisible to
     // every parity mask — and silently dropped by dominance reduction.
     // Check for them on the unreduced input so the outcome can honestly
@@ -285,13 +320,13 @@ pub fn minimize_with_incumbent(
                      the bound; monitoring every bit is the best available protection"
                 .to_string(),
         });
-        return outcome;
+        return Ok(outcome);
     }
     if table.is_empty() {
         outcome.cover = ParityCover::new(Vec::new());
         outcome.q = 0;
         outcome.method = LadderRung::LpRounding;
-        return outcome;
+        return Ok(outcome);
     }
     if let Some(seed_cover) = incumbent {
         if seed_cover.len() < outcome.q && table.all_covered(&seed_cover.masks) {
@@ -301,7 +336,7 @@ pub fn minimize_with_incumbent(
         }
     }
 
-    let budget = Budget::new(options);
+    let budget = SearchBudget::new(options, runtime);
     let mut proved_lo = 1usize;
     let mut query = 0u64;
 
@@ -315,6 +350,9 @@ pub fn minimize_with_incumbent(
         &mut proved_lo,
         &mut query,
     );
+    if let Some(i) = s0.interrupted {
+        return Err(i);
+    }
     // Escalation policy: rounding exhaustion at individual `q` values
     // is the paper's normal negative oracle answer (the integrality
     // gap makes LP-feasible-but-unroundable points expected), so it
@@ -332,7 +370,7 @@ pub fn minimize_with_incumbent(
     let s0_stuck =
         s0.soft_failures() > 0 && (outcome.method == LadderRung::Duplication || rounding_disabled);
     if !s0.budget_hit && !s0_stuck {
-        return outcome;
+        return Ok(outcome);
     }
 
     let mut pending: Vec<DegradationEvent> = Vec::new();
@@ -382,17 +420,20 @@ pub fn minimize_with_incumbent(
             &mut proved_lo,
             &mut query,
         );
+        if let Some(i) = s1.interrupted {
+            return Err(i);
+        }
         if outcome.method == LadderRung::ReseededRetry {
             // The retry certified a cover the primary rung could not:
             // real recovery, worth recording.
             outcome.degradation.append(&mut pending);
-            return outcome;
+            return Ok(outcome);
         }
         let s1_stuck = s1.soft_failures() > 0 && outcome.method == LadderRung::Duplication;
         if !s1.budget_hit && !s1_stuck {
             // Retry resolved the remaining range by proofs — the
             // primary method's verdict stands; nothing degraded.
-            return outcome;
+            return Ok(outcome);
         }
         if s1.budget_hit {
             forced = true;
@@ -410,7 +451,11 @@ pub fn minimize_with_incumbent(
     }
 
     // Rung 3: deterministic greedy cover. Always terminates; verified
-    // against the full table before adoption.
+    // against the full table before adoption. A cancelled campaign
+    // skips even this — it asked for no more work, not cheaper work.
+    if let Some(i) = budget.cancelled("search:greedy") {
+        return Err(i);
+    }
     let greedy = greedy_cover(
         table,
         &GreedyOptions {
@@ -425,7 +470,7 @@ pub fn minimize_with_incumbent(
         outcome.cover = greedy;
         outcome.method = LadderRung::GreedyCover;
         outcome.degradation.append(&mut pending);
-        return outcome;
+        return Ok(outcome);
     }
     if forced {
         // Nothing improved, but the run was genuinely cut short
@@ -439,29 +484,45 @@ pub fn minimize_with_incumbent(
     if outcome.degradation.is_empty() && outcome.method == LadderRung::Duplication {
         outcome.method = LadderRung::LpRounding;
     }
-    outcome
+    Ok(outcome)
 }
 
 /// Search budgets, shared across ladder rungs (the ladder as a whole
 /// honors one budget; degraded rungs do not get fresh allowances).
-struct Budget {
+/// Wraps both the per-call option limits and the caller's runtime
+/// budget: the runtime deadline/caps count as soft exhaustion (degrade
+/// path), the runtime token as hard cancellation.
+struct SearchBudget<'a> {
     deadline: Option<Instant>,
     max_lp_solves: Option<usize>,
+    runtime: &'a RtBudget,
 }
 
-impl Budget {
-    fn new(options: &CedOptions) -> Budget {
-        Budget {
+impl<'a> SearchBudget<'a> {
+    fn new(options: &CedOptions, runtime: &'a RtBudget) -> SearchBudget<'a> {
+        SearchBudget {
             deadline: options
                 .time_budget
                 .and_then(|d| Instant::now().checked_add(d)),
             max_lp_solves: options.max_lp_solves,
+            runtime,
         }
     }
 
+    /// Soft exhaustion: stop querying, degrade down the ladder.
     fn exhausted(&self, lp_solves: usize) -> bool {
         self.deadline.is_some_and(|d| Instant::now() >= d)
             || self.max_lp_solves.is_some_and(|cap| lp_solves >= cap)
+            || matches!(self.runtime.check("search:query"),
+                        Err(i) if i.kind != InterruptKind::Cancelled)
+    }
+
+    /// Hard cancellation: abandon the search with a typed error.
+    fn cancelled(&self, stage: &str) -> Option<Interrupted> {
+        match self.runtime.check(stage) {
+            Err(i) if i.kind == InterruptKind::Cancelled => Some(i),
+            _ => None,
+        }
     }
 }
 
@@ -471,6 +532,8 @@ struct RungStats {
     rounding_exhausted: usize,
     numeric_failures: usize,
     budget_hit: bool,
+    /// Hard cancellation observed mid-rung; propagated by the caller.
+    interrupted: Option<Interrupted>,
 }
 
 impl RungStats {
@@ -506,6 +569,8 @@ enum QueryVerdict {
     NumericalFailure,
     /// The shared search budget ran out mid-query.
     BudgetExceeded,
+    /// The runtime cancellation token fired mid-query.
+    Interrupted(Interrupted),
 }
 
 /// One rung's binary search over `q`. Adopts improving covers into
@@ -516,7 +581,7 @@ fn run_binary_search(
     options: &CedOptions,
     rung: LadderRung,
     outcome: &mut SearchOutcome,
-    budget: &Budget,
+    budget: &SearchBudget<'_>,
     proved_lo: &mut usize,
     query: &mut u64,
 ) -> RungStats {
@@ -524,6 +589,10 @@ fn run_binary_search(
     let mut lo = *proved_lo;
     let mut hi = outcome.q;
     while lo < hi {
+        if let Some(i) = budget.cancelled("search:query") {
+            stats.interrupted = Some(i);
+            break;
+        }
         if budget.exhausted(outcome.lp_solves) {
             stats.budget_hit = true;
             break;
@@ -562,6 +631,10 @@ fn run_binary_search(
                 stats.budget_hit = true;
                 break;
             }
+            QueryVerdict::Interrupted(i) => {
+                stats.interrupted = Some(i);
+                break;
+            }
         }
     }
     stats
@@ -573,7 +646,7 @@ fn try_feasible(
     q: usize,
     options: &CedOptions,
     query: u64,
-    budget: &Budget,
+    budget: &SearchBudget<'_>,
     outcome: &mut SearchOutcome,
 ) -> QueryVerdict {
     let m = table.len();
@@ -583,6 +656,7 @@ fn try_feasible(
         hardest_rows(table, options.lp_row_cap)
     };
 
+    budget.runtime.charge(1);
     let mut last_failure = QueryVerdict::RoundingExhausted;
     for round in 0..=options.refinement_rounds {
         if budget.exhausted(outcome.lp_solves) {
@@ -591,7 +665,7 @@ fn try_feasible(
         let relax =
             build_relaxation_with_objective(table, q, options.form, &rows, options.objective);
         outcome.lp_solves += 1;
-        let sol = match solve(&relax.lp) {
+        let sol = match solve_budgeted(&relax.lp, budget.runtime) {
             Ok(sol) => sol,
             // Subset infeasible ⇒ full infeasible: a sound proof.
             Err(SolveError::Infeasible) => return QueryVerdict::ProvedInfeasible,
@@ -599,6 +673,15 @@ fn try_feasible(
             // feasibility verdict — surfaced so the ladder can react.
             Err(SolveError::Unbounded) | Err(SolveError::IterationLimit) => {
                 return QueryVerdict::NumericalFailure
+            }
+            // A cancelled token aborts the query; any other runtime
+            // bound is the soft degrade path.
+            Err(SolveError::Interrupted(i)) => {
+                return if i.kind == InterruptKind::Cancelled {
+                    QueryVerdict::Interrupted(i)
+                } else {
+                    QueryVerdict::BudgetExceeded
+                }
             }
         };
         let betas = relax.fractional_betas(&sol.x);
@@ -858,6 +941,49 @@ mod tests {
         let out = minimize_with_incumbent(&t, &CedOptions::default(), Some(&inc));
         assert_eq!(out.q, 2);
         assert!(t.all_covered(&out.cover.masks));
+    }
+
+    #[test]
+    fn cancelled_search_is_a_hard_error() {
+        let t = table(3, vec![vec![0b001], vec![0b011], vec![0b101]]);
+        let runtime = RtBudget::new();
+        runtime.cancel_token().cancel();
+        let err = minimize_interruptible(&t, &CedOptions::default(), None, &runtime).unwrap_err();
+        assert_eq!(err.kind, InterruptKind::Cancelled);
+        // Cancellation skips even the greedy fallback: no cover at all.
+    }
+
+    #[test]
+    fn runtime_tick_cap_degrades_instead_of_erroring() {
+        // A quantity cap is soft exhaustion: the ladder steps down to
+        // greedy (PR-1 BudgetExceeded path) and still returns a
+        // verified cover — only cancellation is a hard stop.
+        let t = table(3, vec![vec![0b001], vec![0b011], vec![0b101]]);
+        let runtime = RtBudget::new().with_tick_cap(1);
+        let out = minimize_interruptible(&t, &CedOptions::default(), None, &runtime).unwrap();
+        assert!(t.all_covered(&out.cover.masks));
+        assert!(
+            out.degradation
+                .iter()
+                .any(|e| e.reason == DegradationReason::BudgetExceeded),
+            "trail: {:?}",
+            out.degradation
+        );
+    }
+
+    #[test]
+    fn unlimited_runtime_budget_changes_nothing() {
+        let t = table(
+            4,
+            vec![vec![0b0011], vec![0b0110], vec![0b1100], vec![0b1001]],
+        );
+        let plain = minimize_parity_functions(&t, &CedOptions::default());
+        let budgeted =
+            minimize_interruptible(&t, &CedOptions::default(), None, &RtBudget::unlimited())
+                .unwrap();
+        assert_eq!(plain.cover, budgeted.cover);
+        assert_eq!(plain.method, budgeted.method);
+        assert_eq!(plain.lp_solves, budgeted.lp_solves);
     }
 
     #[test]

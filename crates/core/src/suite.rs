@@ -1,0 +1,931 @@
+//! Survivable suite campaigns over a set of machines.
+//!
+//! `run_suite` drives the full pipeline across many FSMs the way the
+//! paper's §5 experiment runs Table 1 — but built to survive the
+//! machines it cannot finish. Each machine runs in its own worker
+//! thread (panics are captured, not fatal), under its own [`Budget`]
+//! (per-machine deadline and/or tick cap). A machine that fails or
+//! exhausts its budget is retried once with degraded pipeline options
+//! — transition-cube input granularity and collapsed faults, the same
+//! accuracy/cost trade the PR-1 solver ladder makes — before being
+//! quarantined with whatever partial progress it reached. The suite
+//! checkpoint records every finished machine (as its rendered JSON,
+//! spliced back verbatim on resume), so a cancelled campaign resumed
+//! with `--resume` produces a byte-identical final report.
+
+use crate::pipeline::{
+    run_circuit_controlled, CircuitReport, InputGranularity, PipelineControl, PipelineError,
+    PipelineOptions,
+};
+use crate::report::{degradation_notes, report_to_json};
+use ced_fsm::machine::Fsm;
+use ced_logic::gate::CellLibrary;
+use ced_runtime::{
+    fnv1a64, Budget, ByteReader, ByteWriter, CancelToken, CheckpointError, InterruptKind,
+    Interrupted, Json,
+};
+use std::fmt;
+use std::sync::Once;
+use std::time::Duration;
+
+/// Checkpoint-container kind tag for suite checkpoints (see
+/// [`ced_runtime::encode_checkpoint`]).
+pub const SUITE_CHECKPOINT_KIND: u16 = 2;
+
+/// Name given to per-machine worker threads; the suite panic hook uses
+/// it to keep captured worker panics off stderr.
+const WORKER_THREAD_NAME: &str = "ced-suite";
+
+/// Configuration of a suite campaign.
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Latency bounds to evaluate on every machine (ascending).
+    pub latencies: Vec<usize>,
+    /// Pipeline options for the first (full-fidelity) attempt.
+    pub pipeline: PipelineOptions,
+    /// Wall-clock deadline per machine attempt (`None` = unlimited).
+    pub machine_deadline: Option<Duration>,
+    /// Work-tick cap per machine attempt (`None` = unlimited).
+    pub machine_ticks: Option<u64>,
+    /// Retry a failed machine once with degraded options before
+    /// quarantining it (default `true`).
+    pub retry_degraded: bool,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> SuiteOptions {
+        SuiteOptions {
+            latencies: vec![1, 2],
+            pipeline: PipelineOptions::paper_defaults(),
+            machine_deadline: None,
+            machine_ticks: None,
+            retry_degraded: true,
+        }
+    }
+}
+
+/// How a machine's campaign ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineStatus {
+    /// Finished at full fidelity with a clean solver ladder.
+    Completed,
+    /// Finished, but only after solver-ladder degradation or a
+    /// degraded-options retry.
+    Degraded,
+    /// Did not finish even degraded; the record keeps the failure
+    /// trail and any partial progress.
+    Quarantined,
+}
+
+impl fmt::Display for MachineStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            MachineStatus::Completed => "completed",
+            MachineStatus::Degraded => "degraded",
+            MachineStatus::Quarantined => "quarantined",
+        })
+    }
+}
+
+impl MachineStatus {
+    fn tag(self) -> u8 {
+        match self {
+            MachineStatus::Completed => 0,
+            MachineStatus::Degraded => 1,
+            MachineStatus::Quarantined => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<MachineStatus, CheckpointError> {
+        match tag {
+            0 => Ok(MachineStatus::Completed),
+            1 => Ok(MachineStatus::Degraded),
+            2 => Ok(MachineStatus::Quarantined),
+            t => Err(CheckpointError::Corrupt(format!("bad status tag {t}"))),
+        }
+    }
+}
+
+/// One machine's finished record.
+///
+/// `json` is the machine's rendered report fragment; it is the unit
+/// the suite checkpoint stores, so a resumed campaign splices finished
+/// machines back into the final report byte-for-byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineRecord {
+    /// Machine name.
+    pub name: String,
+    /// Final status.
+    pub status: MachineStatus,
+    /// Pipeline attempts spent (1, or 2 after a degraded retry).
+    pub attempts: usize,
+    /// Failure/degradation trail (empty for clean completions).
+    pub notes: Vec<String>,
+    /// The rendered JSON record (deterministic; spliced on resume).
+    pub json: String,
+}
+
+/// The finished (or partial) campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteReport {
+    /// Latency bounds the campaign evaluated.
+    pub latencies: Vec<usize>,
+    /// One record per machine processed, in input order.
+    pub records: Vec<MachineRecord>,
+}
+
+impl SuiteReport {
+    fn count(&self, status: MachineStatus) -> usize {
+        self.records.iter().filter(|r| r.status == status).count()
+    }
+
+    /// Machines that finished at full fidelity.
+    pub fn completed(&self) -> usize {
+        self.count(MachineStatus::Completed)
+    }
+
+    /// Machines that finished degraded.
+    pub fn degraded(&self) -> usize {
+        self.count(MachineStatus::Degraded)
+    }
+
+    /// Machines that did not finish.
+    pub fn quarantined(&self) -> usize {
+        self.count(MachineStatus::Quarantined)
+    }
+
+    /// Renders the structured campaign report.
+    ///
+    /// Deterministic: no wall-clock data, insertion-ordered keys, and
+    /// finished machines splice their stored fragments verbatim — an
+    /// interrupted-then-resumed campaign renders byte-identically to
+    /// an uninterrupted one.
+    pub fn to_json(&self) -> String {
+        Json::Object(vec![
+            ("schema".into(), Json::str("ced-suite-report/1")),
+            (
+                "latencies".into(),
+                Json::Array(
+                    self.latencies
+                        .iter()
+                        .map(|&p| Json::UInt(p as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "machines".into(),
+                Json::Array(
+                    self.records
+                        .iter()
+                        .map(|r| Json::Raw(r.json.clone()))
+                        .collect(),
+                ),
+            ),
+            (
+                "summary".into(),
+                Json::Object(vec![
+                    ("total".into(), Json::UInt(self.records.len() as u64)),
+                    ("completed".into(), Json::UInt(self.completed() as u64)),
+                    ("degraded".into(), Json::UInt(self.degraded() as u64)),
+                    ("quarantined".into(), Json::UInt(self.quarantined() as u64)),
+                ]),
+            ),
+        ])
+        .render()
+    }
+}
+
+/// Machine-granularity resume state of an interrupted campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteCheckpoint {
+    /// Fingerprint of (machine list, latencies, pipeline options).
+    fingerprint: u64,
+    /// Records of machines finished before the interruption.
+    records: Vec<MachineRecord>,
+}
+
+impl SuiteCheckpoint {
+    /// The input fingerprint this checkpoint binds to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Machines already processed.
+    pub fn machines_done(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Serializes to a checkpoint payload (wrap with
+    /// [`ced_runtime::encode_checkpoint`] using
+    /// [`SUITE_CHECKPOINT_KIND`] before writing to disk).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.fingerprint);
+        w.usize(self.records.len());
+        for r in &self.records {
+            w.str(&r.name);
+            w.u8(r.status.tag());
+            w.usize(r.attempts);
+            w.usize(r.notes.len());
+            for n in &r.notes {
+                w.str(n);
+            }
+            w.str(&r.json);
+        }
+        w.finish()
+    }
+
+    /// Deserializes a payload produced by [`SuiteCheckpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Any structural inconsistency is a [`CheckpointError`]; nothing
+    /// panics on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SuiteCheckpoint, CheckpointError> {
+        let mut r = ByteReader::new(bytes);
+        let fingerprint = r.u64()?;
+        let n = r.usize()?;
+        if n > 65_536 {
+            return Err(CheckpointError::Corrupt(format!(
+                "implausible machine count {n}"
+            )));
+        }
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.str()?;
+            let status = MachineStatus::from_tag(r.u8()?)?;
+            let attempts = r.usize()?;
+            let n_notes = r.usize()?;
+            if n_notes > 65_536 {
+                return Err(CheckpointError::Corrupt(format!(
+                    "implausible note count {n_notes}"
+                )));
+            }
+            let mut notes = Vec::with_capacity(n_notes);
+            for _ in 0..n_notes {
+                notes.push(r.str()?);
+            }
+            let json = r.str()?;
+            records.push(MachineRecord {
+                name,
+                status,
+                attempts,
+                notes,
+                json,
+            });
+        }
+        r.expect_end()?;
+        Ok(SuiteCheckpoint {
+            fingerprint,
+            records,
+        })
+    }
+}
+
+/// Payload of [`SuiteError::Interrupted`]: where the campaign stopped
+/// and everything needed to resume or report it.
+#[derive(Debug)]
+pub struct SuiteInterrupted {
+    /// The cancellation that stopped the campaign.
+    pub interrupted: Interrupted,
+    /// Resume state covering every machine finished so far.
+    pub checkpoint: SuiteCheckpoint,
+    /// The partial report over finished machines.
+    pub partial: SuiteReport,
+}
+
+/// Suite campaign failure.
+#[derive(Debug)]
+pub enum SuiteError {
+    /// The campaign's [`CancelToken`] fired; the payload carries the
+    /// resume checkpoint and the partial report.
+    Interrupted(Box<SuiteInterrupted>),
+    /// A resume checkpoint was built from a different machine list,
+    /// latency list or option set.
+    CheckpointMismatch,
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::Interrupted(i) => write!(
+                f,
+                "suite {} ({} machines checkpointed)",
+                i.interrupted,
+                i.checkpoint.machines_done()
+            ),
+            SuiteError::CheckpointMismatch => write!(
+                f,
+                "suite resume checkpoint does not match this machine/option/latency list"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+/// Progress callback: `(machines done, machines total, just-finished
+/// record)` — the heartbeat hook.
+pub type ProgressSink<'a> = &'a mut dyn FnMut(usize, usize, &MachineRecord);
+
+/// External control of a [`run_suite`] call.
+pub struct SuiteControl<'a> {
+    /// Cooperative cancellation; shared with every worker budget.
+    pub cancel: CancelToken,
+    /// Resume from an earlier campaign's checkpoint.
+    pub resume: Option<SuiteCheckpoint>,
+    /// Called with the growing checkpoint after every finished machine.
+    pub on_checkpoint: Option<&'a mut dyn FnMut(&SuiteCheckpoint)>,
+    /// Called after every finished machine.
+    pub on_progress: Option<ProgressSink<'a>>,
+}
+
+impl<'a> SuiteControl<'a> {
+    /// A control block with a fresh cancel token and no callbacks.
+    pub fn new() -> SuiteControl<'a> {
+        SuiteControl {
+            cancel: CancelToken::new(),
+            resume: None,
+            on_checkpoint: None,
+            on_progress: None,
+        }
+    }
+}
+
+impl Default for SuiteControl<'static> {
+    fn default() -> SuiteControl<'static> {
+        SuiteControl::new()
+    }
+}
+
+/// How one worker attempt ended.
+enum AttemptOutcome {
+    Done(CircuitReport),
+    Interrupted(Interrupted, Vec<String>),
+    Failed(String),
+}
+
+/// Installs (once, process-wide) a forwarding panic hook that keeps
+/// captured worker-thread panics off stderr; every other thread's
+/// panics still reach the previous hook.
+fn install_suite_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if std::thread::current().name() == Some(WORKER_THREAD_NAME) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The degraded-retry option set: transition-cube inputs and collapsed
+/// faults — the cheapest fidelity the paper's experiment still
+/// supports.
+fn degraded_pipeline(p: &PipelineOptions) -> PipelineOptions {
+    let mut d = p.clone();
+    d.input_granularity = InputGranularity::TransitionCubes;
+    d.full_fault_list = false;
+    d
+}
+
+/// Fingerprint binding a checkpoint to (machines, latencies, pipeline
+/// options). Per-attempt budgets (`machine_deadline`, `machine_ticks`)
+/// are deliberately excluded: a resume may legitimately retune them.
+fn suite_fingerprint(machines: &[(String, Fsm)], options: &SuiteOptions) -> u64 {
+    let mut w = ByteWriter::new();
+    w.usize(machines.len());
+    for (name, fsm) in machines {
+        w.str(name);
+        // KISS2 text is a canonical, process-stable serialization;
+        // `Debug` is not (state lookup tables hash-order their entries).
+        w.str(&ced_fsm::kiss::to_string(fsm));
+    }
+    w.usize(options.latencies.len());
+    for &p in &options.latencies {
+        w.usize(p);
+    }
+    let mut opts = options.pipeline.clone();
+    // Wall-clock search budgets don't change deterministic results.
+    opts.ced.time_budget = None;
+    w.str(&format!("{opts:?}"));
+    w.bool(options.retry_degraded);
+    fnv1a64(&w.finish())
+}
+
+/// Runs one pipeline attempt in a named worker thread, capturing
+/// panics and budget interrupts.
+fn run_attempt(
+    name: &str,
+    fsm: &Fsm,
+    latencies: &[usize],
+    pipeline: &PipelineOptions,
+    library: &CellLibrary,
+    options: &SuiteOptions,
+    cancel: &CancelToken,
+) -> AttemptOutcome {
+    let fsm = fsm.clone();
+    let latencies = latencies.to_vec();
+    let pipeline = pipeline.clone();
+    let library = library.clone();
+    let cancel = cancel.clone();
+    let deadline = options.machine_deadline;
+    let ticks = options.machine_ticks;
+    let handle = std::thread::Builder::new()
+        .name(WORKER_THREAD_NAME.into())
+        .spawn(move || {
+            let mut budget = Budget::new().with_cancel(cancel);
+            if let Some(d) = deadline {
+                budget = budget.with_deadline(d);
+            }
+            if let Some(t) = ticks {
+                budget = budget.with_tick_cap(t);
+            }
+            run_circuit_controlled(
+                &fsm,
+                &latencies,
+                &pipeline,
+                &library,
+                PipelineControl::new(&budget),
+            )
+        })
+        .unwrap_or_else(|e| panic!("spawning worker for {name}: {e}"));
+    match handle.join() {
+        Ok(Ok(report)) => AttemptOutcome::Done(report),
+        Ok(Err(PipelineError::Interrupted(pi))) => {
+            let mut progress = Vec::new();
+            if let Some(ckpt) = &pi.checkpoint {
+                if let Some(faults) = ckpt.build_progress() {
+                    progress.push(format!("build reached fault {faults}"));
+                }
+                progress.push(format!(
+                    "{} latency bounds completed",
+                    ckpt.completed_latencies()
+                ));
+            }
+            AttemptOutcome::Interrupted(pi.interrupted, progress)
+        }
+        Ok(Err(e)) => AttemptOutcome::Failed(e.to_string()),
+        Err(payload) => AttemptOutcome::Failed(format!("panic: {}", panic_message(&*payload))),
+    }
+}
+
+fn render_record(
+    name: &str,
+    status: MachineStatus,
+    attempts: usize,
+    notes: &[String],
+    report: Option<&CircuitReport>,
+) -> String {
+    Json::Object(vec![
+        ("name".into(), Json::str(name)),
+        ("status".into(), Json::Str(status.to_string())),
+        ("attempts".into(), Json::UInt(attempts as u64)),
+        (
+            "notes".into(),
+            Json::Array(notes.iter().map(|n| Json::str(n)).collect()),
+        ),
+        ("report".into(), report.map_or(Json::Null, report_to_json)),
+    ])
+    .render()
+}
+
+fn finish_record(
+    name: &str,
+    status: MachineStatus,
+    attempts: usize,
+    notes: Vec<String>,
+    report: Option<&CircuitReport>,
+) -> MachineRecord {
+    let json = render_record(name, status, attempts, &notes, report);
+    MachineRecord {
+        name: name.to_string(),
+        status,
+        attempts,
+        notes,
+        json,
+    }
+}
+
+/// Runs one machine to a final record, or returns the cancellation
+/// that aborted it. Budget exhaustion (deadline/tick cap) degrades and
+/// then quarantines; only cancellation stops the campaign.
+fn run_machine(
+    name: &str,
+    fsm: &Fsm,
+    options: &SuiteOptions,
+    library: &CellLibrary,
+    cancel: &CancelToken,
+) -> Result<MachineRecord, Interrupted> {
+    let mut notes = Vec::new();
+    let mut attempts = 1;
+    match run_attempt(
+        name,
+        fsm,
+        &options.latencies,
+        &options.pipeline,
+        library,
+        options,
+        cancel,
+    ) {
+        AttemptOutcome::Done(report) => {
+            let ladder = degradation_notes(&report);
+            let status = if ladder.is_empty() {
+                MachineStatus::Completed
+            } else {
+                MachineStatus::Degraded
+            };
+            notes.extend(ladder);
+            return Ok(finish_record(name, status, attempts, notes, Some(&report)));
+        }
+        AttemptOutcome::Interrupted(i, progress) => {
+            if i.kind == InterruptKind::Cancelled {
+                return Err(i);
+            }
+            let mut note = format!(
+                "attempt 1: interrupted by budget ({:?} at {})",
+                i.kind, i.progress.stage
+            );
+            if !progress.is_empty() {
+                note.push_str(&format!("; {}", progress.join(", ")));
+            }
+            notes.push(note);
+        }
+        AttemptOutcome::Failed(msg) => {
+            if cancel.is_cancelled() {
+                // A panic racing the cancel: honor the cancellation.
+                return Err(cancel_interrupt(cancel));
+            }
+            notes.push(format!("attempt 1: {msg}"));
+        }
+    }
+
+    let degraded = degraded_pipeline(&options.pipeline);
+    let already_degraded = degraded.input_granularity == options.pipeline.input_granularity
+        && degraded.full_fault_list == options.pipeline.full_fault_list;
+    if options.retry_degraded && !already_degraded {
+        attempts = 2;
+        notes.push(
+            "retrying with degraded options (transition-cube inputs, collapsed faults)".into(),
+        );
+        match run_attempt(
+            name,
+            fsm,
+            &options.latencies,
+            &degraded,
+            library,
+            options,
+            cancel,
+        ) {
+            AttemptOutcome::Done(report) => {
+                notes.extend(degradation_notes(&report));
+                return Ok(finish_record(
+                    name,
+                    MachineStatus::Degraded,
+                    attempts,
+                    notes,
+                    Some(&report),
+                ));
+            }
+            AttemptOutcome::Interrupted(i, progress) => {
+                if i.kind == InterruptKind::Cancelled {
+                    return Err(i);
+                }
+                let mut note = format!(
+                    "attempt 2: interrupted by budget ({:?} at {})",
+                    i.kind, i.progress.stage
+                );
+                if !progress.is_empty() {
+                    note.push_str(&format!("; {}", progress.join(", ")));
+                }
+                notes.push(note);
+            }
+            AttemptOutcome::Failed(msg) => {
+                if cancel.is_cancelled() {
+                    return Err(cancel_interrupt(cancel));
+                }
+                notes.push(format!("attempt 2: {msg}"));
+            }
+        }
+    } else if options.retry_degraded {
+        notes.push("degraded options identical to requested options; no retry".into());
+    }
+
+    Ok(finish_record(
+        name,
+        MachineStatus::Quarantined,
+        attempts,
+        notes,
+        None,
+    ))
+}
+
+/// A typed cancellation interrupt for suite-level control flow (e.g.
+/// the token fired between machines).
+fn cancel_interrupt(cancel: &CancelToken) -> Interrupted {
+    Budget::new()
+        .with_cancel(cancel.clone())
+        .check("suite:machine")
+        .expect_err("token is cancelled")
+}
+
+/// Runs the campaign: every machine in order, isolated, budgeted,
+/// degraded-retried and checkpointed.
+///
+/// # Errors
+///
+/// [`SuiteError::Interrupted`] when the campaign's [`CancelToken`]
+/// fires (budget exhaustion on a machine is *not* a campaign error —
+/// it degrades, then quarantines that machine);
+/// [`SuiteError::CheckpointMismatch`] when a resume checkpoint came
+/// from different inputs.
+pub fn run_suite(
+    machines: &[(String, Fsm)],
+    options: &SuiteOptions,
+    library: &CellLibrary,
+    mut control: SuiteControl<'_>,
+) -> Result<SuiteReport, SuiteError> {
+    install_suite_panic_hook();
+    let fingerprint = suite_fingerprint(machines, options);
+    let mut records: Vec<MachineRecord> = Vec::new();
+    if let Some(ckpt) = control.resume.take() {
+        if ckpt.fingerprint != fingerprint || ckpt.records.len() > machines.len() {
+            return Err(SuiteError::CheckpointMismatch);
+        }
+        for (rec, (name, _)) in ckpt.records.iter().zip(machines) {
+            if rec.name != *name {
+                return Err(SuiteError::CheckpointMismatch);
+            }
+        }
+        records = ckpt.records;
+    }
+
+    let total = machines.len();
+    for (name, fsm) in machines.iter().skip(records.len()) {
+        let outcome = if control.cancel.is_cancelled() {
+            Err(cancel_interrupt(&control.cancel))
+        } else {
+            run_machine(name, fsm, options, library, &control.cancel)
+        };
+        match outcome {
+            Ok(record) => {
+                records.push(record);
+                let checkpoint = SuiteCheckpoint {
+                    fingerprint,
+                    records: records.clone(),
+                };
+                if let Some(sink) = control.on_checkpoint.as_mut() {
+                    sink(&checkpoint);
+                }
+                if let Some(progress) = control.on_progress.as_mut() {
+                    progress(records.len(), total, records.last().unwrap());
+                }
+            }
+            Err(interrupted) => {
+                let checkpoint = SuiteCheckpoint {
+                    fingerprint,
+                    records: records.clone(),
+                };
+                let partial = SuiteReport {
+                    latencies: options.latencies.clone(),
+                    records,
+                };
+                return Err(SuiteError::Interrupted(Box::new(SuiteInterrupted {
+                    interrupted,
+                    checkpoint,
+                    partial,
+                })));
+            }
+        }
+    }
+
+    Ok(SuiteReport {
+        latencies: options.latencies.clone(),
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ced_fsm::suite as machines;
+
+    fn small_suite() -> Vec<(String, Fsm)> {
+        vec![
+            ("seq".to_string(), machines::sequence_detector()),
+            ("adder".to_string(), machines::serial_adder()),
+        ]
+    }
+
+    fn fast_options() -> SuiteOptions {
+        SuiteOptions {
+            latencies: vec![1],
+            ..SuiteOptions::default()
+        }
+    }
+
+    #[test]
+    fn clean_suite_completes_every_machine() {
+        let report = run_suite(
+            &small_suite(),
+            &fast_options(),
+            &CellLibrary::new(),
+            SuiteControl::new(),
+        )
+        .unwrap();
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.quarantined(), 0);
+        let json = report.to_json();
+        assert!(json.starts_with("{\"schema\":\"ced-suite-report/1\""));
+        assert!(json.contains("\"name\":\"seq\""));
+        assert!(json.contains("\"total\":2"));
+    }
+
+    #[test]
+    fn suite_json_is_deterministic() {
+        let lib = CellLibrary::new();
+        let opts = fast_options();
+        let a = run_suite(&small_suite(), &opts, &lib, SuiteControl::new()).unwrap();
+        let b = run_suite(&small_suite(), &opts, &lib, SuiteControl::new()).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn tight_tick_cap_quarantines_without_panicking() {
+        let opts = SuiteOptions {
+            machine_ticks: Some(1),
+            retry_degraded: false,
+            ..fast_options()
+        };
+        let report = run_suite(
+            &small_suite(),
+            &opts,
+            &CellLibrary::new(),
+            SuiteControl::new(),
+        )
+        .unwrap();
+        assert_eq!(report.quarantined(), 2);
+        for r in &report.records {
+            assert_eq!(r.attempts, 1);
+            assert!(
+                r.notes.iter().any(|n| n.contains("interrupted by budget")),
+                "{:?}",
+                r.notes
+            );
+            assert!(r.json.contains("\"report\":null"));
+        }
+    }
+
+    #[test]
+    fn degraded_retry_is_recorded() {
+        // Exhaustive granularity + full faults on attempt 1 under an
+        // impossible tick cap; the degraded retry also fails, so both
+        // attempts land in the notes.
+        let mut opts = SuiteOptions {
+            machine_ticks: Some(1),
+            ..fast_options()
+        };
+        opts.pipeline.input_granularity = InputGranularity::Exhaustive;
+        opts.pipeline.full_fault_list = true;
+        let report = run_suite(
+            &small_suite()[..1],
+            &opts,
+            &CellLibrary::new(),
+            SuiteControl::new(),
+        )
+        .unwrap();
+        let rec = &report.records[0];
+        assert_eq!(rec.status, MachineStatus::Quarantined);
+        assert_eq!(rec.attempts, 2);
+        assert!(
+            rec.notes
+                .iter()
+                .any(|n| n.contains("retrying with degraded options")),
+            "{:?}",
+            rec.notes
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_suite_interrupts_with_empty_checkpoint() {
+        let control = SuiteControl::new();
+        control.cancel.cancel();
+        let err = run_suite(
+            &small_suite(),
+            &fast_options(),
+            &CellLibrary::new(),
+            control,
+        )
+        .unwrap_err();
+        match err {
+            SuiteError::Interrupted(i) => {
+                assert_eq!(i.interrupted.kind, InterruptKind::Cancelled);
+                assert_eq!(i.checkpoint.machines_done(), 0);
+                assert!(i.partial.records.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let mut captured = None;
+        let mut control = SuiteControl::new();
+        let mut sink = |c: &SuiteCheckpoint| captured = Some(c.clone());
+        control.on_checkpoint = Some(&mut sink);
+        run_suite(
+            &small_suite(),
+            &fast_options(),
+            &CellLibrary::new(),
+            control,
+        )
+        .unwrap();
+        let ckpt = captured.unwrap();
+        assert_eq!(ckpt.machines_done(), 2);
+        let bytes = ckpt.to_bytes();
+        let back = SuiteCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ckpt);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn foreign_checkpoint_is_rejected() {
+        let machines = small_suite();
+        let opts = fast_options();
+        let lib = CellLibrary::new();
+        let mut captured = None;
+        let mut control = SuiteControl::new();
+        let mut sink = |c: &SuiteCheckpoint| captured = Some(c.clone());
+        control.on_checkpoint = Some(&mut sink);
+        run_suite(&machines, &opts, &lib, control).unwrap();
+        // Same checkpoint, different latency list → different fingerprint.
+        let mut other = opts.clone();
+        other.latencies = vec![1, 2];
+        let mut control = SuiteControl::new();
+        control.resume = captured;
+        match run_suite(&machines, &other, &lib, control) {
+            Err(SuiteError::CheckpointMismatch) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn resumed_suite_report_is_byte_identical() {
+        let machines = small_suite();
+        let opts = fast_options();
+        let lib = CellLibrary::new();
+
+        let uninterrupted = run_suite(&machines, &opts, &lib, SuiteControl::new()).unwrap();
+
+        // Cancel after the first machine finishes.
+        let control = SuiteControl::new();
+        let cancel = control.cancel.clone();
+        let mut control = control;
+        let mut checkpoint = None;
+        let mut sink = |c: &SuiteCheckpoint| {
+            checkpoint = Some(c.clone());
+            cancel.cancel();
+        };
+        control.on_checkpoint = Some(&mut sink);
+        let err = run_suite(&machines, &opts, &lib, control).unwrap_err();
+        let SuiteError::Interrupted(i) = err else {
+            panic!("expected interruption");
+        };
+        assert_eq!(i.checkpoint.machines_done(), 1);
+
+        let mut control = SuiteControl::new();
+        control.resume = checkpoint;
+        let resumed = run_suite(&machines, &opts, &lib, control).unwrap();
+        assert_eq!(resumed.to_json(), uninterrupted.to_json());
+    }
+
+    #[test]
+    fn corrupted_checkpoint_payload_is_typed() {
+        let ckpt = SuiteCheckpoint {
+            fingerprint: 7,
+            records: vec![MachineRecord {
+                name: "m".into(),
+                status: MachineStatus::Completed,
+                attempts: 1,
+                notes: vec![],
+                json: "{}".into(),
+            }],
+        };
+        let mut bytes = ckpt.to_bytes();
+        bytes[16] = 0xFF; // status tag byte region
+        assert!(SuiteCheckpoint::from_bytes(&bytes).is_err());
+        assert!(SuiteCheckpoint::from_bytes(&bytes[..4]).is_err());
+    }
+}

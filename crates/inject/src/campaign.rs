@@ -23,10 +23,12 @@ use crate::checker::audit_checker;
 use crate::report::{CampaignReport, Disagreement, MachineCampaign};
 use ced_core::hardware::CedHardware;
 use ced_fsm::encoded::FsmCircuit;
+use ced_runtime::{Budget, Interrupted};
 use ced_sim::coverage::SimRng;
 use ced_sim::detect::{DetectError, DetectOptions, DetectabilityTable, InputModel, Semantics};
 use ced_sim::fault::Fault;
 use ced_sim::tables::TransitionTables;
+use std::fmt;
 
 /// Campaign configuration. The latency bound is taken from the checker
 /// under test ([`CedHardware::latency`]), not duplicated here.
@@ -59,6 +61,46 @@ impl Default for CampaignOptions {
             max_faults: None,
             probe_input_cap: 64,
         }
+    }
+}
+
+/// Failure of a budgeted campaign.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Per-fault tensor construction failed.
+    Detect(DetectError),
+    /// The campaign's [`Budget`] ran out; the partial campaign covers
+    /// every fault judged before the interrupt.
+    Interrupted {
+        /// The budget interruption.
+        interrupted: Interrupted,
+        /// Outcomes accumulated before the interrupt (its `injected`
+        /// count equals the faults actually judged).
+        partial: Box<MachineCampaign>,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Detect(e) => write!(f, "campaign detectability error: {e}"),
+            CampaignError::Interrupted {
+                interrupted,
+                partial,
+            } => write!(
+                f,
+                "campaign {} ({} faults judged)",
+                interrupted, partial.injected
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<DetectError> for CampaignError {
+    fn from(e: DetectError) -> CampaignError {
+        CampaignError::Detect(e)
     }
 }
 
@@ -131,6 +173,36 @@ pub fn run_campaign(
     faults: &[Fault],
     options: &CampaignOptions,
 ) -> Result<CampaignReport, DetectError> {
+    match run_campaign_budgeted(circuit, ced, faults, options, &Budget::unlimited()) {
+        Ok(report) => Ok(report),
+        Err(CampaignError::Detect(e)) => Err(e),
+        Err(CampaignError::Interrupted { .. }) => {
+            unreachable!("an unlimited budget cannot interrupt")
+        }
+    }
+}
+
+/// [`run_campaign`] under a [`Budget`]: one tick per injected fault
+/// (plus the ticks its per-fault tensor construction charges), checked
+/// at every fault boundary. An interrupted campaign returns the
+/// outcomes judged so far as a typed partial result — campaigns are
+/// restartable per fault, not resumable mid-fault.
+///
+/// # Errors
+///
+/// [`CampaignError::Detect`] as [`run_campaign`];
+/// [`CampaignError::Interrupted`] when the budget runs out.
+///
+/// # Panics
+///
+/// As [`run_campaign`].
+pub fn run_campaign_budgeted(
+    circuit: &FsmCircuit,
+    ced: &CedHardware,
+    faults: &[Fault],
+    options: &CampaignOptions,
+    budget: &Budget,
+) -> Result<CampaignReport, CampaignError> {
     let p = ced.latency();
     assert_eq!(
         ced.masks().iter().fold(0, |a, &m| a | m) >> circuit.total_bits(),
@@ -157,6 +229,13 @@ pub fn run_campaign(
     };
 
     for (i, &fault) in injected.iter().enumerate() {
+        if let Err(interrupted) = budget.tick(1, "inject:fault") {
+            machine.injected = machine.outcomes.len();
+            return Err(CampaignError::Interrupted {
+                interrupted,
+                partial: Box::new(machine),
+            });
+        }
         let analytic = analytic_verdict(circuit, fault, ced.masks(), p)?;
         let bad = TransitionTables::faulty(circuit, fault);
         let seed = options.seed ^ splitmix_scramble(i as u64);
@@ -214,6 +293,13 @@ pub fn run_campaign(
     }
 
     let checker = if options.checker_faults {
+        if let Err(interrupted) = budget.tick(1, "inject:checker-audit") {
+            machine.injected = machine.outcomes.len();
+            return Err(CampaignError::Interrupted {
+                interrupted,
+                partial: Box::new(machine),
+            });
+        }
         Some(audit_checker(circuit, ced, options))
     } else {
         None
@@ -400,6 +486,69 @@ mod tests {
         .unwrap();
         assert_eq!(report.machine.injected, 3);
         assert!(report.checker.is_none());
+    }
+
+    #[test]
+    fn exhausted_budget_returns_typed_partial_campaign() {
+        let c = circuit();
+        let cover = ParityCover::singletons(c.total_bits());
+        let ced = synthesize_ced(&c, &cover, 1, &MinimizeOptions::default());
+        let faults = collapsed_faults(c.netlist());
+        // Enough budget for exactly 2 fault boundaries.
+        let budget = Budget::new().with_tick_cap(3);
+        let err = run_campaign_budgeted(&c, &ced, &faults, &CampaignOptions::default(), &budget)
+            .unwrap_err();
+        match err {
+            CampaignError::Interrupted {
+                interrupted,
+                partial,
+            } => {
+                assert_eq!(interrupted.progress.stage, "inject:fault");
+                assert!(partial.injected < faults.len());
+                assert_eq!(partial.injected, partial.outcomes.len());
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_campaign_stops_at_the_next_fault() {
+        let c = circuit();
+        let cover = ParityCover::singletons(c.total_bits());
+        let ced = synthesize_ced(&c, &cover, 1, &MinimizeOptions::default());
+        let faults = collapsed_faults(c.netlist());
+        let budget = Budget::new();
+        budget.cancel_token().cancel();
+        let err = run_campaign_budgeted(&c, &ced, &faults, &CampaignOptions::default(), &budget)
+            .unwrap_err();
+        match err {
+            CampaignError::Interrupted {
+                interrupted,
+                partial,
+            } => {
+                assert_eq!(interrupted.kind, ced_runtime::InterruptKind::Cancelled);
+                assert_eq!(partial.injected, 0);
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_campaign() {
+        let c = circuit();
+        let cover = ParityCover::singletons(c.total_bits());
+        let ced = synthesize_ced(&c, &cover, 1, &MinimizeOptions::default());
+        let faults = collapsed_faults(c.netlist());
+        let opts = CampaignOptions {
+            max_faults: Some(4),
+            checker_faults: false,
+            ..CampaignOptions::default()
+        };
+        let plain = run_campaign(&c, &ced, &faults, &opts).unwrap();
+        let budgeted =
+            run_campaign_budgeted(&c, &ced, &faults, &opts, &Budget::unlimited()).unwrap();
+        assert_eq!(plain.machine.outcomes, budgeted.machine.outcomes);
+        assert_eq!(plain.render(), budgeted.render());
     }
 
     #[test]

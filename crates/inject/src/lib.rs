@@ -53,6 +53,8 @@ pub mod campaign;
 pub mod checker;
 pub mod report;
 
-pub use campaign::{run_campaign, CampaignOptions, MachineFaultOutcome};
+pub use campaign::{
+    run_campaign, run_campaign_budgeted, CampaignError, CampaignOptions, MachineFaultOutcome,
+};
 pub use checker::{audit_checker, CheckerCampaign, CheckerFaultClass};
 pub use report::{CampaignReport, Disagreement, MachineCampaign};

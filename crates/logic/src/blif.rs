@@ -55,32 +55,71 @@ pub struct BlifModel {
     pub netlist: Netlist,
 }
 
-/// Error from BLIF parsing.
+/// Error from BLIF parsing, carrying the position of the problem.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseBlifError {
     /// 1-based line of the problem (0 for document-level issues).
     pub line: usize,
+    /// 1-based column of the offending token (0 when the problem is
+    /// not tied to one token — a whole-line or whole-document issue).
+    pub column: usize,
     /// Human-readable description.
     pub message: String,
 }
 
 impl fmt::Display for ParseBlifError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "blif parse error at line {}: {}",
-            self.line, self.message
-        )
+        match (self.line, self.column) {
+            (0, _) => write!(f, "blif parse error: {}", self.message),
+            (l, 0) => write!(f, "blif parse error at line {l}: {}", self.message),
+            (l, c) => write!(
+                f,
+                "blif parse error at line {l}, column {c}: {}",
+                self.message
+            ),
+        }
     }
 }
 
 impl std::error::Error for ParseBlifError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseBlifError {
+    err_at(line, 0, message)
+}
+
+fn err_at(line: usize, column: usize, message: impl Into<String>) -> ParseBlifError {
     ParseBlifError {
         line,
+        column,
         message: message.into(),
     }
+}
+
+/// A whitespace-separated token with its 1-based start column. For
+/// continuation-joined lines the columns refer to the joined text, not
+/// the physical source — still far better than no position at all.
+type Token = (usize, String);
+
+fn tokenize(line: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut start = 0usize;
+    for (i, c) in line.chars().enumerate() {
+        if c.is_whitespace() {
+            if !current.is_empty() {
+                tokens.push((start + 1, std::mem::take(&mut current)));
+            }
+        } else {
+            if current.is_empty() {
+                start = i;
+            }
+            current.push(c);
+        }
+    }
+    if !current.is_empty() {
+        tokens.push((start + 1, current));
+    }
+    tokens
 }
 
 /// One raw `.names` table before elaboration.
@@ -141,64 +180,77 @@ pub fn parse(text: &str) -> Result<BlifModel, ParseBlifError> {
     }
 
     let mut idx = 0usize;
+    let mut saw_any = false;
+    let mut saw_end = false;
     while idx < logical.len() {
         let (lineno, line) = &logical[idx];
         let lineno = *lineno;
-        let line = line.trim();
+        let tokens = tokenize(line);
         idx += 1;
-        if line.is_empty() {
+        let Some((col0, tok0)) = tokens.first() else {
             continue;
-        }
-        let tokens: Vec<&str> = line.split_whitespace().collect();
-        match tokens[0] {
+        };
+        saw_any = true;
+        match tok0.as_str() {
             ".model" => {
-                if let Some(n) = tokens.get(1) {
-                    name = (*n).to_string();
+                if let Some((_, n)) = tokens.get(1) {
+                    name = n.clone();
                 }
             }
-            ".inputs" => inputs.extend(tokens[1..].iter().map(|s| s.to_string())),
-            ".outputs" => outputs.extend(tokens[1..].iter().map(|s| s.to_string())),
+            ".inputs" => inputs.extend(tokens[1..].iter().map(|(_, s)| s.clone())),
+            ".outputs" => outputs.extend(tokens[1..].iter().map(|(_, s)| s.clone())),
             ".latch" => {
                 // .latch <next> <present> [<type> <clk>] [<init>]
                 let (next, present) = match (tokens.get(1), tokens.get(2)) {
-                    (Some(n), Some(p)) => ((*n).to_string(), (*p).to_string()),
+                    (Some((_, n)), Some((_, p))) => (n.clone(), p.clone()),
                     _ => return Err(err(lineno, ".latch needs input and output signals")),
                 };
                 let init = tokens
                     .last()
-                    .and_then(|t| t.parse::<u8>().ok())
+                    .and_then(|(_, t)| t.parse::<u8>().ok())
                     .filter(|v| *v <= 1)
                     .unwrap_or(0);
                 latches.push((next, present, init));
             }
             ".names" => {
-                let signals: Vec<String> = tokens[1..].iter().map(|s| s.to_string()).collect();
+                let signals: Vec<String> = tokens[1..].iter().map(|(_, s)| s.clone()).collect();
                 if signals.is_empty() {
-                    return Err(err(lineno, ".names needs at least an output signal"));
+                    return Err(err_at(
+                        lineno,
+                        *col0,
+                        ".names needs at least an output signal",
+                    ));
                 }
                 let mut rows = Vec::new();
                 while idx < logical.len() {
                     let (rl, rline) = &logical[idx];
-                    let rline = rline.trim();
-                    if rline.is_empty() || rline.starts_with('.') {
+                    if rline.trim_start().starts_with('.') {
                         break;
                     }
-                    let parts: Vec<&str> = rline.split_whitespace().collect();
-                    let (plane, value) = match (signals.len() - 1, parts.len()) {
-                        (0, 1) => (String::new(), parts[0]),
-                        (_, 2) => (parts[0].to_string(), parts[1]),
-                        _ => return Err(err(*rl, "malformed .names row")),
-                    };
+                    let parts = tokenize(rline);
+                    if parts.is_empty() {
+                        break;
+                    }
+                    let (plane_col, plane, value_col, value) =
+                        match (signals.len() - 1, parts.as_slice()) {
+                            (0, [(vc, v)]) => (0usize, String::new(), *vc, v.as_str()),
+                            (_, [(pc, p), (vc, v)]) => (*pc, p.clone(), *vc, v.as_str()),
+                            _ => return Err(err(*rl, "malformed .names row")),
+                        };
                     let v = match value {
                         "1" => '1',
                         "0" => '0',
-                        _ => return Err(err(*rl, "output column must be 0 or 1")),
+                        _ => return Err(err_at(*rl, value_col, "output column must be 0 or 1")),
                     };
                     if plane.len() != signals.len() - 1 {
-                        return Err(err(*rl, "input plane width mismatch"));
+                        return Err(err_at(*rl, plane_col, "input plane width mismatch"));
                     }
-                    if !plane.chars().all(|c| matches!(c, '0' | '1' | '-')) {
-                        return Err(err(*rl, "input plane characters must be 0, 1 or -"));
+                    if let Some(bad) = plane.chars().position(|c| !matches!(c, '0' | '1' | '-')) {
+                        return Err(err_at(
+                            *rl,
+                            plane_col + bad,
+                            "input plane characters must be 0, 1 or -",
+                        ));
                     }
                     rows.push((plane, v));
                     idx += 1;
@@ -209,15 +261,28 @@ pub fn parse(text: &str) -> Result<BlifModel, ParseBlifError> {
                     rows,
                 });
             }
-            ".end" => break,
+            ".end" => {
+                saw_end = true;
+                break;
+            }
             ".exdc" | ".subckt" | ".gate" | ".mlatch" | ".clock" => {
-                return Err(err(lineno, format!("unsupported directive {}", tokens[0])));
+                return Err(err_at(
+                    lineno,
+                    *col0,
+                    format!("unsupported directive {tok0}"),
+                ));
             }
             other if other.starts_with('.') => {
-                return Err(err(lineno, format!("unknown directive {other}")));
+                return Err(err_at(lineno, *col0, format!("unknown directive {other}")));
             }
-            _ => return Err(err(lineno, "logic row outside a .names table")),
+            _ => return Err(err_at(lineno, *col0, "logic row outside a .names table")),
         }
+    }
+    if !saw_any {
+        return Err(err(0, "empty document: no directives found"));
+    }
+    if !saw_end {
+        return Err(err(0, "truncated document: missing .end"));
     }
 
     // Combinational interface: inputs ∪ latch present-state signals.
@@ -411,5 +476,64 @@ mod tests {
         let text = ".model s\n.inputs a\n.outputs y\n.subckt foo a=a y=y\n.end\n";
         let e = parse(text).unwrap_err();
         assert!(e.message.contains("unsupported"));
+        assert_eq!((e.line, e.column), (4, 1));
+    }
+
+    #[test]
+    fn empty_documents_are_document_level_errors() {
+        for text in ["", "\n\n\n", "# only a comment\n", "   \n\t\n"] {
+            let e = parse(text).unwrap_err();
+            assert_eq!(e.line, 0, "{text:?}");
+            assert!(e.message.contains("empty document"), "{text:?}: {e}");
+            assert!(e.to_string().starts_with("blif parse error: "), "{e}");
+        }
+    }
+
+    #[test]
+    fn truncated_documents_are_reported() {
+        // Document stops mid-model: no .end.
+        let text = ".model t\n.inputs a\n.outputs y\n.names a y\n1 1\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("missing .end"), "{e}");
+        // Dangling continuation is reported at its own line.
+        let cont = ".model t\n.inputs a \\\n";
+        let e = parse(cont).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("dangling"), "{e}");
+    }
+
+    #[test]
+    fn garbage_positions_carry_line_and_column() {
+        // Bad output column: the `x` token at line 5, column 4.
+        let text = ".model g\n.inputs a b\n.outputs y\n.names a b y\n11 x\n.end\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!((e.line, e.column), (5, 4));
+        assert!(e.message.contains("output column"), "{e}");
+        assert!(
+            e.to_string().contains("line 5, column 4"),
+            "display lacks position: {e}"
+        );
+
+        // Bad plane character: the `2` at line 5, column 2.
+        let text = ".model g\n.inputs a b\n.outputs y\n.names a b y\n12 1\n.end\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!((e.line, e.column), (5, 2));
+        assert!(e.message.contains("0, 1 or -"), "{e}");
+
+        // Plane width mismatch points at the plane token.
+        let text = ".model g\n.inputs a b\n.outputs y\n.names a b y\n111 1\n.end\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!((e.line, e.column), (5, 1));
+        assert!(e.message.contains("width mismatch"), "{e}");
+
+        // Unknown directive points at the directive token.
+        let text = ".model g\n.inputs a\n.outputs y\n  .frobnicate\n.end\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!((e.line, e.column), (4, 3));
+        assert!(e.message.contains("unknown directive"), "{e}");
+
+        // Pure binary garbage is rejected, never panics.
+        let e = parse("\u{0}\u{1}\u{2} garbage \u{7f}\n").unwrap_err();
+        assert_eq!(e.line, 1);
     }
 }

@@ -28,6 +28,7 @@
 
 use crate::cover::Cover;
 use crate::cube::{Cube, Literal};
+use ced_runtime::{Budget, Interrupted};
 
 /// Tuning knobs for [`minimize`].
 #[derive(Debug, Clone)]
@@ -81,9 +82,35 @@ impl CoverCost {
 ///
 /// Panics if `on` and `dc` have different widths.
 pub fn minimize(on: &Cover, dc: &Cover, options: &MinimizeOptions) -> Cover {
+    match minimize_budgeted(on, dc, options, &Budget::unlimited()) {
+        Ok(f) => f,
+        Err(_) => unreachable!("an unlimited budget cannot interrupt"),
+    }
+}
+
+/// [`minimize`] under a [`Budget`]: one work unit is charged per cube
+/// per sweep, and the budget is checked before every
+/// EXPAND/IRREDUNDANT/REDUCE sweep, so a cancelled or over-deadline
+/// minimization stops between sweeps with a typed error instead of
+/// grinding the full iteration count.
+///
+/// # Errors
+///
+/// The budget's interruption; minimization is restartable from scratch
+/// (the sweeps carry no external state worth checkpointing).
+///
+/// # Panics
+///
+/// See [`minimize`].
+pub fn minimize_budgeted(
+    on: &Cover,
+    dc: &Cover,
+    options: &MinimizeOptions,
+    budget: &Budget,
+) -> Result<Cover, Interrupted> {
     assert_eq!(on.width(), dc.width(), "ON/DC width mismatch");
     if on.is_empty() {
-        return Cover::empty(on.width());
+        return Ok(Cover::empty(on.width()));
     }
     // ON priority: a minterm required by ON must survive even if the
     // caller also listed it as DC (IRREDUNDANT would otherwise drop
@@ -92,7 +119,7 @@ pub fn minimize(on: &Cover, dc: &Cover, options: &MinimizeOptions) -> Cover {
     let care_off = on.union(dc).complement();
     if care_off.is_empty() {
         // The function is 1 everywhere it is cared about.
-        return Cover::tautology(on.width());
+        return Ok(Cover::tautology(on.width()));
     }
 
     let mut f = on.clone();
@@ -100,6 +127,7 @@ pub fn minimize(on: &Cover, dc: &Cover, options: &MinimizeOptions) -> Cover {
     let mut best_cost = CoverCost::of(&f);
 
     for _ in 0..options.max_iterations {
+        budget.tick(f.len() as u64 + 1, "espresso:sweep")?;
         f = expand(&f, &care_off);
         f = irredundant(&f, on, dc);
         let cost_after_first = CoverCost::of(&f);
@@ -113,10 +141,11 @@ pub fn minimize(on: &Cover, dc: &Cover, options: &MinimizeOptions) -> Cover {
         best_cost = cost;
     }
     if options.final_expand {
+        budget.tick(f.len() as u64 + 1, "espresso:final-expand")?;
         f = expand(&f, &care_off);
         f = irredundant(&f, on, dc);
     }
-    f
+    Ok(f)
 }
 
 /// Convenience wrapper: minimize with default options and no don't-cares.

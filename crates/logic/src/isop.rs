@@ -22,6 +22,7 @@
 use crate::cover::Cover;
 use crate::cube::{Cube, Literal};
 use crate::truth::Truth;
+use ced_runtime::{Budget, Interrupted};
 
 /// Computes an irredundant SOP cover of a function `f` with
 /// `lower ⊆ f ⊆ upper`.
@@ -31,6 +32,25 @@ use crate::truth::Truth;
 /// Panics if the arities differ or `lower ⊄ upper` (i.e. some minterm is
 /// required but not allowed).
 pub fn isop(lower: &Truth, upper: &Truth) -> Cover {
+    match isop_budgeted(lower, upper, &Budget::unlimited()) {
+        Ok(cover) => cover,
+        Err(_) => unreachable!("an unlimited budget cannot interrupt"),
+    }
+}
+
+/// [`isop`] under a [`Budget`]: one work unit per recursion step, with
+/// a budget check at every step so deep recursions over many-variable
+/// functions stay cancellable.
+///
+/// # Errors
+///
+/// The budget's interruption; the extraction is restartable from
+/// scratch (the recursion carries no checkpointable external state).
+///
+/// # Panics
+///
+/// See [`isop`].
+pub fn isop_budgeted(lower: &Truth, upper: &Truth, budget: &Budget) -> Result<Cover, Interrupted> {
     assert_eq!(lower.vars(), upper.vars(), "ISOP bound arity mismatch");
     assert!(
         lower.and(&upper.not()).is_zero(),
@@ -43,8 +63,9 @@ pub fn isop(lower: &Truth, upper: &Truth) -> Cover {
         lower.vars(),
         &mut cover,
         &Cube::full(lower.vars()),
-    );
-    cover
+        budget,
+    )?;
+    Ok(cover)
 }
 
 /// [`isop`] with `lower == upper` (no don't-cares).
@@ -58,13 +79,21 @@ pub fn isop_exact(f: &Truth) -> Cover {
 ///
 /// Returns the truth table of the sub-cover produced (in the full space),
 /// needed by the caller to compute the residual lower bound.
-fn isop_rec(lower: &Truth, upper: &Truth, top: usize, cover: &mut Cover, context: &Cube) -> Truth {
+fn isop_rec(
+    lower: &Truth,
+    upper: &Truth,
+    top: usize,
+    cover: &mut Cover,
+    context: &Cube,
+    budget: &Budget,
+) -> Result<Truth, Interrupted> {
+    budget.tick(1, "isop:recurse")?;
     if lower.is_zero() {
-        return Truth::zero(lower.vars());
+        return Ok(Truth::zero(lower.vars()));
     }
     if upper.is_one() {
         cover.push(context.clone());
-        return Truth::one(lower.vars());
+        return Ok(Truth::one(lower.vars()));
     }
     // Find the highest variable below `top` that either bound depends on.
     let mut split = None;
@@ -80,7 +109,7 @@ fn isop_rec(lower: &Truth, upper: &Truth, top: usize, cover: &mut Cover, context
         // Since neither depends on anything below `top` and lower ⊆ upper,
         // lower non-zero ⇒ upper non-zero on the same region; emit context.
         cover.push(context.clone());
-        return Truth::one(lower.vars());
+        return Ok(Truth::one(lower.vars()));
     };
 
     let l0 = lower.cofactor(v, false);
@@ -96,23 +125,25 @@ fn isop_rec(lower: &Truth, upper: &Truth, top: usize, cover: &mut Cover, context
         v,
         cover,
         &context.with(v, Literal::Negative),
-    );
+        budget,
+    )?;
     let f1 = isop_rec(
         &l1.and(&u0.not()),
         &u1,
         v,
         cover,
         &context.with(v, Literal::Positive),
-    );
+        budget,
+    )?;
 
     // Residual: minterms not yet covered, coverable by v-free cubes.
     let l_new = l0.and(&f0.not()).or(&l1.and(&f1.not()));
     let u_new = u0.and(&u1);
-    let fd = isop_rec(&l_new, &u_new, v, cover, context);
+    let fd = isop_rec(&l_new, &u_new, v, cover, context, budget)?;
 
     // Truth of everything emitted at this level, in the full space.
     let xv = Truth::var(lower.vars(), v);
-    xv.not().and(&f0).or(&xv.and(&f1)).or(&fd)
+    Ok(xv.not().and(&f0).or(&xv.and(&f1)).or(&fd))
 }
 
 #[cfg(test)]

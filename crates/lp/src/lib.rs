@@ -32,5 +32,5 @@ pub mod rounding;
 pub mod simplex;
 
 pub use problem::{Constraint, ConstraintOp, LinearProgram, Sense, VarId};
-pub use rounding::{round_binary, round_to_mask, round_until};
-pub use simplex::{solve, LpSolution, SolveError};
+pub use rounding::{round_binary, round_to_mask, round_until, round_until_budgeted};
+pub use simplex::{solve, solve_budgeted, LpSolution, SolveError};

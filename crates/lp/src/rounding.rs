@@ -18,6 +18,7 @@
 //! assert!(bits[1]);
 //! ```
 
+use ced_runtime::{Budget, Interrupted};
 use rand::Rng;
 
 /// Rounds a fractional 0–1 vector to booleans: entry `x` becomes `true`
@@ -75,6 +76,37 @@ where
         }
     }
     None
+}
+
+/// [`round_until`] under a [`Budget`]: one work unit is charged per
+/// rounding attempt (acceptance checks can be expensive — each one
+/// replays fault coverage) and the budget is checked before each
+/// attempt.
+///
+/// # Errors
+///
+/// The budget's interruption. Rounding attempts consume the RNG, so an
+/// interrupted run is restartable but not resumable mid-stream; callers
+/// reseed on retry.
+pub fn round_until_budgeted<R, F>(
+    fractional: &[f64],
+    rng: &mut R,
+    max_attempts: usize,
+    budget: &Budget,
+    mut accept: F,
+) -> Result<Option<(Vec<bool>, usize)>, Interrupted>
+where
+    R: Rng + ?Sized,
+    F: FnMut(&[bool]) -> bool,
+{
+    for attempt in 1..=max_attempts {
+        budget.tick(1, "rounding:attempt")?;
+        let sample = round_binary(fractional, rng);
+        if accept(&sample) {
+            return Ok(Some((sample, attempt)));
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]

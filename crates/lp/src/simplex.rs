@@ -29,6 +29,7 @@
 //! ```
 
 use crate::problem::{ConstraintOp, LinearProgram, Sense};
+use ced_runtime::{Budget, Interrupted};
 use std::fmt;
 
 /// Numerical tolerance for optimality/feasibility decisions.
@@ -45,6 +46,9 @@ pub enum SolveError {
     Unbounded,
     /// The iteration limit was reached (numerical trouble).
     IterationLimit,
+    /// The caller's [`Budget`] interrupted the solve mid-pivot-sequence
+    /// (cancellation, deadline, or work-unit cap).
+    Interrupted(Interrupted),
 }
 
 impl fmt::Display for SolveError {
@@ -53,6 +57,7 @@ impl fmt::Display for SolveError {
             SolveError::Infeasible => write!(f, "linear program is infeasible"),
             SolveError::Unbounded => write!(f, "linear program is unbounded"),
             SolveError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            SolveError::Interrupted(i) => write!(f, "simplex {i}"),
         }
     }
 }
@@ -133,7 +138,11 @@ impl Tableau {
     }
 
     /// One simplex phase: optimize the current cost vector.
-    fn optimize(&mut self, max_iterations: usize) -> Result<(), SolveError> {
+    ///
+    /// One work unit is charged per pivot; the budget is checked every
+    /// 128 pivots so a degenerate stall or huge tableau cannot outlive
+    /// its deadline.
+    fn optimize(&mut self, max_iterations: usize, budget: &Budget) -> Result<(), SolveError> {
         let n = self.cost.len();
         let m = self.basis.len();
         self.reprice();
@@ -144,6 +153,14 @@ impl Tableau {
             self.iterations += 1;
             if local_iter > max_iterations {
                 return Err(SolveError::IterationLimit);
+            }
+            budget.charge(1);
+            // Check on the first pivot (catches pre-cancelled tokens even
+            // on tiny problems) and every 128 pivots thereafter.
+            if local_iter % 128 == 1 {
+                budget
+                    .check("simplex:pivot")
+                    .map_err(SolveError::Interrupted)?;
             }
             let use_bland = local_iter > bland_after;
 
@@ -305,6 +322,19 @@ impl Tableau {
 /// * [`SolveError::Unbounded`] if the objective can improve forever;
 /// * [`SolveError::IterationLimit`] on pathological numerical behaviour.
 pub fn solve(lp: &LinearProgram) -> Result<LpSolution, SolveError> {
+    solve_budgeted(lp, &Budget::unlimited())
+}
+
+/// [`solve`] under a [`Budget`]: one work unit is charged per simplex
+/// pivot (both phases) with a budget check every 128 pivots.
+///
+/// # Errors
+///
+/// As [`solve`], plus [`SolveError::Interrupted`] when the budget is
+/// exhausted or cancelled. An interrupted solve is restartable from
+/// scratch — the tableau is not worth checkpointing, a re-solve from a
+/// warm problem is cheap relative to the rest of the pipeline.
+pub fn solve_budgeted(lp: &LinearProgram, budget: &Budget) -> Result<LpSolution, SolveError> {
     let n_struct = lp.num_variables();
     let m = lp.num_constraints();
     let lower = lp.lower_bounds();
@@ -394,7 +424,7 @@ pub fn solve(lp: &LinearProgram) -> Result<LpSolution, SolveError> {
     let max_iterations = 200 * (m + n_total) + 20_000;
 
     // Phase 1: drive the artificial infeasibility to zero.
-    tab.optimize(max_iterations)?;
+    tab.optimize(max_iterations, budget)?;
     if tab.objective() > 1e-7 {
         return Err(SolveError::Infeasible);
     }
@@ -406,7 +436,7 @@ pub fn solve(lp: &LinearProgram) -> Result<LpSolution, SolveError> {
     // Phase 2: real objective.
     cost.resize(n_total, 0.0);
     tab.cost = cost;
-    tab.optimize(max_iterations)?;
+    tab.optimize(max_iterations, budget)?;
 
     // Recover x in the original space.
     let mut x = vec![0.0f64; n_struct];
@@ -628,6 +658,56 @@ mod tests {
         let sol = solve(&lp).unwrap();
         assert!(sol.duals[1].abs() < 1e-9, "slack row dual {}", sol.duals[1]);
         assert!(sol.duals[0].abs() > 1e-9, "binding row dual is zero");
+    }
+
+    fn pivot_heavy_lp() -> LinearProgram {
+        let mut lp = LinearProgram::new(Sense::Maximize);
+        let vars: Vec<_> = (0..12)
+            .map(|i| lp.add_variable(0.0, 1.0, 1.0 + (i % 7) as f64))
+            .collect();
+        for k in 0..12 {
+            let terms = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + ((i + k) % 5) as f64))
+                .collect();
+            lp.add_constraint(terms, Le, 3.0 + k as f64);
+        }
+        lp
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_typed_interrupt() {
+        use ced_runtime::{Budget, InterruptKind};
+        let lp = pivot_heavy_lp();
+        // Cap of 1: the first in-loop check already sees ticks >= cap,
+        // independent of how many pivots the problem actually needs.
+        let budget = Budget::new().with_tick_cap(1);
+        match solve_budgeted(&lp, &budget) {
+            Err(SolveError::Interrupted(i)) => {
+                assert_eq!(i.kind, InterruptKind::TickCapExceeded);
+                assert_eq!(i.progress.stage, "simplex:pivot");
+                assert!(!i.resumable);
+            }
+            other => panic!("expected interrupt, got {other:?}"),
+        }
+        // The same problem solves fine without a cap.
+        assert!(solve(&lp).is_ok());
+    }
+
+    #[test]
+    fn cancelled_budget_interrupts_solve() {
+        use ced_runtime::{Budget, CancelToken, InterruptKind};
+        let lp = pivot_heavy_lp();
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::new().with_cancel(token);
+        match solve_budgeted(&lp, &budget) {
+            Err(SolveError::Interrupted(i)) => {
+                assert_eq!(i.kind, InterruptKind::Cancelled);
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Work budgets and cooperative cancellation.
+//!
+//! A [`Budget`] bounds a computation along three axes — wall-clock
+//! deadline, abstract work units ("ticks") and estimated allocated
+//! bytes — and carries a shared [`CancelToken`]. Long-running loops
+//! charge ticks as they make progress and call [`Budget::check`] at
+//! safe points; an exceeded bound or a fired token surfaces as a typed
+//! [`Interrupted`] error, never a hang or a panic.
+//!
+//! Budgets are cheaply cloneable; clones share the same counters and
+//! token, so a budget handed to a sub-stage keeps charging the caller's
+//! account.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cooperative cancellation flag shared between an owner (who fires
+/// it) and any number of workers (who poll it at safe points).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token. Idempotent; workers observe it at their next
+    /// [`Budget::check`].
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Which bound an interrupted computation ran into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterruptKind {
+    /// The [`CancelToken`] fired.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    DeadlineExceeded,
+    /// The work-unit tick cap was reached.
+    TickCapExceeded,
+    /// The estimated-bytes cap was reached.
+    ByteCapExceeded,
+}
+
+impl fmt::Display for InterruptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterruptKind::Cancelled => write!(f, "cancelled"),
+            InterruptKind::DeadlineExceeded => write!(f, "deadline exceeded"),
+            InterruptKind::TickCapExceeded => write!(f, "work-unit cap exceeded"),
+            InterruptKind::ByteCapExceeded => write!(f, "memory-estimate cap exceeded"),
+        }
+    }
+}
+
+/// How far a computation had progressed when it was interrupted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Progress {
+    /// Work units charged so far.
+    pub ticks: u64,
+    /// Bytes estimated so far.
+    pub bytes: u64,
+    /// The stage label passed to the failing check.
+    pub stage: String,
+}
+
+/// Typed interruption: which bound tripped, how far the work had got,
+/// and whether the stage left behind state a checkpoint can resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interrupted {
+    /// The bound that tripped.
+    pub kind: InterruptKind,
+    /// Progress at the moment of interruption.
+    pub progress: Progress,
+    /// `true` when the interrupting stage stopped at a clean boundary
+    /// from which a checkpoint (carried alongside this error by the
+    /// stage's own error type) can resume. Stages set this; the budget
+    /// itself always reports `false`.
+    pub resumable: bool,
+}
+
+impl fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interrupted ({}) in stage `{}` after {} work units",
+            self.kind, self.progress.stage, self.progress.ticks
+        )?;
+        if self.resumable {
+            write!(f, " [resumable]")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for Interrupted {}
+
+/// Shared mutable part of a budget: counters live here so clones keep
+/// charging the same account.
+#[derive(Debug, Default)]
+struct Shared {
+    ticks: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Progress observer attached to a budget: called with `(ticks, bytes)`
+/// roughly every `every` charged ticks (from the charging thread).
+struct Observer {
+    every: u64,
+    last: AtomicU64,
+    callback: Box<dyn Fn(u64, u64) + Send + Sync>,
+}
+
+/// A bounded execution budget.
+///
+/// All bounds are optional; [`Budget::unlimited`] never interrupts
+/// (its checks still observe the attached token, but a fresh budget's
+/// token is private and never fired).
+#[derive(Clone, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    tick_cap: Option<u64>,
+    byte_cap: Option<u64>,
+    cancel: CancelToken,
+    shared: Arc<Shared>,
+    observer: Option<Arc<Observer>>,
+}
+
+impl fmt::Debug for Budget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Budget")
+            .field("deadline", &self.deadline)
+            .field("tick_cap", &self.tick_cap)
+            .field("byte_cap", &self.byte_cap)
+            .field("ticks", &self.ticks())
+            .field("bytes", &self.bytes())
+            .field("cancelled", &self.cancel.is_cancelled())
+            .field("observer", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl Budget {
+    /// A budget with no bounds and a private, never-fired token.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Equivalent to [`Budget::unlimited`]; read as the start of a
+    /// builder chain.
+    pub fn new() -> Budget {
+        Budget::default()
+    }
+
+    /// Bounds wall-clock time to `timeout` from now.
+    pub fn with_deadline(mut self, timeout: Duration) -> Budget {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Bounds total charged work units.
+    pub fn with_tick_cap(mut self, cap: u64) -> Budget {
+        self.tick_cap = Some(cap);
+        self
+    }
+
+    /// Bounds total estimated bytes.
+    pub fn with_byte_cap(mut self, cap: u64) -> Budget {
+        self.byte_cap = Some(cap);
+        self
+    }
+
+    /// Attaches an external cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Budget {
+        self.cancel = token;
+        self
+    }
+
+    /// Attaches a progress observer invoked with `(ticks, bytes)`
+    /// whenever the tick counter crosses a multiple of `every`.
+    pub fn with_observer<F>(mut self, every: u64, callback: F) -> Budget
+    where
+        F: Fn(u64, u64) + Send + Sync + 'static,
+    {
+        self.observer = Some(Arc::new(Observer {
+            every: every.max(1),
+            last: AtomicU64::new(0),
+            callback: Box::new(callback),
+        }));
+        self
+    }
+
+    /// The attached cancellation token (clone to fire from elsewhere).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Work units charged so far.
+    pub fn ticks(&self) -> u64 {
+        self.shared.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Bytes estimated so far.
+    pub fn bytes(&self) -> u64 {
+        self.shared.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Charges `n` work units without checking any bound. Infallible:
+    /// inner loops charge freely and let the enclosing stage `check`
+    /// at its next clean boundary.
+    pub fn charge(&self, n: u64) {
+        let before = self.shared.ticks.fetch_add(n, Ordering::Relaxed);
+        if let Some(obs) = &self.observer {
+            let after = before.saturating_add(n);
+            let last = obs.last.load(Ordering::Relaxed);
+            if after / obs.every > last / obs.every
+                && obs
+                    .last
+                    .compare_exchange(last, after, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                (obs.callback)(after, self.bytes());
+            }
+        }
+    }
+
+    /// Adds `n` to the byte estimate without checking any bound.
+    pub fn charge_bytes(&self, n: u64) {
+        self.shared.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Checks every bound, in order: cancellation, deadline, tick cap,
+    /// byte cap. `stage` labels the failing check in the error.
+    pub fn check(&self, stage: &str) -> Result<(), Interrupted> {
+        let kind = if self.cancel.is_cancelled() {
+            InterruptKind::Cancelled
+        } else if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            InterruptKind::DeadlineExceeded
+        } else if self.tick_cap.is_some_and(|cap| self.ticks() >= cap) {
+            InterruptKind::TickCapExceeded
+        } else if self.byte_cap.is_some_and(|cap| self.bytes() >= cap) {
+            InterruptKind::ByteCapExceeded
+        } else {
+            return Ok(());
+        };
+        Err(Interrupted {
+            kind,
+            progress: Progress {
+                ticks: self.ticks(),
+                bytes: self.bytes(),
+                stage: stage.to_string(),
+            },
+            resumable: false,
+        })
+    }
+
+    /// [`Budget::charge`] followed by [`Budget::check`].
+    pub fn tick(&self, n: u64, stage: &str) -> Result<(), Interrupted> {
+        self.charge(n);
+        self.check(stage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_interrupts() {
+        let b = Budget::unlimited();
+        for _ in 0..1000 {
+            b.tick(1_000_000, "loop").expect("unlimited");
+        }
+        assert_eq!(b.ticks(), 1_000_000_000);
+    }
+
+    #[test]
+    fn tick_cap_trips_with_progress() {
+        let b = Budget::new().with_tick_cap(10);
+        b.tick(4, "a").unwrap();
+        b.tick(4, "a").unwrap();
+        let err = b.tick(4, "b").unwrap_err();
+        assert_eq!(err.kind, InterruptKind::TickCapExceeded);
+        assert_eq!(err.progress.ticks, 12);
+        assert_eq!(err.progress.stage, "b");
+        assert!(!err.resumable);
+    }
+
+    #[test]
+    fn cancellation_dominates_other_bounds() {
+        let b = Budget::new().with_tick_cap(1);
+        b.charge(100);
+        b.cancel_token().cancel();
+        assert_eq!(b.check("x").unwrap_err().kind, InterruptKind::Cancelled);
+    }
+
+    #[test]
+    fn clones_share_counters_and_token() {
+        let a = Budget::new().with_tick_cap(100);
+        let b = a.clone();
+        b.charge(60);
+        a.charge(50);
+        assert!(a.check("s").is_err());
+        assert!(b.check("s").is_err());
+        let t = a.cancel_token();
+        t.cancel();
+        assert!(b.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn deadline_in_the_past_trips_immediately() {
+        let b = Budget::new().with_deadline(Duration::from_secs(0));
+        std::thread::sleep(Duration::from_millis(1));
+        assert_eq!(
+            b.check("t").unwrap_err().kind,
+            InterruptKind::DeadlineExceeded
+        );
+    }
+
+    #[test]
+    fn byte_cap_trips() {
+        let b = Budget::new().with_byte_cap(1024);
+        b.charge_bytes(2048);
+        assert_eq!(
+            b.check("alloc").unwrap_err().kind,
+            InterruptKind::ByteCapExceeded
+        );
+    }
+
+    #[test]
+    fn observer_fires_on_multiples() {
+        use std::sync::atomic::AtomicUsize;
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        let b = Budget::new().with_observer(10, move |_, _| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        for _ in 0..35 {
+            b.charge(1);
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn display_mentions_stage_and_kind() {
+        let b = Budget::new().with_tick_cap(0);
+        let err = b.tick(1, "tensor").unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("tensor"), "{s}");
+        assert!(s.contains("work-unit cap"), "{s}");
+    }
+}

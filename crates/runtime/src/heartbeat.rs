@@ -1,0 +1,160 @@
+//! Heartbeat progress reporting to stderr.
+//!
+//! A [`Heartbeat`] is wired into a [`crate::Budget`] observer: the
+//! budget calls it every N charged work units, and the heartbeat
+//! rate-limits actual emission (at most one line per interval) so hot
+//! loops stay hot. Lines carry the unit count, the rate, and — when a
+//! total is known — an ETA. `--quiet` turns a heartbeat into a no-op
+//! without disturbing the wiring.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock gap between emitted lines.
+const MIN_EMIT_INTERVAL: Duration = Duration::from_millis(500);
+
+#[derive(Debug)]
+struct State {
+    started: Instant,
+    last_emit: Option<Instant>,
+}
+
+/// A rate-limited stderr progress reporter.
+#[derive(Debug)]
+pub struct Heartbeat {
+    label: String,
+    unit: String,
+    quiet: bool,
+    total: Option<u64>,
+    state: Mutex<State>,
+}
+
+impl Heartbeat {
+    /// A heartbeat labelled `label`, counting `unit`s (e.g. "rows",
+    /// "machines", "units").
+    pub fn new(label: &str, unit: &str) -> Heartbeat {
+        Heartbeat {
+            label: label.to_string(),
+            unit: unit.to_string(),
+            quiet: false,
+            total: None,
+            state: Mutex::new(State {
+                started: Instant::now(),
+                last_emit: None,
+            }),
+        }
+    }
+
+    /// Suppresses all output when `quiet` is true.
+    pub fn quiet(mut self, quiet: bool) -> Heartbeat {
+        self.quiet = quiet;
+        self
+    }
+
+    /// Declares the expected total, enabling ETA reporting.
+    pub fn with_total(mut self, total: u64) -> Heartbeat {
+        self.total = Some(total);
+        self
+    }
+
+    fn line(&self, done: u64, elapsed: Duration) -> String {
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let rate = done as f64 / secs;
+        let mut line = match self.total {
+            Some(total) => format!(
+                "[ced] {}: {}/{} {} ({:.0}/s",
+                self.label, done, total, self.unit, rate
+            ),
+            None => format!(
+                "[ced] {}: {} {} ({:.0}/s",
+                self.label, done, self.unit, rate
+            ),
+        };
+        match self.total {
+            Some(total) if done > 0 && done < total => {
+                let eta = (total - done) as f64 / rate;
+                line.push_str(&format!(", eta {:.0}s)", eta));
+            }
+            _ => line.push(')'),
+        }
+        line
+    }
+
+    /// Reports `done` completed units; emits at most one stderr line
+    /// per [`MIN_EMIT_INTERVAL`]. Safe to call from any thread and
+    /// from inside a budget observer.
+    pub fn observe(&self, done: u64) {
+        if self.quiet {
+            return;
+        }
+        // try_lock: a concurrent observer already reporting is as good
+        // as us reporting.
+        let Ok(mut st) = self.state.try_lock() else {
+            return;
+        };
+        let now = Instant::now();
+        if st
+            .last_emit
+            .is_some_and(|last| now.duration_since(last) < MIN_EMIT_INTERVAL)
+        {
+            return;
+        }
+        let elapsed = now.duration_since(st.started);
+        st.last_emit = Some(now);
+        let line = self.line(done, elapsed);
+        drop(st);
+        eprintln!("{line}");
+    }
+
+    /// Emits a final summary line (unless quiet).
+    pub fn finish(&self, done: u64) {
+        if self.quiet {
+            return;
+        }
+        let st = self.state.lock().unwrap();
+        let elapsed = st.started.elapsed();
+        drop(st);
+        eprintln!("{} done", self.line(done, elapsed));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_formats_rate_and_eta() {
+        let hb = Heartbeat::new("tensor", "rows").with_total(100);
+        let line = hb.line(50, Duration::from_secs(10));
+        assert!(line.contains("tensor"), "{line}");
+        assert!(line.contains("50/100 rows"), "{line}");
+        assert!(line.contains("5/s"), "{line}");
+        assert!(line.contains("eta 10s"), "{line}");
+    }
+
+    #[test]
+    fn line_without_total_omits_eta() {
+        let hb = Heartbeat::new("suite", "machines");
+        let line = hb.line(3, Duration::from_secs(6));
+        assert!(line.contains("3 machines"), "{line}");
+        assert!(!line.contains("eta"), "{line}");
+    }
+
+    #[test]
+    fn quiet_heartbeat_is_silent_and_cheap() {
+        let hb = Heartbeat::new("x", "u").quiet(true);
+        for i in 0..10_000 {
+            hb.observe(i);
+        }
+        hb.finish(10_000);
+    }
+
+    #[test]
+    fn rate_limiting_holds_between_observations() {
+        let hb = Heartbeat::new("x", "u");
+        hb.observe(1);
+        let first = hb.state.lock().unwrap().last_emit;
+        hb.observe(2); // within the interval: no new emission
+        assert_eq!(hb.state.lock().unwrap().last_emit, first);
+    }
+}

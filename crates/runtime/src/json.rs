@@ -1,0 +1,168 @@
+//! Deterministic JSON emission.
+//!
+//! The suite runner's report must be byte-identical between an
+//! uninterrupted run and an interrupted-then-resumed one, so the
+//! emitter is deliberately minimal and deterministic: object keys keep
+//! insertion order, floats use Rust's shortest round-trip formatting,
+//! and there is no whitespace. [`Json::Raw`] splices an
+//! already-rendered fragment verbatim — that is how checkpointed
+//! per-machine reports (stored as rendered strings) re-enter a resumed
+//! report without any re-escape drift.
+
+use std::fmt::Write;
+
+/// A JSON value with deterministic rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A finite float (non-finite values render as `null`).
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Object(Vec<(String, Json)>),
+    /// A pre-rendered fragment spliced verbatim. The caller guarantees
+    /// it is valid JSON.
+    Raw(String),
+}
+
+impl Json {
+    /// Convenience constructor for string values.
+    pub fn str(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+
+    /// Renders to a compact, deterministic string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // Shortest round-trip formatting: deterministic and
+                    // lossless. Integral floats print without a decimal
+                    // point, which is still a valid JSON number.
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+            Json::Raw(s) => out.push_str(s),
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render_canonically() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Int(-5).render(), "-5");
+        assert_eq!(
+            Json::UInt(18_446_744_073_709_551_615).render(),
+            "18446744073709551615"
+        );
+        assert_eq!(Json::Float(1.5).render(), "1.5");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let v = Json::Object(vec![
+            ("z".into(), Json::Int(1)),
+            ("a".into(), Json::Array(vec![Json::Null, Json::Bool(false)])),
+        ]);
+        assert_eq!(v.render(), "{\"z\":1,\"a\":[null,false]}");
+    }
+
+    #[test]
+    fn raw_splices_verbatim() {
+        let inner = Json::Object(vec![("q".into(), Json::UInt(3))]).render();
+        let outer = Json::Object(vec![("m".into(), Json::Raw(inner.clone()))]);
+        assert_eq!(outer.render(), format!("{{\"m\":{inner}}}"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let v = Json::Object(vec![
+            ("name".into(), Json::str("s27")),
+            ("area".into(), Json::Float(123.456)),
+            (
+                "masks".into(),
+                Json::Array(vec![Json::UInt(7), Json::UInt(11)]),
+            ),
+        ]);
+        assert_eq!(v.render(), v.clone().render());
+        assert_eq!(
+            v.render(),
+            "{\"name\":\"s27\",\"area\":123.456,\"masks\":[7,11]}"
+        );
+    }
+}

@@ -39,6 +39,9 @@
 use crate::fault::Fault;
 use crate::tables::TransitionTables;
 use ced_fsm::encoded::FsmCircuit;
+use ced_runtime::{
+    fnv1a64, Budget, ByteReader, ByteWriter, CheckpointError, InterruptKind, Interrupted,
+};
 use std::collections::HashSet;
 use std::fmt;
 
@@ -197,6 +200,33 @@ impl Collector {
         self.emitted
     }
 
+    /// Captures the collector at a clean fault boundary. Sets are
+    /// sorted so the snapshot (and hence the checkpoint bytes) are
+    /// independent of `HashSet` iteration order.
+    fn snapshot(&self) -> CollectorState {
+        debug_assert!(!self.overflow, "snapshot of an overflowed collector");
+        let mut sets: Vec<Vec<u64>> = self.sets.iter().cloned().collect();
+        sets.sort_unstable();
+        CollectorState {
+            sets,
+            emitted: self.emitted,
+            cleanup_at: self.cleanup_at,
+        }
+    }
+
+    /// Rebuilds a collector from a snapshot.
+    fn restore(latency: usize, reduce: bool, max_rows: usize, state: &CollectorState) -> Collector {
+        Collector {
+            latency,
+            reduce,
+            max_rows,
+            sets: state.sets.iter().cloned().collect(),
+            emitted: state.emitted,
+            cleanup_at: state.cleanup_at,
+            overflow: false,
+        }
+    }
+
     /// Final rows: cleaned up, canonical, sorted, zero-padded.
     fn finish(mut self) -> Vec<EcRow> {
         if self.reduce {
@@ -231,6 +261,28 @@ pub struct DetectStats {
     pub rows_raw: usize,
     /// Rows in the final table.
     pub rows: usize,
+}
+
+impl DetectStats {
+    /// Serializes into a checkpoint writer.
+    pub fn write(&self, w: &mut ByteWriter) {
+        w.usize(self.faults);
+        w.usize(self.untestable_faults);
+        w.usize(self.activations);
+        w.usize(self.rows_raw);
+        w.usize(self.rows);
+    }
+
+    /// Deserializes from a checkpoint reader.
+    pub fn read(r: &mut ByteReader<'_>) -> Result<DetectStats, CheckpointError> {
+        Ok(DetectStats {
+            faults: r.usize()?,
+            untestable_faults: r.usize()?,
+            activations: r.usize()?,
+            rows_raw: r.usize()?,
+            rows: r.usize()?,
+        })
+    }
 }
 
 /// Which step-difference definition to enumerate (see the module docs).
@@ -340,6 +392,19 @@ pub enum DetectError {
         /// The latency bound `k` (`p`).
         latency: usize,
     },
+    /// The build's [`Budget`] was exhausted or its token cancelled.
+    Interrupted {
+        /// What tripped, and how far the build had got.
+        interrupted: Interrupted,
+        /// A clean fault-boundary checkpoint to resume from. `None`
+        /// when the interrupt landed mid-enumeration (the collectors
+        /// hold partial rows for the current fault, which cannot be
+        /// rolled back without breaking `rows_raw` exactness).
+        checkpoint: Option<Box<BuildCheckpoint>>,
+    },
+    /// A resume checkpoint was built from different inputs (circuit,
+    /// fault list, options or latency bounds).
+    CheckpointMismatch,
 }
 
 impl fmt::Display for DetectError {
@@ -358,11 +423,167 @@ impl fmt::Display for DetectError {
                 "detectability tensor volume {rows}·{bits}·{latency} overflows \
                  the address space"
             ),
+            DetectError::Interrupted {
+                interrupted,
+                checkpoint,
+            } => {
+                write!(f, "tensor construction {interrupted}")?;
+                if let Some(c) = checkpoint {
+                    write!(f, " (checkpoint at fault {})", c.next_fault())?;
+                }
+                Ok(())
+            }
+            DetectError::CheckpointMismatch => write!(
+                f,
+                "resume checkpoint does not match this circuit/fault list/options"
+            ),
         }
     }
 }
 
 impl std::error::Error for DetectError {}
+
+/// Saved state of one [`Collector`] at a clean fault boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CollectorState {
+    /// Kept sets/rows, sorted for canonical serialization.
+    sets: Vec<Vec<u64>>,
+    emitted: usize,
+    cleanup_at: usize,
+}
+
+/// Resumable state of an interrupted [`DetectabilityTable::build_many_controlled`]
+/// run, captured at a fault boundary: the next fault index plus the
+/// exact collector and statistics state for every latency bound.
+/// Resuming replays the remaining faults as if never interrupted, so
+/// the finished tables and stats are bit-identical to an uninterrupted
+/// build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildCheckpoint {
+    /// FNV fingerprint of (good tables, fault list, options,
+    /// latencies); a resume against different inputs is rejected.
+    fingerprint: u64,
+    /// Index of the first fault not yet simulated.
+    next_fault: usize,
+    latencies: Vec<usize>,
+    collectors: Vec<CollectorState>,
+    stats: Vec<DetectStats>,
+}
+
+impl BuildCheckpoint {
+    /// The input fingerprint this checkpoint binds to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Index of the first fault a resumed build will simulate.
+    pub fn next_fault(&self) -> usize {
+        self.next_fault
+    }
+
+    /// Serializes to the checkpoint payload format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.write(&mut w);
+        w.finish()
+    }
+
+    /// Serializes into an existing writer (for embedding in larger
+    /// checkpoints).
+    pub fn write(&self, w: &mut ByteWriter) {
+        w.u64(self.fingerprint);
+        w.usize(self.next_fault);
+        w.usize(self.latencies.len());
+        for &p in &self.latencies {
+            w.usize(p);
+        }
+        for c in &self.collectors {
+            w.usize(c.sets.len());
+            for s in &c.sets {
+                w.u64_slice(s);
+            }
+            w.usize(c.emitted);
+            w.usize(c.cleanup_at);
+        }
+        for s in &self.stats {
+            s.write(w);
+        }
+    }
+
+    /// Deserializes a payload produced by [`BuildCheckpoint::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<BuildCheckpoint, CheckpointError> {
+        let mut r = ByteReader::new(bytes);
+        let ckpt = Self::read(&mut r)?;
+        r.expect_end()?;
+        Ok(ckpt)
+    }
+
+    /// Deserializes from an existing reader.
+    pub fn read(r: &mut ByteReader<'_>) -> Result<BuildCheckpoint, CheckpointError> {
+        let fingerprint = r.u64()?;
+        let next_fault = r.usize()?;
+        let n_lat = r.usize()?;
+        if n_lat > 4096 {
+            return Err(CheckpointError::Corrupt("implausible latency count".into()));
+        }
+        let mut latencies = Vec::with_capacity(n_lat);
+        for _ in 0..n_lat {
+            latencies.push(r.usize()?);
+        }
+        let mut collectors = Vec::with_capacity(n_lat);
+        for _ in 0..n_lat {
+            let n_sets = r.usize()?;
+            let mut sets = Vec::new();
+            for _ in 0..n_sets {
+                sets.push(r.u64_slice()?);
+            }
+            let emitted = r.usize()?;
+            let cleanup_at = r.usize()?;
+            collectors.push(CollectorState {
+                sets,
+                emitted,
+                cleanup_at,
+            });
+        }
+        let mut stats = Vec::with_capacity(n_lat);
+        for _ in 0..n_lat {
+            stats.push(DetectStats::read(r)?);
+        }
+        Ok(BuildCheckpoint {
+            fingerprint,
+            next_fault,
+            latencies,
+            collectors,
+            stats,
+        })
+    }
+}
+
+/// Budget, resume state and checkpoint hooks for a controlled build.
+pub struct BuildControl<'a> {
+    /// The budget charged as faults are simulated (one tick per
+    /// evaluation batch and per error activation).
+    pub budget: &'a Budget,
+    /// Resume from a previous run's checkpoint.
+    pub resume: Option<BuildCheckpoint>,
+    /// Invoke `on_checkpoint` every this many completed faults
+    /// (0 = never).
+    pub checkpoint_every: usize,
+    /// Periodic checkpoint sink (e.g. write-to-disk).
+    pub on_checkpoint: Option<&'a mut dyn FnMut(&BuildCheckpoint)>,
+}
+
+impl<'a> BuildControl<'a> {
+    /// A control with the given budget and no resume/checkpoint hooks.
+    pub fn new(budget: &'a Budget) -> BuildControl<'a> {
+        BuildControl {
+            budget,
+            resume: None,
+            checkpoint_every: 0,
+            on_checkpoint: None,
+        }
+    }
+}
 
 impl DetectabilityTable {
     /// Builds the table for `circuit` under `faults` with the given
@@ -397,6 +618,39 @@ impl DetectabilityTable {
         options: &DetectOptions,
         latencies: &[usize],
     ) -> Result<Vec<(DetectabilityTable, DetectStats)>, DetectError> {
+        let budget = Budget::unlimited();
+        Self::build_many_controlled(
+            circuit,
+            faults,
+            options,
+            latencies,
+            BuildControl::new(&budget),
+        )
+    }
+
+    /// [`Self::build_many`] under a [`Budget`], with optional resume
+    /// from and periodic emission of [`BuildCheckpoint`]s.
+    ///
+    /// The budget is checked at every fault boundary and once per
+    /// activation state; one tick is charged per 64-pattern evaluation
+    /// batch and per error activation, and the row storage estimate is
+    /// charged as bytes. An interrupt at a fault boundary returns
+    /// [`DetectError::Interrupted`] carrying a resumable checkpoint;
+    /// an interrupt mid-fault (only cancellation and deadline checks
+    /// land there) carries none — resume from the last periodic one.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::build_many`], plus [`DetectError::Interrupted`] and
+    /// [`DetectError::CheckpointMismatch`] (resume checkpoint built
+    /// from different inputs).
+    pub fn build_many_controlled(
+        circuit: &FsmCircuit,
+        faults: &[Fault],
+        options: &DetectOptions,
+        latencies: &[usize],
+        mut control: BuildControl<'_>,
+    ) -> Result<Vec<(DetectabilityTable, DetectStats)>, DetectError> {
         if latencies.contains(&0) {
             return Err(DetectError::ZeroLatency);
         }
@@ -421,6 +675,7 @@ impl DetectabilityTable {
         }
         let good = TransitionTables::good(circuit);
         let activation_states = good.reachable_codes();
+        let fingerprint = build_fingerprint(&good, faults, options, latencies);
 
         let mut stats: Vec<DetectStats> = latencies
             .iter()
@@ -433,12 +688,68 @@ impl DetectabilityTable {
             .iter()
             .map(|&p| Collector::new(p, options.reduce, options.max_rows))
             .collect();
+        let mut start_fault = 0usize;
+        if let Some(ckpt) = control.resume.take() {
+            if ckpt.fingerprint != fingerprint
+                || ckpt.latencies != latencies
+                || ckpt.collectors.len() != latencies.len()
+                || ckpt.stats.len() != latencies.len()
+                || ckpt.next_fault > faults.len()
+            {
+                return Err(DetectError::CheckpointMismatch);
+            }
+            start_fault = ckpt.next_fault;
+            stats = ckpt.stats;
+            collectors = latencies
+                .iter()
+                .zip(&ckpt.collectors)
+                .map(|(&p, st)| Collector::restore(p, options.reduce, options.max_rows, st))
+                .collect();
+        }
+        let budget = control.budget;
+        let snapshot =
+            |next_fault: usize, collectors: &[Collector], stats: &[DetectStats]| BuildCheckpoint {
+                fingerprint,
+                next_fault,
+                latencies: latencies.to_vec(),
+                collectors: collectors.iter().map(Collector::snapshot).collect(),
+                stats: stats.to_vec(),
+            };
 
         let mut inputs_scratch: Vec<u64> = Vec::new();
         let mut seen_starts: Vec<HashSet<(u64, u64, u64, u64)>> =
             latencies.iter().map(|_| HashSet::new()).collect();
-        for &fault in faults {
-            let bad = TransitionTables::faulty(circuit, fault);
+        for (fi, &fault) in faults.iter().enumerate().skip(start_fault) {
+            // Clean fault boundary: the collectors hold exactly the
+            // rows of faults `0..fi`, so a checkpoint here resumes
+            // bit-identically.
+            if control.checkpoint_every > 0
+                && fi > start_fault
+                && fi % control.checkpoint_every == 0
+            {
+                if let Some(sink) = control.on_checkpoint.as_mut() {
+                    sink(&snapshot(fi, &collectors, &stats));
+                }
+            }
+            if let Err(mut interrupted) = budget.check("tensor:fault-boundary") {
+                interrupted.resumable = true;
+                return Err(DetectError::Interrupted {
+                    interrupted,
+                    checkpoint: Some(Box::new(snapshot(fi, &collectors, &stats))),
+                });
+            }
+            let bad = match TransitionTables::faulty_budgeted(circuit, fault, budget) {
+                Ok(t) => t,
+                Err(mut interrupted) => {
+                    // Extraction mutates nothing shared: still a clean
+                    // boundary at fault `fi`.
+                    interrupted.resumable = true;
+                    return Err(DetectError::Interrupted {
+                        interrupted,
+                        checkpoint: Some(Box::new(snapshot(fi, &collectors, &stats))),
+                    });
+                }
+            };
             let mut testable = false;
             // Activations with identical (D₁, start, successor) enumerate
             // identical subtrees (the start matters for the loop rule) —
@@ -448,6 +759,23 @@ impl DetectabilityTable {
             }
 
             for &c in &activation_states {
+                // Mid-fault safe point: prompt response to cancellation
+                // and deadlines only — the collectors already hold
+                // partial rows for this fault, so nothing resumable can
+                // be captured here. Quantity caps (ticks/bytes) wait
+                // for the next fault boundary, which yields a clean
+                // checkpoint instead.
+                if let Err(interrupted) = budget.check("tensor:enumerate") {
+                    if matches!(
+                        interrupted.kind,
+                        InterruptKind::Cancelled | InterruptKind::DeadlineExceeded
+                    ) {
+                        return Err(DetectError::Interrupted {
+                            interrupted,
+                            checkpoint: None,
+                        });
+                    }
+                }
                 options.input_model.inputs_at(c, r, &mut inputs_scratch);
                 let inputs_here = inputs_scratch.clone();
                 for a1 in inputs_here {
@@ -456,6 +784,7 @@ impl DetectabilityTable {
                         continue;
                     }
                     testable = true;
+                    budget.charge(1);
                     for ((pi, &p), collector) in
                         latencies.iter().enumerate().zip(collectors.iter_mut())
                     {
@@ -509,6 +838,14 @@ impl DetectabilityTable {
                     s.untestable_faults += 1;
                 }
             }
+            // Row-storage estimate: kept sets × step words.
+            let kept: usize = collectors
+                .iter()
+                .map(|c| c.sets.len() * c.latency.max(1) * std::mem::size_of::<u64>())
+                .sum();
+            if kept as u64 > budget.bytes() {
+                budget.charge_bytes(kept as u64 - budget.bytes());
+            }
         }
 
         Ok(latencies
@@ -559,6 +896,67 @@ impl DetectabilityTable {
             reduced: false,
             rows,
         }
+    }
+
+    /// Serializes the table for checkpointing. The round trip through
+    /// [`Self::from_bytes`] is bit-exact: rows, order, latency and the
+    /// reduction flag all survive.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.write(&mut w);
+        w.finish()
+    }
+
+    /// Serializes into an existing writer (for embedding in larger
+    /// checkpoints).
+    pub fn write(&self, w: &mut ByteWriter) {
+        w.usize(self.num_bits);
+        w.usize(self.latency);
+        w.bool(self.reduced);
+        w.usize(self.rows.len());
+        for row in &self.rows {
+            w.u64_slice(&row.steps);
+        }
+    }
+
+    /// Deserializes a table serialized by [`Self::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Truncated`] / [`CheckpointError::Corrupt`]
+    /// on malformed payloads; no panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<DetectabilityTable, CheckpointError> {
+        let mut r = ByteReader::new(bytes);
+        let table = Self::read(&mut r)?;
+        r.expect_end()?;
+        Ok(table)
+    }
+
+    /// Deserializes from an existing reader.
+    pub fn read(r: &mut ByteReader<'_>) -> Result<DetectabilityTable, CheckpointError> {
+        let num_bits = r.usize()?;
+        if num_bits > 64 {
+            return Err(CheckpointError::Corrupt(
+                "more than 64 monitored bits".into(),
+            ));
+        }
+        let latency = r.usize()?;
+        let reduced = r.bool()?;
+        let n_rows = r.usize()?;
+        let mut rows = Vec::new();
+        for _ in 0..n_rows {
+            let steps = r.u64_slice()?;
+            if steps.len() != latency {
+                return Err(CheckpointError::Corrupt("row latency mismatch".into()));
+            }
+            rows.push(EcRow { steps });
+        }
+        Ok(DetectabilityTable {
+            num_bits,
+            latency,
+            reduced,
+            rows,
+        })
     }
 
     /// Number of monitored bits `n` (next-state + output).
@@ -805,6 +1203,56 @@ impl DetectabilityTable {
         }
         out
     }
+}
+
+/// FNV fingerprint binding a [`BuildCheckpoint`] to its inputs: the
+/// good machine's full transition tables, the fault list, every
+/// enumeration option and the latency bounds. Anything that could make
+/// a resumed build diverge from the original run is folded in.
+fn build_fingerprint(
+    good: &TransitionTables,
+    faults: &[Fault],
+    options: &DetectOptions,
+    latencies: &[usize],
+) -> u64 {
+    let mut w = ByteWriter::new();
+    w.usize(good.num_inputs());
+    w.usize(good.state_bits());
+    w.usize(good.num_outputs());
+    w.u64(good.reset_code());
+    for code in 0..(1u64 << good.state_bits()) {
+        for input in 0..(1u64 << good.num_inputs()) {
+            w.u64(good.response(code, input));
+            w.u64(good.next(code, input));
+        }
+    }
+    w.usize(faults.len());
+    for f in faults {
+        w.usize(f.net.index());
+        w.bool(f.stuck_at);
+    }
+    w.usize(options.max_rows);
+    w.bool(options.reduce);
+    w.u8(match options.semantics {
+        Semantics::Lockstep => 0,
+        Semantics::FaultyTrajectory => 1,
+    });
+    match &options.input_model {
+        InputModel::Exhaustive => w.u8(0),
+        InputModel::Restricted { by_state, fallback } => {
+            w.u8(1);
+            w.usize(by_state.len());
+            for v in by_state {
+                w.u64_slice(v);
+            }
+            w.u64_slice(fallback);
+        }
+    }
+    w.usize(latencies.len());
+    for &p in latencies {
+        w.usize(p);
+    }
+    fnv1a64(&w.finish())
 }
 
 /// Depth-first enumeration of the faulty-trajectory suffixes
@@ -1314,6 +1762,198 @@ mod tests {
             },
         );
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn table_serialization_round_trips_bit_exactly() {
+        for (reduce, p) in [(true, 1), (true, 3), (false, 2)] {
+            let (table, _) = build_opt(p, reduce);
+            let bytes = table.to_bytes();
+            let back = DetectabilityTable::from_bytes(&bytes).unwrap();
+            assert_eq!(back, table);
+            assert_eq!(back.to_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn table_deserialization_rejects_garbage_without_panicking() {
+        let (table, _) = build(2);
+        let bytes = table.to_bytes();
+        for cut in 0..bytes.len().min(64) {
+            assert!(DetectabilityTable::from_bytes(&bytes[..cut]).is_err());
+        }
+        assert!(DetectabilityTable::from_bytes(&[0xFF; 40]).is_err());
+    }
+
+    #[test]
+    fn tick_cap_interrupts_at_fault_boundary_with_checkpoint() {
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        let opts = DetectOptions {
+            latency: 2,
+            ..DetectOptions::default()
+        };
+        let budget = Budget::new().with_tick_cap(3);
+        let err = DetectabilityTable::build_many_controlled(
+            &c,
+            &faults,
+            &opts,
+            &[1, 2],
+            BuildControl::new(&budget),
+        )
+        .unwrap_err();
+        match err {
+            DetectError::Interrupted {
+                interrupted,
+                checkpoint,
+            } => {
+                assert!(interrupted.resumable);
+                let ckpt = checkpoint.expect("boundary interrupt carries a checkpoint");
+                assert!(ckpt.next_fault() < faults.len());
+            }
+            other => panic!("expected Interrupted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resumed_build_is_bit_identical_to_uninterrupted() {
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        let opts = DetectOptions {
+            latency: 3,
+            ..DetectOptions::default()
+        };
+        let latencies = [1usize, 3];
+        let baseline = DetectabilityTable::build_many(&c, &faults, &opts, &latencies).unwrap();
+
+        // Interrupt under a series of tick caps, resume with a fresh
+        // unlimited budget, and require exact agreement every time.
+        for cap in [1u64, 5, 20, 100] {
+            let budget = Budget::new().with_tick_cap(cap);
+            let ckpt = match DetectabilityTable::build_many_controlled(
+                &c,
+                &faults,
+                &opts,
+                &latencies,
+                BuildControl::new(&budget),
+            ) {
+                Ok(results) => {
+                    assert_eq!(results, baseline, "cap {cap} finished early?");
+                    continue;
+                }
+                Err(DetectError::Interrupted {
+                    checkpoint: Some(c),
+                    ..
+                }) => *c,
+                Err(other) => panic!("cap {cap}: {other:?}"),
+            };
+            let fresh = Budget::unlimited();
+            let mut control = BuildControl::new(&fresh);
+            control.resume = Some(ckpt);
+            let resumed =
+                DetectabilityTable::build_many_controlled(&c, &faults, &opts, &latencies, control)
+                    .unwrap();
+            assert_eq!(resumed, baseline, "cap {cap} resume diverged");
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_rejects_foreign_inputs() {
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        let opts = DetectOptions {
+            latency: 2,
+            ..DetectOptions::default()
+        };
+        let budget = Budget::new().with_tick_cap(10);
+        let Err(DetectError::Interrupted {
+            checkpoint: Some(ckpt),
+            ..
+        }) = DetectabilityTable::build_many_controlled(
+            &c,
+            &faults,
+            &opts,
+            &[2],
+            BuildControl::new(&budget),
+        )
+        else {
+            panic!("expected a checkpointed interrupt");
+        };
+        let bytes = ckpt.to_bytes();
+        let back = BuildCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, *ckpt);
+
+        // Same checkpoint, different fault list: typed mismatch.
+        let fresh = Budget::unlimited();
+        let mut control = BuildControl::new(&fresh);
+        control.resume = Some(back);
+        let err = DetectabilityTable::build_many_controlled(
+            &c,
+            &faults[..faults.len() - 1],
+            &opts,
+            &[2],
+            control,
+        )
+        .unwrap_err();
+        assert_eq!(err, DetectError::CheckpointMismatch);
+    }
+
+    #[test]
+    fn cancellation_mid_build_is_typed_and_not_resumable() {
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        let opts = DetectOptions {
+            latency: 2,
+            ..DetectOptions::default()
+        };
+        let budget = Budget::unlimited();
+        budget.cancel_token().cancel();
+        let err = DetectabilityTable::build_many_controlled(
+            &c,
+            &faults,
+            &opts,
+            &[2],
+            BuildControl::new(&budget),
+        )
+        .unwrap_err();
+        match err {
+            DetectError::Interrupted { interrupted, .. } => {
+                assert_eq!(interrupted.kind, ced_runtime::InterruptKind::Cancelled);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn periodic_checkpoints_are_emitted_and_resumable() {
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        let opts = DetectOptions {
+            latency: 2,
+            ..DetectOptions::default()
+        };
+        let baseline = DetectabilityTable::build_many(&c, &faults, &opts, &[2]).unwrap();
+        let budget = Budget::unlimited();
+        let mut seen: Vec<BuildCheckpoint> = Vec::new();
+        let mut sink = |c: &BuildCheckpoint| seen.push(c.clone());
+        let control = BuildControl {
+            budget: &budget,
+            resume: None,
+            checkpoint_every: 2,
+            on_checkpoint: Some(&mut sink),
+        };
+        let full =
+            DetectabilityTable::build_many_controlled(&c, &faults, &opts, &[2], control).unwrap();
+        assert_eq!(full, baseline);
+        assert!(!seen.is_empty(), "no periodic checkpoints emitted");
+        // Resuming from any periodic checkpoint reproduces the build.
+        let mid = seen[seen.len() / 2].clone();
+        let fresh = Budget::unlimited();
+        let mut control = BuildControl::new(&fresh);
+        control.resume = Some(mid);
+        let resumed =
+            DetectabilityTable::build_many_controlled(&c, &faults, &opts, &[2], control).unwrap();
+        assert_eq!(resumed, baseline);
     }
 
     #[test]

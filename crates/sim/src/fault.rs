@@ -10,6 +10,7 @@
 
 use ced_logic::gate::GateKind;
 use ced_logic::netlist::{NetId, Netlist};
+use ced_runtime::{Budget, Interrupted};
 use std::fmt;
 
 /// A single stuck-at fault on one net.
@@ -105,6 +106,32 @@ pub fn collapsed_faults(netlist: &Netlist) -> Vec<Fault> {
         faults.push(Fault::new(net, true));
     }
     faults
+}
+
+/// Enumerates a fault list under a [`Budget`]: [`all_faults`] or
+/// [`collapsed_faults`] with one work unit charged per gate and a
+/// budget check per 1024 gates, so a pathological netlist cannot stall
+/// the campaign set-up phase past its deadline.
+///
+/// # Errors
+///
+/// The budget's interruption (never resumable: the list is cheap to
+/// re-enumerate).
+pub fn fault_list_budgeted(
+    netlist: &Netlist,
+    collapse: bool,
+    budget: &Budget,
+) -> Result<Vec<Fault>, Interrupted> {
+    let gates = netlist.gates().len();
+    for start in (0..gates).step_by(1024) {
+        budget.charge((gates - start).min(1024) as u64);
+        budget.check("faults:enumerate")?;
+    }
+    Ok(if collapse {
+        collapsed_faults(netlist)
+    } else {
+        all_faults(netlist)
+    })
 }
 
 #[cfg(test)]

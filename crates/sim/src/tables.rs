@@ -10,6 +10,7 @@
 use crate::eval::eval_words_faulty_into;
 use crate::fault::Fault;
 use ced_fsm::encoded::FsmCircuit;
+use ced_runtime::{Budget, Interrupted};
 use std::collections::VecDeque;
 
 /// Complete next-state/output tables of one machine (good or faulty).
@@ -37,7 +38,10 @@ impl TransitionTables {
     /// Panics if `r + s > 24` (table would exceed 16M entries) or
     /// `s + outputs > 64`.
     pub fn good(circuit: &FsmCircuit) -> TransitionTables {
-        Self::extract(circuit, None)
+        match Self::extract(circuit, None, None) {
+            Ok(t) => t,
+            Err(_) => unreachable!("extraction without a budget cannot be interrupted"),
+        }
     }
 
     /// Extracts the tables of the circuit with `fault` injected.
@@ -46,10 +50,38 @@ impl TransitionTables {
     ///
     /// See [`TransitionTables::good`].
     pub fn faulty(circuit: &FsmCircuit, fault: Fault) -> TransitionTables {
-        Self::extract(circuit, Some(fault))
+        match Self::extract(circuit, Some(fault), None) {
+            Ok(t) => t,
+            Err(_) => unreachable!("extraction without a budget cannot be interrupted"),
+        }
     }
 
-    fn extract(circuit: &FsmCircuit, fault: Option<Fault>) -> TransitionTables {
+    /// [`TransitionTables::faulty`] under a [`Budget`]: charges one
+    /// work unit per 64-pattern evaluation batch and checks the budget
+    /// between batches, so a fired token or an exhausted cap stops the
+    /// `2^(r+s)` sweep promptly instead of running it to completion.
+    ///
+    /// # Errors
+    ///
+    /// The budget's interruption; no partial tables are returned
+    /// (extraction is cheap to redo relative to enumeration).
+    ///
+    /// # Panics
+    ///
+    /// See [`TransitionTables::good`].
+    pub fn faulty_budgeted(
+        circuit: &FsmCircuit,
+        fault: Fault,
+        budget: &Budget,
+    ) -> Result<TransitionTables, Interrupted> {
+        Self::extract(circuit, Some(fault), Some(budget))
+    }
+
+    fn extract(
+        circuit: &FsmCircuit,
+        fault: Option<Fault>,
+        budget: Option<&Budget>,
+    ) -> Result<TransitionTables, Interrupted> {
         let r = circuit.num_inputs();
         let s = circuit.state_bits();
         let o = circuit.num_outputs();
@@ -68,6 +100,9 @@ impl TransitionTables {
 
         let mut base = 0usize;
         while base < total {
+            if let Some(b) = budget {
+                b.tick(1, "tables:extract")?;
+            }
             let batch = (total - base).min(64);
             // Pattern `base + t`: input bits = low r bits, state = high s.
             for (v, w) in in_words.iter_mut().enumerate() {
@@ -104,14 +139,14 @@ impl TransitionTables {
             base += batch;
         }
 
-        TransitionTables {
+        Ok(TransitionTables {
             state_bits: s,
             num_inputs: r,
             num_outputs: o,
             next,
             response,
             reset_code: circuit.reset_code(),
-        }
+        })
     }
 
     /// `r`: input bits.

@@ -1,6 +1,7 @@
 //! Property-based tests for the fault-simulation layer: table
 //! extraction fidelity, detectability invariants, dominance-reduction
-//! equivalence and the analytic/operational soundness link.
+//! equivalence, the analytic/operational soundness link, and the
+//! survivability layer (checkpoint serialization fidelity).
 
 use ced_fsm::encoded::EncodedFsm;
 use ced_fsm::encoding::{assign, EncodingStrategy};
@@ -198,6 +199,106 @@ proptest! {
                 state = bad.next(state, input);
             }
             prop_assert!(dict.diagnose(&obs).contains(&i));
+        }
+    }
+
+    #[test]
+    fn build_checkpoints_round_trip_bit_exactly(
+        circuit in small_circuit_strategy(),
+        p in 1usize..=2,
+    ) {
+        use ced_runtime::{decode_checkpoint, encode_checkpoint, Budget};
+        use ced_sim::detect::{BuildCheckpoint, BuildControl};
+
+        // Capture every fault-boundary checkpoint of a real build.
+        let faults = collapsed_faults(circuit.netlist());
+        let budget = Budget::unlimited();
+        let mut captured: Vec<BuildCheckpoint> = Vec::new();
+        let mut sink = |c: &BuildCheckpoint| captured.push(c.clone());
+        let mut control = BuildControl::new(&budget);
+        control.checkpoint_every = 1;
+        control.on_checkpoint = Some(&mut sink);
+        DetectabilityTable::build_many_controlled(
+            &circuit,
+            &faults,
+            &DetectOptions { latency: p, ..DetectOptions::default() },
+            &[p],
+            control,
+        ).expect("fits");
+        prop_assert!(!captured.is_empty(), "a build over ≥1 fault must checkpoint");
+
+        const KIND: u16 = 7;
+        for ckpt in &captured {
+            // Payload round trip is bit-exact in both directions.
+            let payload = ckpt.to_bytes();
+            let back = BuildCheckpoint::from_bytes(&payload).expect("payload decodes");
+            prop_assert_eq!(&back, ckpt);
+            prop_assert_eq!(back.to_bytes(), payload.clone());
+            // And so is the trip through the on-disk envelope.
+            let container = encode_checkpoint(KIND, &payload);
+            prop_assert_eq!(decode_checkpoint(&container, KIND).expect("envelope"), payload);
+        }
+
+        // A build resumed from a serialized mid-run checkpoint yields
+        // a table identical to the uninterrupted build.
+        let options = DetectOptions { latency: p, ..DetectOptions::default() };
+        let clean = DetectabilityTable::build_many(&circuit, &faults, &options, &[p])
+            .expect("fits");
+        let mid = BuildCheckpoint::from_bytes(&captured[captured.len() / 2].to_bytes())
+            .expect("payload decodes");
+        let mut control = BuildControl::new(&budget);
+        control.resume = Some(mid);
+        let resumed = DetectabilityTable::build_many_controlled(
+            &circuit,
+            &faults,
+            &options,
+            &[p],
+            control,
+        ).expect("resume fits");
+        prop_assert_eq!(resumed, clean);
+    }
+
+    #[test]
+    fn corrupting_any_checkpoint_byte_is_detected(
+        circuit in small_circuit_strategy(),
+        offset_seed in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        use ced_runtime::{decode_checkpoint, encode_checkpoint, Budget, CheckpointError};
+        use ced_sim::detect::{BuildCheckpoint, BuildControl};
+
+        let faults = collapsed_faults(circuit.netlist());
+        let budget = Budget::unlimited();
+        let mut captured: Option<BuildCheckpoint> = None;
+        let mut sink = |c: &BuildCheckpoint| captured = Some(c.clone());
+        let mut control = BuildControl::new(&budget);
+        control.checkpoint_every = 1;
+        control.on_checkpoint = Some(&mut sink);
+        DetectabilityTable::build_many_controlled(
+            &circuit,
+            &faults,
+            &DetectOptions::default(),
+            &[1],
+            control,
+        ).expect("fits");
+        let payload = captured.expect("checkpoint captured").to_bytes();
+
+        const KIND: u16 = 7;
+        let clean = encode_checkpoint(KIND, &payload);
+        let offset = offset_seed % clean.len();
+        let mut corrupt = clean.clone();
+        corrupt[offset] ^= flip;
+
+        // No single-byte corruption may ever decode successfully.
+        let err = decode_checkpoint(&corrupt, KIND)
+            .expect_err("corrupted envelope must be rejected");
+        // A flipped *payload* byte is specifically a checksum mismatch
+        // (header corruption may trip an earlier, equally-typed check).
+        if offset >= 16 && offset < 16 + payload.len() {
+            prop_assert!(
+                matches!(err, CheckpointError::ChecksumMismatch { .. }),
+                "payload corruption at {} produced {:?}", offset, err
+            );
         }
     }
 
