@@ -1,0 +1,235 @@
+//! Exact-rational certification of the LP claims behind a cover.
+//!
+//! Two claims are re-proved, neither trusting the `f64` simplex:
+//!
+//! 1. **The LP at the claimed `q` is feasible.** The claimed masks are
+//!    converted into an *integral* point of the full (Statement 5,
+//!    `q`-block) relaxation — `β(l)` = the bits of mask `l`, coverage
+//!    variable `t(l,k)_i = 1` iff mask `l` overlaps row `i` at step `k`
+//!    at all — and that point is re-evaluated with
+//!    [`ced_lp::check_feasibility_exact`] at band `0`: every
+//!    coefficient, bound and coordinate converts to an exact rational,
+//!    so the verdict is arithmetic, not numerics. This covers **every**
+//!    row of the independently rebuilt table.
+//! 2. **The float optimum is not a mirage.** The symmetric relaxation
+//!    is re-solved and the solver's answer re-checked exactly with the
+//!    configured refusal band: a point infeasible by less than
+//!    [`ced_lp::EPS`] is *refuted*, one feasible by less than the band
+//!    is *refused* — never certified on float evidence alone. Large
+//!    tables re-solve a hardest-rows subprogram (the integral
+//!    certificate above is never capped).
+//!
+//! Note the LP sees only overlap counts, not parity: an integral point
+//! with even overlaps is LP-feasible yet detects nothing. LP
+//! feasibility is therefore a *necessary* condition certified here; the
+//! parity-exact claim is the soundness verifier's job
+//! ([`crate::soundness`]).
+
+use crate::{Certificate, Refutation, Stage, StageOutcome, Witness};
+use ced_core::{build_relaxation, LpForm};
+use ced_lp::{check_feasibility_exact, solve_budgeted, RationalVerdict, SolveError};
+use ced_runtime::{Budget, Interrupted};
+use ced_sim::detect::DetectabilityTable;
+
+/// Re-proves the LP claims for `masks` against `table`.
+///
+/// # Errors
+///
+/// Only budget interruption (propagated out of the re-solve).
+pub fn verify_lp(
+    table: &DetectabilityTable,
+    masks: &[u64],
+    band: f64,
+    lp_row_cap: usize,
+    budget: &Budget,
+) -> Result<StageOutcome, Interrupted> {
+    budget.check("certify/lp")?;
+    if table.is_empty() {
+        return Ok(StageOutcome::Certified(Certificate {
+            stage: Stage::Lp,
+            checked: 0,
+            detail: "no erroneous cases: the empty relaxation is trivially feasible".into(),
+        }));
+    }
+    if masks.is_empty() {
+        return Ok(StageOutcome::Refuted(Refutation {
+            stage: Stage::Lp,
+            witness: Witness::UncoveredRow {
+                row: 0,
+                steps: table.rows()[0].steps.clone(),
+            },
+            discrepancy: format!(
+                "the table has {} erroneous cases but the claimed cover is empty",
+                table.len()
+            ),
+        }));
+    }
+
+    let q = masks.len();
+    let n = table.num_bits();
+    let p = table.latency();
+    let m = table.len();
+
+    // Claim 1: exact integral certificate over ALL rows (full form).
+    let all_rows: Vec<usize> = (0..m).collect();
+    let full = build_relaxation(table, q, LpForm::Full, &all_rows);
+    // Variable layout of build_relaxation: the q β-blocks first
+    // (q·n variables), then t[l][i_local][k] in (block, row, step)
+    // lexicographic order.
+    debug_assert_eq!(full.lp.num_variables(), q * n + q * m * p);
+    let mut point = vec![0.0f64; full.lp.num_variables()];
+    for (l, &mask) in masks.iter().enumerate() {
+        for j in 0..n {
+            point[full.beta_vars[l][j].0] = ((mask >> j) & 1) as f64;
+        }
+    }
+    for l in 0..q {
+        for (i_local, row) in table.rows().iter().enumerate() {
+            for k in 0..p {
+                // t ≤ Σ_j V(i,j,k)β_j = overlap count; 1 is admissible
+                // whenever the mask touches the step at all. The row
+                // demand Σ t ≥ 1 then encodes "some mask overlaps
+                // somewhere" — parity-blind by design (module docs).
+                if (row.steps[k] & masks[l]) != 0 {
+                    point[q * n + (l * m + i_local) * p + k] = 1.0;
+                }
+            }
+        }
+    }
+    budget.tick(full.lp.num_constraints() as u64, "certify/lp")?;
+    match check_feasibility_exact(&full.lp, &point, 0.0) {
+        RationalVerdict::Feasible { .. } => {}
+        RationalVerdict::Infeasible {
+            witness,
+            bound_of_var,
+        } => {
+            return Ok(StageOutcome::Refuted(Refutation {
+                stage: Stage::Lp,
+                witness: Witness::LpRow {
+                    row: witness.row,
+                    bound_of_var: bound_of_var.is_some(),
+                    slack: witness.slack.to_f64(),
+                },
+                discrepancy: format!(
+                    "the claimed {q}-mask cover does not embed as a feasible integral point \
+                     of the Statement-5 relaxation: row {} violated by exactly {}",
+                    witness.row, witness.slack
+                ),
+            }));
+        }
+        RationalVerdict::Refused { witness, band } => {
+            // Unreachable at band 0, but degrade honestly if that ever
+            // changes rather than panicking inside a certifier.
+            return Ok(StageOutcome::Refused {
+                stage: Stage::Lp,
+                reason: format!(
+                    "integral point slack {} inside band {band:e} at row {}",
+                    witness.slack, witness.row
+                ),
+            });
+        }
+        RationalVerdict::Unrepresentable { row } => {
+            return Ok(StageOutcome::Refused {
+                stage: Stage::Lp,
+                reason: format!("exact arithmetic overflowed evaluating row {row}"),
+            });
+        }
+    }
+
+    // Claim 2: re-solve the symmetric form and certify the float answer
+    // exactly, hardest rows first when capped.
+    let (float_table, capped) = if m > lp_row_cap {
+        (table.sorted_by_difficulty(), true)
+    } else {
+        (table.clone(), false)
+    };
+    let rows: Vec<usize> = (0..float_table.len().min(lp_row_cap)).collect();
+    let sym = build_relaxation(&float_table, q, LpForm::Symmetric, &rows);
+    let float_note = match solve_budgeted(&sym.lp, budget) {
+        Ok(sol) => {
+            budget.tick(sym.lp.num_constraints() as u64, "certify/lp")?;
+            match check_feasibility_exact(&sym.lp, &sol.x, band) {
+                RationalVerdict::Feasible { min_slack } => {
+                    let slack = min_slack
+                        .map(|s| format!("{:.3e}", s.slack.to_f64()))
+                        .unwrap_or_else(|| "n/a".into());
+                    format!(
+                        "float optimum over {} row(s) re-verified exactly (min slack {slack}, \
+                         refusal band {band:e})",
+                        rows.len()
+                    )
+                }
+                RationalVerdict::Infeasible {
+                    witness,
+                    bound_of_var,
+                } => {
+                    // A violation beyond the band breaks the solver's
+                    // own tolerance contract: the answer is garbage,
+                    // not float noise, and the stage is refuted. Inside
+                    // the band it is the expected rounding of a binding
+                    // row: the float answer is refused as a certificate
+                    // (the exact integral point above already carries
+                    // the feasibility claim) but nothing is disproved.
+                    if -witness.slack.to_f64() >= band {
+                        return Ok(StageOutcome::Refuted(Refutation {
+                            stage: Stage::Lp,
+                            witness: Witness::LpRow {
+                                row: witness.row,
+                                bound_of_var: bound_of_var.is_some(),
+                                slack: witness.slack.to_f64(),
+                            },
+                            discrepancy: format!(
+                                "the simplex optimum is infeasible in exact arithmetic beyond \
+                                 its own tolerance: row {} violated by exactly {} ≥ {band:e}",
+                                witness.row, witness.slack
+                            ),
+                        }));
+                    }
+                    format!(
+                        "float optimum REFUSED as a certificate: row {} violated by exactly \
+                         {} (inside the ±{band:e} band; claim rests on the integral point)",
+                        witness.row, witness.slack
+                    )
+                }
+                RationalVerdict::Refused { witness, band } => format!(
+                    "float optimum REFUSED as a certificate: row {} has exact slack {} \
+                     inside the ±{band:e} band (claim rests on the integral point)",
+                    witness.row,
+                    witness.slack.to_f64()
+                ),
+                RationalVerdict::Unrepresentable { row } => {
+                    return Ok(StageOutcome::Refused {
+                        stage: Stage::Lp,
+                        reason: format!(
+                            "exact arithmetic overflowed re-checking the float optimum (row {row})"
+                        ),
+                    });
+                }
+            }
+        }
+        Err(SolveError::Interrupted(i)) => return Err(i),
+        Err(e) => {
+            // The solver failing here contradicts nothing: the exact
+            // integral certificate above already proved feasibility.
+            format!("float re-solve returned '{e}'; certificate rests on the integral point")
+        }
+    };
+
+    let cap_note = if capped {
+        format!(
+            " (float re-solve capped to the {} hardest rows)",
+            rows.len()
+        )
+    } else {
+        String::new()
+    };
+    Ok(StageOutcome::Certified(Certificate {
+        stage: Stage::Lp,
+        checked: full.lp.num_constraints() as u64,
+        detail: format!(
+            "integral point of the {q}-block Statement-5 relaxation re-evaluated in exact \
+             rationals over all {m} rows ({} constraints); {float_note}{cap_note}",
+            full.lp.num_constraints()
+        ),
+    }))
+}

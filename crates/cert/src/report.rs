@@ -1,0 +1,221 @@
+//! Deterministic `ced-cert-report/1` JSON and terminal rendering.
+//!
+//! The JSON is byte-deterministic for fixed inputs (insertion-ordered
+//! objects, no wall-clock, no floats except exact slack reports), so
+//! certificate artifacts diff cleanly across runs and CI can grep them.
+
+use crate::{LatencyCertification, MachineCertification, Refutation, Stage, StageOutcome, Witness};
+use ced_runtime::Json;
+
+fn stage_str(stage: Stage) -> String {
+    stage.to_string()
+}
+
+fn witness_json(w: &Witness) -> Json {
+    match w {
+        Witness::UndetectedPath { fault, steps } => Json::Object(vec![
+            ("kind".into(), Json::str("undetected-path")),
+            ("fault".into(), Json::str(&fault.to_string())),
+            (
+                "steps".into(),
+                Json::Array(
+                    steps
+                        .iter()
+                        .map(|s| {
+                            Json::Object(vec![
+                                ("good_state".into(), Json::UInt(s.good_state)),
+                                ("faulty_state".into(), Json::UInt(s.faulty_state)),
+                                ("input".into(), Json::UInt(s.input)),
+                                ("difference".into(), Json::UInt(s.difference)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Witness::LpRow {
+            row,
+            bound_of_var,
+            slack,
+        } => Json::Object(vec![
+            ("kind".into(), Json::str("lp-row")),
+            ("row".into(), Json::UInt(*row as u64)),
+            ("bound_of_var".into(), Json::Bool(*bound_of_var)),
+            ("slack".into(), Json::Float(*slack)),
+        ]),
+        Witness::UncoveredRow { row, steps } => Json::Object(vec![
+            ("kind".into(), Json::str("uncovered-row")),
+            ("row".into(), Json::UInt(*row as u64)),
+            (
+                "steps".into(),
+                Json::Array(steps.iter().map(|&d| Json::UInt(d)).collect()),
+            ),
+        ]),
+        Witness::SynthesisMismatch {
+            counterexample,
+            output_a,
+            output_b,
+        } => Json::Object(vec![
+            ("kind".into(), Json::str("synthesis-mismatch")),
+            (
+                "counterexample".into(),
+                Json::Array(counterexample.iter().map(|&i| Json::UInt(i)).collect()),
+            ),
+            ("output_a".into(), Json::UInt(*output_a)),
+            ("output_b".into(), Json::UInt(*output_b)),
+        ]),
+        Witness::CheckerMismatch {
+            state,
+            input,
+            corruption,
+            expected,
+            observed,
+        } => Json::Object(vec![
+            ("kind".into(), Json::str("checker-mismatch")),
+            ("state".into(), Json::UInt(*state)),
+            ("input".into(), Json::UInt(*input)),
+            ("corruption".into(), Json::UInt(*corruption)),
+            ("expected".into(), Json::Bool(*expected)),
+            ("observed".into(), Json::Bool(*observed)),
+        ]),
+        Witness::CoverRegression {
+            claimed_q,
+            independent_q,
+        } => Json::Object(vec![
+            ("kind".into(), Json::str("cover-regression")),
+            ("claimed_q".into(), Json::UInt(*claimed_q as u64)),
+            ("independent_q".into(), Json::UInt(*independent_q as u64)),
+        ]),
+    }
+}
+
+fn stage_json(o: &StageOutcome) -> Json {
+    match o {
+        StageOutcome::Certified(c) => Json::Object(vec![
+            ("stage".into(), Json::str(&stage_str(c.stage))),
+            ("outcome".into(), Json::str("certified")),
+            ("checked".into(), Json::UInt(c.checked)),
+            ("detail".into(), Json::str(&c.detail)),
+        ]),
+        StageOutcome::Refuted(r) => Json::Object(vec![
+            ("stage".into(), Json::str(&stage_str(r.stage))),
+            ("outcome".into(), Json::str("refuted")),
+            ("discrepancy".into(), Json::str(&r.discrepancy)),
+            ("witness".into(), witness_json(&r.witness)),
+        ]),
+        StageOutcome::Refused { stage, reason } => Json::Object(vec![
+            ("stage".into(), Json::str(&stage_str(*stage))),
+            ("outcome".into(), Json::str("refused")),
+            ("reason".into(), Json::str(reason)),
+        ]),
+    }
+}
+
+fn latency_json(l: &LatencyCertification) -> Json {
+    Json::Object(vec![
+        ("latency".into(), Json::UInt(l.latency as u64)),
+        ("q".into(), Json::UInt(l.claimed_q as u64)),
+        ("verdict".into(), Json::str(&l.verdict().to_string())),
+        (
+            "stages".into(),
+            Json::Array(l.stages.iter().map(stage_json).collect()),
+        ),
+    ])
+}
+
+/// One machine's certificate chain as a `Json` value (no schema key;
+/// see [`cert_report_json`] for the top-level document).
+pub fn machine_json(m: &MachineCertification) -> Json {
+    Json::Object(vec![
+        ("machine".into(), Json::str(&m.name)),
+        ("verdict".into(), Json::str(&m.verdict().to_string())),
+        ("synthesis".into(), stage_json(&m.synthesis)),
+        (
+            "latencies".into(),
+            Json::Array(m.latencies.iter().map(latency_json).collect()),
+        ),
+    ])
+}
+
+/// The `ced-cert-report/1` document for one or more machines. The
+/// `schema` key comes first so consumers can sniff the prefix.
+pub fn cert_report_json(machines: &[MachineCertification]) -> Json {
+    let refuted = machines
+        .iter()
+        .filter(|m| m.verdict() == crate::Verdict::Refuted)
+        .count();
+    let refused = machines
+        .iter()
+        .filter(|m| m.verdict() == crate::Verdict::Refused)
+        .count();
+    Json::Object(vec![
+        ("schema".into(), Json::str("ced-cert-report/1")),
+        (
+            "machines".into(),
+            Json::Array(machines.iter().map(machine_json).collect()),
+        ),
+        (
+            "summary".into(),
+            Json::Object(vec![
+                ("total".into(), Json::UInt(machines.len() as u64)),
+                (
+                    "certified".into(),
+                    Json::UInt((machines.len() - refuted - refused) as u64),
+                ),
+                ("refused".into(), Json::UInt(refused as u64)),
+                ("refuted".into(), Json::UInt(refuted as u64)),
+            ]),
+        ),
+    ])
+}
+
+fn refutation_lines(r: &Refutation, out: &mut String) {
+    out.push_str(&format!("      ! {}\n", r.discrepancy));
+    if let Witness::UndetectedPath { fault, steps } = &r.witness {
+        out.push_str(&format!("        witness: fault {fault}, path"));
+        for s in steps {
+            out.push_str(&format!(
+                " [g={:#x} f={:#x} in={:#x} d={:#x}]",
+                s.good_state, s.faulty_state, s.input, s.difference
+            ));
+        }
+        out.push('\n');
+    }
+}
+
+/// Human-readable certificate chain for terminal output.
+pub fn render_text(m: &MachineCertification) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}: {}\n", m.name, m.verdict()));
+    let line = |o: &StageOutcome, out: &mut String| match o {
+        StageOutcome::Certified(c) => {
+            out.push_str(&format!(
+                "    {:<22} certified  ({} checked) {}\n",
+                c.stage.to_string(),
+                c.checked,
+                c.detail
+            ));
+        }
+        StageOutcome::Refused { stage, reason } => {
+            out.push_str(&format!("    {stage:<22} REFUSED    {reason}\n"));
+        }
+        StageOutcome::Refuted(r) => {
+            out.push_str(&format!("    {:<22} REFUTED\n", r.stage.to_string()));
+            refutation_lines(r, out);
+        }
+    };
+    out.push_str("  machine-level:\n");
+    line(&m.synthesis, &mut out);
+    for l in &m.latencies {
+        out.push_str(&format!(
+            "  p = {} (q = {}): {}\n",
+            l.latency,
+            l.claimed_q,
+            l.verdict()
+        ));
+        for o in &l.stages {
+            line(o, &mut out);
+        }
+    }
+    out
+}

@@ -1,0 +1,112 @@
+//! Differential oracle: on random small FSMs, the BFS product-machine
+//! soundness verifier must agree exactly with the table-driven DFS of
+//! `ced_sim::detect` on every covering question, under both
+//! step-difference semantics. The two implementations share no
+//! enumeration code, so agreement across random machines and random
+//! covers is strong evidence for both.
+
+use ced_cert::soundness::verify_solution;
+use ced_core::pipeline::{build_input_model, fault_list, prepare_machine, PipelineOptions};
+use ced_fsm::machine::{Fsm, OutputValue, StateId};
+use ced_logic::Cube;
+use ced_runtime::Budget;
+use ced_sim::detect::{DetectOptions, DetectabilityTable, Semantics};
+use proptest::prelude::*;
+
+/// A random complete deterministic FSM: ≤ 6 states, 1–2 input bits,
+/// 1–2 output bits, transitions drawn from an LCG stream.
+fn random_fsm(states: usize, inputs: usize, outputs: usize, seed: u64) -> Fsm {
+    let mut fsm = Fsm::new("random", inputs, outputs);
+    let ids: Vec<StateId> = (0..states)
+        .map(|i| fsm.add_state(format!("s{i}")))
+        .collect();
+    let mut x = seed | 1;
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 11
+    };
+    for &from in &ids {
+        for a in 0..(1u64 << inputs) {
+            let to = ids[(next() % states as u64) as usize];
+            let bits = next();
+            let out: Vec<OutputValue> = (0..outputs)
+                .map(|b| {
+                    if (bits >> b) & 1 == 1 {
+                        OutputValue::One
+                    } else {
+                        OutputValue::Zero
+                    }
+                })
+                .collect();
+            fsm.add_transition(Cube::minterm(inputs, a), from, to, out)
+                .expect("well-formed transition");
+        }
+    }
+    fsm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bfs_verifier_agrees_with_detect_tensor(
+        states in 2usize..=6,
+        inputs in 1usize..=2,
+        outputs in 1usize..=2,
+        latency in 1usize..=3,
+        seed in any::<u64>(),
+        mask_seed in any::<u64>(),
+    ) {
+        let fsm = random_fsm(states, inputs, outputs, seed);
+        let options = PipelineOptions::paper_defaults();
+        let (encoded, circuit) = prepare_machine(&fsm, &options).expect("prepare");
+        let input_model =
+            build_input_model(encoded.fsm(), encoded.encoding(), options.input_granularity);
+        let faults = fault_list(&circuit, &options);
+        let n = circuit.total_bits();
+
+        // 1–3 random nonzero masks over the monitored bits.
+        let count = 1 + (mask_seed % 3) as usize;
+        let masks: Vec<u64> = (0..count)
+            .map(|i| {
+                let m = (mask_seed >> (7 * i)) & ((1u64 << n) - 1);
+                if m == 0 { 1 } else { m }
+            })
+            .collect();
+
+        for semantics in [Semantics::Lockstep, Semantics::FaultyTrajectory] {
+            let (table, _stats) = DetectabilityTable::build(
+                &circuit,
+                &faults,
+                &DetectOptions {
+                    latency,
+                    max_rows: 2_000_000,
+                    semantics,
+                    input_model: input_model.clone(),
+                    reduce: true,
+                },
+            )
+            .expect("table");
+            let tensor_covered = table.all_covered(&masks);
+            let outcome = verify_solution(
+                &circuit,
+                &faults,
+                &input_model,
+                semantics,
+                &masks,
+                latency,
+                &Budget::unlimited(),
+            )
+            .expect("unlimited budget");
+            prop_assert_eq!(
+                outcome.is_certified(),
+                tensor_covered,
+                "semantics {:?}: BFS verifier and detect.rs tensor disagree \
+                 (states={} inputs={} outputs={} p={} masks={:?}): {:?}",
+                semantics, states, inputs, outputs, latency, &masks, outcome
+            );
+        }
+    }
+}

@@ -263,7 +263,7 @@ pub fn suite(args: &[String]) -> CliResult {
     }
     control.on_progress = Some(&mut progress);
 
-    let report = match ced_core::run_suite(&parsed.machines, &parsed.options, &lib, control) {
+    let mut report = match ced_core::run_suite(&parsed.machines, &parsed.options, &lib, control) {
         Ok(report) => report,
         Err(SuiteError::Interrupted(i)) => {
             if let Some(path) = &parsed.checkpoint {
@@ -280,7 +280,18 @@ pub fn suite(args: &[String]) -> CliResult {
     };
     heartbeat.finish(report.records.len() as u64);
 
-    let json = report.to_json();
+    // Trust-but-verify: re-prove every finished record, quarantining
+    // refuted machines, and append the certification document to the
+    // report output (JSON Lines when writing to a file).
+    let mut json = report.to_json();
+    if parsed.certify {
+        let certs = certify_suite(&mut report, &parsed, &lib);
+        json = format!(
+            "{}\n{}",
+            report.to_json(),
+            ced_cert::report::cert_report_json(&certs).render()
+        );
+    }
     match &parsed.out {
         Some(out) => std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?,
         None => println!("{json}"),
@@ -295,6 +306,125 @@ pub fn suite(args: &[String]) -> CliResult {
         return Err(format!("{} machine(s) quarantined", report.quarantined()).into());
     }
     Ok(())
+}
+
+/// `ced certify` — run the pipeline, then independently re-prove every
+/// claim it made with the `ced-cert` verifier chain. Exits nonzero
+/// unless every stage of every latency bound certifies.
+pub fn certify(args: &[String]) -> CliResult {
+    let parsed = parse(args)?;
+    let lib = CellLibrary::new();
+    let heartbeat = Arc::new(
+        Heartbeat::new(&format!("certify {}", parsed.fsm.name()), "work units").quiet(parsed.quiet),
+    );
+    let budget = run_budget(parsed.deadline_ms, parsed.ticks, heartbeat.clone());
+    let report = match run_circuit_controlled(
+        &parsed.fsm,
+        &parsed.latencies,
+        &parsed.options,
+        &lib,
+        PipelineControl::new(&budget),
+    ) {
+        Ok(report) => report,
+        Err(PipelineError::Interrupted(i)) => {
+            return Err(format!("pipeline {}", i.interrupted).into());
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let cert = ced_cert::certify_report(
+        &parsed.fsm,
+        &report,
+        &parsed.options,
+        &ced_cert::CertifyOptions {
+            seed: parsed.seed,
+            ..ced_cert::CertifyOptions::default()
+        },
+        &budget,
+    )?;
+    heartbeat.finish(budget.ticks());
+    print!("{}", ced_cert::report::render_text(&cert));
+    let verdict = cert.verdict();
+    if let Some(out) = &parsed.out {
+        std::fs::write(out, ced_cert::report::cert_report_json(&[cert]).render())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
+    match verdict {
+        ced_cert::Verdict::Certified => Ok(()),
+        v => Err(format!("certification verdict: {v}").into()),
+    }
+}
+
+/// Re-proves every finished suite record with the certification layer.
+/// Refuted machines are quarantined in place (status re-rendered, note
+/// appended); refusals and certification errors are surfaced as notes
+/// on stderr but do not quarantine — only a concrete witness does.
+fn certify_suite(
+    report: &mut ced_core::SuiteReport,
+    parsed: &crate::options::SuiteArgs,
+    lib: &CellLibrary,
+) -> Vec<ced_cert::MachineCertification> {
+    let mut certs = Vec::new();
+    for (name, fsm) in &parsed.machines {
+        let Some(rec) = report.records.iter_mut().find(|r| r.name == *name) else {
+            continue;
+        };
+        if rec.status == ced_core::MachineStatus::Quarantined {
+            continue; // nothing finished, nothing to certify
+        }
+        // A two-attempt record ran under the degraded option set; the
+        // certifier must reproduce the same deterministic artifacts.
+        let pipeline = if rec.attempts > 1 {
+            ced_core::suite::degraded_pipeline(&parsed.options.pipeline)
+        } else {
+            parsed.options.pipeline.clone()
+        };
+        let mut budget = Budget::new();
+        if let Some(d) = parsed.options.machine_deadline {
+            budget = budget.with_deadline(d);
+        }
+        if let Some(t) = parsed.options.machine_ticks {
+            budget = budget.with_tick_cap(t);
+        }
+        let outcome = run_circuit_controlled(
+            fsm,
+            &parsed.options.latencies,
+            &pipeline,
+            lib,
+            PipelineControl::new(&budget),
+        )
+        .map_err(|e| e.to_string())
+        .and_then(|pr| {
+            ced_cert::certify_report(
+                fsm,
+                &pr,
+                &pipeline,
+                &ced_cert::CertifyOptions::default(),
+                &budget,
+            )
+            .map_err(|e| e.to_string())
+        });
+        match outcome {
+            Ok(cert) => {
+                if !parsed.quiet {
+                    eprintln!("[ced] certify: {name} {}", cert.verdict());
+                }
+                if cert.verdict() == ced_cert::Verdict::Refuted {
+                    let stages: Vec<String> = cert
+                        .refutations()
+                        .iter()
+                        .map(|r| r.stage.to_string())
+                        .collect();
+                    rec.quarantine(format!("certification refuted: {}", stages.join(", ")));
+                }
+                certs.push(cert);
+            }
+            Err(e) => {
+                eprintln!("[ced] certify: {name}: could not certify: {e}");
+            }
+        }
+    }
+    report.certified = true;
+    certs
 }
 
 /// `ced export` — write the synthesized machine as BLIF or Verilog.

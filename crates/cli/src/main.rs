@@ -9,6 +9,9 @@
 //! ced table  <machine.kiss2> [--latencies L]  one Table-1 style row
 //! ced suite  [--machines A,B] [--scaled]      survivable campaign over the
 //!                                             built-in benchmark machines
+//! ced certify <machine.kiss2> [--latencies L] re-prove every pipeline claim
+//!                                             with the independent verifier
+//!                                             chain
 //! ced inject <machine.kiss2> [--latency P]    fault-injection validation
 //! ced export <machine.kiss2> --format blif|verilog
 //! ced minimize <machine.kiss2>                emit the state-minimized KISS2
@@ -42,6 +45,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "check" => commands::check(&args[1..]),
         "table" => commands::table(&args[1..]),
         "suite" => commands::suite(&args[1..]),
+        "certify" => commands::certify(&args[1..]),
         "inject" => commands::inject(&args[1..]),
         "export" => commands::export(&args[1..]),
         "minimize" => commands::minimize(&args[1..]),
@@ -69,6 +73,9 @@ commands:
   table   one Table-1 style row across several latency bounds
   suite   survivable campaign over the built-in benchmark machines:
           per-machine budgets, degraded retries, quarantine, JSON report
+  certify run the pipeline, then independently re-prove every claim it
+          made: BFS soundness, exact-rational LP certificates, synthesis
+          equivalence, checker co-simulation, greedy differential
   inject  operational validation: inject every fault, report latencies
   export  write the synthesized machine as BLIF or structural Verilog
   minimize  merge equivalent states; print the minimized KISS2
@@ -102,6 +109,11 @@ suite options:
   --no-retry                                 quarantine immediately instead of
                                              retrying once with degraded
                                              options
+  --certify                                  re-prove every finished machine
+                                             with the certification layer;
+                                             refuted machines are quarantined
+                                             and the cert report is appended
+                                             as a second JSON line
 
 inject options:
   --campaign                                 full campaign: checker netlist in

@@ -213,6 +213,10 @@ pub struct SuiteArgs {
     pub machines: Vec<(String, Fsm)>,
     /// Suite configuration assembled from the flags.
     pub options: ced_core::SuiteOptions,
+    /// `--certify`: re-prove every finished machine's results with the
+    /// independent certification layer; refuted machines are
+    /// quarantined.
+    pub certify: bool,
     /// `--quiet`.
     pub quiet: bool,
     /// `--resume <path>`.
@@ -238,6 +242,7 @@ pub fn parse_suite(args: &[String]) -> Result<SuiteArgs, Box<dyn std::error::Err
         ..ced_core::SuiteOptions::default()
     };
     let mut seed = 0u64;
+    let mut certify = false;
     let mut quiet = false;
     let mut resume = None;
     let mut checkpoint = None;
@@ -246,6 +251,9 @@ pub fn parse_suite(args: &[String]) -> Result<SuiteArgs, Box<dyn std::error::Err
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--certify" => {
+                certify = true;
+            }
             "--machines" => {
                 let list = it.next().ok_or("--machines needs a comma list of names")?;
                 names = list.split(',').map(|t| t.trim().to_string()).collect();
@@ -340,6 +348,7 @@ pub fn parse_suite(args: &[String]) -> Result<SuiteArgs, Box<dyn std::error::Err
     Ok(SuiteArgs {
         machines,
         options,
+        certify,
         quiet,
         resume,
         checkpoint,

@@ -125,6 +125,38 @@ pub struct MachineRecord {
     pub json: String,
 }
 
+impl MachineRecord {
+    /// Downgrades a finished record to [`MachineStatus::Quarantined`]
+    /// after an external audit (e.g. the `ced-cert` certification
+    /// layer) refutes its results, appending `note` to the trail and
+    /// re-rendering the stored JSON fragment with the new status. The
+    /// embedded pipeline report is kept: the point of a post-hoc
+    /// quarantine is that the results exist but must not be trusted.
+    pub fn quarantine(&mut self, note: String) {
+        self.status = MachineStatus::Quarantined;
+        self.notes.push(note);
+        // The fragment was rendered by `render_record`, whose only
+        // unescaped `,"report":` is the top-level key (inside note
+        // strings the quotes are escaped), so splitting on it recovers
+        // the report fragment verbatim.
+        let report = self
+            .json
+            .find(",\"report\":")
+            .map(|i| self.json[i + ",\"report\":".len()..self.json.len() - 1].to_string());
+        self.json = Json::Object(vec![
+            ("name".into(), Json::str(&self.name)),
+            ("status".into(), Json::Str(self.status.to_string())),
+            ("attempts".into(), Json::UInt(self.attempts as u64)),
+            (
+                "notes".into(),
+                Json::Array(self.notes.iter().map(|n| Json::str(n)).collect()),
+            ),
+            ("report".into(), report.map_or(Json::Null, Json::Raw)),
+        ])
+        .render();
+    }
+}
+
 /// The finished (or partial) campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuiteReport {
@@ -132,6 +164,11 @@ pub struct SuiteReport {
     pub latencies: Vec<usize>,
     /// One record per machine processed, in input order.
     pub records: Vec<MachineRecord>,
+    /// Whether the campaign's results were re-proved by the
+    /// certification layer (`ced suite --certify`); recorded in the
+    /// report header so downstream readers know which trust level the
+    /// numbers carry.
+    pub certified: bool,
 }
 
 impl SuiteReport {
@@ -163,6 +200,8 @@ impl SuiteReport {
     pub fn to_json(&self) -> String {
         Json::Object(vec![
             ("schema".into(), Json::str("ced-suite-report/1")),
+            ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+            ("certified".into(), Json::Bool(self.certified)),
             (
                 "latencies".into(),
                 Json::Array(
@@ -393,8 +432,9 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// The degraded-retry option set: transition-cube inputs and collapsed
 /// faults — the cheapest fidelity the paper's experiment still
-/// supports.
-fn degraded_pipeline(p: &PipelineOptions) -> PipelineOptions {
+/// supports. Public so post-hoc auditors (the certification layer) can
+/// reproduce exactly the options a two-attempt record ran under.
+pub fn degraded_pipeline(p: &PipelineOptions) -> PipelineOptions {
     let mut d = p.clone();
     d.input_granularity = InputGranularity::TransitionCubes;
     d.full_fault_list = false;
@@ -701,6 +741,7 @@ pub fn run_suite(
                 let partial = SuiteReport {
                     latencies: options.latencies.clone(),
                     records,
+                    certified: false,
                 };
                 return Err(SuiteError::Interrupted(Box::new(SuiteInterrupted {
                     interrupted,
@@ -714,6 +755,7 @@ pub fn run_suite(
     Ok(SuiteReport {
         latencies: options.latencies.clone(),
         records,
+        certified: false,
     })
 }
 
@@ -751,6 +793,57 @@ mod tests {
         assert!(json.starts_with("{\"schema\":\"ced-suite-report/1\""));
         assert!(json.contains("\"name\":\"seq\""));
         assert!(json.contains("\"total\":2"));
+    }
+
+    #[test]
+    fn report_header_records_version_and_certify_flag() {
+        let mut report = run_suite(
+            &small_suite()[..1],
+            &fast_options(),
+            &CellLibrary::new(),
+            SuiteControl::new(),
+        )
+        .unwrap();
+        let json = report.to_json();
+        assert!(
+            json.starts_with(&format!(
+                "{{\"schema\":\"ced-suite-report/1\",\"version\":\"{}\",\"certified\":false",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{json}"
+        );
+        report.certified = true;
+        assert!(report.to_json().contains("\"certified\":true"));
+    }
+
+    #[test]
+    fn post_hoc_quarantine_rerenders_the_record() {
+        let report = run_suite(
+            &small_suite()[..1],
+            &fast_options(),
+            &CellLibrary::new(),
+            SuiteControl::new(),
+        )
+        .unwrap();
+        let mut rec = report.records[0].clone();
+        assert_eq!(rec.status, MachineStatus::Completed);
+        assert!(rec.json.contains("\"masks\""), "{}", rec.json);
+        rec.quarantine("certification refuted q at p=1".into());
+        assert_eq!(rec.status, MachineStatus::Quarantined);
+        assert!(
+            rec.json.contains("\"status\":\"quarantined\""),
+            "{}",
+            rec.json
+        );
+        assert!(rec.json.contains("certification refuted q"), "{}", rec.json);
+        // The pipeline report fragment survives the re-render verbatim.
+        let original = &report.records[0].json;
+        let frag_at = |j: &str| {
+            j.find(",\"report\":")
+                .map(|i| j[i..j.len() - 1].to_string())
+        };
+        assert_eq!(frag_at(original), frag_at(&rec.json));
+        assert!(frag_at(&rec.json).unwrap().contains("\"masks\""));
     }
 
     #[test]

@@ -28,9 +28,24 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod problem;
+pub mod rational;
 pub mod rounding;
 pub mod simplex;
 
+/// The workspace-wide float tolerance for LP numerics.
+///
+/// Every "is this zero?" decision in the solver chain — simplex
+/// optimality and feasibility tests, ratio-test tie breaking (via
+/// [`simplex`]'s internal constants, all defined as multiples of this
+/// value) and the certification layer's refusal band — derives from
+/// this single constant, so a point judged feasible by one stage cannot
+/// be judged infeasible by another merely because the two stages
+/// disagreed on epsilon. Exact re-checks ([`rational`]) use no
+/// tolerance at all; `EPS` is the width of the float band inside which
+/// they refuse to certify rather than trust float arithmetic.
+pub const EPS: f64 = 1e-9;
+
 pub use problem::{Constraint, ConstraintOp, LinearProgram, Sense, VarId};
+pub use rational::{check_feasibility_exact, Rat64, RatError, RationalVerdict, SlackReport};
 pub use rounding::{round_binary, round_to_mask, round_until, round_until_budgeted};
 pub use simplex::{solve, solve_budgeted, LpSolution, SolveError};

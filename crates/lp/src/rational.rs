@@ -1,0 +1,614 @@
+//! Exact rational arithmetic for certifying float LP answers.
+//!
+//! The simplex solver works in `f64` and accepts anything within
+//! [`crate::EPS`] of feasible. That is fine for driving a search, but a
+//! *certificate* must not inherit the solver's rounding error — so this
+//! module re-evaluates constraint rows in exact arithmetic over
+//! [`Rat64`], a small bigint-free rational type whose every operation
+//! is overflow-checked. Each finite `f64` is a dyadic rational and
+//! converts *exactly* (no epsilon enters the conversion); an operation
+//! whose exact result leaves the `i64` range is a typed
+//! [`RatError::Overflow`], never a silently wrong answer.
+//!
+//! The verdict policy ([`check_feasibility_exact`]) is deliberately
+//! three-valued: a point is **feasible** when every row holds with
+//! slack outside the configured band, **infeasible** with the violated
+//! row as witness, or **refused** when the exact slack is inside the
+//! band — too close to call given that the *inputs* were produced by
+//! float arithmetic, even though our re-evaluation of them is exact.
+//!
+//! # Examples
+//!
+//! ```
+//! use ced_lp::rational::Rat64;
+//!
+//! let third = Rat64::new(1, 3)?;
+//! let sum = third.add(third)?.add(third)?;
+//! assert_eq!(sum, Rat64::from_int(1));
+//! // f64 conversion is exact: 0.1 is NOT 1/10 in binary.
+//! assert_ne!(Rat64::from_f64(0.1)?, Rat64::new(1, 10)?);
+//! # Ok::<(), ced_lp::rational::RatError>(())
+//! ```
+
+use crate::problem::{ConstraintOp, LinearProgram};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Failure of an exact-arithmetic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RatError {
+    /// An intermediate or final value left the `i64` range. The
+    /// certification layer treats this as "cannot certify", never as
+    /// evidence either way.
+    Overflow,
+    /// A zero denominator (construction) or non-finite float
+    /// (conversion).
+    Undefined,
+}
+
+impl fmt::Display for RatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RatError::Overflow => write!(f, "exact rational overflowed i64"),
+            RatError::Undefined => write!(f, "undefined rational (zero denominator or NaN/inf)"),
+        }
+    }
+}
+
+impl std::error::Error for RatError {}
+
+/// An exact rational `num/den` with `den > 0`, always in lowest terms.
+///
+/// Bigint-free by design: the numerator and denominator are plain
+/// `i64`s and every operation reports [`RatError::Overflow`] instead of
+/// wrapping or saturating. For the LP rows this workspace generates
+/// (coefficients in `{−1, 0, 1}`, bounds in `[0, 1]`, right-hand sides
+/// like `1/q`) the range is never stressed; the checks exist so that a
+/// pathological input degrades to a typed refusal, not a wrong
+/// certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rat64 {
+    num: i64,
+    den: i64,
+}
+
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    // Magnitudes fit because callers never pass i64::MIN (normalize
+    // rejects it via checked negation before reducing).
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+// The arithmetic methods intentionally shadow the operator-trait names:
+// they are the *fallible* forms (overflow is an error, not a panic), so
+// implementing `Add`/`Sub`/`Mul`/`Neg` — whose signatures cannot return
+// `Result` — would be wrong, and any other names would read worse.
+#[allow(clippy::should_implement_trait)]
+impl Rat64 {
+    /// The exact zero.
+    pub const ZERO: Rat64 = Rat64 { num: 0, den: 1 };
+
+    /// Builds `num/den` in lowest terms.
+    ///
+    /// # Errors
+    ///
+    /// [`RatError::Undefined`] for `den == 0`; [`RatError::Overflow`]
+    /// when normalization cannot represent the value (only possible for
+    /// `i64::MIN` components).
+    pub fn new(num: i64, den: i64) -> Result<Rat64, RatError> {
+        if den == 0 {
+            return Err(RatError::Undefined);
+        }
+        // Normalize sign into the numerator via checked negation, so
+        // i64::MIN (whose negation overflows) is rejected, not wrapped.
+        let (num, den) = if den < 0 {
+            (
+                num.checked_neg().ok_or(RatError::Overflow)?,
+                den.checked_neg().ok_or(RatError::Overflow)?,
+            )
+        } else {
+            (num, den)
+        };
+        if num == i64::MIN {
+            return Err(RatError::Overflow);
+        }
+        let g = gcd(num, den);
+        if g <= 1 {
+            return Ok(Rat64 { num, den });
+        }
+        Ok(Rat64 {
+            num: num / g,
+            den: den / g,
+        })
+    }
+
+    /// The exact integer `n`.
+    pub fn from_int(n: i64) -> Rat64 {
+        Rat64 { num: n, den: 1 }
+    }
+
+    /// Converts a finite `f64` exactly (every finite float is a dyadic
+    /// rational `m · 2^e`).
+    ///
+    /// # Errors
+    ///
+    /// [`RatError::Undefined`] for NaN/infinities;
+    /// [`RatError::Overflow`] when the exact value does not fit — e.g.
+    /// magnitudes at or above `2^63`, or exponents below `−62` whose
+    /// denominator `2^|e|` leaves `i64`.
+    pub fn from_f64(x: f64) -> Result<Rat64, RatError> {
+        if !x.is_finite() {
+            return Err(RatError::Undefined);
+        }
+        if x == 0.0 {
+            return Ok(Rat64::ZERO);
+        }
+        let bits = x.to_bits();
+        let sign: i64 = if bits >> 63 == 1 { -1 } else { 1 };
+        let biased = ((bits >> 52) & 0x7FF) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        // Mantissa with the implicit leading 1 (or a subnormal), and the
+        // power-of-two exponent that scales it.
+        let (mut mant, mut exp) = if biased == 0 {
+            (frac as i64, -1074i64)
+        } else {
+            ((frac | (1 << 52)) as i64, biased - 1075)
+        };
+        // Strip trailing zeros so the exponent is as small in magnitude
+        // as the value allows.
+        while mant & 1 == 0 && mant != 0 {
+            mant >>= 1;
+            exp += 1;
+        }
+        match exp.cmp(&0) {
+            Ordering::Equal => Rat64::new(sign * mant, 1),
+            Ordering::Greater => {
+                if exp >= 63 {
+                    return Err(RatError::Overflow);
+                }
+                let num = mant.checked_shl(exp as u32).ok_or(RatError::Overflow)?;
+                // checked_shl only catches shift-amount overflow, not
+                // value overflow; verify the shift is reversible.
+                if num >> exp != mant {
+                    return Err(RatError::Overflow);
+                }
+                Rat64::new(sign * num, 1)
+            }
+            Ordering::Less => {
+                if -exp >= 63 {
+                    return Err(RatError::Overflow);
+                }
+                Rat64::new(sign * mant, 1i64 << (-exp))
+            }
+        }
+    }
+
+    /// The numerator (sign-carrying, lowest terms).
+    pub fn numerator(&self) -> i64 {
+        self.num
+    }
+
+    /// The denominator (always positive, lowest terms).
+    pub fn denominator(&self) -> i64 {
+        self.den
+    }
+
+    /// Exact sum.
+    ///
+    /// # Errors
+    ///
+    /// [`RatError::Overflow`] when the exact result leaves `i64`.
+    pub fn add(self, other: Rat64) -> Result<Rat64, RatError> {
+        // a/b + c/d over the reduced common denominator: keeps the
+        // intermediates as small as a 64-bit-only implementation can.
+        let g = gcd(self.den, other.den);
+        let lhs_scale = other.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)
+            .and_then(|a| {
+                other
+                    .num
+                    .checked_mul(rhs_scale)
+                    .and_then(|b| a.checked_add(b))
+            })
+            .ok_or(RatError::Overflow)?;
+        let den = self.den.checked_mul(lhs_scale).ok_or(RatError::Overflow)?;
+        Rat64::new(num, den)
+    }
+
+    /// Exact difference.
+    ///
+    /// # Errors
+    ///
+    /// [`RatError::Overflow`] when the exact result leaves `i64`.
+    pub fn sub(self, other: Rat64) -> Result<Rat64, RatError> {
+        self.add(other.neg()?)
+    }
+
+    /// Exact product.
+    ///
+    /// # Errors
+    ///
+    /// [`RatError::Overflow`] when the exact result leaves `i64`.
+    pub fn mul(self, other: Rat64) -> Result<Rat64, RatError> {
+        // Cross-reduce before multiplying: (a/b)(c/d) with gcd(a,d) and
+        // gcd(c,b) divided out first survives much larger operands.
+        let g1 = gcd(self.num, other.den).max(1);
+        let g2 = gcd(other.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(other.num / g2)
+            .ok_or(RatError::Overflow)?;
+        let den = (self.den / g2)
+            .checked_mul(other.den / g1)
+            .ok_or(RatError::Overflow)?;
+        Rat64::new(num, den)
+    }
+
+    /// Exact negation.
+    ///
+    /// # Errors
+    ///
+    /// [`RatError::Overflow`] for `i64::MIN` numerators (unreachable
+    /// for normalized values, kept for totality).
+    pub fn neg(self) -> Result<Rat64, RatError> {
+        Ok(Rat64 {
+            num: self.num.checked_neg().ok_or(RatError::Overflow)?,
+            den: self.den,
+        })
+    }
+
+    /// Exact sign: −1, 0 or 1.
+    pub fn signum(&self) -> i64 {
+        self.num.signum()
+    }
+
+    /// Exact absolute value.
+    pub fn abs(self) -> Rat64 {
+        Rat64 {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Nearest `f64` (for reporting only — never for decisions).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact comparison.
+    pub fn cmp_exact(&self, other: &Rat64) -> Result<Ordering, RatError> {
+        Ok(self.sub(*other)?.num.cmp(&0))
+    }
+}
+
+impl fmt::Display for Rat64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Exact slack of one constraint row at a point: `rhs − lhs` for `≤`,
+/// `lhs − rhs` for `≥`, `−|lhs − rhs|` for `=` — positive means
+/// satisfied with room, negative means violated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlackReport {
+    /// Constraint row index in the program.
+    pub row: usize,
+    /// The exact signed slack.
+    pub slack: Rat64,
+}
+
+/// Outcome of an exact feasibility check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RationalVerdict {
+    /// Every bound and row holds, each with slack at or outside the
+    /// band (binding `=` rows hold exactly).
+    Feasible {
+        /// The smallest slack over all inequality rows (`None` when the
+        /// program has only equality rows).
+        min_slack: Option<SlackReport>,
+    },
+    /// A bound or row is violated; the witness names it.
+    Infeasible {
+        /// The most-violated row (or variable bound, see
+        /// [`RationalVerdict::Infeasible::bound_of_var`]).
+        witness: SlackReport,
+        /// `Some(j)` when the witness is variable `j`'s bound rather
+        /// than a constraint row (then `witness.row` is `j` too).
+        bound_of_var: Option<usize>,
+    },
+    /// Satisfied, but some row's exact slack is strictly inside the
+    /// band `(0, band)`: the float pipeline that produced the point
+    /// cannot distinguish this from a violation, so certification is
+    /// refused rather than granted.
+    Refused {
+        /// The offending row and its too-small slack.
+        witness: SlackReport,
+        /// The band the slack fell inside.
+        band: f64,
+    },
+    /// Exact arithmetic could not represent an intermediate value.
+    Unrepresentable {
+        /// Row being evaluated when the overflow happened.
+        row: usize,
+    },
+}
+
+/// Checks primal feasibility of `x` in exact rational arithmetic.
+///
+/// All coefficients, bounds, right-hand sides and coordinates convert
+/// from `f64` exactly; no epsilon enters the evaluation. `band` is the
+/// refusal policy, not a tolerance: strict violations are
+/// [`RationalVerdict::Infeasible`] no matter how small (this is what
+/// catches float answers infeasible by less than [`crate::EPS`]), and
+/// *satisfied* inequality rows whose slack is positive but below `band`
+/// are [`RationalVerdict::Refused`]. Pass `band = 0.0` to certify any
+/// exactly-feasible point. Equality rows must hold exactly; bounds are
+/// never refused, only violated (they are integral in this workspace).
+///
+/// # Panics
+///
+/// Panics if `x.len()` differs from the program's variable count.
+pub fn check_feasibility_exact(lp: &LinearProgram, x: &[f64], band: f64) -> RationalVerdict {
+    assert_eq!(x.len(), lp.num_variables(), "point arity mismatch");
+    let mut xs: Vec<Rat64> = Vec::with_capacity(x.len());
+    for (j, &v) in x.iter().enumerate() {
+        match Rat64::from_f64(v) {
+            Ok(r) => xs.push(r),
+            Err(_) => return RationalVerdict::Unrepresentable { row: j },
+        }
+    }
+
+    // Variable bounds first: a violated bound is the cheapest witness.
+    let lower = lp.lower_bounds();
+    let upper = lp.upper_bounds();
+    for j in 0..x.len() {
+        for (bound, from_below) in [(lower[j], true), (upper[j], false)] {
+            if !bound.is_finite() {
+                continue;
+            }
+            let b = match Rat64::from_f64(bound) {
+                Ok(b) => b,
+                Err(_) => return RationalVerdict::Unrepresentable { row: j },
+            };
+            let slack = match if from_below {
+                xs[j].sub(b)
+            } else {
+                b.sub(xs[j])
+            } {
+                Ok(s) => s,
+                Err(_) => return RationalVerdict::Unrepresentable { row: j },
+            };
+            if slack.signum() < 0 {
+                return RationalVerdict::Infeasible {
+                    witness: SlackReport { row: j, slack },
+                    bound_of_var: Some(j),
+                };
+            }
+        }
+    }
+
+    let mut min_slack: Option<SlackReport> = None;
+    for (i, c) in lp.constraints().iter().enumerate() {
+        let mut lhs = Rat64::ZERO;
+        for (v, a) in &c.terms {
+            let coeff = match Rat64::from_f64(*a) {
+                Ok(r) => r,
+                Err(_) => return RationalVerdict::Unrepresentable { row: i },
+            };
+            lhs = match coeff.mul(xs[v.0]).and_then(|t| lhs.add(t)) {
+                Ok(s) => s,
+                Err(_) => return RationalVerdict::Unrepresentable { row: i },
+            };
+        }
+        let rhs = match Rat64::from_f64(c.rhs) {
+            Ok(r) => r,
+            Err(_) => return RationalVerdict::Unrepresentable { row: i },
+        };
+        let slack = match c.op {
+            ConstraintOp::Le => rhs.sub(lhs),
+            ConstraintOp::Ge => lhs.sub(rhs),
+            ConstraintOp::Eq => match lhs.sub(rhs) {
+                Ok(d) => d.abs().neg(),
+                Err(e) => Err(e),
+            },
+        };
+        let slack = match slack {
+            Ok(s) => s,
+            Err(_) => return RationalVerdict::Unrepresentable { row: i },
+        };
+        if c.op == ConstraintOp::Eq {
+            // slack = −|lhs − rhs|: zero iff the row holds exactly.
+            if slack.signum() != 0 {
+                return RationalVerdict::Infeasible {
+                    witness: SlackReport { row: i, slack },
+                    bound_of_var: None,
+                };
+            }
+            continue;
+        }
+        if slack.signum() < 0 {
+            return RationalVerdict::Infeasible {
+                witness: SlackReport { row: i, slack },
+                bound_of_var: None,
+            };
+        }
+        if slack.signum() > 0 {
+            // The band test is policy, not correctness, so a float
+            // comparison is acceptable here (the band itself, e.g.
+            // 1e-9, has no bigint-free exact representation — its
+            // denominator is ≈ 2^78). Violation detection above never
+            // touches floats.
+            if slack.to_f64() < band {
+                return RationalVerdict::Refused {
+                    witness: SlackReport { row: i, slack },
+                    band,
+                };
+            }
+        }
+        let replace = match &min_slack {
+            None => true,
+            Some(best) => matches!(slack.cmp_exact(&best.slack), Ok(Ordering::Less)),
+        };
+        if replace {
+            min_slack = Some(SlackReport { row: i, slack });
+        }
+    }
+    RationalVerdict::Feasible { min_slack }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ConstraintOp::*, LinearProgram, Sense};
+
+    #[test]
+    fn construction_normalizes() {
+        let r = Rat64::new(6, -8).unwrap();
+        assert_eq!(r.numerator(), -3);
+        assert_eq!(r.denominator(), 4);
+        assert_eq!(Rat64::new(0, 5).unwrap(), Rat64::ZERO);
+        assert_eq!(Rat64::new(1, 0), Err(RatError::Undefined));
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        let a = Rat64::new(1, 3).unwrap();
+        let b = Rat64::new(1, 6).unwrap();
+        assert_eq!(a.add(b).unwrap(), Rat64::new(1, 2).unwrap());
+        assert_eq!(a.sub(b).unwrap(), b);
+        assert_eq!(a.mul(b).unwrap(), Rat64::new(1, 18).unwrap());
+        assert_eq!(a.cmp_exact(&b).unwrap(), std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn overflow_is_typed_not_wrapped() {
+        let big = Rat64::from_int(i64::MAX);
+        assert_eq!(big.add(Rat64::from_int(1)), Err(RatError::Overflow));
+        assert_eq!(big.mul(Rat64::from_int(2)), Err(RatError::Overflow));
+        // Cross-reduction survives products a naive implementation loses.
+        let a = Rat64::new(i64::MAX, 3).unwrap();
+        let b = Rat64::new(3, i64::MAX).unwrap();
+        assert_eq!(a.mul(b).unwrap(), Rat64::from_int(1));
+    }
+
+    #[test]
+    fn f64_conversion_is_exact() {
+        assert_eq!(Rat64::from_f64(0.5).unwrap(), Rat64::new(1, 2).unwrap());
+        assert_eq!(Rat64::from_f64(-2.25).unwrap(), Rat64::new(-9, 4).unwrap());
+        assert_eq!(Rat64::from_f64(3.0).unwrap(), Rat64::from_int(3));
+        // 0.1 is a repeating binary fraction; its f64 is NOT 1/10 and the
+        // conversion must preserve that distinction (it needs 2^55 in the
+        // denominator, still within range after trailing-zero stripping).
+        let tenth = Rat64::from_f64(0.1).unwrap();
+        assert_ne!(tenth, Rat64::new(1, 10).unwrap());
+        assert_eq!(tenth.to_f64(), 0.1);
+        assert_eq!(Rat64::from_f64(f64::NAN), Err(RatError::Undefined));
+        assert_eq!(Rat64::from_f64(f64::INFINITY), Err(RatError::Undefined));
+        // 2^63 overflows the numerator; 2^-63 overflows the denominator.
+        assert_eq!(Rat64::from_f64(2f64.powi(63)), Err(RatError::Overflow));
+        assert_eq!(Rat64::from_f64(2f64.powi(-63)), Err(RatError::Overflow));
+    }
+
+    fn toy_lp() -> LinearProgram {
+        // x + y ≥ 1, x ∈ [0,1], y ∈ [0,1].
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable(0.0, 1.0, 1.0);
+        let y = lp.add_variable(0.0, 1.0, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Ge, 1.0);
+        lp
+    }
+
+    #[test]
+    fn exact_check_accepts_clearly_feasible_points() {
+        let lp = toy_lp();
+        match check_feasibility_exact(&lp, &[1.0, 0.5], crate::EPS) {
+            RationalVerdict::Feasible { min_slack } => {
+                let s = min_slack.unwrap();
+                assert_eq!(s.row, 0);
+                assert_eq!(s.slack, Rat64::new(1, 2).unwrap());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sub_eps_violations_are_caught_exactly() {
+        let lp = toy_lp();
+        // Violated by 2^-40 ≈ 9e-13 — far inside the float tolerance
+        // (is_feasible accepts it), but the exact check must reject it.
+        let x = 0.5 - 2f64.powi(-40);
+        assert!(lp.is_feasible(&[x, 0.5], crate::EPS));
+        match check_feasibility_exact(&lp, &[x, 0.5], crate::EPS) {
+            RationalVerdict::Infeasible {
+                witness,
+                bound_of_var: None,
+            } => {
+                assert_eq!(witness.row, 0);
+                assert_eq!(witness.slack.signum(), -1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn slack_inside_band_is_refused_not_certified() {
+        let lp = toy_lp();
+        // Feasible, but only by 2^-40 < EPS: refuse.
+        let x = 0.5 + 2f64.powi(-40);
+        match check_feasibility_exact(&lp, &[x, 0.5], crate::EPS) {
+            RationalVerdict::Refused { witness, band } => {
+                assert_eq!(witness.row, 0);
+                assert_eq!(band, crate::EPS);
+                assert_eq!(witness.slack.signum(), 1);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The same point certifies with the band switched off.
+        assert!(matches!(
+            check_feasibility_exact(&lp, &[x, 0.5], 0.0),
+            RationalVerdict::Feasible { .. }
+        ));
+    }
+
+    #[test]
+    fn bound_violations_name_the_variable() {
+        let lp = toy_lp();
+        match check_feasibility_exact(&lp, &[1.5, 0.0], crate::EPS) {
+            RationalVerdict::Infeasible {
+                witness,
+                bound_of_var: Some(0),
+            } => {
+                assert_eq!(witness.slack, Rat64::new(-1, 2).unwrap());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_rows_must_hold_exactly() {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x = lp.add_variable(0.0, 1.0, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Eq, 0.5);
+        assert!(matches!(
+            check_feasibility_exact(&lp, &[0.5], crate::EPS),
+            RationalVerdict::Feasible { .. }
+        ));
+        assert!(matches!(
+            check_feasibility_exact(&lp, &[0.5 + 2f64.powi(-50)], crate::EPS),
+            RationalVerdict::Infeasible { .. }
+        ));
+    }
+}

@@ -32,10 +32,18 @@ use crate::problem::{ConstraintOp, LinearProgram, Sense};
 use ced_runtime::{Budget, Interrupted};
 use std::fmt;
 
-/// Numerical tolerance for optimality/feasibility decisions.
-const TOL: f64 = 1e-9;
-/// Pivot elements smaller than this are rejected.
-const PIVOT_TOL: f64 = 1e-8;
+/// Numerical tolerance for optimality/feasibility decisions — the
+/// workspace-wide [`crate::EPS`], so every comparison in the solver and
+/// its callers agrees on what "zero" means.
+const TOL: f64 = crate::EPS;
+/// Pivot elements smaller than this are rejected (one decade above
+/// [`crate::EPS`]: a pivot this close to the noise floor would amplify
+/// rounding error through the whole tableau).
+const PIVOT_TOL: f64 = 10.0 * crate::EPS;
+/// Phase-1 residual above which the program is declared infeasible
+/// (two decades above [`crate::EPS`]: phase-1 objectives accumulate
+/// error across every row, so the cutoff is deliberately looser).
+const PHASE1_TOL: f64 = 100.0 * crate::EPS;
 
 /// Why the solver could not return an optimum.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -203,8 +211,11 @@ impl Tableau {
 
             // Ratio test: largest step t ≥ 0 keeping all basics in range,
             // capped by the entering variable's own bound span. Ties break
-            // toward the largest pivot magnitude for stability.
-            let tie = 1e-9;
+            // toward the largest pivot magnitude for stability. The tie
+            // window is the same TOL the entering test used: judging
+            // near-degenerate pivots by two different epsilons lets a
+            // column pass one test and fail the other.
+            let tie = TOL;
             let mut t_limit = self.upper[e]; // bound-flip limit (may be inf)
             let mut leave: Option<(usize, bool)> = None; // (row, hits_upper)
             let mut best_pivot = 0.0f64;
@@ -425,7 +436,7 @@ pub fn solve_budgeted(lp: &LinearProgram, budget: &Budget) -> Result<LpSolution,
 
     // Phase 1: drive the artificial infeasibility to zero.
     tab.optimize(max_iterations, budget)?;
-    if tab.objective() > 1e-7 {
+    if tab.objective() > PHASE1_TOL {
         return Err(SolveError::Infeasible);
     }
     // Pin artificials so they can never re-enter with nonzero value.

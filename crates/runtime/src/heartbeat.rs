@@ -81,7 +81,7 @@ impl Heartbeat {
     }
 
     /// Reports `done` completed units; emits at most one stderr line
-    /// per [`MIN_EMIT_INTERVAL`]. Safe to call from any thread and
+    /// per `MIN_EMIT_INTERVAL`. Safe to call from any thread and
     /// from inside a budget observer.
     pub fn observe(&self, done: u64) {
         if self.quiet {

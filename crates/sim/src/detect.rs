@@ -323,7 +323,12 @@ pub enum InputModel {
 
 impl InputModel {
     /// The inputs to explore from (good-trajectory) state `code`.
-    fn inputs_at(&self, code: u64, r: usize, scratch: &mut Vec<u64>) {
+    ///
+    /// Public so independent re-verifiers (the `ced-cert` crate's BFS
+    /// product-machine check) can walk exactly the input universe the
+    /// enumeration claimed to cover, without reimplementing the
+    /// fallback rule.
+    pub fn inputs_at(&self, code: u64, r: usize, scratch: &mut Vec<u64>) {
         scratch.clear();
         match self {
             InputModel::Exhaustive => scratch.extend(0..(1u64 << r)),

@@ -1,0 +1,98 @@
+//! Cross-crate integration of the certification layer: the pipeline's
+//! claims on real suite machines survive the independent verifier
+//! chain, the suite campaign wires quarantine off refutations, and a
+//! corrupted record is downgraded with its report intact.
+
+use ced_cert::{certify_report, CertifyOptions, Verdict};
+use ced_core::pipeline::{run_circuit, PipelineOptions};
+use ced_core::suite::degraded_pipeline;
+use ced_core::{run_suite, MachineStatus, SuiteControl, SuiteOptions};
+use ced_fsm::suite;
+use ced_logic::gate::CellLibrary;
+use ced_runtime::Budget;
+
+/// Every suite-smoke machine's `(q, p)` claims certify end to end —
+/// the acceptance bar the CI smoke job enforces on the CLI path.
+#[test]
+fn suite_smoke_machines_certify() {
+    let lib = CellLibrary::new();
+    let options = PipelineOptions::paper_defaults();
+    for spec in suite::paper_table1_scaled() {
+        if !["s27", "tav", "dk512"].contains(&spec.name) {
+            continue;
+        }
+        let fsm = spec.build();
+        let report = run_circuit(&fsm, &[1, 2], &options, &lib).expect("pipeline");
+        let cert = certify_report(
+            &fsm,
+            &report,
+            &options,
+            &CertifyOptions::default(),
+            &Budget::unlimited(),
+        )
+        .expect("certification ran");
+        assert_eq!(
+            cert.verdict(),
+            Verdict::Certified,
+            "{}:\n{}",
+            spec.name,
+            ced_cert::report::render_text(&cert)
+        );
+    }
+}
+
+/// Results produced under the degraded option set (the suite's retry
+/// fidelity) certify too, when re-proved under the same options.
+#[test]
+fn degraded_fidelity_results_certify_under_their_own_options() {
+    let lib = CellLibrary::new();
+    let options = degraded_pipeline(&PipelineOptions::paper_defaults());
+    let fsm = suite::sequence_detector();
+    let report = run_circuit(&fsm, &[1], &options, &lib).expect("pipeline");
+    let cert = certify_report(
+        &fsm,
+        &report,
+        &options,
+        &CertifyOptions::default(),
+        &Budget::unlimited(),
+    )
+    .expect("certification ran");
+    assert_eq!(
+        cert.verdict(),
+        Verdict::Certified,
+        "{}",
+        ced_cert::report::render_text(&cert)
+    );
+}
+
+/// The suite → certify → quarantine wiring: a completed record refuted
+/// by certification is downgraded in place and the summary counts move
+/// with it, while its pipeline report fragment survives.
+#[test]
+fn refuted_record_quarantines_in_suite_report() {
+    let lib = CellLibrary::new();
+    let machines = vec![("seq".to_string(), suite::sequence_detector())];
+    let options = SuiteOptions {
+        latencies: vec![1],
+        ..SuiteOptions::default()
+    };
+    let mut report = run_suite(&machines, &options, &lib, SuiteControl::new()).expect("suite");
+    assert_eq!(report.completed(), 1);
+    assert_eq!(report.quarantined(), 0);
+    assert!(report.to_json().contains("\"quarantined\":0"));
+
+    // Simulate what `ced suite --certify` does on a refutation.
+    report.records[0].quarantine("certification refuted: solution-soundness".into());
+    report.certified = true;
+    assert_eq!(report.records[0].status, MachineStatus::Quarantined);
+    assert_eq!(report.quarantined(), 1);
+    let json = report.to_json();
+    assert!(json.contains("\"certified\":true"), "{json}");
+    assert!(json.contains("\"quarantined\":1"), "{json}");
+    assert!(
+        json.contains("certification refuted: solution-soundness"),
+        "{json}"
+    );
+    // The pipeline numbers are still there for post-mortem reading.
+    assert!(json.contains("\"masks\""), "{json}");
+}
