@@ -41,6 +41,7 @@ pub mod soundness;
 use ced_core::pipeline::{build_input_model, fault_list, prepare_machine};
 use ced_core::{CircuitReport, PipelineOptions};
 use ced_fsm::machine::Fsm;
+use ced_par::ParExec;
 use ced_runtime::{Budget, Interrupted};
 use ced_sim::detect::{BuildControl, DetectError, DetectOptions, DetectabilityTable};
 use ced_sim::fault::Fault;
@@ -401,6 +402,31 @@ pub fn certify_report(
     options: &CertifyOptions,
     budget: &Budget,
 ) -> Result<MachineCertification, CertError> {
+    certify_report_pooled(fsm, report, pipeline, options, budget, &ParExec::serial())
+}
+
+/// [`certify_report`] on a worker pool. The per-claim verifiers —
+/// soundness BFS, exact-rational LP certificate, checker
+/// co-simulation, greedy differential, one quadruple per latency bound
+/// — are mutually independent, so they run as pool tasks; the table
+/// rebuild's per-fault extraction parallelizes through
+/// [`BuildControl::pool`]. Stage outcomes merge in canonical
+/// (latency, stage) order, so the certification — and the
+/// `ced-cert-report/1` JSON rendered from it — is byte-identical to
+/// the serial run at every job count, and an interrupt surfaces the
+/// error of the earliest claim in that canonical order.
+///
+/// # Errors
+///
+/// As [`certify_report`].
+pub fn certify_report_pooled(
+    fsm: &Fsm,
+    report: &CircuitReport,
+    pipeline: &PipelineOptions,
+    options: &CertifyOptions,
+    budget: &Budget,
+    pool: &ParExec,
+) -> Result<MachineCertification, CertError> {
     let (encoded, circuit) =
         prepare_machine(fsm, pipeline).map_err(|e| CertError::Machine(e.to_string()))?;
     let input_model = build_input_model(
@@ -432,27 +458,38 @@ pub fn certify_report(
                 reduce: true,
             },
             &latencies,
-            BuildControl::new(budget),
+            BuildControl {
+                pool: Some(pool),
+                ..BuildControl::new(budget)
+            },
         )
         .map_err(|e| match e {
             DetectError::Interrupted { interrupted, .. } => CertError::Interrupted(interrupted),
             other => CertError::Detect(other),
         })?;
 
-        for (lr, (table, _stats)) in report.latencies.iter().zip(tables) {
-            let masks = lr.cover.masks.clone();
-            let stages = vec![
-                soundness::verify_solution(
+        // Independent per-claim verifiers, one (latency, stage)
+        // quadruple per bound, merged back in canonical order.
+        const STAGES_PER_LATENCY: usize = 4;
+        let claims: Vec<(usize, usize)> = (0..report.latencies.len())
+            .flat_map(|li| (0..STAGES_PER_LATENCY).map(move |si| (li, si)))
+            .collect();
+        let mut outcomes = pool.try_map(&claims, |_, &(li, si)| {
+            let lr = &report.latencies[li];
+            let (table, _stats) = &tables[li];
+            let masks = &lr.cover.masks;
+            match si {
+                0 => soundness::verify_solution(
                     &circuit,
                     &faults,
                     &input_model,
                     pipeline.semantics,
-                    &masks,
+                    masks,
                     lr.latency,
                     budget,
-                )?,
-                lp_check::verify_lp(&table, &masks, options.band, options.lp_row_cap, budget)?,
-                hardware::verify_checker(
+                ),
+                1 => lp_check::verify_lp(table, masks, options.band, options.lp_row_cap, budget),
+                2 => hardware::verify_checker(
                     &circuit,
                     &lr.cover,
                     lr.latency,
@@ -461,15 +498,19 @@ pub fn certify_report(
                     options.max_checker_patterns,
                     options.seed,
                     budget,
-                )?,
-                differential::verify_differential(&table, &masks, budget)?,
-            ];
+                ),
+                _ => differential::verify_differential(table, masks, budget),
+            }
+        })?;
+        for lr in report.latencies.iter().rev() {
+            let stages = outcomes.split_off(outcomes.len() - STAGES_PER_LATENCY);
             chains.push(LatencyCertification {
                 latency: lr.latency,
                 claimed_q: lr.cover.len(),
                 stages,
             });
         }
+        chains.reverse();
     }
 
     Ok(MachineCertification {

@@ -11,6 +11,7 @@ use ced_core::suite::{SuiteCheckpoint, SuiteControl, SuiteError, SUITE_CHECKPOIN
 use ced_core::synthesize_ced;
 use ced_fsm::analysis::FsmStats;
 use ced_logic::gate::CellLibrary;
+use ced_par::ParExec;
 use ced_runtime::{load_checkpoint, save_checkpoint, Budget, Heartbeat};
 use ced_sim::coverage::{simulate_fault_detection, SimOutcome};
 use ced_sim::detect::{DetectOptions, DetectabilityTable};
@@ -178,9 +179,11 @@ pub fn table(args: &[String]) -> CliResult {
             save_or_warn(path, TABLE_CHECKPOINT_KIND, &c.to_bytes());
         }
     };
+    let pool = ParExec::new(parsed.jobs);
     let mut control = PipelineControl::new(&budget);
     control.resume = resume;
     control.checkpoint_every = 4096;
+    control.pool = Some(&pool);
     if parsed.checkpoint.is_some() {
         control.on_checkpoint = Some(&mut sink);
     }
@@ -256,8 +259,10 @@ pub fn suite(args: &[String]) -> CliResult {
         }
         hb.observe(done as u64);
     };
+    let pool = ParExec::new(parsed.jobs);
     let mut control = SuiteControl::new();
     control.resume = resume;
+    control.pool = Some(&pool);
     if parsed.checkpoint.is_some() {
         control.on_checkpoint = Some(&mut sink);
     }
@@ -285,7 +290,7 @@ pub fn suite(args: &[String]) -> CliResult {
     // report output (JSON Lines when writing to a file).
     let mut json = report.to_json();
     if parsed.certify {
-        let certs = certify_suite(&mut report, &parsed, &lib);
+        let certs = certify_suite(&mut report, &parsed, &lib, &pool);
         json = format!(
             "{}\n{}",
             report.to_json(),
@@ -318,12 +323,16 @@ pub fn certify(args: &[String]) -> CliResult {
         Heartbeat::new(&format!("certify {}", parsed.fsm.name()), "work units").quiet(parsed.quiet),
     );
     let budget = run_budget(parsed.deadline_ms, parsed.ticks, heartbeat.clone());
+    let pool = ParExec::new(parsed.jobs);
     let report = match run_circuit_controlled(
         &parsed.fsm,
         &parsed.latencies,
         &parsed.options,
         &lib,
-        PipelineControl::new(&budget),
+        PipelineControl {
+            pool: Some(&pool),
+            ..PipelineControl::new(&budget)
+        },
     ) {
         Ok(report) => report,
         Err(PipelineError::Interrupted(i)) => {
@@ -331,7 +340,7 @@ pub fn certify(args: &[String]) -> CliResult {
         }
         Err(e) => return Err(e.into()),
     };
-    let cert = ced_cert::certify_report(
+    let cert = ced_cert::certify_report_pooled(
         &parsed.fsm,
         &report,
         &parsed.options,
@@ -340,6 +349,7 @@ pub fn certify(args: &[String]) -> CliResult {
             ..ced_cert::CertifyOptions::default()
         },
         &budget,
+        &pool,
     )?;
     heartbeat.finish(budget.ticks());
     print!("{}", ced_cert::report::render_text(&cert));
@@ -362,6 +372,7 @@ fn certify_suite(
     report: &mut ced_core::SuiteReport,
     parsed: &crate::options::SuiteArgs,
     lib: &CellLibrary,
+    pool: &ParExec,
 ) -> Vec<ced_cert::MachineCertification> {
     let mut certs = Vec::new();
     for (name, fsm) in &parsed.machines {
@@ -390,16 +401,20 @@ fn certify_suite(
             &parsed.options.latencies,
             &pipeline,
             lib,
-            PipelineControl::new(&budget),
+            PipelineControl {
+                pool: Some(pool),
+                ..PipelineControl::new(&budget)
+            },
         )
         .map_err(|e| e.to_string())
         .and_then(|pr| {
-            ced_cert::certify_report(
+            ced_cert::certify_report_pooled(
                 fsm,
                 &pr,
                 &pipeline,
                 &ced_cert::CertifyOptions::default(),
                 &budget,
+                pool,
             )
             .map_err(|e| e.to_string())
         });
@@ -529,24 +544,35 @@ pub fn inject(args: &[String]) -> CliResult {
     let mut histogram = vec![0usize; parsed.latency + 1];
     let mut quiet = 0usize;
     let mut missed = 0usize;
-    for (i, &fault) in faults.iter().enumerate() {
-        match simulate_fault_detection(
-            &circuit,
-            fault,
-            &outcome.cover.masks,
-            parsed.latency,
-            3000,
-            parsed.seed ^ (i as u64) << 7,
-            parsed.options.semantics,
-        ) {
+    // Each fault's drive is pure (its seed depends only on the fault
+    // index), so the pool judges them in parallel; the ordered merge
+    // keeps counts and MISS lines in fault order, byte-identical to
+    // the serial loop at every job count.
+    let pool = ParExec::new(parsed.jobs);
+    pool.for_each_ordered(
+        &faults,
+        |i, &fault| {
+            Ok::<_, std::convert::Infallible>(simulate_fault_detection(
+                &circuit,
+                fault,
+                &outcome.cover.masks,
+                parsed.latency,
+                3000,
+                parsed.seed ^ (i as u64) << 7,
+                parsed.options.semantics,
+            ))
+        },
+        |i, sim| match sim {
             SimOutcome::NoErrorObserved => quiet += 1,
             SimOutcome::DetectedInTime { latency } => histogram[latency] += 1,
             SimOutcome::Missed { at_cycle } => {
                 missed += 1;
+                let fault = faults[i];
                 println!("  MISS: {fault} escaped its window (activation at cycle {at_cycle})");
             }
-        }
-    }
+        },
+    )
+    .unwrap_or_else(|e| match e {});
     for (cycles, count) in histogram.iter().enumerate().skip(1) {
         println!("  detected in {cycles} cycle(s): {count} faults");
     }
@@ -569,7 +595,7 @@ pub fn inject(args: &[String]) -> CliResult {
 /// by the synthesized checker netlist, tensor cross-validation, and
 /// the checker-netlist self-audit.
 fn inject_campaign(parsed: &Parsed) -> CliResult {
-    use ced_inject::{run_campaign, CampaignOptions};
+    use ced_inject::{run_campaign_pooled, CampaignError, CampaignOptions};
     use ced_sim::detect::{InputModel, Semantics};
 
     let (_, circuit) = prepare_machine(&parsed.fsm, &parsed.options)?;
@@ -604,7 +630,7 @@ fn inject_campaign(parsed: &Parsed) -> CliResult {
         "campaign: {} machine faults ({} untestable), q = {} trees, p = {}",
         dstats.faults, dstats.untestable_faults, outcome.q, parsed.latency
     );
-    let report = run_campaign(
+    let report = run_campaign_pooled(
         &circuit,
         &ced,
         &faults,
@@ -614,7 +640,15 @@ fn inject_campaign(parsed: &Parsed) -> CliResult {
             checker_faults: parsed.checker_faults,
             ..CampaignOptions::default()
         },
-    )?;
+        &Budget::unlimited(),
+        &ParExec::new(parsed.jobs),
+    )
+    .map_err(|e| match e {
+        CampaignError::Detect(d) => d.to_string(),
+        CampaignError::Interrupted { .. } => {
+            unreachable!("an unlimited budget cannot interrupt")
+        }
+    })?;
     print!("{}", report.render());
     if report.is_clean() {
         println!("campaign clean: hardware agrees with V(i,j,k) everywhere ✓");

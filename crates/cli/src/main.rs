@@ -89,6 +89,10 @@ common options:
   --exhaustive-inputs                        exact input enumeration
   --seed N                                   rounding seed (default 0)
   --format blif|verilog                      export format (default blif)
+  --jobs N                                   worker threads for table, suite,
+                                             certify and inject (default:
+                                             available parallelism; results
+                                             are byte-identical at every N)
 
 survivability options (table, suite):
   --deadline-ms N                            wall-clock budget (per machine

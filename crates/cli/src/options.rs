@@ -42,6 +42,10 @@ pub struct Parsed {
     /// `--out <path>`: write the structured report here instead of
     /// stdout.
     pub out: Option<String>,
+    /// `--jobs N` (default: available parallelism): worker threads for
+    /// the parallel execution layer. Never changes results — every
+    /// report is byte-identical at every job count.
+    pub jobs: usize,
 }
 
 /// Parses `<file> [flags…]`.
@@ -66,6 +70,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
     let mut deadline_ms = None;
     let mut ticks = None;
     let mut out = None;
+    let mut jobs = ced_par::ParExec::available().jobs();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -172,6 +177,16 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
             "--out" => {
                 out = Some(it.next().ok_or("--out needs a file path")?.clone());
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .ok_or("--jobs needs a number")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a number")?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`").into());
             }
@@ -203,6 +218,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
         deadline_ms,
         ticks,
         out,
+        jobs,
     })
 }
 
@@ -225,6 +241,8 @@ pub struct SuiteArgs {
     pub checkpoint: Option<String>,
     /// `--out <path>` for the JSON report (default stdout).
     pub out: Option<String>,
+    /// `--jobs N` (default: available parallelism).
+    pub jobs: usize,
 }
 
 /// Parses `ced suite` flags.
@@ -247,6 +265,7 @@ pub fn parse_suite(args: &[String]) -> Result<SuiteArgs, Box<dyn std::error::Err
     let mut resume = None;
     let mut checkpoint = None;
     let mut out = None;
+    let mut jobs = ced_par::ParExec::available().jobs();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -310,6 +329,16 @@ pub fn parse_suite(args: &[String]) -> Result<SuiteArgs, Box<dyn std::error::Err
             "--out" => {
                 out = Some(it.next().ok_or("--out needs a file path")?.clone());
             }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .ok_or("--jobs needs a number")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a number")?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`").into());
             }
@@ -353,5 +382,6 @@ pub fn parse_suite(args: &[String]) -> Result<SuiteArgs, Box<dyn std::error::Err
         resume,
         checkpoint,
         out,
+        jobs,
     })
 }

@@ -15,6 +15,7 @@ use ced_fsm::machine::{Fsm, FsmError};
 use ced_logic::cube::Literal;
 use ced_logic::gate::CellLibrary;
 use ced_logic::MinimizeOptions;
+use ced_par::ParExec;
 use ced_runtime::{fnv1a64, Budget, ByteReader, ByteWriter, CheckpointError, Interrupted};
 use ced_sim::detect::{
     BuildCheckpoint, BuildControl, DetectError, DetectOptions, DetectStats, DetectabilityTable,
@@ -433,6 +434,11 @@ pub struct PipelineControl<'a> {
     /// Checkpoint sink (e.g. write-to-disk); also invoked at each
     /// phase boundary (build finished, each latency finished).
     pub on_checkpoint: Option<&'a mut dyn FnMut(&TableCheckpoint)>,
+    /// Worker pool handed to the build phase's table extraction (see
+    /// [`ced_sim::detect::BuildControl::pool`]); `None` runs strictly
+    /// serial. Never part of the pipeline fingerprint: job counts
+    /// change wall-clock, not results.
+    pub pool: Option<&'a ParExec>,
 }
 
 impl<'a> PipelineControl<'a> {
@@ -443,6 +449,7 @@ impl<'a> PipelineControl<'a> {
             resume: None,
             checkpoint_every: 0,
             on_checkpoint: None,
+            pool: None,
         }
     }
 }
@@ -652,6 +659,7 @@ pub fn run_circuit_controlled(
                     resume: resume_build.take(),
                     checkpoint_every: control.checkpoint_every,
                     on_checkpoint: Some(&mut wrap),
+                    pool: control.pool,
                 },
             )
         };

@@ -20,11 +20,13 @@ use crate::pipeline::{
 use crate::report::{degradation_notes, report_to_json};
 use ced_fsm::machine::Fsm;
 use ced_logic::gate::CellLibrary;
+use ced_par::ParExec;
 use ced_runtime::{
     fnv1a64, Budget, ByteReader, ByteWriter, CancelToken, CheckpointError, InterruptKind,
     Interrupted, Json,
 };
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::Once;
 use std::time::Duration;
 
@@ -169,6 +171,10 @@ pub struct SuiteReport {
     /// report header so downstream readers know which trust level the
     /// numbers carry.
     pub certified: bool,
+    /// Worker threads the campaign ran with (1 when serial). Header
+    /// metadata only: job counts change wall-clock, never the payload,
+    /// so differential comparisons normalize this one token.
+    pub jobs: usize,
 }
 
 impl SuiteReport {
@@ -201,6 +207,7 @@ impl SuiteReport {
         Json::Object(vec![
             ("schema".into(), Json::str("ced-suite-report/1")),
             ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
+            ("jobs".into(), Json::UInt(self.jobs as u64)),
             ("certified".into(), Json::Bool(self.certified)),
             (
                 "latencies".into(),
@@ -377,6 +384,15 @@ pub struct SuiteControl<'a> {
     pub on_checkpoint: Option<&'a mut dyn FnMut(&SuiteCheckpoint)>,
     /// Called after every finished machine.
     pub on_progress: Option<ProgressSink<'a>>,
+    /// Worker pool for the machine loop: machines run as pool tasks
+    /// (attempt isolation by per-item panic capture instead of a
+    /// dedicated thread per attempt), their records merged in input
+    /// order, so the report is byte-identical to the serial loop at
+    /// every job count. `None` keeps the serial
+    /// thread-per-attempt loop. Machine-level parallelism deliberately
+    /// does not nest: pooled suite workers run their pipelines with a
+    /// serial build, so the thread count stays bounded by the pool.
+    pub pool: Option<&'a ParExec>,
 }
 
 impl<'a> SuiteControl<'a> {
@@ -387,6 +403,7 @@ impl<'a> SuiteControl<'a> {
             resume: None,
             on_checkpoint: None,
             on_progress: None,
+            pool: None,
         }
     }
 }
@@ -465,44 +482,39 @@ fn suite_fingerprint(machines: &[(String, Fsm)], options: &SuiteOptions) -> u64 
     fnv1a64(&w.finish())
 }
 
-/// Runs one pipeline attempt in a named worker thread, capturing
-/// panics and budget interrupts.
-fn run_attempt(
-    name: &str,
+/// The pipeline attempt body: per-attempt budget assembly plus the
+/// run itself, with no isolation — callers wrap it in a dedicated
+/// thread ([`run_attempt`]) or a per-item panic net
+/// ([`run_attempt_pooled`]).
+fn attempt_body(
     fsm: &Fsm,
     latencies: &[usize],
     pipeline: &PipelineOptions,
     library: &CellLibrary,
     options: &SuiteOptions,
     cancel: &CancelToken,
+) -> Result<CircuitReport, PipelineError> {
+    let mut budget = Budget::new().with_cancel(cancel.clone());
+    if let Some(d) = options.machine_deadline {
+        budget = budget.with_deadline(d);
+    }
+    if let Some(t) = options.machine_ticks {
+        budget = budget.with_tick_cap(t);
+    }
+    run_circuit_controlled(
+        fsm,
+        latencies,
+        pipeline,
+        library,
+        PipelineControl::new(&budget),
+    )
+}
+
+/// Classifies a joined/caught attempt result into an outcome record.
+fn classify_attempt(
+    joined: Result<Result<CircuitReport, PipelineError>, Box<dyn std::any::Any + Send>>,
 ) -> AttemptOutcome {
-    let fsm = fsm.clone();
-    let latencies = latencies.to_vec();
-    let pipeline = pipeline.clone();
-    let library = library.clone();
-    let cancel = cancel.clone();
-    let deadline = options.machine_deadline;
-    let ticks = options.machine_ticks;
-    let handle = std::thread::Builder::new()
-        .name(WORKER_THREAD_NAME.into())
-        .spawn(move || {
-            let mut budget = Budget::new().with_cancel(cancel);
-            if let Some(d) = deadline {
-                budget = budget.with_deadline(d);
-            }
-            if let Some(t) = ticks {
-                budget = budget.with_tick_cap(t);
-            }
-            run_circuit_controlled(
-                &fsm,
-                &latencies,
-                &pipeline,
-                &library,
-                PipelineControl::new(&budget),
-            )
-        })
-        .unwrap_or_else(|e| panic!("spawning worker for {name}: {e}"));
-    match handle.join() {
+    match joined {
         Ok(Ok(report)) => AttemptOutcome::Done(report),
         Ok(Err(PipelineError::Interrupted(pi))) => {
             let mut progress = Vec::new();
@@ -520,6 +532,50 @@ fn run_attempt(
         Ok(Err(e)) => AttemptOutcome::Failed(e.to_string()),
         Err(payload) => AttemptOutcome::Failed(format!("panic: {}", panic_message(&*payload))),
     }
+}
+
+/// Runs one pipeline attempt in a named worker thread, capturing
+/// panics and budget interrupts.
+fn run_attempt(
+    name: &str,
+    fsm: &Fsm,
+    latencies: &[usize],
+    pipeline: &PipelineOptions,
+    library: &CellLibrary,
+    options: &SuiteOptions,
+    cancel: &CancelToken,
+) -> AttemptOutcome {
+    let fsm = fsm.clone();
+    let latencies = latencies.to_vec();
+    let pipeline = pipeline.clone();
+    let library = library.clone();
+    let options = options.clone();
+    let cancel = cancel.clone();
+    let handle = std::thread::Builder::new()
+        .name(WORKER_THREAD_NAME.into())
+        .spawn(move || attempt_body(&fsm, &latencies, &pipeline, &library, &options, &cancel))
+        .unwrap_or_else(|e| panic!("spawning worker for {name}: {e}"));
+    classify_attempt(handle.join())
+}
+
+/// Runs one pipeline attempt inline on the current (pool) thread,
+/// catching panics per attempt instead of spending a thread on the
+/// isolation. Panic quarantine semantics are identical to
+/// [`run_attempt`]: the pool's workers carry [`WORKER_THREAD_NAME`],
+/// so the suite panic hook keeps captured panics off stderr, and a
+/// panicking attempt poisons nothing — the worker resumes with the
+/// next machine.
+fn run_attempt_pooled(
+    fsm: &Fsm,
+    latencies: &[usize],
+    pipeline: &PipelineOptions,
+    library: &CellLibrary,
+    options: &SuiteOptions,
+    cancel: &CancelToken,
+) -> AttemptOutcome {
+    classify_attempt(std::panic::catch_unwind(AssertUnwindSafe(|| {
+        attempt_body(fsm, latencies, pipeline, library, options, cancel)
+    })))
 }
 
 fn render_record(
@@ -568,18 +624,26 @@ fn run_machine(
     options: &SuiteOptions,
     library: &CellLibrary,
     cancel: &CancelToken,
+    pooled: bool,
 ) -> Result<MachineRecord, Interrupted> {
+    let attempt = |pipeline: &PipelineOptions| {
+        if pooled {
+            run_attempt_pooled(fsm, &options.latencies, pipeline, library, options, cancel)
+        } else {
+            run_attempt(
+                name,
+                fsm,
+                &options.latencies,
+                pipeline,
+                library,
+                options,
+                cancel,
+            )
+        }
+    };
     let mut notes = Vec::new();
     let mut attempts = 1;
-    match run_attempt(
-        name,
-        fsm,
-        &options.latencies,
-        &options.pipeline,
-        library,
-        options,
-        cancel,
-    ) {
+    match attempt(&options.pipeline) {
         AttemptOutcome::Done(report) => {
             let ladder = degradation_notes(&report);
             let status = if ladder.is_empty() {
@@ -620,15 +684,7 @@ fn run_machine(
         notes.push(
             "retrying with degraded options (transition-cube inputs, collapsed faults)".into(),
         );
-        match run_attempt(
-            name,
-            fsm,
-            &options.latencies,
-            &degraded,
-            library,
-            options,
-            cancel,
-        ) {
+        match attempt(&degraded) {
             AttemptOutcome::Done(report) => {
                 notes.extend(degradation_notes(&report));
                 return Ok(finish_record(
@@ -713,50 +769,79 @@ pub fn run_suite(
     }
 
     let total = machines.len();
-    for (name, fsm) in machines.iter().skip(records.len()) {
-        let outcome = if control.cancel.is_cancelled() {
-            Err(cancel_interrupt(&control.cancel))
-        } else {
-            run_machine(name, fsm, options, library, &control.cancel)
+    let remaining = &machines[records.len()..];
+    let cancel = control.cancel.clone();
+    let mut on_checkpoint = control.on_checkpoint.take();
+    let mut on_progress = control.on_progress.take();
+    // The pool runs machines as tasks; its streaming ordered merge
+    // consumes finished records in input order as soon as their prefix
+    // is complete, so per-machine checkpoints and progress heartbeats
+    // fire mid-campaign exactly like the serial loop's. Pool workers
+    // carry the suite worker thread name (panic-hook quarantine), and
+    // `None` preserves the serial thread-per-attempt loop verbatim.
+    let suite_pool = control
+        .pool
+        .map(|p| p.clone().with_thread_name(WORKER_THREAD_NAME));
+    let jobs = suite_pool.as_ref().map_or(1, ParExec::jobs);
+    let mut consume = |record: MachineRecord| {
+        records.push(record);
+        let checkpoint = SuiteCheckpoint {
+            fingerprint,
+            records: records.clone(),
         };
-        match outcome {
-            Ok(record) => {
-                records.push(record);
-                let checkpoint = SuiteCheckpoint {
-                    fingerprint,
-                    records: records.clone(),
-                };
-                if let Some(sink) = control.on_checkpoint.as_mut() {
-                    sink(&checkpoint);
+        if let Some(sink) = on_checkpoint.as_mut() {
+            sink(&checkpoint);
+        }
+        if let Some(progress) = on_progress.as_mut() {
+            progress(records.len(), total, records.last().unwrap());
+        }
+    };
+    let outcome: Result<(), Interrupted> = match &suite_pool {
+        Some(pool) => pool.for_each_ordered(
+            remaining,
+            |_, (name, fsm)| {
+                if cancel.is_cancelled() {
+                    return Err(cancel_interrupt(&cancel));
                 }
-                if let Some(progress) = control.on_progress.as_mut() {
-                    progress(records.len(), total, records.last().unwrap());
-                }
+                run_machine(name, fsm, options, library, &cancel, true)
+            },
+            |_, record| consume(record),
+        ),
+        None => remaining.iter().try_for_each(|(name, fsm)| {
+            if cancel.is_cancelled() {
+                return Err(cancel_interrupt(&cancel));
             }
-            Err(interrupted) => {
-                let checkpoint = SuiteCheckpoint {
-                    fingerprint,
-                    records: records.clone(),
-                };
-                let partial = SuiteReport {
-                    latencies: options.latencies.clone(),
-                    records,
-                    certified: false,
-                };
-                return Err(SuiteError::Interrupted(Box::new(SuiteInterrupted {
-                    interrupted,
-                    checkpoint,
-                    partial,
-                })));
-            }
+            let record = run_machine(name, fsm, options, library, &cancel, false)?;
+            consume(record);
+            Ok(())
+        }),
+    };
+
+    match outcome {
+        Ok(()) => Ok(SuiteReport {
+            latencies: options.latencies.clone(),
+            records,
+            certified: false,
+            jobs,
+        }),
+        Err(interrupted) => {
+            let checkpoint = SuiteCheckpoint {
+                fingerprint,
+                records: records.clone(),
+            };
+            let partial = SuiteReport {
+                latencies: options.latencies.clone(),
+                records,
+                certified: false,
+                jobs,
+            };
+            Err(SuiteError::Interrupted(Box::new(SuiteInterrupted {
+                interrupted,
+                checkpoint,
+                partial,
+            })))
         }
     }
-
-    Ok(SuiteReport {
-        latencies: options.latencies.clone(),
-        records,
-        certified: false,
-    })
 }
 
 #[cfg(test)]
@@ -807,7 +892,7 @@ mod tests {
         let json = report.to_json();
         assert!(
             json.starts_with(&format!(
-                "{{\"schema\":\"ced-suite-report/1\",\"version\":\"{}\",\"certified\":false",
+                "{{\"schema\":\"ced-suite-report/1\",\"version\":\"{}\",\"jobs\":1,\"certified\":false",
                 env!("CARGO_PKG_VERSION")
             )),
             "{json}"

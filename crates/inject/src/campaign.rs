@@ -23,6 +23,7 @@ use crate::checker::audit_checker;
 use crate::report::{CampaignReport, Disagreement, MachineCampaign};
 use ced_core::hardware::CedHardware;
 use ced_fsm::encoded::FsmCircuit;
+use ced_par::ParExec;
 use ced_runtime::{Budget, Interrupted};
 use ced_sim::coverage::SimRng;
 use ced_sim::detect::{DetectError, DetectOptions, DetectabilityTable, InputModel, Semantics};
@@ -203,6 +204,34 @@ pub fn run_campaign_budgeted(
     options: &CampaignOptions,
     budget: &Budget,
 ) -> Result<CampaignReport, CampaignError> {
+    run_campaign_pooled(circuit, ced, faults, options, budget, &ParExec::serial())
+}
+
+/// [`run_campaign_budgeted`] on a worker pool: faults are judged in
+/// parallel (each judgement — analytic verdict, per-fault tables, the
+/// checker-in-the-loop drive — is pure and carries its own
+/// deterministic seed), then folded into the campaign accumulator in
+/// fault-index order. The report is byte-identical to the serial run
+/// at every job count; an interrupt surfaces the lowest-index
+/// interrupted fault with the outcomes of every fault before it, and
+/// the pool drains (no fault above the interrupt index is started
+/// once it is known).
+///
+/// # Errors
+///
+/// As [`run_campaign_budgeted`].
+///
+/// # Panics
+///
+/// As [`run_campaign`].
+pub fn run_campaign_pooled(
+    circuit: &FsmCircuit,
+    ced: &CedHardware,
+    faults: &[Fault],
+    options: &CampaignOptions,
+    budget: &Budget,
+    pool: &ParExec,
+) -> Result<CampaignReport, CampaignError> {
     let p = ced.latency();
     assert_eq!(
         ced.masks().iter().fold(0, |a, &m| a | m) >> circuit.total_bits(),
@@ -228,68 +257,32 @@ pub fn run_campaign_budgeted(
         disagreements: Vec::new(),
     };
 
-    for (i, &fault) in injected.iter().enumerate() {
-        if let Err(interrupted) = budget.tick(1, "inject:fault") {
+    // Judge faults on the pool; fold outcomes in fault-index order.
+    // `judge_fault` is pure per fault (its drive seed is derived from
+    // the fault index), so the parallel fold is byte-identical to the
+    // serial loop; the failure-floor drain makes the surfaced error
+    // the lowest-index one, again matching the serial loop.
+    let judged = pool.for_each_ordered(
+        &injected,
+        |i, &fault| {
+            budget
+                .tick(1, "inject:fault")
+                .map_err(JudgeError::Interrupted)?;
+            judge_fault(circuit, ced, &good, &valid, p, options, i, fault)
+                .map_err(JudgeError::Detect)
+        },
+        |i, judgement| apply_judgement(&mut machine, p, injected[i], judgement),
+    );
+    match judged {
+        Ok(()) => {}
+        Err(JudgeError::Detect(e)) => return Err(CampaignError::Detect(e)),
+        Err(JudgeError::Interrupted(interrupted)) => {
             machine.injected = machine.outcomes.len();
             return Err(CampaignError::Interrupted {
                 interrupted,
                 partial: Box::new(machine),
             });
         }
-        let analytic = analytic_verdict(circuit, fault, ced.masks(), p)?;
-        let bad = TransitionTables::faulty(circuit, fault);
-        let seed = options.seed ^ splitmix_scramble(i as u64);
-        let (raw, mismatch) =
-            drive_with_checker(circuit, ced, &good, &bad, &valid, p, options, seed);
-        if let Some(cycle) = mismatch {
-            machine
-                .disagreements
-                .push(Disagreement::CheckerModelMismatch { fault, cycle });
-        }
-        let outcome = match (&analytic, raw) {
-            (Analytic::Covered, RawOutcome::Detected { latency }) => {
-                machine.detectable += 1;
-                machine.detected_within_bound += 1;
-                machine.latency_histogram[latency] += 1;
-                MachineFaultOutcome::DetectedInBound { latency }
-            }
-            (Analytic::Covered, RawOutcome::Late { observed }) => {
-                machine.detectable += 1;
-                machine.disagreements.push(Disagreement::LatencyViolation {
-                    fault,
-                    observed,
-                    bound: p,
-                });
-                MachineFaultOutcome::LatencyViolation { observed }
-            }
-            (Analytic::Covered, RawOutcome::Missed { at_cycle }) => {
-                machine.detectable += 1;
-                machine
-                    .disagreements
-                    .push(Disagreement::UndetectedFault { fault, at_cycle });
-                MachineFaultOutcome::Undetected { at_cycle }
-            }
-            (Analytic::Uncovered, RawOutcome::Detected { latency }) => {
-                machine.windfall_detections += 1;
-                MachineFaultOutcome::WindfallDetection { latency }
-            }
-            (Analytic::Uncovered, RawOutcome::Late { .. } | RawOutcome::Missed { .. }) => {
-                machine.expected_escapes += 1;
-                MachineFaultOutcome::ExpectedEscape
-            }
-            (Analytic::Untestable, RawOutcome::Quiet) | (_, RawOutcome::Quiet) => {
-                machine.quiet += 1;
-                MachineFaultOutcome::Quiet
-            }
-            (Analytic::Untestable, _) => {
-                machine
-                    .disagreements
-                    .push(Disagreement::PhantomActivation { fault });
-                machine.quiet += 1;
-                MachineFaultOutcome::Quiet
-            }
-        };
-        machine.outcomes.push((fault, outcome));
     }
 
     let checker = if options.checker_faults {
@@ -310,6 +303,99 @@ pub fn run_campaign_budgeted(
         machine,
         checker,
     })
+}
+
+/// Item error of one pooled fault judgement.
+enum JudgeError {
+    Interrupted(Interrupted),
+    Detect(DetectError),
+}
+
+/// Everything one fault's judgement produces, before it touches the
+/// (order-sensitive) campaign accumulator.
+struct FaultJudgement {
+    analytic: Analytic,
+    raw: RawOutcome,
+    mismatch: Option<usize>,
+}
+
+/// The pure per-fault work: analytic verdict, faulty tables, and the
+/// checker-in-the-loop drive under the fault's own derived seed.
+#[allow(clippy::too_many_arguments)] // campaign internals; one call site
+fn judge_fault(
+    circuit: &FsmCircuit,
+    ced: &CedHardware,
+    good: &TransitionTables,
+    valid: &[bool],
+    p: usize,
+    options: &CampaignOptions,
+    i: usize,
+    fault: Fault,
+) -> Result<FaultJudgement, DetectError> {
+    let analytic = analytic_verdict(circuit, fault, ced.masks(), p)?;
+    let bad = TransitionTables::faulty(circuit, fault);
+    let seed = options.seed ^ splitmix_scramble(i as u64);
+    let (raw, mismatch) = drive_with_checker(circuit, ced, good, &bad, valid, p, options, seed);
+    Ok(FaultJudgement {
+        analytic,
+        raw,
+        mismatch,
+    })
+}
+
+/// Folds one judgement into the campaign accumulator. Called in
+/// fault-index order — disagreement and outcome lists are
+/// order-sensitive report payload.
+fn apply_judgement(machine: &mut MachineCampaign, p: usize, fault: Fault, j: FaultJudgement) {
+    if let Some(cycle) = j.mismatch {
+        machine
+            .disagreements
+            .push(Disagreement::CheckerModelMismatch { fault, cycle });
+    }
+    let outcome = match (&j.analytic, j.raw) {
+        (Analytic::Covered, RawOutcome::Detected { latency }) => {
+            machine.detectable += 1;
+            machine.detected_within_bound += 1;
+            machine.latency_histogram[latency] += 1;
+            MachineFaultOutcome::DetectedInBound { latency }
+        }
+        (Analytic::Covered, RawOutcome::Late { observed }) => {
+            machine.detectable += 1;
+            machine.disagreements.push(Disagreement::LatencyViolation {
+                fault,
+                observed,
+                bound: p,
+            });
+            MachineFaultOutcome::LatencyViolation { observed }
+        }
+        (Analytic::Covered, RawOutcome::Missed { at_cycle }) => {
+            machine.detectable += 1;
+            machine
+                .disagreements
+                .push(Disagreement::UndetectedFault { fault, at_cycle });
+            MachineFaultOutcome::Undetected { at_cycle }
+        }
+        (Analytic::Uncovered, RawOutcome::Detected { latency }) => {
+            machine.windfall_detections += 1;
+            MachineFaultOutcome::WindfallDetection { latency }
+        }
+        (Analytic::Uncovered, RawOutcome::Late { .. } | RawOutcome::Missed { .. }) => {
+            machine.expected_escapes += 1;
+            MachineFaultOutcome::ExpectedEscape
+        }
+        (Analytic::Untestable, RawOutcome::Quiet) | (_, RawOutcome::Quiet) => {
+            machine.quiet += 1;
+            MachineFaultOutcome::Quiet
+        }
+        (Analytic::Untestable, _) => {
+            machine
+                .disagreements
+                .push(Disagreement::PhantomActivation { fault });
+            machine.quiet += 1;
+            MachineFaultOutcome::Quiet
+        }
+    };
+    machine.outcomes.push((fault, outcome));
 }
 
 /// The analytic verdict: enumerate this fault's erroneous cases

@@ -1,0 +1,110 @@
+//! Property-based tests of the deterministic pool: for random item
+//! sets, job counts and failure patterns, `map_reduce` is
+//! indistinguishable from the serial fold — same accumulator, same
+//! error, same consume prefix — no matter which worker finishes (or
+//! fails) first.
+
+use ced_par::ParExec;
+use proptest::prelude::*;
+
+/// The serial reference: a plain fold with first-error-wins.
+fn serial_fold<E: Clone>(
+    items: &[u64],
+    map: impl Fn(usize, u64) -> Result<u64, E>,
+) -> Result<Vec<u64>, E> {
+    let mut acc = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        acc.push(map(i, x)?);
+    }
+    Ok(acc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pure maps: the pooled fold is bytewise the serial fold at every
+    /// job count.
+    #[test]
+    fn map_reduce_equals_serial_fold(
+        items in proptest::collection::vec(any::<u64>(), 0..80),
+        jobs in 1usize..=8,
+    ) {
+        let map = |i: usize, x: u64| -> Result<u64, ()> {
+            Ok(x.rotate_left((i % 64) as u32) ^ 0x9E37_79B9)
+        };
+        let serial = serial_fold(&items, map);
+        let pooled = ParExec::new(jobs).map_reduce(
+            &items,
+            |i, &x| map(i, x),
+            Vec::new(),
+            |mut acc, v| { acc.push(v); acc },
+        );
+        prop_assert_eq!(serial, pooled);
+    }
+
+    /// Failing maps: the pooled run surfaces exactly the error the
+    /// serial fold hits first (the lowest failing index), regardless
+    /// of which worker reached its failure earlier in wall-clock.
+    #[test]
+    fn lowest_index_error_matches_serial(
+        items in proptest::collection::vec(any::<u64>(), 1..80),
+        jobs in 1usize..=8,
+        fail_mod in 2u64..7,
+    ) {
+        // Deterministic scattered failures: item value decides.
+        let map = |i: usize, x: u64| -> Result<u64, String> {
+            if x.is_multiple_of(fail_mod) {
+                Err(format!("item {i} failed (x={x})"))
+            } else {
+                Ok(x.wrapping_mul(0x100_0000_01b3))
+            }
+        };
+        let serial = serial_fold(&items, map);
+        let pooled = ParExec::new(jobs).map_reduce(
+            &items,
+            |i, &x| map(i, x),
+            Vec::new(),
+            |mut acc, v| { acc.push(v); acc },
+        );
+        prop_assert_eq!(serial, pooled);
+    }
+
+    /// The ordered-consume prefix: every item strictly below the
+    /// failing index is consumed exactly once, in index order, and
+    /// nothing at or above it ever reaches the consumer — the
+    /// "TensorTooLarge surfaces identically no matter which worker
+    /// hits it first" contract, abstracted.
+    #[test]
+    fn consume_prefix_is_exactly_the_serial_prefix(
+        len in 1usize..60,
+        fail_at in 0usize..60,
+        jobs in 1usize..=8,
+    ) {
+        let items: Vec<u64> = (0..len as u64).collect();
+        let fail_at = fail_at % len;
+        let mut consumed = Vec::new();
+        let result = ParExec::new(jobs).for_each_ordered(
+            &items,
+            |i, &x| if i == fail_at { Err(i) } else { Ok(x) },
+            |i, v| consumed.push((i, v)),
+        );
+        prop_assert_eq!(result, Err(fail_at));
+        let expect: Vec<(usize, u64)> =
+            (0..fail_at).map(|i| (i, i as u64)).collect();
+        prop_assert_eq!(consumed, expect);
+    }
+
+    /// try_map collects the same vector as the serial map at every
+    /// job count, including on empty input.
+    #[test]
+    fn try_map_equals_serial_collect(
+        items in proptest::collection::vec(any::<u64>(), 0..60),
+        jobs in 1usize..=8,
+    ) {
+        let serial: Vec<u64> = items.iter().map(|x| x ^ 0xABCD).collect();
+        let pooled = ParExec::new(jobs)
+            .try_map(&items, |_, &x| Ok::<_, ()>(x ^ 0xABCD))
+            .expect("no failures injected");
+        prop_assert_eq!(serial, pooled);
+    }
+}

@@ -39,10 +39,11 @@
 use crate::fault::Fault;
 use crate::tables::TransitionTables;
 use ced_fsm::encoded::FsmCircuit;
+use ced_par::ParExec;
 use ced_runtime::{
     fnv1a64, Budget, ByteReader, ByteWriter, CheckpointError, InterruptKind, Interrupted,
 };
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use std::fmt;
 
 /// One erroneous case: the `n`-bit difference mask at each of the `p`
@@ -576,6 +577,13 @@ pub struct BuildControl<'a> {
     pub checkpoint_every: usize,
     /// Periodic checkpoint sink (e.g. write-to-disk).
     pub on_checkpoint: Option<&'a mut dyn FnMut(&BuildCheckpoint)>,
+    /// Worker pool for the per-fault transition-table extraction
+    /// (`None` or one job = the strictly serial path). Only the
+    /// extraction parallelizes: the enumeration's dominance pruning is
+    /// stateful across faults (`rows_raw` observes its order), so the
+    /// enumeration always runs in fault order and the build's tables,
+    /// stats and checkpoints are byte-identical at every job count.
+    pub pool: Option<&'a ParExec>,
 }
 
 impl<'a> BuildControl<'a> {
@@ -586,6 +594,7 @@ impl<'a> BuildControl<'a> {
             resume: None,
             checkpoint_every: 0,
             on_checkpoint: None,
+            pool: None,
         }
     }
 }
@@ -721,6 +730,19 @@ impl DetectabilityTable {
                 stats: stats.to_vec(),
             };
 
+        // Parallel extraction prefetch: the per-fault transition-table
+        // extraction is pure and dominates large builds, so the pool
+        // extracts a bounded window of upcoming faults ahead of the
+        // enumeration. The enumeration below must stay in fault order
+        // — the collectors' dominance pruning is stateful across
+        // faults and `rows_raw` observes it — so it consumes the
+        // prefetched tables strictly in order and every output
+        // (tables, stats, checkpoints) is byte-identical to the serial
+        // run. The window bounds memory to ~2·jobs tables.
+        let pool = control.pool.filter(|p| p.jobs() > 1);
+        let window = pool.map_or(1, |p| p.jobs() * 2);
+        let mut prefetched: VecDeque<TransitionTables> = VecDeque::new();
+
         let mut inputs_scratch: Vec<u64> = Vec::new();
         let mut seen_starts: Vec<HashSet<(u64, u64, u64, u64)>> =
             latencies.iter().map(|_| HashSet::new()).collect();
@@ -743,11 +765,26 @@ impl DetectabilityTable {
                     checkpoint: Some(Box::new(snapshot(fi, &collectors, &stats))),
                 });
             }
-            let bad = match TransitionTables::faulty_budgeted(circuit, fault, budget) {
+            let extracted = match prefetched.pop_front() {
+                Some(t) => Ok(t),
+                None => match pool {
+                    Some(p) => p
+                        .try_map(&faults[fi..(fi + window).min(faults.len())], |_, &f| {
+                            TransitionTables::faulty_budgeted(circuit, f, budget)
+                        })
+                        .map(|tables| {
+                            prefetched = tables.into();
+                            prefetched.pop_front().expect("nonempty window")
+                        }),
+                    None => TransitionTables::faulty_budgeted(circuit, fault, budget),
+                },
+            };
+            let bad = match extracted {
                 Ok(t) => t,
                 Err(mut interrupted) => {
                     // Extraction mutates nothing shared: still a clean
-                    // boundary at fault `fi`.
+                    // boundary at fault `fi` (none of the window's
+                    // faults has been enumerated yet).
                     interrupted.resumable = true;
                     return Err(DetectError::Interrupted {
                         interrupted,
@@ -1946,6 +1983,7 @@ mod tests {
             resume: None,
             checkpoint_every: 2,
             on_checkpoint: Some(&mut sink),
+            pool: None,
         };
         let full =
             DetectabilityTable::build_many_controlled(&c, &faults, &opts, &[2], control).unwrap();

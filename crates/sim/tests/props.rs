@@ -303,6 +303,71 @@ proptest! {
     }
 
     #[test]
+    fn pooled_build_matches_serial_at_every_job_count(
+        circuit in small_circuit_strategy(),
+        p in 1usize..=2,
+        jobs in 2usize..=4,
+    ) {
+        use ced_par::ParExec;
+        use ced_runtime::Budget;
+        use ced_sim::detect::BuildControl;
+
+        let faults = collapsed_faults(circuit.netlist());
+        let options = DetectOptions { latency: p, ..DetectOptions::default() };
+        let serial = DetectabilityTable::build_many(&circuit, &faults, &options, &[p])
+            .expect("fits");
+        let budget = Budget::unlimited();
+        let pool = ParExec::new(jobs);
+        let pooled = DetectabilityTable::build_many_controlled(
+            &circuit,
+            &faults,
+            &options,
+            &[p],
+            BuildControl { pool: Some(&pool), ..BuildControl::new(&budget) },
+        ).expect("fits");
+        prop_assert_eq!(&serial, &pooled);
+        // Bitwise, not just structurally: the serialized tensors agree.
+        for ((ts, _), (tp, _)) in serial.iter().zip(&pooled) {
+            prop_assert_eq!(ts.to_bytes(), tp.to_bytes());
+        }
+    }
+
+    #[test]
+    fn build_errors_surface_identically_under_the_pool(
+        circuit in small_circuit_strategy(),
+        jobs in 2usize..=4,
+    ) {
+        use ced_par::ParExec;
+        use ced_runtime::Budget;
+        use ced_sim::detect::BuildControl;
+
+        let faults = collapsed_faults(circuit.netlist());
+        let budget = Budget::unlimited();
+        let pool = ParExec::new(jobs);
+        // A row cap of 1 and an overflowing tensor volume: both error
+        // paths must produce the same typed error at the same point no
+        // matter which prefetch worker was in flight when it tripped.
+        for options in [
+            DetectOptions { latency: 1, max_rows: 1, ..DetectOptions::default() },
+            DetectOptions { latency: 2, max_rows: usize::MAX / 2, ..DetectOptions::default() },
+        ] {
+            let serial = DetectabilityTable::build_many(&circuit, &faults, &options, &[options.latency]);
+            let pooled = DetectabilityTable::build_many_controlled(
+                &circuit,
+                &faults,
+                &options,
+                &[options.latency],
+                BuildControl { pool: Some(&pool), ..BuildControl::new(&budget) },
+            );
+            match (&serial, &pooled) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+                _ => prop_assert!(false, "serial {serial:?} vs pooled {pooled:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn singleton_monitors_never_miss_operationally(
         circuit in small_circuit_strategy(),
         seed in any::<u64>(),
