@@ -1,0 +1,150 @@
+//! Cold-vs-warm p-sweep harness for the content-addressed artifact
+//! store: runs the full pipeline on `tav` once per latency bound with
+//! an empty on-disk store (cold), then repeats the identical sweep
+//! against the populated store (warm). Reports wall-clock for both
+//! sweeps plus per-stage hit/miss/put counters as one
+//! `ced-store-bench/1` JSON line, and asserts that every warm report
+//! is field-identical to its cold counterpart — the speedup must come
+//! from skipped work, never from different answers.
+//!
+//! Usage: `cargo bench --bench store [-- --quick]` (`--quick` uses the
+//! scaled tav analogue).
+
+use ced_core::pipeline::{run_circuit_controlled, CircuitReport, PipelineControl, PipelineOptions};
+use ced_fsm::suite::{paper_table1, paper_table1_scaled};
+use ced_logic::gate::CellLibrary;
+use ced_runtime::{Budget, Json};
+use ced_store::{StageCounters, Store};
+use std::time::Instant;
+
+const LATENCIES: [usize; 4] = [1, 2, 3, 4];
+
+fn sweep(fsm: &ced_fsm::machine::Fsm, store: &Store) -> (Vec<CircuitReport>, f64) {
+    let options = PipelineOptions::paper_defaults();
+    let lib = CellLibrary::new();
+    let start = Instant::now();
+    let reports = LATENCIES
+        .iter()
+        .map(|&p| {
+            let budget = Budget::unlimited();
+            let mut control = PipelineControl::new(&budget);
+            control.store = Some(store);
+            run_circuit_controlled(fsm, &[p], &options, &lib, control).expect("pipeline completes")
+        })
+        .collect();
+    (reports, start.elapsed().as_secs_f64())
+}
+
+fn counters_json(c: &StageCounters) -> Json {
+    Json::Object(vec![
+        ("hits".into(), Json::UInt(c.hits)),
+        ("misses".into(), Json::UInt(c.misses)),
+        ("corrupt".into(), Json::UInt(c.corrupt)),
+        ("puts".into(), Json::UInt(c.puts)),
+    ])
+}
+
+fn delta(
+    after: &[(String, StageCounters)],
+    before: &[(String, StageCounters)],
+) -> Vec<(String, StageCounters)> {
+    after
+        .iter()
+        .map(|(stage, a)| {
+            let b = before
+                .iter()
+                .find(|(s, _)| s == stage)
+                .map(|(_, c)| *c)
+                .unwrap_or_default();
+            (
+                stage.clone(),
+                StageCounters {
+                    hits: a.hits - b.hits,
+                    misses: a.misses - b.misses,
+                    corrupt: a.corrupt - b.corrupt,
+                    puts: a.puts - b.puts,
+                },
+            )
+        })
+        .collect()
+}
+
+fn assert_reports_match(cold: &CircuitReport, warm: &CircuitReport, p: usize) {
+    assert_eq!(cold.detect_stats, warm.detect_stats, "p={p}: detect stats");
+    assert_eq!(cold.latencies.len(), warm.latencies.len(), "p={p}");
+    for (x, y) in cold.latencies.iter().zip(&warm.latencies) {
+        assert_eq!(x.cover.masks, y.cover.masks, "p={p}: masks differ");
+        assert_eq!(x.cost, y.cost, "p={p}: cost differs");
+        assert_eq!(x.lp_solves, y.lp_solves, "p={p}: lp solves differ");
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // Criterion-compatible harness flags (`--bench`) are accepted and
+    // ignored; this is a plain timing harness.
+    let specs = if quick {
+        paper_table1_scaled()
+    } else {
+        paper_table1()
+    };
+    let fsm = specs
+        .into_iter()
+        .find(|s| s.name == "tav")
+        .expect("suite machine")
+        .build();
+
+    let dir = std::env::temp_dir().join(format!("ced-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let (cold_reports, cold_secs, cold_counters) = {
+        let store = Store::open(&dir).expect("store opens");
+        let before = store.stats().stages;
+        let (reports, secs) = sweep(&fsm, &store);
+        store.persist().expect("index persists");
+        (reports, secs, delta(&store.stats().stages, &before))
+    };
+
+    let (warm_reports, warm_secs, warm_counters) = {
+        let store = Store::open(&dir).expect("store reopens");
+        let before = store.stats().stages;
+        let (reports, secs) = sweep(&fsm, &store);
+        (reports, secs, delta(&store.stats().stages, &before))
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+
+    for (i, (cold, warm)) in cold_reports.iter().zip(&warm_reports).enumerate() {
+        assert_reports_match(cold, warm, LATENCIES[i]);
+    }
+    let warm_misses: u64 = warm_counters.iter().map(|(_, c)| c.misses).sum();
+    assert_eq!(warm_misses, 0, "warm sweep must be all hits");
+
+    let speedup = cold_secs / warm_secs.max(1e-9);
+    let stage_json = |counters: &[(String, StageCounters)]| {
+        Json::Object(
+            counters
+                .iter()
+                .map(|(s, c)| (s.clone(), counters_json(c)))
+                .collect(),
+        )
+    };
+    let doc = Json::Object(vec![
+        ("schema".into(), Json::str("ced-store-bench/1")),
+        ("machine".into(), Json::str("tav")),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "latencies".into(),
+            Json::Array(LATENCIES.iter().map(|&p| Json::UInt(p as u64)).collect()),
+        ),
+        ("cold_secs".into(), Json::Float(cold_secs)),
+        ("warm_secs".into(), Json::Float(warm_secs)),
+        ("speedup".into(), Json::Float(speedup)),
+        ("cold_stages".into(), stage_json(&cold_counters)),
+        ("warm_stages".into(), stage_json(&warm_counters)),
+    ]);
+    println!("{}", doc.render());
+    eprintln!(
+        "store p-sweep on tav: cold {cold_secs:.3}s, warm {warm_secs:.3}s, speedup {speedup:.1}x \
+         (reports identical, warm sweep served entirely from the store)"
+    );
+}

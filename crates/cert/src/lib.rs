@@ -38,13 +38,14 @@ pub mod lp_check;
 pub mod report;
 pub mod soundness;
 
-use ced_core::pipeline::{build_input_model, fault_list, prepare_machine};
+use ced_core::pipeline::{build_input_model, fault_list, prepare_machine_stored};
 use ced_core::{CircuitReport, PipelineOptions};
 use ced_fsm::machine::Fsm;
 use ced_par::ParExec;
 use ced_runtime::{Budget, Interrupted};
 use ced_sim::detect::{BuildControl, DetectError, DetectOptions, DetectabilityTable};
 use ced_sim::fault::Fault;
+use ced_store::Store;
 use std::fmt;
 
 /// Which pipeline claim a certificate or refutation is about.
@@ -427,8 +428,31 @@ pub fn certify_report_pooled(
     budget: &Budget,
     pool: &ParExec,
 ) -> Result<MachineCertification, CertError> {
-    let (encoded, circuit) =
-        prepare_machine(fsm, pipeline).map_err(|e| CertError::Machine(e.to_string()))?;
+    certify_report_stored(fsm, report, pipeline, options, budget, pool, None)
+}
+
+/// [`certify_report_pooled`] with an optional content-addressed
+/// artifact store: re-certification after a pipeline run reuses the
+/// run's `synth` circuit and per-latency `tensor` artifacts instead of
+/// re-synthesizing and re-simulating. The verifier chain itself is
+/// never cached — a certification must re-prove its claims — so only
+/// the deterministic machine-preparation stages hit the store, and a
+/// hit is byte-identical to a recompute by construction.
+///
+/// # Errors
+///
+/// As [`certify_report`].
+pub fn certify_report_stored(
+    fsm: &Fsm,
+    report: &CircuitReport,
+    pipeline: &PipelineOptions,
+    options: &CertifyOptions,
+    budget: &Budget,
+    pool: &ParExec,
+    store: Option<&Store>,
+) -> Result<MachineCertification, CertError> {
+    let (encoded, circuit) = prepare_machine_stored(fsm, pipeline, store)
+        .map_err(|e| CertError::Machine(e.to_string()))?;
     let input_model = build_input_model(
         encoded.fsm(),
         encoded.encoding(),
@@ -460,6 +484,7 @@ pub fn certify_report_pooled(
             &latencies,
             BuildControl {
                 pool: Some(pool),
+                store,
                 ..BuildControl::new(budget)
             },
         )

@@ -2,8 +2,8 @@
 
 use crate::options::{parse, parse_suite, Parsed};
 use ced_core::pipeline::{
-    build_input_model, fault_list, prepare_machine, run_circuit_controlled, PipelineControl,
-    PipelineError, TableCheckpoint, TABLE_CHECKPOINT_KIND,
+    build_input_model, fault_list, prepare_machine, prepare_machine_stored, run_circuit_controlled,
+    PipelineControl, PipelineError, TableCheckpoint, TABLE_CHECKPOINT_KIND,
 };
 use ced_core::report::{degradation_notes, table1_header, table1_row};
 use ced_core::search::minimize_parity_functions;
@@ -14,7 +14,8 @@ use ced_logic::gate::CellLibrary;
 use ced_par::ParExec;
 use ced_runtime::{load_checkpoint, save_checkpoint, Budget, Heartbeat};
 use ced_sim::coverage::{simulate_fault_detection, SimOutcome};
-use ced_sim::detect::{DetectOptions, DetectabilityTable};
+use ced_sim::detect::{BuildControl, DetectOptions, DetectabilityTable};
+use ced_store::Store;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -47,6 +48,53 @@ fn save_or_warn(path: &str, kind: u16, payload: &[u8]) {
     if let Err(e) = save_checkpoint(Path::new(path), kind, payload) {
         eprintln!("[ced] warning: cannot write checkpoint {path}: {e}");
     }
+}
+
+/// Opens the `--store` directory when one was given. Open failures are
+/// fatal: a mistyped path silently recomputing everything would defeat
+/// the point of asking for a store.
+fn open_store(path: Option<&str>) -> Result<Option<Arc<Store>>, Box<dyn std::error::Error>> {
+    match path {
+        Some(dir) => Store::open(Path::new(dir))
+            .map(|s| Some(Arc::new(s)))
+            .map_err(|e| format!("cannot open store {dir}: {e}").into()),
+        None => Ok(None),
+    }
+}
+
+/// Persists the store index and reports per-stage hit/miss counters —
+/// on stderr only, never stdout: the report a command emits must stay
+/// byte-identical with and without a store.
+fn finish_store(store: Option<&Store>, quiet: bool) {
+    let Some(store) = store else { return };
+    if let Err(e) = store.persist() {
+        eprintln!("[ced] warning: cannot persist store index: {e}");
+    }
+    if quiet {
+        return;
+    }
+    let stats = store.stats();
+    let counters: Vec<String> = stats
+        .stages
+        .iter()
+        .map(|(stage, c)| {
+            format!(
+                "{stage} {} hit / {} miss / {} put",
+                c.hits, c.misses, c.puts
+            )
+        })
+        .collect();
+    eprintln!(
+        "[ced] store: run {}, {} artifact(s), {} bytes; {}",
+        stats.run,
+        stats.entries,
+        stats.bytes,
+        if counters.is_empty() {
+            "no lookups".to_string()
+        } else {
+            counters.join("; ")
+        }
+    );
 }
 
 /// Assembles the run budget from `--deadline-ms`/`--ticks` plus a
@@ -103,14 +151,17 @@ pub fn synth(args: &[String]) -> CliResult {
 pub fn check(args: &[String]) -> CliResult {
     let parsed = parse(args)?;
     let lib = CellLibrary::new();
-    let (encoded, circuit) = prepare_machine(&parsed.fsm, &parsed.options)?;
+    let store = open_store(parsed.store.as_deref())?;
+    let (encoded, circuit) =
+        prepare_machine_stored(&parsed.fsm, &parsed.options, store.as_deref())?;
     let input_model = build_input_model(
         encoded.fsm(),
         encoded.encoding(),
         parsed.options.input_granularity,
     );
     let faults = fault_list(&circuit, &parsed.options);
-    let (table, dstats) = DetectabilityTable::build(
+    let unlimited = Budget::unlimited();
+    let (table, dstats) = DetectabilityTable::build_many_controlled(
         &circuit,
         &faults,
         &DetectOptions {
@@ -119,7 +170,14 @@ pub fn check(args: &[String]) -> CliResult {
             input_model,
             ..DetectOptions::default()
         },
-    )?;
+        &[parsed.latency],
+        BuildControl {
+            store: store.as_deref(),
+            ..BuildControl::new(&unlimited)
+        },
+    )?
+    .pop()
+    .expect("one latency requested");
     println!(
         "fault model: {} stuck-at faults ({} untestable), {} activations, {} minimal erroneous cases",
         dstats.faults, dstats.untestable_faults, dstats.activations, table.len()
@@ -154,6 +212,7 @@ pub fn check(args: &[String]) -> CliResult {
         "checker: {} gates, {} hold FFs, area {:.1}",
         cost.gates, cost.flip_flops, cost.area
     );
+    finish_store(store.as_deref(), parsed.quiet);
     Ok(())
 }
 
@@ -180,10 +239,12 @@ pub fn table(args: &[String]) -> CliResult {
         }
     };
     let pool = ParExec::new(parsed.jobs);
+    let store = open_store(parsed.store.as_deref())?;
     let mut control = PipelineControl::new(&budget);
     control.resume = resume;
     control.checkpoint_every = 4096;
     control.pool = Some(&pool);
+    control.store = store.as_deref();
     if parsed.checkpoint.is_some() {
         control.on_checkpoint = Some(&mut sink);
     }
@@ -210,6 +271,7 @@ pub fn table(args: &[String]) -> CliResult {
         Err(e) => return Err(e.into()),
     };
     heartbeat.finish(budget.ticks());
+    finish_store(store.as_deref(), parsed.quiet);
 
     println!("{}", table1_header(&parsed.latencies));
     println!("{}", table1_row(&report));
@@ -260,9 +322,11 @@ pub fn suite(args: &[String]) -> CliResult {
         hb.observe(done as u64);
     };
     let pool = ParExec::new(parsed.jobs);
+    let store = open_store(parsed.store.as_deref())?;
     let mut control = SuiteControl::new();
     control.resume = resume;
     control.pool = Some(&pool);
+    control.store = store.clone();
     if parsed.checkpoint.is_some() {
         control.on_checkpoint = Some(&mut sink);
     }
@@ -290,13 +354,14 @@ pub fn suite(args: &[String]) -> CliResult {
     // report output (JSON Lines when writing to a file).
     let mut json = report.to_json();
     if parsed.certify {
-        let certs = certify_suite(&mut report, &parsed, &lib, &pool);
+        let certs = certify_suite(&mut report, &parsed, &lib, &pool, store.as_deref());
         json = format!(
             "{}\n{}",
             report.to_json(),
             ced_cert::report::cert_report_json(&certs).render()
         );
     }
+    finish_store(store.as_deref(), parsed.quiet);
     match &parsed.out {
         Some(out) => std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?,
         None => println!("{json}"),
@@ -324,6 +389,7 @@ pub fn certify(args: &[String]) -> CliResult {
     );
     let budget = run_budget(parsed.deadline_ms, parsed.ticks, heartbeat.clone());
     let pool = ParExec::new(parsed.jobs);
+    let store = open_store(parsed.store.as_deref())?;
     let report = match run_circuit_controlled(
         &parsed.fsm,
         &parsed.latencies,
@@ -331,6 +397,7 @@ pub fn certify(args: &[String]) -> CliResult {
         &lib,
         PipelineControl {
             pool: Some(&pool),
+            store: store.as_deref(),
             ..PipelineControl::new(&budget)
         },
     ) {
@@ -340,7 +407,7 @@ pub fn certify(args: &[String]) -> CliResult {
         }
         Err(e) => return Err(e.into()),
     };
-    let cert = ced_cert::certify_report_pooled(
+    let cert = ced_cert::certify_report_stored(
         &parsed.fsm,
         &report,
         &parsed.options,
@@ -350,8 +417,10 @@ pub fn certify(args: &[String]) -> CliResult {
         },
         &budget,
         &pool,
+        store.as_deref(),
     )?;
     heartbeat.finish(budget.ticks());
+    finish_store(store.as_deref(), parsed.quiet);
     print!("{}", ced_cert::report::render_text(&cert));
     let verdict = cert.verdict();
     if let Some(out) = &parsed.out {
@@ -373,6 +442,7 @@ fn certify_suite(
     parsed: &crate::options::SuiteArgs,
     lib: &CellLibrary,
     pool: &ParExec,
+    store: Option<&Store>,
 ) -> Vec<ced_cert::MachineCertification> {
     let mut certs = Vec::new();
     for (name, fsm) in &parsed.machines {
@@ -403,18 +473,20 @@ fn certify_suite(
             lib,
             PipelineControl {
                 pool: Some(pool),
+                store,
                 ..PipelineControl::new(&budget)
             },
         )
         .map_err(|e| e.to_string())
         .and_then(|pr| {
-            ced_cert::certify_report_pooled(
+            ced_cert::certify_report_stored(
                 fsm,
                 &pr,
                 &pipeline,
                 &ced_cert::CertifyOptions::default(),
                 &budget,
                 pool,
+                store,
             )
             .map_err(|e| e.to_string())
         });
@@ -440,6 +512,93 @@ fn certify_suite(
     }
     report.certified = true;
     certs
+}
+
+/// `ced store` — inspect (`stats`) or garbage-collect (`gc`) a
+/// content-addressed artifact store directory. Listings are sorted by
+/// (stage, fingerprint), so the output is deterministic for a given
+/// store state.
+pub fn store(args: &[String]) -> CliResult {
+    let Some(action) = args.first() else {
+        return Err("store needs an action: `ced store stats|gc --store DIR`".into());
+    };
+    let mut dir: Option<String> = None;
+    let mut keep_runs: u64 = 1;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => {
+                dir = Some(it.next().ok_or("--store needs a directory path")?.clone());
+            }
+            "--keep-runs" => {
+                keep_runs = it
+                    .next()
+                    .ok_or("--keep-runs needs a number")?
+                    .parse()
+                    .map_err(|_| "--keep-runs needs a number")?;
+                if keep_runs == 0 {
+                    return Err("--keep-runs must be at least 1".into());
+                }
+            }
+            other => {
+                return Err(format!("unknown store argument `{other}`").into());
+            }
+        }
+    }
+    let dir = dir.ok_or("store needs --store DIR")?;
+    let store = Store::open(Path::new(&dir)).map_err(|e| format!("cannot open {dir}: {e}"))?;
+    match action.as_str() {
+        "stats" => {
+            let stats = store.stats();
+            // `open` bumped the run counter for this process; the
+            // stored index still describes the previous run.
+            println!(
+                "store {dir}: {} artifact(s), {} bytes, last run {}",
+                stats.entries,
+                stats.bytes,
+                stats.run.saturating_sub(1)
+            );
+            for e in store.entries() {
+                println!(
+                    "  {} {:016x}  {:>10} bytes  last used run {}",
+                    e.stage, e.fingerprint, e.len, e.last_run
+                );
+            }
+            let previous = store.previous_run_stats();
+            if !previous.is_empty() {
+                println!("previous run:");
+                for (stage, c) in previous {
+                    println!(
+                        "  {stage}: {} hit, {} miss ({} corrupt), {} put",
+                        c.hits, c.misses, c.corrupt, c.puts
+                    );
+                }
+            }
+        }
+        "gc" => {
+            // Anchor the cutoff on the newest run that actually *used*
+            // an artifact, not on the run counter: admin invocations
+            // (stats, gc itself) bump the counter too, and counting
+            // them would make back-to-back `gc` calls age everything
+            // out.
+            let newest = store
+                .entries()
+                .iter()
+                .map(|e| e.last_run)
+                .max()
+                .unwrap_or(0);
+            let min_run = newest.saturating_sub(keep_runs - 1);
+            let outcome = store.gc(min_run).map_err(|e| format!("gc on {dir}: {e}"))?;
+            println!(
+                "store {dir}: removed {} artifact(s) ({} bytes), kept {}",
+                outcome.removed, outcome.bytes_freed, outcome.kept
+            );
+        }
+        other => {
+            return Err(format!("unknown store action `{other}` (expected stats or gc)").into());
+        }
+    }
+    Ok(())
 }
 
 /// `ced export` — write the synthesized machine as BLIF or Verilog.
@@ -516,17 +675,20 @@ pub fn equiv(args: &[String]) -> CliResult {
 /// `ced inject` — operational fault-injection validation.
 pub fn inject(args: &[String]) -> CliResult {
     let parsed = parse(args)?;
+    let store = open_store(parsed.store.as_deref())?;
     if parsed.campaign {
-        return inject_campaign(&parsed);
+        return inject_campaign(&parsed, store.as_deref());
     }
-    let (encoded, circuit) = prepare_machine(&parsed.fsm, &parsed.options)?;
+    let (encoded, circuit) =
+        prepare_machine_stored(&parsed.fsm, &parsed.options, store.as_deref())?;
     let input_model = build_input_model(
         encoded.fsm(),
         encoded.encoding(),
         parsed.options.input_granularity,
     );
     let faults = fault_list(&circuit, &parsed.options);
-    let (table, _) = DetectabilityTable::build(
+    let unlimited = Budget::unlimited();
+    let (table, _) = DetectabilityTable::build_many_controlled(
         &circuit,
         &faults,
         &DetectOptions {
@@ -535,7 +697,14 @@ pub fn inject(args: &[String]) -> CliResult {
             input_model,
             ..DetectOptions::default()
         },
-    )?;
+        &[parsed.latency],
+        BuildControl {
+            store: store.as_deref(),
+            ..BuildControl::new(&unlimited)
+        },
+    )?
+    .pop()
+    .expect("one latency requested");
     let outcome = minimize_parity_functions(&table, &parsed.options.ced);
     println!(
         "cover: q = {} trees, verifying operationally under {:?} semantics…",
@@ -578,6 +747,7 @@ pub fn inject(args: &[String]) -> CliResult {
     }
     println!("  no error observed: {quiet}");
     println!("  missed: {missed}");
+    finish_store(store.as_deref(), parsed.quiet);
     if missed == 0 {
         println!("bounded-latency guarantee held for every injected fault ✓");
         Ok(())
@@ -594,16 +764,17 @@ pub fn inject(args: &[String]) -> CliResult {
 /// synthesis under hardware semantics, machine-fault injection judged
 /// by the synthesized checker netlist, tensor cross-validation, and
 /// the checker-netlist self-audit.
-fn inject_campaign(parsed: &Parsed) -> CliResult {
-    use ced_inject::{run_campaign_pooled, CampaignError, CampaignOptions};
+fn inject_campaign(parsed: &Parsed, store: Option<&Store>) -> CliResult {
+    use ced_inject::{run_campaign_stored, CampaignError, CampaignOptions};
     use ced_sim::detect::{InputModel, Semantics};
 
-    let (_, circuit) = prepare_machine(&parsed.fsm, &parsed.options)?;
+    let (_, circuit) = prepare_machine_stored(&parsed.fsm, &parsed.options, store)?;
     let faults = fault_list(&circuit, &parsed.options);
     // The campaign's oracle is exact only under hardware semantics with
     // exhaustive inputs; the cover must be verified under the same
     // conditions or escapes would be expected, not disagreements.
-    let (table, dstats) = DetectabilityTable::build(
+    let unlimited = Budget::unlimited();
+    let (table, dstats) = DetectabilityTable::build_many_controlled(
         &circuit,
         &faults,
         &DetectOptions {
@@ -612,7 +783,14 @@ fn inject_campaign(parsed: &Parsed) -> CliResult {
             input_model: InputModel::Exhaustive,
             ..DetectOptions::default()
         },
-    )?;
+        &[parsed.latency],
+        BuildControl {
+            store,
+            ..BuildControl::new(&unlimited)
+        },
+    )?
+    .pop()
+    .expect("one latency requested");
     let outcome = minimize_parity_functions(&table, &parsed.options.ced);
     if !outcome.degradation.is_empty() {
         println!("cover solved by {} after degradation:", outcome.method);
@@ -630,7 +808,7 @@ fn inject_campaign(parsed: &Parsed) -> CliResult {
         "campaign: {} machine faults ({} untestable), q = {} trees, p = {}",
         dstats.faults, dstats.untestable_faults, outcome.q, parsed.latency
     );
-    let report = run_campaign_pooled(
+    let report = run_campaign_stored(
         &circuit,
         &ced,
         &faults,
@@ -642,6 +820,7 @@ fn inject_campaign(parsed: &Parsed) -> CliResult {
         },
         &Budget::unlimited(),
         &ParExec::new(parsed.jobs),
+        store,
     )
     .map_err(|e| match e {
         CampaignError::Detect(d) => d.to_string(),
@@ -650,6 +829,7 @@ fn inject_campaign(parsed: &Parsed) -> CliResult {
         }
     })?;
     print!("{}", report.render());
+    finish_store(store, parsed.quiet);
     if report.is_clean() {
         println!("campaign clean: hardware agrees with V(i,j,k) everywhere ✓");
         Ok(())

@@ -13,6 +13,8 @@
 //!                                             with the independent verifier
 //!                                             chain
 //! ced inject <machine.kiss2> [--latency P]    fault-injection validation
+//! ced store  stats|gc --store DIR             inspect / garbage-collect the
+//!                                             incremental artifact store
 //! ced export <machine.kiss2> --format blif|verilog
 //! ced minimize <machine.kiss2>                emit the state-minimized KISS2
 //! ced equiv  <a.kiss2> <b.kiss2>              gate-accurate equivalence check
@@ -47,6 +49,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "suite" => commands::suite(&args[1..]),
         "certify" => commands::certify(&args[1..]),
         "inject" => commands::inject(&args[1..]),
+        "store" => commands::store(&args[1..]),
         "export" => commands::export(&args[1..]),
         "minimize" => commands::minimize(&args[1..]),
         "equiv" => commands::equiv(&args[1..]),
@@ -77,6 +80,8 @@ commands:
           made: BFS soundness, exact-rational LP certificates, synthesis
           equivalence, checker co-simulation, greedy differential
   inject  operational validation: inject every fault, report latencies
+  store   inspect (`stats`) or garbage-collect (`gc`) an on-disk
+          incremental store created with --store
   export  write the synthesized machine as BLIF or structural Verilog
   minimize  merge equivalent states; print the minimized KISS2
   equiv   check two machines for sequential output equivalence
@@ -93,6 +98,15 @@ common options:
                                              certify and inject (default:
                                              available parallelism; results
                                              are byte-identical at every N)
+  --store DIR                                content-addressed incremental
+                                             store for check, table, suite,
+                                             certify and inject: memoizes
+                                             tensor / synthesis / search
+                                             artifacts so reruns and p-sweeps
+                                             reuse them (results are
+                                             byte-identical with or without
+                                             the store; cache summary goes to
+                                             stderr)
 
 survivability options (table, suite):
   --deadline-ms N                            wall-clock budget (per machine
@@ -125,6 +139,11 @@ inject options:
                                              the detectability tensor, plus a
                                              checker-netlist self-audit
   --no-checker-faults                        skip the checker self-audit
-  --steps N                                  cycles per injected fault (2000)"
+  --steps N                                  cycles per injected fault (2000)
+
+store options:
+  --store DIR                                the store directory (required)
+  --keep-runs N                              `gc`: keep artifacts last used in
+                                             the newest N runs (default 1)"
     );
 }

@@ -46,6 +46,10 @@ pub struct Parsed {
     /// the parallel execution layer. Never changes results — every
     /// report is byte-identical at every job count.
     pub jobs: usize,
+    /// `--store DIR`: content-addressed artifact store directory;
+    /// memoizes the synth/tensor/search stages across runs. Never
+    /// changes results — a cache hit is byte-identical to a recompute.
+    pub store: Option<String>,
 }
 
 /// Parses `<file> [flags…]`.
@@ -71,6 +75,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
     let mut ticks = None;
     let mut out = None;
     let mut jobs = ced_par::ParExec::available().jobs();
+    let mut store = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -187,6 +192,9 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
                     return Err("--jobs must be at least 1".into());
                 }
             }
+            "--store" => {
+                store = Some(it.next().ok_or("--store needs a directory path")?.clone());
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`").into());
             }
@@ -219,6 +227,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
         ticks,
         out,
         jobs,
+        store,
     })
 }
 
@@ -243,6 +252,9 @@ pub struct SuiteArgs {
     pub out: Option<String>,
     /// `--jobs N` (default: available parallelism).
     pub jobs: usize,
+    /// `--store DIR`: content-addressed artifact store directory,
+    /// shared by every machine and pool worker in the campaign.
+    pub store: Option<String>,
 }
 
 /// Parses `ced suite` flags.
@@ -266,6 +278,7 @@ pub fn parse_suite(args: &[String]) -> Result<SuiteArgs, Box<dyn std::error::Err
     let mut checkpoint = None;
     let mut out = None;
     let mut jobs = ced_par::ParExec::available().jobs();
+    let mut store = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -339,6 +352,9 @@ pub fn parse_suite(args: &[String]) -> Result<SuiteArgs, Box<dyn std::error::Err
                     return Err("--jobs must be at least 1".into());
                 }
             }
+            "--store" => {
+                store = Some(it.next().ok_or("--store needs a directory path")?.clone());
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`").into());
             }
@@ -383,5 +399,6 @@ pub fn parse_suite(args: &[String]) -> Result<SuiteArgs, Box<dyn std::error::Err
         checkpoint,
         out,
         jobs,
+        store,
     })
 }

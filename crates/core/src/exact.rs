@@ -8,6 +8,7 @@
 
 use crate::ip::ParityCover;
 use ced_sim::detect::DetectabilityTable;
+use ced_store::{drop_dominated, RowSet};
 use std::collections::HashMap;
 
 /// Upper limit on monitored bits for the exact solver.
@@ -38,21 +39,18 @@ pub fn exact_minimum_cover_with_budget(
     if m == 0 {
         return Some(ParityCover::new(Vec::new()));
     }
-    let words = m.div_ceil(64);
 
     // Coverage bitset of each candidate mask, deduplicated; for equal
     // coverage keep the mask with fewest taps (cheapest XOR tree).
-    let mut by_coverage: HashMap<Vec<u64>, u64> = HashMap::new();
+    let mut by_coverage: HashMap<RowSet, u64> = HashMap::new();
     for mask in 1..(1u64 << n) {
-        let mut cov = vec![0u64; words];
-        let mut any = false;
+        let mut cov = RowSet::empty(m);
         for (i, row) in table.rows().iter().enumerate() {
             if row.detected_by(mask) {
-                cov[i / 64] |= 1 << (i % 64);
-                any = true;
+                cov.insert(i);
             }
         }
-        if !any {
+        if cov.is_empty() {
             continue;
         }
         by_coverage
@@ -65,35 +63,25 @@ pub fn exact_minimum_cover_with_budget(
             .or_insert(mask);
     }
 
-    // Drop dominated candidates (coverage ⊆ another's coverage).
-    let mut candidates: Vec<(Vec<u64>, u64)> = by_coverage.into_iter().collect();
-    candidates
-        .sort_by_key(|(cov, _)| std::cmp::Reverse(cov.iter().map(|w| w.count_ones()).sum::<u32>()));
-    let mut kept: Vec<(Vec<u64>, u64)> = Vec::new();
-    'outer: for (cov, mask) in candidates {
-        for (kc, _) in &kept {
-            if cov.iter().zip(kc.iter()).all(|(a, b)| a & !b == 0) {
-                continue 'outer; // dominated
-            }
-        }
-        kept.push((cov, mask));
-    }
+    // Drop dominated candidates (coverage ⊆ another's coverage),
+    // supersets first. Full tiebreakers make the candidate order — and
+    // hence the reported minimum cover — deterministic rather than an
+    // accident of hash iteration.
+    let mut candidates: Vec<(RowSet, u64)> = by_coverage.into_iter().collect();
+    candidates.sort_by(|(ca, ma), (cb, mb)| {
+        cb.count()
+            .cmp(&ca.count())
+            .then_with(|| ca.cmp(cb))
+            .then_with(|| ma.cmp(mb))
+    });
+    let kept = drop_dominated(candidates);
 
-    let full: Vec<u64> = {
-        let mut f = vec![u64::MAX; words];
-        let extra = words * 64 - m;
-        if extra > 0 {
-            f[words - 1] >>= extra;
-        }
-        f
-    };
+    let full = RowSet::full(m);
     // Feasibility: union of all candidates must be full (it is, since
     // every row has a detecting singleton).
-    let mut union = vec![0u64; words];
+    let mut union = RowSet::empty(m);
     for (cov, _) in &kept {
-        for (u, c) in union.iter_mut().zip(cov) {
-            *u |= c;
-        }
+        union.union_with(cov);
     }
     if union != full {
         return None; // defensive; cannot happen for built tables
@@ -106,10 +94,9 @@ pub fn exact_minimum_cover_with_budget(
         match search(
             &kept,
             &full,
-            &vec![0u64; words],
+            &RowSet::empty(m),
             depth,
             &mut chosen,
-            m,
             &mut budget,
         ) {
             SearchResult::Found => return Some(ParityCover::new(chosen)),
@@ -127,14 +114,12 @@ enum SearchResult {
 }
 
 /// DFS: pick candidates covering the first uncovered row.
-#[allow(clippy::too_many_arguments)]
 fn search(
-    candidates: &[(Vec<u64>, u64)],
-    full: &[u64],
-    covered: &[u64],
+    candidates: &[(RowSet, u64)],
+    full: &RowSet,
+    covered: &RowSet,
     depth: usize,
     chosen: &mut Vec<u64>,
-    m: usize,
     budget: &mut usize,
 ) -> SearchResult {
     if *budget == 0 {
@@ -147,22 +132,15 @@ fn search(
     if depth == 0 {
         return SearchResult::Exhausted;
     }
-    // First uncovered row.
-    let mut first = None;
-    for i in 0..m {
-        if (covered[i / 64] >> (i % 64)) & 1 == 0 {
-            first = Some(i);
-            break;
-        }
-    }
-    let Some(row) = first else {
+    let Some(row) = covered.first_clear() else {
         return SearchResult::Found;
     };
     for (cov, mask) in candidates {
-        if (cov[row / 64] >> (row % 64)) & 1 == 1 {
-            let next: Vec<u64> = covered.iter().zip(cov).map(|(a, b)| a | b).collect();
+        if cov.contains(row) {
+            let mut next = covered.clone();
+            next.union_with(cov);
             chosen.push(*mask);
-            match search(candidates, full, &next, depth - 1, chosen, m, budget) {
+            match search(candidates, full, &next, depth - 1, chosen, budget) {
                 SearchResult::Found => return SearchResult::Found,
                 SearchResult::OutOfBudget => return SearchResult::OutOfBudget,
                 SearchResult::Exhausted => {}

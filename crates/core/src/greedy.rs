@@ -11,6 +11,7 @@
 
 use crate::ip::ParityCover;
 use ced_sim::detect::DetectabilityTable;
+use ced_store::RowSet;
 
 /// Options for the greedy baseline.
 #[derive(Debug, Clone)]
@@ -39,7 +40,7 @@ impl Default for GreedyOptions {
 pub fn greedy_cover(table: &DetectabilityTable, options: &GreedyOptions) -> ParityCover {
     let n = table.num_bits();
     let mut masks: Vec<u64> = Vec::new();
-    let mut uncovered: Vec<usize> = (0..table.len()).collect();
+    let mut uncovered = RowSet::full(table.len());
     let mut rng_state = options.seed ^ 0xD1B5_4A32_D192_ED03;
 
     while !uncovered.is_empty() {
@@ -47,7 +48,8 @@ pub fn greedy_cover(table: &DetectabilityTable, options: &GreedyOptions) -> Pari
         let mask = if covered_count(table, &uncovered, best) == 0 {
             // Fallback: singleton on the first detecting bit of the first
             // uncovered row's activation step.
-            let row = &table.rows()[uncovered[0]];
+            let first = uncovered.first_set().expect("nonempty uncovered set");
+            let row = &table.rows()[first];
             match row.steps.iter().copied().find(|&d| d != 0) {
                 Some(d) => 1u64 << d.trailing_zeros(),
                 None => {
@@ -55,7 +57,7 @@ pub fn greedy_cover(table: &DetectabilityTable, options: &GreedyOptions) -> Pari
                     // mask can ever cover it. Drop it so the loop
                     // terminates; full-table verification downstream
                     // (ip::verify_cover / the solver ladder) reports it.
-                    uncovered.remove(0);
+                    uncovered.remove(first);
                     continue;
                 }
             }
@@ -63,22 +65,28 @@ pub fn greedy_cover(table: &DetectabilityTable, options: &GreedyOptions) -> Pari
             best
         };
         masks.push(mask);
-        uncovered.retain(|&i| !table.rows()[i].detected_by(mask));
+        let newly: Vec<usize> = uncovered
+            .iter()
+            .filter(|&i| table.rows()[i].detected_by(mask))
+            .collect();
+        for i in newly {
+            uncovered.remove(i);
+        }
     }
     ParityCover::new(masks)
 }
 
-fn covered_count(table: &DetectabilityTable, uncovered: &[usize], mask: u64) -> usize {
+fn covered_count(table: &DetectabilityTable, uncovered: &RowSet, mask: u64) -> usize {
     uncovered
         .iter()
-        .filter(|&&i| table.rows()[i].detected_by(mask))
+        .filter(|&i| table.rows()[i].detected_by(mask))
         .count()
 }
 
 /// Hill-climbs masks by single-bit flips, over several restarts.
 fn best_mask(
     table: &DetectabilityTable,
-    uncovered: &[usize],
+    uncovered: &RowSet,
     n: usize,
     options: &GreedyOptions,
     rng_state: &mut u64,

@@ -13,7 +13,8 @@ use ced_fsm::encoding::StateEncoding;
 use ced_fsm::encoding::{assign, EncodingStrategy};
 use ced_fsm::machine::{Fsm, FsmError};
 use ced_logic::cube::Literal;
-use ced_logic::gate::CellLibrary;
+use ced_logic::gate::{CellLibrary, GateKind};
+use ced_logic::netlist::{Gate, NetId, Netlist};
 use ced_logic::MinimizeOptions;
 use ced_par::ParExec;
 use ced_runtime::{fnv1a64, Budget, ByteReader, ByteWriter, CheckpointError, Interrupted};
@@ -22,6 +23,7 @@ use ced_sim::detect::{
     InputModel, Semantics,
 };
 use ced_sim::fault::{all_faults, collapsed_faults, Fault};
+use ced_store::Store;
 use std::fmt;
 
 /// Input-space granularity of the erroneous-case enumeration.
@@ -420,6 +422,100 @@ fn rung_from_tag(tag: u8) -> Result<LadderRung, CheckpointError> {
     })
 }
 
+/// Artifact-store stage name for synthesized circuits (see
+/// [`prepare_machine_stored`]).
+pub const SYNTH_STAGE: &str = "synth";
+
+/// Artifact-store stage name for per-latency search results (cover +
+/// CED cost); keyed per latency bound so a prior sweep serves any
+/// subset of its bounds.
+pub const SEARCH_STAGE: &str = "search";
+
+/// Serializes a synthesized circuit bit-exactly (interface dimensions
+/// plus the full netlist, including unused fanin slots) for the
+/// `synth`-stage artifact.
+pub fn write_circuit(circuit: &FsmCircuit, w: &mut ByteWriter) {
+    w.str(circuit.name());
+    w.usize(circuit.num_inputs());
+    w.usize(circuit.state_bits());
+    w.usize(circuit.num_outputs());
+    w.u64(circuit.reset_code());
+    let netlist = circuit.netlist();
+    let gates = netlist.gates();
+    w.usize(netlist.num_inputs());
+    w.usize(gates.len());
+    for g in gates {
+        w.u8(g.kind.tag());
+        w.u32(g.fanin[0].0);
+        w.u32(g.fanin[1].0);
+    }
+    w.usize(netlist.outputs().len());
+    for o in netlist.outputs() {
+        w.u32(o.0);
+    }
+}
+
+/// Deserializes a circuit written by [`write_circuit`].
+///
+/// Every structural invariant [`FsmCircuit::from_parts`] would assert
+/// is pre-validated here, so corrupt artifacts surface as typed
+/// [`CheckpointError::Corrupt`] values — never panics.
+///
+/// # Errors
+///
+/// [`CheckpointError`] on truncated or structurally invalid bytes.
+pub fn read_circuit(r: &mut ByteReader<'_>) -> Result<FsmCircuit, CheckpointError> {
+    let name = r.str()?.to_string();
+    let num_inputs = r.usize()?;
+    let state_bits = r.usize()?;
+    let num_outputs = r.usize()?;
+    let reset_code = r.u64()?;
+    let net_inputs = r.usize()?;
+    let n_gates = r.usize()?;
+    if n_gates > 16_000_000 {
+        return Err(CheckpointError::Corrupt("implausible gate count".into()));
+    }
+    let mut gates = Vec::with_capacity(n_gates);
+    for _ in 0..n_gates {
+        let tag = r.u8()?;
+        let kind = GateKind::from_tag(tag)
+            .ok_or_else(|| CheckpointError::Corrupt(format!("unknown gate kind tag {tag}")))?;
+        let a = NetId(r.u32()?);
+        let b = NetId(r.u32()?);
+        gates.push(Gate {
+            kind,
+            fanin: [a, b],
+        });
+    }
+    let n_outputs = r.usize()?;
+    if n_outputs > 16_000_000 {
+        return Err(CheckpointError::Corrupt("implausible output count".into()));
+    }
+    let mut outputs = Vec::with_capacity(n_outputs);
+    for _ in 0..n_outputs {
+        outputs.push(NetId(r.u32()?));
+    }
+    let netlist =
+        Netlist::from_parts(net_inputs, gates, outputs).map_err(CheckpointError::Corrupt)?;
+    if netlist.num_inputs() != num_inputs + state_bits
+        || netlist.num_outputs() != state_bits + num_outputs
+        || state_bits >= 64
+        || reset_code >= (1u64 << state_bits)
+    {
+        return Err(CheckpointError::Corrupt(
+            "circuit interface does not match its netlist".into(),
+        ));
+    }
+    Ok(FsmCircuit::from_parts(
+        netlist,
+        num_inputs,
+        state_bits,
+        num_outputs,
+        reset_code,
+        name,
+    ))
+}
+
 /// Budget, resume state and checkpoint hooks for a controlled pipeline
 /// run (the pipeline-level analogue of
 /// [`ced_sim::detect::BuildControl`]).
@@ -439,6 +535,12 @@ pub struct PipelineControl<'a> {
     /// serial. Never part of the pipeline fingerprint: job counts
     /// change wall-clock, not results.
     pub pool: Option<&'a ParExec>,
+    /// Content-addressed artifact store memoizing the `synth`, `tensor`
+    /// and `search` stages. Like `pool`, never part of any fingerprint:
+    /// a cache hit returns bytes a prior run proved identical to a
+    /// recompute, so presence or absence of the store cannot change
+    /// results.
+    pub store: Option<&'a Store>,
 }
 
 impl<'a> PipelineControl<'a> {
@@ -450,6 +552,7 @@ impl<'a> PipelineControl<'a> {
             checkpoint_every: 0,
             on_checkpoint: None,
             pool: None,
+            store: None,
         }
     }
 }
@@ -480,13 +583,66 @@ pub fn prepare_machine(
     fsm: &Fsm,
     options: &PipelineOptions,
 ) -> Result<(EncodedFsm, FsmCircuit), PipelineError> {
+    prepare_machine_stored(fsm, options, None)
+}
+
+/// [`prepare_machine`] with `synth`-stage memoization: the synthesized
+/// circuit is keyed by the completed machine's canonical KISS2 text
+/// plus every synthesis-affecting option, so repeat runs skip the
+/// two-level minimization entirely. A hit is byte-identical to a
+/// recompute because synthesis is deterministic and [`write_circuit`]
+/// round-trips the netlist bit-exactly.
+///
+/// # Errors
+///
+/// Propagates FSM validation failures.
+pub fn prepare_machine_stored(
+    fsm: &Fsm,
+    options: &PipelineOptions,
+    store: Option<&Store>,
+) -> Result<(EncodedFsm, FsmCircuit), PipelineError> {
     let mut fsm = fsm.clone();
     if fsm.check_complete().is_err() {
         fsm.complete_with_self_loops();
     }
     let enc = assign(&fsm, options.encoding);
+    let Some(store) = store else {
+        let encoded = EncodedFsm::new(fsm, enc)?;
+        let circuit =
+            encoded.synthesize_with_sharing(&options.minimize, !options.isolate_output_logic);
+        return Ok((encoded, circuit));
+    };
+    let fp = {
+        let mut w = ByteWriter::new();
+        w.str(fsm.name());
+        w.str(&ced_fsm::kiss::to_string(&fsm));
+        w.str(&format!("{:?}", options.encoding));
+        w.str(&format!("{:?}", options.minimize));
+        w.bool(options.isolate_output_logic);
+        fnv1a64(&w.finish())
+    };
     let encoded = EncodedFsm::new(fsm, enc)?;
+    if let Some(circuit) = store.get_typed(SYNTH_STAGE, fp, |bytes| {
+        let mut r = ByteReader::new(bytes);
+        let c = read_circuit(&mut r)?;
+        r.expect_end()?;
+        Ok(c)
+    }) {
+        // Belt-and-braces against a mis-filed artifact that decoded
+        // cleanly: the cached interface must match this machine.
+        if circuit.num_inputs() == encoded.num_inputs()
+            && circuit.state_bits() == encoded.state_bits()
+            && circuit.num_outputs() == encoded.num_outputs()
+            && circuit.reset_code() == encoded.reset_code()
+        {
+            return Ok((encoded, circuit));
+        }
+        store.note_corrupt(SYNTH_STAGE, fp);
+    }
     let circuit = encoded.synthesize_with_sharing(&options.minimize, !options.isolate_output_logic);
+    let mut w = ByteWriter::new();
+    write_circuit(&circuit, &mut w);
+    store.put_artifact(SYNTH_STAGE, fp, &w.finish());
     Ok((encoded, circuit))
 }
 
@@ -589,7 +745,7 @@ pub fn run_circuit_controlled(
     library: &CellLibrary,
     mut control: PipelineControl<'_>,
 ) -> Result<CircuitReport, PipelineError> {
-    let (encoded, circuit) = prepare_machine(fsm, options)?;
+    let (encoded, circuit) = prepare_machine_stored(fsm, options, control.store)?;
     let input_model =
         build_input_model(encoded.fsm(), encoded.encoding(), options.input_granularity);
     let faults = fault_list(&circuit, options);
@@ -660,6 +816,7 @@ pub fn run_circuit_controlled(
                     checkpoint_every: control.checkpoint_every,
                     on_checkpoint: Some(&mut wrap),
                     pool: control.pool,
+                    store: control.store,
                 },
             )
         };
@@ -696,6 +853,33 @@ pub fn run_circuit_controlled(
 
     // Phase 2: Algorithm 1 + hardware synthesis per latency bound,
     // skipping bounds a resumed checkpoint already finished.
+    //
+    // Everything search-affecting except the per-latency inputs: the
+    // exact circuit (the CED predictor is resynthesized from it), the
+    // solver and synthesis knobs, and the cell library the cost is
+    // priced against. The table bytes and incumbent are appended per
+    // bound, so each latency gets its own store key.
+    let search_base: Option<Vec<u8>> = control.store.map(|_| {
+        let mut w = ByteWriter::new();
+        write_circuit(&circuit, &mut w);
+        w.str(&format!("{:?}", options.minimize));
+        let ced = &options.ced;
+        w.usize(ced.iterations);
+        w.str(&format!("{:?}", ced.form));
+        w.u64(ced.seed);
+        w.usize(ced.lp_row_cap);
+        w.usize(ced.refinement_rounds);
+        w.str(&format!("{:?}", ced.objective));
+        match ced.max_lp_solves {
+            Some(v) => {
+                w.bool(true);
+                w.usize(v);
+            }
+            None => w.bool(false),
+        }
+        w.str(&format!("{library:?}"));
+        w.finish()
+    });
     let mut stats = DetectStats::default();
     let mut latency_results = completed;
     for i in 0..latencies.len().min(tables.len()) {
@@ -705,6 +889,53 @@ pub fn run_circuit_controlled(
         }
         if i < latency_results.len() {
             continue;
+        }
+        let search_fp = search_base.as_ref().map(|base| {
+            let mut w = ByteWriter::new();
+            w.bytes(base);
+            w.usize(p);
+            tables[i].0.write(&mut w);
+            match &incumbent {
+                Some(c) => {
+                    w.bool(true);
+                    w.u64_slice(&c.masks);
+                }
+                None => w.bool(false),
+            }
+            fnv1a64(&w.finish())
+        });
+        if let (Some(store), Some(fp)) = (control.store, search_fp) {
+            let cached = store.get_typed(SEARCH_STAGE, fp, |bytes| {
+                let mut r = ByteReader::new(bytes);
+                let result = read_latency_result(&mut r)?;
+                r.expect_end()?;
+                if result.latency != p {
+                    return Err(CheckpointError::Corrupt(
+                        "search artifact is for a different latency bound".into(),
+                    ));
+                }
+                Ok(result)
+            });
+            if let Some(result) = cached {
+                // A decoded artifact whose cover fails verification
+                // against *this* table cannot be a replay of this
+                // search — treat it as corruption, not as a result.
+                if tables[i].0.all_covered(&result.cover.masks) {
+                    incumbent = Some(result.cover.clone());
+                    latency_results.push(result);
+                    if let Some(cb) = control.on_checkpoint.as_mut() {
+                        cb(&TableCheckpoint {
+                            fingerprint,
+                            build: None,
+                            tables: tables.clone(),
+                            completed: latency_results.clone(),
+                            incumbent: incumbent.clone(),
+                        });
+                    }
+                    continue;
+                }
+                store.note_corrupt(SEARCH_STAGE, fp);
+            }
         }
         let outcome = match crate::search::minimize_interruptible(
             &tables[i].0,
@@ -739,6 +970,21 @@ pub fn run_circuit_controlled(
             method: outcome.method,
             degradation: outcome.degradation,
         });
+        if let (Some(store), Some(fp)) = (control.store, search_fp) {
+            let result = latency_results.last().expect("just pushed");
+            // A result degraded by budget exhaustion depends on
+            // wall-clock, not just the fingerprinted inputs; caching it
+            // would replay the degradation into untimed reruns.
+            let budget_free = result
+                .degradation
+                .iter()
+                .all(|e| !matches!(e.reason, DegradationReason::BudgetExceeded));
+            if budget_free {
+                let mut w = ByteWriter::new();
+                write_latency_result(result, &mut w);
+                store.put_artifact(SEARCH_STAGE, fp, &w.finish());
+            }
+        }
         if let Some(cb) = control.on_checkpoint.as_mut() {
             cb(&TableCheckpoint {
                 fingerprint,
@@ -1043,6 +1289,83 @@ mod tests {
         let err = run_circuit_controlled(&suite::serial_adder(), &[1, 2], &opts, &lib, control)
             .unwrap_err();
         assert!(matches!(err, PipelineError::CheckpointMismatch));
+    }
+
+    #[test]
+    fn circuit_serialization_round_trips_bit_exactly() {
+        let fsm = suite::worked_example();
+        let circuit = synthesize_circuit(&fsm, &PipelineOptions::paper_defaults()).unwrap();
+        let mut w = ByteWriter::new();
+        write_circuit(&circuit, &mut w);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        let back = read_circuit(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back.name(), circuit.name());
+        assert_eq!(back.netlist(), circuit.netlist());
+        assert_eq!(back.reset_code(), circuit.reset_code());
+        let mut w2 = ByteWriter::new();
+        write_circuit(&back, &mut w2);
+        assert_eq!(w2.finish(), bytes);
+    }
+
+    #[test]
+    fn corrupt_circuit_bytes_are_typed_errors() {
+        let fsm = suite::sequence_detector();
+        let circuit = synthesize_circuit(&fsm, &PipelineOptions::paper_defaults()).unwrap();
+        let mut w = ByteWriter::new();
+        write_circuit(&circuit, &mut w);
+        let bytes = w.finish();
+        // Truncations at every prefix length and single-byte flips must
+        // surface as errors or decode to *something* — never panic.
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let _ = read_circuit(&mut r);
+        }
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x41;
+            let mut r = ByteReader::new(&flipped);
+            let _ = read_circuit(&mut r);
+        }
+    }
+
+    #[test]
+    fn stored_pipeline_replay_is_byte_identical_with_stage_hits() {
+        let fsm = suite::worked_example();
+        let opts = PipelineOptions::paper_defaults();
+        let lib = CellLibrary::new();
+        let latencies = [1, 2];
+        let budget = Budget::unlimited();
+
+        let plain = run_circuit(&fsm, &latencies, &opts, &lib).unwrap();
+
+        let store = ced_store::Store::in_memory();
+        let mut cold_control = PipelineControl::new(&budget);
+        cold_control.store = Some(&store);
+        let cold = run_circuit_controlled(&fsm, &latencies, &opts, &lib, cold_control).unwrap();
+        let mut warm_control = PipelineControl::new(&budget);
+        warm_control.store = Some(&store);
+        let warm = run_circuit_controlled(&fsm, &latencies, &opts, &lib, warm_control).unwrap();
+
+        reports_equal(&plain, &cold);
+        reports_equal(&plain, &warm);
+
+        let by_stage = |name: &str| {
+            store
+                .stats()
+                .stages
+                .iter()
+                .find(|(s, _)| s == name)
+                .map(|(_, c)| *c)
+                .unwrap_or_default()
+        };
+        // Cold run populates, warm run replays every stage.
+        assert_eq!(by_stage(SYNTH_STAGE).puts, 1);
+        assert!(by_stage(SYNTH_STAGE).hits >= 1);
+        assert_eq!(by_stage(SEARCH_STAGE).puts, latencies.len() as u64);
+        assert_eq!(by_stage(SEARCH_STAGE).hits, latencies.len() as u64);
+        assert!(by_stage(ced_sim::detect::TENSOR_STAGE).hits >= latencies.len() as u64);
     }
 
     #[test]

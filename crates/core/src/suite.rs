@@ -25,9 +25,10 @@ use ced_runtime::{
     fnv1a64, Budget, ByteReader, ByteWriter, CancelToken, CheckpointError, InterruptKind,
     Interrupted, Json,
 };
+use ced_store::Store;
 use std::fmt;
 use std::panic::AssertUnwindSafe;
-use std::sync::Once;
+use std::sync::{Arc, Once};
 use std::time::Duration;
 
 /// Checkpoint-container kind tag for suite checkpoints (see
@@ -393,6 +394,12 @@ pub struct SuiteControl<'a> {
     /// does not nest: pooled suite workers run their pipelines with a
     /// serial build, so the thread count stays bounded by the pool.
     pub pool: Option<&'a ParExec>,
+    /// Content-addressed artifact store shared by every attempt (and
+    /// every pool worker — `Arc` because attempts run on their own
+    /// threads). First-writer-wins puts keyed by content fingerprints
+    /// make concurrent workers order-insensitive, so the report stays
+    /// byte-identical at every job count, warm or cold.
+    pub store: Option<Arc<Store>>,
 }
 
 impl<'a> SuiteControl<'a> {
@@ -404,6 +411,7 @@ impl<'a> SuiteControl<'a> {
             on_checkpoint: None,
             on_progress: None,
             pool: None,
+            store: None,
         }
     }
 }
@@ -493,6 +501,7 @@ fn attempt_body(
     library: &CellLibrary,
     options: &SuiteOptions,
     cancel: &CancelToken,
+    store: Option<&Store>,
 ) -> Result<CircuitReport, PipelineError> {
     let mut budget = Budget::new().with_cancel(cancel.clone());
     if let Some(d) = options.machine_deadline {
@@ -501,13 +510,9 @@ fn attempt_body(
     if let Some(t) = options.machine_ticks {
         budget = budget.with_tick_cap(t);
     }
-    run_circuit_controlled(
-        fsm,
-        latencies,
-        pipeline,
-        library,
-        PipelineControl::new(&budget),
-    )
+    let mut control = PipelineControl::new(&budget);
+    control.store = store;
+    run_circuit_controlled(fsm, latencies, pipeline, library, control)
 }
 
 /// Classifies a joined/caught attempt result into an outcome record.
@@ -536,6 +541,7 @@ fn classify_attempt(
 
 /// Runs one pipeline attempt in a named worker thread, capturing
 /// panics and budget interrupts.
+#[allow(clippy::too_many_arguments)]
 fn run_attempt(
     name: &str,
     fsm: &Fsm,
@@ -544,6 +550,7 @@ fn run_attempt(
     library: &CellLibrary,
     options: &SuiteOptions,
     cancel: &CancelToken,
+    store: Option<&Arc<Store>>,
 ) -> AttemptOutcome {
     let fsm = fsm.clone();
     let latencies = latencies.to_vec();
@@ -551,9 +558,20 @@ fn run_attempt(
     let library = library.clone();
     let options = options.clone();
     let cancel = cancel.clone();
+    let store = store.cloned();
     let handle = std::thread::Builder::new()
         .name(WORKER_THREAD_NAME.into())
-        .spawn(move || attempt_body(&fsm, &latencies, &pipeline, &library, &options, &cancel))
+        .spawn(move || {
+            attempt_body(
+                &fsm,
+                &latencies,
+                &pipeline,
+                &library,
+                &options,
+                &cancel,
+                store.as_deref(),
+            )
+        })
         .unwrap_or_else(|e| panic!("spawning worker for {name}: {e}"));
     classify_attempt(handle.join())
 }
@@ -572,9 +590,10 @@ fn run_attempt_pooled(
     library: &CellLibrary,
     options: &SuiteOptions,
     cancel: &CancelToken,
+    store: Option<&Store>,
 ) -> AttemptOutcome {
     classify_attempt(std::panic::catch_unwind(AssertUnwindSafe(|| {
-        attempt_body(fsm, latencies, pipeline, library, options, cancel)
+        attempt_body(fsm, latencies, pipeline, library, options, cancel, store)
     })))
 }
 
@@ -625,10 +644,19 @@ fn run_machine(
     library: &CellLibrary,
     cancel: &CancelToken,
     pooled: bool,
+    store: Option<&Arc<Store>>,
 ) -> Result<MachineRecord, Interrupted> {
     let attempt = |pipeline: &PipelineOptions| {
         if pooled {
-            run_attempt_pooled(fsm, &options.latencies, pipeline, library, options, cancel)
+            run_attempt_pooled(
+                fsm,
+                &options.latencies,
+                pipeline,
+                library,
+                options,
+                cancel,
+                store.map(Arc::as_ref),
+            )
         } else {
             run_attempt(
                 name,
@@ -638,6 +666,7 @@ fn run_machine(
                 library,
                 options,
                 cancel,
+                store,
             )
         }
     };
@@ -796,6 +825,7 @@ pub fn run_suite(
             progress(records.len(), total, records.last().unwrap());
         }
     };
+    let store = control.store.take();
     let outcome: Result<(), Interrupted> = match &suite_pool {
         Some(pool) => pool.for_each_ordered(
             remaining,
@@ -803,7 +833,7 @@ pub fn run_suite(
                 if cancel.is_cancelled() {
                     return Err(cancel_interrupt(&cancel));
                 }
-                run_machine(name, fsm, options, library, &cancel, true)
+                run_machine(name, fsm, options, library, &cancel, true, store.as_ref())
             },
             |_, record| consume(record),
         ),
@@ -811,7 +841,7 @@ pub fn run_suite(
             if cancel.is_cancelled() {
                 return Err(cancel_interrupt(&cancel));
             }
-            let record = run_machine(name, fsm, options, library, &cancel, false)?;
+            let record = run_machine(name, fsm, options, library, &cancel, false, store.as_ref())?;
             consume(record);
             Ok(())
         }),
@@ -938,6 +968,29 @@ mod tests {
         let a = run_suite(&small_suite(), &opts, &lib, SuiteControl::new()).unwrap();
         let b = run_suite(&small_suite(), &opts, &lib, SuiteControl::new()).unwrap();
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn shared_store_keeps_suite_json_byte_identical_warm_and_cold() {
+        let lib = CellLibrary::new();
+        let opts = fast_options();
+        let plain = run_suite(&small_suite(), &opts, &lib, SuiteControl::new()).unwrap();
+
+        let store = Arc::new(Store::in_memory());
+        let mut cold = SuiteControl::new();
+        cold.store = Some(Arc::clone(&store));
+        let cold_report = run_suite(&small_suite(), &opts, &lib, cold).unwrap();
+        let puts: u64 = store.stats().stages.iter().map(|(_, c)| c.puts).sum();
+        assert!(puts > 0, "cold suite run must populate the store");
+
+        let mut warm = SuiteControl::new();
+        warm.store = Some(Arc::clone(&store));
+        let warm_report = run_suite(&small_suite(), &opts, &lib, warm).unwrap();
+        let hits: u64 = store.stats().stages.iter().map(|(_, c)| c.hits).sum();
+        assert!(hits > 0, "warm suite run must hit the store");
+
+        assert_eq!(plain.to_json(), cold_report.to_json());
+        assert_eq!(plain.to_json(), warm_report.to_json());
     }
 
     #[test]

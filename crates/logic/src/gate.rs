@@ -53,6 +53,42 @@ impl GateKind {
         self.arity() == 2
     }
 
+    /// Stable serialization tag (the declaration order; used by
+    /// circuit artifacts and fingerprints).
+    pub fn tag(self) -> u8 {
+        match self {
+            GateKind::Input => 0,
+            GateKind::Const0 => 1,
+            GateKind::Const1 => 2,
+            GateKind::Buf => 3,
+            GateKind::Not => 4,
+            GateKind::And => 5,
+            GateKind::Or => 6,
+            GateKind::Nand => 7,
+            GateKind::Nor => 8,
+            GateKind::Xor => 9,
+            GateKind::Xnor => 10,
+        }
+    }
+
+    /// Inverse of [`GateKind::tag`]; `None` for unknown tags.
+    pub fn from_tag(tag: u8) -> Option<GateKind> {
+        Some(match tag {
+            0 => GateKind::Input,
+            1 => GateKind::Const0,
+            2 => GateKind::Const1,
+            3 => GateKind::Buf,
+            4 => GateKind::Not,
+            5 => GateKind::And,
+            6 => GateKind::Or,
+            7 => GateKind::Nand,
+            8 => GateKind::Nor,
+            9 => GateKind::Xor,
+            10 => GateKind::Xnor,
+            _ => return None,
+        })
+    }
+
     /// Evaluates the gate on word-parallel operand(s).
     pub fn eval(self, a: u64, b: u64) -> u64 {
         match self {
@@ -204,6 +240,26 @@ mod tests {
         }
         assert_eq!(lib.area(GateKind::Input), 0.0);
         assert!(!lib.counts_as_gate(GateKind::Const0));
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for kind in [
+            GateKind::Input,
+            GateKind::Const0,
+            GateKind::Const1,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            assert_eq!(GateKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(GateKind::from_tag(11), None);
     }
 
     #[test]

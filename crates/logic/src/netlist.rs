@@ -60,6 +60,54 @@ pub struct Netlist {
 }
 
 impl Netlist {
+    /// Reassembles a netlist from its raw parts (the exact gate list,
+    /// in topological order, as returned by [`Netlist::gates`] and
+    /// [`Netlist::outputs`]). Unlike [`NetlistBuilder`], no strashing
+    /// or folding is applied, so a serialize → deserialize round trip
+    /// reproduces the original structure gate-for-gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural violation: a
+    /// non-`Input` gate in the input prefix (or vice versa), a fanin
+    /// that does not precede its consumer, or an out-of-range output.
+    pub fn from_parts(
+        num_inputs: usize,
+        gates: Vec<Gate>,
+        outputs: Vec<NetId>,
+    ) -> Result<Netlist, String> {
+        if gates.len() < num_inputs {
+            return Err(format!(
+                "{} gates cannot hold {num_inputs} inputs",
+                gates.len()
+            ));
+        }
+        for (i, g) in gates.iter().enumerate() {
+            let is_input = g.kind == GateKind::Input;
+            if is_input != (i < num_inputs) {
+                return Err(format!("gate {i}: {:?} misplaced in input prefix", g.kind));
+            }
+            for k in 0..g.kind.arity() {
+                if g.fanin[k].index() >= i {
+                    return Err(format!(
+                        "gate {i}: fanin {} does not precede it",
+                        g.fanin[k]
+                    ));
+                }
+            }
+        }
+        for o in &outputs {
+            if o.index() >= gates.len() {
+                return Err(format!("output {o} out of range"));
+            }
+        }
+        Ok(Netlist {
+            num_inputs,
+            gates,
+            outputs,
+        })
+    }
+
     /// Number of primary inputs.
     pub fn num_inputs(&self) -> usize {
         self.num_inputs
@@ -600,6 +648,42 @@ mod tests {
         assert_eq!(n.gate_count(), 2);
         let lib = CellLibrary::new();
         assert_eq!(n.area(&lib), lib.and2 + lib.inv);
+    }
+
+    #[test]
+    fn from_parts_round_trips_exact_structure() {
+        let mut b = NetlistBuilder::new(3);
+        let i: Vec<NetId> = (0..3).map(|k| b.input(k)).collect();
+        let t = b.nand(i[0], i[1]);
+        let f = b.xor(t, i[2]);
+        b.mark_output(f);
+        b.mark_output(t);
+        let n = b.finish();
+        let back =
+            Netlist::from_parts(n.num_inputs(), n.gates().to_vec(), n.outputs().to_vec()).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_structure() {
+        let input = Gate {
+            kind: GateKind::Input,
+            fanin: [NetId(0), NetId(0)],
+        };
+        let and = |a: u32, b: u32| Gate {
+            kind: GateKind::And,
+            fanin: [NetId(a), NetId(b)],
+        };
+        // Non-input gate inside the input prefix.
+        assert!(Netlist::from_parts(2, vec![input, and(0, 0)], vec![]).is_err());
+        // Fanin that does not precede its consumer.
+        assert!(Netlist::from_parts(2, vec![input, input, and(0, 2)], vec![]).is_err());
+        // Output out of range.
+        assert!(Netlist::from_parts(1, vec![input], vec![NetId(3)]).is_err());
+        // Fewer gates than inputs.
+        assert!(Netlist::from_parts(2, vec![input], vec![]).is_err());
+        // Valid case still accepted.
+        assert!(Netlist::from_parts(2, vec![input, input, and(0, 1)], vec![NetId(2)]).is_ok());
     }
 
     #[test]

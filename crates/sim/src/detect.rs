@@ -43,6 +43,7 @@ use ced_par::ParExec;
 use ced_runtime::{
     fnv1a64, Budget, ByteReader, ByteWriter, CheckpointError, InterruptKind, Interrupted,
 };
+use ced_store::{CoverageMatrix, Store};
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
 
@@ -90,7 +91,7 @@ struct Collector {
     reduce: bool,
     max_rows: usize,
     /// Canonical sets (reduce) or raw ordered rows (!reduce).
-    sets: HashSet<Vec<u64>>,
+    sets: CoverageMatrix,
     emitted: usize,
     cleanup_at: usize,
     overflow: bool,
@@ -102,95 +103,42 @@ impl Collector {
             latency,
             reduce,
             max_rows,
-            sets: HashSet::new(),
+            sets: CoverageMatrix::new(),
             emitted: 0,
             cleanup_at: 4096,
             overflow: false,
         }
     }
 
-    /// Canonical step-set of a (partial) row: nonzero, sorted, distinct.
-    fn canonical(steps: &[u64]) -> Vec<u64> {
-        let mut s: Vec<u64> = steps.iter().copied().filter(|&d| d != 0).collect();
-        s.sort_unstable();
-        s.dedup();
-        s
-    }
-
-    /// True iff some kept set is a subset of `set` (including equality):
-    /// everything containing `set` is then already implied.
-    fn dominated(&self, set: &[u64]) -> bool {
-        if !self.reduce || set.is_empty() {
-            return false;
-        }
-        let k = set.len();
-        // All non-empty subsets of a ≤p-element set (p is small).
-        for pick in 1..(1usize << k) {
-            let subset: Vec<u64> = (0..k)
-                .filter(|i| (pick >> i) & 1 == 1)
-                .map(|i| set[i])
-                .collect();
-            if self.sets.contains(&subset) {
-                return true;
-            }
-        }
-        false
-    }
-
     /// Branch pruning hook: a DFS prefix whose canonical set is already
     /// dominated can only produce dominated rows.
     fn prefix_dominated(&self, prefix: &[u64]) -> bool {
-        self.reduce && self.dominated(&Self::canonical(prefix))
+        self.reduce && self.sets.dominated(&CoverageMatrix::canonical(prefix))
     }
 
     /// Records one complete row (length = latency, zero-padded).
     fn insert(&mut self, row: &[u64]) {
         self.emitted += 1;
         if self.reduce {
-            let set = Self::canonical(row);
-            if set.is_empty() || self.dominated(&set) {
+            if !self.sets.insert_minimal(CoverageMatrix::canonical(row)) {
                 return;
             }
-            self.sets.insert(set);
             if self.sets.len() >= self.cleanup_at {
-                self.cleanup();
+                self.sets.remove_supersets();
                 self.cleanup_at = (self.sets.len() * 2).max(4096);
             }
         } else {
-            self.sets.insert(row.to_vec());
+            self.sets.insert_raw(row.to_vec());
         }
         if self.sets.len() > self.max_rows {
             if self.reduce {
-                self.cleanup();
+                self.sets.remove_supersets();
                 self.cleanup_at = (self.sets.len() * 2).max(4096);
             }
             if self.sets.len() > self.max_rows {
                 self.overflow = true;
             }
         }
-    }
-
-    /// Removes sets that are supersets of other kept sets.
-    fn cleanup(&mut self) {
-        let mut by_len: Vec<Vec<u64>> = self.sets.drain().collect();
-        by_len.sort_by_key(|s| s.len());
-        let mut kept: HashSet<Vec<u64>> = HashSet::with_capacity(by_len.len());
-        'outer: for s in by_len {
-            let k = s.len();
-            if k > 1 {
-                for pick in 1..((1usize << k) - 1) {
-                    let subset: Vec<u64> = (0..k)
-                        .filter(|i| (pick >> i) & 1 == 1)
-                        .map(|i| s[i])
-                        .collect();
-                    if kept.contains(&subset) {
-                        continue 'outer;
-                    }
-                }
-            }
-            kept.insert(s);
-        }
-        self.sets = kept;
     }
 
     fn overflowed(&self) -> bool {
@@ -203,13 +151,11 @@ impl Collector {
 
     /// Captures the collector at a clean fault boundary. Sets are
     /// sorted so the snapshot (and hence the checkpoint bytes) are
-    /// independent of `HashSet` iteration order.
+    /// independent of hash iteration order.
     fn snapshot(&self) -> CollectorState {
         debug_assert!(!self.overflow, "snapshot of an overflowed collector");
-        let mut sets: Vec<Vec<u64>> = self.sets.iter().cloned().collect();
-        sets.sort_unstable();
         CollectorState {
-            sets,
+            sets: self.sets.sorted_sets(),
             emitted: self.emitted,
             cleanup_at: self.cleanup_at,
         }
@@ -221,7 +167,7 @@ impl Collector {
             latency,
             reduce,
             max_rows,
-            sets: state.sets.iter().cloned().collect(),
+            sets: CoverageMatrix::from_sets(state.sets.iter().cloned()),
             emitted: state.emitted,
             cleanup_at: state.cleanup_at,
             overflow: false,
@@ -231,11 +177,12 @@ impl Collector {
     /// Final rows: cleaned up, canonical, sorted, zero-padded.
     fn finish(mut self) -> Vec<EcRow> {
         if self.reduce {
-            self.cleanup();
+            self.sets.remove_supersets();
         }
         let latency = self.latency;
         let mut rows: Vec<EcRow> = self
             .sets
+            .into_sorted_sets()
             .into_iter()
             .map(|mut steps| {
                 steps.resize(latency, 0);
@@ -584,6 +531,11 @@ pub struct BuildControl<'a> {
     /// enumeration always runs in fault order and the build's tables,
     /// stats and checkpoints are byte-identical at every job count.
     pub pool: Option<&'a ParExec>,
+    /// Artifact store for the tensor stage. Each requested latency is
+    /// keyed independently (under [`TENSOR_STAGE`]), so a prior p-sweep
+    /// serves any subset of its bounds; because the enumeration is
+    /// deterministic, a hit is byte-identical to a rebuild.
+    pub store: Option<&'a Store>,
 }
 
 impl<'a> BuildControl<'a> {
@@ -595,9 +547,13 @@ impl<'a> BuildControl<'a> {
             checkpoint_every: 0,
             on_checkpoint: None,
             pool: None,
+            store: None,
         }
     }
 }
+
+/// Store stage name for per-latency `(table, stats)` tensor artifacts.
+pub const TENSOR_STAGE: &str = "tensor";
 
 impl DetectabilityTable {
     /// Builds the table for `circuit` under `faults` with the given
@@ -689,7 +645,47 @@ impl DetectabilityTable {
         }
         let good = TransitionTables::good(circuit);
         let activation_states = good.reachable_codes();
-        let fingerprint = build_fingerprint(&good, faults, options, latencies);
+        let base_bytes = fingerprint_base_bytes(&good, faults, options);
+        let fingerprint = build_fingerprint_from_base(&base_bytes, latencies);
+        let tensor_fps: Vec<u64> = latencies
+            .iter()
+            .map(|&p| tensor_fingerprint(&base_bytes, p))
+            .collect();
+
+        // Tensor stage replay: each latency's (table, stats) pair is a
+        // pure function of (good tables, faults, options-sans-latency,
+        // p), so a prior build at any superset of bounds serves this
+        // request. All requested bounds must hit — the enumeration
+        // below computes every bound jointly in one pass over faults,
+        // so a partial hit saves nothing.
+        if let Some(store) = control.store {
+            let mut cached = Vec::with_capacity(latencies.len());
+            for (&p, &fp) in latencies.iter().zip(&tensor_fps) {
+                let hit = store.get_typed(TENSOR_STAGE, fp, |bytes| {
+                    let mut r = ByteReader::new(bytes);
+                    let table = DetectabilityTable::read(&mut r)?;
+                    let st = DetectStats::read(&mut r)?;
+                    r.expect_end()?;
+                    if table.latency != p || table.num_bits != n || table.reduced != options.reduce
+                    {
+                        return Err(CheckpointError::Corrupt(
+                            "tensor artifact does not match the request".into(),
+                        ));
+                    }
+                    Ok((table, st))
+                });
+                match hit {
+                    Some(pair) => cached.push(pair),
+                    None => {
+                        cached.clear();
+                        break;
+                    }
+                }
+            }
+            if cached.len() == latencies.len() {
+                return Ok(cached);
+            }
+        }
 
         let mut stats: Vec<DetectStats> = latencies
             .iter()
@@ -890,7 +886,7 @@ impl DetectabilityTable {
             }
         }
 
-        Ok(latencies
+        let results: Vec<(DetectabilityTable, DetectStats)> = latencies
             .iter()
             .zip(collectors.into_iter().zip(stats))
             .map(|(&p, (collector, mut st))| {
@@ -907,7 +903,16 @@ impl DetectabilityTable {
                     st,
                 )
             })
-            .collect())
+            .collect();
+        if let Some(store) = control.store {
+            for ((table, st), &fp) in results.iter().zip(&tensor_fps) {
+                let mut w = ByteWriter::new();
+                table.write(&mut w);
+                st.write(&mut w);
+                store.put_artifact(TENSOR_STAGE, fp, &w.finish());
+            }
+        }
+        Ok(results)
     }
 
     /// Builds a table directly from rows (tests, ablations, custom error
@@ -1173,41 +1178,24 @@ impl DetectabilityTable {
     /// magnitude smaller than the raw table, with an identical set of
     /// feasible parity covers.
     pub fn dominance_reduced(&self) -> DetectabilityTable {
-        use std::collections::HashSet;
-        // Canonical step-sets: sorted, distinct, nonzero.
-        let mut sets: HashSet<Vec<u64>> = HashSet::with_capacity(self.rows.len());
+        // Canonical step-sets (sorted, distinct, nonzero), then the
+        // shared supersets-removal pass.
+        let mut matrix = CoverageMatrix::new();
         for row in &self.rows {
-            let mut s: Vec<u64> = row.steps.iter().copied().filter(|&d| d != 0).collect();
-            s.sort_unstable();
-            s.dedup();
+            let s = CoverageMatrix::canonical(&row.steps);
             if !s.is_empty() {
-                sets.insert(s);
+                matrix.insert_raw(s);
             }
         }
-        // Remove supersets, smallest sets first.
-        let mut by_len: Vec<Vec<u64>> = sets.into_iter().collect();
-        by_len.sort_by_key(|s| (s.len(), s.clone()));
-        let mut kept: HashSet<Vec<u64>> = HashSet::new();
-        let mut kept_rows: Vec<EcRow> = Vec::new();
-        'rows: for s in by_len {
-            // Check all proper non-empty subsets (|s| ≤ p, so ≤ 2^p−2).
-            let k = s.len();
-            if k > 1 {
-                for pick in 1..((1usize << k) - 1) {
-                    let subset: Vec<u64> = (0..k)
-                        .filter(|i| (pick >> i) & 1 == 1)
-                        .map(|i| s[i])
-                        .collect();
-                    if kept.contains(&subset) {
-                        continue 'rows;
-                    }
-                }
-            }
-            let mut steps = s.clone();
-            steps.resize(self.latency, 0);
-            kept_rows.push(EcRow { steps });
-            kept.insert(s);
-        }
+        matrix.remove_supersets();
+        let mut kept_rows: Vec<EcRow> = matrix
+            .into_sorted_sets()
+            .into_iter()
+            .map(|mut steps| {
+                steps.resize(self.latency, 0);
+                EcRow { steps }
+            })
+            .collect();
         kept_rows.sort_by(|a, b| a.steps.cmp(&b.steps));
         DetectabilityTable {
             num_bits: self.num_bits,
@@ -1247,16 +1235,17 @@ impl DetectabilityTable {
     }
 }
 
-/// FNV fingerprint binding a [`BuildCheckpoint`] to its inputs: the
-/// good machine's full transition tables, the fault list, every
-/// enumeration option and the latency bounds. Anything that could make
-/// a resumed build diverge from the original run is folded in.
-fn build_fingerprint(
+/// Canonical bytes of everything a tensor build depends on *except*
+/// the latency bounds: the good machine's full transition tables, the
+/// fault list and every enumeration option. Checkpoint fingerprints
+/// append the full latency list ([`build_fingerprint_from_base`]);
+/// store keys append a single bound ([`tensor_fingerprint`]) so a
+/// p-sweep's artifacts serve any later subset of its bounds.
+fn fingerprint_base_bytes(
     good: &TransitionTables,
     faults: &[Fault],
     options: &DetectOptions,
-    latencies: &[usize],
-) -> u64 {
+) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.usize(good.num_inputs());
     w.usize(good.state_bits());
@@ -1290,11 +1279,27 @@ fn build_fingerprint(
             w.u64_slice(fallback);
         }
     }
-    w.usize(latencies.len());
+    w.finish()
+}
+
+/// FNV fingerprint binding a [`BuildCheckpoint`] to its inputs.
+/// Anything that could make a resumed build diverge from the original
+/// run is folded in (byte-compatible with the pre-split fingerprint).
+fn build_fingerprint_from_base(base: &[u8], latencies: &[usize]) -> u64 {
+    let mut bytes = base.to_vec();
+    bytes.extend_from_slice(&(latencies.len() as u64).to_le_bytes());
     for &p in latencies {
-        w.usize(p);
+        bytes.extend_from_slice(&(p as u64).to_le_bytes());
     }
-    fnv1a64(&w.finish())
+    fnv1a64(&bytes)
+}
+
+/// Store key for one latency bound's `(table, stats)` artifact.
+fn tensor_fingerprint(base: &[u8], latency: usize) -> u64 {
+    let mut bytes = base.to_vec();
+    bytes.extend_from_slice(b"tensor-latency");
+    bytes.extend_from_slice(&(latency as u64).to_le_bytes());
+    fnv1a64(&bytes)
 }
 
 /// Depth-first enumeration of the faulty-trajectory suffixes
@@ -1967,6 +1972,49 @@ mod tests {
     }
 
     #[test]
+    fn store_replay_is_byte_identical_and_serves_latency_subsets() {
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        let opts = DetectOptions {
+            latency: 3,
+            ..DetectOptions::default()
+        };
+        let baseline = DetectabilityTable::build_many(&c, &faults, &opts, &[1, 2, 3]).unwrap();
+        let store = Store::in_memory();
+        let budget = Budget::unlimited();
+        let mut cold_control = BuildControl::new(&budget);
+        cold_control.store = Some(&store);
+        let cold =
+            DetectabilityTable::build_many_controlled(&c, &faults, &opts, &[1, 2, 3], cold_control)
+                .unwrap();
+        assert_eq!(cold, baseline);
+        // Warm: every latency hits; a subset of the swept bounds hits
+        // too, without any enumeration.
+        let mut warm_control = BuildControl::new(&budget);
+        warm_control.store = Some(&store);
+        let warm =
+            DetectabilityTable::build_many_controlled(&c, &faults, &opts, &[1, 2, 3], warm_control)
+                .unwrap();
+        assert_eq!(warm, baseline);
+        let mut subset_control = BuildControl::new(&budget);
+        subset_control.store = Some(&store);
+        let subset =
+            DetectabilityTable::build_many_controlled(&c, &faults, &opts, &[2], subset_control)
+                .unwrap();
+        assert_eq!(subset[0], baseline[1]);
+        let stats = store.stats();
+        let (stage, counters) = &stats.stages[0];
+        assert_eq!(stage, TENSOR_STAGE);
+        assert_eq!(counters.puts, 3);
+        assert_eq!(counters.hits, 4);
+        // Byte identity of the artifacts themselves.
+        for (pair_cold, pair_warm) in cold.iter().zip(&warm) {
+            assert_eq!(pair_cold.0.to_bytes(), pair_warm.0.to_bytes());
+            assert_eq!(pair_cold.1, pair_warm.1);
+        }
+    }
+
+    #[test]
     fn periodic_checkpoints_are_emitted_and_resumable() {
         let c = circuit();
         let faults = collapsed_faults(c.netlist());
@@ -1984,6 +2032,7 @@ mod tests {
             checkpoint_every: 2,
             on_checkpoint: Some(&mut sink),
             pool: None,
+            store: None,
         };
         let full =
             DetectabilityTable::build_many_controlled(&c, &faults, &opts, &[2], control).unwrap();

@@ -1,0 +1,744 @@
+//! The content-addressed artifact store.
+//!
+//! Keys are `(stage name, fingerprint)` pairs, where the fingerprint is
+//! the FNV-1a-64 hash of a canonical serialization of everything the
+//! stage's output depends on (inputs and options). Values are the
+//! stage's serialized output bytes. Because every pipeline stage is
+//! deterministic and its serialization bit-exact, a stored artifact is
+//! byte-identical to what a recomputation would produce — so replaying
+//! a hit can never change a result, only skip work.
+//!
+//! Properties the rest of the workspace relies on:
+//!
+//! * **First-writer-wins.** A `put` for a key that already has an entry
+//!   only refreshes its recency; the stored bytes never change. Under
+//!   `ced-par` this makes the store order-insensitive: whichever worker
+//!   finishes first wins, and since all writers compute identical bytes
+//!   for identical fingerprints, the winner is irrelevant.
+//! * **Corruption is a miss, never a wrong answer.** On-disk artifacts
+//!   are wrapped in the checkpoint envelope (magic, version, kind,
+//!   length, FNV-1a-64 checksum) with the key echoed inside the
+//!   payload; any truncation, bit flip, or key mismatch fails
+//!   verification and the entry is dropped and rebuilt.
+//! * **Deterministic eviction.** When a byte budget is set, entries are
+//!   evicted in ascending order of a logical touch counter — no clocks,
+//!   so eviction order is a pure function of the access sequence.
+//! * **Deterministic reporting.** Stats and entry listings are sorted
+//!   by `(stage, fingerprint)`, never hash order.
+
+use ced_runtime::{
+    decode_checkpoint, fnv1a64, load_checkpoint, save_checkpoint, ByteReader, ByteWriter,
+    CheckpointError,
+};
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Checkpoint kind tag for a single on-disk artifact entry.
+pub const STORE_ENTRY_KIND: u16 = 3;
+
+/// Checkpoint kind tag for the on-disk store index.
+pub const STORE_INDEX_KIND: u16 = 4;
+
+/// Name of the index file inside a store directory.
+const INDEX_FILE: &str = "index.ced";
+
+/// Per-stage hit/miss accounting for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounters {
+    /// Artifacts served from the store.
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Lookups that found a corrupt artifact (also counted as misses).
+    pub corrupt: u64,
+    /// Artifacts inserted this run.
+    pub puts: u64,
+}
+
+/// A point-in-time summary of the store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Logical run number (increments once per `Store::open`).
+    pub run: u64,
+    /// Number of stored artifacts.
+    pub entries: usize,
+    /// Total artifact payload bytes.
+    pub bytes: u64,
+    /// Per-stage counters for the current process, sorted by stage.
+    pub stages: Vec<(String, StageCounters)>,
+}
+
+/// Metadata for one stored artifact (listing order: stage, then
+/// fingerprint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreEntryInfo {
+    /// Stage that produced the artifact.
+    pub stage: String,
+    /// Content fingerprint of the stage inputs.
+    pub fingerprint: u64,
+    /// Artifact payload length in bytes.
+    pub len: u64,
+    /// Last run that read or wrote the artifact.
+    pub last_run: u64,
+}
+
+/// What a [`Store::gc`] pass removed and kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcOutcome {
+    /// Entries dropped.
+    pub removed: usize,
+    /// Entries surviving.
+    pub kept: usize,
+    /// Payload bytes freed.
+    pub bytes_freed: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    len: u64,
+    last_run: u64,
+    touch: u64,
+    /// Payload bytes; `None` until a disk-backed entry is first read.
+    bytes: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    dir: Option<PathBuf>,
+    entries: BTreeMap<(String, u64), Entry>,
+    counters: BTreeMap<String, StageCounters>,
+    /// Counters persisted by the previous run's index, for `ced store
+    /// stats` after the fact.
+    previous_counters: BTreeMap<String, StageCounters>,
+    run: u64,
+    touch_seq: u64,
+    total_bytes: u64,
+    max_bytes: Option<u64>,
+}
+
+/// Content-addressed artifact store; see the module docs. Shared
+/// across threads behind an internal mutex (lookups and insertions are
+/// short critical sections; artifact recomputation happens outside the
+/// lock).
+#[derive(Debug)]
+pub struct Store {
+    inner: Mutex<Inner>,
+}
+
+impl Store {
+    /// A purely in-memory store (no directory; nothing survives the
+    /// process).
+    pub fn in_memory() -> Store {
+        Store {
+            inner: Mutex::new(Inner {
+                run: 1,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// Opens (creating if needed) a disk-backed store under `dir` and
+    /// starts a new logical run. A missing or corrupt index starts the
+    /// store empty — artifacts still on disk are re-adopted lazily on
+    /// first lookup.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the directory cannot be created.
+    pub fn open(dir: &Path) -> Result<Store, CheckpointError> {
+        fs::create_dir_all(dir).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let mut inner = Inner {
+            dir: Some(dir.to_path_buf()),
+            run: 1,
+            ..Inner::default()
+        };
+        if let Ok(payload) = load_checkpoint(&dir.join(INDEX_FILE), STORE_INDEX_KIND) {
+            if let Ok((run, entries, counters)) = read_index(&payload) {
+                inner.run = run + 1;
+                inner.total_bytes = entries.values().map(|e| e.len).sum();
+                inner.entries = entries;
+                inner.previous_counters = counters;
+            }
+        }
+        Ok(Store {
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// Caps stored payload bytes; over-budget entries are evicted in
+    /// ascending touch order on insertion.
+    pub fn with_max_bytes(self, max_bytes: u64) -> Store {
+        self.inner.lock().unwrap().max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// The current logical run number.
+    pub fn run(&self) -> u64 {
+        self.inner.lock().unwrap().run
+    }
+
+    /// Looks up the artifact for `(stage, fingerprint)`. Returns the
+    /// stored bytes on a hit; counts a miss (plus a corruption, if a
+    /// damaged on-disk artifact was found and discarded) otherwise.
+    pub fn get_artifact(&self, stage: &str, fingerprint: u64) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let key = (stage.to_string(), fingerprint);
+        let run = inner.run;
+        inner.touch_seq += 1;
+        let touch = inner.touch_seq;
+        let known = inner.entries.contains_key(&key);
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            if let Some(bytes) = &entry.bytes {
+                let bytes = bytes.clone();
+                entry.last_run = run;
+                entry.touch = touch;
+                stage_counters(&mut inner.counters, stage).hits += 1;
+                return Some(bytes);
+            }
+        }
+        // Disk-backed entry not yet in memory, or an index-missing
+        // artifact file left by a lost index: try the file.
+        if let Some(dir) = inner.dir.clone() {
+            let path = artifact_path(&dir, stage, fingerprint);
+            match read_artifact(&path, stage, fingerprint) {
+                Ok(Some(bytes)) => {
+                    inner.entries.insert(
+                        key,
+                        Entry {
+                            len: bytes.len() as u64,
+                            last_run: run,
+                            touch,
+                            bytes: Some(bytes.clone()),
+                        },
+                    );
+                    if !known {
+                        inner.total_bytes += bytes.len() as u64;
+                    }
+                    stage_counters(&mut inner.counters, stage).hits += 1;
+                    return Some(bytes);
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    // Truncated / flipped / mis-keyed: discard so the
+                    // rebuild's put can replace it.
+                    let _ = fs::remove_file(&path);
+                    if let Some(old) = inner.entries.remove(&key) {
+                        inner.total_bytes = inner.total_bytes.saturating_sub(old.len);
+                    }
+                    stage_counters(&mut inner.counters, stage).corrupt += 1;
+                }
+            }
+        } else if known {
+            // In-memory store never has byte-less entries.
+            inner.entries.remove(&key);
+        }
+        stage_counters(&mut inner.counters, stage).misses += 1;
+        None
+    }
+
+    /// Looks up and decodes a typed artifact. A decode failure is
+    /// treated exactly like on-disk corruption: the entry is dropped
+    /// (demoting the hit to a corrupt miss) and `None` is returned so
+    /// the caller rebuilds.
+    pub fn get_typed<T>(
+        &self,
+        stage: &str,
+        fingerprint: u64,
+        decode: impl FnOnce(&[u8]) -> Result<T, CheckpointError>,
+    ) -> Option<T> {
+        let bytes = self.get_artifact(stage, fingerprint)?;
+        match decode(&bytes) {
+            Ok(v) => Some(v),
+            Err(_) => {
+                self.note_corrupt(stage, fingerprint);
+                None
+            }
+        }
+    }
+
+    /// Records that an artifact returned by [`Self::get_artifact`]
+    /// failed the caller's own decoding: the hit becomes a corrupt
+    /// miss and the entry (and its file) are dropped.
+    pub fn note_corrupt(&self, stage: &str, fingerprint: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let key = (stage.to_string(), fingerprint);
+        if let Some(old) = inner.entries.remove(&key) {
+            inner.total_bytes = inner.total_bytes.saturating_sub(old.len);
+        }
+        if let Some(dir) = &inner.dir {
+            let _ = fs::remove_file(artifact_path(dir, stage, fingerprint));
+        }
+        let c = stage_counters(&mut inner.counters, stage);
+        c.hits = c.hits.saturating_sub(1);
+        c.corrupt += 1;
+        c.misses += 1;
+    }
+
+    /// Inserts an artifact. First-writer-wins: if the key already has
+    /// an entry, only its recency is refreshed and `false` is returned.
+    /// Disk-backed stores write the artifact file immediately (atomic
+    /// sibling rename); the index is written by [`Self::persist`].
+    pub fn put_artifact(&self, stage: &str, fingerprint: u64, bytes: &[u8]) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let inner = &mut *inner;
+        let key = (stage.to_string(), fingerprint);
+        let run = inner.run;
+        inner.touch_seq += 1;
+        let touch = inner.touch_seq;
+        if let Some(entry) = inner.entries.get_mut(&key) {
+            entry.last_run = run;
+            entry.touch = touch;
+            return false;
+        }
+        if let Some(dir) = &inner.dir {
+            let payload = artifact_payload(stage, fingerprint, bytes);
+            // A failed write leaves the entry memory-only; the next
+            // run simply misses and rebuilds.
+            let _ = save_checkpoint(
+                &artifact_path(dir, stage, fingerprint),
+                STORE_ENTRY_KIND,
+                &payload,
+            );
+        }
+        inner.entries.insert(
+            key.clone(),
+            Entry {
+                len: bytes.len() as u64,
+                last_run: run,
+                touch,
+                bytes: Some(bytes.to_vec()),
+            },
+        );
+        inner.total_bytes += bytes.len() as u64;
+        stage_counters(&mut inner.counters, stage).puts += 1;
+        if let Some(max) = inner.max_bytes {
+            while inner.total_bytes > max {
+                let victim = inner
+                    .entries
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, e)| e.touch)
+                    .map(|(k, _)| k.clone());
+                let Some(vkey) = victim else { break };
+                if let Some(old) = inner.entries.remove(&vkey) {
+                    inner.total_bytes = inner.total_bytes.saturating_sub(old.len);
+                }
+                if let Some(dir) = &inner.dir {
+                    let _ = fs::remove_file(artifact_path(dir, &vkey.0, vkey.1));
+                }
+            }
+        }
+        true
+    }
+
+    /// Current-run summary (entries, bytes, per-stage counters in
+    /// sorted order).
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().unwrap();
+        StoreStats {
+            run: inner.run,
+            entries: inner.entries.len(),
+            bytes: inner.total_bytes,
+            stages: inner
+                .counters
+                .iter()
+                .map(|(s, c)| (s.clone(), *c))
+                .collect(),
+        }
+    }
+
+    /// Per-stage counters persisted by the previous run's index (what
+    /// `ced store stats` reports as "last run"), sorted by stage.
+    pub fn previous_run_stats(&self) -> Vec<(String, StageCounters)> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .previous_counters
+            .iter()
+            .map(|(s, c)| (s.clone(), *c))
+            .collect()
+    }
+
+    /// All entries, sorted by `(stage, fingerprint)`.
+    pub fn entries(&self) -> Vec<StoreEntryInfo> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .entries
+            .iter()
+            .map(|((stage, fp), e)| StoreEntryInfo {
+                stage: stage.clone(),
+                fingerprint: *fp,
+                len: e.len,
+                last_run: e.last_run,
+            })
+            .collect()
+    }
+
+    /// Drops every entry whose `last_run` is older than `min_run`,
+    /// deletes its file, and persists the shrunken index.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] if the index rewrite fails.
+    pub fn gc(&self, min_run: u64) -> Result<GcOutcome, CheckpointError> {
+        let mut outcome = GcOutcome::default();
+        {
+            let mut inner = self.inner.lock().unwrap();
+            let inner = &mut *inner;
+            let doomed: Vec<(String, u64)> = inner
+                .entries
+                .iter()
+                .filter(|(_, e)| e.last_run < min_run)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in doomed {
+                if let Some(old) = inner.entries.remove(&key) {
+                    inner.total_bytes = inner.total_bytes.saturating_sub(old.len);
+                    outcome.bytes_freed += old.len;
+                }
+                if let Some(dir) = &inner.dir {
+                    let _ = fs::remove_file(artifact_path(dir, &key.0, key.1));
+                }
+                outcome.removed += 1;
+            }
+            outcome.kept = inner.entries.len();
+        }
+        self.persist()?;
+        Ok(outcome)
+    }
+
+    /// Writes the index (run number, entry metadata, this run's
+    /// counters) for a disk-backed store; a no-op in memory.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] if the index cannot be written.
+    pub fn persist(&self) -> Result<(), CheckpointError> {
+        let inner = self.inner.lock().unwrap();
+        let Some(dir) = &inner.dir else {
+            return Ok(());
+        };
+        let mut w = ByteWriter::new();
+        w.u64(inner.run);
+        w.usize(inner.entries.len());
+        for ((stage, fp), e) in &inner.entries {
+            w.str(stage);
+            w.u64(*fp);
+            w.u64(e.len);
+            w.u64(e.last_run);
+        }
+        w.usize(inner.counters.len());
+        for (stage, c) in &inner.counters {
+            w.str(stage);
+            w.u64(c.hits);
+            w.u64(c.misses);
+            w.u64(c.corrupt);
+            w.u64(c.puts);
+        }
+        save_checkpoint(&dir.join(INDEX_FILE), STORE_INDEX_KIND, &w.finish())
+    }
+}
+
+fn stage_counters<'a>(
+    counters: &'a mut BTreeMap<String, StageCounters>,
+    stage: &str,
+) -> &'a mut StageCounters {
+    if !counters.contains_key(stage) {
+        counters.insert(stage.to_string(), StageCounters::default());
+    }
+    counters.get_mut(stage).unwrap()
+}
+
+fn artifact_path(dir: &Path, stage: &str, fingerprint: u64) -> PathBuf {
+    dir.join(format!("{stage}-{fingerprint:016x}.art"))
+}
+
+fn artifact_payload(stage: &str, fingerprint: u64, bytes: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.str(stage);
+    w.u64(fingerprint);
+    w.bytes(bytes);
+    w.finish()
+}
+
+/// Reads an artifact file. `Ok(None)` when the file does not exist;
+/// `Err` on any corruption or key mismatch.
+fn read_artifact(
+    path: &Path,
+    stage: &str,
+    fingerprint: u64,
+) -> Result<Option<Vec<u8>>, CheckpointError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(CheckpointError::Io(e.to_string())),
+    };
+    let payload = decode_checkpoint(&bytes, STORE_ENTRY_KIND)?;
+    let mut r = ByteReader::new(&payload);
+    let stored_stage = r.str()?;
+    let stored_fp = r.u64()?;
+    let artifact = r.bytes()?.to_vec();
+    r.expect_end()?;
+    if stored_stage != stage || stored_fp != fingerprint {
+        return Err(CheckpointError::Corrupt(format!(
+            "artifact keyed ({stored_stage}, {stored_fp:016x}) found under ({stage}, {fingerprint:016x})"
+        )));
+    }
+    Ok(Some(artifact))
+}
+
+type IndexContents = (
+    u64,
+    BTreeMap<(String, u64), Entry>,
+    BTreeMap<String, StageCounters>,
+);
+
+fn read_index(payload: &[u8]) -> Result<IndexContents, CheckpointError> {
+    let mut r = ByteReader::new(payload);
+    let run = r.u64()?;
+    let n = r.usize()?;
+    let mut entries = BTreeMap::new();
+    for _ in 0..n {
+        let stage = r.str()?;
+        let fp = r.u64()?;
+        let len = r.u64()?;
+        let last_run = r.u64()?;
+        entries.insert(
+            (stage, fp),
+            Entry {
+                len,
+                last_run,
+                touch: 0,
+                bytes: None,
+            },
+        );
+    }
+    let m = r.usize()?;
+    let mut counters = BTreeMap::new();
+    for _ in 0..m {
+        let stage = r.str()?;
+        let c = StageCounters {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            corrupt: r.u64()?,
+            puts: r.u64()?,
+        };
+        counters.insert(stage, c);
+    }
+    r.expect_end()?;
+    Ok((run, entries, counters))
+}
+
+/// A fingerprint convenience: FNV-1a-64 over canonical bytes. Stages
+/// build the bytes with [`ByteWriter`] so the hash input is the same
+/// canonical form the artifacts themselves use.
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    fnv1a64(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ced-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn in_memory_round_trip_and_counters() {
+        let store = Store::in_memory();
+        assert_eq!(store.get_artifact("tensor", 7), None);
+        assert!(store.put_artifact("tensor", 7, b"abc"));
+        assert_eq!(store.get_artifact("tensor", 7).unwrap(), b"abc");
+        let stats = store.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.bytes, 3);
+        assert_eq!(
+            stats.stages,
+            vec![(
+                "tensor".to_string(),
+                StageCounters {
+                    hits: 1,
+                    misses: 1,
+                    corrupt: 0,
+                    puts: 1
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn first_writer_wins() {
+        let store = Store::in_memory();
+        assert!(store.put_artifact("synth", 1, b"first"));
+        assert!(!store.put_artifact("synth", 1, b"second"));
+        assert_eq!(store.get_artifact("synth", 1).unwrap(), b"first");
+    }
+
+    #[test]
+    fn disk_persists_across_reopen_byte_identically() {
+        let dir = tmp_dir("reopen");
+        {
+            let store = Store::open(&dir).unwrap();
+            assert_eq!(store.run(), 1);
+            store.put_artifact("tensor", 42, b"payload-bytes");
+            store.persist().unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.run(), 2);
+        assert_eq!(store.get_artifact("tensor", 42).unwrap(), b"payload-bytes");
+        let stats = store.stats();
+        assert_eq!(stats.stages[0].1.hits, 1);
+        // Previous run's counters survived in the index.
+        let prev = store.previous_run_stats();
+        assert_eq!(prev[0].1.puts, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lost_index_recovers_from_artifact_files() {
+        let dir = tmp_dir("lost-index");
+        {
+            let store = Store::open(&dir).unwrap();
+            store.put_artifact("search", 5, b"result");
+            // No persist(): the index is never written.
+        }
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.get_artifact("search", 5).unwrap(), b"result");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flips_and_truncation_are_misses_then_rebuilt() {
+        let dir = tmp_dir("corrupt");
+        let store = Store::open(&dir).unwrap();
+        store.put_artifact("tensor", 9, b"good-bytes");
+        store.persist().unwrap();
+        drop(store);
+        let path = artifact_path(&dir, "tensor", 9);
+        let original = fs::read(&path).unwrap();
+        for mutation in 0..2 {
+            let mut bad = original.clone();
+            if mutation == 0 {
+                let mid = bad.len() / 2;
+                bad[mid] ^= 0x10;
+            } else {
+                bad.truncate(bad.len() - 3);
+            }
+            fs::write(&path, &bad).unwrap();
+            let store = Store::open(&dir).unwrap();
+            assert_eq!(store.get_artifact("tensor", 9), None, "mutation {mutation}");
+            let c = store.stats().stages[0].1;
+            assert_eq!((c.corrupt, c.misses, c.hits), (1, 1, 0));
+            // The damaged file is gone; a rebuild re-puts cleanly.
+            assert!(!path.exists());
+            store.put_artifact("tensor", 9, b"good-bytes");
+            assert_eq!(store.get_artifact("tensor", 9).unwrap(), b"good-bytes");
+            store.persist().unwrap();
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mis_keyed_artifact_file_is_rejected() {
+        let dir = tmp_dir("miskey");
+        let store = Store::open(&dir).unwrap();
+        store.put_artifact("tensor", 1, b"for-key-one");
+        drop(store);
+        // Copy the valid file for key 1 over key 2's slot: envelope
+        // checksum passes, but the embedded key binding does not.
+        fs::copy(
+            artifact_path(&dir, "tensor", 1),
+            artifact_path(&dir, "tensor", 2),
+        )
+        .unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.get_artifact("tensor", 2), None);
+        assert_eq!(store.stats().stages[0].1.corrupt, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn get_typed_decode_failure_is_corruption() {
+        let store = Store::in_memory();
+        store.put_artifact("search", 3, b"not-a-valid-latency-result");
+        let got: Option<u64> = store.get_typed("search", 3, |_| {
+            Err(CheckpointError::Corrupt("bad payload".into()))
+        });
+        assert_eq!(got, None);
+        let c = store.stats().stages[0].1;
+        assert_eq!((c.hits, c.corrupt, c.misses), (0, 1, 1));
+        assert_eq!(store.stats().entries, 0);
+        // Rebuild path: a fresh put works.
+        assert!(store.put_artifact("search", 3, b"rebuilt"));
+        assert_eq!(store.get_artifact("search", 3).unwrap(), b"rebuilt");
+    }
+
+    #[test]
+    fn eviction_is_deterministic_oldest_touch_first() {
+        let store = Store::in_memory().with_max_bytes(8);
+        store.put_artifact("s", 1, b"aaaa");
+        store.put_artifact("s", 2, b"bbbb");
+        // Refresh key 1 so key 2 is the oldest touch.
+        assert!(store.get_artifact("s", 1).is_some());
+        store.put_artifact("s", 3, b"cccc");
+        let keys: Vec<u64> = store.entries().iter().map(|e| e.fingerprint).collect();
+        assert_eq!(keys, vec![1, 3]);
+        assert_eq!(store.stats().bytes, 8);
+    }
+
+    #[test]
+    fn gc_drops_entries_older_than_min_run() {
+        let dir = tmp_dir("gc");
+        {
+            let store = Store::open(&dir).unwrap();
+            store.put_artifact("tensor", 1, b"old");
+            store.put_artifact("tensor", 2, b"old-too");
+            store.persist().unwrap();
+        }
+        {
+            // Run 2 touches only key 2.
+            let store = Store::open(&dir).unwrap();
+            assert!(store.get_artifact("tensor", 2).is_some());
+            store.persist().unwrap();
+        }
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.run(), 3);
+        let outcome = store.gc(2).unwrap();
+        assert_eq!((outcome.removed, outcome.kept), (1, 1));
+        assert_eq!(outcome.bytes_freed, 3);
+        assert_eq!(store.entries()[0].fingerprint, 2);
+        assert!(!artifact_path(&dir, "tensor", 1).exists());
+        // The surviving entry still loads after the gc'd index.
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.get_artifact("tensor", 2).unwrap(), b"old-too");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entries_listing_is_sorted() {
+        let store = Store::in_memory();
+        store.put_artifact("tensor", 2, b"x");
+        store.put_artifact("search", 9, b"y");
+        store.put_artifact("tensor", 1, b"z");
+        let listed: Vec<(String, u64)> = store
+            .entries()
+            .into_iter()
+            .map(|e| (e.stage, e.fingerprint))
+            .collect();
+        assert_eq!(
+            listed,
+            vec![
+                ("search".to_string(), 9),
+                ("tensor".to_string(), 1),
+                ("tensor".to_string(), 2)
+            ]
+        );
+    }
+}

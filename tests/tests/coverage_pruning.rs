@@ -1,0 +1,186 @@
+//! Regression pins for the shared dominance-pruning machinery in
+//! `ced-store` (`CoverageMatrix`, `RowSet`, `drop_dominated`). Three
+//! call sites used to carry private copies of this logic — the
+//! detectability-table collector in `ced-sim`, the exact-cover
+//! candidate pruning in `ced-core::exact` and the greedy uncovered-row
+//! bookkeeping in `ced-core::greedy` — and the unification must not
+//! have changed what any of them prunes. These tests pin the pruned
+//! candidate counts on the scaled s27 / tav / dk512 machines and prove
+//! the structural invariants (antichain output, dominated-only drops,
+//! deterministic order) that all three call sites rely on.
+
+use ced_core::exact::exact_minimum_cover;
+use ced_core::greedy::{greedy_cover, GreedyOptions};
+use ced_core::pipeline::{fault_list, synthesize_circuit, PipelineOptions};
+use ced_fsm::machine::Fsm;
+use ced_fsm::suite as bench;
+use ced_sim::detect::{DetectOptions, DetectabilityTable};
+use ced_store::{drop_dominated, CoverageMatrix, RowSet};
+
+fn scaled(name: &str) -> Fsm {
+    bench::paper_table1_scaled()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no scaled analogue named {name}"))
+        .build()
+}
+
+fn table_for(name: &str, latency: usize) -> DetectabilityTable {
+    let options = PipelineOptions::paper_defaults();
+    let fsm = scaled(name);
+    let circuit = synthesize_circuit(&fsm, &options).expect("synthesizable");
+    let faults = fault_list(&circuit, &options);
+    let (table, _) = DetectabilityTable::build(
+        &circuit,
+        &faults,
+        &DetectOptions {
+            latency,
+            ..DetectOptions::default()
+        },
+    )
+    .expect("within row cap");
+    table
+}
+
+/// Rebuilds the exact solver's candidate list (coverage bitset per
+/// parity mask, deduplicated, preference-ordered) exactly as
+/// `ced-core::exact` does, then prunes it with the shared
+/// `drop_dominated`.
+fn pruned_candidates(table: &DetectabilityTable) -> Vec<(RowSet, u64)> {
+    let n = table.num_bits();
+    let m = table.len();
+    let mut by_coverage: std::collections::HashMap<RowSet, u64> = std::collections::HashMap::new();
+    for mask in 1..(1u64 << n) {
+        let mut cov = RowSet::empty(m);
+        for (i, row) in table.rows().iter().enumerate() {
+            if row.detected_by(mask) {
+                cov.insert(i);
+            }
+        }
+        if cov.is_empty() {
+            continue;
+        }
+        by_coverage
+            .entry(cov)
+            .and_modify(|best| {
+                if mask.count_ones() < best.count_ones() {
+                    *best = mask;
+                }
+            })
+            .or_insert(mask);
+    }
+    let total = by_coverage.len();
+    let mut candidates: Vec<(RowSet, u64)> = by_coverage.into_iter().collect();
+    candidates.sort_by(|(ca, ma), (cb, mb)| {
+        cb.count()
+            .cmp(&ca.count())
+            .then_with(|| ca.cmp(cb))
+            .then_with(|| ma.cmp(mb))
+    });
+    let kept = drop_dominated(candidates);
+    assert!(kept.len() <= total);
+    kept
+}
+
+/// Pinned (table rows, pruned candidate count) per machine and bound.
+/// If a refactor of the shared pruning code changes either number, a
+/// solver is now searching a different candidate space — that must be
+/// a deliberate, reviewed change, not an accident.
+const PINNED: [(&str, usize, usize, usize); 6] = [
+    ("s27", 1, 15, 15),
+    ("s27", 2, 15, 15),
+    ("tav", 1, 20, 31),
+    ("tav", 2, 19, 31),
+    ("dk512", 1, 29, 31),
+    ("dk512", 2, 26, 31),
+];
+
+#[test]
+fn pruned_candidate_counts_are_pinned() {
+    for (name, p, want_rows, want_kept) in PINNED {
+        let table = table_for(name, p);
+        let kept = pruned_candidates(&table);
+        assert_eq!(
+            (table.len(), kept.len()),
+            (want_rows, want_kept),
+            "{name} p={p}: (rows, pruned candidates) drifted"
+        );
+    }
+}
+
+/// Structural invariants of `drop_dominated` on real tables: the
+/// output is an antichain (no survivor's coverage contained in
+/// another's), every dropped candidate was dominated by a survivor,
+/// and the result is bit-for-bit deterministic.
+#[test]
+fn drop_dominated_output_is_a_deterministic_antichain() {
+    for (name, p, _, _) in PINNED {
+        let table = table_for(name, p);
+        let kept = pruned_candidates(&table);
+        for (i, (a, _)) in kept.iter().enumerate() {
+            for (j, (b, _)) in kept.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !a.is_subset_of(b),
+                        "{name} p={p}: survivors {i} and {j} are not an antichain"
+                    );
+                }
+            }
+        }
+        let again = pruned_candidates(&table);
+        assert_eq!(
+            kept, again,
+            "{name} p={p}: pruning must be order-deterministic"
+        );
+    }
+}
+
+/// The collector-side reduction (`CoverageMatrix`) agrees with the
+/// table-side reduction (`dominance_reduced`): re-reducing a built
+/// table is a no-op, and the surviving rows' canonical step-mask sets
+/// form an antichain under the subset order `CoverageMatrix` enforces.
+#[test]
+fn table_reduction_is_idempotent_and_minimal() {
+    for (name, p, _, _) in PINNED {
+        let table = table_for(name, p);
+        let again = table.dominance_reduced();
+        assert_eq!(
+            table.to_bytes(),
+            again.to_bytes(),
+            "{name} p={p}: dominance reduction must be idempotent"
+        );
+        let mut matrix = CoverageMatrix::new();
+        for row in table.rows() {
+            assert!(
+                !matrix.dominated(&CoverageMatrix::canonical(&row.steps)),
+                "{name} p={p}: a kept row dominates an earlier kept row"
+            );
+            matrix.insert_raw(CoverageMatrix::canonical(&row.steps));
+        }
+    }
+}
+
+/// End-to-end pin: on every machine and bound, the exact solver's
+/// minimum cover (found inside the pruned candidate space) and the
+/// greedy cover (driven by `RowSet` bookkeeping) both cover the full
+/// table, and exact is never worse than greedy.
+#[test]
+fn exact_and_greedy_agree_on_pruned_tables() {
+    for (name, p, _, _) in PINNED {
+        let table = table_for(name, p);
+        let greedy = greedy_cover(&table, &GreedyOptions::default());
+        assert!(
+            table.all_covered(&greedy.masks),
+            "{name} p={p}: greedy cover must cover the table"
+        );
+        let exact = exact_minimum_cover(&table).expect("small tables certify");
+        assert!(
+            table.all_covered(&exact.masks),
+            "{name} p={p}: exact cover must cover the table"
+        );
+        assert!(
+            exact.masks.len() <= greedy.masks.len(),
+            "{name} p={p}: exact must not be worse than greedy"
+        );
+    }
+}
