@@ -1,0 +1,158 @@
+//! Shard-scaling harness for the fleet layer: runs the s27/tav/dk512
+//! campaign serially (`run_suite`, the ground truth), then as a fleet
+//! campaign at 1, 2 and 4 worker shards (coordinator + workers as
+//! in-process threads speaking the real on-disk protocol), and asserts
+//! every merged report is byte-identical to the serial one before
+//! reporting wall-clock per shard count as a `ced-fleet-bench/1` JSON
+//! line. The interesting number is the *overhead* at 1 shard (protocol
+//! tax: envelopes, leases, polling) and the scaling from 1 → N.
+//!
+//! Usage: `cargo bench --bench fleet [-- --quick]` (`--quick` uses the
+//! scaled analogues; without it the full Table-1 machines run).
+
+use ced_core::{run_suite, SuiteControl, SuiteOptions};
+use ced_fleet::{run_coordinator, run_worker, CoordinatorOptions, WorkerOptions};
+use ced_fsm::machine::Fsm;
+use ced_fsm::suite::{paper_table1, paper_table1_scaled};
+use ced_logic::gate::CellLibrary;
+use ced_runtime::{CancelToken, Json};
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+const MACHINES: [&str; 3] = ["s27", "tav", "dk512"];
+
+fn corpus(quick: bool) -> Vec<(String, Fsm)> {
+    let specs = if quick {
+        paper_table1_scaled()
+    } else {
+        paper_table1()
+    };
+    MACHINES
+        .iter()
+        .map(|name| {
+            let spec = specs
+                .iter()
+                .find(|s| s.name == *name)
+                .expect("suite machine");
+            (spec.name.to_string(), spec.build())
+        })
+        .collect()
+}
+
+fn options() -> SuiteOptions {
+    SuiteOptions {
+        latencies: vec![1, 2],
+        ..SuiteOptions::default()
+    }
+}
+
+/// One fleet campaign with `shards` worker threads against a fresh
+/// directory; returns the merged report JSON and the wall-clock.
+fn fleet_campaign(dir: &Path, machines: &[(String, Fsm)], shards: usize) -> (String, f64) {
+    let opts = options();
+    let copts = CoordinatorOptions {
+        heartbeat_timeout: Duration::from_secs(10),
+        poll_interval: Duration::from_millis(5),
+        ..CoordinatorOptions::default()
+    };
+    let cancel = CancelToken::new();
+    let start = Instant::now();
+    let outcome = std::thread::scope(|scope| {
+        for shard in 0..shards {
+            let opts = opts.clone();
+            let cancel = cancel.clone();
+            scope.spawn(move || {
+                let wopts = WorkerOptions {
+                    worker_id: format!("bench{shard}"),
+                    heartbeat_period: Duration::from_millis(50),
+                    poll_interval: Duration::from_millis(5),
+                    idle_timeout: Some(Duration::from_secs(120)),
+                    manifest_wait: Duration::from_secs(30),
+                };
+                let lib = CellLibrary::new();
+                run_worker(dir, &opts, &wopts, &lib, &cancel, None).expect("worker completes")
+            });
+        }
+        run_coordinator(dir, machines, &opts, &copts, &cancel).expect("coordinator completes")
+    });
+    (outcome.report.to_json(), start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let machines = corpus(quick);
+    let opts = options();
+
+    let lib = CellLibrary::new();
+    let start = Instant::now();
+    let serial = run_suite(&machines, &opts, &lib, SuiteControl::new()).expect("serial suite");
+    let serial_secs = start.elapsed().as_secs_f64();
+    let serial_json = serial.to_json();
+
+    let shard_counts = [1usize, 2, 4];
+    let mut shard_rows = Vec::new();
+    for &shards in &shard_counts {
+        let dir =
+            std::env::temp_dir().join(format!("ced-fleet-bench-{}-{shards}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (json, secs) = fleet_campaign(&dir, &machines, shards);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(
+            json, serial_json,
+            "{shards}-shard fleet report must be byte-identical to the serial run"
+        );
+        shard_rows.push((shards, secs));
+    }
+
+    let doc = Json::Object(vec![
+        ("schema".into(), Json::str("ced-fleet-bench/1")),
+        ("quick".into(), Json::Bool(quick)),
+        (
+            "machines".into(),
+            Json::Array(MACHINES.iter().map(|m| Json::str(m)).collect()),
+        ),
+        (
+            "latencies".into(),
+            Json::Array(
+                opts.latencies
+                    .iter()
+                    .map(|&p| Json::UInt(p as u64))
+                    .collect(),
+            ),
+        ),
+        ("serial_secs".into(), Json::Float(serial_secs)),
+        (
+            "shards".into(),
+            Json::Array(
+                shard_rows
+                    .iter()
+                    .map(|&(n, secs)| {
+                        Json::Object(vec![
+                            ("workers".into(), Json::UInt(n as u64)),
+                            ("secs".into(), Json::Float(secs)),
+                            (
+                                "speedup_vs_serial".into(),
+                                Json::Float(serial_secs / secs.max(1e-9)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("identical".into(), Json::Bool(true)),
+    ]);
+    println!("{}", doc.render());
+    let one_shard = shard_rows[0].1;
+    eprintln!(
+        "fleet campaign over {}: serial {serial_secs:.3}s, 1-shard fleet {one_shard:.3}s \
+         (protocol overhead {:.0}%), every merged report byte-identical",
+        MACHINES.join("/"),
+        (one_shard / serial_secs.max(1e-9) - 1.0) * 100.0
+    );
+    for &(n, secs) in &shard_rows[1..] {
+        eprintln!(
+            "  {n} shards: {secs:.3}s ({:.2}x vs serial)",
+            serial_secs / secs.max(1e-9)
+        );
+    }
+}

@@ -1,5 +1,6 @@
 //! The `ced` subcommands.
 
+use crate::exit::{report_status, ExitStatus};
 use crate::options::{parse, parse_suite, Parsed};
 use ced_core::pipeline::{
     build_input_model, fault_list, prepare_machine, prepare_machine_stored, run_circuit_controlled,
@@ -19,7 +20,9 @@ use ced_store::Store;
 use std::path::Path;
 use std::sync::Arc;
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
+/// Every command resolves to a typed [`ExitStatus`]; `Err` is reserved
+/// for usage and environment failures (exit code 1).
+type CliResult = Result<ExitStatus, Box<dyn std::error::Error>>;
 
 /// Loads a resume checkpoint, decoding `kind` and parsing with `parse`.
 /// Corruption is *reported*, not fatal: the run falls back to a fresh
@@ -117,7 +120,7 @@ pub fn stats(args: &[String]) -> CliResult {
     if fsm.check_complete().is_err() {
         println!("note: machine is partially specified; synthesis will add don't-care self-loops");
     }
-    Ok(())
+    Ok(ExitStatus::Ok)
 }
 
 /// `ced synth` — synthesize and report the circuit.
@@ -144,7 +147,7 @@ pub fn synth(args: &[String]) -> CliResult {
         circuit.state_bits(),
         circuit.sequential_area(&lib)
     );
-    Ok(())
+    Ok(ExitStatus::Ok)
 }
 
 /// `ced check` — run Algorithm 1 at one latency bound.
@@ -213,7 +216,7 @@ pub fn check(args: &[String]) -> CliResult {
         cost.gates, cost.flip_flops, cost.area
     );
     finish_store(store.as_deref(), parsed.quiet);
-    Ok(())
+    Ok(ExitStatus::Ok)
 }
 
 /// `ced table` — one Table-1 row across several latency bounds, under
@@ -260,13 +263,16 @@ pub fn table(args: &[String]) -> CliResult {
         Err(PipelineError::Interrupted(i)) => match (&parsed.checkpoint, &i.checkpoint) {
             (Some(path), Some(ckpt)) => {
                 save_or_warn(path, TABLE_CHECKPOINT_KIND, &ckpt.to_bytes());
-                return Err(format!(
-                    "table run {}; checkpoint saved, resume with --resume {path}",
+                eprintln!(
+                    "[ced] table run {}; checkpoint saved, resume with --resume {path}",
                     i.interrupted
-                )
-                .into());
+                );
+                return Ok(ExitStatus::Cancelled);
             }
-            _ => return Err(format!("table run {}", i.interrupted).into()),
+            _ => {
+                eprintln!("[ced] table run {}", i.interrupted);
+                return Ok(ExitStatus::Cancelled);
+            }
         },
         Err(e) => return Err(e.into()),
     };
@@ -286,7 +292,7 @@ pub fn table(args: &[String]) -> CliResult {
         std::fs::write(out, ced_core::report_to_json(&report).render())
             .map_err(|e| format!("cannot write {out}: {e}"))?;
     }
-    Ok(())
+    Ok(ExitStatus::Ok)
 }
 
 /// `ced suite` — a survivable campaign over the built-in benchmark
@@ -337,13 +343,14 @@ pub fn suite(args: &[String]) -> CliResult {
         Err(SuiteError::Interrupted(i)) => {
             if let Some(path) = &parsed.checkpoint {
                 save_or_warn(path, SUITE_CHECKPOINT_KIND, &i.checkpoint.to_bytes());
-                return Err(format!(
-                    "suite {}; checkpoint saved, resume with --resume {path}",
+                eprintln!(
+                    "[ced] suite {}; checkpoint saved, resume with --resume {path}",
                     i.interrupted
-                )
-                .into());
+                );
+                return Ok(ExitStatus::Cancelled);
             }
-            return Err(format!("suite {}", i.interrupted).into());
+            eprintln!("[ced] suite {}", i.interrupted);
+            return Ok(ExitStatus::Cancelled);
         }
         Err(e) => return Err(e.into()),
     };
@@ -372,10 +379,7 @@ pub fn suite(args: &[String]) -> CliResult {
         report.degraded(),
         report.quarantined()
     );
-    if report.quarantined() > 0 {
-        return Err(format!("{} machine(s) quarantined", report.quarantined()).into());
-    }
-    Ok(())
+    Ok(report_status(report.quarantined(), report.degraded()))
 }
 
 /// `ced certify` — run the pipeline, then independently re-prove every
@@ -403,7 +407,8 @@ pub fn certify(args: &[String]) -> CliResult {
     ) {
         Ok(report) => report,
         Err(PipelineError::Interrupted(i)) => {
-            return Err(format!("pipeline {}", i.interrupted).into());
+            eprintln!("[ced] certify: pipeline {}", i.interrupted);
+            return Ok(ExitStatus::Cancelled);
         }
         Err(e) => return Err(e.into()),
     };
@@ -428,7 +433,13 @@ pub fn certify(args: &[String]) -> CliResult {
             .map_err(|e| format!("cannot write {out}: {e}"))?;
     }
     match verdict {
-        ced_cert::Verdict::Certified => Ok(()),
+        ced_cert::Verdict::Certified => Ok(ExitStatus::Ok),
+        ced_cert::Verdict::Refuted => {
+            eprintln!("[ced] certify: verdict refuted");
+            Ok(ExitStatus::Refuted)
+        }
+        // A refusal is not a refutation: the verifier could not decide,
+        // which is an environment/limits problem, not a disproof.
         v => Err(format!("certification verdict: {v}").into()),
     }
 }
@@ -598,7 +609,7 @@ pub fn store(args: &[String]) -> CliResult {
             return Err(format!("unknown store action `{other}` (expected stats or gc)").into());
         }
     }
-    Ok(())
+    Ok(ExitStatus::Ok)
 }
 
 /// `ced export` — write the synthesized machine as BLIF or Verilog.
@@ -610,7 +621,7 @@ pub fn export(args: &[String]) -> CliResult {
         _ => circuit.to_blif(),
     };
     print!("{text}");
-    Ok(())
+    Ok(ExitStatus::Ok)
 }
 
 /// `ced minimize` — state-minimize and print the machine.
@@ -628,7 +639,7 @@ pub fn minimize(args: &[String]) -> CliResult {
         min.num_states()
     );
     print!("{}", ced_fsm::kiss::to_string(&min));
-    Ok(())
+    Ok(ExitStatus::Ok)
 }
 
 /// `ced equiv` — sequential equivalence of two machines.
@@ -654,7 +665,7 @@ pub fn equiv(args: &[String]) -> CliResult {
     match ced_sim::equiv::check_equivalence(&circuit_a, &circuit_b) {
         ced_sim::equiv::EquivalenceResult::Equivalent { explored } => {
             println!("equivalent ({explored} reachable product states explored)");
-            Ok(())
+            Ok(ExitStatus::Ok)
         }
         ced_sim::equiv::EquivalenceResult::Inequivalent {
             counterexample,
@@ -664,7 +675,8 @@ pub fn equiv(args: &[String]) -> CliResult {
             println!(
                 "NOT equivalent: input sequence {counterexample:?} yields outputs                  {output_a:b} vs {output_b:b}"
             );
-            Err("machines differ".into())
+            eprintln!("[ced] equiv: machines differ");
+            Ok(ExitStatus::Refuted)
         }
         ced_sim::equiv::EquivalenceResult::InterfaceMismatch => {
             Err("machines have different input/output counts".into())
@@ -750,13 +762,13 @@ pub fn inject(args: &[String]) -> CliResult {
     finish_store(store.as_deref(), parsed.quiet);
     if missed == 0 {
         println!("bounded-latency guarantee held for every injected fault ✓");
-        Ok(())
+        Ok(ExitStatus::Ok)
     } else {
-        Err(
-            "guarantee violated (expected with lockstep-verified covers judged by \
-             hardware semantics at p ≥ 2; see EXPERIMENTS.md E5)"
-                .into(),
-        )
+        eprintln!(
+            "[ced] inject: guarantee violated (expected with lockstep-verified covers judged \
+             by hardware semantics at p ≥ 2; see EXPERIMENTS.md E5)"
+        );
+        Ok(ExitStatus::Refuted)
     }
 }
 
@@ -832,12 +844,200 @@ fn inject_campaign(parsed: &Parsed, store: Option<&Store>) -> CliResult {
     finish_store(store, parsed.quiet);
     if report.is_clean() {
         println!("campaign clean: hardware agrees with V(i,j,k) everywhere ✓");
-        Ok(())
+        Ok(ExitStatus::Ok)
     } else {
-        Err(format!(
-            "{} disagreement(s) between the hardware and the detectability tensor",
+        eprintln!(
+            "[ced] inject: {} disagreement(s) between the hardware and the detectability tensor",
             report.machine.disagreements.len()
-        )
-        .into())
+        );
+        Ok(ExitStatus::Refuted)
+    }
+}
+
+/// Fleet-only flags split off before the shared suite parser runs, so
+/// the corpus and campaign options are parsed by exactly the same code
+/// as `ced suite` — which is what makes the fingerprint handshake
+/// between coordinator and workers meaningful.
+struct FleetFlags {
+    heartbeat_ms: Option<u64>,
+    poll_ms: Option<u64>,
+    max_attempts: Option<u64>,
+    worker_id: Option<String>,
+    idle_timeout_ms: Option<u64>,
+    manifest_wait_ms: Option<u64>,
+    rest: Vec<String>,
+}
+
+fn split_fleet_flags(args: &[String]) -> Result<FleetFlags, Box<dyn std::error::Error>> {
+    let mut f = FleetFlags {
+        heartbeat_ms: None,
+        poll_ms: None,
+        max_attempts: None,
+        worker_id: None,
+        idle_timeout_ms: None,
+        manifest_wait_ms: None,
+        rest: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, Box<dyn std::error::Error>> {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a number"))?
+                .parse()
+                .map_err(|_| format!("{flag} needs a number").into())
+        };
+        match a.as_str() {
+            "--heartbeat-ms" => f.heartbeat_ms = Some(num("--heartbeat-ms")?),
+            "--poll-ms" => f.poll_ms = Some(num("--poll-ms")?),
+            "--max-attempts" => {
+                let n = num("--max-attempts")?;
+                if n == 0 {
+                    return Err("--max-attempts must be at least 1".into());
+                }
+                f.max_attempts = Some(n);
+            }
+            "--idle-timeout-ms" => f.idle_timeout_ms = Some(num("--idle-timeout-ms")?),
+            "--manifest-wait-ms" => f.manifest_wait_ms = Some(num("--manifest-wait-ms")?),
+            "--worker-id" => {
+                f.worker_id = Some(it.next().ok_or("--worker-id needs a name")?.clone());
+            }
+            // Single-process survivability flags that have a different
+            // fleet-level story: rejecting them beats silently ignoring
+            // them.
+            "--certify" => {
+                return Err(
+                    "fleet does not take --certify; certify the merged report with \
+                            `ced suite --certify` semantics in a follow-up run"
+                        .into(),
+                );
+            }
+            "--checkpoint" | "--resume" => {
+                return Err(format!(
+                    "fleet does not take {a}; the fleet directory itself is the checkpoint — \
+                     re-running the coordinator on the same --store resumes the campaign"
+                )
+                .into());
+            }
+            other => f.rest.push(other.to_string()),
+        }
+    }
+    Ok(f)
+}
+
+/// `ced fleet coordinator|worker` — crash-tolerant sharded campaigns:
+/// the coordinator publishes the corpus as lease-based work units in
+/// `<store>/fleet/` and merges results deterministically; workers (any
+/// number of processes, possibly on other machines sharing the
+/// filesystem) claim, heartbeat and execute units.
+pub fn fleet(args: &[String]) -> CliResult {
+    let Some(role) = args.first() else {
+        return Err("fleet needs a role: `ced fleet coordinator|worker --store DIR …`".into());
+    };
+    let flags = split_fleet_flags(&args[1..])?;
+    let parsed = parse_suite(&flags.rest)?;
+    let store_dir = parsed
+        .store
+        .clone()
+        .ok_or("fleet needs --store DIR (the shared campaign directory)")?;
+    let ms = std::time::Duration::from_millis;
+    let cancel = ced_runtime::CancelToken::new();
+    match role.as_str() {
+        "coordinator" => {
+            let mut copts = ced_fleet::CoordinatorOptions::default();
+            if let Some(n) = flags.heartbeat_ms {
+                copts.heartbeat_timeout = ms(n);
+            }
+            if let Some(n) = flags.poll_ms {
+                copts.poll_interval = ms(n);
+            }
+            if let Some(n) = flags.max_attempts {
+                copts.max_attempts = n;
+            }
+            if flags.worker_id.is_some() || flags.idle_timeout_ms.is_some() {
+                return Err("--worker-id/--idle-timeout-ms are worker flags".into());
+            }
+            let outcome = ced_fleet::run_coordinator(
+                Path::new(&store_dir),
+                &parsed.machines,
+                &parsed.options,
+                &copts,
+                &cancel,
+            )?;
+            let json = outcome.report.to_json();
+            match &parsed.out {
+                Some(out) => {
+                    std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?
+                }
+                None => println!("{json}"),
+            }
+            eprintln!(
+                "[ced] fleet: {} completed, {} degraded, {} quarantined \
+                 ({} lease(s) re-assigned, {} unit(s) poisonous)",
+                outcome.report.completed(),
+                outcome.report.degraded(),
+                outcome.report.quarantined(),
+                outcome.reassigned,
+                outcome.poisoned_units,
+            );
+            Ok(report_status(
+                outcome.report.quarantined(),
+                outcome.report.degraded(),
+            ))
+        }
+        "worker" => {
+            if flags.max_attempts.is_some() {
+                return Err("--max-attempts is a coordinator flag".into());
+            }
+            let mut wopts = ced_fleet::WorkerOptions::default();
+            if let Some(id) = flags.worker_id {
+                wopts.worker_id = id;
+            }
+            if let Some(n) = flags.heartbeat_ms {
+                wopts.heartbeat_period = ms(n);
+            }
+            if let Some(n) = flags.poll_ms {
+                wopts.poll_interval = ms(n);
+            }
+            if let Some(n) = flags.idle_timeout_ms {
+                wopts.idle_timeout = Some(ms(n));
+            }
+            if let Some(n) = flags.manifest_wait_ms {
+                wopts.manifest_wait = ms(n);
+            }
+            // Workers share the artifact store of the campaign
+            // directory itself, so tensor/synthesis memoization works
+            // across the whole fleet.
+            let store = open_store(Some(store_dir.as_str()))?;
+            let lib = CellLibrary::new();
+            let outcome = ced_fleet::run_worker(
+                Path::new(&store_dir),
+                &parsed.options,
+                &wopts,
+                &lib,
+                &cancel,
+                store.as_ref(),
+            )?;
+            finish_store(store.as_deref(), parsed.quiet);
+            match outcome {
+                ced_fleet::WorkerOutcome::Drained { processed } => {
+                    eprintln!(
+                        "[ced] fleet worker {}: campaign drained ({processed} unit(s) done here)",
+                        wopts.worker_id
+                    );
+                    Ok(ExitStatus::Ok)
+                }
+                ced_fleet::WorkerOutcome::IdleTimeout { processed } => {
+                    eprintln!(
+                        "[ced] fleet worker {}: idle timeout with campaign incomplete \
+                         ({processed} unit(s) done here)",
+                        wopts.worker_id
+                    );
+                    Ok(ExitStatus::Cancelled)
+                }
+            }
+        }
+        other => {
+            Err(format!("unknown fleet role `{other}` (expected coordinator or worker)").into())
+        }
     }
 }

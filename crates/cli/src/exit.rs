@@ -1,0 +1,83 @@
+//! Typed process exit codes.
+//!
+//! Fleet workers, CI legs and scripts need to distinguish *why* a
+//! command exited nonzero without parsing stderr. Every `ced` command
+//! maps its outcome onto this fixed, documented table:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | ok — the command finished and every guarantee held |
+//! | 1    | error — bad usage, unreadable input, environment failure |
+//! | 2    | quarantined — campaign finished but isolated ≥ 1 machine |
+//! | 3    | refuted — a proof obligation failed (certification refuted, machines inequivalent, injected fault escaped its window, tensor disagreement) |
+//! | 4    | cancelled — budget/interrupt stopped the run; a checkpoint may have been saved |
+//! | 5    | degraded — campaign finished, nothing quarantined, but ≥ 1 machine needed degraded options |
+//!
+//! Codes 2–5 are *outcomes*, not failures: the command ran to its
+//! natural end and is telling the caller what it concluded. Only code
+//! 1 means the invocation itself went wrong.
+
+/// The typed outcome a command hands back to `main` for conversion
+/// into a process exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// 0 — finished, every guarantee held.
+    Ok,
+    /// 2 — campaign quarantined at least one machine.
+    Quarantined,
+    /// 3 — a proof obligation was refuted.
+    Refuted,
+    /// 4 — the run was cancelled by a budget or interrupt.
+    Cancelled,
+    /// 5 — finished only by degrading options (nothing quarantined).
+    Degraded,
+}
+
+impl ExitStatus {
+    /// The process exit code for this outcome. Code 1 is reserved for
+    /// `Err` returns (usage and environment errors) and never appears
+    /// here.
+    pub fn code(self) -> u8 {
+        match self {
+            ExitStatus::Ok => 0,
+            ExitStatus::Quarantined => 2,
+            ExitStatus::Refuted => 3,
+            ExitStatus::Cancelled => 4,
+            ExitStatus::Degraded => 5,
+        }
+    }
+}
+
+/// Ranks a finished campaign report: quarantine dominates degradation
+/// dominates a clean pass. Shared by `ced suite` and `ced fleet
+/// coordinator` so both grade identically.
+pub fn report_status(quarantined: usize, degraded: usize) -> ExitStatus {
+    if quarantined > 0 {
+        ExitStatus::Quarantined
+    } else if degraded > 0 {
+        ExitStatus::Degraded
+    } else {
+        ExitStatus::Ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_the_documented_table() {
+        assert_eq!(ExitStatus::Ok.code(), 0);
+        assert_eq!(ExitStatus::Quarantined.code(), 2);
+        assert_eq!(ExitStatus::Refuted.code(), 3);
+        assert_eq!(ExitStatus::Cancelled.code(), 4);
+        assert_eq!(ExitStatus::Degraded.code(), 5);
+    }
+
+    #[test]
+    fn quarantine_outranks_degradation() {
+        assert_eq!(report_status(0, 0), ExitStatus::Ok);
+        assert_eq!(report_status(0, 2), ExitStatus::Degraded);
+        assert_eq!(report_status(1, 2), ExitStatus::Quarantined);
+    }
+}

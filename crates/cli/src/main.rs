@@ -9,6 +9,8 @@
 //! ced table  <machine.kiss2> [--latencies L]  one Table-1 style row
 //! ced suite  [--machines A,B] [--scaled]      survivable campaign over the
 //!                                             built-in benchmark machines
+//! ced fleet  coordinator|worker --store DIR   crash-tolerant sharded campaign
+//!                                             across processes/machines
 //! ced certify <machine.kiss2> [--latencies L] re-prove every pipeline claim
 //!                                             with the independent verifier
 //!                                             chain
@@ -23,12 +25,15 @@
 use std::process::ExitCode;
 
 mod commands;
+mod exit;
 mod options;
+
+use exit::ExitStatus;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(status) => ExitCode::from(status.code()),
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::from(1)
@@ -36,10 +41,10 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+fn run(args: &[String]) -> Result<ExitStatus, Box<dyn std::error::Error>> {
     let Some(command) = args.first() else {
         print_usage();
-        return Ok(());
+        return Ok(ExitStatus::Ok);
     };
     match command.as_str() {
         "stats" => commands::stats(&args[1..]),
@@ -47,6 +52,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "check" => commands::check(&args[1..]),
         "table" => commands::table(&args[1..]),
         "suite" => commands::suite(&args[1..]),
+        "fleet" => commands::fleet(&args[1..]),
         "certify" => commands::certify(&args[1..]),
         "inject" => commands::inject(&args[1..]),
         "store" => commands::store(&args[1..]),
@@ -55,7 +61,7 @@ fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "equiv" => commands::equiv(&args[1..]),
         "--help" | "-h" | "help" => {
             print_usage();
-            Ok(())
+            Ok(ExitStatus::Ok)
         }
         other => Err(format!("unknown command `{other}`; try `ced help`").into()),
     }
@@ -76,6 +82,10 @@ commands:
   table   one Table-1 style row across several latency bounds
   suite   survivable campaign over the built-in benchmark machines:
           per-machine budgets, degraded retries, quarantine, JSON report
+  fleet   the suite campaign sharded over many processes (coordinator +
+          any number of workers rendezvousing on a shared --store DIR);
+          workers may be killed at any point — the merged report is
+          byte-identical to the single-process run
   certify run the pipeline, then independently re-prove every claim it
           made: BFS soundness, exact-rational LP certificates, synthesis
           equivalence, checker co-simulation, greedy differential
@@ -144,6 +154,42 @@ inject options:
 store options:
   --store DIR                                the store directory (required)
   --keep-runs N                              `gc`: keep artifacts last used in
-                                             the newest N runs (default 1)"
+                                             the newest N runs (default 1)
+
+fleet options (plus the suite options above, which every process of a
+campaign must pass identically — workers refuse a manifest whose
+fingerprint does not match their own options):
+  --store DIR                                shared campaign directory
+                                             (required; work units live under
+                                             DIR/fleet/, the merged report at
+                                             DIR/fleet/report.json)
+  --heartbeat-ms N                           coordinator: declare a worker
+                                             dead after N ms without a lease
+                                             heartbeat (default 10000);
+                                             worker: heartbeat period
+                                             (default 500)
+  --max-attempts N                           coordinator: assignments before a
+                                             unit is quarantined as poisonous
+                                             (default 3)
+  --worker-id NAME                           worker: identity in lease files
+                                             (default w<pid>)
+  --idle-timeout-ms N                        worker: exit `cancelled` after N
+                                             ms with no claimable work
+                                             (default: wait forever)
+  --manifest-wait-ms N                       worker: how long to wait for the
+                                             coordinator's manifest (30000)
+  --poll-ms N                                watchdog / claim sweep period
+
+exit codes:
+  0  ok           finished; every guarantee held
+  1  error        bad usage, unreadable input, environment failure
+  2  quarantined  campaign finished but isolated at least one machine
+  3  refuted      a proof obligation failed (certification refuted,
+                  machines inequivalent, injected fault escaped, tensor
+                  disagreement)
+  4  cancelled    budget or idle timeout stopped the run; checkpoints
+                  or partial fleet state were left for resumption
+  5  degraded     campaign finished, nothing quarantined, but at least
+                  one machine needed degraded options"
     );
 }

@@ -72,6 +72,7 @@ pub use search::{
     DegradationEvent, DegradationReason, LadderRung, SearchOutcome,
 };
 pub use suite::{
-    run_suite, MachineRecord, MachineStatus, SuiteCheckpoint, SuiteControl, SuiteError,
-    SuiteInterrupted, SuiteOptions, SuiteReport, SUITE_CHECKPOINT_KIND,
+    corpus_units, poisoned_record, run_suite, run_suite_unit, suite_fingerprint, CorpusUnit,
+    MachineRecord, MachineStatus, SuiteCheckpoint, SuiteControl, SuiteError, SuiteInterrupted,
+    SuiteOptions, SuiteReport, SUITE_CHECKPOINT_KIND,
 };

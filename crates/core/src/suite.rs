@@ -129,6 +129,67 @@ pub struct MachineRecord {
 }
 
 impl MachineRecord {
+    /// Serializes the record into `w` (the shared wire form used by
+    /// suite checkpoints and fleet result envelopes).
+    pub fn write_to(&self, w: &mut ByteWriter) {
+        w.str(&self.name);
+        w.u8(self.status.tag());
+        w.usize(self.attempts);
+        w.usize(self.notes.len());
+        for n in &self.notes {
+            w.str(n);
+        }
+        w.str(&self.json);
+    }
+
+    /// Deserializes a record written by [`MachineRecord::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on any structural inconsistency.
+    pub fn read_from(r: &mut ByteReader<'_>) -> Result<MachineRecord, CheckpointError> {
+        let name = r.str()?;
+        let status = MachineStatus::from_tag(r.u8()?)?;
+        let attempts = r.usize()?;
+        let n_notes = r.usize()?;
+        if n_notes > 65_536 {
+            return Err(CheckpointError::Corrupt(format!(
+                "implausible note count {n_notes}"
+            )));
+        }
+        let mut notes = Vec::with_capacity(n_notes);
+        for _ in 0..n_notes {
+            notes.push(r.str()?);
+        }
+        let json = r.str()?;
+        Ok(MachineRecord {
+            name,
+            status,
+            attempts,
+            notes,
+            json,
+        })
+    }
+
+    /// Serializes the record to a standalone payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.write_to(&mut w);
+        w.finish()
+    }
+
+    /// Deserializes a payload produced by [`MachineRecord::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on any structural inconsistency.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MachineRecord, CheckpointError> {
+        let mut r = ByteReader::new(bytes);
+        let record = MachineRecord::read_from(&mut r)?;
+        r.expect_end()?;
+        Ok(record)
+    }
+
     /// Downgrades a finished record to [`MachineStatus::Quarantined`]
     /// after an external audit (e.g. the `ced-cert` certification
     /// layer) refutes its results, appending `note` to the trail and
@@ -198,6 +259,21 @@ impl SuiteReport {
         self.count(MachineStatus::Quarantined)
     }
 
+    /// Assembles a report from records merged outside [`run_suite`] (the
+    /// fleet coordinator's cross-process merge). The header is pinned
+    /// to `jobs: 1` / `certified: false` — per-worker job counts are a
+    /// fleet-ledger detail, and certification is a separate post-hoc
+    /// pass — so a fleet merge renders byte-identically to the serial
+    /// single-process campaign over the same corpus.
+    pub fn from_records(latencies: Vec<usize>, records: Vec<MachineRecord>) -> SuiteReport {
+        SuiteReport {
+            latencies,
+            records,
+            certified: false,
+            jobs: 1,
+        }
+    }
+
     /// Renders the structured campaign report.
     ///
     /// Deterministic: no wall-clock data, insertion-ordered keys, and
@@ -245,6 +321,15 @@ impl SuiteReport {
 /// Machine-granularity resume state of an interrupted campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuiteCheckpoint {
+    /// Report version (`CARGO_PKG_VERSION`) of the build that wrote
+    /// the checkpoint. Records splice their rendered JSON verbatim on
+    /// resume, so a checkpoint from another version must never merge
+    /// silently into a report claiming this version.
+    version: String,
+    /// `--jobs` count the interrupted campaign ran with; the resumed
+    /// campaign must match, or the final report header would claim a
+    /// job count half the records never saw.
+    jobs: u64,
     /// Fingerprint of (machine list, latencies, pipeline options).
     fingerprint: u64,
     /// Records of machines finished before the interruption.
@@ -252,9 +337,28 @@ pub struct SuiteCheckpoint {
 }
 
 impl SuiteCheckpoint {
+    fn new(fingerprint: u64, jobs: usize, records: Vec<MachineRecord>) -> SuiteCheckpoint {
+        SuiteCheckpoint {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            jobs: jobs as u64,
+            fingerprint,
+            records,
+        }
+    }
+
     /// The input fingerprint this checkpoint binds to.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The report version the checkpoint was written under.
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// The `--jobs` count the checkpointed campaign ran with.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
     }
 
     /// Machines already processed.
@@ -267,17 +371,12 @@ impl SuiteCheckpoint {
     /// [`SUITE_CHECKPOINT_KIND`] before writing to disk).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
+        w.str(&self.version);
+        w.u64(self.jobs);
         w.u64(self.fingerprint);
         w.usize(self.records.len());
         for r in &self.records {
-            w.str(&r.name);
-            w.u8(r.status.tag());
-            w.usize(r.attempts);
-            w.usize(r.notes.len());
-            for n in &r.notes {
-                w.str(n);
-            }
-            w.str(&r.json);
+            r.write_to(&mut w);
         }
         w.finish()
     }
@@ -290,6 +389,8 @@ impl SuiteCheckpoint {
     /// panics on malformed input.
     pub fn from_bytes(bytes: &[u8]) -> Result<SuiteCheckpoint, CheckpointError> {
         let mut r = ByteReader::new(bytes);
+        let version = r.str()?;
+        let jobs = r.u64()?;
         let fingerprint = r.u64()?;
         let n = r.usize()?;
         if n > 65_536 {
@@ -299,30 +400,12 @@ impl SuiteCheckpoint {
         }
         let mut records = Vec::with_capacity(n);
         for _ in 0..n {
-            let name = r.str()?;
-            let status = MachineStatus::from_tag(r.u8()?)?;
-            let attempts = r.usize()?;
-            let n_notes = r.usize()?;
-            if n_notes > 65_536 {
-                return Err(CheckpointError::Corrupt(format!(
-                    "implausible note count {n_notes}"
-                )));
-            }
-            let mut notes = Vec::with_capacity(n_notes);
-            for _ in 0..n_notes {
-                notes.push(r.str()?);
-            }
-            let json = r.str()?;
-            records.push(MachineRecord {
-                name,
-                status,
-                attempts,
-                notes,
-                json,
-            });
+            records.push(MachineRecord::read_from(&mut r)?);
         }
         r.expect_end()?;
         Ok(SuiteCheckpoint {
+            version,
+            jobs,
             fingerprint,
             records,
         })
@@ -350,6 +433,23 @@ pub enum SuiteError {
     /// A resume checkpoint was built from a different machine list,
     /// latency list or option set.
     CheckpointMismatch,
+    /// A resume checkpoint was written by a different report version;
+    /// its spliced fragments would misrepresent this build's output.
+    CheckpointVersionMismatch {
+        /// Version recorded in the checkpoint.
+        found: String,
+        /// This build's version.
+        expected: String,
+    },
+    /// A resume checkpoint was written under a different `--jobs`
+    /// count; merging would stamp a job count half the records never
+    /// ran under into the report header.
+    CheckpointJobsMismatch {
+        /// `--jobs` recorded in the checkpoint.
+        found: u64,
+        /// `--jobs` of the resuming campaign.
+        expected: u64,
+    },
 }
 
 impl fmt::Display for SuiteError {
@@ -364,6 +464,18 @@ impl fmt::Display for SuiteError {
             SuiteError::CheckpointMismatch => write!(
                 f,
                 "suite resume checkpoint does not match this machine/option/latency list"
+            ),
+            SuiteError::CheckpointVersionMismatch { found, expected } => write!(
+                f,
+                "suite resume checkpoint was written by report version {found}, but this \
+                 build is {expected}; rerun the campaign from scratch (or with the \
+                 matching build) instead of merging records across versions"
+            ),
+            SuiteError::CheckpointJobsMismatch { found, expected } => write!(
+                f,
+                "suite resume checkpoint was written with --jobs {found}, but this run \
+                 asked for --jobs {expected}; resume with --jobs {found} so the report \
+                 header stays truthful"
             ),
         }
     }
@@ -469,7 +581,11 @@ pub fn degraded_pipeline(p: &PipelineOptions) -> PipelineOptions {
 /// Fingerprint binding a checkpoint to (machines, latencies, pipeline
 /// options). Per-attempt budgets (`machine_deadline`, `machine_ticks`)
 /// are deliberately excluded: a resume may legitimately retune them.
-fn suite_fingerprint(machines: &[(String, Fsm)], options: &SuiteOptions) -> u64 {
+///
+/// Public because fleet workers re-derive it from the coordinator's
+/// manifest and refuse units whose fingerprint disagrees with the
+/// options they were launched with.
+pub fn suite_fingerprint(machines: &[(String, Fsm)], options: &SuiteOptions) -> u64 {
     let mut w = ByteWriter::new();
     w.usize(machines.len());
     for (name, fsm) in machines {
@@ -784,8 +900,21 @@ pub fn run_suite(
 ) -> Result<SuiteReport, SuiteError> {
     install_suite_panic_hook();
     let fingerprint = suite_fingerprint(machines, options);
+    let jobs = control.pool.map_or(1, ParExec::jobs);
     let mut records: Vec<MachineRecord> = Vec::new();
     if let Some(ckpt) = control.resume.take() {
+        if ckpt.version != env!("CARGO_PKG_VERSION") {
+            return Err(SuiteError::CheckpointVersionMismatch {
+                found: ckpt.version,
+                expected: env!("CARGO_PKG_VERSION").to_string(),
+            });
+        }
+        if ckpt.jobs != jobs as u64 {
+            return Err(SuiteError::CheckpointJobsMismatch {
+                found: ckpt.jobs,
+                expected: jobs as u64,
+            });
+        }
         if ckpt.fingerprint != fingerprint || ckpt.records.len() > machines.len() {
             return Err(SuiteError::CheckpointMismatch);
         }
@@ -811,13 +940,9 @@ pub fn run_suite(
     let suite_pool = control
         .pool
         .map(|p| p.clone().with_thread_name(WORKER_THREAD_NAME));
-    let jobs = suite_pool.as_ref().map_or(1, ParExec::jobs);
     let mut consume = |record: MachineRecord| {
         records.push(record);
-        let checkpoint = SuiteCheckpoint {
-            fingerprint,
-            records: records.clone(),
-        };
+        let checkpoint = SuiteCheckpoint::new(fingerprint, jobs, records.clone());
         if let Some(sink) = on_checkpoint.as_mut() {
             sink(&checkpoint);
         }
@@ -855,10 +980,7 @@ pub fn run_suite(
             jobs,
         }),
         Err(interrupted) => {
-            let checkpoint = SuiteCheckpoint {
-                fingerprint,
-                records: records.clone(),
-            };
+            let checkpoint = SuiteCheckpoint::new(fingerprint, jobs, records.clone());
             let partial = SuiteReport {
                 latencies: options.latencies.clone(),
                 records,
@@ -872,6 +994,67 @@ pub fn run_suite(
             })))
         }
     }
+}
+
+/// One shard-addressable unit of a suite corpus: a machine, its
+/// position in the canonical corpus order, and its canonical KISS2
+/// serialization (the process-stable wire form fleet manifests carry,
+/// the same text [`suite_fingerprint`] hashes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusUnit {
+    /// Position in the corpus; the cross-process merge restores this
+    /// order, which is what makes the fleet report byte-identical to
+    /// the serial campaign's.
+    pub index: usize,
+    /// Machine name.
+    pub name: String,
+    /// Canonical KISS2 text of the machine.
+    pub kiss2: String,
+}
+
+/// Splits a suite corpus into shard-addressable units, one per
+/// machine, in canonical (input) order.
+pub fn corpus_units(machines: &[(String, Fsm)]) -> Vec<CorpusUnit> {
+    machines
+        .iter()
+        .enumerate()
+        .map(|(index, (name, fsm))| CorpusUnit {
+            index,
+            name: name.clone(),
+            kiss2: ced_fsm::kiss::to_string(fsm),
+        })
+        .collect()
+}
+
+/// Runs a single corpus unit to its final record — the fleet worker's
+/// inner loop. Identical semantics to one iteration of the serial
+/// [`run_suite`] machine loop (dedicated worker thread, panic capture,
+/// budget, degraded retry, quarantine), so records produced by
+/// separate worker processes merge byte-identically with a
+/// single-process campaign.
+///
+/// # Errors
+///
+/// The [`Interrupted`] cancellation when `cancel` fires; budget
+/// exhaustion is not an error (it degrades, then quarantines).
+pub fn run_suite_unit(
+    name: &str,
+    fsm: &Fsm,
+    options: &SuiteOptions,
+    library: &CellLibrary,
+    cancel: &CancelToken,
+    store: Option<&Arc<Store>>,
+) -> Result<MachineRecord, Interrupted> {
+    install_suite_panic_hook();
+    run_machine(name, fsm, options, library, cancel, false, store)
+}
+
+/// Builds a quarantined record for a unit no worker survived — the
+/// fleet coordinator's poisonous-unit verdict. Rendered through the
+/// same path as in-process quarantines (`report: null`, trail in
+/// `notes`), so it splices into reports indistinguishably.
+pub fn poisoned_record(name: &str, attempts: usize, notes: Vec<String>) -> MachineRecord {
+    finish_record(name, MachineStatus::Quarantined, attempts, notes, None)
 }
 
 #[cfg(test)]
@@ -1144,19 +1327,121 @@ mod tests {
 
     #[test]
     fn corrupted_checkpoint_payload_is_typed() {
-        let ckpt = SuiteCheckpoint {
-            fingerprint: 7,
-            records: vec![MachineRecord {
+        let ckpt = SuiteCheckpoint::new(
+            7,
+            1,
+            vec![MachineRecord {
                 name: "m".into(),
                 status: MachineStatus::Completed,
                 attempts: 1,
                 notes: vec![],
                 json: "{}".into(),
             }],
-        };
+        );
         let mut bytes = ckpt.to_bytes();
-        bytes[16] = 0xFF; // status tag byte region
+        // Layout: version (8-byte len + text), jobs u64, fingerprint
+        // u64, machine count usize, name (8-byte len + "m"), status tag.
+        let tag_at = 8 + env!("CARGO_PKG_VERSION").len() + 8 + 8 + 8 + 8 + 1;
+        assert_eq!(bytes[tag_at], MachineStatus::Completed.tag());
+        bytes[tag_at] = 0xFF;
         assert!(SuiteCheckpoint::from_bytes(&bytes).is_err());
         assert!(SuiteCheckpoint::from_bytes(&bytes[..4]).is_err());
+    }
+
+    /// Re-serializes a checkpoint with a forged version/jobs header —
+    /// standing in for a checkpoint written by another build.
+    fn forged_checkpoint(version: &str, jobs: u64, ckpt: &SuiteCheckpoint) -> SuiteCheckpoint {
+        let mut w = ByteWriter::new();
+        w.str(version);
+        w.u64(jobs);
+        w.u64(ckpt.fingerprint);
+        w.usize(ckpt.records.len());
+        for r in &ckpt.records {
+            r.write_to(&mut w);
+        }
+        SuiteCheckpoint::from_bytes(&w.finish()).unwrap()
+    }
+
+    fn first_checkpoint(machines: &[(String, Fsm)], opts: &SuiteOptions) -> SuiteCheckpoint {
+        let mut captured = None;
+        let mut control = SuiteControl::new();
+        let mut sink = |c: &SuiteCheckpoint| captured = Some(c.clone());
+        control.on_checkpoint = Some(&mut sink);
+        run_suite(machines, opts, &CellLibrary::new(), control).unwrap();
+        captured.unwrap()
+    }
+
+    #[test]
+    fn checkpoint_from_other_version_hard_errors() {
+        let machines = small_suite();
+        let opts = fast_options();
+        let ckpt = first_checkpoint(&machines, &opts);
+        let mut control = SuiteControl::new();
+        control.resume = Some(forged_checkpoint("0.0.0-other", 1, &ckpt));
+        match run_suite(&machines, &opts, &CellLibrary::new(), control) {
+            Err(SuiteError::CheckpointVersionMismatch { found, expected }) => {
+                assert_eq!(found, "0.0.0-other");
+                assert_eq!(expected, env!("CARGO_PKG_VERSION"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_from_other_jobs_count_hard_errors() {
+        let machines = small_suite();
+        let opts = fast_options();
+        let ckpt = first_checkpoint(&machines, &opts);
+        assert_eq!(ckpt.jobs(), 1);
+        let mut control = SuiteControl::new();
+        control.resume = Some(forged_checkpoint(env!("CARGO_PKG_VERSION"), 4, &ckpt));
+        let err = run_suite(&machines, &opts, &CellLibrary::new(), control).unwrap_err();
+        assert!(err.to_string().contains("--jobs 4"), "{err}");
+        match err {
+            SuiteError::CheckpointJobsMismatch { found, expected } => {
+                assert_eq!((found, expected), (4, 1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn corpus_units_are_canonical_and_ordered() {
+        let machines = small_suite();
+        let units = corpus_units(&machines);
+        assert_eq!(units.len(), 2);
+        assert_eq!(units[0].index, 0);
+        assert_eq!(units[0].name, "seq");
+        assert_eq!(units[1].index, 1);
+        // The KISS2 text round-trips to an identical canonical form
+        // (the property the fleet manifest relies on).
+        let back = ced_fsm::kiss::parse(&units[0].kiss2).unwrap();
+        assert_eq!(ced_fsm::kiss::to_string(&back), units[0].kiss2);
+    }
+
+    #[test]
+    fn unit_records_match_serial_suite_records() {
+        let machines = small_suite();
+        let opts = fast_options();
+        let lib = CellLibrary::new();
+        let serial = run_suite(&machines, &opts, &lib, SuiteControl::new()).unwrap();
+        let cancel = CancelToken::new();
+        for (i, (name, fsm)) in machines.iter().enumerate() {
+            let rec = run_suite_unit(name, fsm, &opts, &lib, &cancel, None).unwrap();
+            assert_eq!(rec, serial.records[i]);
+        }
+        let merged = SuiteReport::from_records(opts.latencies.clone(), serial.records.clone());
+        assert_eq!(merged.to_json(), serial.to_json());
+    }
+
+    #[test]
+    fn poisoned_record_renders_like_a_quarantine() {
+        let rec = poisoned_record("dk512", 3, vec!["killed 3 workers".into()]);
+        assert_eq!(rec.status, MachineStatus::Quarantined);
+        assert_eq!(rec.attempts, 3);
+        assert!(rec.json.contains("\"status\":\"quarantined\""));
+        assert!(rec.json.contains("\"report\":null"));
+        assert!(rec.json.contains("killed 3 workers"));
+        assert_eq!(MachineRecord::from_bytes(&rec.to_bytes()).unwrap(), rec);
     }
 }

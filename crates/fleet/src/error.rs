@@ -1,0 +1,83 @@
+//! Typed fleet failures.
+
+use ced_runtime::CheckpointError;
+use std::fmt;
+use std::path::Path;
+
+/// Why a coordinator or worker gave up.
+#[derive(Debug)]
+pub enum FleetError {
+    /// An envelope failed to read, decode or write.
+    Checkpoint(CheckpointError),
+    /// The campaign directory belongs to a different report version.
+    VersionMismatch {
+        /// Version in the existing manifest.
+        found: String,
+        /// This build's version.
+        expected: String,
+    },
+    /// The campaign's options fingerprint disagrees with the one this
+    /// process derives from its own machines and options.
+    FingerprintMismatch {
+        /// Fingerprint in the existing manifest.
+        found: u64,
+        /// Fingerprint this process derived.
+        expected: u64,
+    },
+    /// No manifest appeared within the worker's wait window.
+    ManifestMissing,
+    /// The process's [`ced_runtime::CancelToken`] fired.
+    Interrupted,
+    /// The final ledger failed its own audit for this unit — a
+    /// coordinator bug, never an environment failure.
+    LedgerAccounting(u64),
+    /// Structurally impossible on-disk state that self-healing could
+    /// not absorb.
+    Corrupt(String),
+}
+
+impl FleetError {
+    /// Wraps an I/O failure with the path it happened on.
+    pub fn io(path: &Path, e: &std::io::Error) -> FleetError {
+        FleetError::Checkpoint(CheckpointError::Io(format!("{}: {e}", path.display())))
+    }
+}
+
+impl From<CheckpointError> for FleetError {
+    fn from(e: CheckpointError) -> FleetError {
+        FleetError::Checkpoint(e)
+    }
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Checkpoint(e) => write!(f, "fleet: {e}"),
+            FleetError::VersionMismatch { found, expected } => write!(
+                f,
+                "fleet campaign was created by report version {found}, but this build \
+                 is {expected}; every fleet process must run the same build"
+            ),
+            FleetError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "fleet campaign fingerprint {found:016x} does not match this process's \
+                 {expected:016x}; machines, latencies and pipeline options must be \
+                 identical across the whole fleet"
+            ),
+            FleetError::ManifestMissing => write!(
+                f,
+                "no fleet manifest appeared in the shared store; is the coordinator \
+                 running against the same --store?"
+            ),
+            FleetError::Interrupted => write!(f, "fleet: interrupted by cancellation"),
+            FleetError::LedgerAccounting(unit) => write!(
+                f,
+                "fleet ledger failed its accounting audit at unit {unit} (missing or \
+                 duplicate terminal event) — this is a coordinator bug"
+            ),
+            FleetError::Corrupt(msg) => write!(f, "fleet: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}

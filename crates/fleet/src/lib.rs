@@ -1,0 +1,46 @@
+//! # ced-fleet — crash-tolerant sharded multi-process campaigns
+//!
+//! Scales the single-process suite campaign (`ced_core::run_suite`)
+//! across processes — and machines sharing a filesystem — **built for
+//! failure as the normal case**: any worker may be SIGKILL'd mid-unit
+//! at any moment and the campaign still converges to a report that is
+//! byte-identical to the serial single-process run.
+//!
+//! The design composes three existing layers instead of inventing new
+//! machinery:
+//!
+//! * **Work units are checkpoint-envelope files** (`ced-runtime`):
+//!   checksummed, versioned, atomically published. A unit is one
+//!   machine of the corpus in canonical order.
+//! * **Claiming is an atomic rename** (`ced_runtime::lease`): exactly
+//!   one worker wins `pending/unit-N.ced → leased/unit-N.<w>.lease`;
+//!   liveness is the lease file's mtime, refreshed by a heartbeat
+//!   thread. A killed worker simply stops heartbeating.
+//! * **Merging is deterministic order restoration**: results are
+//!   merged in corpus index order — the multi-process analogue of
+//!   `ced-par`'s ordered merge — and each record is produced by the
+//!   same serial code path a 1-shard run uses, so the merged
+//!   `ced-suite-report/1` is byte-identical for 1, 4 or 8 shards, with
+//!   or without crashes.
+//!
+//! The coordinator ([`run_coordinator`]) expires stale leases with
+//! capped exponential backoff and quarantines a unit that has killed
+//! [`CoordinatorOptions::max_attempts`] workers as *poisonous* —
+//! extending the suite's retry-then-quarantine policy across process
+//! boundaries. Its [`FleetLedger`] accounts for every lease ever
+//! issued: published, re-assigned, completed or quarantined.
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod error;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{run_coordinator, CoordinatorOptions, FleetOutcome};
+pub use error::FleetError;
+pub use proto::{
+    FleetDir, FleetLedger, FleetManifest, LedgerAction, LedgerEvent, UnitResult, UnitToken,
+    FLEET_LEDGER_KIND, FLEET_MANIFEST_KIND, FLEET_RESULT_KIND, FLEET_UNIT_KIND,
+};
+pub use worker::{run_worker, WorkerOptions, WorkerOutcome};

@@ -15,6 +15,15 @@
 //! .e
 //! ```
 //!
+//! One extension directive is understood (and emitted by
+//! [`to_string`]): `.states a b c …` pins the state-id order
+//! explicitly. Without it ids are assigned in order of first mention
+//! (reset first), which loses the original numbering of machines whose
+//! reset is not state 0 — and state numbering feeds the encoding, so a
+//! faithful round trip must preserve it. Fleet workers rebuild corpus
+//! machines from this text; `.states` is what makes their records
+//! byte-identical to the coordinator's serial run.
+//!
 //! # Examples
 //!
 //! ```
@@ -116,6 +125,7 @@ pub fn parse(text: &str) -> Result<Fsm, ParseKissError> {
     let mut declared_products: Option<usize> = None;
     let mut declared_states: Option<usize> = None;
     let mut reset_name: Option<String> = None;
+    let mut declared_order: Option<Vec<String>> = None;
     let mut name = String::from("kiss");
     let mut body: Vec<(usize, Vec<Token>)> = Vec::new();
     let mut saw_content = false;
@@ -145,6 +155,12 @@ pub fn parse(text: &str) -> Result<Fsm, ParseKissError> {
                     .get(1)
                     .ok_or_else(|| err_at(lineno, tokens[0].0, ".r needs a state name"))?;
                 reset_name = Some(state.clone());
+            }
+            ".states" => {
+                if tokens.len() < 2 {
+                    return Err(err_at(lineno, tokens[0].0, ".states needs state names"));
+                }
+                declared_order = Some(tokens[1..].iter().map(|(_, t)| t.clone()).collect());
             }
             ".model" => {
                 if let Some((_, n)) = tokens.get(1) {
@@ -176,8 +192,15 @@ pub fn parse(text: &str) -> Result<Fsm, ParseKissError> {
     let no = num_outputs.ok_or_else(|| err(0, "missing .o header"))?;
     let mut fsm = Fsm::new(name, ni, no);
 
-    // First pass: collect states in order of first mention so that ids are
-    // stable and the reset default matches convention.
+    // First pass: collect states. An explicit `.states` order wins (it
+    // pins ids exactly, reset wherever the writer put it); otherwise
+    // ids follow order of first mention so that the reset default
+    // matches convention and the reset state gets id 0.
+    if let Some(order) = &declared_order {
+        for s in order {
+            fsm.add_state(s.clone());
+        }
+    }
     if let Some(r) = &reset_name {
         fsm.add_state(r.clone());
     }
@@ -281,10 +304,25 @@ fn parse_count(tokens: &[Token], lineno: usize, what: &str) -> Result<usize, Par
 pub fn to_string(fsm: &Fsm) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
+    // Emit the model name so a round trip preserves machine identity
+    // (fleet workers rebuild machines from this text; reports carry
+    // the name). Names with whitespace cannot be represented in a
+    // KISS2 token and fall back to the parser's default.
+    if !fsm.name().is_empty() && !fsm.name().contains(char::is_whitespace) {
+        let _ = writeln!(out, ".model {}", fsm.name());
+    }
     let _ = writeln!(out, ".i {}", fsm.num_inputs());
     let _ = writeln!(out, ".o {}", fsm.num_outputs());
     let _ = writeln!(out, ".p {}", fsm.transitions().len());
     let _ = writeln!(out, ".s {}", fsm.num_states());
+    // Pin the id order (see the module docs): without this, re-parsing
+    // renumbers states by first mention and the encoding — hence every
+    // downstream gate count — silently changes.
+    let representable =
+        |s: &str| !s.is_empty() && !s.contains(char::is_whitespace) && !s.contains('#');
+    if fsm.num_states() > 0 && fsm.state_names().iter().all(|s| representable(s)) {
+        let _ = writeln!(out, ".states {}", fsm.state_names().join(" "));
+    }
     if fsm.num_states() > 0 {
         let _ = writeln!(out, ".r {}", fsm.state_name(fsm.reset_state()));
     }
@@ -371,6 +409,36 @@ mod tests {
         assert_eq!(fsm.state_name(fsm.reset_state()), "a");
         // And the reset state gets id 0 for stable downstream encoding.
         assert_eq!(fsm.reset_state(), StateId(0));
+    }
+
+    #[test]
+    fn states_directive_pins_id_order() {
+        // Reset is c (id 2 here), and mention order (b, a, c) differs
+        // from the declared order — the directive must win on both.
+        let text = ".i 1\n.o 1\n.states a b c\n.r c\n- b a 0\n- a c 1\n- c b 0\n.e\n";
+        let fsm = parse(text).unwrap();
+        assert_eq!(fsm.state_names(), ["a", "b", "c"]);
+        assert_eq!(fsm.reset_state(), StateId(2));
+    }
+
+    #[test]
+    fn round_trip_preserves_state_numbering() {
+        // A machine whose reset is not state 0: first-mention numbering
+        // would rotate the ids (and with them the encoding), so the
+        // emitted `.states` line must carry the original order through.
+        let mut fsm = Fsm::new("rot", 1, 1);
+        let a = fsm.add_state("a");
+        let b = fsm.add_state("b");
+        let o = |v| vec![OutputValue::from_char(v).unwrap()];
+        fsm.add_transition("-".parse().unwrap(), a, b, o('0'))
+            .unwrap();
+        fsm.add_transition("-".parse().unwrap(), b, a, o('1'))
+            .unwrap();
+        fsm.set_reset_state(b).unwrap();
+        let again = parse(&to_string(&fsm)).unwrap();
+        assert_eq!(again, fsm);
+        assert_eq!(again.state_names(), ["a", "b"]);
+        assert_eq!(again.reset_state(), b);
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod budget;
 pub mod checkpoint;
 pub mod heartbeat;
 pub mod json;
+pub mod lease;
 
 pub use budget::{Budget, CancelToken, InterruptKind, Interrupted, Progress};
 pub use checkpoint::{
@@ -26,3 +27,4 @@ pub use checkpoint::{
 };
 pub use heartbeat::Heartbeat;
 pub use json::Json;
+pub use lease::{claim_by_rename, mtime_age, publish_envelope, touch};

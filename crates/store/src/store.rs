@@ -27,13 +27,15 @@
 //!   by `(stage, fingerprint)`, never hash order.
 
 use ced_runtime::{
-    decode_checkpoint, fnv1a64, load_checkpoint, save_checkpoint, ByteReader, ByteWriter,
-    CheckpointError,
+    decode_checkpoint, fnv1a64, load_checkpoint, mtime_age, save_checkpoint, touch, ByteReader,
+    ByteWriter, CheckpointError,
 };
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Checkpoint kind tag for a single on-disk artifact entry.
 pub const STORE_ENTRY_KIND: u16 = 3;
@@ -43,6 +45,22 @@ pub const STORE_INDEX_KIND: u16 = 4;
 
 /// Name of the index file inside a store directory.
 const INDEX_FILE: &str = "index.ced";
+
+/// Extension of run lease files inside a store directory. Every
+/// disk-backed [`Store::open`] drops a lease file that lives until the
+/// store is dropped; [`Store::gc`] removes **nothing** while a fresh
+/// foreign lease exists, because a live process may hold references to
+/// artifacts whose on-disk `last_run` is arbitrarily old.
+const LEASE_EXTENSION: &str = "lease";
+
+/// How stale a run lease's mtime must be before gc treats its owner as
+/// dead and reaps the lease. Long-lived holders refresh their lease via
+/// [`Store::persist`] (or explicitly with [`Store::refresh_lease`]).
+const DEFAULT_LEASE_TTL: Duration = Duration::from_secs(15 * 60);
+
+/// Disambiguates lease names when one process opens the same store
+/// directory twice concurrently (tests, nested tools).
+static LEASE_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// Per-stage hit/miss accounting for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -93,6 +111,11 @@ pub struct GcOutcome {
     pub kept: usize,
     /// Payload bytes freed.
     pub bytes_freed: u64,
+    /// Fresh foreign run leases found. When nonzero the pass removed
+    /// nothing: another live process has the store open, and its view
+    /// of which artifacts are reachable cannot be inferred from
+    /// on-disk `last_run` values.
+    pub blocked_by_leases: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -112,6 +135,9 @@ struct Inner {
     /// Counters persisted by the previous run's index, for `ced store
     /// stats` after the fact.
     previous_counters: BTreeMap<String, StageCounters>,
+    /// This open's run lease file (disk-backed stores only); removed
+    /// on drop, excluded from this store's own gc lease scan.
+    lease: Option<PathBuf>,
     run: u64,
     touch_seq: u64,
     total_bytes: u64,
@@ -162,6 +188,17 @@ impl Store {
                 inner.previous_counters = counters;
             }
         }
+        // Drop this open's run lease so concurrent gc passes know a
+        // live process has the store open.
+        let lease = dir.join(format!(
+            "run-{run}-{pid}-{seq}.{LEASE_EXTENSION}",
+            run = inner.run,
+            pid = std::process::id(),
+            seq = LEASE_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::write(&lease, b"ced-store run lease\n")
+            .map_err(|e| CheckpointError::Io(format!("writing lease {}: {e}", lease.display())))?;
+        inner.lease = Some(lease);
         Ok(Store {
             inner: Mutex::new(inner),
         })
@@ -380,14 +417,45 @@ impl Store {
     /// Drops every entry whose `last_run` is older than `min_run`,
     /// deletes its file, and persists the shrunken index.
     ///
+    /// **Lease-safe:** if another live process holds the store open (a
+    /// fresh run lease other than this store's own exists in the
+    /// directory), the pass removes *nothing* and reports the block in
+    /// [`GcOutcome::blocked_by_leases`]. Clamping to lease run numbers
+    /// would not be enough — a live process may reference artifacts
+    /// whose on-disk `last_run` predates its own run. Leases whose
+    /// mtime is older than the default TTL (15 minutes) belong to dead
+    /// processes; they are reaped and do not block.
+    ///
     /// # Errors
     ///
     /// [`CheckpointError`] if the index rewrite fails.
     pub fn gc(&self, min_run: u64) -> Result<GcOutcome, CheckpointError> {
+        self.gc_with_lease_ttl(min_run, DEFAULT_LEASE_TTL)
+    }
+
+    /// [`Store::gc`] with an explicit lease-freshness TTL (tests, and
+    /// operators who know their longest-running holder).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] if the index rewrite fails.
+    pub fn gc_with_lease_ttl(
+        &self,
+        min_run: u64,
+        ttl: Duration,
+    ) -> Result<GcOutcome, CheckpointError> {
         let mut outcome = GcOutcome::default();
         {
             let mut inner = self.inner.lock().unwrap();
             let inner = &mut *inner;
+            if let Some(dir) = inner.dir.clone() {
+                outcome.blocked_by_leases =
+                    reap_stale_count_fresh_leases(&dir, inner.lease.as_deref(), ttl);
+                if outcome.blocked_by_leases > 0 {
+                    outcome.kept = inner.entries.len();
+                    return Ok(outcome);
+                }
+            }
             let doomed: Vec<(String, u64)> = inner
                 .entries
                 .iter()
@@ -410,6 +478,16 @@ impl Store {
         Ok(outcome)
     }
 
+    /// Re-marks this store's run lease as fresh (heartbeat). Holders
+    /// that outlive the gc lease TTL call this periodically;
+    /// [`Store::persist`] also refreshes it.
+    pub fn refresh_lease(&self) {
+        let inner = self.inner.lock().unwrap();
+        if let Some(lease) = &inner.lease {
+            let _ = touch(lease);
+        }
+    }
+
     /// Writes the index (run number, entry metadata, this run's
     /// counters) for a disk-backed store; a no-op in memory.
     ///
@@ -421,6 +499,9 @@ impl Store {
         let Some(dir) = &inner.dir else {
             return Ok(());
         };
+        if let Some(lease) = &inner.lease {
+            let _ = touch(lease);
+        }
         let mut w = ByteWriter::new();
         w.u64(inner.run);
         w.usize(inner.entries.len());
@@ -440,6 +521,48 @@ impl Store {
         }
         save_checkpoint(&dir.join(INDEX_FILE), STORE_INDEX_KIND, &w.finish())
     }
+}
+
+impl Drop for Store {
+    fn drop(&mut self) {
+        if let Ok(inner) = self.inner.lock() {
+            if let Some(lease) = &inner.lease {
+                let _ = fs::remove_file(lease);
+            }
+        }
+    }
+}
+
+/// Scans `dir` for run lease files other than `own`: reaps (deletes)
+/// leases staler than `ttl`, returns how many fresh ones remain. Scan
+/// failures count as zero fresh leases — gc then behaves as before the
+/// lease protocol existed, which is the right degradation for a
+/// read-only or vanishing directory.
+fn reap_stale_count_fresh_leases(dir: &Path, own: Option<&Path>, ttl: Duration) -> usize {
+    let Ok(listing) = fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut fresh = 0;
+    for entry in listing.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some(LEASE_EXTENSION) {
+            continue;
+        }
+        if Some(path.as_path()) == own {
+            continue;
+        }
+        match mtime_age(&path) {
+            Some(age) if age > ttl => {
+                // A lease its owner stopped heartbeating: the owner is
+                // dead (crashed, killed); reap it.
+                let _ = fs::remove_file(&path);
+            }
+            Some(_) => fresh += 1,
+            // Vanished between listing and stat: owner just closed.
+            None => {}
+        }
+    }
+    fresh
 }
 
 fn stage_counters<'a>(
@@ -718,6 +841,82 @@ mod tests {
         drop(store);
         let store = Store::open(&dir).unwrap();
         assert_eq!(store.get_artifact("tensor", 2).unwrap(), b"old-too");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_removes_nothing_while_another_holder_has_a_fresh_lease() {
+        let dir = tmp_dir("gc-lease");
+        {
+            let store = Store::open(&dir).unwrap();
+            store.put_artifact("tensor", 1, b"old");
+            store.persist().unwrap();
+        }
+        // Two concurrent holders (what two racing processes look like
+        // on disk). The writer's artifact has last_run 1 — stale by
+        // run number — but the concurrent holder may be about to read
+        // it, so gc must not collect anything.
+        let holder = Store::open(&dir).unwrap();
+        let collector = Store::open(&dir).unwrap();
+        let outcome = collector.gc(u64::MAX).unwrap();
+        assert_eq!(outcome.blocked_by_leases, 1);
+        assert_eq!((outcome.removed, outcome.bytes_freed), (0, 0));
+        assert_eq!(outcome.kept, 1);
+        assert!(artifact_path(&dir, "tensor", 1).exists());
+        // The blocked holder can still read what gc would have taken.
+        assert_eq!(holder.get_artifact("tensor", 1).unwrap(), b"old");
+        drop(holder);
+        // Holder gone (lease removed on drop): gc proceeds.
+        let outcome = collector.gc(u64::MAX).unwrap();
+        assert_eq!(outcome.blocked_by_leases, 0);
+        assert_eq!(outcome.removed, 1);
+        assert!(!artifact_path(&dir, "tensor", 1).exists());
+        drop(collector);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_leases_are_reaped_not_blocking() {
+        let dir = tmp_dir("gc-stale-lease");
+        let store = Store::open(&dir).unwrap();
+        store.put_artifact("tensor", 1, b"old");
+        store.persist().unwrap();
+        // A lease from a kill -9'd process: present, never refreshed.
+        let dead = dir.join("run-9-99999-0.lease");
+        fs::write(&dead, b"ced-store run lease\n").unwrap();
+        let old = std::time::SystemTime::now() - Duration::from_secs(3600);
+        fs::File::options()
+            .write(true)
+            .open(&dead)
+            .unwrap()
+            .set_times(fs::FileTimes::new().set_modified(old))
+            .unwrap();
+        let outcome = store
+            .gc_with_lease_ttl(u64::MAX, Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(outcome.blocked_by_leases, 0);
+        assert_eq!(outcome.removed, 1);
+        assert!(!dead.exists(), "stale lease must be reaped");
+        drop(store);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lease_lifecycle_open_refresh_drop() {
+        let dir = tmp_dir("lease-cycle");
+        let leases = |d: &Path| -> Vec<PathBuf> {
+            fs::read_dir(d)
+                .unwrap()
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("lease"))
+                .collect()
+        };
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(leases(&dir).len(), 1);
+        store.refresh_lease();
+        drop(store);
+        assert!(leases(&dir).is_empty(), "drop must remove the lease");
         fs::remove_dir_all(&dir).unwrap();
     }
 
