@@ -480,6 +480,7 @@ pub fn certify_report_stored(
                 semantics: pipeline.semantics,
                 input_model: input_model.clone(),
                 reduce: true,
+                fault_model: pipeline.fault_model,
             },
             &latencies,
             BuildControl {
@@ -507,6 +508,7 @@ pub fn certify_report_stored(
                 0 => soundness::verify_solution(
                     &circuit,
                     &faults,
+                    pipeline.fault_model,
                     &input_model,
                     pipeline.semantics,
                     masks,

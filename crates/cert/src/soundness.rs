@@ -26,12 +26,21 @@
 //! On refutation the witness path is reconstructed by greedy descent
 //! through the levels, giving a concrete input sequence the caller can
 //! replay on the transition tables.
+//!
+//! Time-varying fault models generalize the sweep rather than the
+//! graph: level `ℓ` (remaining steps) corresponds to the absolute
+//! activation step `t = p − ℓ + 1`, and the product edge at that level
+//! follows the faulty tables iff [`FaultModel::active_at`]`(t)` and
+//! the fault-free tables otherwise. For the permanent model every
+//! level is active, which degenerates to exactly the original
+//! computation (and its loop-cut shortcut, which is only sound when
+//! the edge relation is step-invariant).
 
 use crate::{Certificate, Refutation, Stage, StageOutcome, Witness, WitnessStep};
 use ced_fsm::encoded::FsmCircuit;
 use ced_runtime::{Budget, Interrupted};
 use ced_sim::detect::{InputModel, Semantics};
-use ced_sim::fault::Fault;
+use ced_sim::fault::{Fault, FaultModel};
 use ced_sim::tables::TransitionTables;
 
 #[inline]
@@ -69,19 +78,22 @@ impl ProductGraph<'_> {
         }
     }
 
-    /// One product step: the response difference and the successor node.
-    fn step(&self, node: u64, input: u64) -> (u64, u64) {
+    /// One product step: the response difference and the successor
+    /// node. On steps where the fault model is inactive the faulty
+    /// machine follows the fault-free tables.
+    fn step(&self, node: u64, input: u64, active: bool) -> (u64, u64) {
+        let bad = if active { self.bad } else { self.good };
         match self.semantics {
             Semantics::FaultyTrajectory => {
-                let d = self.good.response(node, input) ^ self.bad.response(node, input);
-                (d, self.bad.next(node, input))
+                let d = self.good.response(node, input) ^ bad.response(node, input);
+                (d, bad.next(node, input))
             }
             Semantics::Lockstep => {
                 let s = self.state_bits;
                 let g = node >> s;
                 let f = node & ((1 << s) - 1);
-                let d = self.good.response(g, input) ^ self.bad.response(f, input);
-                let succ = (self.good.next(g, input) << s) | self.bad.next(f, input);
+                let d = self.good.response(g, input) ^ bad.response(f, input);
+                let succ = (self.good.next(g, input) << s) | bad.next(f, input);
                 (d, succ)
             }
         }
@@ -104,11 +116,14 @@ struct SilentWalks {
 }
 
 impl SilentWalks {
+    #[allow(clippy::too_many_arguments)]
     fn build(
         graph: &ProductGraph<'_>,
+        model: FaultModel,
         input_model: &InputModel,
         r: usize,
         masks: &[u64],
+        latency: usize,
         max_len: usize,
         budget: &Budget,
     ) -> Result<SilentWalks, Interrupted> {
@@ -118,12 +133,15 @@ impl SilentWalks {
         let mut inputs = Vec::new();
         for level in 1..=max_len {
             budget.tick(nodes as u64, "certify/soundness")?;
+            // A walk of `level` remaining edges that ends at the
+            // latency bound takes its first edge at this absolute step.
+            let active = model.active_at(latency - level + 1);
             let prev = &can[level - 1];
             let mut cur = vec![false; nodes];
             for v in 0..nodes as u64 {
                 input_model.inputs_at(graph.vantage(v), r, &mut inputs);
                 cur[v as usize] = inputs.iter().any(|&a| {
-                    let (d, succ) = graph.step(v, a);
+                    let (d, succ) = graph.step(v, a, active);
                     silent(masks, d) && prev[succ as usize]
                 });
             }
@@ -134,23 +152,27 @@ impl SilentWalks {
 
     /// Greedy descent through the levels: a concrete silent walk of
     /// `len` edges from `node` (which `build` proved exists).
+    #[allow(clippy::too_many_arguments)]
     fn reconstruct(
         &self,
         graph: &ProductGraph<'_>,
+        model: FaultModel,
         input_model: &InputModel,
         r: usize,
         masks: &[u64],
+        latency: usize,
         mut node: u64,
         len: usize,
     ) -> Vec<WitnessStep> {
         let mut steps = Vec::with_capacity(len);
         let mut inputs = Vec::new();
         for level in (1..=len).rev() {
+            let active = model.active_at(latency - level + 1);
             input_model.inputs_at(graph.vantage(node), r, &mut inputs);
             let (a, d, succ) = inputs
                 .iter()
                 .find_map(|&a| {
-                    let (d, succ) = graph.step(node, a);
+                    let (d, succ) = graph.step(node, a, active);
                     (silent(masks, d) && self.can[level - 1][succ as usize]).then_some((a, d, succ))
                 })
                 .expect("silent walk existence was just proved at this level");
@@ -179,9 +201,11 @@ impl SilentWalks {
 /// # Errors
 ///
 /// Only budget interruption; the check itself is exact and total.
+#[allow(clippy::too_many_arguments)]
 pub fn verify_solution(
     circuit: &FsmCircuit,
     faults: &[Fault],
+    model: FaultModel,
     input_model: &InputModel,
     semantics: Semantics,
     masks: &[u64],
@@ -197,7 +221,14 @@ pub fn verify_solution(
 
     for &fault in faults {
         budget.tick(1, "certify/soundness")?;
-        let bad = TransitionTables::faulty_budgeted(circuit, fault, budget)?;
+        let bad = match model {
+            FaultModel::MultiBitCluster { .. } => TransitionTables::faulty_set_budgeted(
+                circuit,
+                &model.expand(fault, circuit.netlist()),
+                budget,
+            )?,
+            _ => TransitionTables::faulty_budgeted(circuit, fault, budget)?,
+        };
         let graph = ProductGraph {
             good: &good,
             bad: &bad,
@@ -230,7 +261,8 @@ pub fn verify_solution(
                     Semantics::FaultyTrajectory => c,
                     Semantics::Lockstep => (c << s) | c,
                 };
-                let (_, node1) = graph.step(start, a1);
+                // Step 1 is active under every model.
+                let (_, node1) = graph.step(start, a1, true);
                 let refuted = |steps: Vec<WitnessStep>| {
                     Ok(StageOutcome::Refuted(Refutation {
                         stage: Stage::Soundness,
@@ -243,19 +275,23 @@ pub fn verify_solution(
                         witness: Witness::UndetectedPath { fault, steps },
                     }))
                 };
-                if latency == 1 || node1 == start {
+                if latency == 1 || (model.time_invariant() && node1 == start) {
                     // The DFS cuts this row immediately (p = 1, or the
                     // path revisits its own activation node — a silent
                     // self-cycle via the activation edge); the single
-                    // silent step is the whole witness.
+                    // silent step is the whole witness. The self-cycle
+                    // shortcut needs a step-invariant edge relation, so
+                    // time-varying models fall through to the sweep.
                     return refuted(vec![activation]);
                 }
                 if walks.is_none() {
                     walks = Some(SilentWalks::build(
                         &graph,
+                        model,
                         input_model,
                         r,
                         masks,
+                        latency,
                         latency - 1,
                         budget,
                     )?);
@@ -263,7 +299,16 @@ pub fn verify_solution(
                 let w = walks.as_ref().expect("just built");
                 if w.can[latency - 1][node1 as usize] {
                     let mut steps = vec![activation];
-                    steps.extend(w.reconstruct(&graph, input_model, r, masks, node1, latency - 1));
+                    steps.extend(w.reconstruct(
+                        &graph,
+                        model,
+                        input_model,
+                        r,
+                        masks,
+                        latency,
+                        node1,
+                        latency - 1,
+                    ));
                     return refuted(steps);
                 }
             }

@@ -11,6 +11,7 @@ use ced_fsm::machine::{Fsm, OutputValue, StateId};
 use ced_logic::Cube;
 use ced_runtime::Budget;
 use ced_sim::detect::{DetectOptions, DetectabilityTable, Semantics};
+use ced_sim::fault::FaultModel;
 use proptest::prelude::*;
 
 /// A random complete deterministic FSM: ≤ 6 states, 1–2 input bits,
@@ -60,11 +61,10 @@ proptest! {
         mask_seed in any::<u64>(),
     ) {
         let fsm = random_fsm(states, inputs, outputs, seed);
-        let options = PipelineOptions::paper_defaults();
-        let (encoded, circuit) = prepare_machine(&fsm, &options).expect("prepare");
+        let base = PipelineOptions::paper_defaults();
+        let (encoded, circuit) = prepare_machine(&fsm, &base).expect("prepare");
         let input_model =
-            build_input_model(encoded.fsm(), encoded.encoding(), options.input_granularity);
-        let faults = fault_list(&circuit, &options);
+            build_input_model(encoded.fsm(), encoded.encoding(), base.input_granularity);
         let n = circuit.total_bits();
 
         // 1–3 random nonzero masks over the monitored bits.
@@ -76,37 +76,51 @@ proptest! {
             })
             .collect();
 
-        for semantics in [Semantics::Lockstep, Semantics::FaultyTrajectory] {
-            let (table, _stats) = DetectabilityTable::build(
-                &circuit,
-                &faults,
-                &DetectOptions {
-                    latency,
-                    max_rows: 2_000_000,
+        let models = [
+            FaultModel::PermanentStuckAt,
+            FaultModel::TransientSeu { duration: 1 + (seed % 2) as usize },
+            FaultModel::Intermittent { period: 2 },
+            FaultModel::MultiBitCluster { radius: 1 },
+        ];
+        for model in models {
+            let mut options = base.clone();
+            options.fault_model = model;
+            // Multi-bit clusters force the full fault list.
+            let faults = fault_list(&circuit, &options);
+            for semantics in [Semantics::Lockstep, Semantics::FaultyTrajectory] {
+                let (table, _stats) = DetectabilityTable::build(
+                    &circuit,
+                    &faults,
+                    &DetectOptions {
+                        latency,
+                        max_rows: 2_000_000,
+                        semantics,
+                        input_model: input_model.clone(),
+                        reduce: true,
+                        fault_model: model,
+                    },
+                )
+                .expect("table");
+                let tensor_covered = table.all_covered(&masks);
+                let outcome = verify_solution(
+                    &circuit,
+                    &faults,
+                    model,
+                    &input_model,
                     semantics,
-                    input_model: input_model.clone(),
-                    reduce: true,
-                },
-            )
-            .expect("table");
-            let tensor_covered = table.all_covered(&masks);
-            let outcome = verify_solution(
-                &circuit,
-                &faults,
-                &input_model,
-                semantics,
-                &masks,
-                latency,
-                &Budget::unlimited(),
-            )
-            .expect("unlimited budget");
-            prop_assert_eq!(
-                outcome.is_certified(),
-                tensor_covered,
-                "semantics {:?}: BFS verifier and detect.rs tensor disagree \
-                 (states={} inputs={} outputs={} p={} masks={:?}): {:?}",
-                semantics, states, inputs, outputs, latency, &masks, outcome
-            );
+                    &masks,
+                    latency,
+                    &Budget::unlimited(),
+                )
+                .expect("unlimited budget");
+                prop_assert_eq!(
+                    outcome.is_certified(),
+                    tensor_covered,
+                    "{} / {:?}: BFS verifier and detect.rs tensor disagree \
+                     (states={} inputs={} outputs={} p={} masks={:?}): {:?}",
+                    model, semantics, states, inputs, outputs, latency, &masks, outcome
+                );
+            }
         }
     }
 }

@@ -171,6 +171,7 @@ pub fn check(args: &[String]) -> CliResult {
             latency: parsed.latency,
             semantics: parsed.options.semantics,
             input_model,
+            fault_model: parsed.options.fault_model,
             ..DetectOptions::default()
         },
         &[parsed.latency],
@@ -182,8 +183,12 @@ pub fn check(args: &[String]) -> CliResult {
     .pop()
     .expect("one latency requested");
     println!(
-        "fault model: {} stuck-at faults ({} untestable), {} activations, {} minimal erroneous cases",
-        dstats.faults, dstats.untestable_faults, dstats.activations, table.len()
+        "fault model ({}): {} faults ({} untestable), {} activations, {} minimal erroneous cases",
+        parsed.options.fault_model,
+        dstats.faults,
+        dstats.untestable_faults,
+        dstats.activations,
+        table.len()
     );
 
     let outcome = minimize_parity_functions(&table, &parsed.options.ced);
@@ -691,6 +696,14 @@ pub fn inject(args: &[String]) -> CliResult {
     if parsed.campaign {
         return inject_campaign(&parsed, store.as_deref());
     }
+    if !parsed.options.fault_model.is_permanent() {
+        return Err(format!(
+            "the quick operational check drives permanent faults only; run \
+             `ced inject --campaign --fault-model {}` for the model-aware campaign",
+            parsed.options.fault_model
+        )
+        .into());
+    }
     let (encoded, circuit) =
         prepare_machine_stored(&parsed.fsm, &parsed.options, store.as_deref())?;
     let input_model = build_input_model(
@@ -793,6 +806,7 @@ fn inject_campaign(parsed: &Parsed, store: Option<&Store>) -> CliResult {
             latency: parsed.latency,
             semantics: Semantics::FaultyTrajectory,
             input_model: InputModel::Exhaustive,
+            fault_model: parsed.options.fault_model,
             ..DetectOptions::default()
         },
         &[parsed.latency],
@@ -828,6 +842,7 @@ fn inject_campaign(parsed: &Parsed, store: Option<&Store>) -> CliResult {
             steps: parsed.steps,
             seed: parsed.seed ^ 0xCA3E,
             checker_faults: parsed.checker_faults,
+            fault_model: parsed.options.fault_model,
             ..CampaignOptions::default()
         },
         &Budget::unlimited(),

@@ -102,6 +102,21 @@ common options:
   --latencies A,B,C                          bounds for `table` (default 1,2,3)
   --semantics lockstep|hardware              step-difference semantics
   --exhaustive-inputs                        exact input enumeration
+  --fault-model MODEL                        fault model for check, table,
+                                             suite, certify and inject:
+                                               permanent       (default)
+                                               transient:D     SEU active for
+                                                               the first D
+                                                               steps, then gone
+                                               intermittent:K  re-asserts every
+                                                               K-th step
+                                               multibit:R      permanent
+                                                               cluster of nets
+                                                               within index
+                                                               radius R
+                                             `permanent` is byte-identical to
+                                             omitting the flag in every report,
+                                             checkpoint and store key
   --seed N                                   rounding seed (default 0)
   --format blif|verilog                      export format (default blif)
   --jobs N                                   worker threads for table, suite,

@@ -4,6 +4,7 @@ use ced_core::pipeline::{InputGranularity, PipelineOptions};
 use ced_fsm::encoding::EncodingStrategy;
 use ced_fsm::machine::Fsm;
 use ced_sim::detect::Semantics;
+use ced_sim::fault::FaultModel;
 
 /// Parsed common options plus the machine they apply to.
 pub struct Parsed {
@@ -121,6 +122,10 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
             }
             "--exhaustive-inputs" => {
                 options.input_granularity = InputGranularity::Exhaustive;
+            }
+            "--fault-model" => {
+                let v = it.next().ok_or("--fault-model needs a value")?;
+                options.fault_model = FaultModel::parse(v)?;
             }
             "--isolate-cones" => {
                 options.isolate_output_logic = true;
@@ -322,6 +327,10 @@ pub fn parse_suite(args: &[String]) -> Result<SuiteArgs, Box<dyn std::error::Err
             }
             "--no-retry" => {
                 options.retry_degraded = false;
+            }
+            "--fault-model" => {
+                let v = it.next().ok_or("--fault-model needs a value")?;
+                options.pipeline.fault_model = FaultModel::parse(v)?;
             }
             "--seed" => {
                 seed = it

@@ -22,7 +22,7 @@ use ced_sim::detect::{
     BuildCheckpoint, BuildControl, DetectError, DetectOptions, DetectStats, DetectabilityTable,
     InputModel, Semantics,
 };
-use ced_sim::fault::{all_faults, collapsed_faults, Fault};
+use ced_sim::fault::{all_faults, collapsed_faults, Fault, FaultModel};
 use ced_store::Store;
 use std::fmt;
 
@@ -40,7 +40,7 @@ pub enum InputGranularity {
 }
 
 /// Configuration of the whole pipeline.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct PipelineOptions {
     /// State-assignment strategy.
     pub encoding: EncodingStrategy,
@@ -63,6 +63,34 @@ pub struct PipelineOptions {
     /// still straddle cones), at an area cost — kept as an ablation
     /// knob for the fault-effect-locality study.
     pub isolate_output_logic: bool,
+    /// Temporal/spatial fault model assumed by the tensor enumeration
+    /// (default: the paper's permanent single stuck-at model).
+    pub fault_model: FaultModel,
+}
+
+// Hand-rolled so the permanent default renders exactly like the old
+// derived output: `suite_fingerprint` and the stage fingerprints hash
+// `format!("{options:?}")`, so the derived form with a `fault_model`
+// field would silently invalidate every pre-model store artifact,
+// checkpoint and fleet manifest. Non-permanent models append the extra
+// field and get distinct fingerprints, which is exactly the hygiene we
+// want.
+impl fmt::Debug for PipelineOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("PipelineOptions");
+        d.field("encoding", &self.encoding)
+            .field("minimize", &self.minimize)
+            .field("ced", &self.ced)
+            .field("full_fault_list", &self.full_fault_list)
+            .field("max_rows", &self.max_rows)
+            .field("semantics", &self.semantics)
+            .field("input_granularity", &self.input_granularity)
+            .field("isolate_output_logic", &self.isolate_output_logic);
+        if self.fault_model != FaultModel::PermanentStuckAt {
+            d.field("fault_model", &self.fault_model);
+        }
+        d.finish()
+    }
 }
 
 impl PipelineOptions {
@@ -689,8 +717,14 @@ pub fn build_input_model(
 }
 
 /// The circuit's fault list under the pipeline's settings.
+///
+/// Multi-bit cluster models always use the full (uncollapsed) list:
+/// structural collapsing merges faults whose *single-fault* behaviour
+/// coincides, but each net seeds a different spatial neighbourhood, so
+/// a collapsed representative would silently drop distinct clusters.
 pub fn fault_list(circuit: &FsmCircuit, options: &PipelineOptions) -> Vec<Fault> {
-    if options.full_fault_list {
+    let multibit = matches!(options.fault_model, FaultModel::MultiBitCluster { .. });
+    if options.full_fault_list || multibit {
         all_faults(circuit.netlist())
     } else {
         collapsed_faults(circuit.netlist())
@@ -808,6 +842,7 @@ pub fn run_circuit_controlled(
                     semantics: options.semantics,
                     input_model,
                     reduce: true,
+                    fault_model: options.fault_model,
                 },
                 latencies,
                 BuildControl {
@@ -1067,6 +1102,12 @@ fn pipeline_fingerprint(
     for &p in latencies {
         w.usize(p);
     }
+    // Appended only for non-permanent models so every pre-model
+    // checkpoint fingerprint stays valid (byte-identity guarantee).
+    if options.fault_model != FaultModel::PermanentStuckAt {
+        w.str("fault-model");
+        options.fault_model.write(&mut w);
+    }
     fnv1a64(&w.finish())
 }
 
@@ -1074,6 +1115,34 @@ fn pipeline_fingerprint(
 mod tests {
     use super::*;
     use ced_fsm::suite;
+
+    #[test]
+    fn permanent_debug_rendering_is_model_free() {
+        // The stage fingerprints and the fleet handshake hash this
+        // Debug output; the permanent default must render exactly as it
+        // did before the fault-model field existed.
+        let opts = PipelineOptions::paper_defaults();
+        assert!(!format!("{opts:?}").contains("fault_model"));
+        let mut transient = opts.clone();
+        transient.fault_model = FaultModel::TransientSeu { duration: 4 };
+        assert!(format!("{transient:?}").contains("fault_model"));
+        let mut intermittent = opts.clone();
+        intermittent.fault_model = FaultModel::Intermittent { period: 3 };
+        assert_ne!(format!("{transient:?}"), format!("{intermittent:?}"));
+    }
+
+    #[test]
+    fn multibit_model_forces_full_fault_list() {
+        let fsm = suite::sequence_detector();
+        let opts = PipelineOptions::paper_defaults();
+        let (_, circuit) = prepare_machine(&fsm, &opts).unwrap();
+        let collapsed = fault_list(&circuit, &opts);
+        let mut multibit = opts.clone();
+        multibit.fault_model = FaultModel::MultiBitCluster { radius: 1 };
+        let full = fault_list(&circuit, &multibit);
+        assert_eq!(full, all_faults(circuit.netlist()));
+        assert!(full.len() >= collapsed.len());
+    }
 
     #[test]
     fn full_pipeline_on_small_machine() {

@@ -25,6 +25,7 @@ use ced_runtime::{
     fnv1a64, Budget, ByteReader, ByteWriter, CancelToken, CheckpointError, InterruptKind,
     Interrupted, Json,
 };
+use ced_sim::fault::FaultModel;
 use ced_store::Store;
 use std::fmt;
 use std::panic::AssertUnwindSafe;
@@ -237,6 +238,10 @@ pub struct SuiteReport {
     /// metadata only: job counts change wall-clock, never the payload,
     /// so differential comparisons normalize this one token.
     pub jobs: usize,
+    /// Fault model the campaign assumed. Rendered into the report
+    /// header only when non-permanent, so permanent reports stay
+    /// byte-identical to pre-model ones.
+    pub fault_model: FaultModel,
 }
 
 impl SuiteReport {
@@ -271,6 +276,7 @@ impl SuiteReport {
             records,
             certified: false,
             jobs: 1,
+            fault_model: FaultModel::default(),
         }
     }
 
@@ -281,11 +287,19 @@ impl SuiteReport {
     /// interrupted-then-resumed campaign renders byte-identically to
     /// an uninterrupted one.
     pub fn to_json(&self) -> String {
-        Json::Object(vec![
+        let mut fields = vec![
             ("schema".into(), Json::str("ced-suite-report/1")),
             ("version".into(), Json::str(env!("CARGO_PKG_VERSION"))),
             ("jobs".into(), Json::UInt(self.jobs as u64)),
             ("certified".into(), Json::Bool(self.certified)),
+        ];
+        // Emitted only for non-permanent models: permanent reports must
+        // render byte-identically to reports from before the field
+        // existed (the differential suite pins this).
+        if self.fault_model != FaultModel::PermanentStuckAt {
+            fields.push(("fault_model".into(), Json::Str(self.fault_model.label())));
+        }
+        fields.extend(vec![
             (
                 "latencies".into(),
                 Json::Array(
@@ -313,8 +327,8 @@ impl SuiteReport {
                     ("quarantined".into(), Json::UInt(self.quarantined() as u64)),
                 ]),
             ),
-        ])
-        .render()
+        ]);
+        Json::Object(fields).render()
     }
 }
 
@@ -978,6 +992,7 @@ pub fn run_suite(
             records,
             certified: false,
             jobs,
+            fault_model: options.pipeline.fault_model,
         }),
         Err(interrupted) => {
             let checkpoint = SuiteCheckpoint::new(fingerprint, jobs, records.clone());
@@ -986,6 +1001,7 @@ pub fn run_suite(
                 records,
                 certified: false,
                 jobs,
+                fault_model: options.pipeline.fault_model,
             };
             Err(SuiteError::Interrupted(Box::new(SuiteInterrupted {
                 interrupted,

@@ -381,7 +381,11 @@ pub fn run_coordinator(
         }
         records.push(result.record);
     }
-    let report = SuiteReport::from_records(options.latencies.clone(), records);
+    let mut report = SuiteReport::from_records(options.latencies.clone(), records);
+    // The merged report must render the fault model the shards ran
+    // under (the manifest fingerprint already rejected mismatched
+    // workers, so every record used this model).
+    report.fault_model = options.pipeline.fault_model;
     write_report_atomic(&dir, &report.to_json())?;
 
     publish_envelope(

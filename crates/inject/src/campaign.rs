@@ -29,7 +29,7 @@ use ced_sim::coverage::SimRng;
 use ced_sim::detect::{
     BuildControl, DetectError, DetectOptions, DetectabilityTable, InputModel, Semantics,
 };
-use ced_sim::fault::Fault;
+use ced_sim::fault::{Fault, FaultModel};
 use ced_sim::tables::TransitionTables;
 use ced_store::Store;
 use std::fmt;
@@ -53,6 +53,12 @@ pub struct CampaignOptions {
     /// Cap on probe inputs per state in the checker audit; states with
     /// more inputs are sampled deterministically.
     pub probe_input_cap: usize,
+    /// Temporal/spatial fault model driven by the campaign. The
+    /// analytic verdict enumerates the same model's tensor, so the two
+    /// verdicts stay comparable; time-varying models assert the fault
+    /// over seed-randomized activation windows instead of permanently
+    /// (the permanent drive is byte-identical to the pre-model one).
+    pub fault_model: FaultModel,
 }
 
 impl Default for CampaignOptions {
@@ -64,6 +70,7 @@ impl Default for CampaignOptions {
             checker_faults: true,
             max_faults: None,
             probe_input_cap: 64,
+            fault_model: FaultModel::default(),
         }
     }
 }
@@ -366,8 +373,14 @@ fn judge_fault(
     fault: Fault,
     store: Option<&Store>,
 ) -> Result<FaultJudgement, DetectError> {
-    let analytic = analytic_verdict(circuit, fault, ced.masks(), p, store)?;
-    let bad = TransitionTables::faulty(circuit, fault);
+    let analytic = analytic_verdict(circuit, fault, options.fault_model, ced.masks(), p, store)?;
+    let bad = match options.fault_model {
+        FaultModel::MultiBitCluster { .. } => TransitionTables::faulty_set(
+            circuit,
+            &options.fault_model.expand(fault, circuit.netlist()),
+        ),
+        _ => TransitionTables::faulty(circuit, fault),
+    };
     let seed = options.seed ^ splitmix_scramble(i as u64);
     let (raw, mismatch) = drive_with_checker(circuit, ced, good, &bad, valid, p, options, seed);
     Ok(FaultJudgement {
@@ -433,10 +446,12 @@ fn apply_judgement(machine: &mut MachineCampaign, p: usize, fault: Fault, j: Fau
 }
 
 /// The analytic verdict: enumerate this fault's erroneous cases
-/// exhaustively under the hardware semantics and test the masks.
+/// exhaustively under the hardware semantics — and under the
+/// campaign's fault model — and test the masks.
 fn analytic_verdict(
     circuit: &FsmCircuit,
     fault: Fault,
+    fault_model: FaultModel,
     masks: &[u64],
     latency: usize,
     store: Option<&Store>,
@@ -451,6 +466,7 @@ fn analytic_verdict(
             latency,
             semantics: Semantics::FaultyTrajectory,
             input_model: InputModel::Exhaustive,
+            fault_model,
             ..DetectOptions::default()
         },
         &[latency],
@@ -475,6 +491,17 @@ fn analytic_verdict(
 /// actual monitored bits). Returns the raw detection outcome and the
 /// first cycle (if any) where the netlist's flag disagreed with the
 /// parity model on a fault-free-reachable present state.
+///
+/// Time-invariant models (permanent, multi-bit) hold the fault
+/// asserted for the whole run — byte-identical to the pre-model drive
+/// for the permanent default. Time-varying models assert it over
+/// seed-randomized activation windows ([`FaultModel::active_at`]
+/// relative to each window's start): a transient whose window closes
+/// without ever activating an error re-arms at a later random cycle,
+/// so short-lived faults still produce operational evidence. A miss
+/// under a transient model is an *escape of that activation* — the
+/// shared trajectory carries no difference once the fault is dead,
+/// which is exactly what the model's analytic tensor predicts.
 #[allow(clippy::too_many_arguments)] // campaign internals; one call site
 fn drive_with_checker(
     circuit: &FsmCircuit,
@@ -492,14 +519,40 @@ fn drive_with_checker(
     let mut state = circuit.reset_code();
     let mut window: Option<usize> = None;
     let mut mismatch: Option<usize> = None;
+    let model = options.fault_model;
+    let invariant = model.time_invariant();
+    // First activation window of a time-varying model starts at a
+    // seed-randomized cycle (drawn before any input, so the input
+    // stream itself also shifts per window placement).
+    let mut assert_at: usize = if invariant {
+        0
+    } else {
+        (rng.next_u64() % 8) as usize
+    };
 
     for cycle in 0..options.steps {
+        let active = if invariant {
+            true
+        } else if cycle < assert_at {
+            false
+        } else {
+            let step = cycle - assert_at + 1;
+            if model.dead_after(step) && window.is_none() {
+                // The transient died without activating an error:
+                // re-arm it at a later random cycle.
+                assert_at = cycle + 1 + (rng.next_u64() % 16) as usize;
+                false
+            } else {
+                model.active_at(step)
+            }
+        };
+        let eff = if active { bad } else { good };
         let input = rng.next_u64() & input_mask;
-        let actual = bad.response(state, input);
+        let actual = eff.response(state, input);
         let d = good.response(state, input) ^ actual;
         let flagged = ced.flags(state, input, actual);
-        let model = ced.masks().iter().any(|&m| (m & d).count_ones() & 1 == 1);
-        if flagged != model && valid[state as usize] && mismatch.is_none() {
+        let model_flag = ced.masks().iter().any(|&m| (m & d).count_ones() & 1 == 1);
+        if flagged != model_flag && valid[state as usize] && mismatch.is_none() {
             mismatch = Some(cycle);
         }
         if d != 0 && window.is_none() {
@@ -519,7 +572,7 @@ fn drive_with_checker(
                 return (RawOutcome::Missed { at_cycle: start }, mismatch);
             }
         }
-        state = bad.next(state, input);
+        state = eff.next(state, input);
     }
     // No activation, or a window still open at the end of the run with
     // neither verdict reached: no observation either way.
@@ -680,6 +733,64 @@ mod tests {
             run_campaign_budgeted(&c, &ced, &faults, &opts, &Budget::unlimited()).unwrap();
         assert_eq!(plain.machine.outcomes, budgeted.machine.outcomes);
         assert_eq!(plain.render(), budgeted.render());
+    }
+
+    #[test]
+    fn timed_models_reconcile_analytic_and_operational_verdicts() {
+        // A singleton cover detects every erroneous case at its first
+        // step under any model, so transient / intermittent / multi-bit
+        // campaigns must all come back free of disagreements.
+        let c = circuit();
+        let cover = ParityCover::singletons(c.total_bits());
+        let ced = synthesize_ced(&c, &cover, 1, &MinimizeOptions::default());
+        for model in [
+            FaultModel::TransientSeu { duration: 2 },
+            FaultModel::Intermittent { period: 3 },
+            FaultModel::MultiBitCluster { radius: 1 },
+        ] {
+            let faults = if matches!(model, FaultModel::MultiBitCluster { .. }) {
+                ced_sim::fault::all_faults(c.netlist())
+            } else {
+                collapsed_faults(c.netlist())
+            };
+            let report = run_campaign(
+                &c,
+                &ced,
+                &faults,
+                &CampaignOptions {
+                    fault_model: model,
+                    checker_faults: false,
+                    ..CampaignOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(report.is_clean(), "{model}: {}", report.render());
+            assert!(
+                report.machine.detected_within_bound > 0,
+                "{model}: no operational detections at all"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_permanent_model_matches_default_campaign() {
+        let c = circuit();
+        let cover = ParityCover::singletons(c.total_bits());
+        let ced = synthesize_ced(&c, &cover, 1, &MinimizeOptions::default());
+        let faults = collapsed_faults(c.netlist());
+        let implicit = run_campaign(&c, &ced, &faults, &CampaignOptions::default()).unwrap();
+        let explicit = run_campaign(
+            &c,
+            &ced,
+            &faults,
+            &CampaignOptions {
+                fault_model: FaultModel::PermanentStuckAt,
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(implicit.machine.outcomes, explicit.machine.outcomes);
+        assert_eq!(implicit.render(), explicit.render());
     }
 
     #[test]

@@ -36,7 +36,7 @@
 //! all-zero, forcing detection within the prefix. Identical rows are
 //! merged (`F = ∪ EC`), both within and across faults.
 
-use crate::fault::Fault;
+use crate::fault::{Fault, FaultModel};
 use crate::tables::TransitionTables;
 use ced_fsm::encoded::FsmCircuit;
 use ced_par::ParExec;
@@ -310,6 +310,15 @@ pub struct DetectOptions {
     /// cases, temporal step order preserved); only unreduced tables
     /// support [`DetectabilityTable::truncated`].
     pub reduce: bool,
+    /// Temporal/spatial fault model the enumeration assumes. The
+    /// default, [`FaultModel::PermanentStuckAt`], is byte-identical to
+    /// the pre-model pipeline (tables, stats, fingerprints and store
+    /// keys unchanged). Non-permanent models switch the faulty machine
+    /// between faulty and fault-free transition tables per activation
+    /// step ([`FaultModel::active_at`]), and
+    /// [`FaultModel::MultiBitCluster`] injects the whole spatial
+    /// cluster seeded at each listed fault.
+    pub fault_model: FaultModel,
 }
 
 impl Default for DetectOptions {
@@ -320,6 +329,7 @@ impl Default for DetectOptions {
             semantics: Semantics::default(),
             input_model: InputModel::default(),
             reduce: true,
+            fault_model: FaultModel::default(),
         }
     }
 }
@@ -742,6 +752,13 @@ impl DetectabilityTable {
         let mut inputs_scratch: Vec<u64> = Vec::new();
         let mut seen_starts: Vec<HashSet<(u64, u64, u64, u64)>> =
             latencies.iter().map(|_| HashSet::new()).collect();
+        // Time-varying models need the phase-aware enumerators; the
+        // time-invariant ones (permanent, multi-bit) keep the original
+        // code path so the permanent default stays byte-identical.
+        // Activation steps are 1-indexed and step 1 is active under
+        // every model, so the first-step difference `d1` below is
+        // always taken from the faulty tables.
+        let timed = !options.fault_model.time_invariant();
         for (fi, &fault) in faults.iter().enumerate().skip(start_fault) {
             // Clean fault boundary: the collectors hold exactly the
             // rows of faults `0..fi`, so a checkpoint here resumes
@@ -761,18 +778,30 @@ impl DetectabilityTable {
                     checkpoint: Some(Box::new(snapshot(fi, &collectors, &stats))),
                 });
             }
+            // Per-model extraction: a multi-bit cluster injects every
+            // net the model expands the seed to; every other model
+            // injects the seed alone (time variation lives in the
+            // enumeration, not in the tables).
+            let extract = |f: Fault| match options.fault_model {
+                FaultModel::MultiBitCluster { .. } => TransitionTables::faulty_set_budgeted(
+                    circuit,
+                    &options.fault_model.expand(f, circuit.netlist()),
+                    budget,
+                ),
+                _ => TransitionTables::faulty_budgeted(circuit, f, budget),
+            };
             let extracted = match prefetched.pop_front() {
                 Some(t) => Ok(t),
                 None => match pool {
                     Some(p) => p
                         .try_map(&faults[fi..(fi + window).min(faults.len())], |_, &f| {
-                            TransitionTables::faulty_budgeted(circuit, f, budget)
+                            extract(f)
                         })
                         .map(|tables| {
                             prefetched = tables.into();
                             prefetched.pop_front().expect("nonempty window")
                         }),
-                    None => TransitionTables::faulty_budgeted(circuit, fault, budget),
+                    None => extract(fault),
                 },
             };
             let bad = match extracted {
@@ -833,34 +862,64 @@ impl DetectabilityTable {
                                 if !seen_starts[pi].insert((d1, c, s1, 0)) {
                                     continue;
                                 }
-                                enumerate_paths(
-                                    &good,
-                                    &bad,
-                                    &options.input_model,
-                                    r,
-                                    p,
-                                    c,
-                                    d1,
-                                    s1,
-                                    collector,
-                                );
+                                if timed {
+                                    enumerate_paths_timed(
+                                        &good,
+                                        &bad,
+                                        options.fault_model,
+                                        &options.input_model,
+                                        r,
+                                        p,
+                                        c,
+                                        d1,
+                                        s1,
+                                        collector,
+                                    );
+                                } else {
+                                    enumerate_paths(
+                                        &good,
+                                        &bad,
+                                        &options.input_model,
+                                        r,
+                                        p,
+                                        c,
+                                        d1,
+                                        s1,
+                                        collector,
+                                    );
+                                }
                             }
                             Semantics::Lockstep => {
                                 let pair1 = (good.next(c, a1), bad.next(c, a1));
                                 if !seen_starts[pi].insert((d1, c, pair1.0, pair1.1)) {
                                     continue;
                                 }
-                                enumerate_lockstep(
-                                    &good,
-                                    &bad,
-                                    &options.input_model,
-                                    r,
-                                    p,
-                                    (c, c),
-                                    d1,
-                                    pair1,
-                                    collector,
-                                );
+                                if timed {
+                                    enumerate_lockstep_timed(
+                                        &good,
+                                        &bad,
+                                        options.fault_model,
+                                        &options.input_model,
+                                        r,
+                                        p,
+                                        (c, c),
+                                        d1,
+                                        pair1,
+                                        collector,
+                                    );
+                                } else {
+                                    enumerate_lockstep(
+                                        &good,
+                                        &bad,
+                                        &options.input_model,
+                                        r,
+                                        p,
+                                        (c, c),
+                                        d1,
+                                        pair1,
+                                        collector,
+                                    );
+                                }
                             }
                         }
                         if collector.overflowed() {
@@ -1279,6 +1338,14 @@ fn fingerprint_base_bytes(
             w.u64_slice(fallback);
         }
     }
+    // Fault-model key hygiene: non-permanent models get their own
+    // store keys and checkpoint fingerprints. The permanent default
+    // appends nothing so every pre-model artifact stays valid and the
+    // permanent byte-identity guarantee holds.
+    if options.fault_model != FaultModel::PermanentStuckAt {
+        w.str("fault-model");
+        options.fault_model.write(&mut w);
+    }
     w.finish()
 }
 
@@ -1503,6 +1570,244 @@ fn extend_lockstep(
     }
 }
 
+/// Phase-aware variant of [`enumerate_paths`] for time-varying fault
+/// models. At each 1-indexed step the faulty machine follows the
+/// faulty tables iff the model is active there and the fault-free
+/// tables otherwise (the single physical machine of
+/// [`Semantics::FaultyTrajectory`] simply stops misbehaving when the
+/// fault deasserts, so its difference is zero on inactive steps).
+/// Loop cuts require the *fault-automaton phase* to repeat along with
+/// the state — a state revisited at a different phase has a different
+/// future.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_paths_timed(
+    good: &TransitionTables,
+    bad: &TransitionTables,
+    model: FaultModel,
+    input_model: &InputModel,
+    r: usize,
+    p: usize,
+    start_state: u64,
+    d1: u64,
+    s1: u64,
+    out: &mut Collector,
+) {
+    if out.prefix_dominated(&[d1]) {
+        return;
+    }
+    // The start-state loop cut only applies when the phase recurs too.
+    if p == 1 || (s1 == start_state && model.phase_at(1) == model.phase_at(2)) {
+        let mut row = vec![0u64; p];
+        row[0] = d1;
+        out.insert(&row);
+        return;
+    }
+    let mut prefix = vec![0u64; p];
+    prefix[0] = d1;
+    let mut visited = vec![(start_state, model.phase_at(1)), (s1, model.phase_at(2))];
+    extend_timed(
+        good,
+        bad,
+        model,
+        input_model,
+        r,
+        p,
+        1,
+        s1,
+        &mut prefix,
+        &mut visited,
+        out,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend_timed(
+    good: &TransitionTables,
+    bad: &TransitionTables,
+    model: FaultModel,
+    input_model: &InputModel,
+    r: usize,
+    p: usize,
+    depth: usize,
+    state: u64,
+    prefix: &mut Vec<u64>,
+    visited: &mut Vec<(u64, u64)>,
+    out: &mut Collector,
+) {
+    // `depth` slots of `prefix` are filled; this call produces step
+    // `depth + 1` (1-indexed).
+    let step = depth + 1;
+    if model.dead_after(step) {
+        // A transient past its window never reasserts: on the shared
+        // trajectory every remaining difference is zero, so the row is
+        // exactly the prefix (its tail is already zero-filled).
+        let row = prefix.clone();
+        out.insert(&row);
+        return;
+    }
+    let active = model.active_at(step);
+    let mut seen_effects: HashSet<(u64, u64)> = HashSet::new();
+    let mut inputs = Vec::new();
+    input_model.inputs_at(state, r, &mut inputs);
+    for input in inputs {
+        let (resp, nx) = if active {
+            (bad.response(state, input), bad.next(state, input))
+        } else {
+            (good.response(state, input), good.next(state, input))
+        };
+        let d = good.response(state, input) ^ resp;
+        if !seen_effects.insert((d, nx)) {
+            continue;
+        }
+        prefix[depth] = d;
+        if out.prefix_dominated(&prefix[..=depth]) {
+            prefix[depth] = 0;
+            continue;
+        }
+        let next_phase = model.phase_at(step + 1);
+        if depth + 1 == p || visited.contains(&(nx, next_phase)) {
+            let mut row = prefix.clone();
+            for slot in row.iter_mut().skip(depth + 1) {
+                *slot = 0;
+            }
+            out.insert(&row);
+        } else {
+            visited.push((nx, next_phase));
+            extend_timed(
+                good,
+                bad,
+                model,
+                input_model,
+                r,
+                p,
+                depth + 1,
+                nx,
+                prefix,
+                visited,
+                out,
+            );
+            visited.pop();
+        }
+        prefix[depth] = 0;
+    }
+}
+
+/// Phase-aware variant of [`enumerate_lockstep`] for time-varying
+/// fault models. Unlike the shared-trajectory semantics, lockstep
+/// divergence survives deassertion: once the faulty machine's state
+/// differs from the good machine's, the pair keeps diverging under
+/// fault-free dynamics until the trajectories reconverge.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_lockstep_timed(
+    good: &TransitionTables,
+    bad: &TransitionTables,
+    model: FaultModel,
+    input_model: &InputModel,
+    r: usize,
+    p: usize,
+    start_pair: (u64, u64),
+    d1: u64,
+    pair1: (u64, u64),
+    out: &mut Collector,
+) {
+    if out.prefix_dominated(&[d1]) {
+        return;
+    }
+    if p == 1 || (pair1 == start_pair && model.phase_at(1) == model.phase_at(2)) {
+        let mut row = vec![0u64; p];
+        row[0] = d1;
+        out.insert(&row);
+        return;
+    }
+    let mut prefix = vec![0u64; p];
+    prefix[0] = d1;
+    let mut visited = vec![(start_pair, model.phase_at(1)), (pair1, model.phase_at(2))];
+    extend_lockstep_timed(
+        good,
+        bad,
+        model,
+        input_model,
+        r,
+        p,
+        1,
+        pair1,
+        &mut prefix,
+        &mut visited,
+        out,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend_lockstep_timed(
+    good: &TransitionTables,
+    bad: &TransitionTables,
+    model: FaultModel,
+    input_model: &InputModel,
+    r: usize,
+    p: usize,
+    depth: usize,
+    pair: (u64, u64),
+    prefix: &mut Vec<u64>,
+    visited: &mut Vec<((u64, u64), u64)>,
+    out: &mut Collector,
+) {
+    let (g, f) = pair;
+    let step = depth + 1;
+    if g == f && model.dead_after(step) {
+        // Converged trajectories with the fault dead forever evolve
+        // identically: the remaining differences are all zero.
+        let row = prefix.clone();
+        out.insert(&row);
+        return;
+    }
+    let active = model.active_at(step);
+    let mut seen_effects: HashSet<(u64, (u64, u64))> = HashSet::new();
+    let mut inputs = Vec::new();
+    input_model.inputs_at(g, r, &mut inputs);
+    for input in inputs {
+        let (fresp, fnext) = if active {
+            (bad.response(f, input), bad.next(f, input))
+        } else {
+            (good.response(f, input), good.next(f, input))
+        };
+        let d = good.response(g, input) ^ fresp;
+        let nx = (good.next(g, input), fnext);
+        if !seen_effects.insert((d, nx)) {
+            continue;
+        }
+        prefix[depth] = d;
+        if out.prefix_dominated(&prefix[..=depth]) {
+            prefix[depth] = 0;
+            continue;
+        }
+        let next_phase = model.phase_at(step + 1);
+        if depth + 1 == p || visited.contains(&(nx, next_phase)) {
+            let mut row = prefix.clone();
+            for slot in row.iter_mut().skip(depth + 1) {
+                *slot = 0;
+            }
+            out.insert(&row);
+        } else {
+            visited.push((nx, next_phase));
+            extend_lockstep_timed(
+                good,
+                bad,
+                model,
+                input_model,
+                r,
+                p,
+                depth + 1,
+                nx,
+                prefix,
+                visited,
+                out,
+            );
+            visited.pop();
+        }
+        prefix[depth] = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1542,6 +1847,162 @@ mod tests {
             },
         )
         .unwrap()
+    }
+
+    fn build_model(p: usize, semantics: Semantics, model: FaultModel) -> DetectabilityTable {
+        build_model_opt(p, semantics, model, true)
+    }
+
+    fn build_model_opt(
+        p: usize,
+        semantics: Semantics,
+        model: FaultModel,
+        reduce: bool,
+    ) -> DetectabilityTable {
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        DetectabilityTable::build(
+            &c,
+            &faults,
+            &DetectOptions {
+                latency: p,
+                semantics,
+                reduce,
+                fault_model: model,
+                ..DetectOptions::default()
+            },
+        )
+        .unwrap()
+        .0
+    }
+
+    #[test]
+    fn degenerate_models_match_permanent_tensor_exactly() {
+        // An SEU that never deasserts, an intermittent that fires every
+        // step, and a zero-radius cluster are all the permanent model in
+        // disguise; the timed enumerators must reproduce the original
+        // tables bit for bit.
+        for semantics in [Semantics::FaultyTrajectory, Semantics::Lockstep] {
+            for p in 1..=3 {
+                let permanent = build_model(p, semantics, FaultModel::PermanentStuckAt);
+                for model in [
+                    FaultModel::TransientSeu {
+                        duration: usize::MAX,
+                    },
+                    FaultModel::Intermittent { period: 1 },
+                    FaultModel::MultiBitCluster { radius: 0 },
+                ] {
+                    let got = build_model(p, semantics, model);
+                    assert_eq!(got, permanent, "p={p} {semantics:?} {model}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_dies_on_the_shared_trajectory() {
+        // FaultyTrajectory semantics: once a duration-1 SEU deasserts,
+        // good and faulty run the same machine from the same state, so
+        // every difference after step 1 is zero.
+        let table = build_model(
+            3,
+            Semantics::FaultyTrajectory,
+            FaultModel::TransientSeu { duration: 1 },
+        );
+        assert!(!table.is_empty());
+        for row in table.rows() {
+            assert_ne!(row.steps[0], 0);
+            assert_eq!(
+                &row.steps[1..],
+                &[0, 0],
+                "difference must die with the fault"
+            );
+        }
+    }
+
+    #[test]
+    fn transient_divergence_survives_deassert_under_lockstep() {
+        // Lockstep semantics remember the corrupted state: some
+        // duration-1 SEU activation keeps differing after the window.
+        // Built unreduced — dominance reduction prefers the rows that
+        // are hardest to detect, which are exactly the zero-suffix ones.
+        let table = build_model_opt(
+            3,
+            Semantics::Lockstep,
+            FaultModel::TransientSeu { duration: 1 },
+            false,
+        );
+        assert!(
+            table
+                .rows()
+                .iter()
+                .any(|row| row.steps[1..].iter().any(|&d| d != 0)),
+            "state-remembered divergence should outlive the activation window"
+        );
+    }
+
+    #[test]
+    fn transient_window_widens_detectability() {
+        // A longer activation window can only add erroneous behaviour;
+        // at the permanent limit the tensors coincide. Compare raw
+        // (unreduced) first-step populations as a monotonicity proxy.
+        let short = build_model_opt(
+            2,
+            Semantics::FaultyTrajectory,
+            FaultModel::TransientSeu { duration: 1 },
+            false,
+        );
+        let long = build_model_opt(
+            2,
+            Semantics::FaultyTrajectory,
+            FaultModel::TransientSeu {
+                duration: usize::MAX,
+            },
+            false,
+        );
+        for row in short.rows() {
+            assert!(
+                long.rows().iter().any(|l| l.steps[0] == row.steps[0]),
+                "permanent tensor lost a first-step difference the SEU has"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_model_changes_fingerprint_only_when_not_permanent() {
+        let c = circuit();
+        let faults = collapsed_faults(c.netlist());
+        let good = TransitionTables::good(&c);
+        let base = |model: FaultModel| {
+            fingerprint_base_bytes(
+                &good,
+                &faults,
+                &DetectOptions {
+                    fault_model: model,
+                    ..DetectOptions::default()
+                },
+            )
+        };
+        let permanent = base(FaultModel::PermanentStuckAt);
+        assert_eq!(
+            permanent,
+            fingerprint_base_bytes(&good, &faults, &DetectOptions::default()),
+            "permanent model must not perturb pre-model store keys"
+        );
+        let mut seen = vec![permanent.clone()];
+        for model in [
+            FaultModel::TransientSeu { duration: 4 },
+            FaultModel::TransientSeu { duration: 5 },
+            FaultModel::Intermittent { period: 2 },
+            FaultModel::MultiBitCluster { radius: 1 },
+        ] {
+            let bytes = base(model);
+            assert!(
+                !seen.contains(&bytes),
+                "{model} collides with another model"
+            );
+            seen.push(bytes);
+        }
     }
 
     #[test]

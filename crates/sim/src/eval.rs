@@ -66,6 +66,44 @@ pub fn eval_words_faulty_budgeted_into(
     Ok(())
 }
 
+/// Evaluates all nets with every fault of `faults` injected at once,
+/// 64 patterns per pass — the multi-bit generalization of
+/// [`eval_words_faulty_into`] for spatially-clustered faults. Each
+/// listed net is forced to its stuck value regardless of its driver;
+/// with a single-element list the result is identical to the
+/// single-fault evaluator.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the netlist's input count.
+pub fn eval_words_multi_faulty_into(
+    netlist: &Netlist,
+    inputs: &[u64],
+    faults: &[Fault],
+    values: &mut Vec<u64>,
+) {
+    assert_eq!(inputs.len(), netlist.num_inputs(), "input arity mismatch");
+    let gates = netlist.gates();
+    values.clear();
+    values.resize(gates.len(), 0);
+    for (i, g) in gates.iter().enumerate() {
+        let v = match g.kind {
+            GateKind::Input => inputs[i],
+            kind => {
+                let a = values[g.fanin[0].index()];
+                let b = values[g.fanin[1].index()];
+                kind.eval(a, b)
+            }
+        };
+        // Clusters are tiny (2·radius + 1 nets), so a linear scan beats
+        // any per-gate lookup structure.
+        values[i] = match faults.iter().find(|f| f.net.index() == i) {
+            Some(f) => f.forced_word(),
+            None => v,
+        };
+    }
+}
+
 /// Faulty primary-output words for 64 patterns.
 pub fn eval_outputs_faulty(netlist: &Netlist, inputs: &[u64], fault: Fault) -> Vec<u64> {
     let mut values = Vec::new();
@@ -172,6 +210,25 @@ mod tests {
             faulty_output_divergence(&n, &inputs, Fault::new(f, false)),
             0b1000
         );
+    }
+
+    #[test]
+    fn multi_fault_injection_forces_every_listed_net() {
+        let (n, x, y, f) = and_netlist();
+        let mut values = Vec::new();
+        // x sa1 and y sa1 together: output is 1 everywhere.
+        eval_words_multi_faulty_into(
+            &n,
+            &[0b00, 0b00],
+            &[Fault::new(x, true), Fault::new(y, true)],
+            &mut values,
+        );
+        assert_eq!(values[f.index()] & 0b11, 0b11);
+        // A singleton list matches the single-fault evaluator exactly.
+        let mut single = Vec::new();
+        eval_words_faulty_into(&n, &[0b10, 0b01], Fault::new(x, true), &mut single);
+        eval_words_multi_faulty_into(&n, &[0b10, 0b01], &[Fault::new(x, true)], &mut values);
+        assert_eq!(values, single);
     }
 
     #[test]

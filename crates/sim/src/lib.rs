@@ -44,5 +44,5 @@ pub mod models;
 pub mod tables;
 
 pub use detect::{DetectError, DetectOptions, DetectStats, DetectabilityTable, EcRow, Semantics};
-pub use fault::{all_faults, collapsed_faults, Fault};
+pub use fault::{all_faults, collapse_classes, collapsed_faults, Fault, FaultModel};
 pub use tables::TransitionTables;

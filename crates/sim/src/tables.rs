@@ -7,11 +7,19 @@
 //! over every `(state code, input)` pair, including unused codes a
 //! faulty machine may wander into, using 64-way bit-parallel evaluation.
 
-use crate::eval::eval_words_faulty_into;
+use crate::eval::{eval_words_faulty_into, eval_words_multi_faulty_into};
 use crate::fault::Fault;
 use ced_fsm::encoded::FsmCircuit;
 use ced_runtime::{Budget, Interrupted};
 use std::collections::VecDeque;
+
+/// What the extraction injects into the netlist.
+#[derive(Clone, Copy)]
+enum Injection<'a> {
+    None,
+    One(Fault),
+    Many(&'a [Fault]),
+}
 
 /// Complete next-state/output tables of one machine (good or faulty).
 ///
@@ -38,7 +46,7 @@ impl TransitionTables {
     /// Panics if `r + s > 24` (table would exceed 16M entries) or
     /// `s + outputs > 64`.
     pub fn good(circuit: &FsmCircuit) -> TransitionTables {
-        match Self::extract(circuit, None, None) {
+        match Self::extract(circuit, Injection::None, None) {
             Ok(t) => t,
             Err(_) => unreachable!("extraction without a budget cannot be interrupted"),
         }
@@ -50,7 +58,7 @@ impl TransitionTables {
     ///
     /// See [`TransitionTables::good`].
     pub fn faulty(circuit: &FsmCircuit, fault: Fault) -> TransitionTables {
-        match Self::extract(circuit, Some(fault), None) {
+        match Self::extract(circuit, Injection::One(fault), None) {
             Ok(t) => t,
             Err(_) => unreachable!("extraction without a budget cannot be interrupted"),
         }
@@ -74,12 +82,45 @@ impl TransitionTables {
         fault: Fault,
         budget: &Budget,
     ) -> Result<TransitionTables, Interrupted> {
-        Self::extract(circuit, Some(fault), Some(budget))
+        Self::extract(circuit, Injection::One(fault), Some(budget))
+    }
+
+    /// Extracts the tables with every fault of `faults` injected at
+    /// once — the multi-bit cluster generalization of
+    /// [`TransitionTables::faulty`]. A singleton slice is identical to
+    /// the single-fault extraction.
+    ///
+    /// # Panics
+    ///
+    /// See [`TransitionTables::good`].
+    pub fn faulty_set(circuit: &FsmCircuit, faults: &[Fault]) -> TransitionTables {
+        match Self::extract(circuit, Injection::Many(faults), None) {
+            Ok(t) => t,
+            Err(_) => unreachable!("extraction without a budget cannot be interrupted"),
+        }
+    }
+
+    /// [`TransitionTables::faulty_set`] under a [`Budget`]; same
+    /// contract as [`TransitionTables::faulty_budgeted`].
+    ///
+    /// # Errors
+    ///
+    /// The budget's interruption; no partial tables are returned.
+    ///
+    /// # Panics
+    ///
+    /// See [`TransitionTables::good`].
+    pub fn faulty_set_budgeted(
+        circuit: &FsmCircuit,
+        faults: &[Fault],
+        budget: &Budget,
+    ) -> Result<TransitionTables, Interrupted> {
+        Self::extract(circuit, Injection::Many(faults), Some(budget))
     }
 
     fn extract(
         circuit: &FsmCircuit,
-        fault: Option<Fault>,
+        fault: Injection<'_>,
         budget: Option<&Budget>,
     ) -> Result<TransitionTables, Interrupted> {
         let r = circuit.num_inputs();
@@ -116,8 +157,11 @@ impl TransitionTables {
                 *w = word;
             }
             match fault {
-                Some(f) => eval_words_faulty_into(netlist, &in_words, f, &mut values),
-                None => netlist.eval_words_into(&in_words, &mut values),
+                Injection::One(f) => eval_words_faulty_into(netlist, &in_words, f, &mut values),
+                Injection::Many(fs) => {
+                    eval_words_multi_faulty_into(netlist, &in_words, fs, &mut values)
+                }
+                Injection::None => netlist.eval_words_into(&in_words, &mut values),
             }
             let outs = netlist.outputs();
             for t in 0..batch {
@@ -303,6 +347,18 @@ mod tests {
         let c = circuit();
         let good = TransitionTables::good(&c);
         assert!(good.diff(&good).iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn singleton_fault_set_matches_single_fault_tables() {
+        let c = circuit();
+        for f in crate::fault::all_faults(c.netlist()) {
+            assert_eq!(
+                TransitionTables::faulty_set(&c, &[f]),
+                TransitionTables::faulty(&c, f),
+                "{f}"
+            );
+        }
     }
 
     #[test]

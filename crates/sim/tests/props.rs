@@ -9,7 +9,7 @@ use ced_fsm::generator::{generate, GeneratorConfig};
 use ced_logic::MinimizeOptions;
 use ced_sim::coverage::{simulate_fault_detection, SimOutcome};
 use ced_sim::detect::{DetectOptions, DetectabilityTable, Semantics};
-use ced_sim::fault::{all_faults, collapsed_faults};
+use ced_sim::fault::{all_faults, collapsed_faults, FaultModel};
 use ced_sim::tables::TransitionTables;
 use proptest::prelude::*;
 
@@ -363,6 +363,71 @@ proptest! {
                 (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
                 (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
                 _ => prop_assert!(false, "serial {serial:?} vs pooled {pooled:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_fault_models_collapse_to_permanent(
+        circuit in small_circuit_strategy(),
+        p in 1usize..=3,
+    ) {
+        // A never-deasserting SEU, an every-step intermittent and a
+        // zero-radius cluster are the permanent model in disguise: the
+        // timed/multi-net enumerators must reproduce the permanent
+        // tensor bit for bit on arbitrary machines, both semantics.
+        let faults = collapsed_faults(circuit.netlist());
+        for semantics in [Semantics::FaultyTrajectory, Semantics::Lockstep] {
+            let base = DetectOptions {
+                latency: p,
+                semantics,
+                ..DetectOptions::default()
+            };
+            let permanent = DetectabilityTable::build(&circuit, &faults, &base)
+                .expect("fits").0;
+            for model in [
+                FaultModel::TransientSeu { duration: usize::MAX },
+                FaultModel::Intermittent { period: 1 },
+                FaultModel::MultiBitCluster { radius: 0 },
+            ] {
+                let got = DetectabilityTable::build(
+                    &circuit,
+                    &faults,
+                    &DetectOptions { fault_model: model, ..base.clone() },
+                ).expect("fits").0;
+                prop_assert_eq!(&got, &permanent, "p={} {:?} {}", p, semantics, model);
+                prop_assert_eq!(got.to_bytes(), permanent.to_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn timed_models_at_latency_one_match_permanent(
+        circuit in small_circuit_strategy(),
+        duration in 1usize..=3,
+        period in 2usize..=4,
+    ) {
+        // Step 1 is active under every model, so a latency-1 tensor
+        // cannot see a fault deassert: all models coincide there.
+        let faults = collapsed_faults(circuit.netlist());
+        for semantics in [Semantics::FaultyTrajectory, Semantics::Lockstep] {
+            let base = DetectOptions {
+                latency: 1,
+                semantics,
+                ..DetectOptions::default()
+            };
+            let permanent = DetectabilityTable::build(&circuit, &faults, &base)
+                .expect("fits").0;
+            for model in [
+                FaultModel::TransientSeu { duration },
+                FaultModel::Intermittent { period },
+            ] {
+                let got = DetectabilityTable::build(
+                    &circuit,
+                    &faults,
+                    &DetectOptions { fault_model: model, ..base.clone() },
+                ).expect("fits").0;
+                prop_assert_eq!(&got, &permanent, "{:?} {}", semantics, model);
             }
         }
     }

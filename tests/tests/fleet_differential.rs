@@ -327,6 +327,25 @@ fn worker_refuses_foreign_campaign_options() {
         "{err}"
     );
 
+    // A worker launched under a different fault model must refuse:
+    // its records would encode a different fault automaton than the
+    // campaign's.
+    let mut other = options();
+    other.pipeline.fault_model = ced_sim::fault::FaultModel::TransientSeu { duration: 2 };
+    let err = run_worker(
+        &dir,
+        &other,
+        &fast_worker("w0"),
+        &CellLibrary::new(),
+        &CancelToken::new(),
+        None,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, FleetError::FingerprintMismatch { .. }),
+        "{err}"
+    );
+
     // A manifest from another build version must refuse too.
     let forged = ced_fleet::FleetManifest {
         version: "0.0.0-other".to_string(),
