@@ -1,0 +1,279 @@
+//! Served-latency harness for the `ced serve` daemon: measures the
+//! cold-store and warm-store request latency of each analysis op over
+//! real loopback TCP (daemon in-process, protocol on the wire), then
+//! saturates a deliberately tiny daemon (one executor, one pending
+//! slot) and counts the typed `overloaded` rejections. Emits one
+//! `ced-serve-bench/1` JSON line; the committed `BENCH_serve.json` is
+//! the full run. The interesting numbers are the warm/cold ratio per
+//! op (what a resident store buys interactive callers) and the shed
+//! count (admission control rejecting instead of queueing without
+//! bound).
+//!
+//! Usage: `cargo bench --bench serve [-- --quick]` (`--quick` trims
+//! the iteration counts, not the protocol).
+
+use ced_runtime::Json;
+use ced_serve::{Client, ServeOptions, Server};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// The measured machine: the scaled `s27` analogue — small enough
+/// that per-request protocol cost is visible next to the analysis.
+fn machine_text() -> String {
+    let spec = ced_fsm::suite::paper_table1_scaled()
+        .into_iter()
+        .find(|s| s.name == "s27")
+        .expect("suite machine");
+    ced_fsm::kiss::to_string(&spec.build())
+}
+
+/// An `n`-state counter whose exhaustive-input detectability tensor is
+/// expensive to build — the slow request that keeps the single
+/// executor busy during the overload measurement.
+fn counter_kiss2(n: usize) -> String {
+    let mut out = format!(".i 1\n.o 1\n.p {}\n.s {n}\n.r s0\n", 2 * n);
+    for i in 0..n {
+        out.push_str(&format!("0 s{i} s{i} {}\n", i % 2));
+        out.push_str(&format!("1 s{i} s{} {}\n", (i + 1) % n, (i >> 1) % 2));
+    }
+    out.push_str(".e\n");
+    out
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn op_request(op: &str, id: &str, machine: &str) -> Json {
+    let mut fields = vec![
+        ("id", Json::str(id)),
+        ("cmd", Json::str(op)),
+        ("machine", Json::str(machine)),
+    ];
+    match op {
+        "table" | "certify" => {
+            fields.push(("latencies", Json::Array(vec![Json::UInt(1), Json::UInt(2)])));
+        }
+        "inject" => {
+            fields.push(("steps", Json::UInt(40)));
+            fields.push(("seed", Json::UInt(1)));
+        }
+        _ => {}
+    }
+    obj(fields)
+}
+
+fn request_ok(client: &mut Client, doc: &Json) -> Json {
+    let resp = client.request(doc).expect("request round trip");
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "response: {}",
+        resp.render()
+    );
+    resp
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ced-serve-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct OpRow {
+    op: &'static str,
+    cold_ms: f64,
+    warm_p50_ms: f64,
+    warm_p99_ms: f64,
+    iters: usize,
+}
+
+/// Cold-then-warm latency of one op against a fresh daemon + store.
+fn measure_op(op: &'static str, machine: &str, iters: usize) -> OpRow {
+    let store = scratch(op);
+    let server = Server::start(ServeOptions {
+        store_dir: Some(store.clone()),
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let start = Instant::now();
+    request_ok(&mut client, &op_request(op, "cold", machine));
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let mut warm_ms: Vec<f64> = (0..iters)
+        .map(|i| {
+            let start = Instant::now();
+            request_ok(&mut client, &op_request(op, &format!("warm{i}"), machine));
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    warm_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+    server.stop();
+    drop(client);
+    server.wait();
+    let _ = std::fs::remove_dir_all(&store);
+    OpRow {
+        op,
+        cold_ms,
+        warm_p50_ms: percentile(&warm_ms, 0.50),
+        warm_p99_ms: percentile(&warm_ms, 0.99),
+        iters,
+    }
+}
+
+/// Saturates a one-executor, one-slot daemon and counts typed
+/// `overloaded` rejections: one slow request runs, one fills the
+/// pending slot, and every flood request must be shed at admission.
+fn measure_overload(flood: usize, slow_states: usize) -> (usize, usize) {
+    let server = Server::start(ServeOptions {
+        workers: 1,
+        max_pending: 1,
+        ..ServeOptions::default()
+    })
+    .expect("daemon starts");
+    let slow_machine = counter_kiss2(slow_states);
+    let slow = obj(vec![
+        ("id", Json::str("slow")),
+        ("cmd", Json::str("table")),
+        ("machine", Json::str(&slow_machine)),
+        (
+            "latencies",
+            Json::Array(vec![
+                Json::UInt(1),
+                Json::UInt(2),
+                Json::UInt(3),
+                Json::UInt(4),
+            ]),
+        ),
+        ("exhaustive_inputs", Json::Bool(true)),
+    ]);
+    let mut busy = Client::connect(server.addr()).expect("connect");
+    busy.send_line(&slow.render()).expect("send slow");
+
+    // Wait until the slow request holds the executor, then fill the
+    // single pending slot.
+    let mut control = Client::connect(server.addr()).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let resp = request_ok(
+            &mut control,
+            &obj(vec![("id", Json::str("h")), ("cmd", Json::str("health"))]),
+        );
+        let health = resp.get("health").expect("health doc");
+        let running = health
+            .get("counters")
+            .and_then(|c| c.get("admitted"))
+            .and_then(Json::as_u64)
+            == Some(1)
+            && health.get("queue_depth").and_then(Json::as_u64) == Some(0);
+        if running {
+            break;
+        }
+        assert!(Instant::now() < deadline, "slow request never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    control
+        .send_line(&slow.render())
+        .expect("fill pending slot");
+
+    let machine = machine_text();
+    let mut flooder = Client::connect(server.addr()).expect("connect");
+    for i in 0..flood {
+        flooder
+            .send_line(&op_request("check", &format!("flood{i}"), &machine).render())
+            .expect("send flood");
+    }
+    let mut shed = 0;
+    for _ in 0..flood {
+        let resp = Json::parse(&flooder.recv_line().expect("flood response")).expect("JSON");
+        let kind = resp
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str);
+        if kind == Some("overloaded") {
+            shed += 1;
+        }
+    }
+    // Disconnects cancel the saturating work; the daemon drains fast.
+    drop(busy);
+    drop(control);
+    drop(flooder);
+    server.stop();
+    server.wait();
+    (flood, shed)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let machine = machine_text();
+
+    let rows: Vec<OpRow> = [
+        ("check", if quick { 20 } else { 60 }),
+        ("table", if quick { 20 } else { 60 }),
+        ("certify", if quick { 8 } else { 25 }),
+        ("inject", if quick { 8 } else { 25 }),
+    ]
+    .into_iter()
+    .map(|(op, iters)| measure_op(op, &machine, iters))
+    .collect();
+
+    let (flooded, shed) = measure_overload(20, if quick { 120 } else { 400 });
+    assert!(shed > 0, "saturation must shed at least one request");
+
+    let doc = Json::Object(vec![
+        ("schema".into(), Json::str("ced-serve-bench/1")),
+        ("quick".into(), Json::Bool(quick)),
+        ("machine".into(), Json::str("s27 (scaled analogue)")),
+        (
+            "ops".into(),
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::Object(vec![
+                            ("op".into(), Json::str(r.op)),
+                            ("cold_ms".into(), Json::Float(r.cold_ms)),
+                            ("warm_p50_ms".into(), Json::Float(r.warm_p50_ms)),
+                            ("warm_p99_ms".into(), Json::Float(r.warm_p99_ms)),
+                            ("iters".into(), Json::UInt(r.iters as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "overload".into(),
+            Json::Object(vec![
+                ("workers".into(), Json::UInt(1)),
+                ("max_pending".into(), Json::UInt(1)),
+                ("flooded".into(), Json::UInt(flooded as u64)),
+                ("shed".into(), Json::UInt(shed as u64)),
+            ]),
+        ),
+    ]);
+    println!("{}", doc.render());
+
+    eprintln!("served latency over loopback TCP (s27 scaled analogue, fresh daemon per op):");
+    for r in &rows {
+        eprintln!(
+            "  {:<8} cold {:8.2} ms   warm p50 {:7.2} ms   warm p99 {:7.2} ms   ({} warm iters)",
+            r.op, r.cold_ms, r.warm_p50_ms, r.warm_p99_ms, r.iters
+        );
+    }
+    eprintln!(
+        "overload (1 executor, 1 pending slot): {shed}/{flooded} flood requests shed with \
+         typed `overloaded`"
+    );
+}

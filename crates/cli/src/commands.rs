@@ -151,76 +151,92 @@ pub fn synth(args: &[String]) -> CliResult {
 }
 
 /// `ced check` — run Algorithm 1 at one latency bound.
+///
+/// The whole analysis lives in [`ced_serve::ops::check_text`] — the
+/// same function the `ced serve` daemon executes — so a served `check`
+/// payload is byte-identical to this command's stdout by construction.
 pub fn check(args: &[String]) -> CliResult {
     let parsed = parse(args)?;
-    let lib = CellLibrary::new();
     let store = open_store(parsed.store.as_deref())?;
-    let (encoded, circuit) =
-        prepare_machine_stored(&parsed.fsm, &parsed.options, store.as_deref())?;
-    let input_model = build_input_model(
-        encoded.fsm(),
-        encoded.encoding(),
-        parsed.options.input_granularity,
-    );
-    let faults = fault_list(&circuit, &parsed.options);
-    let unlimited = Budget::unlimited();
-    let (table, dstats) = DetectabilityTable::build_many_controlled(
-        &circuit,
-        &faults,
-        &DetectOptions {
-            latency: parsed.latency,
-            semantics: parsed.options.semantics,
-            input_model,
-            fault_model: parsed.options.fault_model,
-            ..DetectOptions::default()
-        },
-        &[parsed.latency],
-        BuildControl {
-            store: store.as_deref(),
-            ..BuildControl::new(&unlimited)
-        },
-    )?
-    .pop()
-    .expect("one latency requested");
-    println!(
-        "fault model ({}): {} faults ({} untestable), {} activations, {} minimal erroneous cases",
-        parsed.options.fault_model,
-        dstats.faults,
-        dstats.untestable_faults,
-        dstats.activations,
-        table.len()
-    );
+    let mut request = ced_serve::OpRequest::new(ced_serve::OpKind::Check, "");
+    request.latency = parsed.latency;
+    request.options = parsed.options.clone();
+    request.seed = parsed.seed;
+    let mut budget = Budget::new();
+    if let Some(ms) = parsed.deadline_ms {
+        budget = budget.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(t) = parsed.ticks {
+        budget = budget.with_tick_cap(t);
+    }
+    let pool = ParExec::new(parsed.jobs);
+    match ced_serve::ops::check_text(&parsed.fsm, &request, &budget, &pool, store.as_deref()) {
+        Ok(text) => {
+            print!("{text}");
+            finish_store(store.as_deref(), parsed.quiet);
+            Ok(ExitStatus::Ok)
+        }
+        Err(ced_serve::OpError::Interrupted(i)) => {
+            eprintln!("[ced] check {i}");
+            Ok(ExitStatus::Cancelled)
+        }
+        Err(e) => Err(e.to_string().into()),
+    }
+}
 
-    let outcome = minimize_parity_functions(&table, &parsed.options.ced);
-    println!(
-        "Algorithm 1 (p = {}): q = {} parity trees ({} LP solves, {} rounding attempts)",
-        parsed.latency, outcome.q, outcome.lp_solves, outcome.rounding_attempts
-    );
-    if !outcome.degradation.is_empty() {
-        println!("solved by {} after degradation:", outcome.method);
-        for event in &outcome.degradation {
-            println!("  {event}");
+/// `ced serve` — the long-lived analysis daemon (see `ced-serve`).
+pub fn serve(args: &[String]) -> CliResult {
+    let mut opts = ced_serve::ServeOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut num = |flag: &str| -> Result<u64, Box<dyn std::error::Error>> {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a number"))?
+                .parse()
+                .map_err(|_| format!("{flag} needs a number").into())
+        };
+        match a.as_str() {
+            "--addr" => {
+                opts.addr = it.next().ok_or("--addr needs host:port")?.clone();
+            }
+            "--jobs" => {
+                opts.jobs = num("--jobs")? as usize;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--workers" => {
+                opts.workers = num("--workers")? as usize;
+                if opts.workers == 0 {
+                    return Err("--workers must be at least 1".into());
+                }
+            }
+            "--max-pending" => opts.max_pending = num("--max-pending")? as usize,
+            "--max-line-bytes" => opts.max_line_bytes = num("--max-line-bytes")? as usize,
+            "--line-timeout-ms" => {
+                opts.line_timeout = std::time::Duration::from_millis(num("--line-timeout-ms")?);
+            }
+            "--deadline-ms" => {
+                opts.default_deadline =
+                    Some(std::time::Duration::from_millis(num("--deadline-ms")?));
+            }
+            "--max-jobs" => opts.max_jobs = num("--max-jobs")? as usize,
+            "--store" => {
+                let dir = it.next().ok_or("--store needs a directory path")?;
+                opts.store_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--debug-ops" => opts.debug_ops = true,
+            other => return Err(format!("unknown serve flag `{other}`").into()),
         }
     }
-    for (i, &mask) in outcome.cover.masks.iter().enumerate() {
-        let taps: Vec<String> = (0..circuit.total_bits())
-            .filter(|j| (mask >> j) & 1 == 1)
-            .map(|j| format!("b{}", j + 1))
-            .collect();
-        println!("  tree {}: {}", i + 1, taps.join(" ⊕ "));
-    }
-    let ced = synthesize_ced(
-        &circuit,
-        &outcome.cover,
-        parsed.latency,
-        &parsed.options.minimize,
-    );
-    let cost = ced.cost(&lib);
-    println!(
-        "checker: {} gates, {} hold FFs, area {:.1}",
-        cost.gates, cost.flip_flops, cost.area
-    );
-    finish_store(store.as_deref(), parsed.quiet);
+    let server = ced_serve::Server::start(opts).map_err(|e| format!("cannot start daemon: {e}"))?;
+    // The address line is the daemon's contract with scripts and tests:
+    // first stdout line, flushed before anything else happens.
+    println!("listening on {}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.wait();
+    eprintln!("[ced] serve: daemon stopped");
     Ok(ExitStatus::Ok)
 }
 
@@ -540,11 +556,15 @@ pub fn store(args: &[String]) -> CliResult {
     };
     let mut dir: Option<String> = None;
     let mut keep_runs: u64 = 1;
+    let mut json = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--store" => {
                 dir = Some(it.next().ok_or("--store needs a directory path")?.clone());
+            }
+            "--json" => {
+                json = true;
             }
             "--keep-runs" => {
                 keep_runs = it
@@ -564,6 +584,9 @@ pub fn store(args: &[String]) -> CliResult {
     let dir = dir.ok_or("store needs --store DIR")?;
     let store = Store::open(Path::new(&dir)).map_err(|e| format!("cannot open {dir}: {e}"))?;
     match action.as_str() {
+        "stats" if json => {
+            println!("{}", store.stats_json().render());
+        }
         "stats" => {
             let stats = store.stats();
             // `open` bumped the run counter for this process; the
@@ -856,6 +879,11 @@ fn inject_campaign(parsed: &Parsed, store: Option<&Store>) -> CliResult {
         }
     })?;
     print!("{}", report.render());
+    if let Some(out) = &parsed.out {
+        // Exactly the rendered campaign report — the same bytes a
+        // served `inject` request returns as its payload.
+        std::fs::write(out, report.render()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    }
     finish_store(store, parsed.quiet);
     if report.is_clean() {
         println!("campaign clean: hardware agrees with V(i,j,k) everywhere ✓");
@@ -867,6 +895,44 @@ fn inject_campaign(parsed: &Parsed, store: Option<&Store>) -> CliResult {
         );
         Ok(ExitStatus::Refuted)
     }
+}
+
+/// `ced fleet status` — a read-only live view over a fleet campaign
+/// directory: pending/leased/done/poisoned counts, lease heartbeat
+/// ages, per-unit attempt counts. Never claims, expires or mutates
+/// anything, so it is safe to run next to a live campaign.
+fn fleet_status_cmd(args: &[String]) -> CliResult {
+    let mut dir: Option<String> = None;
+    let mut json = false;
+    let mut stale_ms = 10_000u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--store" => {
+                dir = Some(it.next().ok_or("--store needs a directory path")?.clone());
+            }
+            "--json" => {
+                json = true;
+            }
+            "--stale-ms" => {
+                stale_ms = it
+                    .next()
+                    .ok_or("--stale-ms needs a number")?
+                    .parse()
+                    .map_err(|_| "--stale-ms needs a number")?;
+            }
+            other => return Err(format!("unknown fleet status flag `{other}`").into()),
+        }
+    }
+    let dir = dir.ok_or("fleet status needs --store DIR (the campaign directory)")?;
+    let status =
+        ced_fleet::fleet_status(Path::new(&dir), std::time::Duration::from_millis(stale_ms))?;
+    if json {
+        println!("{}", status.to_json().render());
+    } else {
+        print!("{}", status.render_text());
+    }
+    Ok(ExitStatus::Ok)
 }
 
 /// Fleet-only flags split off before the shared suite parser runs, so
@@ -946,8 +1012,13 @@ fn split_fleet_flags(args: &[String]) -> Result<FleetFlags, Box<dyn std::error::
 /// filesystem) claim, heartbeat and execute units.
 pub fn fleet(args: &[String]) -> CliResult {
     let Some(role) = args.first() else {
-        return Err("fleet needs a role: `ced fleet coordinator|worker --store DIR …`".into());
+        return Err(
+            "fleet needs a role: `ced fleet coordinator|worker|status --store DIR …`".into(),
+        );
     };
+    if role == "status" {
+        return fleet_status_cmd(&args[1..]);
+    }
     let flags = split_fleet_flags(&args[1..])?;
     let parsed = parse_suite(&flags.rest)?;
     let store_dir = parsed

@@ -17,6 +17,9 @@
 //! ced inject <machine.kiss2> [--latency P]    fault-injection validation
 //! ced store  stats|gc --store DIR             inspect / garbage-collect the
 //!                                             incremental artifact store
+//! ced serve  [--addr H:P] [--store DIR]       long-lived analysis daemon:
+//!                                             line-delimited JSON over TCP,
+//!                                             warm store, admission control
 //! ced export <machine.kiss2> --format blif|verilog
 //! ced minimize <machine.kiss2>                emit the state-minimized KISS2
 //! ced equiv  <a.kiss2> <b.kiss2>              gate-accurate equivalence check
@@ -56,6 +59,7 @@ fn run(args: &[String]) -> Result<ExitStatus, Box<dyn std::error::Error>> {
         "certify" => commands::certify(&args[1..]),
         "inject" => commands::inject(&args[1..]),
         "store" => commands::store(&args[1..]),
+        "serve" => commands::serve(&args[1..]),
         "export" => commands::export(&args[1..]),
         "minimize" => commands::minimize(&args[1..]),
         "equiv" => commands::equiv(&args[1..]),
@@ -90,8 +94,13 @@ commands:
           made: BFS soundness, exact-rational LP certificates, synthesis
           equivalence, checker co-simulation, greedy differential
   inject  operational validation: inject every fault, report latencies
-  store   inspect (`stats`) or garbage-collect (`gc`) an on-disk
-          incremental store created with --store
+  store   inspect (`stats`, with --json for the machine-readable
+          document) or garbage-collect (`gc`) an on-disk incremental
+          store created with --store
+  serve   long-lived analysis daemon: check/table/certify/inject over
+          line-delimited JSON on TCP, sharing one warm store and worker
+          pool across requests; payloads are byte-identical to the
+          one-shot commands
   export  write the synthesized machine as BLIF or structural Verilog
   minimize  merge equivalent states; print the minimized KISS2
   equiv   check two machines for sequential output equivalence
@@ -168,8 +177,36 @@ inject options:
 
 store options:
   --store DIR                                the store directory (required)
+  --json                                     `stats`: emit the deterministic
+                                             ced-store-stats/1 JSON document
   --keep-runs N                              `gc`: keep artifacts last used in
                                              the newest N runs (default 1)
+
+serve options:
+  --addr HOST:PORT                           bind address (default
+                                             127.0.0.1:0 — an ephemeral port,
+                                             printed as the first stdout line)
+  --jobs N                                   shared analysis pool width
+                                             (default 1; results identical at
+                                             every N)
+  --workers N                                concurrent requests (default 2)
+  --max-pending N                            admission cap: queued requests
+                                             beyond this are shed with a typed
+                                             `overloaded` error (default 16)
+  --max-line-bytes N                         longest accepted request line
+                                             (default 1 MiB; larger lines get
+                                             a typed `line_too_long` error)
+  --line-timeout-ms N                        stall bound for partial request
+                                             lines (default 10000)
+  --deadline-ms N                            default per-request deadline for
+                                             requests that carry none
+  --max-jobs N                               detached submit/poll/fetch jobs
+                                             retained (default 64)
+  --store DIR                                warm incremental store shared by
+                                             every request
+  --debug-ops                                honor `debug-panic` requests
+                                             (executor-isolation probe for
+                                             tests and CI)
 
 fleet options (plus the suite options above, which every process of a
 campaign must pass identically — workers refuse a manifest whose
@@ -194,6 +231,16 @@ fingerprint does not match their own options):
   --manifest-wait-ms N                       worker: how long to wait for the
                                              coordinator's manifest (30000)
   --poll-ms N                                watchdog / claim sweep period
+
+fleet status (read-only; safe next to a live campaign):
+  ced fleet status --store DIR [--json] [--stale-ms N]
+                                             pending/leased/done/poisoned unit
+                                             counts, lease heartbeat ages and
+                                             per-unit attempt counts; --json
+                                             emits ced-fleet-status/1;
+                                             --stale-ms marks leases older
+                                             than N ms as [STALE]
+                                             (default 10000)
 
 exit codes:
   0  ok           finished; every guarantee held

@@ -35,6 +35,7 @@
 pub mod coordinator;
 pub mod error;
 pub mod proto;
+pub mod status;
 pub mod worker;
 
 pub use coordinator::{run_coordinator, CoordinatorOptions, FleetOutcome};
@@ -43,4 +44,5 @@ pub use proto::{
     FleetDir, FleetLedger, FleetManifest, LedgerAction, LedgerEvent, UnitResult, UnitToken,
     FLEET_LEDGER_KIND, FLEET_MANIFEST_KIND, FLEET_RESULT_KIND, FLEET_UNIT_KIND,
 };
+pub use status::{fleet_status, FleetStatus, LeaseView, ManifestView};
 pub use worker::{run_worker, WorkerOptions, WorkerOutcome};

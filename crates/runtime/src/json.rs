@@ -1,4 +1,4 @@
-//! Deterministic JSON emission.
+//! Deterministic JSON emission and strict parsing.
 //!
 //! The suite runner's report must be byte-identical between an
 //! uninterrupted run and an interrupted-then-resumed one, so the
@@ -8,6 +8,13 @@
 //! already-rendered fragment verbatim — that is how checkpointed
 //! per-machine reports (stored as rendered strings) re-enter a resumed
 //! report without any re-escape drift.
+//!
+//! [`Json::parse`] is the inverse for untrusted input — the `ced
+//! serve` daemon decodes request lines with it. It is strict (no
+//! trailing garbage, no unescaped control characters, bounded
+//! nesting) and every failure is a typed [`JsonParseError`] carrying
+//! the byte offset, so a malformed request can be answered with a
+//! precise diagnostic instead of a panic or a guess.
 
 use std::fmt::Write;
 
@@ -35,10 +42,115 @@ pub enum Json {
     Raw(String),
 }
 
+/// A typed JSON parse failure: what went wrong and the byte offset in
+/// the input where the parser noticed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset into the parsed text.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Nesting depth beyond which the parser refuses input: a hostile
+/// `[[[[…` line must fail typed, not blow the stack.
+const MAX_DEPTH: usize = 128;
+
 impl Json {
     /// Convenience constructor for string values.
     pub fn str(s: &str) -> Json {
         Json::Str(s.to_string())
+    }
+
+    /// Parses one complete JSON value from `text`.
+    ///
+    /// Strictness rules, chosen for a network-facing daemon:
+    ///
+    /// * the whole input must be consumed (surrounding whitespace is
+    ///   fine, trailing garbage is not);
+    /// * nesting is bounded (128 levels);
+    /// * numbers without `.`/`e` parse as [`Json::Int`] when they fit
+    ///   `i64`, as [`Json::UInt`] when they fit `u64`, and fall back
+    ///   to [`Json::Float`] otherwise; non-finite results are errors.
+    ///
+    /// # Errors
+    ///
+    /// A [`JsonParseError`] with the byte offset of the first problem.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match; emitted objects never repeat
+    /// keys). `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// A non-negative integer view: `UInt` directly, `Int` when ≥ 0.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Int(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// [`Json::as_u64`] narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
     }
 
     /// Renders to a compact, deterministic string.
@@ -114,6 +226,235 @@ fn escape_into(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Recursive-descent parser over the raw bytes (string decoding is the
+/// only place multi-byte UTF-8 matters, and it re-borrows `&str` there).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(cp)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid unicode escape"))?);
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar; the input is a `&str`,
+                    // so the boundary math cannot fail.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let ch = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self
+            .pos
+            .checked_add(4)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let digits = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v =
+            u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape digits"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !fractional {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::Float(v)),
+            _ => {
+                self.pos = start;
+                Err(self.err("invalid number"))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +488,81 @@ mod tests {
         let inner = Json::Object(vec![("q".into(), Json::UInt(3))]).render();
         let outer = Json::Object(vec![("m".into(), Json::Raw(inner.clone()))]);
         assert_eq!(outer.render(), format!("{{\"m\":{inner}}}"));
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Json::Object(vec![
+            ("name".into(), Json::str("s27 \"quoted\" \\ tab\there")),
+            ("q".into(), Json::UInt(3)),
+            ("neg".into(), Json::Int(-17)),
+            ("area".into(), Json::Float(123.456)),
+            ("flag".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            (
+                "rows".into(),
+                Json::Array(vec![Json::UInt(7), Json::str("é ✓")]),
+            ),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).expect("round trip");
+        assert_eq!(back.render(), text);
+        assert_eq!(back.get("q").and_then(Json::as_u64), Some(3));
+        assert_eq!(
+            back.get("name").and_then(Json::as_str),
+            Some("s27 \"quoted\" \\ tab\there")
+        );
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_unicode_escapes() {
+        let v = Json::parse("  { \"a\" : [ 1 , \"\\u0041\\ud83d\\ude00\" ] }  ").expect("parse");
+        let items = v.get("a").and_then(Json::as_array).expect("array");
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_str(), Some("A😀"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input_with_offsets() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,2",
+            "\"unterminated",
+            "{\"a\":1}garbage",
+            "nul",
+            "+5",
+            "{\"a\" 1}",
+            "\"bad \\x escape\"",
+            "\"lone \\ud800 surrogate\"",
+            "--3",
+            "1e",
+        ] {
+            let err = Json::parse(bad).expect_err(bad);
+            assert!(err.offset <= bad.len(), "{bad}: offset {}", err.offset);
+            assert!(!err.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth() {
+        let hostile = "[".repeat(100_000);
+        let err = Json::parse(&hostile).expect_err("deep nesting");
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::UInt(18_446_744_073_709_551_615)
+        );
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(Json::parse("2e3").unwrap(), Json::Float(2000.0));
+        assert!(Json::parse("1e999").is_err(), "non-finite float");
     }
 
     #[test]

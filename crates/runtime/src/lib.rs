@@ -26,5 +26,5 @@ pub use checkpoint::{
     ByteWriter, CheckpointError,
 };
 pub use heartbeat::Heartbeat;
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 pub use lease::{claim_by_rename, mtime_age, publish_envelope, touch};

@@ -1,0 +1,88 @@
+//! A minimal blocking client for the `ced-serve/1` protocol.
+//!
+//! Used by the integration tests, the bench harness and the CI smoke
+//! leg; small enough that external callers can also treat it as the
+//! protocol's reference implementation: one JSON line out, one JSON
+//! line in.
+
+use ced_runtime::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One connection to a daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one raw request line (the newline is appended).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Receives one raw response line (without the newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the read failure; a closed connection surfaces as
+    /// [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn recv_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+
+    /// Sends a request document and parses the next response line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, plus [`std::io::ErrorKind::InvalidData`] when the
+    /// response is not valid JSON.
+    pub fn request(&mut self, doc: &Json) -> std::io::Result<Json> {
+        self.send_line(&doc.render())?;
+        let line = self.recv_line()?;
+        Json::parse(&line).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed response: {e}"),
+            )
+        })
+    }
+
+    /// The underlying stream, for tests that need to abuse it
+    /// (shutdown mid-line, set timeouts).
+    pub fn stream(&self) -> &TcpStream {
+        &self.writer
+    }
+}

@@ -1,0 +1,396 @@
+//! One-shot analysis operations shared by the CLI and the daemon.
+//!
+//! The serve differential guarantee — a served response payload is
+//! byte-identical to the corresponding one-shot CLI report — is not
+//! enforced by a test alone; it is enforced *by construction*: both
+//! the `ced` subcommands and the daemon's executors call the functions
+//! in this module, which take everything they need as parameters (the
+//! machine, the pipeline options, a [`Budget`], a [`ParExec`], an
+//! optional [`Store`]) and return the rendered payload as a value.
+//! Nothing here reads process globals, prints, or exits: a request
+//! scope is the only scope.
+//!
+//! Payload formats per operation:
+//!
+//! * [`OpKind::Check`] — the human text `ced check` prints on stdout;
+//! * [`OpKind::Table`] — the `ced-table-report/1` JSON that `ced table
+//!   --out` writes;
+//! * [`OpKind::Certify`] — the `ced-cert-report/1` JSON that `ced
+//!   certify --out` writes;
+//! * [`OpKind::Inject`] — the campaign text that `ced inject
+//!   --campaign --out` writes.
+
+use ced_core::pipeline::{
+    build_input_model, fault_list, prepare_machine_stored, run_circuit_controlled, PipelineControl,
+    PipelineError, PipelineOptions,
+};
+use ced_core::report_to_json;
+use ced_core::search::minimize_parity_functions;
+use ced_core::synthesize_ced;
+use ced_fsm::machine::Fsm;
+use ced_logic::gate::CellLibrary;
+use ced_par::ParExec;
+use ced_runtime::{Budget, Interrupted};
+use ced_sim::detect::{BuildControl, DetectOptions, DetectabilityTable, InputModel, Semantics};
+use ced_store::Store;
+use std::fmt::Write as _;
+
+/// Which analysis a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Algorithm 1 at one latency bound; payload is the `ced check`
+    /// stdout text.
+    Check,
+    /// A Table-1 row across several bounds; payload is the JSON report.
+    Table,
+    /// Pipeline plus the independent verifier chain; payload is the
+    /// certification JSON.
+    Certify,
+    /// The cross-validating fault-injection campaign; payload is the
+    /// campaign report text.
+    Inject,
+}
+
+impl OpKind {
+    /// The wire name (also the CLI subcommand name).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Check => "check",
+            OpKind::Table => "table",
+            OpKind::Certify => "certify",
+            OpKind::Inject => "inject",
+        }
+    }
+}
+
+/// A fully-bound analysis request: the machine text plus every option
+/// that affects the payload. Defaults mirror the CLI's defaults, so an
+/// empty option set requests exactly what a bare CLI invocation runs.
+#[derive(Debug, Clone)]
+pub struct OpRequest {
+    /// Which analysis to run.
+    pub kind: OpKind,
+    /// The machine, as KISS2 text (parsed per request; no filesystem).
+    pub kiss2: String,
+    /// Latency bound for `check`/`inject` (CLI `--latency`).
+    pub latency: usize,
+    /// Latency bounds for `table`/`certify` (CLI `--latencies`).
+    pub latencies: Vec<usize>,
+    /// Pipeline configuration (encoding, semantics, fault model, …).
+    pub options: PipelineOptions,
+    /// Rounding seed (CLI `--seed`); also folded into the inject
+    /// campaign seed exactly as the CLI does.
+    pub seed: u64,
+    /// Cycles per injected fault (CLI `--steps`).
+    pub steps: usize,
+    /// Run the checker-netlist self-audit inside an inject campaign.
+    pub checker_faults: bool,
+}
+
+impl OpRequest {
+    /// A request with CLI-default options for `kind` over `kiss2`.
+    pub fn new(kind: OpKind, kiss2: &str) -> OpRequest {
+        OpRequest {
+            kind,
+            kiss2: kiss2.to_string(),
+            latency: 1,
+            latencies: vec![1, 2, 3],
+            options: PipelineOptions::paper_defaults(),
+            seed: 0,
+            steps: 2000,
+            checker_faults: true,
+        }
+    }
+}
+
+/// Why an operation produced no payload.
+#[derive(Debug)]
+pub enum OpError {
+    /// The request itself is unusable (unparsable machine, bad bound).
+    BadRequest(String),
+    /// The request's budget ran out or its cancel token fired.
+    Interrupted(Interrupted),
+    /// The analysis failed for a reason that is not the client's fault.
+    Failed(String),
+}
+
+impl std::fmt::Display for OpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            OpError::Interrupted(i) => write!(f, "{i}"),
+            OpError::Failed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<PipelineError> for OpError {
+    fn from(e: PipelineError) -> OpError {
+        match e {
+            PipelineError::Interrupted(i) => OpError::Interrupted(i.interrupted),
+            other => OpError::Failed(other.to_string()),
+        }
+    }
+}
+
+/// Executes one request against shared infrastructure and returns the
+/// rendered payload.
+///
+/// # Errors
+///
+/// [`OpError::BadRequest`] for client mistakes, [`OpError::Interrupted`]
+/// when `budget` trips (including a fired cancel token — the daemon
+/// wires client disconnects into it), [`OpError::Failed`] otherwise.
+pub fn execute(
+    request: &OpRequest,
+    budget: &Budget,
+    pool: &ParExec,
+    store: Option<&Store>,
+) -> Result<String, OpError> {
+    let fsm = ced_fsm::kiss::parse(&request.kiss2)
+        .map_err(|e| OpError::BadRequest(format!("machine: {e}")))?;
+    if request.latency == 0 {
+        return Err(OpError::BadRequest(
+            "latency bound must be at least 1".into(),
+        ));
+    }
+    if request.latencies.is_empty() || request.latencies.contains(&0) {
+        return Err(OpError::BadRequest("latencies need positive bounds".into()));
+    }
+    match request.kind {
+        OpKind::Check => check_text(&fsm, request, budget, pool, store),
+        OpKind::Table => table_json(&fsm, request, budget, pool, store),
+        OpKind::Certify => certify_json(&fsm, request, budget, pool, store),
+        OpKind::Inject => inject_text(&fsm, request, budget, pool, store),
+    }
+}
+
+/// `ced check` as a value: Algorithm 1 at one bound, rendered exactly
+/// as the CLI prints it (the CLI calls this and prints the result).
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn check_text(
+    fsm: &Fsm,
+    request: &OpRequest,
+    budget: &Budget,
+    pool: &ParExec,
+    store: Option<&Store>,
+) -> Result<String, OpError> {
+    let lib = CellLibrary::new();
+    let options = &request.options;
+    let (encoded, circuit) =
+        prepare_machine_stored(fsm, options, store).map_err(|e| OpError::Failed(e.to_string()))?;
+    let input_model =
+        build_input_model(encoded.fsm(), encoded.encoding(), options.input_granularity);
+    let faults = fault_list(&circuit, options);
+    let (table, dstats) = DetectabilityTable::build_many_controlled(
+        &circuit,
+        &faults,
+        &DetectOptions {
+            latency: request.latency,
+            semantics: options.semantics,
+            input_model,
+            fault_model: options.fault_model,
+            ..DetectOptions::default()
+        },
+        &[request.latency],
+        BuildControl {
+            store,
+            pool: Some(pool),
+            ..BuildControl::new(budget)
+        },
+    )
+    .map_err(op_error_from_detect)?
+    .pop()
+    .expect("one latency requested");
+
+    let mut out = String::new();
+    let _ =
+        writeln!(
+        out,
+        "fault model ({}): {} faults ({} untestable), {} activations, {} minimal erroneous cases",
+        options.fault_model, dstats.faults, dstats.untestable_faults, dstats.activations,
+        table.len()
+    );
+    let outcome = minimize_parity_functions(&table, &options.ced);
+    let _ = writeln!(
+        out,
+        "Algorithm 1 (p = {}): q = {} parity trees ({} LP solves, {} rounding attempts)",
+        request.latency, outcome.q, outcome.lp_solves, outcome.rounding_attempts
+    );
+    if !outcome.degradation.is_empty() {
+        let _ = writeln!(out, "solved by {} after degradation:", outcome.method);
+        for event in &outcome.degradation {
+            let _ = writeln!(out, "  {event}");
+        }
+    }
+    for (i, &mask) in outcome.cover.masks.iter().enumerate() {
+        let taps: Vec<String> = (0..circuit.total_bits())
+            .filter(|j| (mask >> j) & 1 == 1)
+            .map(|j| format!("b{}", j + 1))
+            .collect();
+        let _ = writeln!(out, "  tree {}: {}", i + 1, taps.join(" ⊕ "));
+    }
+    let ced = synthesize_ced(&circuit, &outcome.cover, request.latency, &options.minimize);
+    let cost = ced.cost(&lib);
+    let _ = writeln!(
+        out,
+        "checker: {} gates, {} hold FFs, area {:.1}",
+        cost.gates, cost.flip_flops, cost.area
+    );
+    Ok(out)
+}
+
+/// `ced table --out` as a value: the pipeline across the requested
+/// bounds, rendered as the `ced-table-report/1` JSON document.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn table_json(
+    fsm: &Fsm,
+    request: &OpRequest,
+    budget: &Budget,
+    pool: &ParExec,
+    store: Option<&Store>,
+) -> Result<String, OpError> {
+    let lib = CellLibrary::new();
+    let report = run_circuit_controlled(
+        fsm,
+        &request.latencies,
+        &request.options,
+        &lib,
+        PipelineControl {
+            pool: Some(pool),
+            store,
+            ..PipelineControl::new(budget)
+        },
+    )?;
+    Ok(report_to_json(&report).render())
+}
+
+/// `ced certify --out` as a value: the pipeline plus the independent
+/// verifier chain, rendered as the `ced-cert-report/1` JSON document.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn certify_json(
+    fsm: &Fsm,
+    request: &OpRequest,
+    budget: &Budget,
+    pool: &ParExec,
+    store: Option<&Store>,
+) -> Result<String, OpError> {
+    let lib = CellLibrary::new();
+    let report = run_circuit_controlled(
+        fsm,
+        &request.latencies,
+        &request.options,
+        &lib,
+        PipelineControl {
+            pool: Some(pool),
+            store,
+            ..PipelineControl::new(budget)
+        },
+    )?;
+    let cert = ced_cert::certify_report_stored(
+        fsm,
+        &report,
+        &request.options,
+        &ced_cert::CertifyOptions {
+            seed: request.seed,
+            ..ced_cert::CertifyOptions::default()
+        },
+        budget,
+        pool,
+        store,
+    )
+    .map_err(|e| match e {
+        ced_cert::CertError::Interrupted(i) => OpError::Interrupted(i),
+        other => OpError::Failed(other.to_string()),
+    })?;
+    Ok(ced_cert::report::cert_report_json(&[cert]).render())
+}
+
+/// `ced inject --campaign --out` as a value: cover synthesis under
+/// hardware semantics, the full cross-validating campaign, rendered as
+/// the campaign report text.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn inject_text(
+    fsm: &Fsm,
+    request: &OpRequest,
+    budget: &Budget,
+    pool: &ParExec,
+    store: Option<&Store>,
+) -> Result<String, OpError> {
+    use ced_inject::{run_campaign_stored, CampaignError, CampaignOptions};
+
+    let options = &request.options;
+    let (_, circuit) =
+        prepare_machine_stored(fsm, options, store).map_err(|e| OpError::Failed(e.to_string()))?;
+    let faults = fault_list(&circuit, options);
+    // The campaign's oracle is exact only under hardware semantics
+    // with exhaustive inputs; the cover must be verified under the
+    // same conditions or escapes would be expected, not disagreements.
+    let (table, _) = DetectabilityTable::build_many_controlled(
+        &circuit,
+        &faults,
+        &DetectOptions {
+            latency: request.latency,
+            semantics: Semantics::FaultyTrajectory,
+            input_model: InputModel::Exhaustive,
+            fault_model: options.fault_model,
+            ..DetectOptions::default()
+        },
+        &[request.latency],
+        BuildControl {
+            store,
+            pool: Some(pool),
+            ..BuildControl::new(budget)
+        },
+    )
+    .map_err(op_error_from_detect)?
+    .pop()
+    .expect("one latency requested");
+    let outcome = minimize_parity_functions(&table, &options.ced);
+    let ced = synthesize_ced(&circuit, &outcome.cover, request.latency, &options.minimize);
+    let report = run_campaign_stored(
+        &circuit,
+        &ced,
+        &faults,
+        &CampaignOptions {
+            steps: request.steps,
+            seed: request.seed ^ 0xCA3E,
+            checker_faults: request.checker_faults,
+            fault_model: options.fault_model,
+            ..CampaignOptions::default()
+        },
+        budget,
+        pool,
+        store,
+    )
+    .map_err(|e| match e {
+        CampaignError::Detect(d) => OpError::Failed(d.to_string()),
+        CampaignError::Interrupted { interrupted, .. } => OpError::Interrupted(interrupted),
+    })?;
+    Ok(report.render())
+}
+
+/// Maps the tensor builder's error: budget interrupts stay typed, the
+/// rest become analysis failures.
+fn op_error_from_detect(e: ced_sim::detect::DetectError) -> OpError {
+    match e {
+        ced_sim::detect::DetectError::Interrupted { interrupted, .. } => {
+            OpError::Interrupted(interrupted)
+        }
+        other => OpError::Failed(other.to_string()),
+    }
+}

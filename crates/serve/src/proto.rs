@@ -1,0 +1,504 @@
+//! The `ced-serve/1` wire protocol: line-delimited JSON over TCP.
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Requests carry a client-chosen `id` string
+//! that the matching response echoes, so a client may pipeline many
+//! requests on one connection and match responses arriving in
+//! completion order.
+//!
+//! The reader side is written for hostile input: request lines are
+//! **bounded-read** (a line longer than the cap is answered with a
+//! typed `line_too_long` error, never buffered unboundedly), a partial
+//! line that stops making progress is answered with `read_timeout`
+//! (never parks a reader thread forever), and any parse or shape
+//! failure is a typed `bad_request` carrying the parser's diagnostic.
+//! A malformed *line* is recoverable (the connection continues); a
+//! line that cannot even be framed (oversized, trickle-abandoned)
+//! closes the connection, because resynchronization cannot be trusted.
+
+use crate::ops::{OpKind, OpRequest};
+use ced_core::pipeline::InputGranularity;
+use ced_fsm::encoding::EncodingStrategy;
+use ced_runtime::{InterruptKind, Json};
+use ced_sim::detect::Semantics;
+use ced_sim::fault::FaultModel;
+use std::io::Read;
+use std::time::{Duration, Instant};
+
+/// Wire value of a queued detached job's `state`.
+pub const JOB_STATE_QUEUED: &str = "queued";
+/// Wire value of a running detached job's `state`.
+pub const JOB_STATE_RUNNING: &str = "running";
+/// Wire value of a finished detached job's `state`.
+pub const JOB_STATE_DONE: &str = "done";
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run an analysis synchronously; the response carries the payload.
+    Op {
+        /// Echoed response id.
+        id: String,
+        /// The bound analysis request.
+        op: Box<OpRequest>,
+        /// Per-request wall-clock deadline (milliseconds).
+        deadline_ms: Option<u64>,
+        /// Per-request work-tick cap.
+        ticks: Option<u64>,
+    },
+    /// Enqueue an analysis as a detached job; the response carries a
+    /// handle for `poll`/`fetch`. The job survives this connection.
+    Submit {
+        /// Echoed response id.
+        id: String,
+        /// The bound analysis request.
+        op: Box<OpRequest>,
+        /// Per-request wall-clock deadline (milliseconds).
+        deadline_ms: Option<u64>,
+        /// Per-request work-tick cap.
+        ticks: Option<u64>,
+    },
+    /// Ask a detached job's state.
+    Poll {
+        /// Echoed response id.
+        id: String,
+        /// The handle `submit` returned.
+        handle: String,
+    },
+    /// Retrieve (and consume) a finished detached job's response.
+    Fetch {
+        /// Echoed response id.
+        id: String,
+        /// The handle `submit` returned.
+        handle: String,
+    },
+    /// Cancel a queued or running detached job.
+    Cancel {
+        /// Echoed response id.
+        id: String,
+        /// The handle `submit` returned.
+        handle: String,
+    },
+    /// Daemon health: queue depths, counters, store stats, fleet view.
+    Health {
+        /// Echoed response id.
+        id: String,
+    },
+    /// Stop the daemon cleanly.
+    Shutdown {
+        /// Echoed response id.
+        id: String,
+    },
+    /// Deliberately panic inside the executor (only honored when the
+    /// server was started with `debug_ops`; used by the isolation
+    /// tests and the CI smoke leg).
+    DebugPanic {
+        /// Echoed response id.
+        id: String,
+    },
+}
+
+impl Request {
+    /// The echoed id of any request variant.
+    pub fn id(&self) -> &str {
+        match self {
+            Request::Op { id, .. }
+            | Request::Submit { id, .. }
+            | Request::Poll { id, .. }
+            | Request::Fetch { id, .. }
+            | Request::Cancel { id, .. }
+            | Request::Health { id }
+            | Request::Shutdown { id }
+            | Request::DebugPanic { id } => id,
+        }
+    }
+}
+
+/// Typed error kinds a response can carry. The wire string is the
+/// snake_case tag clients dispatch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line or its fields are unusable.
+    BadRequest,
+    /// Admission control refused the request: the pending queue is
+    /// full. Retry later; nothing was started.
+    Overloaded,
+    /// The request's cancel token fired (client disconnect, `cancel`).
+    Cancelled,
+    /// The request's wall-clock deadline passed mid-analysis.
+    DeadlineExceeded,
+    /// A work-tick or byte cap tripped mid-analysis.
+    ResourceExhausted,
+    /// The analysis failed or panicked; the daemon itself is fine.
+    InternalError,
+    /// No such job handle.
+    NotFound,
+    /// The job exists but has not finished; poll again.
+    NotReady,
+    /// The request line exceeded the daemon's line cap.
+    LineTooLong,
+    /// A partial request line stopped making progress.
+    ReadTimeout,
+    /// The daemon is shutting down.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// The wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::ResourceExhausted => "resource_exhausted",
+            ErrorKind::InternalError => "internal_error",
+            ErrorKind::NotFound => "not_found",
+            ErrorKind::NotReady => "not_ready",
+            ErrorKind::LineTooLong => "line_too_long",
+            ErrorKind::ReadTimeout => "read_timeout",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Maps a budget interruption onto the wire kind.
+    pub fn from_interrupt(kind: InterruptKind) -> ErrorKind {
+        match kind {
+            InterruptKind::Cancelled => ErrorKind::Cancelled,
+            InterruptKind::DeadlineExceeded => ErrorKind::DeadlineExceeded,
+            InterruptKind::TickCapExceeded | InterruptKind::ByteCapExceeded => {
+                ErrorKind::ResourceExhausted
+            }
+        }
+    }
+}
+
+/// Renders a success response whose `payload` field holds the exact
+/// one-shot CLI report bytes (as a JSON string).
+pub fn ok_payload(id: &str, payload: &str) -> String {
+    Json::Object(vec![
+        ("id".into(), Json::str(id)),
+        ("status".into(), Json::str("ok")),
+        ("payload".into(), Json::str(payload)),
+    ])
+    .render()
+}
+
+/// Renders a success response carrying arbitrary extra fields (submit
+/// handles, poll states, health documents).
+pub fn ok_fields(id: &str, fields: Vec<(String, Json)>) -> String {
+    let mut all = vec![
+        ("id".to_string(), Json::str(id)),
+        ("status".to_string(), Json::str("ok")),
+    ];
+    all.extend(fields);
+    Json::Object(all).render()
+}
+
+/// Renders a typed error response.
+pub fn error(id: &str, kind: ErrorKind, message: &str) -> String {
+    Json::Object(vec![
+        ("id".into(), Json::str(id)),
+        ("status".into(), Json::str("error")),
+        (
+            "error".into(),
+            Json::Object(vec![
+                ("kind".into(), Json::str(kind.tag())),
+                ("message".into(), Json::str(message)),
+            ]),
+        ),
+    ])
+    .render()
+}
+
+/// How one bounded read of a request line ended.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// One complete line (without the `\n`).
+    Line(String),
+    /// Clean end of stream with no pending partial line.
+    Eof,
+    /// End of stream (or a connection error) with a partial line
+    /// pending — a mid-line disconnect.
+    TruncatedEof,
+    /// The line exceeded `max_line_bytes`.
+    TooLong,
+    /// A partial line stopped making progress for `line_timeout`.
+    Timeout,
+    /// The server's shutdown token fired while waiting.
+    Shutdown,
+}
+
+/// A bounded, timeout-aware line reader over a blocking stream whose
+/// read timeout is set to a short poll interval.
+///
+/// Guarantees the robustness tests pin down: at most `max_line_bytes`
+/// of one line are ever buffered; a line that stops making progress
+/// for `line_timeout` is abandoned; `is_shutdown` is consulted between
+/// polls so a daemon shutdown never waits on a silent client.
+pub struct LineReader<R> {
+    stream: R,
+    buf: Vec<u8>,
+    pending: Vec<u8>,
+    max_line_bytes: usize,
+    line_timeout: Duration,
+}
+
+impl<R: Read> LineReader<R> {
+    /// A reader enforcing `max_line_bytes` per line and `line_timeout`
+    /// of progress-free waiting on a partial line.
+    pub fn new(stream: R, max_line_bytes: usize, line_timeout: Duration) -> LineReader<R> {
+        LineReader {
+            stream,
+            buf: vec![0; 8 * 1024],
+            pending: Vec::new(),
+            max_line_bytes,
+            line_timeout,
+        }
+    }
+
+    /// Reads the next line, honoring the caps. `is_shutdown` is polled
+    /// between read attempts (pair it with a short socket read
+    /// timeout).
+    pub fn next_line(&mut self, is_shutdown: impl Fn() -> bool) -> ReadOutcome {
+        let mut stalled_since: Option<Instant> = None;
+        loop {
+            // A complete line may already be buffered from a previous
+            // read that straddled two requests.
+            if let Some(pos) = self.pending.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.pending.drain(..=pos).collect();
+                let line = &line[..line.len() - 1];
+                let line = line.strip_suffix(b"\r").unwrap_or(line);
+                return match String::from_utf8(line.to_vec()) {
+                    Ok(s) => ReadOutcome::Line(s),
+                    // Treat undecodable bytes as a (malformed) line:
+                    // the caller answers bad_request and resyncs at
+                    // the newline we just consumed.
+                    Err(_) => ReadOutcome::Line(String::from_utf8_lossy(line).into_owned()),
+                };
+            }
+            if self.pending.len() > self.max_line_bytes {
+                return ReadOutcome::TooLong;
+            }
+            if is_shutdown() {
+                return ReadOutcome::Shutdown;
+            }
+            if let Some(since) = stalled_since {
+                if !self.pending.is_empty() && since.elapsed() >= self.line_timeout {
+                    return ReadOutcome::Timeout;
+                }
+            }
+            match self.stream.read(&mut self.buf) {
+                Ok(0) => {
+                    return if self.pending.is_empty() {
+                        ReadOutcome::Eof
+                    } else {
+                        ReadOutcome::TruncatedEof
+                    };
+                }
+                Ok(n) => {
+                    self.pending.extend_from_slice(&self.buf[..n]);
+                    stalled_since = None;
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Socket read timeout: no progress this poll. Start
+                    // (or continue) the stall clock only while a
+                    // partial line is pending — an idle connection
+                    // between requests may stay idle forever.
+                    if stalled_since.is_none() {
+                        stalled_since = Some(Instant::now());
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    return if self.pending.is_empty() {
+                        ReadOutcome::Eof
+                    } else {
+                        ReadOutcome::TruncatedEof
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// `(id, message)` — the id is whatever could be salvaged from the
+/// line (empty when the line did not even parse), so the error
+/// response still correlates when possible.
+pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
+    let doc = Json::parse(line).map_err(|e| (String::new(), format!("malformed JSON: {e}")))?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let fail = |msg: &str| Err((id.clone(), msg.to_string()));
+    if doc.as_object().is_none() {
+        return fail("request must be a JSON object");
+    }
+    let Some(cmd) = doc.get("cmd").and_then(Json::as_str) else {
+        return fail("missing `cmd` string field");
+    };
+    match cmd {
+        "check" | "table" | "certify" | "inject" => {
+            let (op, deadline_ms, ticks) = parse_op(cmd, &doc).map_err(|m| (id.clone(), m))?;
+            Ok(Request::Op {
+                id,
+                op: Box::new(op),
+                deadline_ms,
+                ticks,
+            })
+        }
+        "submit" => {
+            let Some(job) = doc.get("job") else {
+                return fail("submit needs a `job` object");
+            };
+            let Some(inner) = job.get("cmd").and_then(Json::as_str) else {
+                return fail("submit job needs a `cmd` string field");
+            };
+            if !matches!(inner, "check" | "table" | "certify" | "inject") {
+                return fail("submit job `cmd` must be check, table, certify or inject");
+            }
+            let (op, deadline_ms, ticks) = parse_op(inner, job).map_err(|m| (id.clone(), m))?;
+            Ok(Request::Submit {
+                id,
+                op: Box::new(op),
+                deadline_ms,
+                ticks,
+            })
+        }
+        "poll" | "fetch" | "cancel" => {
+            let Some(handle) = doc.get("handle").and_then(Json::as_str) else {
+                return fail("missing `handle` string field");
+            };
+            let handle = handle.to_string();
+            Ok(match cmd {
+                "poll" => Request::Poll { id, handle },
+                "fetch" => Request::Fetch { id, handle },
+                _ => Request::Cancel { id, handle },
+            })
+        }
+        "health" => Ok(Request::Health { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "debug-panic" => Ok(Request::DebugPanic { id }),
+        other => fail(&format!("unknown cmd `{other}`")),
+    }
+}
+
+/// Parses the analysis fields shared by direct and submitted ops. The
+/// accepted fields and their defaults mirror the CLI flags one-to-one,
+/// which is what makes the serve ≡ CLI differential meaningful.
+fn parse_op(cmd: &str, doc: &Json) -> Result<(OpRequest, Option<u64>, Option<u64>), String> {
+    let kind = match cmd {
+        "check" => OpKind::Check,
+        "table" => OpKind::Table,
+        "certify" => OpKind::Certify,
+        "inject" => OpKind::Inject,
+        other => return Err(format!("unknown analysis `{other}`")),
+    };
+    let Some(kiss2) = doc.get("machine").and_then(Json::as_str) else {
+        return Err("missing `machine` (KISS2 text) string field".to_string());
+    };
+    let mut op = OpRequest::new(kind, kiss2);
+
+    let known = [
+        "cmd",
+        "id",
+        "machine",
+        "latency",
+        "latencies",
+        "encoding",
+        "semantics",
+        "exhaustive_inputs",
+        "fault_model",
+        "seed",
+        "steps",
+        "checker_faults",
+        "deadline_ms",
+        "ticks",
+        "job",
+    ];
+    for (key, _) in doc.as_object().into_iter().flatten() {
+        if !known.contains(&key.as_str()) {
+            return Err(format!("unknown field `{key}`"));
+        }
+    }
+
+    if let Some(v) = doc.get("latency") {
+        op.latency = v.as_usize().ok_or("`latency` needs a positive integer")?;
+        if op.latency == 0 {
+            return Err("`latency` must be at least 1".to_string());
+        }
+    }
+    if let Some(v) = doc.get("latencies") {
+        let items = v.as_array().ok_or("`latencies` needs an array")?;
+        op.latencies = items
+            .iter()
+            .map(|i| i.as_usize().filter(|&p| p > 0))
+            .collect::<Option<Vec<usize>>>()
+            .ok_or("`latencies` needs positive integers")?;
+        if op.latencies.is_empty() {
+            return Err("`latencies` must not be empty".to_string());
+        }
+    }
+    if let Some(v) = doc.get("encoding") {
+        op.options.encoding = match v.as_str() {
+            Some("natural") => EncodingStrategy::Natural,
+            Some("gray") => EncodingStrategy::Gray,
+            Some("onehot") => EncodingStrategy::OneHot,
+            Some("adjacency") => EncodingStrategy::Adjacency,
+            _ => return Err("`encoding` must be natural|gray|onehot|adjacency".to_string()),
+        };
+    }
+    if let Some(v) = doc.get("semantics") {
+        op.options.semantics = match v.as_str() {
+            Some("lockstep" | "paper") => Semantics::Lockstep,
+            Some("hardware" | "faulty-trajectory") => Semantics::FaultyTrajectory,
+            _ => return Err("`semantics` must be lockstep|hardware".to_string()),
+        };
+    }
+    if let Some(v) = doc.get("exhaustive_inputs") {
+        if v.as_bool().ok_or("`exhaustive_inputs` needs a boolean")? {
+            op.options.input_granularity = InputGranularity::Exhaustive;
+        }
+    }
+    if let Some(v) = doc.get("fault_model") {
+        let text = v.as_str().ok_or("`fault_model` needs a string")?;
+        op.options.fault_model =
+            FaultModel::parse(text).map_err(|e| format!("`fault_model`: {e}"))?;
+    }
+    if let Some(v) = doc.get("seed") {
+        op.seed = v.as_u64().ok_or("`seed` needs a non-negative integer")?;
+        op.options.ced.seed = op.seed;
+    }
+    if let Some(v) = doc.get("steps") {
+        op.steps = v.as_usize().ok_or("`steps` needs a positive integer")?;
+        if op.steps == 0 {
+            return Err("`steps` must be at least 1".to_string());
+        }
+    }
+    if let Some(v) = doc.get("checker_faults") {
+        op.checker_faults = v.as_bool().ok_or("`checker_faults` needs a boolean")?;
+    }
+    let deadline_ms = match doc.get("deadline_ms") {
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or("`deadline_ms` needs a non-negative integer")?,
+        ),
+        None => None,
+    };
+    let ticks = match doc.get("ticks") {
+        Some(v) => Some(v.as_u64().ok_or("`ticks` needs a non-negative integer")?),
+        None => None,
+    };
+    Ok((op, deadline_ms, ticks))
+}

@@ -1,0 +1,523 @@
+//! Protocol-robustness suite for the `ced serve` daemon.
+//!
+//! Every test drives a real daemon over real loopback TCP and checks
+//! the contracts the daemon exists to keep: hostile or broken input
+//! produces *typed* errors (never a panic, never a wedged thread,
+//! never an unbounded buffer), overload is shed at admission instead
+//! of queueing without bound, a client disconnect observably cancels
+//! its in-flight work, and a panicking analysis is isolated to an
+//! `internal_error` response while the daemon keeps serving.
+
+use ced_runtime::Json;
+use ced_serve::{Client, ServeOptions, Server};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// The two-state toggle machine: every fast request uses this.
+const TINY: &str = "\
+.i 1
+.o 1
+.p 4
+.s 2
+.r s0
+0 s0 s0 0
+1 s0 s1 1
+0 s1 s0 1
+1 s1 s1 0
+.e
+";
+
+/// A `n`-state counter whose exhaustive-input tensor takes seconds to
+/// build (debug profile) while checking its budget constantly — the
+/// canonical "slow but promptly cancellable" request.
+fn counter_kiss2(n: usize) -> String {
+    let mut out = format!(".i 1\n.o 1\n.p {}\n.s {n}\n.r s0\n", 2 * n);
+    for i in 0..n {
+        out.push_str(&format!("0 s{i} s{i} {}\n", i % 2));
+        out.push_str(&format!("1 s{i} s{} {}\n", (i + 1) % n, (i >> 1) % 2));
+    }
+    out.push_str(".e\n");
+    out
+}
+
+fn options() -> ServeOptions {
+    ServeOptions {
+        debug_ops: true,
+        ..ServeOptions::default()
+    }
+}
+
+fn start(opts: ServeOptions) -> Server {
+    Server::start(opts).expect("daemon starts")
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(server.addr()).expect("loopback connect")
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn check_req(id: &str, machine: &str) -> Json {
+    obj(vec![
+        ("id", Json::str(id)),
+        ("cmd", Json::str("check")),
+        ("machine", Json::str(machine)),
+    ])
+}
+
+/// The slow request: exhaustive table over four bounds on the counter.
+fn slow_table_req(id: &str) -> Json {
+    obj(vec![
+        ("id", Json::str(id)),
+        ("cmd", Json::str("table")),
+        ("machine", Json::str(&counter_kiss2(120))),
+        (
+            "latencies",
+            Json::Array(vec![
+                Json::UInt(1),
+                Json::UInt(2),
+                Json::UInt(3),
+                Json::UInt(4),
+            ]),
+        ),
+        ("exhaustive_inputs", Json::Bool(true)),
+    ])
+}
+
+fn status_of(resp: &Json) -> &str {
+    resp.get("status")
+        .and_then(Json::as_str)
+        .expect("status field")
+}
+
+fn error_kind(resp: &Json) -> &str {
+    resp.get("error")
+        .and_then(|e| e.get("kind"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("typed error expected, got {}", resp.render()))
+}
+
+fn health(client: &mut Client) -> Json {
+    let resp = client
+        .request(&obj(vec![
+            ("id", Json::str("h")),
+            ("cmd", Json::str("health")),
+        ]))
+        .expect("health round trip");
+    assert_eq!(status_of(&resp), "ok");
+    resp.get("health").expect("health document").clone()
+}
+
+fn counter(health: &Json, name: &str) -> u64 {
+    health
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("counter {name} in {}", health.render()))
+}
+
+/// Polls the daemon's health until `pred` holds or the deadline passes.
+fn wait_for(client: &mut Client, what: &str, pred: impl Fn(&Json) -> bool) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let doc = health(client);
+        if pred(&doc) {
+            return doc;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last health: {}",
+            doc.render()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn shutdown(server: Server, client: &mut Client) {
+    let resp = client
+        .request(&obj(vec![
+            ("id", Json::str("bye")),
+            ("cmd", Json::str("shutdown")),
+        ]))
+        .expect("shutdown round trip");
+    assert_eq!(status_of(&resp), "ok");
+    server.wait();
+}
+
+#[test]
+fn garbage_and_malformed_lines_get_typed_errors_and_the_connection_survives() {
+    let server = start(options());
+    let mut client = connect(&server);
+    let bad_lines = [
+        "this is not json",
+        "[1,2,3]",
+        "{\"id\":\"a\"",
+        "{\"id\":\"a\",\"cmd\":\"frobnicate\"}",
+        "{\"id\":\"a\",\"cmd\":\"check\"}",
+        "{\"id\":\"a\",\"cmd\":\"check\",\"machine\":\"not kiss2 at all\",\"latency\":\"one\"}",
+        "{\"id\":\"a\",\"cmd\":\"check\",\"machine\":\"x\",\"surprise\":1}",
+        "{\"id\":\"a\",\"cmd\":\"poll\"}",
+        "42",
+        "\"just a string\"",
+    ];
+    for line in bad_lines {
+        client.send_line(line).expect("send survives");
+        let resp = Json::parse(&client.recv_line().expect("typed response")).expect("valid JSON");
+        assert_eq!(status_of(&resp), "error", "for line {line}");
+        assert_eq!(error_kind(&resp), "bad_request", "for line {line}");
+    }
+    // The connection is still usable for real work afterwards.
+    let resp = client
+        .request(&check_req("ok1", TINY))
+        .expect("check after garbage");
+    assert_eq!(status_of(&resp), "ok");
+    assert!(resp
+        .get("payload")
+        .and_then(Json::as_str)
+        .expect("payload")
+        .contains("Algorithm 1"));
+    shutdown(server, &mut client);
+}
+
+#[test]
+fn a_machine_that_fails_to_parse_is_bad_request_not_internal_error() {
+    let server = start(options());
+    let mut client = connect(&server);
+    let resp = client
+        .request(&check_req("bad", "definitely not a kiss2 machine"))
+        .expect("round trip");
+    assert_eq!(status_of(&resp), "error");
+    assert_eq!(error_kind(&resp), "bad_request");
+    shutdown(server, &mut client);
+}
+
+#[test]
+fn oversized_request_line_is_rejected_typed_then_the_connection_closes() {
+    let server = start(ServeOptions {
+        max_line_bytes: 1024,
+        ..options()
+    });
+    let mut abuser = connect(&server);
+    let huge = format!(
+        "{{\"id\":\"big\",\"cmd\":\"check\",\"machine\":\"{}\"}}",
+        "x".repeat(64 * 1024)
+    );
+    abuser.send_line(&huge).expect("send oversized line");
+    let resp = Json::parse(&abuser.recv_line().expect("typed response")).expect("valid JSON");
+    assert_eq!(error_kind(&resp), "line_too_long");
+    // The daemon cannot resynchronize inside an abandoned line, so the
+    // connection is closed...
+    assert!(abuser.recv_line().is_err(), "connection should be closed");
+    // ...but the daemon itself keeps serving new clients.
+    let mut client = connect(&server);
+    let resp = client
+        .request(&check_req("after", TINY))
+        .expect("fresh client works");
+    assert_eq!(status_of(&resp), "ok");
+    shutdown(server, &mut client);
+}
+
+#[test]
+fn slow_trickle_partial_line_gets_read_timeout() {
+    let server = start(ServeOptions {
+        line_timeout: Duration::from_millis(300),
+        ..options()
+    });
+    let mut trickler = connect(&server);
+    let mut raw = trickler.stream();
+    raw.write_all(b"{\"id\":\"tri").expect("partial write");
+    raw.flush().expect("flush");
+    // Never send the rest. The daemon must answer with a typed
+    // read_timeout instead of parking a reader thread forever.
+    let resp = Json::parse(&trickler.recv_line().expect("typed response")).expect("valid JSON");
+    assert_eq!(error_kind(&resp), "read_timeout");
+    let mut client = connect(&server);
+    assert_eq!(
+        status_of(&client.request(&check_req("after", TINY)).unwrap()),
+        "ok"
+    );
+    shutdown(server, &mut client);
+}
+
+#[test]
+fn mid_line_disconnect_leaves_the_daemon_serving() {
+    let server = start(options());
+    {
+        let vanisher = connect(&server);
+        let mut raw = vanisher.stream();
+        raw.write_all(b"{\"id\":\"gone\",\"cmd\":\"chec")
+            .expect("partial write");
+        raw.flush().expect("flush");
+    } // dropped mid-line
+    let mut client = connect(&server);
+    let resp = client
+        .request(&check_req("after", TINY))
+        .expect("daemon survives");
+    assert_eq!(status_of(&resp), "ok");
+    shutdown(server, &mut client);
+}
+
+#[test]
+fn overload_is_shed_with_typed_errors_while_admitted_work_completes() {
+    let server = start(ServeOptions {
+        workers: 1,
+        max_pending: 1,
+        ..options()
+    });
+    // Occupy the single executor with a slow request.
+    let mut slow = connect(&server);
+    slow.send_line(&slow_table_req("slow").render())
+        .expect("send slow");
+    let mut probe = connect(&server);
+    wait_for(&mut probe, "slow request to start running", |h| {
+        counter(h, "admitted") == 1 && h.get("queue_depth").and_then(Json::as_u64) == Some(0)
+    });
+    // Fill the single pending slot, then flood: everything beyond the
+    // slot must be shed immediately with a typed `overloaded` error.
+    probe
+        .send_line(&slow_table_req("fill").render())
+        .expect("send filler");
+    let mut flood = connect(&server);
+    for i in 0..4 {
+        flood
+            .send_line(&check_req(&format!("flood{i}"), TINY).render())
+            .expect("send flood");
+    }
+    for i in 0..4 {
+        let resp = Json::parse(&flood.recv_line().expect("shed response")).expect("valid JSON");
+        assert_eq!(status_of(&resp), "error", "flood request {i}");
+        assert_eq!(error_kind(&resp), "overloaded", "flood request {i}");
+    }
+    // Shedding is accounted, and the daemon is still fully responsive
+    // on its control plane while saturated.
+    let mut aux = connect(&server);
+    let doc = health(&mut aux);
+    assert!(counter(&doc, "shed") >= 4, "health: {}", doc.render());
+    // Dropping the saturating clients cancels their work; the daemon
+    // returns to idle and keeps serving.
+    drop(slow);
+    drop(probe);
+    wait_for(&mut aux, "saturating work to drain", |h| {
+        h.get("queue_depth").and_then(Json::as_u64) == Some(0)
+            && counter(h, "completed") + counter(h, "cancelled") >= 2
+    });
+    let resp = aux
+        .request(&check_req("after", TINY))
+        .expect("post-overload check");
+    assert_eq!(status_of(&resp), "ok");
+    shutdown(server, &mut aux);
+}
+
+#[test]
+fn client_disconnect_observably_cancels_its_in_flight_request() {
+    let server = start(ServeOptions {
+        workers: 1,
+        ..options()
+    });
+    let mut doomed = connect(&server);
+    doomed
+        .send_line(&slow_table_req("doomed").render())
+        .expect("send slow");
+    let mut probe = connect(&server);
+    wait_for(&mut probe, "slow request to start running", |h| {
+        counter(h, "admitted") == 1 && h.get("queue_depth").and_then(Json::as_u64) == Some(0)
+    });
+    let before = counter(&health(&mut probe), "cancelled");
+    drop(doomed); // the disconnect is the cancellation
+    let doc = wait_for(&mut probe, "disconnect-driven cancellation", |h| {
+        counter(h, "cancelled") > before
+    });
+    assert_eq!(counter(&doc, "panics"), 0);
+    // The executor freed by the cancellation serves new work.
+    let resp = probe
+        .request(&check_req("after", TINY))
+        .expect("post-cancel check");
+    assert_eq!(status_of(&resp), "ok");
+    shutdown(server, &mut probe);
+}
+
+#[test]
+fn panicking_analysis_is_isolated_to_a_typed_internal_error() {
+    let server = start(options());
+    let mut client = connect(&server);
+    let resp = client
+        .request(&obj(vec![
+            ("id", Json::str("boom")),
+            ("cmd", Json::str("debug-panic")),
+        ]))
+        .expect("round trip");
+    assert_eq!(status_of(&resp), "error");
+    assert_eq!(error_kind(&resp), "internal_error");
+    // Same daemon, same connection: still serving.
+    let resp = client
+        .request(&check_req("after", TINY))
+        .expect("post-panic check");
+    assert_eq!(status_of(&resp), "ok");
+    assert_eq!(counter(&health(&mut client), "panics"), 1);
+    shutdown(server, &mut client);
+}
+
+#[test]
+fn debug_panic_is_refused_unless_enabled() {
+    let server = start(ServeOptions {
+        debug_ops: false,
+        ..options()
+    });
+    let mut client = connect(&server);
+    let resp = client
+        .request(&obj(vec![
+            ("id", Json::str("boom")),
+            ("cmd", Json::str("debug-panic")),
+        ]))
+        .expect("round trip");
+    assert_eq!(error_kind(&resp), "bad_request");
+    shutdown(server, &mut client);
+}
+
+#[test]
+fn submitted_jobs_poll_fetch_and_cancel_as_typed_handles() {
+    let server = start(ServeOptions {
+        workers: 1,
+        ..options()
+    });
+    let mut client = connect(&server);
+    // Unknown handles are typed not_found.
+    for cmd in ["poll", "fetch", "cancel"] {
+        let resp = client
+            .request(&obj(vec![
+                ("id", Json::str("x")),
+                ("cmd", Json::str(cmd)),
+                ("handle", Json::str("job-9999")),
+            ]))
+            .expect("round trip");
+        assert_eq!(error_kind(&resp), "not_found", "cmd {cmd}");
+    }
+    // Submit a slow detached job; it survives beyond this request.
+    let doc = slow_table_req("ignored");
+    let resp = client
+        .request(&obj(vec![
+            ("id", Json::str("s1")),
+            ("cmd", Json::str("submit")),
+            ("job", doc),
+        ]))
+        .expect("submit");
+    assert_eq!(status_of(&resp), "ok");
+    let handle = resp
+        .get("handle")
+        .and_then(Json::as_str)
+        .expect("handle")
+        .to_string();
+    // Not finished yet: fetch is typed not_ready, poll reports a live
+    // state.
+    let resp = client
+        .request(&obj(vec![
+            ("id", Json::str("f1")),
+            ("cmd", Json::str("fetch")),
+            ("handle", Json::str(&handle)),
+        ]))
+        .expect("early fetch");
+    assert_eq!(error_kind(&resp), "not_ready");
+    let resp = client
+        .request(&obj(vec![
+            ("id", Json::str("p1")),
+            ("cmd", Json::str("poll")),
+            ("handle", Json::str(&handle)),
+        ]))
+        .expect("poll");
+    let state = resp.get("state").and_then(Json::as_str).expect("state");
+    assert!(state == "queued" || state == "running", "state {state}");
+    // Cancel it; the job converges to done-with-cancelled.
+    let resp = client
+        .request(&obj(vec![
+            ("id", Json::str("c1")),
+            ("cmd", Json::str("cancel")),
+            ("handle", Json::str(&handle)),
+        ]))
+        .expect("cancel");
+    assert_eq!(status_of(&resp), "ok");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = client
+            .request(&obj(vec![
+                ("id", Json::str("p2")),
+                ("cmd", Json::str("poll")),
+                ("handle", Json::str(&handle)),
+            ]))
+            .expect("poll loop");
+        if resp.get("state").and_then(Json::as_str) == Some("done") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "cancelled job never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let resp = client
+        .request(&obj(vec![
+            ("id", Json::str("f2")),
+            ("cmd", Json::str("fetch")),
+            ("handle", Json::str(&handle)),
+        ]))
+        .expect("final fetch");
+    assert_eq!(error_kind(&resp), "cancelled");
+    // Fetch consumes the handle.
+    let resp = client
+        .request(&obj(vec![
+            ("id", Json::str("f3")),
+            ("cmd", Json::str("fetch")),
+            ("handle", Json::str(&handle)),
+        ]))
+        .expect("fetch after consume");
+    assert_eq!(error_kind(&resp), "not_found");
+    shutdown(server, &mut client);
+}
+
+#[test]
+fn per_request_deadline_and_tick_caps_are_typed() {
+    let server = start(options());
+    let mut client = connect(&server);
+    let mut doc = slow_table_req("dl");
+    if let Json::Object(fields) = &mut doc {
+        fields.push(("deadline_ms".to_string(), Json::UInt(50)));
+    }
+    let resp = client.request(&doc).expect("deadline round trip");
+    assert_eq!(error_kind(&resp), "deadline_exceeded");
+    let mut doc = slow_table_req("tk");
+    if let Json::Object(fields) = &mut doc {
+        fields.push(("ticks".to_string(), Json::UInt(10)));
+    }
+    let resp = client.request(&doc).expect("ticks round trip");
+    assert_eq!(error_kind(&resp), "resource_exhausted");
+    // Neither exhausted request hurt the daemon.
+    let resp = client
+        .request(&check_req("after", TINY))
+        .expect("post-exhaustion check");
+    assert_eq!(status_of(&resp), "ok");
+    shutdown(server, &mut client);
+}
+
+#[test]
+fn shutdown_request_stops_the_daemon_cleanly() {
+    let server = start(options());
+    let addr = server.addr();
+    let mut client = connect(&server);
+    shutdown(server, &mut client);
+    // The listener is gone: new connections are refused (allow a
+    // moment for the OS to tear the socket down).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        if Client::connect(addr).is_err() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "listener still accepting after shutdown"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

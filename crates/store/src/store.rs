@@ -399,6 +399,65 @@ impl Store {
             .collect()
     }
 
+    /// The full stats document as deterministic JSON: one schema for
+    /// `ced store stats --json`, scripts, and the `ced serve` health
+    /// endpoint, instead of three scrapers over the human table.
+    /// Everything is sorted (entries by `(stage, fingerprint)`, stage
+    /// counters by stage), so the rendering is a pure function of the
+    /// store state.
+    pub fn stats_json(&self) -> ced_runtime::Json {
+        use ced_runtime::Json;
+        let counters_json = |counters: &[(String, StageCounters)]| {
+            Json::Object(
+                counters
+                    .iter()
+                    .map(|(stage, c)| {
+                        (
+                            stage.clone(),
+                            Json::Object(vec![
+                                ("hits".into(), Json::UInt(c.hits)),
+                                ("misses".into(), Json::UInt(c.misses)),
+                                ("corrupt".into(), Json::UInt(c.corrupt)),
+                                ("puts".into(), Json::UInt(c.puts)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let stats = self.stats();
+        Json::Object(vec![
+            ("schema".into(), Json::str("ced-store-stats/1")),
+            ("run".into(), Json::UInt(stats.run)),
+            ("entries".into(), Json::UInt(stats.entries as u64)),
+            ("bytes".into(), Json::UInt(stats.bytes)),
+            (
+                "artifacts".into(),
+                Json::Array(
+                    self.entries()
+                        .iter()
+                        .map(|e| {
+                            Json::Object(vec![
+                                ("stage".into(), Json::Str(e.stage.clone())),
+                                (
+                                    "fingerprint".into(),
+                                    Json::Str(format!("{:016x}", e.fingerprint)),
+                                ),
+                                ("bytes".into(), Json::UInt(e.len)),
+                                ("last_run".into(), Json::UInt(e.last_run)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("current_run".into(), counters_json(&stats.stages)),
+            (
+                "previous_run".into(),
+                counters_json(&self.previous_run_stats()),
+            ),
+        ])
+    }
+
     /// All entries, sorted by `(stage, fingerprint)`.
     pub fn entries(&self) -> Vec<StoreEntryInfo> {
         let inner = self.inner.lock().unwrap();
