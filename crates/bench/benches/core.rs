@@ -1,0 +1,173 @@
+//! Analytic-core harness: measures the search phase (LP + randomized
+//! rounding + verification — the part the bit-packed sparse engine
+//! accelerates) on the scaled paper machines and one large generated
+//! machine (the `ced gen` scaling workload), under both engines. Every
+//! dense `SearchOutcome` is asserted equal to its sparse twin before
+//! any number is reported — the harness doubles as a differential test
+//! at benchmark scale. Emits one `ced-core-bench/1` JSON line; the
+//! committed `BENCH_core.json` is the full run. The interesting number
+//! is `speedup` on the generated machine, where packed 64-wide cover
+//! checks and the case kernel dominate.
+//!
+//! Usage: `cargo bench --bench core [-- --quick]` (`--quick` shrinks
+//! the generated machine and the repeat count, not the matrix).
+
+use ced_bench::{git_rev, trajectory_row};
+use ced_core::pipeline::{synthesize_circuit, PipelineOptions};
+use ced_core::search::{minimize_parity_functions, CedOptions, SearchOutcome, SolverEngine};
+use ced_fsm::generator::{generate, scaled_workload};
+use ced_fsm::machine::Fsm;
+use ced_runtime::Json;
+use ced_sim::detect::{DetectOptions, DetectabilityTable};
+use ced_sim::fault::collapsed_faults;
+use std::time::Instant;
+
+const LATENCY: usize = 2;
+
+fn corpus(quick: bool) -> Vec<(String, Fsm)> {
+    let mut machines: Vec<(String, Fsm)> = ced_fsm::suite::paper_table1_scaled()
+        .into_iter()
+        .filter(|s| ["s27", "tav", "dk512"].contains(&s.name))
+        .map(|s| (s.name.to_string(), s.build()))
+        .collect();
+    let scale = if quick { 3 } else { 10 };
+    let gen = generate(&scaled_workload(scale, 3));
+    machines.push((format!("gen{scale}x"), gen));
+    machines
+}
+
+/// Best-of-`repeats` wall-clock of one engine's search, plus the
+/// outcome of the last run (identical across runs — the search is a
+/// pure function of table, options and seed).
+fn time_search(
+    table: &DetectabilityTable,
+    engine: SolverEngine,
+    repeats: usize,
+) -> (SearchOutcome, f64) {
+    let options = CedOptions {
+        engine,
+        ..CedOptions::default()
+    };
+    let mut best = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        let result = minimize_parity_functions(table, &options);
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        outcome = Some(result);
+    }
+    (outcome.expect("at least one repeat"), best)
+}
+
+struct Row {
+    machine: String,
+    n_states: usize,
+    faults: usize,
+    cases: usize,
+    tensor_ms: f64,
+    sparse_ms: f64,
+    dense_ms: f64,
+    q: usize,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let repeats = if quick { 1 } else { 3 };
+    let rev = git_rev();
+    let pipeline = PipelineOptions::paper_defaults();
+
+    let mut rows = Vec::new();
+    for (name, fsm) in corpus(quick) {
+        let n_states = fsm.num_states();
+        let circuit = synthesize_circuit(&fsm, &pipeline).expect("synthesis");
+        let faults = collapsed_faults(circuit.netlist());
+        let start = Instant::now();
+        let (table, _) = DetectabilityTable::build(
+            &circuit,
+            &faults,
+            &DetectOptions {
+                latency: LATENCY,
+                ..DetectOptions::default()
+            },
+        )
+        .expect("tensor fits");
+        let tensor_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let (sparse, sparse_ms) = time_search(&table, SolverEngine::Sparse, repeats);
+        let (dense, dense_ms) = time_search(&table, SolverEngine::Dense, repeats);
+        assert_eq!(
+            sparse, dense,
+            "{name}: engines must agree on the full search outcome"
+        );
+        eprintln!(
+            "  {:<8} {:>4} states {:>6} cases: tensor {tensor_ms:8.1} ms, \
+             sparse {sparse_ms:8.1} ms, dense {dense_ms:8.1} ms ({:.1}x)",
+            name,
+            n_states,
+            table.len(),
+            dense_ms / sparse_ms.max(1e-9)
+        );
+        rows.push(Row {
+            machine: name,
+            n_states,
+            faults: faults.len(),
+            cases: table.len(),
+            tensor_ms,
+            sparse_ms,
+            dense_ms,
+            q: sparse.cover.masks.len(),
+        });
+    }
+
+    let doc = Json::Object(vec![
+        ("schema".into(), Json::str("ced-core-bench/1")),
+        ("quick".into(), Json::Bool(quick)),
+        ("rev".into(), Json::str(&rev)),
+        ("latency".into(), Json::UInt(LATENCY as u64)),
+        (
+            "machines".into(),
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::Object(vec![
+                            ("machine".into(), Json::str(&r.machine)),
+                            ("n_states".into(), Json::UInt(r.n_states as u64)),
+                            ("faults".into(), Json::UInt(r.faults as u64)),
+                            ("cases".into(), Json::UInt(r.cases as u64)),
+                            ("q".into(), Json::UInt(r.q as u64)),
+                            ("tensor_ms".into(), Json::Float(r.tensor_ms)),
+                            ("sparse_ms".into(), Json::Float(r.sparse_ms)),
+                            ("dense_ms".into(), Json::Float(r.dense_ms)),
+                            (
+                                "speedup".into(),
+                                Json::Float(r.dense_ms / r.sparse_ms.max(1e-9)),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "trajectory".into(),
+            Json::Array(
+                rows.iter()
+                    .map(|r| trajectory_row(&rev, &r.machine, r.n_states, r.sparse_ms))
+                    .collect(),
+            ),
+        ),
+        ("identical".into(), Json::Bool(true)),
+    ]);
+    println!("{}", doc.render());
+
+    let last = rows.last().expect("non-empty corpus");
+    eprintln!(
+        "analytic core on {} ({} states, {} cases): sparse {:.1} ms vs dense {:.1} ms \
+         — {:.1}x, outcomes identical",
+        last.machine,
+        last.n_states,
+        last.cases,
+        last.sparse_ms,
+        last.dense_ms,
+        last.dense_ms / last.sparse_ms.max(1e-9)
+    );
+}

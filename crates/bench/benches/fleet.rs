@@ -10,6 +10,7 @@
 //! Usage: `cargo bench --bench fleet [-- --quick]` (`--quick` uses the
 //! scaled analogues; without it the full Table-1 machines run).
 
+use ced_bench::{git_rev, trajectory_row};
 use ced_core::{run_suite, SuiteControl, SuiteOptions};
 use ced_fleet::{run_coordinator, run_worker, CoordinatorOptions, WorkerOptions};
 use ced_fsm::machine::Fsm;
@@ -89,6 +90,21 @@ fn main() {
     let serial_secs = start.elapsed().as_secs_f64();
     let serial_json = serial.to_json();
 
+    // Per-machine serial timing for the cross-bench trajectory: each
+    // machine re-run alone so its wall-clock is attributable (the
+    // combined run above stays the byte-identity ground truth).
+    let rev = git_rev();
+    let trajectory: Vec<Json> = machines
+        .iter()
+        .map(|(name, fsm)| {
+            let one = [(name.clone(), fsm.clone())];
+            let start = Instant::now();
+            run_suite(&one, &opts, &lib, SuiteControl::new()).expect("per-machine suite");
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            trajectory_row(&rev, name, fsm.num_states(), wall_ms)
+        })
+        .collect();
+
     let shard_counts = [1usize, 2, 4];
     let mut shard_rows = Vec::new();
     for &shards in &shard_counts {
@@ -139,6 +155,7 @@ fn main() {
                     .collect(),
             ),
         ),
+        ("trajectory".into(), Json::Array(trajectory)),
         ("identical".into(), Json::Bool(true)),
     ]);
     println!("{}", doc.render());

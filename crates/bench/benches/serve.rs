@@ -12,6 +12,7 @@
 //! Usage: `cargo bench --bench serve [-- --quick]` (`--quick` trims
 //! the iteration counts, not the protocol).
 
+use ced_bench::{git_rev, trajectory_row};
 use ced_runtime::Json;
 use ced_serve::{Client, ServeOptions, Server};
 use std::path::PathBuf;
@@ -233,6 +234,18 @@ fn main() {
     let (flooded, shed) = measure_overload(20, if quick { 120 } else { 400 });
     assert!(shed > 0, "saturation must shed at least one request");
 
+    // Cross-bench trajectory row: the headline served latency is the
+    // cold `table` request (full tensor build + response over TCP).
+    let n_states = ced_fsm::kiss::parse(&machine)
+        .expect("suite machine parses")
+        .num_states();
+    let table_cold_ms = rows
+        .iter()
+        .find(|r| r.op == "table")
+        .map(|r| r.cold_ms)
+        .expect("table op measured");
+    let trajectory = vec![trajectory_row(&git_rev(), "s27", n_states, table_cold_ms)];
+
     let doc = Json::Object(vec![
         ("schema".into(), Json::str("ced-serve-bench/1")),
         ("quick".into(), Json::Bool(quick)),
@@ -262,6 +275,7 @@ fn main() {
                 ("shed".into(), Json::UInt(shed as u64)),
             ]),
         ),
+        ("trajectory".into(), Json::Array(trajectory)),
     ]);
     println!("{}", doc.render());
 

@@ -1,0 +1,100 @@
+//! Diagnostic probe: where the analytic core spends its time under
+//! each engine, phase by phase — LP solves (dense tableau vs sparse
+//! rows), rounding verification (row-major vs packed + case kernel),
+//! and greedy scoring — on the `ced gen` scaling workload.
+//!
+//! `cargo run -p ced-bench --release --bin engine_probe -- 3 10`
+//! probes the generated machines at the listed scales.
+
+use ced_core::pipeline::{synthesize_circuit, PipelineOptions};
+use ced_core::round::{round_cover_with, RoundingOptions};
+use ced_core::{build_relaxation, LpForm};
+use ced_fsm::generator::{generate, scaled_workload};
+use ced_lp::{solve_budgeted, solve_budgeted_sparse};
+use ced_runtime::Budget;
+use ced_sim::detect::{DetectOptions, DetectabilityTable};
+use ced_sim::fault::collapsed_faults;
+use ced_sim::packed::SparseTables;
+use std::time::Instant;
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let scales: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let scales = if scales.is_empty() { vec![3] } else { scales };
+    let pipeline = PipelineOptions::paper_defaults();
+
+    for scale in scales {
+        let fsm = generate(&scaled_workload(scale, 3));
+        let circuit = synthesize_circuit(&fsm, &pipeline).expect("synthesis");
+        let faults = collapsed_faults(circuit.netlist());
+        let (table, _) = DetectabilityTable::build(
+            &circuit,
+            &faults,
+            &DetectOptions {
+                latency: 2,
+                ..DetectOptions::default()
+            },
+        )
+        .expect("fits");
+        let reduced = table.dominance_reduced().sorted_by_difficulty();
+        let start = Instant::now();
+        let sparse = SparseTables::build(&reduced);
+        let build_ms = ms(start);
+        println!(
+            "gen{scale}x: n={} cases={} reduced={} kernel={} (packed build {build_ms:.2} ms)",
+            table.num_bits(),
+            table.len(),
+            reduced.len(),
+            sparse.kernel().len()
+        );
+
+        for q in [3usize, 4, 5] {
+            let rows: Vec<usize> = (0..reduced.len().min(256)).collect();
+            let relax = build_relaxation(&reduced, q, LpForm::Symmetric, &rows);
+            let start = Instant::now();
+            let dense_lp = solve_budgeted(&relax.lp, &Budget::unlimited());
+            let dense_ms = ms(start);
+            let start = Instant::now();
+            let sparse_lp = solve_budgeted_sparse(&relax.lp, &Budget::unlimited());
+            let sparse_lp_ms = ms(start);
+            let betas = match (dense_lp, sparse_lp) {
+                (Ok(d), Ok(s)) => {
+                    assert_eq!(d, s, "LP solutions must agree");
+                    println!(
+                        "  q={q}: {} constraints, {} vars, {} simplex iterations",
+                        relax.lp.num_constraints(),
+                        relax.lp.num_variables(),
+                        d.iterations
+                    );
+                    relax.fractional_betas(&d.x)
+                }
+                _ => continue,
+            };
+            let opts = RoundingOptions {
+                iterations: 1000,
+                seed: 0,
+            };
+            let start = Instant::now();
+            let dense_round = round_cover_with(&reduced, None, q, &betas, &opts);
+            let dense_round_ms = ms(start);
+            let start = Instant::now();
+            let sparse_round = round_cover_with(&reduced, Some(&sparse), q, &betas, &opts);
+            let sparse_round_ms = ms(start);
+            assert_eq!(dense_round.is_ok(), sparse_round.is_ok());
+            println!(
+                "  q={q}: lp dense {dense_ms:8.2} ms sparse {sparse_lp_ms:8.2} ms ({:4.1}x) | \
+                 round dense {dense_round_ms:8.2} ms sparse {sparse_round_ms:8.2} ms ({:4.1}x) \
+                 feasible={}",
+                dense_ms / sparse_lp_ms.max(1e-9),
+                dense_round_ms / sparse_round_ms.max(1e-9),
+                dense_round.is_ok()
+            );
+        }
+    }
+}

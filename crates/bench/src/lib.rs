@@ -3,7 +3,36 @@
 use ced_core::pipeline::{run_circuit, CircuitReport, PipelineOptions};
 use ced_fsm::suite::{paper_table1, paper_table1_scaled, CircuitSpec};
 use ced_logic::gate::CellLibrary;
+use ced_runtime::Json;
 use std::time::Instant;
+
+/// The short git revision of the working tree, or `"unknown"` outside
+/// a repository — stamped into every trajectory row so committed
+/// `BENCH_*.json` files can be compared across history.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One row of the cross-bench performance trajectory: a stable
+/// `{rev, machine, n_states, wall_ms}` record shared by every
+/// `BENCH_*.json` emitter so a single `jq` query can plot any
+/// harness's headline wall-clock over commits.
+pub fn trajectory_row(rev: &str, machine: &str, n_states: usize, wall_ms: f64) -> Json {
+    Json::Object(vec![
+        ("rev".into(), Json::str(rev)),
+        ("machine".into(), Json::str(machine)),
+        ("n_states".into(), Json::UInt(n_states as u64)),
+        ("wall_ms".into(), Json::Float(wall_ms)),
+    ])
+}
 
 /// Which suite to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -113,6 +113,97 @@ fn run_budget(deadline_ms: Option<u64>, ticks: Option<u64>, heartbeat: Arc<Heart
     budget
 }
 
+/// `ced gen` — emit a seeded synthetic scaling machine as KISS2.
+///
+/// The workload is dk512-shaped (`ced_fsm::generator::scaled_workload`)
+/// at `--scale` × the paper machine's 15 states; `--states` overrides
+/// the state count directly. Output is deterministic in the flags:
+/// `--jobs` is accepted (so campaign drivers can pass it uniformly) but
+/// never changes a byte.
+pub fn gen(args: &[String]) -> CliResult {
+    let mut scale = 10usize;
+    let mut states: Option<usize> = None;
+    let mut seed = 0u64;
+    let mut out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .ok_or("--scale needs a number")?
+                    .parse()
+                    .map_err(|_| "--scale needs a number")?;
+                if scale == 0 {
+                    return Err("--scale must be at least 1".into());
+                }
+            }
+            "--states" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--states needs a number")?
+                    .parse()
+                    .map_err(|_| "--states needs a number")?;
+                if n == 0 {
+                    return Err("--states must be at least 1".into());
+                }
+                states = Some(n);
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a number")?
+                    .parse()
+                    .map_err(|_| "--seed needs a number")?;
+            }
+            "--out" => {
+                out = Some(it.next().ok_or("--out needs a file path")?.clone());
+            }
+            "--jobs" => {
+                let jobs: usize = it
+                    .next()
+                    .ok_or("--jobs needs a number")?
+                    .parse()
+                    .map_err(|_| "--jobs needs a number")?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                // Generation is single-threaded and deterministic; the
+                // flag exists so drivers can pass it uniformly.
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`").into());
+            }
+            other => {
+                return Err(format!("unexpected argument `{other}`").into());
+            }
+        }
+    }
+
+    let mut cfg = ced_fsm::generator::scaled_workload(scale, seed);
+    if let Some(n) = states {
+        cfg.num_states = n;
+        cfg.name = format!("gen{n}s");
+        cfg.output_pool = (n / 3).clamp(2, 8);
+    }
+    let fsm = ced_fsm::generator::generate(&cfg);
+    let text = ced_fsm::kiss::to_string(&fsm);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!(
+                "[ced] gen: {} states, {} inputs, {} outputs -> {path}",
+                fsm.num_states(),
+                fsm.num_inputs(),
+                fsm.num_outputs()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(ExitStatus::Ok)
+}
+
 /// `ced stats` — structural statistics of the machine.
 pub fn stats(args: &[String]) -> CliResult {
     let Parsed { fsm, .. } = parse(args)?;

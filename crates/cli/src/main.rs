@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! ced stats  <machine.kiss2>                  structural statistics
+//! ced gen    [--scale N] [--seed S]           emit a seeded synthetic
+//!                                             scaling machine as KISS2
 //! ced synth  <machine.kiss2> [--encoding E]   synthesize, print gates/cost
 //! ced check  <machine.kiss2> [--latency P]    run Algorithm 1, print the
 //!                                             parity cover & checker cost
@@ -51,6 +53,7 @@ fn run(args: &[String]) -> Result<ExitStatus, Box<dyn std::error::Error>> {
     };
     match command.as_str() {
         "stats" => commands::stats(&args[1..]),
+        "gen" => commands::gen(&args[1..]),
         "synth" => commands::synth(&args[1..]),
         "check" => commands::check(&args[1..]),
         "table" => commands::table(&args[1..]),
@@ -81,6 +84,9 @@ usage: ced <command> <machine.kiss2> [options]
 
 commands:
   stats   structural statistics (states, loops, self-loop density)
+  gen     emit a seeded synthetic scaling machine (dk512-shaped, --scale ×
+          15 states, or --states N exactly) as KISS2 to stdout or --out;
+          byte-deterministic in the flags at every --jobs value
   synth   synthesize to gates; print gate count, area, depth
   check   run Algorithm 1; print the parity cover and checker cost
   table   one Table-1 style row across several latency bounds
@@ -127,6 +133,14 @@ common options:
                                              omitting the flag in every report,
                                              checkpoint and store key
   --seed N                                   rounding seed (default 0)
+  --dense                                    run the dense analytic engine
+                                             (row-major tensor + dense
+                                             simplex tableau) instead of the
+                                             default bit-packed sparse
+                                             engine; results are
+                                             byte-identical either way —
+                                             this is the escape hatch and
+                                             differential-test anchor
   --format blif|verilog                      export format (default blif)
   --jobs N                                   worker threads for table, suite,
                                              certify and inject (default:

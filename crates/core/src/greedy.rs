@@ -11,6 +11,7 @@
 
 use crate::ip::ParityCover;
 use ced_sim::detect::DetectabilityTable;
+use ced_sim::packed::PackedTable;
 use ced_store::RowSet;
 
 /// Options for the greedy baseline.
@@ -38,14 +39,28 @@ impl Default for GreedyOptions {
 /// back to a singleton on a detecting bit of the first uncovered row,
 /// which always covers at least that row.
 pub fn greedy_cover(table: &DetectabilityTable, options: &GreedyOptions) -> ParityCover {
+    greedy_cover_with(table, None, options)
+}
+
+/// [`greedy_cover`] with an optional bit-packed view of `table`.
+///
+/// When `packed` is given (built from this exact table), the hill
+/// climber's scoring query counts covered rows 64 at a time; the counts
+/// are exactly equal to the filtered iteration, so mask choices and the
+/// resulting cover are unchanged.
+pub fn greedy_cover_with(
+    table: &DetectabilityTable,
+    packed: Option<&PackedTable>,
+    options: &GreedyOptions,
+) -> ParityCover {
     let n = table.num_bits();
     let mut masks: Vec<u64> = Vec::new();
     let mut uncovered = RowSet::full(table.len());
     let mut rng_state = options.seed ^ 0xD1B5_4A32_D192_ED03;
 
     while !uncovered.is_empty() {
-        let best = best_mask(table, &uncovered, n, options, &mut rng_state);
-        let mask = if covered_count(table, &uncovered, best) == 0 {
+        let best = best_mask(table, packed, &uncovered, n, options, &mut rng_state);
+        let mask = if covered_count(table, packed, &uncovered, best) == 0 {
             // Fallback: singleton on the first detecting bit of the first
             // uncovered row's activation step.
             let first = uncovered.first_set().expect("nonempty uncovered set");
@@ -76,16 +91,25 @@ pub fn greedy_cover(table: &DetectabilityTable, options: &GreedyOptions) -> Pari
     ParityCover::new(masks)
 }
 
-fn covered_count(table: &DetectabilityTable, uncovered: &RowSet, mask: u64) -> usize {
-    uncovered
-        .iter()
-        .filter(|&i| table.rows()[i].detected_by(mask))
-        .count()
+fn covered_count(
+    table: &DetectabilityTable,
+    packed: Option<&PackedTable>,
+    uncovered: &RowSet,
+    mask: u64,
+) -> usize {
+    match packed {
+        Some(p) => p.covered_count(mask, uncovered),
+        None => uncovered
+            .iter()
+            .filter(|&i| table.rows()[i].detected_by(mask))
+            .count(),
+    }
 }
 
 /// Hill-climbs masks by single-bit flips, over several restarts.
 fn best_mask(
     table: &DetectabilityTable,
+    packed: Option<&PackedTable>,
     uncovered: &RowSet,
     n: usize,
     options: &GreedyOptions,
@@ -103,12 +127,12 @@ fn best_mask(
                 .wrapping_add(1442695040888963407);
             (*rng_state >> (64 - n as u32)) & ((1u64 << n) - 1)
         };
-        let mut score = covered_count(table, uncovered, mask);
+        let mut score = covered_count(table, packed, uncovered, mask);
         loop {
             let mut improved = false;
             for b in 0..n {
                 let candidate = mask ^ (1u64 << b);
-                let s = covered_count(table, uncovered, candidate);
+                let s = covered_count(table, packed, uncovered, candidate);
                 if s > score {
                     mask = candidate;
                     score = s;
@@ -179,6 +203,29 @@ mod tests {
         let a = greedy_cover(&t, &GreedyOptions::default());
         let b = greedy_cover(&t, &GreedyOptions::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn packed_path_reproduces_dense_greedy_exactly() {
+        let rows: Vec<Vec<u64>> = (0..80u64)
+            .map(|i| {
+                let x = i
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                vec![(x >> 17) & 0x3F | 1 << (i % 6), (x >> 40) & 0x3F]
+            })
+            .collect();
+        let t = table(6, rows);
+        let packed = PackedTable::from_table(&t);
+        for seed in 0..8u64 {
+            let opts = GreedyOptions {
+                seed,
+                ..GreedyOptions::default()
+            };
+            let dense = greedy_cover(&t, &opts);
+            let fast = greedy_cover_with(&t, Some(&packed), &opts);
+            assert_eq!(dense, fast, "seed {seed}");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::ip::ParityCover;
 use ced_lp::rounding::round_to_mask;
 use ced_sim::detect::DetectabilityTable;
+use ced_sim::packed::SparseTables;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -41,7 +42,7 @@ pub struct Rounded {
 }
 
 /// Tracks the best failure for lazy-row refinement.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RoundingFailure {
     /// Uncovered row indices of the attempt that came closest.
     pub best_uncovered: Vec<usize>,
@@ -58,6 +59,23 @@ pub struct RoundingFailure {
 /// table's bit count.
 pub fn round_cover(
     table: &DetectabilityTable,
+    q: usize,
+    betas: &[Vec<f64>],
+    options: &RoundingOptions,
+) -> Result<Rounded, RoundingFailure> {
+    round_cover_with(table, None, q, betas, options)
+}
+
+/// [`round_cover`] with an optional bit-packed view of `table`.
+///
+/// When `sparse` is given (it must be built from this exact table), the
+/// per-attempt success check runs on the packed case kernel and the
+/// final failure enumeration on the packed full table — both exactly
+/// equal to the row-major queries, so attempt counts, the RNG stream
+/// and the reported uncovered rows are unchanged.
+pub fn round_cover_with(
+    table: &DetectabilityTable,
+    sparse: Option<&SparseTables>,
     q: usize,
     betas: &[Vec<f64>],
     options: &RoundingOptions,
@@ -93,7 +111,11 @@ pub fn round_cover(
         let cover = ParityCover::new(masks);
         // Early-exit check keeps failed attempts cheap; the full
         // uncovered list is only materialized once, on final failure.
-        if table.first_uncovered(&cover.masks).is_none() {
+        let covered = match sparse {
+            Some(s) => s.all_covered(&cover.masks),
+            None => table.first_uncovered(&cover.masks).is_none(),
+        };
+        if covered {
             return Ok(Rounded {
                 cover,
                 attempts: attempt,
@@ -102,7 +124,12 @@ pub fn round_cover(
         last_masks = cover.masks;
     }
     Err(RoundingFailure {
-        best_uncovered: table.uncovered_rows(&last_masks),
+        // Row generation feeds these into the LP, so they must come
+        // from the full table, never the kernel.
+        best_uncovered: match sparse {
+            Some(s) => s.full().uncovered_rows(&last_masks),
+            None => table.uncovered_rows(&last_masks),
+        },
     })
 }
 
@@ -171,6 +198,33 @@ mod tests {
         let betas = vec![vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]];
         let r = round_cover(&t, 2, &betas, &RoundingOptions::default()).unwrap();
         assert_eq!(r.cover.masks, vec![0b0001, 0b0010]);
+    }
+
+    #[test]
+    fn packed_path_reproduces_dense_rounding_exactly() {
+        // Success, failure and attempt counts must be identical with
+        // and without the packed tables — including on a table whose
+        // kernel is a strict subset of the rows.
+        // Row 1's step span {0001, 0010} strictly contains row 0's
+        // {0001}, so the kernel drops it with row 0 as witness.
+        let t = table(vec![
+            vec![0b0001, 0b0000],
+            vec![0b0001, 0b0010],
+            vec![0b0010, 0b0000],
+            vec![0b1000, 0b0000],
+        ]);
+        let sparse = SparseTables::build(&t);
+        assert!(sparse.kernel().len() < t.len(), "kernel should shrink");
+        let beta = vec![vec![0.5, 0.5, 0.1, 0.4]];
+        for seed in 0..16u64 {
+            let opts = RoundingOptions {
+                iterations: 12,
+                seed,
+            };
+            let dense = round_cover(&t, 2, &beta, &opts);
+            let packed = round_cover_with(&t, Some(&sparse), 2, &beta, &opts);
+            assert_eq!(dense, packed, "seed {seed}");
+        }
     }
 
     #[test]

@@ -42,13 +42,15 @@
 //! so downstream reports can distinguish "optimal under the paper's
 //! method" from "best effort under degradation".
 
-use crate::greedy::{greedy_cover, GreedyOptions};
+use crate::greedy::{greedy_cover_with, GreedyOptions};
 use crate::ip::ParityCover;
 use crate::relax::{build_relaxation_with_objective, LpForm, LpObjective};
-use crate::round::{round_cover, RoundingOptions};
+use crate::round::{round_cover_with, RoundingOptions};
 use ced_lp::simplex::{solve_budgeted, SolveError};
+use ced_lp::sparse::solve_budgeted_sparse;
 use ced_runtime::{Budget as RtBudget, InterruptKind, Interrupted};
 use ced_sim::detect::DetectabilityTable;
+use ced_sim::packed::SparseTables;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -57,8 +59,26 @@ const RETRY_ITER_FACTOR: usize = 8;
 /// Seed rotation applied by the reseeded-retry rung.
 const RETRY_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Which analytic engine executes the search's inner loops.
+///
+/// The engines are bit-for-bit equivalent: every boolean, index, count
+/// and floating-point value the search observes is identical under
+/// either, so reports, store keys and degradation trails do not depend
+/// on the choice. `Sparse` is the default; `Dense` is the escape hatch
+/// that keeps the original row-major/dense-tableau code paths live (and
+/// is faster on very small tables, where packing overhead dominates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverEngine {
+    /// Bit-packed tensor columns, GF(2) case-kernel cover checks, and
+    /// the sparse-row simplex.
+    #[default]
+    Sparse,
+    /// Row-major tensor queries and the dense tableau simplex.
+    Dense,
+}
+
 /// Configuration of the parity-minimization search.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct CedOptions {
     /// Rounding attempts per feasibility query (the paper's `ITER`).
     pub iterations: usize,
@@ -81,6 +101,30 @@ pub struct CedOptions {
     /// budget: each solve allocates a dense tableau). `None` =
     /// unbounded.
     pub max_lp_solves: Option<usize>,
+    /// Analytic engine for the inner loops. Excluded from the `Debug`
+    /// rendering below on purpose: fingerprints and store keys hash
+    /// `format!("{opts:?}")`, and the engines produce identical bytes,
+    /// so the same analysis must map to the same cache entry under
+    /// either engine.
+    pub engine: SolverEngine,
+}
+
+impl fmt::Debug for CedOptions {
+    // Hand-rolled to render exactly like the pre-`engine` derived
+    // output: `engine` must stay invisible to everything that hashes
+    // this text (suite fingerprints, store keys).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CedOptions")
+            .field("iterations", &self.iterations)
+            .field("form", &self.form)
+            .field("seed", &self.seed)
+            .field("lp_row_cap", &self.lp_row_cap)
+            .field("refinement_rounds", &self.refinement_rounds)
+            .field("objective", &self.objective)
+            .field("time_budget", &self.time_budget)
+            .field("max_lp_solves", &self.max_lp_solves)
+            .finish()
+    }
 }
 
 impl Default for CedOptions {
@@ -94,6 +138,7 @@ impl Default for CedOptions {
             objective: LpObjective::default(),
             time_budget: None,
             max_lp_solves: None,
+            engine: SolverEngine::Sparse,
         }
     }
 }
@@ -205,7 +250,7 @@ impl fmt::Display for DegradationEvent {
 }
 
 /// The result of Algorithm 1.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchOutcome {
     /// The best verified cover found.
     pub cover: ParityCover,
@@ -299,6 +344,14 @@ pub fn minimize_interruptible(
     // typically orders of magnitude fewer rows), hardest rows first so
     // that failed rounding attempts are rejected quickly.
     let table = &table.dominance_reduced().sorted_by_difficulty();
+    // The sparse engine packs the reduced table once (column-major
+    // bitvectors + GF(2) case kernel) and reuses it across every
+    // feasibility query and ladder rung.
+    let sparse = match options.engine {
+        SolverEngine::Sparse => Some(SparseTables::build(table)),
+        SolverEngine::Dense => None,
+    };
+    let sparse = sparse.as_ref();
     let n = table.num_bits();
     let mut outcome = SearchOutcome {
         cover: ParityCover::singletons(n),
@@ -329,7 +382,7 @@ pub fn minimize_interruptible(
         return Ok(outcome);
     }
     if let Some(seed_cover) = incumbent {
-        if seed_cover.len() < outcome.q && table.all_covered(&seed_cover.masks) {
+        if seed_cover.len() < outcome.q && fully_covered(table, sparse, &seed_cover.masks) {
             outcome.cover = seed_cover.clone();
             outcome.q = seed_cover.len();
             outcome.method = LadderRung::Incumbent;
@@ -343,6 +396,7 @@ pub fn minimize_interruptible(
     // Rung 1: the paper's method.
     let s0 = run_binary_search(
         table,
+        sparse,
         options,
         LadderRung::LpRounding,
         &mut outcome,
@@ -413,6 +467,7 @@ pub fn minimize_interruptible(
         };
         let s1 = run_binary_search(
             table,
+            sparse,
             &boosted,
             LadderRung::ReseededRetry,
             &mut outcome,
@@ -456,14 +511,15 @@ pub fn minimize_interruptible(
     if let Some(i) = budget.cancelled("search:greedy") {
         return Err(i);
     }
-    let greedy = greedy_cover(
+    let greedy = greedy_cover_with(
         table,
+        sparse.map(SparseTables::full),
         &GreedyOptions {
             seed: options.seed,
             ..GreedyOptions::default()
         },
     );
-    let verified = table.all_covered(&greedy.masks);
+    let verified = fully_covered(table, sparse, &greedy.masks);
     debug_assert!(verified, "reduced tables have no undetectable rows");
     if verified && greedy.len() < outcome.q {
         outcome.q = greedy.len().max(1);
@@ -526,6 +582,16 @@ impl<'a> SearchBudget<'a> {
     }
 }
 
+/// Boolean full-cover check, on the case kernel when the sparse engine
+/// is active — exactly equal to `table.all_covered` by the kernel's
+/// witness map.
+fn fully_covered(table: &DetectabilityTable, sparse: Option<&SparseTables>, masks: &[u64]) -> bool {
+    match sparse {
+        Some(s) => s.all_covered(masks),
+        None => table.all_covered(masks),
+    }
+}
+
 /// Soft-failure tally of one binary-search rung.
 #[derive(Debug, Default)]
 struct RungStats {
@@ -576,8 +642,10 @@ enum QueryVerdict {
 /// One rung's binary search over `q`. Adopts improving covers into
 /// `outcome` (tagging them with `rung`), advances the proved-infeasible
 /// floor, and tallies soft failures.
+#[allow(clippy::too_many_arguments)]
 fn run_binary_search(
     table: &DetectabilityTable,
+    sparse: Option<&SparseTables>,
     options: &CedOptions,
     rung: LadderRung,
     outcome: &mut SearchOutcome,
@@ -599,7 +667,7 @@ fn run_binary_search(
         }
         let mid = lo + (hi - lo) / 2;
         *query += 1;
-        match try_feasible(table, mid, options, *query, budget, outcome) {
+        match try_feasible(table, sparse, mid, options, *query, budget, outcome) {
             QueryVerdict::Feasible(cover) => {
                 let found_q = cover.len().max(1);
                 outcome.cover = cover;
@@ -643,6 +711,7 @@ fn run_binary_search(
 /// One feasibility query: LP (with lazy rows) + randomized rounding.
 fn try_feasible(
     table: &DetectabilityTable,
+    sparse: Option<&SparseTables>,
     q: usize,
     options: &CedOptions,
     query: u64,
@@ -665,7 +734,11 @@ fn try_feasible(
         let relax =
             build_relaxation_with_objective(table, q, options.form, &rows, options.objective);
         outcome.lp_solves += 1;
-        let sol = match solve_budgeted(&relax.lp, budget.runtime) {
+        let solved = match options.engine {
+            SolverEngine::Sparse => solve_budgeted_sparse(&relax.lp, budget.runtime),
+            SolverEngine::Dense => solve_budgeted(&relax.lp, budget.runtime),
+        };
+        let sol = match solved {
             Ok(sol) => sol,
             // Subset infeasible ⇒ full infeasible: a sound proof.
             Err(SolveError::Infeasible) => return QueryVerdict::ProvedInfeasible,
@@ -692,7 +765,7 @@ fn try_feasible(
                 .wrapping_add(query.wrapping_mul(0x9E37_79B9))
                 .wrapping_add(round as u64),
         };
-        match round_cover(table, q, &betas, &ropts) {
+        match round_cover_with(table, sparse, q, &betas, &ropts) {
             Ok(r) => {
                 outcome.rounding_attempts += r.attempts;
                 return QueryVerdict::Feasible(r.cover);
@@ -984,6 +1057,87 @@ mod tests {
         assert_eq!(plain.cover, budgeted.cover);
         assert_eq!(plain.method, budgeted.method);
         assert_eq!(plain.lp_solves, budgeted.lp_solves);
+    }
+
+    #[test]
+    fn options_debug_never_reveals_the_engine() {
+        // Fingerprints and store keys hash `format!("{opts:?}")`; the
+        // engine choice must not perturb cache identity.
+        let sparse = CedOptions::default();
+        let dense = CedOptions {
+            engine: SolverEngine::Dense,
+            ..CedOptions::default()
+        };
+        let rendered = format!("{sparse:?}");
+        assert_eq!(rendered, format!("{dense:?}"));
+        assert!(!rendered.to_lowercase().contains("engine"), "{rendered}");
+        assert!(rendered.starts_with("CedOptions {"), "{rendered}");
+        assert!(rendered.contains("iterations: 1000"), "{rendered}");
+        assert!(rendered.contains("max_lp_solves: None"), "{rendered}");
+    }
+
+    #[test]
+    fn dense_engine_reproduces_sparse_outcome_exactly() {
+        // Seeded pseudo-random tables, both engines, full outcome
+        // equality: cover, q, solve counts, trace and trail.
+        for seed in 1..6u64 {
+            let mut x = seed;
+            let mut next = || {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                x >> 20
+            };
+            let rows: Vec<Vec<u64>> = (0..60)
+                .map(|_| vec![next() & 0x7F, next() & 0x7F])
+                .filter(|r| r.iter().any(|&d| d != 0))
+                .collect();
+            let t = table(7, rows);
+            let sparse = minimize_parity_functions(&t, &CedOptions::default());
+            let dense = minimize_parity_functions(
+                &t,
+                &CedOptions {
+                    engine: SolverEngine::Dense,
+                    ..CedOptions::default()
+                },
+            );
+            assert_eq!(sparse.cover, dense.cover, "seed {seed}");
+            assert_eq!(sparse.q, dense.q, "seed {seed}");
+            assert_eq!(sparse.lp_solves, dense.lp_solves, "seed {seed}");
+            assert_eq!(sparse.rounding_attempts, dense.rounding_attempts);
+            assert_eq!(sparse.feasibility_trace, dense.feasibility_trace);
+            assert_eq!(sparse.method, dense.method, "seed {seed}");
+            assert_eq!(sparse.degradation, dense.degradation, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dense_engine_reproduces_degraded_outcomes_exactly() {
+        // Force the ladder down (ITER = 0) and under a tiny LP budget:
+        // the degradation trail must be engine-independent too.
+        let t = table(4, vec![vec![0b0001], vec![0b0011], vec![0b0101]]);
+        for opts in [
+            CedOptions {
+                iterations: 0,
+                ..CedOptions::default()
+            },
+            CedOptions {
+                max_lp_solves: Some(1),
+                ..CedOptions::default()
+            },
+        ] {
+            let sparse = minimize_parity_functions(&t, &opts);
+            let dense = minimize_parity_functions(
+                &t,
+                &CedOptions {
+                    engine: SolverEngine::Dense,
+                    ..opts
+                },
+            );
+            assert_eq!(sparse.cover, dense.cover);
+            assert_eq!(sparse.method, dense.method);
+            assert_eq!(sparse.degradation, dense.degradation);
+        }
     }
 
     #[test]

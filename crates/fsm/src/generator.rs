@@ -81,6 +81,29 @@ impl Default for GeneratorConfig {
     }
 }
 
+/// The dk512-shaped scaling workload behind `ced gen` and the sparse
+/// engine benchmarks: the paper's dk512 interface (1 input bit, 3
+/// output bits, Moore-like output pool, heavy self-loops) with
+/// `scale` × its 15 states. Larger machines mean more encoded state
+/// bits and a combinatorially larger detectability tensor, which is
+/// exactly the regime the bit-packed engine targets. Deterministic in
+/// (`scale`, `seed`); `scale` is clamped to ≥ 1.
+pub fn scaled_workload(scale: usize, seed: u64) -> GeneratorConfig {
+    let scale = scale.max(1);
+    let states = 15 * scale;
+    GeneratorConfig {
+        name: format!("gen{scale}x"),
+        num_inputs: 1,
+        num_states: states,
+        num_outputs: 3,
+        cubes_per_state: 2,
+        self_loop_bias: 0.45,
+        output_dc_prob: 0.05,
+        output_pool: (states / 3).clamp(2, 8),
+        seed,
+    }
+}
+
 /// Splits the full input cube into `k` disjoint cubes covering the whole
 /// input space, by repeatedly splitting the cube with the most free
 /// variables on a random free variable.
@@ -300,6 +323,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn scaled_workload_is_well_formed_and_deterministic() {
+        for scale in [1usize, 4, 10] {
+            let cfg = scaled_workload(scale, 1);
+            assert_eq!(cfg.num_states, 15 * scale);
+            let fsm = generate(&cfg);
+            assert!(fsm.check_complete().is_ok(), "scale {scale}");
+            assert!(fsm.check_deterministic().is_ok(), "scale {scale}");
+            assert_eq!(fsm.num_states(), 15 * scale);
+            assert_eq!(fsm, generate(&scaled_workload(scale, 1)));
+        }
+        assert_eq!(scaled_workload(0, 0).num_states, 15, "scale clamps to 1");
     }
 
     #[test]

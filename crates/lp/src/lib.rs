@@ -31,6 +31,7 @@ pub mod problem;
 pub mod rational;
 pub mod rounding;
 pub mod simplex;
+pub mod sparse;
 
 /// The workspace-wide float tolerance for LP numerics.
 ///
@@ -49,3 +50,4 @@ pub use problem::{Constraint, ConstraintOp, LinearProgram, Sense, VarId};
 pub use rational::{check_feasibility_exact, Rat64, RatError, RationalVerdict, SlackReport};
 pub use rounding::{round_binary, round_to_mask, round_until, round_until_budgeted};
 pub use simplex::{solve, solve_budgeted, LpSolution, SolveError};
+pub use sparse::{solve_budgeted_sparse, solve_sparse};

@@ -15,6 +15,7 @@
 
 use ced_lp::problem::{ConstraintOp, LinearProgram, Sense};
 use ced_lp::simplex::{solve, LpSolution, SolveError};
+use ced_lp::sparse::solve_sparse;
 use proptest::prelude::*;
 
 /// Splitmix64: a tiny deterministic generator so instances are a pure
@@ -73,6 +74,22 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// The sparse-row solver replays the dense solver's arithmetic:
+    /// identical x, duals, objective and iteration counts on every
+    /// seeded instance. `LpSolution` derives `PartialEq` over f64
+    /// fields, so this is bitwise-identical-or-fail (up to IEEE-754
+    /// ordering `−0.0 == +0.0`, which nothing downstream observes).
+    #[test]
+    fn sparse_solver_reproduces_dense_solution_exactly(
+        seed in any::<u64>(),
+        vars in 1usize..6,
+        rows in 0usize..6,
+    ) {
+        let dense = solve(&lp_from_seed(seed, vars, rows)).expect("origin-feasible");
+        let sparse = solve_sparse(&lp_from_seed(seed, vars, rows)).expect("origin-feasible");
+        prop_assert_eq!(dense, sparse);
+    }
+
     /// Seeded instances never panic or hit the iteration limit; the
     /// only allowed outcomes are an optimum or a typed failure.
     #[test]
@@ -122,6 +139,42 @@ fn beales_cycling_instance_terminates_at_its_optimum() {
         sol.objective
     );
     assert!(lp.is_feasible(&sol.x, 1e-9));
+}
+
+/// Beale's cycling instance through the sparse revised-simplex path:
+/// same anti-cycling behaviour, same optimum, and the whole solution
+/// identical to the dense path — the degenerate-pivot tie-breaks (the
+/// place a revised simplex classically diverges from a tableau one)
+/// must resolve the same way.
+#[test]
+fn beales_instance_is_identical_under_the_sparse_path() {
+    let build = || {
+        let mut lp = LinearProgram::new(Sense::Minimize);
+        let x1 = lp.add_variable(0.0, f64::INFINITY, -0.75);
+        let x2 = lp.add_variable(0.0, f64::INFINITY, 150.0);
+        let x3 = lp.add_variable(0.0, f64::INFINITY, -0.02);
+        let x4 = lp.add_variable(0.0, f64::INFINITY, 6.0);
+        lp.add_constraint(
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        lp.add_constraint(vec![(x3, 1.0)], ConstraintOp::Le, 1.0);
+        lp
+    };
+    let dense = solve(&build()).expect("feasible and bounded");
+    let sparse = solve_sparse(&build()).expect("feasible and bounded");
+    assert_eq!(dense, sparse);
+    assert!(
+        (sparse.objective - (-0.05)).abs() < 1e-7,
+        "objective {} != -1/20",
+        sparse.objective
+    );
 }
 
 /// A fully degenerate vertex — every row passes through the optimum —

@@ -74,10 +74,18 @@ fn check_req(id: &str, machine: &str) -> Json {
 
 /// The slow request: exhaustive table over four bounds on the counter.
 fn slow_table_req(id: &str) -> Json {
+    slow_table_req_sized(id, 120)
+}
+
+/// [`slow_table_req`] over an `n`-state counter, for tests that must
+/// outlast a budget regardless of engine speed — a budget-aborted
+/// request costs only the budget itself, so a much larger machine
+/// keeps such tests both robust and fast.
+fn slow_table_req_sized(id: &str, n: usize) -> Json {
     obj(vec![
         ("id", Json::str(id)),
         ("cmd", Json::str("table")),
-        ("machine", Json::str(&counter_kiss2(120))),
+        ("machine", Json::str(&counter_kiss2(n))),
         (
             "latencies",
             Json::Array(vec![
@@ -481,7 +489,10 @@ fn submitted_jobs_poll_fetch_and_cancel_as_typed_handles() {
 fn per_request_deadline_and_tick_caps_are_typed() {
     let server = start(options());
     let mut client = connect(&server);
-    let mut doc = slow_table_req("dl");
+    // A counter large enough that the analysis outlasts a 50 ms
+    // deadline under the release profile and the sparse engine; the
+    // request still aborts at the deadline, so the test stays fast.
+    let mut doc = slow_table_req_sized("dl", 480);
     if let Json::Object(fields) = &mut doc {
         fields.push(("deadline_ms".to_string(), Json::UInt(50)));
     }

@@ -41,6 +41,7 @@ pub mod eval;
 pub mod fault;
 pub mod loops;
 pub mod models;
+pub mod packed;
 pub mod tables;
 
 pub use detect::{DetectError, DetectOptions, DetectStats, DetectabilityTable, EcRow, Semantics};

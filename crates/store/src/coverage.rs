@@ -211,6 +211,19 @@ impl RowSet {
         s
     }
 
+    /// Builds a set from backing words (LSB-first); bits beyond `rows`
+    /// are masked off.
+    pub fn from_words(mut words: Vec<u64>, rows: usize) -> RowSet {
+        words.resize(rows.div_ceil(64), 0);
+        let extra = words.len() * 64 - rows;
+        if extra > 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+        RowSet { words, rows }
+    }
+
     /// Number of rows the set ranges over.
     pub fn rows(&self) -> usize {
         self.rows
@@ -300,6 +313,143 @@ impl RowSet {
             })
         })
     }
+}
+
+/// A GF(2) linear basis over `u64` vectors in row-echelon form: every
+/// kept vector has a distinct leading (highest set) bit, maintained in
+/// descending leading-bit order so reduction is a single pass.
+#[derive(Debug, Clone, Default)]
+struct Gf2Basis {
+    vecs: Vec<u64>,
+}
+
+impl Gf2Basis {
+    /// Reduces `v` against the basis; the result is `0` iff `v` lies in
+    /// the span.
+    fn reduce(&self, mut v: u64) -> u64 {
+        for &b in &self.vecs {
+            let lead = 63 - b.leading_zeros();
+            if (v >> lead) & 1 == 1 {
+                v ^= b;
+            }
+        }
+        v
+    }
+
+    /// Inserts `v` if independent of the span; returns whether the
+    /// dimension grew.
+    fn insert(&mut self, v: u64) -> bool {
+        let v = self.reduce(v);
+        if v == 0 {
+            return false;
+        }
+        self.vecs.push(v);
+        // Keep descending leading-bit order; leading bits are distinct
+        // by construction, so plain descending value order works.
+        self.vecs.sort_unstable_by(|a, b| b.cmp(a));
+        true
+    }
+
+    fn dim(&self) -> usize {
+        self.vecs.len()
+    }
+
+    /// True iff `span(other) ⊆ span(self)`.
+    fn spans(&self, other: &Gf2Basis) -> bool {
+        other.vecs.iter().all(|&v| self.reduce(v) == 0)
+    }
+}
+
+/// The result of [`reduce_cases`]: a kernel of erroneous cases whose
+/// coverage implies coverage of the full case set, plus the witness map
+/// proving it row by row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseReduction {
+    kernel: Vec<usize>,
+    witness: Vec<usize>,
+}
+
+impl CaseReduction {
+    /// The kept row indices, ascending. Covering exactly these rows is
+    /// equivalent to covering every row of the input.
+    pub fn kernel(&self) -> &[usize] {
+        &self.kernel
+    }
+
+    /// The kernel row whose detection implies detection of `row` (the
+    /// reconstruction map; a kernel row witnesses itself).
+    pub fn witness_for(&self, row: usize) -> usize {
+        self.witness[row]
+    }
+
+    /// Number of rows in the original case set.
+    pub fn len(&self) -> usize {
+        self.witness.len()
+    }
+
+    /// True iff the input had no rows.
+    pub fn is_empty(&self) -> bool {
+        self.witness.is_empty()
+    }
+}
+
+/// Symmetry/dominance reduction of erroneous *cases* (rows of step
+/// masks), strictly generalizing the step-set subset dominance of
+/// [`CoverageMatrix`] to GF(2) span containment.
+///
+/// A parity mask `m` detects row `i` iff some step mask `d ∈ D(i)` has
+/// odd overlap with `m`, i.e. iff `m` is *not* orthogonal to all of
+/// `D(i)` — equivalently `m ∉ span(D(i))⊥`. If
+/// `span(D(j)) ⊆ span(D(i))` then `span(D(i))⊥ ⊆ span(D(j))⊥`, so any
+/// mask failing to detect row `i` also fails to detect row `j`:
+/// **detecting `j` implies detecting `i`**, and row `i` may be dropped
+/// with witness `j`. (A step-set subset is the special case where the
+/// containment is witnessed by the generators themselves; XOR
+/// combinations are what the span view adds.)
+///
+/// The kernel keeps, for each containment class, the row with the
+/// smallest span — rows are processed in ascending `(dimension, index)`
+/// order and a row is dropped the moment an already-kept row's span is
+/// contained in its own. Ties (equal spans) keep the lowest index. The
+/// witness map is total: a cover detects every input row iff it
+/// detects every kernel row, because `detects(witness(i)) ⇒ detects(i)`
+/// and every kernel row is its own witness. Deterministic in the input
+/// order alone.
+pub fn reduce_cases<R: AsRef<[u64]>>(rows: &[R]) -> CaseReduction {
+    let m = rows.len();
+    let mut bases = Vec::with_capacity(m);
+    let mut support = vec![0u64; m];
+    for (i, row) in rows.iter().enumerate() {
+        let mut basis = Gf2Basis::default();
+        for &d in row.as_ref() {
+            if d != 0 {
+                basis.insert(d);
+                support[i] |= d;
+            }
+        }
+        bases.push(basis);
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_unstable_by_key(|&i| (bases[i].dim(), i));
+    let mut kernel: Vec<usize> = Vec::new();
+    let mut witness = vec![usize::MAX; m];
+    'rows: for &i in &order {
+        for &j in &kernel {
+            // Cheap necessary conditions first: a contained span has no
+            // support outside the container's and no larger dimension.
+            if bases[j].dim() <= bases[i].dim()
+                && support[j] & !support[i] == 0
+                && bases[i].spans(&bases[j])
+            {
+                witness[i] = j;
+                continue 'rows;
+            }
+        }
+        witness[i] = i;
+        kernel.push(i);
+    }
+    kernel.sort_unstable();
+    CaseReduction { kernel, witness }
 }
 
 /// Drops dominated candidates: a candidate whose coverage is a subset
@@ -408,6 +558,75 @@ mod tests {
         let mut u = s.clone();
         u.union_with(&full);
         assert_eq!(u, full);
+    }
+
+    /// Reference detection predicate: some step has odd overlap.
+    fn detects(mask: u64, row: &[u64]) -> bool {
+        row.iter().any(|&d| (d & mask).count_ones() & 1 == 1)
+    }
+
+    #[test]
+    fn reduce_cases_subset_rows_dominate_supersets() {
+        // Row 1's step-set is a superset of row 0's: covering row 0
+        // covers row 1. Row 2 is independent.
+        let rows = vec![vec![0b01u64], vec![0b01, 0b10], vec![0b100]];
+        let red = reduce_cases(&rows);
+        assert_eq!(red.kernel(), &[0, 2]);
+        assert_eq!(red.witness_for(0), 0);
+        assert_eq!(red.witness_for(1), 0);
+        assert_eq!(red.witness_for(2), 2);
+    }
+
+    #[test]
+    fn reduce_cases_sees_xor_combinations_beyond_subsets() {
+        // span{011, 101} = {0, 011, 101, 110} contains span{110}: the
+        // subset test misses this (110 is in neither step set), the
+        // span test does not.
+        let rows = vec![vec![0b011u64, 0b101], vec![0b110]];
+        let red = reduce_cases(&rows);
+        assert_eq!(red.kernel(), &[1]);
+        assert_eq!(red.witness_for(0), 1);
+    }
+
+    #[test]
+    fn reduce_cases_equal_spans_keep_lowest_index() {
+        let rows = vec![vec![0b11u64, 0b01], vec![0b01, 0b10]];
+        let red = reduce_cases(&rows);
+        assert_eq!(red.kernel(), &[0]);
+        assert_eq!(red.witness_for(1), 0);
+    }
+
+    #[test]
+    fn reduce_cases_witnesses_are_sound_for_every_mask() {
+        // Exhaustive check of the reconstruction property on a small
+        // deterministic family: for every mask, detecting the witness
+        // implies detecting the row — hence covering the kernel is
+        // covering everything.
+        let mut rows: Vec<Vec<u64>> = Vec::new();
+        let mut x = 0x9E37_79B9u64;
+        for _ in 0..40 {
+            let mut row = Vec::new();
+            for _ in 0..3 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                row.push((x >> 40) & 0x1F);
+            }
+            rows.push(row);
+        }
+        let red = reduce_cases(&rows);
+        for mask in 0..32u64 {
+            for (i, row) in rows.iter().enumerate() {
+                let w = red.witness_for(i);
+                if detects(mask, &rows[w]) {
+                    assert!(detects(mask, row), "mask {mask:#b} row {i} witness {w}");
+                }
+            }
+            // Boolean equivalence: covers-kernel ⇔ covers-all.
+            let all = rows.iter().all(|r| detects(mask, r));
+            let kernel = red.kernel().iter().all(|&i| detects(mask, &rows[i]));
+            assert_eq!(all, kernel, "mask {mask:#b}");
+        }
     }
 
     #[test]

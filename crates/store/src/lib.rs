@@ -26,7 +26,7 @@
 pub mod coverage;
 pub mod store;
 
-pub use coverage::{drop_dominated, CoverageMatrix, RowSet};
+pub use coverage::{drop_dominated, reduce_cases, CaseReduction, CoverageMatrix, RowSet};
 pub use store::{
     fingerprint_bytes, GcOutcome, StageCounters, Store, StoreEntryInfo, StoreStats,
     STORE_ENTRY_KIND, STORE_INDEX_KIND,
