@@ -1,0 +1,297 @@
+//! Edit→re-diagnose harness (EXPERIMENTS.md B6): the wall-clock win
+//! of incremental re-analysis. One cold `check` of the synthetic
+//! gen10x machine fills the store; a sweep of single-transition edits
+//! is then re-analyzed warm against the unedited baseline — exactly
+//! what `ced check --baseline` and the daemon's `analyze-delta` run.
+//!
+//! Two edit classes are swept:
+//!
+//! * **dc-refine** — a don't-care output bit specified to the value
+//!   the synthesized netlist already realizes. The encoded tables are
+//!   byte-identical, so every per-fault-cone fragment and the cover
+//!   memo hit directly: the fast class the ≥5× headline is about.
+//! * **flip** — a specified output bit inverted. The tables change,
+//!   so clean cones promote across contexts while dirty cones and the
+//!   parity-tree search rebuild: the honest mid-range.
+//!
+//! Before any timing, every edit's warm incremental payload is
+//! asserted byte-identical to a from-scratch storeless analysis — the
+//! harness refuses to benchmark a wrong answer. Emits one
+//! `ced-edit-bench/1` JSON line; the committed `BENCH_edit.json` is
+//! the full run.
+//!
+//! Usage: `cargo bench --bench edit [-- --quick]` (`--quick` swaps
+//! gen10x for gen3x and trims the sweep; the headline assertion only
+//! runs full).
+
+use ced_bench::git_rev;
+use ced_core::pipeline::{prepare_machine, PipelineOptions};
+use ced_fsm::generator::{generate, scaled_workload};
+use ced_fsm::machine::{Fsm, OutputValue};
+use ced_par::ParExec;
+use ced_runtime::{Budget, Json};
+use ced_serve::ops::check_text_with_baseline;
+use ced_serve::{OpKind, OpRequest};
+use ced_sim::tables::TransitionTables;
+use ced_store::{StageCounters, Store, TENSOR_FRAG_STAGE};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const LATENCY: usize = 2;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ced-edit-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Rebuilds `fsm` with transition `t_idx`'s output bit `bit` set to `v`.
+fn with_output_edit(fsm: &Fsm, t_idx: usize, bit: usize, v: OutputValue) -> Fsm {
+    let mut out = Fsm::new(fsm.name(), fsm.num_inputs(), fsm.num_outputs());
+    for s in fsm.state_names() {
+        out.add_state(s.clone());
+    }
+    out.set_reset_state(fsm.reset_state()).unwrap();
+    for (i, t) in fsm.transitions().iter().enumerate() {
+        let mut output = t.output.clone();
+        if i == t_idx {
+            output[bit] = v;
+        }
+        out.add_transition(t.input.clone(), t.from, t.to, output)
+            .unwrap();
+    }
+    out
+}
+
+/// One planned edit: the revised machine plus its class label.
+struct Edit {
+    kind: &'static str,
+    fsm: Fsm,
+}
+
+/// Plans the sweep: up to `k/2` dc-refinements (don't-care bits set to
+/// the value the synthesized netlist realizes — tables byte-identical)
+/// and `k/2` semantic flips of specified bits.
+fn plan_edits(base: &Fsm, options: &PipelineOptions, k: usize) -> Vec<Edit> {
+    let (encoded, circuit) = prepare_machine(base, options).expect("synthesis");
+    let good = TransitionTables::good(&circuit);
+    let mut edits = Vec::new();
+
+    // dc-refine class: DC positions whose realized value we adopt —
+    // kept only when re-synthesis reproduces the identical netlist
+    // (the KISS2 text changed, nothing downstream did). The realized
+    // value makes that likely, not certain, so each candidate is
+    // verified before it enters the sweep.
+    for (i, t) in base.transitions().iter().enumerate() {
+        if edits.len() >= k / 2 {
+            break;
+        }
+        for (b, &v) in t.output.iter().enumerate() {
+            if v != OutputValue::DontCare {
+                continue;
+            }
+            // The generator's machines drive one fully-specified
+            // input bit per cube.
+            let input_val = match t.input.to_string().as_bytes()[0] {
+                b'1' => 1u64,
+                _ => 0u64,
+            };
+            let code = encoded.encoding().code(t.from);
+            let realized = (good.response(code, input_val) >> b) & 1;
+            let v = if realized == 1 {
+                OutputValue::One
+            } else {
+                OutputValue::Zero
+            };
+            let candidate = with_output_edit(base, i, b, v);
+            let (_, resynth) = prepare_machine(&candidate, options).expect("synthesis");
+            if resynth.netlist() == circuit.netlist() {
+                edits.push(Edit {
+                    kind: "dc-refine",
+                    fsm: candidate,
+                });
+            }
+            break;
+        }
+    }
+
+    // flip class: invert specified bits, spread across the machine.
+    let transitions = base.transitions();
+    let mut i = 0;
+    while edits.len() < k && i < transitions.len() {
+        let t = &transitions[i];
+        if let Some((b, v)) = t.output.iter().enumerate().find_map(|(b, &v)| match v {
+            OutputValue::Zero => Some((b, OutputValue::One)),
+            OutputValue::One => Some((b, OutputValue::Zero)),
+            OutputValue::DontCare => None,
+        }) {
+            edits.push(Edit {
+                kind: "flip",
+                fsm: with_output_edit(base, i, b, v),
+            });
+        }
+        i += 7; // stride: touch different regions of the machine
+    }
+    edits
+}
+
+fn request(options: &PipelineOptions) -> OpRequest {
+    let mut request = OpRequest::new(OpKind::Check, "");
+    request.latency = LATENCY;
+    request.options = options.clone();
+    request
+}
+
+fn frag_counters(store: &Store) -> StageCounters {
+    store
+        .stats()
+        .stages
+        .into_iter()
+        .find(|(s, _)| s == TENSOR_FRAG_STAGE)
+        .map(|(_, c)| c)
+        .unwrap_or_default()
+}
+
+struct EditRow {
+    kind: &'static str,
+    wall_ms: f64,
+    frag_hits: u64,
+    frag_rebuilt: u64,
+    cones_dirty: usize,
+    cones_total: usize,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (label, scale, k) = if quick {
+        ("gen3x", 3, 4)
+    } else {
+        ("gen10x", 10, 10)
+    };
+    let base = generate(&scaled_workload(scale, 3));
+    let n_states = base.num_states();
+    let options = PipelineOptions::paper_defaults();
+    let request = request(&options);
+    let pool = ParExec::new(1);
+    let budget = Budget::new();
+
+    let dir = scratch(label);
+    let store = Store::open(&dir).expect("store opens");
+
+    // Cold: the baseline's own analysis, nothing cached.
+    let start = Instant::now();
+    let (base_payload, _) =
+        check_text_with_baseline(&base, None, &request, &budget, &pool, Some(&store))
+            .expect("cold analysis");
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(!base_payload.is_empty());
+
+    // The sweep: each edit re-analyzed warm against the baseline,
+    // with outcome equality asserted before its timing counts.
+    let edits = plan_edits(&base, &options, k);
+    assert!(edits.len() >= 2, "sweep needs both edit classes");
+    let mut rows: Vec<EditRow> = Vec::new();
+    for edit in &edits {
+        let (reference, _) =
+            check_text_with_baseline(&edit.fsm, None, &request, &budget, &pool, None)
+                .expect("from-scratch analysis");
+
+        let before = frag_counters(&store);
+        let start = Instant::now();
+        let (warm, summary) = check_text_with_baseline(
+            &edit.fsm,
+            Some(&base),
+            &request,
+            &budget,
+            &pool,
+            Some(&store),
+        )
+        .expect("incremental analysis");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let after = frag_counters(&store);
+
+        assert_eq!(
+            warm, reference,
+            "{} edit: incremental payload must equal from-scratch",
+            edit.kind
+        );
+        let summary = summary.expect("baseline produces a summary");
+        rows.push(EditRow {
+            kind: edit.kind,
+            wall_ms,
+            frag_hits: after.hits - before.hits,
+            frag_rebuilt: after.puts - before.puts,
+            cones_dirty: summary.cones_dirty,
+            cones_total: summary.cones_total,
+        });
+    }
+
+    // Headline: median warm wall-clock of the fast class vs cold.
+    let mut fast: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.kind == "dc-refine")
+        .map(|r| r.wall_ms)
+        .collect();
+    fast.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let fast_median_ms = fast[fast.len() / 2];
+    let speedup = cold_ms / fast_median_ms;
+    let reused: u64 = rows.iter().map(|r| r.frag_hits).sum();
+    assert!(reused > 0, "warm sweep must reuse baseline fragments");
+    if !quick {
+        assert!(
+            speedup >= 5.0,
+            "warm single-edit re-analysis must be >= 5x cold ({cold_ms:.1}ms \
+             cold vs {fast_median_ms:.1}ms warm median)"
+        );
+    }
+
+    let rev = git_rev();
+    let doc = Json::Object(vec![
+        ("schema".into(), Json::str("ced-edit-bench/1")),
+        ("quick".into(), Json::Bool(quick)),
+        ("machine".into(), Json::str(label)),
+        ("n_states".into(), Json::UInt(n_states as u64)),
+        ("latency".into(), Json::UInt(LATENCY as u64)),
+        ("cold_ms".into(), Json::Float(cold_ms)),
+        ("warm_dc_median_ms".into(), Json::Float(fast_median_ms)),
+        ("speedup".into(), Json::Float(speedup)),
+        (
+            "edits".into(),
+            Json::Array(
+                rows.iter()
+                    .map(|r| {
+                        Json::Object(vec![
+                            ("kind".into(), Json::str(r.kind)),
+                            ("wall_ms".into(), Json::Float(r.wall_ms)),
+                            ("frag_hits".into(), Json::UInt(r.frag_hits)),
+                            ("frag_rebuilt".into(), Json::UInt(r.frag_rebuilt)),
+                            ("cones_dirty".into(), Json::UInt(r.cones_dirty as u64)),
+                            ("cones_total".into(), Json::UInt(r.cones_total as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "trajectory".into(),
+            Json::Array(vec![
+                Json::Object(vec![
+                    ("rev".into(), Json::str(&rev)),
+                    ("machine".into(), Json::str(label)),
+                    ("n_states".into(), Json::UInt(n_states as u64)),
+                    ("edits".into(), Json::UInt(0)),
+                    ("wall_ms".into(), Json::Float(cold_ms)),
+                ]),
+                Json::Object(vec![
+                    ("rev".into(), Json::str(&rev)),
+                    ("machine".into(), Json::str(label)),
+                    ("n_states".into(), Json::UInt(n_states as u64)),
+                    ("edits".into(), Json::UInt(rows.len() as u64)),
+                    ("wall_ms".into(), Json::Float(fast_median_ms)),
+                ]),
+            ]),
+        ),
+    ]);
+    println!("{}", doc.render());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,84 @@
+//! Diagnostic probe for the incremental-edit design: where a full
+//! `check`-style analysis of the `ced gen` scaling machine spends its
+//! time — synthesis, per-fault table extraction, erroneous-case
+//! enumeration, and the cover search — per latency bound. The split
+//! decides which stages per-fault fragment reuse can actually save.
+//!
+//! `cargo run -p ced-bench --release --bin edit_probe -- 10 1 2 3`
+
+use ced_core::pipeline::{build_input_model, fault_list, prepare_machine, PipelineOptions};
+use ced_core::search::minimize_parity_functions;
+use ced_fsm::generator::{generate, scaled_workload};
+use ced_sim::detect::{DetectOptions, DetectabilityTable};
+use ced_sim::tables::TransitionTables;
+use std::time::Instant;
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let (scale, latencies) = match args.split_first() {
+        Some((&s, rest)) if !rest.is_empty() => (s, rest.to_vec()),
+        Some((&s, _)) => (s, vec![1, 2, 3]),
+        None => (10, vec![1, 2, 3]),
+    };
+    let options = PipelineOptions::paper_defaults();
+    let fsm = generate(&scaled_workload(scale, 3));
+
+    let start = Instant::now();
+    let (encoded, circuit) = prepare_machine(&fsm, &options).expect("synthesis");
+    let synth_ms = ms(start);
+    let input_model =
+        build_input_model(encoded.fsm(), encoded.encoding(), options.input_granularity);
+    let faults = fault_list(&circuit, &options);
+    println!(
+        "gen{scale}x: {} states, {} gates, {} faults, synth {synth_ms:.1} ms",
+        1 << circuit.state_bits(),
+        circuit.gate_count(),
+        faults.len()
+    );
+
+    let start = Instant::now();
+    let mut count = 0usize;
+    for &f in &faults {
+        let bad = TransitionTables::faulty(&circuit, f);
+        count += bad.num_outputs();
+    }
+    let extract_ms = ms(start);
+    println!(
+        "extraction of all {} fault tables: {extract_ms:.1} ms ({count})",
+        faults.len()
+    );
+
+    for &p in &latencies {
+        let start = Instant::now();
+        let (table, stats) = DetectabilityTable::build(
+            &circuit,
+            &faults,
+            &DetectOptions {
+                latency: p,
+                input_model: input_model.clone(),
+                semantics: options.semantics,
+                fault_model: options.fault_model,
+                ..DetectOptions::default()
+            },
+        )
+        .expect("fits");
+        let tensor_ms = ms(start);
+        let start = Instant::now();
+        let outcome = minimize_parity_functions(&table, &options.ced);
+        let search_ms = ms(start);
+        println!(
+            "p={p}: tensor {tensor_ms:.1} ms ({} rows, {} raw, {} activations) search {search_ms:.1} ms (q={})",
+            table.len(),
+            stats.rows_raw,
+            stats.activations,
+            outcome.q
+        );
+    }
+}

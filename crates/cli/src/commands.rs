@@ -243,9 +243,13 @@ pub fn synth(args: &[String]) -> CliResult {
 
 /// `ced check` — run Algorithm 1 at one latency bound.
 ///
-/// The whole analysis lives in [`ced_serve::ops::check_text`] — the
-/// same function the `ced serve` daemon executes — so a served `check`
-/// payload is byte-identical to this command's stdout by construction.
+/// The whole analysis lives in
+/// [`ced_serve::ops::check_text_with_baseline`] — the same function the
+/// `ced serve` daemon executes for both `check` and `analyze-delta` —
+/// so a served payload is byte-identical to this command's stdout by
+/// construction. `--baseline <file>` seeds incremental re-analysis from
+/// a previous machine revision; the stdout report is unchanged and the
+/// dirty-cone summary goes to stderr.
 pub fn check(args: &[String]) -> CliResult {
     let parsed = parse(args)?;
     let store = open_store(parsed.store.as_deref())?;
@@ -261,8 +265,20 @@ pub fn check(args: &[String]) -> CliResult {
         budget = budget.with_tick_cap(t);
     }
     let pool = ParExec::new(parsed.jobs);
-    match ced_serve::ops::check_text(&parsed.fsm, &request, &budget, &pool, store.as_deref()) {
-        Ok(text) => {
+    match ced_serve::ops::check_text_with_baseline(
+        &parsed.fsm,
+        parsed.baseline.as_ref(),
+        &request,
+        &budget,
+        &pool,
+        store.as_deref(),
+    ) {
+        Ok((text, summary)) => {
+            if let Some(summary) = summary {
+                if !parsed.quiet {
+                    eprintln!("[ced] {}", summary.render_line());
+                }
+            }
             print!("{text}");
             finish_store(store.as_deref(), parsed.quiet);
             Ok(ExitStatus::Ok)

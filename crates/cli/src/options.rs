@@ -49,9 +49,16 @@ pub struct Parsed {
     /// report is byte-identical at every job count.
     pub jobs: usize,
     /// `--store DIR`: content-addressed artifact store directory;
-    /// memoizes the synth/tensor/search stages across runs. Never
+    /// memoizes the synth, whole-table and per-fault-cone tensor
+    /// (tensor/tensor-frag/tensor-comp), cover and search stages
+    /// across runs. Never
     /// changes results — a cache hit is byte-identical to a recompute.
     pub store: Option<String>,
+    /// `--baseline <file>` (check only): a previous revision of the
+    /// machine; seeds incremental re-analysis (per-fault-cone fragment
+    /// reuse) and prints a one-line dirty-cone summary on stderr. The
+    /// stdout report is byte-identical with or without it.
+    pub baseline: Option<Fsm>,
 }
 
 /// Parses `<file> [flags…]`.
@@ -78,6 +85,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
     let mut out = None;
     let mut jobs = ced_par::ParExec::available().jobs();
     let mut store = None;
+    let mut baseline_path: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -204,6 +212,9 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
             "--store" => {
                 store = Some(it.next().ok_or("--store needs a directory path")?.clone());
             }
+            "--baseline" => {
+                baseline_path = Some(it.next().ok_or("--baseline needs a file path")?.clone());
+            }
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag `{flag}`").into());
             }
@@ -219,6 +230,13 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
     let path = file.ok_or("no machine file given (expected a .kiss2 path)")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let fsm = ced_fsm::kiss::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let baseline = match baseline_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(&p).map_err(|e| format!("cannot read {p}: {e}"))?;
+            Some(ced_fsm::kiss::parse(&text).map_err(|e| format!("{p}: {e}"))?)
+        }
+        None => None,
+    };
     Ok(Parsed {
         fsm,
         options,
@@ -237,6 +255,7 @@ pub fn parse(args: &[String]) -> Result<Parsed, Box<dyn std::error::Error>> {
         out,
         jobs,
         store,
+        baseline,
     })
 }
 

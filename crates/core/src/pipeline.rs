@@ -7,7 +7,10 @@
 use crate::duplication::duplication_cost;
 use crate::hardware::{synthesize_ced, CedCost};
 use crate::ip::ParityCover;
-use crate::search::{CedOptions, DegradationEvent, DegradationReason, LadderRung};
+use crate::search::{
+    minimize_parity_functions, CedOptions, DegradationEvent, DegradationReason, LadderRung,
+    SearchOutcome,
+};
 use ced_fsm::encoded::{EncodedFsm, FsmCircuit};
 use ced_fsm::encoding::StateEncoding;
 use ced_fsm::encoding::{assign, EncodingStrategy};
@@ -19,10 +22,11 @@ use ced_logic::MinimizeOptions;
 use ced_par::ParExec;
 use ced_runtime::{fnv1a64, Budget, ByteReader, ByteWriter, CheckpointError, Interrupted};
 use ced_sim::detect::{
-    BuildCheckpoint, BuildControl, DetectError, DetectOptions, DetectStats, DetectabilityTable,
-    InputModel, Semantics,
+    fragment_context_bytes, BuildCheckpoint, BuildControl, DeltaSeed, DetectError, DetectOptions,
+    DetectStats, DetectabilityTable, InputModel, Semantics,
 };
 use ced_sim::fault::{all_faults, collapsed_faults, Fault, FaultModel};
+use ced_sim::tables::TransitionTables;
 use ced_store::Store;
 use std::fmt;
 
@@ -342,8 +346,12 @@ fn write_latency_result(l: &LatencyResult, w: &mut ByteWriter) {
     w.usize(l.lp_solves);
     w.usize(l.rounding_attempts);
     w.u8(rung_tag(l.method));
-    w.usize(l.degradation.len());
-    for e in &l.degradation {
+    write_degradation(&l.degradation, w);
+}
+
+fn write_degradation(events: &[DegradationEvent], w: &mut ByteWriter) {
+    w.usize(events.len());
+    for e in events {
         w.u8(rung_tag(e.from));
         w.u8(rung_tag(e.to));
         match &e.reason {
@@ -366,19 +374,7 @@ fn write_latency_result(l: &LatencyResult, w: &mut ByteWriter) {
     }
 }
 
-fn read_latency_result(r: &mut ByteReader<'_>) -> Result<LatencyResult, CheckpointError> {
-    let latency = r.usize()?;
-    let erroneous_cases = r.usize()?;
-    let cover = ParityCover::new(r.u64_slice()?);
-    let cost = CedCost {
-        parity_functions: r.usize()?,
-        gates: r.usize()?,
-        area: r.f64()?,
-        flip_flops: r.usize()?,
-    };
-    let lp_solves = r.usize()?;
-    let rounding_attempts = r.usize()?;
-    let method = rung_from_tag(r.u8()?)?;
+fn read_degradation(r: &mut ByteReader<'_>) -> Result<Vec<DegradationEvent>, CheckpointError> {
     let n_events = r.usize()?;
     if n_events > 65_536 {
         return Err(CheckpointError::Corrupt("implausible event count".into()));
@@ -413,6 +409,23 @@ fn read_latency_result(r: &mut ByteReader<'_>) -> Result<LatencyResult, Checkpoi
             detail,
         });
     }
+    Ok(degradation)
+}
+
+fn read_latency_result(r: &mut ByteReader<'_>) -> Result<LatencyResult, CheckpointError> {
+    let latency = r.usize()?;
+    let erroneous_cases = r.usize()?;
+    let cover = ParityCover::new(r.u64_slice()?);
+    let cost = CedCost {
+        parity_functions: r.usize()?,
+        gates: r.usize()?,
+        area: r.f64()?,
+        flip_flops: r.usize()?,
+    };
+    let lp_solves = r.usize()?;
+    let rounding_attempts = r.usize()?;
+    let method = rung_from_tag(r.u8()?)?;
+    let degradation = read_degradation(r)?;
     Ok(LatencyResult {
         latency,
         erroneous_cases,
@@ -456,8 +469,103 @@ pub const SYNTH_STAGE: &str = "synth";
 
 /// Artifact-store stage name for per-latency search results (cover +
 /// CED cost); keyed per latency bound so a prior sweep serves any
-/// subset of its bounds.
+/// subset of its bounds. Per-machine, unlike [`COVER_STAGE`], because
+/// the stored [`LatencyResult`] embeds circuit-derived CED costs.
 pub const SEARCH_STAGE: &str = "search";
+
+/// Artifact-store stage name for circuit-*independent* parity-cover
+/// search results ([`minimize_parity_functions_stored`]), keyed by the
+/// detectability-table bytes plus the search options alone. Two
+/// machines (or two edits of one machine) whose tables come out
+/// byte-identical share the entry — the stage that makes an
+/// incremental `ced check --baseline` skip Algorithm 1 outright when
+/// an edit turns out not to change the table.
+pub const COVER_STAGE: &str = "cover";
+
+fn write_search_outcome(o: &SearchOutcome, w: &mut ByteWriter) {
+    w.u64_slice(&o.cover.masks);
+    w.usize(o.lp_solves);
+    w.usize(o.rounding_attempts);
+    w.usize(o.feasibility_trace.len());
+    for &(q, feasible) in &o.feasibility_trace {
+        w.usize(q);
+        w.bool(feasible);
+    }
+    w.u8(rung_tag(o.method));
+    write_degradation(&o.degradation, w);
+}
+
+fn read_search_outcome(r: &mut ByteReader<'_>) -> Result<SearchOutcome, CheckpointError> {
+    let cover = ParityCover::new(r.u64_slice()?);
+    let lp_solves = r.usize()?;
+    let rounding_attempts = r.usize()?;
+    let n_trace = r.usize()?;
+    if n_trace > 1_000_000 {
+        return Err(CheckpointError::Corrupt("implausible trace length".into()));
+    }
+    let mut feasibility_trace = Vec::with_capacity(n_trace);
+    for _ in 0..n_trace {
+        let q = r.usize()?;
+        let feasible = r.bool()?;
+        feasibility_trace.push((q, feasible));
+    }
+    let method = rung_from_tag(r.u8()?)?;
+    let degradation = read_degradation(r)?;
+    let q = cover.masks.len();
+    Ok(SearchOutcome {
+        cover,
+        q,
+        lp_solves,
+        rounding_attempts,
+        feasibility_trace,
+        method,
+        degradation,
+    })
+}
+
+/// [`minimize_parity_functions`] with [`COVER_STAGE`] memoization.
+///
+/// The search is deterministic given the table and options (the
+/// rounding RNG is seeded from `ced.seed`), so a hit is byte-identical
+/// to a recompute; belt-and-braces, a cached cover that fails
+/// [`DetectabilityTable::all_covered`] is dropped as corrupt and
+/// recomputed. Searches under a wall-clock budget are *not* memoized —
+/// their degradation depends on machine load, and caching a
+/// timing-dependent outcome would let store warmth change results.
+pub fn minimize_parity_functions_stored(
+    table: &DetectabilityTable,
+    ced: &CedOptions,
+    store: Option<&Store>,
+) -> SearchOutcome {
+    let Some(store) = store else {
+        return minimize_parity_functions(table, ced);
+    };
+    if ced.time_budget.is_some() {
+        return minimize_parity_functions(table, ced);
+    }
+    let fp = {
+        let mut bytes = table.to_bytes();
+        bytes.extend_from_slice(b"cover");
+        bytes.extend_from_slice(format!("{ced:?}").as_bytes());
+        fnv1a64(&bytes)
+    };
+    if let Some(outcome) = store.get_typed(COVER_STAGE, fp, |bytes| {
+        let mut r = ByteReader::new(bytes);
+        let o = read_search_outcome(&mut r)?;
+        r.expect_end()?;
+        Ok(o)
+    }) {
+        if table.all_covered(&outcome.cover.masks) {
+            return outcome;
+        }
+        store.note_corrupt(COVER_STAGE, fp);
+    }
+    let outcome = minimize_parity_functions(table, ced);
+    let mut w = ByteWriter::new();
+    write_search_outcome(&outcome, &mut w);
+    store.put_artifact(COVER_STAGE, fp, &w.finish());
+    outcome
+}
 
 /// Serializes a synthesized circuit bit-exactly (interface dimensions
 /// plus the full netlist, including unused fanin slots) for the
@@ -564,11 +672,17 @@ pub struct PipelineControl<'a> {
     /// change wall-clock, not results.
     pub pool: Option<&'a ParExec>,
     /// Content-addressed artifact store memoizing the `synth`, `tensor`
-    /// and `search` stages. Like `pool`, never part of any fingerprint:
-    /// a cache hit returns bytes a prior run proved identical to a
-    /// recompute, so presence or absence of the store cannot change
-    /// results.
+    /// (whole tables plus per-fault-cone `tensor-frag`/`tensor-comp`
+    /// records) and `search` stages. Like `pool`, never part of any
+    /// fingerprint: a cache hit returns bytes a prior run proved
+    /// identical to a recompute, so presence or absence of the store
+    /// cannot change results.
     pub store: Option<&'a Store>,
+    /// Machine-diff seed from [`delta_seed`]: lets the tensor build
+    /// serve unchanged fault cones from the *baseline* machine's
+    /// fragments. Never part of any fingerprint — a promoted fragment
+    /// is provably byte-identical to a rebuild.
+    pub delta: Option<DeltaSeed>,
 }
 
 impl<'a> PipelineControl<'a> {
@@ -581,6 +695,7 @@ impl<'a> PipelineControl<'a> {
             on_checkpoint: None,
             pool: None,
             store: None,
+            delta: None,
         }
     }
 }
@@ -731,6 +846,132 @@ pub fn fault_list(circuit: &FsmCircuit, options: &PipelineOptions) -> Vec<Fault>
     }
 }
 
+/// Classification of an edit between two parsed KISS2 machines — the
+/// front-end of the incremental re-analysis loop. Computed on the
+/// *completed* machines (don't-care self-loops added), i.e. exactly
+/// what synthesis sees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineDelta {
+    /// The completed machines are identical transition-for-transition.
+    Identical,
+    /// Only output values changed, on these transition indices (into
+    /// the new machine's completed transition list). State set, reset,
+    /// input cubes and next-states all agree — the class of edits whose
+    /// fault cones can be diffed precisely.
+    OutputOnly {
+        /// Indices of the transitions whose outputs changed.
+        transitions: Vec<usize>,
+    },
+    /// The edit touches synthesis structure (interface, state set,
+    /// reset, transition connectivity): per-cone diffing falls back to
+    /// the whole-stage path.
+    Structural {
+        /// Human-readable reason, for the dirty-cone summary line.
+        reason: String,
+    },
+}
+
+/// Classifies the edit from `old` to `new` (see [`MachineDelta`]).
+pub fn machine_delta(old: &Fsm, new: &Fsm) -> MachineDelta {
+    let structural = |reason: &str| MachineDelta::Structural {
+        reason: reason.to_string(),
+    };
+    if old.num_inputs() != new.num_inputs() || old.num_outputs() != new.num_outputs() {
+        return structural("interface width changed");
+    }
+    if old.state_names() != new.state_names() {
+        return structural("state set changed");
+    }
+    let mut old = old.clone();
+    let mut new = new.clone();
+    if old.check_complete().is_err() {
+        old.complete_with_self_loops();
+    }
+    if new.check_complete().is_err() {
+        new.complete_with_self_loops();
+    }
+    if old.reset_state() != new.reset_state() {
+        return structural("reset state changed");
+    }
+    if old.transitions().len() != new.transitions().len() {
+        return structural("transition count changed");
+    }
+    let mut transitions = Vec::new();
+    for (i, (t, u)) in old.transitions().iter().zip(new.transitions()).enumerate() {
+        if t.input != u.input || t.from != u.from || t.to != u.to {
+            return structural("transition connectivity changed");
+        }
+        if t.output != u.output {
+            transitions.push(i);
+        }
+    }
+    if transitions.is_empty() {
+        MachineDelta::Identical
+    } else {
+        MachineDelta::OutputOnly { transitions }
+    }
+}
+
+/// Builds the [`DeltaSeed`] that lets a tensor build over `new` promote
+/// per-fault-cone fragments stored by a build over `old`, or `None`
+/// when the edit's effect on the synthesized machines puts promotion
+/// out of reach (the build then runs the ordinary whole-stage path).
+///
+/// Soundness gate, checked on the *synthesized* machines rather than
+/// the symbolic ones (resynthesis may reshape logic even for edits
+/// [`machine_delta`] calls output-only):
+///
+/// * identical interface dimensions and reset code;
+/// * identical next-state maps at every code and input — so the two
+///   machines reach the same codes and every trajectory the old
+///   enumeration walked exists verbatim in the new machine;
+/// * byte-identical input models — so the enumeration explores the
+///   same inputs at every state.
+///
+/// What may differ is the good *response* map; the seed records the
+/// codes where it does ([`DeltaSeed::changed_codes`]), and the build
+/// only promotes a fragment whose recorded good-state footprint avoids
+/// all of them. `detect` is the new build's option set (its latency is
+/// irrelevant here; contexts are latency-free).
+pub fn delta_seed(
+    old: &EncodedFsm,
+    old_circuit: &FsmCircuit,
+    new_circuit: &FsmCircuit,
+    detect: &DetectOptions,
+    granularity: InputGranularity,
+) -> Option<DeltaSeed> {
+    if old_circuit.num_inputs() != new_circuit.num_inputs()
+        || old_circuit.state_bits() != new_circuit.state_bits()
+        || old_circuit.num_outputs() != new_circuit.num_outputs()
+        || old_circuit.reset_code() != new_circuit.reset_code()
+    {
+        return None;
+    }
+    let old_model = build_input_model(old.fsm(), old.encoding(), granularity);
+    if old_model != detect.input_model {
+        return None;
+    }
+    let old_good = TransitionTables::good(old_circuit);
+    let new_good = TransitionTables::good(new_circuit);
+    let mut changed_codes: Vec<u64> = Vec::new();
+    for code in 0..(1u64 << old_circuit.state_bits()) {
+        let mut changed = false;
+        for input in 0..(1u64 << old_circuit.num_inputs()) {
+            if old_good.next(code, input) != new_good.next(code, input) {
+                return None;
+            }
+            changed |= old_good.response(code, input) != new_good.response(code, input);
+        }
+        if changed {
+            changed_codes.push(code);
+        }
+    }
+    Some(DeltaSeed {
+        old_context: fragment_context_bytes(&old_good, detect),
+        changed_codes,
+    })
+}
+
 /// Runs the complete experiment for one machine over several latency
 /// bounds (ascending order recommended; the detectability table is
 /// built once at the maximum and truncated for the rest).
@@ -852,6 +1093,7 @@ pub fn run_circuit_controlled(
                     on_checkpoint: Some(&mut wrap),
                     pool: control.pool,
                     store: control.store,
+                    delta: control.delta.take(),
                 },
             )
         };

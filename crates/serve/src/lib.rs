@@ -43,6 +43,6 @@ pub mod proto;
 pub mod server;
 
 pub use client::Client;
-pub use ops::{execute, OpError, OpKind, OpRequest};
+pub use ops::{execute, DeltaSummary, OpError, OpKind, OpOutput, OpRequest};
 pub use proto::{ErrorKind, Request};
 pub use server::{ServeOptions, Server};

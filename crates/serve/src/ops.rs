@@ -21,8 +21,9 @@
 //!   --campaign --out` writes.
 
 use ced_core::pipeline::{
-    build_input_model, fault_list, prepare_machine_stored, run_circuit_controlled, PipelineControl,
-    PipelineError, PipelineOptions,
+    build_input_model, delta_seed, fault_list, machine_delta, minimize_parity_functions_stored,
+    prepare_machine_stored, run_circuit_controlled, MachineDelta, PipelineControl, PipelineError,
+    PipelineOptions,
 };
 use ced_core::report_to_json;
 use ced_core::search::minimize_parity_functions;
@@ -31,8 +32,10 @@ use ced_fsm::machine::Fsm;
 use ced_logic::gate::CellLibrary;
 use ced_par::ParExec;
 use ced_runtime::{Budget, Interrupted};
+use ced_sim::cone::cone_keys;
 use ced_sim::detect::{BuildControl, DetectOptions, DetectabilityTable, InputModel, Semantics};
 use ced_store::Store;
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 /// Which analysis a request asks for.
@@ -85,6 +88,16 @@ pub struct OpRequest {
     pub steps: usize,
     /// Run the checker-netlist self-audit inside an inject campaign.
     pub checker_faults: bool,
+    /// Baseline machine (KISS2 text) for an incremental `check` — the
+    /// daemon's `analyze-delta` op and the CLI's `ced check --baseline`
+    /// both set this. The payload is byte-identical to a plain `check`
+    /// of `kiss2`; the baseline only seeds per-fault-cone fragment
+    /// reuse and the dirty-cone summary.
+    pub baseline: Option<String>,
+    /// Baseline named by machine fingerprint instead of inline text
+    /// (daemon only: resolved against the server's recent-machine
+    /// cache before execution).
+    pub baseline_fp: Option<u64>,
 }
 
 impl OpRequest {
@@ -99,6 +112,76 @@ impl OpRequest {
             seed: 0,
             steps: 2000,
             checker_faults: true,
+            baseline: None,
+            baseline_fp: None,
+        }
+    }
+}
+
+/// How a baseline-seeded check related the edited machine to its
+/// baseline (returned alongside the payload; the CLI prints its
+/// [`DeltaSummary::render_line`] on stderr, never into the payload).
+#[derive(Debug, Clone)]
+pub struct DeltaSummary {
+    /// Symbolic classification of the edit.
+    pub delta: MachineDelta,
+    /// Fault cones of the edited machine.
+    pub cones_total: usize,
+    /// Cones whose structural key does not occur in the baseline
+    /// machine (their fragments must be rebuilt no matter what).
+    pub cones_dirty: usize,
+    /// State codes whose good response changed (0 when no promotion
+    /// seed could be built).
+    pub changed_codes: usize,
+    /// Whether a cross-machine promotion seed was attached to the
+    /// build (false = the delta touches synthesis structure and the
+    /// analysis fell back to the whole-stage path).
+    pub seeded: bool,
+}
+
+impl DeltaSummary {
+    /// The one-line stderr summary.
+    pub fn render_line(&self) -> String {
+        let delta = match &self.delta {
+            MachineDelta::Identical => "identical".to_string(),
+            MachineDelta::OutputOnly { transitions } => {
+                format!("output-only ({} transitions)", transitions.len())
+            }
+            MachineDelta::Structural { reason } => format!("structural ({reason})"),
+        };
+        format!(
+            "delta: {delta}; cones: {}/{} dirty; {} changed codes; {}",
+            self.cones_dirty,
+            self.cones_total,
+            self.changed_codes,
+            if self.seeded {
+                "fragment promotion seeded"
+            } else {
+                "whole-stage fallback"
+            }
+        )
+    }
+}
+
+/// A finished operation: the payload — byte-identical to the one-shot
+/// CLI output for the same analysis — plus, for a baseline-seeded
+/// `analyze-delta`, the rendered [`DeltaSummary`] line. The summary
+/// rides *next to* the payload (the daemon emits it as a separate
+/// `delta` response field) so baseline presence can never move a
+/// payload byte.
+#[derive(Debug, Clone)]
+pub struct OpOutput {
+    /// The rendered payload (report text or JSON document).
+    pub payload: String,
+    /// `analyze-delta` only: [`DeltaSummary::render_line`].
+    pub delta: Option<String>,
+}
+
+impl OpOutput {
+    fn plain(payload: String) -> OpOutput {
+        OpOutput {
+            payload,
+            delta: None,
         }
     }
 }
@@ -136,7 +219,8 @@ impl From<PipelineError> for OpError {
 }
 
 /// Executes one request against shared infrastructure and returns the
-/// rendered payload.
+/// rendered payload (plus the delta summary for a baseline-seeded
+/// check — see [`OpOutput`]).
 ///
 /// # Errors
 ///
@@ -148,7 +232,7 @@ pub fn execute(
     budget: &Budget,
     pool: &ParExec,
     store: Option<&Store>,
-) -> Result<String, OpError> {
+) -> Result<OpOutput, OpError> {
     let fsm = ced_fsm::kiss::parse(&request.kiss2)
         .map_err(|e| OpError::BadRequest(format!("machine: {e}")))?;
     if request.latency == 0 {
@@ -159,11 +243,39 @@ pub fn execute(
     if request.latencies.is_empty() || request.latencies.contains(&0) {
         return Err(OpError::BadRequest("latencies need positive bounds".into()));
     }
+    if request.baseline_fp.is_some() && request.baseline.is_none() {
+        // The daemon resolves fingerprints against its recent-machine
+        // cache before calling in; an unresolved one reaching this
+        // layer means the caller skipped that step.
+        return Err(OpError::BadRequest(
+            "baseline fingerprint not resolved to machine text".into(),
+        ));
+    }
+    if request.baseline.is_some() && request.kind != OpKind::Check {
+        return Err(OpError::BadRequest(format!(
+            "baseline is only meaningful for check, not {}",
+            request.kind.name()
+        )));
+    }
     match request.kind {
-        OpKind::Check => check_text(&fsm, request, budget, pool, store),
-        OpKind::Table => table_json(&fsm, request, budget, pool, store),
-        OpKind::Certify => certify_json(&fsm, request, budget, pool, store),
-        OpKind::Inject => inject_text(&fsm, request, budget, pool, store),
+        OpKind::Check => {
+            let baseline = match &request.baseline {
+                Some(text) => Some(
+                    ced_fsm::kiss::parse(text)
+                        .map_err(|e| OpError::BadRequest(format!("baseline machine: {e}")))?,
+                ),
+                None => None,
+            };
+            check_text_with_baseline(&fsm, baseline.as_ref(), request, budget, pool, store).map(
+                |(payload, summary)| OpOutput {
+                    payload,
+                    delta: summary.map(|s| s.render_line()),
+                },
+            )
+        }
+        OpKind::Table => table_json(&fsm, request, budget, pool, store).map(OpOutput::plain),
+        OpKind::Certify => certify_json(&fsm, request, budget, pool, store).map(OpOutput::plain),
+        OpKind::Inject => inject_text(&fsm, request, budget, pool, store).map(OpOutput::plain),
     }
 }
 
@@ -180,6 +292,27 @@ pub fn check_text(
     pool: &ParExec,
     store: Option<&Store>,
 ) -> Result<String, OpError> {
+    check_text_with_baseline(fsm, None, request, budget, pool, store).map(|(text, _)| text)
+}
+
+/// [`check_text`] with an optional baseline machine seeding incremental
+/// re-analysis. The payload is byte-identical to the baseline-free call
+/// by construction: the baseline only adds a [`ced_core::pipeline::delta_seed`]
+/// to the fragment build (cross-machine promotion of clean cones) and
+/// computes the [`DeltaSummary`] — it never enters any fingerprint or
+/// the rendered text.
+///
+/// # Errors
+///
+/// As [`execute`].
+pub fn check_text_with_baseline(
+    fsm: &Fsm,
+    baseline: Option<&Fsm>,
+    request: &OpRequest,
+    budget: &Budget,
+    pool: &ParExec,
+    store: Option<&Store>,
+) -> Result<(String, Option<DeltaSummary>), OpError> {
     let lib = CellLibrary::new();
     let options = &request.options;
     let (encoded, circuit) =
@@ -187,20 +320,51 @@ pub fn check_text(
     let input_model =
         build_input_model(encoded.fsm(), encoded.encoding(), options.input_granularity);
     let faults = fault_list(&circuit, options);
+    let detect_options = DetectOptions {
+        latency: request.latency,
+        semantics: options.semantics,
+        input_model,
+        fault_model: options.fault_model,
+        ..DetectOptions::default()
+    };
+
+    let mut delta = None;
+    let mut summary = None;
+    if let Some(base) = baseline {
+        let (base_encoded, base_circuit) = prepare_machine_stored(base, options, store)
+            .map_err(|e| OpError::Failed(e.to_string()))?;
+        let seed = delta_seed(
+            &base_encoded,
+            &base_circuit,
+            &circuit,
+            &detect_options,
+            options.input_granularity,
+        );
+        let base_faults = fault_list(&base_circuit, options);
+        let base_keys: HashSet<u64> =
+            cone_keys(base_circuit.netlist(), &base_faults, options.fault_model)
+                .into_iter()
+                .collect();
+        let new_keys = cone_keys(circuit.netlist(), &faults, options.fault_model);
+        summary = Some(DeltaSummary {
+            delta: machine_delta(base, fsm),
+            cones_total: new_keys.len(),
+            cones_dirty: new_keys.iter().filter(|k| !base_keys.contains(k)).count(),
+            changed_codes: seed.as_ref().map_or(0, |s| s.changed_codes.len()),
+            seeded: seed.is_some(),
+        });
+        delta = seed;
+    }
+
     let (table, dstats) = DetectabilityTable::build_many_controlled(
         &circuit,
         &faults,
-        &DetectOptions {
-            latency: request.latency,
-            semantics: options.semantics,
-            input_model,
-            fault_model: options.fault_model,
-            ..DetectOptions::default()
-        },
+        &detect_options,
         &[request.latency],
         BuildControl {
             store,
             pool: Some(pool),
+            delta,
             ..BuildControl::new(budget)
         },
     )
@@ -216,7 +380,7 @@ pub fn check_text(
         options.fault_model, dstats.faults, dstats.untestable_faults, dstats.activations,
         table.len()
     );
-    let outcome = minimize_parity_functions(&table, &options.ced);
+    let outcome = minimize_parity_functions_stored(&table, &options.ced, store);
     let _ = writeln!(
         out,
         "Algorithm 1 (p = {}): q = {} parity trees ({} LP solves, {} rounding attempts)",
@@ -242,7 +406,7 @@ pub fn check_text(
         "checker: {} gates, {} hold FFs, area {:.1}",
         cost.gates, cost.flip_flops, cost.area
     );
-    Ok(out)
+    Ok((out, summary))
 }
 
 /// `ced table --out` as a value: the pipeline across the requested

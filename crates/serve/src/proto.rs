@@ -184,6 +184,22 @@ pub fn ok_payload(id: &str, payload: &str) -> String {
     .render()
 }
 
+/// Renders a finished op: [`ok_payload`] plus, when the op was a
+/// baseline-seeded `analyze-delta`, a `delta` field carrying the
+/// one-line summary. The summary is a sibling of the payload, never
+/// part of it — payload bytes stay identical to a plain `check`.
+pub fn ok_op(id: &str, out: &crate::ops::OpOutput) -> String {
+    let mut fields = vec![
+        ("id".to_string(), Json::str(id)),
+        ("status".to_string(), Json::str("ok")),
+        ("payload".to_string(), Json::str(&out.payload)),
+    ];
+    if let Some(delta) = &out.delta {
+        fields.push(("delta".to_string(), Json::str(delta)));
+    }
+    Json::Object(fields).render()
+}
+
 /// Renders a success response carrying arbitrary extra fields (submit
 /// handles, poll states, health documents).
 pub fn ok_fields(id: &str, fields: Vec<(String, Json)>) -> String {
@@ -349,7 +365,7 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         return fail("missing `cmd` string field");
     };
     match cmd {
-        "check" | "table" | "certify" | "inject" => {
+        "check" | "table" | "certify" | "inject" | "analyze-delta" => {
             let (op, deadline_ms, ticks) = parse_op(cmd, &doc).map_err(|m| (id.clone(), m))?;
             Ok(Request::Op {
                 id,
@@ -365,8 +381,13 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
             let Some(inner) = job.get("cmd").and_then(Json::as_str) else {
                 return fail("submit job needs a `cmd` string field");
             };
-            if !matches!(inner, "check" | "table" | "certify" | "inject") {
-                return fail("submit job `cmd` must be check, table, certify or inject");
+            if !matches!(
+                inner,
+                "check" | "table" | "certify" | "inject" | "analyze-delta"
+            ) {
+                return fail(
+                    "submit job `cmd` must be check, table, certify, inject or analyze-delta",
+                );
             }
             let (op, deadline_ms, ticks) = parse_op(inner, job).map_err(|m| (id.clone(), m))?;
             Ok(Request::Submit {
@@ -398,13 +419,17 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
 /// accepted fields and their defaults mirror the CLI flags one-to-one,
 /// which is what makes the serve ≡ CLI differential meaningful.
 fn parse_op(cmd: &str, doc: &Json) -> Result<(OpRequest, Option<u64>, Option<u64>), String> {
+    // `analyze-delta` is `check` with a mandatory baseline: same
+    // payload (byte-identical by construction), plus fragment-level
+    // reuse seeded from the baseline machine.
     let kind = match cmd {
-        "check" => OpKind::Check,
+        "check" | "analyze-delta" => OpKind::Check,
         "table" => OpKind::Table,
         "certify" => OpKind::Certify,
         "inject" => OpKind::Inject,
         other => return Err(format!("unknown analysis `{other}`")),
     };
+    let delta_op = cmd == "analyze-delta";
     let Some(kiss2) = doc.get("machine").and_then(Json::as_str) else {
         return Err("missing `machine` (KISS2 text) string field".to_string());
     };
@@ -426,6 +451,8 @@ fn parse_op(cmd: &str, doc: &Json) -> Result<(OpRequest, Option<u64>, Option<u64
         "deadline_ms",
         "ticks",
         "job",
+        "baseline",
+        "baseline_fp",
     ];
     for (key, _) in doc.as_object().into_iter().flatten() {
         if !known.contains(&key.as_str()) {
@@ -488,6 +515,31 @@ fn parse_op(cmd: &str, doc: &Json) -> Result<(OpRequest, Option<u64>, Option<u64
     }
     if let Some(v) = doc.get("checker_faults") {
         op.checker_faults = v.as_bool().ok_or("`checker_faults` needs a boolean")?;
+    }
+    match (doc.get("baseline"), doc.get("baseline_fp")) {
+        (None, None) => {
+            if delta_op {
+                return Err(
+                    "analyze-delta needs `baseline` (KISS2 text) or `baseline_fp`".to_string(),
+                );
+            }
+        }
+        _ if !delta_op => {
+            return Err("`baseline`/`baseline_fp` are only valid for analyze-delta".to_string());
+        }
+        (Some(_), Some(_)) => {
+            return Err("give exactly one of `baseline` and `baseline_fp`".to_string());
+        }
+        (Some(v), None) => {
+            let text = v.as_str().ok_or("`baseline` needs a string (KISS2 text)")?;
+            op.baseline = Some(text.to_string());
+        }
+        (None, Some(v)) => {
+            op.baseline_fp = Some(
+                v.as_u64()
+                    .ok_or("`baseline_fp` needs a non-negative integer")?,
+            );
+        }
     }
     let deadline_ms = match doc.get("deadline_ms") {
         Some(v) => Some(

@@ -20,13 +20,13 @@
 //! (`submit`) get their own token instead — they are *meant* to
 //! outlive the submitting connection — fired by an explicit `cancel`.
 
-use crate::ops::{self, OpError, OpRequest};
+use crate::ops::{self, OpError, OpOutput, OpRequest};
 use crate::proto::{
     self, ErrorKind, LineReader, ReadOutcome, Request, JOB_STATE_DONE, JOB_STATE_QUEUED,
     JOB_STATE_RUNNING,
 };
 use ced_par::ParExec;
-use ced_runtime::{Budget, CancelToken, Json};
+use ced_runtime::{fnv1a64, Budget, CancelToken, Json};
 use ced_store::Store;
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
@@ -125,7 +125,7 @@ struct Job {
 enum JobState {
     Queued,
     Running,
-    Done(Result<String, (ErrorKind, String)>),
+    Done(Result<OpOutput, (ErrorKind, String)>),
 }
 
 struct JobEntry {
@@ -154,6 +154,39 @@ struct Counters {
     bad_lines: AtomicU64,
 }
 
+/// Most recently analyzed machines retained for `baseline_fp` lookup.
+const MACHINE_CACHE_CAP: usize = 32;
+
+/// Recently analyzed machines, keyed by FNV-1a-64 of their KISS2
+/// bytes. Every executed analysis deposits its machine here, so a
+/// follow-up `analyze-delta` can name its baseline by fingerprint
+/// instead of resending the text. Capacity-bounded (FIFO eviction); a
+/// miss is a typed `not_found` — the client resends the baseline
+/// inline, nothing is ever wrong, only slower.
+#[derive(Default)]
+struct MachineCache {
+    by_fp: HashMap<u64, String>,
+    order: VecDeque<u64>,
+}
+
+impl MachineCache {
+    fn remember(&mut self, text: &str) {
+        let fp = fnv1a64(text.as_bytes());
+        if self.by_fp.insert(fp, text.to_string()).is_none() {
+            self.order.push_back(fp);
+            while self.order.len() > MACHINE_CACHE_CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.by_fp.remove(&old);
+                }
+            }
+        }
+    }
+
+    fn get(&self, fp: u64) -> Option<String> {
+        self.by_fp.get(&fp).cloned()
+    }
+}
+
 /// State shared by every thread of one daemon.
 struct Shared {
     options: ServeOptions,
@@ -163,6 +196,7 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     queue_cv: Condvar,
     registry: Mutex<JobRegistry>,
+    machines: Mutex<MachineCache>,
     next_handle: AtomicU64,
     counters: Counters,
     started: Instant,
@@ -254,6 +288,7 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             registry: Mutex::new(JobRegistry::default()),
+            machines: Mutex::new(MachineCache::default()),
             next_handle: AtomicU64::new(1),
             counters: Counters::default(),
             started: Instant::now(),
@@ -390,12 +425,47 @@ fn executor_loop(shared: &Arc<Shared>) {
     }
 }
 
-fn run_job(shared: &Arc<Shared>, job: Job) {
+fn run_job(shared: &Arc<Shared>, mut job: Job) {
     if let Reply::Detached(handle) = &job.reply {
         let mut registry = shared.registry.lock().expect("registry lock");
         if let Some(entry) = registry.entries.get_mut(handle) {
             entry.state = JobState::Running;
         }
+    }
+    if let Work::Op(op) = &mut job.work {
+        // Resolve a fingerprint-named baseline against the
+        // recent-machine cache before the ops layer sees the request
+        // (the ops layer only accepts inline baselines), and remember
+        // this request's machine so later `analyze-delta` requests can
+        // name it the same way.
+        if let Some(fp) = op.baseline_fp {
+            let resolved = shared.machines.lock().expect("machine cache lock").get(fp);
+            match resolved {
+                Some(text) => {
+                    op.baseline = Some(text);
+                    op.baseline_fp = None;
+                }
+                None => {
+                    deliver(
+                        shared,
+                        job.reply,
+                        Err((
+                            ErrorKind::NotFound,
+                            format!(
+                                "baseline fingerprint {fp:#018x} is not in the recent-machine \
+                                 cache; resend the baseline as inline KISS2 text"
+                            ),
+                        )),
+                    );
+                    return;
+                }
+            }
+        }
+        shared
+            .machines
+            .lock()
+            .expect("machine cache lock")
+            .remember(&op.kiss2);
     }
     if job.cancel.is_cancelled() {
         shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -420,14 +490,14 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         Work::Op(op) => std::panic::catch_unwind(AssertUnwindSafe(|| {
             ops::execute(op, &budget, &shared.pool, shared.store.as_ref())
         })),
-        Work::Panic => std::panic::catch_unwind(|| -> Result<String, OpError> {
+        Work::Panic => std::panic::catch_unwind(|| -> Result<OpOutput, OpError> {
             panic!("deliberate debug panic")
         }),
     };
-    let result: Result<String, (ErrorKind, String)> = match outcome {
-        Ok(Ok(payload)) => {
+    let result: Result<OpOutput, (ErrorKind, String)> = match outcome {
+        Ok(Ok(output)) => {
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
-            Ok(payload)
+            Ok(output)
         }
         Ok(Err(OpError::BadRequest(m))) => Err((ErrorKind::BadRequest, m)),
         Ok(Err(OpError::Interrupted(i))) => {
@@ -451,11 +521,11 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
 
 /// Routes a finished request's outcome: back to the connection, or
 /// into the job registry.
-fn deliver(shared: &Arc<Shared>, reply: Reply, result: Result<String, (ErrorKind, String)>) {
+fn deliver(shared: &Arc<Shared>, reply: Reply, result: Result<OpOutput, (ErrorKind, String)>) {
     match reply {
         Reply::Conn(writer, id) => {
             let line = match &result {
-                Ok(payload) => proto::ok_payload(&id, payload),
+                Ok(output) => proto::ok_op(&id, output),
                 Err((kind, message)) => proto::error(&id, *kind, message),
             };
             writer.send(&line);
@@ -639,7 +709,7 @@ fn handle_request(
                         unreachable!("matched Done above");
                     };
                     let line = match &result {
-                        Ok(payload) => proto::ok_payload(&id, payload),
+                        Ok(output) => proto::ok_op(&id, output),
                         Err((kind, message)) => proto::error(&id, *kind, message),
                     };
                     writer.send(&line);

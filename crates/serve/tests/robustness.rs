@@ -512,6 +512,134 @@ fn per_request_deadline_and_tick_caps_are_typed() {
     shutdown(server, &mut client);
 }
 
+/// [`TINY`] with one output bit flipped (the s1 self-loop) — the
+/// smallest output-only edit.
+const TINY_EDITED: &str = "\
+.i 1
+.o 1
+.p 4
+.s 2
+.r s0
+0 s0 s0 0
+1 s0 s1 1
+0 s1 s0 1
+1 s1 s1 1
+.e
+";
+
+#[test]
+fn analyze_delta_matches_plain_check_and_resolves_fingerprints() {
+    let server = start(options());
+    let mut client = connect(&server);
+
+    // Reference: a plain check of the edited machine.
+    let plain = client
+        .request(&check_req("plain", TINY_EDITED))
+        .expect("plain check");
+    assert_eq!(status_of(&plain), "ok", "{}", plain.render());
+    let reference = plain.get("payload").and_then(Json::as_str).unwrap();
+    assert!(
+        plain.get("delta").is_none(),
+        "plain check must not carry a delta summary"
+    );
+
+    // analyze-delta with the baseline inline: identical payload.
+    let inline = client
+        .request(&obj(vec![
+            ("id", Json::str("inline")),
+            ("cmd", Json::str("analyze-delta")),
+            ("machine", Json::str(TINY_EDITED)),
+            ("baseline", Json::str(TINY)),
+        ]))
+        .expect("inline analyze-delta");
+    assert_eq!(status_of(&inline), "ok", "{}", inline.render());
+    assert_eq!(
+        inline.get("payload").and_then(Json::as_str).unwrap(),
+        reference,
+        "analyze-delta payload must be byte-identical to plain check"
+    );
+    let summary = inline
+        .get("delta")
+        .and_then(Json::as_str)
+        .expect("analyze-delta carries a delta summary field");
+    assert!(
+        summary.starts_with("delta: ") && summary.contains("cones:"),
+        "unexpected summary shape: {summary}"
+    );
+
+    // A check of the baseline deposits it in the recent-machine cache;
+    // analyze-delta may then name it by fingerprint.
+    let base = client
+        .request(&check_req("base", TINY))
+        .expect("base check");
+    assert_eq!(status_of(&base), "ok", "{}", base.render());
+    let fp = ced_runtime::fnv1a64(TINY.as_bytes());
+    let by_fp = client
+        .request(&obj(vec![
+            ("id", Json::str("by-fp")),
+            ("cmd", Json::str("analyze-delta")),
+            ("machine", Json::str(TINY_EDITED)),
+            ("baseline_fp", Json::UInt(fp)),
+        ]))
+        .expect("fingerprint analyze-delta");
+    assert_eq!(status_of(&by_fp), "ok", "{}", by_fp.render());
+    assert_eq!(
+        by_fp.get("payload").and_then(Json::as_str).unwrap(),
+        reference,
+        "fingerprint-named baseline must give the same payload"
+    );
+
+    // Unknown fingerprint: typed not_found, connection survives.
+    let missing = client
+        .request(&obj(vec![
+            ("id", Json::str("missing")),
+            ("cmd", Json::str("analyze-delta")),
+            ("machine", Json::str(TINY_EDITED)),
+            ("baseline_fp", Json::UInt(0xDEAD_BEEF)),
+        ]))
+        .expect("missing-fp response");
+    assert_eq!(status_of(&missing), "error");
+    assert_eq!(error_kind(&missing), "not_found");
+
+    // Shape errors are typed bad_request: a baseline on plain check, a
+    // baseline-free analyze-delta, both baseline spellings at once.
+    for (what, doc) in [
+        (
+            "baseline on check",
+            obj(vec![
+                ("id", Json::str("e1")),
+                ("cmd", Json::str("check")),
+                ("machine", Json::str(TINY_EDITED)),
+                ("baseline", Json::str(TINY)),
+            ]),
+        ),
+        (
+            "analyze-delta without baseline",
+            obj(vec![
+                ("id", Json::str("e2")),
+                ("cmd", Json::str("analyze-delta")),
+                ("machine", Json::str(TINY_EDITED)),
+            ]),
+        ),
+        (
+            "both baseline spellings",
+            obj(vec![
+                ("id", Json::str("e3")),
+                ("cmd", Json::str("analyze-delta")),
+                ("machine", Json::str(TINY_EDITED)),
+                ("baseline", Json::str(TINY)),
+                ("baseline_fp", Json::UInt(fp)),
+            ]),
+        ),
+    ] {
+        let resp = client.request(&doc).expect(what);
+        assert_eq!(status_of(&resp), "error", "{what}: {}", resp.render());
+        assert_eq!(error_kind(&resp), "bad_request", "{what}");
+    }
+
+    shutdown(server, &mut client);
+}
+
 #[test]
 fn shutdown_request_stops_the_daemon_cleanly() {
     let server = start(options());

@@ -43,7 +43,7 @@ use ced_par::ParExec;
 use ced_runtime::{
     fnv1a64, Budget, ByteReader, ByteWriter, CheckpointError, InterruptKind, Interrupted,
 };
-use ced_store::{CoverageMatrix, Store};
+use ced_store::{CoverageMatrix, Store, TENSOR_COMP_STAGE, TENSOR_FRAG_STAGE};
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
 
@@ -149,6 +149,48 @@ impl Collector {
         self.emitted
     }
 
+    /// Drains the collector into its canonical kept rows — the payload
+    /// of a per-fault tensor fragment. In reduce mode these are the
+    /// fault's minimal step-sets; otherwise its deduplicated raw rows.
+    /// Sorted, so fragment bytes are deterministic.
+    fn into_fragment_rows(mut self) -> Vec<Vec<u64>> {
+        if self.reduce {
+            self.sets.remove_supersets();
+        }
+        self.sets.into_sorted_sets()
+    }
+
+    /// Replays a fragment's kept rows (already canonical/full-length)
+    /// and its emitted count into this collector. Equivalent to having
+    /// enumerated the fault inline: the per-fault collector already
+    /// counted emissions and canonicalized, so only the cross-fault
+    /// pruning and overflow bookkeeping happen here.
+    fn absorb(&mut self, rows: &[Vec<u64>], emitted: usize) {
+        self.emitted += emitted;
+        for row in rows {
+            if self.reduce {
+                if !self.sets.insert_minimal(row.clone()) {
+                    continue;
+                }
+                if self.sets.len() >= self.cleanup_at {
+                    self.sets.remove_supersets();
+                    self.cleanup_at = (self.sets.len() * 2).max(4096);
+                }
+            } else {
+                self.sets.insert_raw(row.clone());
+            }
+            if self.sets.len() > self.max_rows {
+                if self.reduce {
+                    self.sets.remove_supersets();
+                    self.cleanup_at = (self.sets.len() * 2).max(4096);
+                }
+                if self.sets.len() > self.max_rows {
+                    self.overflow = true;
+                }
+            }
+        }
+    }
+
     /// Captures the collector at a clean fault boundary. Sets are
     /// sorted so the snapshot (and hence the checkpoint bytes) are
     /// independent of hash iteration order.
@@ -205,7 +247,10 @@ pub struct DetectStats {
     /// Error activations (state × input pairs with `D₁ ≠ 0`), summed
     /// over faults.
     pub activations: usize,
-    /// Rows emitted before global deduplication.
+    /// Rows emitted by enumeration before cross-fault deduplication.
+    /// Counted per fault — the enumeration prunes each fault against
+    /// its own rows only — so the count is independent of store warmth
+    /// and fragment reuse.
     pub rows_raw: usize,
     /// Rows in the final table.
     pub rows: usize,
@@ -248,7 +293,7 @@ pub enum Semantics {
 }
 
 /// Which inputs the erroneous-case enumeration explores at each state.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub enum InputModel {
     /// Every input minterm (`2^r` per state). Exact, and required for
     /// the operational guarantee under arbitrary input streams, but
@@ -541,11 +586,22 @@ pub struct BuildControl<'a> {
     /// enumeration always runs in fault order and the build's tables,
     /// stats and checkpoints are byte-identical at every job count.
     pub pool: Option<&'a ParExec>,
-    /// Artifact store for the tensor stage. Each requested latency is
-    /// keyed independently (under [`TENSOR_STAGE`]), so a prior p-sweep
-    /// serves any subset of its bounds; because the enumeration is
-    /// deterministic, a hit is byte-identical to a rebuild.
+    /// Artifact store for the tensor stage, at two granularities:
+    /// whole-table `(table, stats)` artifacts under [`TENSOR_STAGE`],
+    /// and per-fault-cone fragments under
+    /// [`ced_store::TENSOR_FRAG_STAGE`] with composition digests under
+    /// [`ced_store::TENSOR_COMP_STAGE`]. Each requested latency is
+    /// keyed independently, so a prior p-sweep serves any subset of
+    /// its bounds; because the enumeration is deterministic, a hit —
+    /// whole table or composed from fragments — is byte-identical to
+    /// a rebuild.
     pub store: Option<&'a Store>,
+    /// Baseline seed for cross-machine fragment promotion: lets a
+    /// store-backed build of an *edited* machine reuse the unedited
+    /// baseline's fragments for every fault whose cone (and delta
+    /// footprint) the edit does not touch. Set by the pipeline's
+    /// machine-diff front-end; `None` leaves builds unaffected.
+    pub delta: Option<DeltaSeed>,
 }
 
 impl<'a> BuildControl<'a> {
@@ -558,11 +614,32 @@ impl<'a> BuildControl<'a> {
             on_checkpoint: None,
             pool: None,
             store: None,
+            delta: None,
         }
     }
 }
 
-/// Store stage name for per-latency `(table, stats)` tensor artifacts.
+/// Baseline seed for cross-machine fragment promotion (the
+/// edit→re-diagnose loop; DESIGN.md §16). Produced by the pipeline's
+/// machine-diff front-end after verifying the preconditions that make
+/// promotion sound: identical interface dims and reset code, a
+/// byte-identical input model, and next-state maps that agree at
+/// *every* code. Under those, a baseline fragment transfers to the
+/// edited machine whenever its cone key matches and its footprint
+/// avoids every changed code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaSeed {
+    /// The baseline machine's [`fragment_context_bytes`].
+    pub old_context: Vec<u8>,
+    /// Codes whose good response row differs between the baseline and
+    /// the edited machine, sorted ascending.
+    pub changed_codes: Vec<u64>,
+}
+
+/// Store stage name for per-latency whole-table `(table, stats)`
+/// tensor artifacts. Per-fault fragments and whole-table composition
+/// digests live under [`ced_store::TENSOR_FRAG_STAGE`] and
+/// [`ced_store::TENSOR_COMP_STAGE`].
 pub const TENSOR_STAGE: &str = "tensor";
 
 impl DetectabilityTable {
@@ -634,7 +711,6 @@ impl DetectabilityTable {
         if latencies.contains(&0) {
             return Err(DetectError::ZeroLatency);
         }
-        let r = circuit.num_inputs();
         let n = circuit.total_bits();
         // Checked i·j·k dims: a pathological latency bound (or row cap)
         // whose tensor volume overflows usize must fail as a typed
@@ -654,49 +730,130 @@ impl DetectabilityTable {
                 })?;
         }
         let good = TransitionTables::good(circuit);
-        let activation_states = good.reachable_codes();
         let base_bytes = fingerprint_base_bytes(&good, faults, options);
         let fingerprint = build_fingerprint_from_base(&base_bytes, latencies);
         let tensor_fps: Vec<u64> = latencies
             .iter()
             .map(|&p| tensor_fingerprint(&base_bytes, p))
             .collect();
+        let delta = control.delta.take();
 
         // Tensor stage replay: each latency's (table, stats) pair is a
         // pure function of (good tables, faults, options-sans-latency,
         // p), so a prior build at any superset of bounds serves this
         // request. All requested bounds must hit — the enumeration
         // below computes every bound jointly in one pass over faults,
-        // so a partial hit saves nothing.
-        if let Some(store) = control.store {
-            let mut cached = Vec::with_capacity(latencies.len());
-            for (&p, &fp) in latencies.iter().zip(&tensor_fps) {
-                let hit = store.get_typed(TENSOR_STAGE, fp, |bytes| {
-                    let mut r = ByteReader::new(bytes);
-                    let table = DetectabilityTable::read(&mut r)?;
-                    let st = DetectStats::read(&mut r)?;
-                    r.expect_end()?;
-                    if table.latency != p || table.num_bits != n || table.reduced != options.reduce
-                    {
-                        return Err(CheckpointError::Corrupt(
-                            "tensor artifact does not match the request".into(),
-                        ));
-                    }
-                    Ok((table, st))
-                });
-                match hit {
-                    Some(pair) => cached.push(pair),
-                    None => {
-                        cached.clear();
-                        break;
+        // so a partial hit saves nothing. Delta-seeded builds skip the
+        // whole-table probe and go fragments-first: promotion is what
+        // publishes the edited machine's fragments, and the fragment
+        // counters are the observable evidence of reuse.
+        if delta.is_none() {
+            if let Some(store) = control.store {
+                let mut cached = Vec::with_capacity(latencies.len());
+                for (&p, &fp) in latencies.iter().zip(&tensor_fps) {
+                    let hit = store.get_typed(TENSOR_STAGE, fp, |bytes| {
+                        let mut r = ByteReader::new(bytes);
+                        let table = DetectabilityTable::read(&mut r)?;
+                        let st = DetectStats::read(&mut r)?;
+                        r.expect_end()?;
+                        if table.latency != p
+                            || table.num_bits != n
+                            || table.reduced != options.reduce
+                        {
+                            return Err(CheckpointError::Corrupt(
+                                "tensor artifact does not match the request".into(),
+                            ));
+                        }
+                        Ok((table, st))
+                    });
+                    match hit {
+                        Some(pair) => cached.push(pair),
+                        None => {
+                            cached.clear();
+                            break;
+                        }
                     }
                 }
-            }
-            if cached.len() == latencies.len() {
-                return Ok(cached);
+                if cached.len() == latencies.len() {
+                    return Ok(cached);
+                }
             }
         }
 
+        // Per-fault fragment machinery, engaged whenever a store can
+        // serve or receive fragments: the context bytes every fragment
+        // key shares, each fault's cone key, and the optional
+        // cross-machine promotion seed.
+        let frag = control.store.map(|_| FragContext {
+            context: fragment_context_bytes(&good, options),
+            cone_keys: crate::cone::cone_keys(circuit.netlist(), faults, options.fault_model),
+            delta,
+        });
+
+        match Self::enumerate_faults(
+            circuit,
+            faults,
+            options,
+            latencies,
+            &good,
+            fingerprint,
+            &tensor_fps,
+            frag.as_ref(),
+            &mut control,
+            true,
+        )? {
+            FragmentOutcome::Done(results) => Ok(results),
+            FragmentOutcome::CompositionMismatch => {
+                // Some stored artifact was corrupt in a way only the
+                // whole-table digest could catch. Every implicated key
+                // has been dropped (corruption degrades to a miss);
+                // rebuild monolithically and re-publish.
+                match Self::enumerate_faults(
+                    circuit,
+                    faults,
+                    options,
+                    latencies,
+                    &good,
+                    fingerprint,
+                    &tensor_fps,
+                    frag.as_ref(),
+                    &mut control,
+                    false,
+                )? {
+                    FragmentOutcome::Done(results) => Ok(results),
+                    FragmentOutcome::CompositionMismatch => unreachable!(
+                        "a build without fragment reads treats its own digest as authoritative"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// One enumeration pass over the fault list: probes stored
+    /// per-fault fragments (when `read_fragments` and a store is
+    /// attached), enumerates the rest, absorbs everything in fault
+    /// order, and verifies each composed table against its recorded
+    /// digest. Returns [`FragmentOutcome::CompositionMismatch`] when a
+    /// composed table disagrees with a recorded digest; the caller
+    /// retries without fragment reads once the implicated keys are
+    /// dropped.
+    #[allow(clippy::too_many_arguments)]
+    fn enumerate_faults(
+        circuit: &FsmCircuit,
+        faults: &[Fault],
+        options: &DetectOptions,
+        latencies: &[usize],
+        good: &TransitionTables,
+        fingerprint: u64,
+        tensor_fps: &[u64],
+        frag: Option<&FragContext>,
+        control: &mut BuildControl<'_>,
+        read_fragments: bool,
+    ) -> Result<FragmentOutcome, DetectError> {
+        let r = circuit.num_inputs();
+        let n = circuit.total_bits();
+        let np = latencies.len();
+        let activation_states = good.reachable_codes();
         let mut stats: Vec<DetectStats> = latencies
             .iter()
             .map(|_| DetectStats {
@@ -736,15 +893,52 @@ impl DetectabilityTable {
                 stats: stats.to_vec(),
             };
 
+        // Fragment probe, before the fault loop: decide which faults
+        // can be served (entirely or per-bound) from stored fragments.
+        // Resolving this up front keeps the extraction prefetch
+        // aligned — the pool window must contain exactly the faults
+        // that will be enumerated, in order — and is what lets a
+        // delta-seeded warm build skip extraction for clean cones.
+        let mut fragments: Vec<Vec<Option<TensorFragment>>> =
+            faults.iter().map(|_| Vec::new()).collect();
+        let mut needs_build = vec![true; faults.len()];
+        let mut absorbed_keys: Vec<u64> = Vec::new();
+        if read_fragments {
+            if let (Some(store), Some(fc)) = (control.store, frag) {
+                for fi in start_fault..faults.len() {
+                    let cone_key = fc.cone_keys[fi];
+                    let mut hits: Vec<Option<TensorFragment>> = Vec::with_capacity(np);
+                    for &p in latencies {
+                        let key = fragment_fingerprint(&fc.context, cone_key, p);
+                        let mut hit = store.get_typed(TENSOR_FRAG_STAGE, key, |bytes| {
+                            TensorFragment::from_bytes(bytes, p, options.reduce)
+                        });
+                        if hit.is_none() {
+                            if let Some(seed) = &fc.delta {
+                                hit =
+                                    promote_fragment(store, seed, cone_key, p, options.reduce, key);
+                            }
+                        }
+                        if hit.is_some() {
+                            absorbed_keys.push(key);
+                        }
+                        hits.push(hit);
+                    }
+                    needs_build[fi] = hits.iter().any(Option::is_none);
+                    fragments[fi] = hits;
+                }
+            }
+        }
+
         // Parallel extraction prefetch: the per-fault transition-table
         // extraction is pure and dominates large builds, so the pool
         // extracts a bounded window of upcoming faults ahead of the
         // enumeration. The enumeration below must stay in fault order
-        // — the collectors' dominance pruning is stateful across
-        // faults and `rows_raw` observes it — so it consumes the
-        // prefetched tables strictly in order and every output
-        // (tables, stats, checkpoints) is byte-identical to the serial
-        // run. The window bounds memory to ~2·jobs tables.
+        // — fragments absorb into the shared collectors at fault
+        // boundaries and `rows_raw` observes that order — so it
+        // consumes the prefetched tables strictly in order and every
+        // output (tables, stats, checkpoints) is byte-identical to the
+        // serial run. The window bounds memory to ~2·jobs tables.
         let pool = control.pool.filter(|p| p.jobs() > 1);
         let window = pool.map_or(1, |p| p.jobs() * 2);
         let mut prefetched: VecDeque<TransitionTables> = VecDeque::new();
@@ -778,161 +972,230 @@ impl DetectabilityTable {
                     checkpoint: Some(Box::new(snapshot(fi, &collectors, &stats))),
                 });
             }
-            // Per-model extraction: a multi-bit cluster injects every
-            // net the model expands the seed to; every other model
-            // injects the seed alone (time variation lives in the
-            // enumeration, not in the tables).
-            let extract = |f: Fault| match options.fault_model {
-                FaultModel::MultiBitCluster { .. } => TransitionTables::faulty_set_budgeted(
-                    circuit,
-                    &options.fault_model.expand(f, circuit.netlist()),
-                    budget,
-                ),
-                _ => TransitionTables::faulty_budgeted(circuit, f, budget),
-            };
-            let extracted = match prefetched.pop_front() {
-                Some(t) => Ok(t),
-                None => match pool {
-                    Some(p) => p
-                        .try_map(&faults[fi..(fi + window).min(faults.len())], |_, &f| {
-                            extract(f)
-                        })
-                        .map(|tables| {
-                            prefetched = tables.into();
-                            prefetched.pop_front().expect("nonempty window")
-                        }),
-                    None => extract(fault),
-                },
-            };
-            let bad = match extracted {
-                Ok(t) => t,
-                Err(mut interrupted) => {
-                    // Extraction mutates nothing shared: still a clean
-                    // boundary at fault `fi` (none of the window's
-                    // faults has been enumerated yet).
-                    interrupted.resumable = true;
-                    return Err(DetectError::Interrupted {
-                        interrupted,
-                        checkpoint: Some(Box::new(snapshot(fi, &collectors, &stats))),
-                    });
-                }
-            };
-            let mut testable = false;
-            // Activations with identical (D₁, start, successor) enumerate
-            // identical subtrees (the start matters for the loop rule) —
-            // dedupe them per fault and latency bound.
-            for set in seen_starts.iter_mut() {
-                set.clear();
+            let mut resolved = std::mem::take(&mut fragments[fi]);
+            if resolved.is_empty() {
+                resolved.resize_with(np, || None);
             }
-
-            for &c in &activation_states {
-                // Mid-fault safe point: prompt response to cancellation
-                // and deadlines only — the collectors already hold
-                // partial rows for this fault, so nothing resumable can
-                // be captured here. Quantity caps (ticks/bytes) wait
-                // for the next fault boundary, which yields a clean
-                // checkpoint instead.
-                if let Err(interrupted) = budget.check("tensor:enumerate") {
-                    if matches!(
-                        interrupted.kind,
-                        InterruptKind::Cancelled | InterruptKind::DeadlineExceeded
-                    ) {
+            if needs_build[fi] {
+                // Per-model extraction: a multi-bit cluster injects every
+                // net the model expands the seed to; every other model
+                // injects the seed alone (time variation lives in the
+                // enumeration, not in the tables).
+                let extract = |f: Fault| match options.fault_model {
+                    FaultModel::MultiBitCluster { .. } => TransitionTables::faulty_set_budgeted(
+                        circuit,
+                        &options.fault_model.expand(f, circuit.netlist()),
+                        budget,
+                    ),
+                    _ => TransitionTables::faulty_budgeted(circuit, f, budget),
+                };
+                let extracted = match prefetched.pop_front() {
+                    Some(t) => Ok(t),
+                    None => match pool {
+                        Some(p) => {
+                            // The window skips fragment-served faults so
+                            // the FIFO stays aligned with consumption.
+                            let upcoming: Vec<Fault> = (fi..faults.len())
+                                .filter(|&j| needs_build[j])
+                                .take(window)
+                                .map(|j| faults[j])
+                                .collect();
+                            p.try_map(&upcoming, |_, &f| extract(f)).map(|tables| {
+                                prefetched = tables.into();
+                                prefetched.pop_front().expect("nonempty window")
+                            })
+                        }
+                        None => extract(fault),
+                    },
+                };
+                let bad = match extracted {
+                    Ok(t) => t,
+                    Err(mut interrupted) => {
+                        // Extraction mutates nothing shared: still a clean
+                        // boundary at fault `fi` (none of the window's
+                        // faults has been enumerated yet).
+                        interrupted.resumable = true;
                         return Err(DetectError::Interrupted {
                             interrupted,
-                            checkpoint: None,
+                            checkpoint: Some(Box::new(snapshot(fi, &collectors, &stats))),
                         });
                     }
+                };
+                // Fresh per-fault collectors for the bounds no stored
+                // fragment served: enumeration prunes each fault
+                // against its own rows only, so a fragment (and hence
+                // `rows_raw`) is independent of store warmth and of
+                // every other fault.
+                let mut local: Vec<Option<(Collector, CodeFootprint)>> = resolved
+                    .iter()
+                    .zip(latencies)
+                    .map(|(hit, &p)| {
+                        hit.is_none().then(|| {
+                            (
+                                Collector::new(p, options.reduce, options.max_rows),
+                                CodeFootprint::new(),
+                            )
+                        })
+                    })
+                    .collect();
+                let mut testable = false;
+                let mut activations = 0usize;
+                // Activations with identical (D₁, start, successor) enumerate
+                // identical subtrees (the start matters for the loop rule) —
+                // dedupe them per fault and latency bound.
+                for set in seen_starts.iter_mut() {
+                    set.clear();
                 }
-                options.input_model.inputs_at(c, r, &mut inputs_scratch);
-                let inputs_here = inputs_scratch.clone();
-                for a1 in inputs_here {
-                    let d1 = good.response(c, a1) ^ bad.response(c, a1);
-                    if d1 == 0 {
-                        continue;
-                    }
-                    testable = true;
-                    budget.charge(1);
-                    for ((pi, &p), collector) in
-                        latencies.iter().enumerate().zip(collectors.iter_mut())
-                    {
-                        stats[pi].activations += 1;
-                        match options.semantics {
-                            Semantics::FaultyTrajectory => {
-                                let s1 = bad.next(c, a1);
-                                if !seen_starts[pi].insert((d1, c, s1, 0)) {
-                                    continue;
-                                }
-                                if timed {
-                                    enumerate_paths_timed(
-                                        &good,
-                                        &bad,
-                                        options.fault_model,
-                                        &options.input_model,
-                                        r,
-                                        p,
-                                        c,
-                                        d1,
-                                        s1,
-                                        collector,
-                                    );
-                                } else {
-                                    enumerate_paths(
-                                        &good,
-                                        &bad,
-                                        &options.input_model,
-                                        r,
-                                        p,
-                                        c,
-                                        d1,
-                                        s1,
-                                        collector,
-                                    );
-                                }
-                            }
-                            Semantics::Lockstep => {
-                                let pair1 = (good.next(c, a1), bad.next(c, a1));
-                                if !seen_starts[pi].insert((d1, c, pair1.0, pair1.1)) {
-                                    continue;
-                                }
-                                if timed {
-                                    enumerate_lockstep_timed(
-                                        &good,
-                                        &bad,
-                                        options.fault_model,
-                                        &options.input_model,
-                                        r,
-                                        p,
-                                        (c, c),
-                                        d1,
-                                        pair1,
-                                        collector,
-                                    );
-                                } else {
-                                    enumerate_lockstep(
-                                        &good,
-                                        &bad,
-                                        &options.input_model,
-                                        r,
-                                        p,
-                                        (c, c),
-                                        d1,
-                                        pair1,
-                                        collector,
-                                    );
-                                }
-                            }
-                        }
-                        if collector.overflowed() {
-                            return Err(DetectError::TooManyRows {
-                                limit: options.max_rows,
+
+                for &c in &activation_states {
+                    // Mid-fault safe point: prompt response to cancellation
+                    // and deadlines only — the collectors already hold
+                    // partial rows for this fault, so nothing resumable can
+                    // be captured here. Quantity caps (ticks/bytes) wait
+                    // for the next fault boundary, which yields a clean
+                    // checkpoint instead.
+                    if let Err(interrupted) = budget.check("tensor:enumerate") {
+                        if matches!(
+                            interrupted.kind,
+                            InterruptKind::Cancelled | InterruptKind::DeadlineExceeded
+                        ) {
+                            return Err(DetectError::Interrupted {
+                                interrupted,
+                                checkpoint: None,
                             });
                         }
                     }
+                    options.input_model.inputs_at(c, r, &mut inputs_scratch);
+                    let inputs_here = inputs_scratch.clone();
+                    for a1 in inputs_here {
+                        let d1 = good.response(c, a1) ^ bad.response(c, a1);
+                        if d1 == 0 {
+                            continue;
+                        }
+                        testable = true;
+                        activations += 1;
+                        budget.charge(1);
+                        for ((pi, &p), slot) in latencies.iter().enumerate().zip(local.iter_mut()) {
+                            let Some((collector, footprint)) = slot.as_mut() else {
+                                continue;
+                            };
+                            match options.semantics {
+                                Semantics::FaultyTrajectory => {
+                                    let s1 = bad.next(c, a1);
+                                    if !seen_starts[pi].insert((d1, c, s1, 0)) {
+                                        continue;
+                                    }
+                                    if timed {
+                                        enumerate_paths_timed(
+                                            good,
+                                            &bad,
+                                            options.fault_model,
+                                            &options.input_model,
+                                            r,
+                                            p,
+                                            c,
+                                            d1,
+                                            s1,
+                                            collector,
+                                        );
+                                    } else {
+                                        enumerate_paths(
+                                            good,
+                                            &bad,
+                                            &options.input_model,
+                                            r,
+                                            p,
+                                            c,
+                                            d1,
+                                            s1,
+                                            collector,
+                                        );
+                                    }
+                                }
+                                Semantics::Lockstep => {
+                                    let pair1 = (good.next(c, a1), bad.next(c, a1));
+                                    if !seen_starts[pi].insert((d1, c, pair1.0, pair1.1)) {
+                                        continue;
+                                    }
+                                    if timed {
+                                        enumerate_lockstep_timed(
+                                            good,
+                                            &bad,
+                                            options.fault_model,
+                                            &options.input_model,
+                                            r,
+                                            p,
+                                            (c, c),
+                                            d1,
+                                            pair1,
+                                            collector,
+                                            footprint,
+                                        );
+                                    } else {
+                                        enumerate_lockstep(
+                                            good,
+                                            &bad,
+                                            &options.input_model,
+                                            r,
+                                            p,
+                                            (c, c),
+                                            d1,
+                                            pair1,
+                                            collector,
+                                            footprint,
+                                        );
+                                    }
+                                }
+                            }
+                            if collector.overflowed() {
+                                return Err(DetectError::TooManyRows {
+                                    limit: options.max_rows,
+                                });
+                            }
+                        }
+                    }
+                }
+                // Package the freshly enumerated bounds as fragments —
+                // the stored artifact (if any) and the absorb source
+                // below are the same value by construction.
+                for (pi, slot) in local.into_iter().enumerate() {
+                    let Some((collector, footprint)) = slot else {
+                        continue;
+                    };
+                    let emitted = collector.emitted();
+                    let (codes, overflow) = footprint.into_sorted();
+                    let fragment = TensorFragment {
+                        testable,
+                        activations,
+                        emitted,
+                        rows: collector.into_fragment_rows(),
+                        footprint: codes,
+                        footprint_overflow: overflow,
+                    };
+                    if let (Some(store), Some(fc)) = (control.store, frag) {
+                        let key =
+                            fragment_fingerprint(&fc.context, fc.cone_keys[fi], latencies[pi]);
+                        store.put_artifact(TENSOR_FRAG_STAGE, key, &fragment.to_bytes());
+                    }
+                    resolved[pi] = Some(fragment);
                 }
             }
-            if !testable {
-                for s in stats.iter_mut() {
-                    s.untestable_faults += 1;
+            // Absorb in fault order — the identical path whether a
+            // fragment was enumerated just now or served by the store,
+            // so warm and cold builds walk byte-identical collector
+            // states (the whole-table digest check below then proves
+            // it against past monolithic runs).
+            for (pi, fragment) in resolved.iter().enumerate() {
+                let fragment = fragment.as_ref().expect("every bound resolved");
+                stats[pi].activations += fragment.activations;
+                if !fragment.testable {
+                    stats[pi].untestable_faults += 1;
+                }
+                collectors[pi].absorb(&fragment.rows, fragment.emitted);
+                if collectors[pi].overflowed() {
+                    return Err(DetectError::TooManyRows {
+                        limit: options.max_rows,
+                    });
                 }
             }
             // Row-storage estimate: kept sets × step words.
@@ -964,14 +1227,58 @@ impl DetectabilityTable {
             })
             .collect();
         if let Some(store) = control.store {
-            for ((table, st), &fp) in results.iter().zip(&tensor_fps) {
+            // Composition check and publication, two-phase: verify
+            // every bound's digest before publishing anything — a
+            // mismatching pass must not record digests derived from
+            // artifacts it is about to declare corrupt.
+            let mut publish: Vec<(Vec<u8>, u64, Option<u64>)> = Vec::with_capacity(np);
+            let mut mismatch = false;
+            for ((table, st), &fp) in results.iter().zip(tensor_fps) {
                 let mut w = ByteWriter::new();
                 table.write(&mut w);
                 st.write(&mut w);
-                store.put_artifact(TENSOR_STAGE, fp, &w.finish());
+                let bytes = w.finish();
+                let digest = fnv1a64(&bytes);
+                let recorded = store.get_typed(TENSOR_COMP_STAGE, fp, |b| {
+                    let mut rd = ByteReader::new(b);
+                    let d = rd.u64()?;
+                    rd.expect_end()?;
+                    Ok(d)
+                });
+                match recorded {
+                    Some(expected) if expected != digest => {
+                        // The composed table disagrees with the digest
+                        // a prior build recorded: one side is corrupt
+                        // and there is no way to tell which. Drop the
+                        // record; the caller drops the fragments.
+                        store.note_corrupt(TENSOR_COMP_STAGE, fp);
+                        mismatch = true;
+                    }
+                    Some(_) => publish.push((bytes, fp, None)),
+                    None => publish.push((bytes, fp, Some(digest))),
+                }
+            }
+            if mismatch {
+                if read_fragments {
+                    for &key in &absorbed_keys {
+                        store.note_corrupt(TENSOR_FRAG_STAGE, key);
+                    }
+                    return Ok(FragmentOutcome::CompositionMismatch);
+                }
+                // No fragments were read, so this monolithic build is
+                // authoritative and the stale digests are already
+                // dropped; the next store-backed build re-records
+                // cleanly. Results stand.
+                return Ok(FragmentOutcome::Done(results));
+            }
+            for (bytes, fp, record) in publish {
+                if let Some(digest) = record {
+                    store.put_artifact(TENSOR_COMP_STAGE, fp, &digest.to_le_bytes());
+                }
+                store.put_artifact(TENSOR_STAGE, fp, &bytes);
             }
         }
-        Ok(results)
+        Ok(FragmentOutcome::Done(results))
     }
 
     /// Builds a table directly from rows (tests, ablations, custom error
@@ -1294,18 +1601,20 @@ impl DetectabilityTable {
     }
 }
 
-/// Canonical bytes of everything a tensor build depends on *except*
-/// the latency bounds: the good machine's full transition tables, the
-/// fault list and every enumeration option. Checkpoint fingerprints
-/// append the full latency list ([`build_fingerprint_from_base`]);
-/// store keys append a single bound ([`tensor_fingerprint`]) so a
-/// p-sweep's artifacts serve any later subset of its bounds.
-fn fingerprint_base_bytes(
-    good: &TransitionTables,
-    faults: &[Fault],
-    options: &DetectOptions,
-) -> Vec<u8> {
-    let mut w = ByteWriter::new();
+/// Version marker folded into every tensor-layer fingerprint. The
+/// per-fault-cone split changed `rows_raw` semantics (counted per fault
+/// instead of after cross-fault pruning), so pre-split artifacts and
+/// checkpoints must miss rather than replay under the new counters —
+/// bumping the marker is the PR6 invalidation convention.
+const TENSOR_FORMAT_VERSION: &str = "tensor-frag-v1";
+
+/// Everything a single fault's fragment depends on *except* the fault
+/// itself and the latency bound: the good machine's full transition
+/// tables and every enumeration option. This is the shared half of
+/// both the fragment keys (fault cone + bound appended) and the
+/// whole-table keys (fault list + bound appended).
+fn write_fragment_context(w: &mut ByteWriter, good: &TransitionTables, options: &DetectOptions) {
+    w.str(TENSOR_FORMAT_VERSION);
     w.usize(good.num_inputs());
     w.usize(good.state_bits());
     w.usize(good.num_outputs());
@@ -1315,11 +1624,6 @@ fn fingerprint_base_bytes(
             w.u64(good.response(code, input));
             w.u64(good.next(code, input));
         }
-    }
-    w.usize(faults.len());
-    for f in faults {
-        w.usize(f.net.index());
-        w.bool(f.stuck_at);
     }
     w.usize(options.max_rows);
     w.bool(options.reduce);
@@ -1340,18 +1644,48 @@ fn fingerprint_base_bytes(
     }
     // Fault-model key hygiene: non-permanent models get their own
     // store keys and checkpoint fingerprints. The permanent default
-    // appends nothing so every pre-model artifact stays valid and the
-    // permanent byte-identity guarantee holds.
+    // appends nothing so permanent and default-model artifacts share
+    // keys and the permanent byte-identity guarantee holds.
     if options.fault_model != FaultModel::PermanentStuckAt {
         w.str("fault-model");
-        options.fault_model.write(&mut w);
+        options.fault_model.write(w);
+    }
+}
+
+/// Canonical context bytes for the machine/options half of every
+/// tensor-layer key. `core::pipeline`'s machine-diff front-end computes
+/// this for the *baseline* machine to name the fragments an edited
+/// machine may promote ([`DeltaSeed::old_context`]).
+pub fn fragment_context_bytes(good: &TransitionTables, options: &DetectOptions) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    write_fragment_context(&mut w, good, options);
+    w.finish()
+}
+
+/// Canonical bytes of everything a whole-table build depends on
+/// *except* the latency bounds: the fragment context plus the fault
+/// list. Checkpoint fingerprints append the full latency list
+/// ([`build_fingerprint_from_base`]); store keys append a single bound
+/// ([`tensor_fingerprint`]) so a p-sweep's artifacts serve any later
+/// subset of its bounds.
+fn fingerprint_base_bytes(
+    good: &TransitionTables,
+    faults: &[Fault],
+    options: &DetectOptions,
+) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    write_fragment_context(&mut w, good, options);
+    w.usize(faults.len());
+    for f in faults {
+        w.usize(f.net.index());
+        w.bool(f.stuck_at);
     }
     w.finish()
 }
 
 /// FNV fingerprint binding a [`BuildCheckpoint`] to its inputs.
 /// Anything that could make a resumed build diverge from the original
-/// run is folded in (byte-compatible with the pre-split fingerprint).
+/// run is folded in.
 fn build_fingerprint_from_base(base: &[u8], latencies: &[usize]) -> u64 {
     let mut bytes = base.to_vec();
     bytes.extend_from_slice(&(latencies.len() as u64).to_le_bytes());
@@ -1367,6 +1701,219 @@ fn tensor_fingerprint(base: &[u8], latency: usize) -> u64 {
     bytes.extend_from_slice(b"tensor-latency");
     bytes.extend_from_slice(&(latency as u64).to_le_bytes());
     fnv1a64(&bytes)
+}
+
+/// Store key for one fault cone's fragment at one latency bound.
+fn fragment_fingerprint(context: &[u8], cone_key: u64, latency: usize) -> u64 {
+    let mut bytes = context.to_vec();
+    bytes.extend_from_slice(b"tensor-frag");
+    bytes.extend_from_slice(&cone_key.to_le_bytes());
+    bytes.extend_from_slice(&(latency as u64).to_le_bytes());
+    fnv1a64(&bytes)
+}
+
+/// Per-(fault cone, latency bound) store context carried through one
+/// [`DetectabilityTable::build_many_controlled`] call.
+struct FragContext {
+    /// [`fragment_context_bytes`] of the machine under analysis.
+    context: Vec<u8>,
+    /// [`crate::cone::cone_keys`] of the fault list, in fault order.
+    cone_keys: Vec<u64>,
+    /// Present when this build was seeded by a machine diff: enables
+    /// promoting the baseline's fragments across the context change.
+    delta: Option<DeltaSeed>,
+}
+
+/// Outcome of one enumeration pass over the fault list.
+enum FragmentOutcome {
+    /// The per-bound `(table, stats)` pairs, in latency order.
+    Done(Vec<(DetectabilityTable, DetectStats)>),
+    /// A stored composition digest disagreed with the table composed
+    /// from fragments. The poisoned artifacts have been dropped; the
+    /// caller must re-run without fragment reads.
+    CompositionMismatch,
+}
+
+/// Good-state codes whose transitions a fault's enumeration actually
+/// compared across the two machines. Lockstep enumeration reads good
+/// rows at *both* trajectories' states once they diverge; the cone key
+/// pins only the faulted machine's structure, so cross-machine fragment
+/// promotion must additionally check that the machines' good tables
+/// agree at every recorded code ([`promote_fragment`]).
+struct CodeFootprint {
+    codes: HashSet<u64>,
+    overflow: bool,
+}
+
+/// Footprints beyond this many distinct codes stop recording and mark
+/// themselves overflowed — the fragment then refuses cross-context
+/// promotion (correctness is unaffected; it just rebuilds).
+const FOOTPRINT_CAP: usize = 4096;
+
+impl CodeFootprint {
+    fn new() -> CodeFootprint {
+        CodeFootprint {
+            codes: HashSet::new(),
+            overflow: false,
+        }
+    }
+
+    /// Records a divergent state pair. Non-divergent pairs contribute
+    /// nothing to promotion validity: when `g == f` the step mask is
+    /// `good(g) ^ bad(f)`, and the delta seed already requires the two
+    /// machines' next maps (hence `bad`) and the cone (hence the
+    /// faulted responses) to agree.
+    #[inline]
+    fn record(&mut self, g: u64, f: u64) {
+        if g == f || self.overflow {
+            return;
+        }
+        self.codes.insert(g);
+        self.codes.insert(f);
+        if self.codes.len() > FOOTPRINT_CAP {
+            self.codes.clear();
+            self.overflow = true;
+        }
+    }
+
+    fn into_sorted(self) -> (Vec<u64>, bool) {
+        let mut codes: Vec<u64> = self.codes.into_iter().collect();
+        codes.sort_unstable();
+        (codes, self.overflow)
+    }
+}
+
+/// True iff two strictly ascending slices share no element.
+fn disjoint_sorted(a: &[u64], b: &[u64]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
+}
+
+/// One fault's contribution to one latency bound's table: its canonical
+/// rows, activation counters and the good-state footprint. Stored under
+/// [`fragment_fingerprint`]; absorbing a stored fragment walks the
+/// collectors through byte-identical states to re-enumerating it.
+struct TensorFragment {
+    /// False iff no reachable (state, input) produced a nonzero `D₁`.
+    testable: bool,
+    /// Activations counted for this fault at this bound.
+    activations: usize,
+    /// Rows the enumeration emitted (pre-dedup), for `rows_raw`.
+    emitted: usize,
+    /// Canonical rows: sorted minimal step-sets (reduce) or sorted raw
+    /// step rows (!reduce) — [`Collector::into_fragment_rows`] output.
+    rows: Vec<Vec<u64>>,
+    /// Sorted good-state codes at divergent lockstep pairs; empty for
+    /// [`Semantics::FaultyTrajectory`] (its enumeration reads the good
+    /// tables only at states the cone key and delta seed already pin).
+    footprint: Vec<u64>,
+    /// True when the footprint overflowed [`FOOTPRINT_CAP`] and was
+    /// discarded; such fragments never promote across contexts.
+    footprint_overflow: bool,
+}
+
+impl TensorFragment {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.bool(self.testable);
+        w.usize(self.activations);
+        w.usize(self.emitted);
+        w.u64_slice(&self.footprint);
+        w.bool(self.footprint_overflow);
+        w.usize(self.rows.len());
+        for row in &self.rows {
+            w.u64_slice(row);
+        }
+        w.finish()
+    }
+
+    /// Decodes and *validates* a stored fragment: malformed bytes must
+    /// degrade to a store miss, never into a corrupted table.
+    fn from_bytes(
+        bytes: &[u8],
+        latency: usize,
+        reduce: bool,
+    ) -> Result<TensorFragment, CheckpointError> {
+        let corrupt = |msg: &str| CheckpointError::Corrupt(msg.to_string());
+        let mut rd = ByteReader::new(bytes);
+        let testable = rd.bool()?;
+        let activations = rd.usize()?;
+        let emitted = rd.usize()?;
+        let footprint = rd.u64_slice()?;
+        if !footprint.windows(2).all(|w| w[0] < w[1]) {
+            return Err(corrupt("fragment footprint not strictly ascending"));
+        }
+        let footprint_overflow = rd.bool()?;
+        let n_rows = rd.usize()?;
+        if n_rows > emitted {
+            return Err(corrupt("fragment keeps more rows than it emitted"));
+        }
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            let row = rd.u64_slice()?;
+            if reduce {
+                // Canonical minimal step-sets: nonempty, strictly
+                // ascending nonzero masks, at most `latency` of them.
+                if row.is_empty() || row.len() > latency {
+                    return Err(corrupt("fragment step-set length out of range"));
+                }
+                if row[0] == 0 || !row.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(corrupt("fragment step-set not canonical"));
+                }
+            } else if row.len() != latency {
+                return Err(corrupt("fragment raw row length != latency"));
+            }
+            rows.push(row);
+        }
+        if !rows.windows(2).all(|w| w[0] < w[1]) {
+            return Err(corrupt("fragment rows not strictly sorted"));
+        }
+        rd.expect_end()?;
+        Ok(TensorFragment {
+            testable,
+            activations,
+            emitted,
+            rows,
+            footprint,
+            footprint_overflow,
+        })
+    }
+}
+
+/// Attempts to serve a fragment from the *baseline* machine's store
+/// entries when a delta-seeded build misses under its own context.
+///
+/// Valid iff the old fragment's good-state footprint avoids every code
+/// the edit changed: the cone key already pins the faulted structure,
+/// the delta seed pins next maps / reset / dims / input model, so the
+/// only way the old rows could differ from a fresh enumeration is a
+/// changed good response at a recorded divergent state. A promoted
+/// fragment is re-put under the new context's key so subsequent builds
+/// hit directly.
+fn promote_fragment(
+    store: &Store,
+    seed: &DeltaSeed,
+    cone_key: u64,
+    latency: usize,
+    reduce: bool,
+    new_key: u64,
+) -> Option<TensorFragment> {
+    let old_key = fragment_fingerprint(&seed.old_context, cone_key, latency);
+    let frag = store.get_typed(TENSOR_FRAG_STAGE, old_key, |bytes| {
+        TensorFragment::from_bytes(bytes, latency, reduce)
+    })?;
+    if frag.footprint_overflow || !disjoint_sorted(&frag.footprint, &seed.changed_codes) {
+        return None;
+    }
+    store.put_artifact(TENSOR_FRAG_STAGE, new_key, &frag.to_bytes());
+    Some(frag)
 }
 
 /// Depth-first enumeration of the faulty-trajectory suffixes
@@ -1487,6 +2034,7 @@ fn enumerate_lockstep(
     d1: u64,
     pair1: (u64, u64),
     out: &mut Collector,
+    footprint: &mut CodeFootprint,
 ) {
     if out.prefix_dominated(&[d1]) {
         return;
@@ -1511,6 +2059,7 @@ fn enumerate_lockstep(
         &mut prefix,
         &mut visited,
         out,
+        footprint,
     );
 }
 
@@ -1526,8 +2075,12 @@ fn extend_lockstep(
     prefix: &mut Vec<u64>,
     visited: &mut Vec<(u64, u64)>,
     out: &mut Collector,
+    footprint: &mut CodeFootprint,
 ) {
     let (g, f) = pair;
+    // Divergent pairs read the good tables at two distinct codes; the
+    // footprint records both for cross-machine fragment promotion.
+    footprint.record(g, f);
     let mut seen_effects: HashSet<(u64, (u64, u64))> = HashSet::new();
     // Inputs explored from the good-trajectory state's vantage: the
     // STG structure of the fault-free machine defines "transitions".
@@ -1563,6 +2116,7 @@ fn extend_lockstep(
                 prefix,
                 visited,
                 out,
+                footprint,
             );
             visited.pop();
         }
@@ -1709,6 +2263,7 @@ fn enumerate_lockstep_timed(
     d1: u64,
     pair1: (u64, u64),
     out: &mut Collector,
+    footprint: &mut CodeFootprint,
 ) {
     if out.prefix_dominated(&[d1]) {
         return;
@@ -1734,6 +2289,7 @@ fn enumerate_lockstep_timed(
         &mut prefix,
         &mut visited,
         out,
+        footprint,
     );
 }
 
@@ -1750,8 +2306,12 @@ fn extend_lockstep_timed(
     prefix: &mut Vec<u64>,
     visited: &mut Vec<((u64, u64), u64)>,
     out: &mut Collector,
+    footprint: &mut CodeFootprint,
 ) {
     let (g, f) = pair;
+    // Recorded whether or not the fault is active at this step: an
+    // inactive step reads the good tables at `f` directly.
+    footprint.record(g, f);
     let step = depth + 1;
     if g == f && model.dead_after(step) {
         // Converged trajectories with the fault dead forever evolve
@@ -1801,6 +2361,7 @@ fn extend_lockstep_timed(
                 prefix,
                 visited,
                 out,
+                footprint,
             );
             visited.pop();
         }
@@ -2494,6 +3055,7 @@ mod tests {
             on_checkpoint: Some(&mut sink),
             pool: None,
             store: None,
+            delta: None,
         };
         let full =
             DetectabilityTable::build_many_controlled(&c, &faults, &opts, &[2], control).unwrap();

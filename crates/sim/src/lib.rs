@@ -33,6 +33,7 @@
 // bit-twiddling code; the iterator rewrites clippy suggests obscure it.
 #![allow(clippy::needless_range_loop)]
 
+pub mod cone;
 pub mod coverage;
 pub mod detect;
 pub mod diagnose;

@@ -40,6 +40,18 @@ use std::time::Duration;
 /// Checkpoint kind tag for a single on-disk artifact entry.
 pub const STORE_ENTRY_KIND: u16 = 3;
 
+/// Stage name for per-fault tensor fragments: one artifact per
+/// `(fault cone, latency)` keyed by the cone fingerprint (see
+/// `ced_sim::detect`). Defined here — not in `ced-sim` — so the store
+/// can derive fragment-level counters without depending on the
+/// simulator.
+pub const TENSOR_FRAG_STAGE: &str = "tensor-frag";
+
+/// Stage name for tensor composition records: a digest proving that a
+/// full `DetectabilityTable` reassembled from [`TENSOR_FRAG_STAGE`]
+/// fragments is byte-identical to a monolithic build.
+pub const TENSOR_COMP_STAGE: &str = "tensor-comp";
+
 /// Checkpoint kind tag for the on-disk store index.
 pub const STORE_INDEX_KIND: u16 = 4;
 
@@ -426,11 +438,48 @@ impl Store {
             )
         };
         let stats = self.stats();
+        let by_stage = |name: &str| {
+            stats
+                .stages
+                .iter()
+                .find(|(s, _)| s == name)
+                .map(|(_, c)| *c)
+                .unwrap_or_default()
+        };
+        // Derived fragment-level view: how many per-fault tensor
+        // fragments were served warm versus rebuilt, and how many
+        // whole-table compositions were recorded/verified. This is
+        // what makes the warm-edit win observable from `ced store
+        // stats --json` and the serve `health` endpoint. Counters come
+        // from the current run; a process that has not analyzed yet
+        // (`ced store stats` itself) falls back to the previous run's
+        // persisted counters, so the command reports the last
+        // analysis instead of its own idleness.
+        let previous = self.previous_run_stats();
+        let by_stage_previous = |name: &str| {
+            previous
+                .iter()
+                .find(|(s, _)| s == name)
+                .map(|(_, c)| *c)
+                .unwrap_or_default()
+        };
+        let mut frag = by_stage(TENSOR_FRAG_STAGE);
+        let mut comp = by_stage(TENSOR_COMP_STAGE);
+        if frag == StageCounters::default() && comp == StageCounters::default() {
+            frag = by_stage_previous(TENSOR_FRAG_STAGE);
+            comp = by_stage_previous(TENSOR_COMP_STAGE);
+        }
+        let fragments = Json::Object(vec![
+            ("hit".into(), Json::UInt(frag.hits)),
+            ("rebuilt".into(), Json::UInt(frag.puts)),
+            ("composed".into(), Json::UInt(comp.hits + comp.puts)),
+        ]);
         Json::Object(vec![
             ("schema".into(), Json::str("ced-store-stats/1")),
             ("run".into(), Json::UInt(stats.run)),
             ("entries".into(), Json::UInt(stats.entries as u64)),
             ("bytes".into(), Json::UInt(stats.bytes)),
+            ("fragments".into(), fragments),
             (
                 "artifacts".into(),
                 Json::Array(
@@ -451,10 +500,7 @@ impl Store {
                 ),
             ),
             ("current_run".into(), counters_json(&stats.stages)),
-            (
-                "previous_run".into(),
-                counters_json(&self.previous_run_stats()),
-            ),
+            ("previous_run".into(), counters_json(&previous)),
         ])
     }
 
